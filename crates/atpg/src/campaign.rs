@@ -1,0 +1,525 @@
+//! TEGUS-style ATPG campaigns: one ATPG-SAT instance per fault, with
+//! random-pattern seeding and fault dropping.
+//!
+//! This is the experiment engine behind the paper's Figure 1: run ATPG on
+//! a circuit, record per-SAT-instance size and effort, and report
+//! coverage.
+
+use std::time::{Duration, Instant};
+
+use atpg_easy_cnf::circuit;
+use atpg_easy_netlist::Netlist;
+use atpg_easy_sat::{
+    CachingBacktracking, Cdcl, Dpll, Limits, Outcome, SimpleBacktracking, Solver, SolverStats,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::faultsim::FaultSimulator;
+use crate::{fault, miter, verify, Fault};
+
+/// Which solver backs the campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverChoice {
+    /// CDCL (the TEGUS proxy; default).
+    #[default]
+    Cdcl,
+    /// DPLL with unit propagation.
+    Dpll,
+    /// The paper's Algorithm 1 (caching backtracking).
+    Caching,
+    /// Plain chronological backtracking.
+    Simple,
+}
+
+impl SolverChoice {
+    fn make(self, limits: Limits) -> Box<dyn Solver> {
+        match self {
+            SolverChoice::Cdcl => Box::new(Cdcl::new().with_limits(limits)),
+            SolverChoice::Dpll => Box::new(Dpll::new().with_limits(limits)),
+            SolverChoice::Caching => Box::new(CachingBacktracking::new().with_limits(limits)),
+            SolverChoice::Simple => Box::new(SimpleBacktracking::new().with_limits(limits)),
+        }
+    }
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AtpgConfig {
+    /// Solver backing each ATPG-SAT instance.
+    pub solver: SolverChoice,
+    /// Per-instance resource budget.
+    pub limits: Limits,
+    /// Add the Larrabee activation clause (`X = ¬B` in the good circuit).
+    pub activation_clause: bool,
+    /// Simulate every generated test against the remaining faults and drop
+    /// the ones it detects.
+    pub fault_dropping: bool,
+    /// Collapse structurally equivalent faults first.
+    pub collapse: bool,
+    /// Additionally drop dominance-collapsed faults (implies `collapse`);
+    /// shrinks the target list further while preserving coverage.
+    pub dominance: bool,
+    /// Random patterns simulated before any SAT call (0 disables); easy
+    /// faults are retired without generating a SAT instance.
+    pub random_patterns: usize,
+    /// Seed for the random-pattern phase.
+    pub seed: u64,
+}
+
+impl Default for AtpgConfig {
+    fn default() -> Self {
+        AtpgConfig {
+            solver: SolverChoice::Cdcl,
+            limits: Limits::none(),
+            activation_clause: true,
+            fault_dropping: true,
+            collapse: true,
+            dominance: false,
+            random_patterns: 0,
+            seed: 1,
+        }
+    }
+}
+
+/// How a fault was resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// ATPG-SAT found a test vector (recorded per primary input).
+    Detected(Vec<bool>),
+    /// A previously generated or random vector already detected it.
+    DetectedBySimulation,
+    /// ATPG-SAT proved the fault untestable (redundant).
+    Untestable,
+    /// The solver hit its budget.
+    Aborted,
+}
+
+/// Per-fault campaign record — one point of the paper's Figure 1.
+#[derive(Debug, Clone)]
+pub struct FaultRecord {
+    /// The fault.
+    pub fault: Fault,
+    /// Resolution.
+    pub outcome: FaultOutcome,
+    /// Variables in the ATPG-SAT instance (0 when no instance was built).
+    pub sat_vars: usize,
+    /// Clauses in the ATPG-SAT instance.
+    pub sat_clauses: usize,
+    /// `|C_ψ^sub|` in nets.
+    pub sub_size: usize,
+    /// Wall-clock solve time (zero when no instance was built).
+    pub solve_time: Duration,
+    /// Machine-independent solver counters.
+    pub stats: SolverStats,
+}
+
+/// The outcome of a whole campaign.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignResult {
+    /// One record per targeted fault.
+    pub records: Vec<FaultRecord>,
+    /// The generated test set (SAT models plus effective random patterns).
+    pub tests: Vec<Vec<bool>>,
+}
+
+impl CampaignResult {
+    /// Faults resolved as detected (by SAT or simulation).
+    pub fn detected(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.outcome,
+                    FaultOutcome::Detected(_) | FaultOutcome::DetectedBySimulation
+                )
+            })
+            .count()
+    }
+
+    /// Faults proved untestable.
+    pub fn untestable(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.outcome == FaultOutcome::Untestable)
+            .count()
+    }
+
+    /// Faults aborted on budget.
+    pub fn aborted(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.outcome == FaultOutcome::Aborted)
+            .count()
+    }
+
+    /// Fault coverage: detected / (total − untestable).
+    pub fn coverage(&self) -> f64 {
+        let testable = self.records.len() - self.untestable();
+        if testable == 0 {
+            1.0
+        } else {
+            self.detected() as f64 / testable as f64
+        }
+    }
+
+    /// Records that actually ran a SAT instance (the Figure-1 population).
+    pub fn sat_records(&self) -> impl Iterator<Item = &FaultRecord> {
+        self.records.iter().filter(|r| r.sat_vars > 0)
+    }
+}
+
+/// Runs a full ATPG campaign on `nl`.
+///
+/// # Panics
+///
+/// Panics if the netlist is invalid (validate first) or contains XOR/XNOR
+/// gates wider than two inputs (decompose first).
+pub fn run(nl: &Netlist, config: &AtpgConfig) -> CampaignResult {
+    let faults = if config.dominance {
+        fault::collapse_with_dominance(nl)
+    } else if config.collapse {
+        fault::collapse(nl)
+    } else {
+        fault::all_faults(nl)
+    };
+    let fs = FaultSimulator::new(nl);
+    let mut detected = vec![false; faults.len()];
+    let mut result = CampaignResult::default();
+
+    // Phase 1: random-pattern fault dropping.
+    if config.random_patterns > 0 && nl.num_inputs() > 0 {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut remaining = config.random_patterns;
+        while remaining > 0 {
+            let batch = remaining.min(64);
+            remaining -= batch;
+            let vectors: Vec<Vec<bool>> = (0..batch)
+                .map(|_| (0..nl.num_inputs()).map(|_| rng.random_bool(0.5)).collect())
+                .collect();
+            let hits = fs.detect_batch(nl, &vectors, &faults);
+            let mut useful = false;
+            for (i, hit) in hits.into_iter().enumerate() {
+                if hit && !detected[i] {
+                    detected[i] = true;
+                    useful = true;
+                }
+            }
+            if useful {
+                result.tests.extend(vectors);
+            }
+        }
+    }
+
+    // Phase 2: one ATPG-SAT instance per remaining fault.
+    for (i, &f) in faults.iter().enumerate() {
+        if detected[i] {
+            result.records.push(FaultRecord {
+                fault: f,
+                outcome: FaultOutcome::DetectedBySimulation,
+                sat_vars: 0,
+                sat_clauses: 0,
+                sub_size: 0,
+                solve_time: Duration::ZERO,
+                stats: SolverStats::default(),
+            });
+            continue;
+        }
+        let m = miter::build(nl, f);
+        let mut enc = circuit::encode(&m.circuit).expect("miter circuits encode cleanly");
+        if config.activation_clause {
+            if let Some(clause) = miter::activation_clause(&m, &enc) {
+                enc.formula.add_clause(clause);
+            }
+        }
+        let mut solver = config.solver.make(config.limits);
+        let started = Instant::now();
+        let sol = solver.solve(&enc.formula);
+        let solve_time = started.elapsed();
+        let outcome = match sol.outcome {
+            Outcome::Sat(model) => {
+                let vector = m.extract_test(&enc, &model, nl);
+                debug_assert!(verify::detects(nl, f, &vector), "model must be a test");
+                detected[i] = true;
+                if config.fault_dropping {
+                    let hits = fs.detect_batch(nl, std::slice::from_ref(&vector), &faults);
+                    for (j, hit) in hits.into_iter().enumerate() {
+                        if hit {
+                            detected[j] = true;
+                        }
+                    }
+                }
+                result.tests.push(vector.clone());
+                FaultOutcome::Detected(vector)
+            }
+            Outcome::Unsat => FaultOutcome::Untestable,
+            Outcome::Aborted => FaultOutcome::Aborted,
+        };
+        result.records.push(FaultRecord {
+            fault: f,
+            outcome,
+            sat_vars: enc.formula.num_vars(),
+            sat_clauses: enc.formula.num_clauses(),
+            sub_size: m.sub_size(),
+            solve_time,
+            stats: sol.stats,
+        });
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atpg_easy_netlist::parser::bench;
+
+    fn c17() -> Netlist {
+        bench::parse(
+            "INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
+             10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n19 = NAND(11, 7)\n\
+             22 = NAND(10, 16)\n23 = NAND(16, 19)\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn c17_full_coverage() {
+        // c17 is fully testable: coverage 100%, no untestable faults.
+        let res = run(&c17(), &AtpgConfig::default());
+        assert_eq!(res.untestable(), 0);
+        assert_eq!(res.aborted(), 0);
+        assert!((res.coverage() - 1.0).abs() < 1e-9);
+        assert!(!res.tests.is_empty());
+    }
+
+    #[test]
+    fn every_generated_test_verifies() {
+        let nl = c17();
+        let res = run(
+            &nl,
+            &AtpgConfig {
+                fault_dropping: false,
+                ..AtpgConfig::default()
+            },
+        );
+        for r in &res.records {
+            if let FaultOutcome::Detected(v) = &r.outcome {
+                assert!(verify::detects(&nl, r.fault, v), "{}", r.fault.describe(&nl));
+            }
+        }
+    }
+
+    #[test]
+    fn random_patterns_retire_faults_without_sat() {
+        let nl = c17();
+        let res = run(
+            &nl,
+            &AtpgConfig {
+                random_patterns: 128,
+                ..AtpgConfig::default()
+            },
+        );
+        let by_sim = res
+            .records
+            .iter()
+            .filter(|r| r.outcome == FaultOutcome::DetectedBySimulation)
+            .count();
+        assert!(by_sim > 0, "128 random patterns retire most c17 faults");
+        assert!((res.coverage() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn redundant_faults_reported_untestable() {
+        // y = OR(a, NOT a): constant 1; its s-a-1 is redundant.
+        let mut nl = Netlist::new("red");
+        let a = nl.add_input("a");
+        let na = nl
+            .add_gate_named(atpg_easy_netlist::GateKind::Not, vec![a], "na")
+            .unwrap();
+        let y = nl
+            .add_gate_named(atpg_easy_netlist::GateKind::Or, vec![a, na], "y")
+            .unwrap();
+        nl.add_output(y);
+        let res = run(
+            &nl,
+            &AtpgConfig {
+                collapse: false,
+                ..AtpgConfig::default()
+            },
+        );
+        assert!(res.untestable() > 0);
+        assert!(res.coverage() > 0.0);
+    }
+
+    #[test]
+    fn all_solvers_agree_on_c17() {
+        let nl = c17();
+        let mut baseline: Option<Vec<bool>> = None;
+        for solver in [
+            SolverChoice::Cdcl,
+            SolverChoice::Dpll,
+            SolverChoice::Caching,
+        ] {
+            let res = run(
+                &nl,
+                &AtpgConfig {
+                    solver,
+                    fault_dropping: false,
+                    collapse: true,
+                    ..AtpgConfig::default()
+                },
+            );
+            let verdicts: Vec<bool> = res
+                .records
+                .iter()
+                .map(|r| matches!(r.outcome, FaultOutcome::Detected(_)))
+                .collect();
+            match &baseline {
+                None => baseline = Some(verdicts),
+                Some(b) => assert_eq!(b, &verdicts, "{solver:?} disagrees"),
+            }
+        }
+    }
+
+    #[test]
+    fn dominance_shrinks_the_target_list_same_coverage() {
+        let nl = c17();
+        let plain = run(&nl, &AtpgConfig::default());
+        let dom = run(
+            &nl,
+            &AtpgConfig {
+                dominance: true,
+                ..AtpgConfig::default()
+            },
+        );
+        assert!(dom.records.len() < plain.records.len());
+        assert!((dom.coverage() - 1.0).abs() < 1e-9);
+        // The dominance-collapsed test set still covers every fault.
+        let all = fault::all_faults(&nl);
+        let fs = crate::faultsim::FaultSimulator::new(&nl);
+        let mut det = vec![false; all.len()];
+        for chunk in dom.tests.chunks(64) {
+            for (i, hit) in fs.detect_batch(&nl, chunk, &all).into_iter().enumerate() {
+                det[i] |= hit;
+            }
+        }
+        // Every *testable* fault is detected (c17 has no redundant faults).
+        assert!(det.iter().all(|&d| d), "full coverage from dominance set");
+    }
+
+    #[test]
+    fn sat_records_expose_instance_sizes() {
+        let nl = c17();
+        let res = run(&nl, &AtpgConfig::default());
+        for r in res.sat_records() {
+            assert!(r.sat_vars > 0);
+            assert!(r.sat_clauses > 0);
+            assert!(r.sub_size > 0);
+        }
+    }
+}
+
+/// Greedy reverse-order test-set compaction.
+///
+/// Classic static compaction: vectors are considered newest-first (later
+/// vectors target harder faults and tend to cover many easy ones), and a
+/// vector is kept only if it detects a fault no already-kept vector
+/// detects. Returns the kept vectors, oldest-first.
+///
+/// # Panics
+///
+/// Panics if a vector has the wrong width or the netlist is cyclic.
+pub fn compact_tests(nl: &Netlist, tests: &[Vec<bool>], faults: &[Fault]) -> Vec<Vec<bool>> {
+    let fs = FaultSimulator::new(nl);
+    let mut undetected: Vec<Fault> = faults.to_vec();
+    let mut kept: Vec<Vec<bool>> = Vec::new();
+    for vector in tests.iter().rev() {
+        if undetected.is_empty() {
+            break;
+        }
+        let hits = fs.detect_batch(nl, std::slice::from_ref(vector), &undetected);
+        let before = undetected.len();
+        let mut keep_faults = Vec::with_capacity(before);
+        for (f, hit) in undetected.into_iter().zip(&hits) {
+            if !hit {
+                keep_faults.push(f);
+            }
+        }
+        undetected = keep_faults;
+        if undetected.len() < before {
+            kept.push(vector.clone());
+        }
+    }
+    kept.reverse();
+    kept
+}
+
+#[cfg(test)]
+mod compaction_tests {
+    use super::*;
+    use crate::fault;
+    use atpg_easy_netlist::parser::bench;
+
+    fn c17() -> Netlist {
+        bench::parse(
+            "INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
+             10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n19 = NAND(11, 7)\n\
+             22 = NAND(10, 16)\n23 = NAND(16, 19)\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn compaction_preserves_coverage() {
+        let nl = c17();
+        let res = run(&nl, &AtpgConfig {
+            random_patterns: 64,
+            ..AtpgConfig::default()
+        });
+        let faults = fault::collapse(&nl);
+        let compact = compact_tests(&nl, &res.tests, &faults);
+        assert!(compact.len() <= res.tests.len());
+        // Coverage after compaction is unchanged.
+        let fs = crate::faultsim::FaultSimulator::new(&nl);
+        let full: usize = {
+            let mut det = vec![false; faults.len()];
+            for chunk in res.tests.chunks(64) {
+                for (i, d) in fs.detect_batch(&nl, chunk, &faults).into_iter().enumerate() {
+                    det[i] |= d;
+                }
+            }
+            det.iter().filter(|&&d| d).count()
+        };
+        let reduced: usize = {
+            let mut det = vec![false; faults.len()];
+            for chunk in compact.chunks(64) {
+                for (i, d) in fs.detect_batch(&nl, chunk, &faults).into_iter().enumerate() {
+                    det[i] |= d;
+                }
+            }
+            det.iter().filter(|&&d| d).count()
+        };
+        assert_eq!(full, reduced);
+    }
+
+    #[test]
+    fn compaction_drops_redundant_vectors() {
+        // Duplicate every vector: at least half must be dropped.
+        let nl = c17();
+        let res = run(&nl, &AtpgConfig::default());
+        let mut doubled = res.tests.clone();
+        doubled.extend(res.tests.iter().cloned());
+        let faults = fault::collapse(&nl);
+        let compact = compact_tests(&nl, &doubled, &faults);
+        assert!(compact.len() <= res.tests.len());
+        assert!(!compact.is_empty());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let nl = c17();
+        assert!(compact_tests(&nl, &[], &fault::collapse(&nl)).is_empty());
+        let res = run(&nl, &AtpgConfig::default());
+        assert!(compact_tests(&nl, &res.tests, &[]).is_empty());
+    }
+}

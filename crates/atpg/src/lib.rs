@@ -1,0 +1,53 @@
+//! SAT-based automatic test pattern generation (ATPG) — the system the
+//! paper analyzes.
+//!
+//! This crate rebuilds the Larrabee \[18\] / TEGUS \[24\] formulation from
+//! scratch:
+//!
+//! - [`Fault`]: single stuck-at faults on nets, enumeration and structural
+//!   equivalence collapsing ([`fault`]);
+//! - [`miter::build`]: the `C_ψ^ATPG` construction of the paper's Figure 3 —
+//!   the good subcircuit `C_ψ^sub`, the faulty fan-out cone `C_ψ^fo`, and a
+//!   pairwise XOR of the affected outputs;
+//! - [`faultsim`]: 64-pattern-parallel fault simulation, used for fault
+//!   dropping and for verifying generated tests;
+//! - [`podem`]: the PODEM structural baseline (decisions at primary
+//!   inputs only, objective/backtrace), cross-checked against the SAT
+//!   engines;
+//! - [`campaign`]: the TEGUS-style loop — one ATPG-SAT instance per fault,
+//!   any [`Solver`](atpg_easy_sat::Solver), optional fault dropping —
+//!   which is exactly the experiment behind the paper's Figure 1.
+//!
+//! # Example: test a stuck-at fault
+//!
+//! ```
+//! use atpg_easy_atpg::{miter, Fault};
+//! use atpg_easy_cnf::circuit;
+//! use atpg_easy_netlist::{GateKind, Netlist};
+//! use atpg_easy_sat::{Cdcl, Solver};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut nl = Netlist::new("and2");
+//! let a = nl.add_input("a");
+//! let b = nl.add_input("b");
+//! let y = nl.add_gate_named(GateKind::And, vec![a, b], "y")?;
+//! nl.add_output(y);
+//!
+//! let m = miter::build(&nl, Fault::stuck_at_0(y));
+//! let enc = circuit::encode(&m.circuit)?;
+//! let solution = Cdcl::new().solve(&enc.formula);
+//! assert!(solution.outcome.is_sat(), "y s-a-0 is testable by a=b=1");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod campaign;
+pub mod fault;
+pub mod faultsim;
+pub mod miter;
+pub mod podem;
+pub mod verify;
+
+pub use campaign::{AtpgConfig, CampaignResult, FaultOutcome, FaultRecord, SolverChoice};
+pub use fault::Fault;
+pub use miter::AtpgMiter;

@@ -1,0 +1,341 @@
+//! The `C_ψ^ATPG` miter construction (the paper's Figure 3).
+//!
+//! Given circuit `C` and fault `ψ(X, B)`:
+//!
+//! - `C_ψ^fo` is the transitive fan-out of `X`, duplicated with `X`
+//!   replaced by the constant `B`;
+//! - `C_ψ^sub` is the subcircuit of `C` over the transitive fan-in of that
+//!   fan-out (the "good" logic both copies share);
+//! - `C_ψ^ATPG` is `C_ψ^sub` and `C_ψ^fo` with each affected primary
+//!   output pair combined by XOR.
+//!
+//! A satisfying assignment of CIRCUIT-SAT on `C_ψ^ATPG` is exactly a test
+//! for `ψ` (Larrabee's formulation).
+
+use atpg_easy_cnf::{CircuitSatEncoding, Lit};
+use atpg_easy_netlist::{topo, GateKind, NetId, Netlist};
+
+use crate::Fault;
+
+/// The constructed ATPG miter and its correspondence to the original
+/// circuit.
+#[derive(Debug, Clone)]
+pub struct AtpgMiter {
+    /// The miter circuit `C_ψ^ATPG`; its primary outputs are the XOR
+    /// difference signals.
+    pub circuit: Netlist,
+    /// The fault the miter tests.
+    pub fault: Fault,
+    /// Per original net: the corresponding good-copy net, for nets in
+    /// `C_ψ^sub`.
+    pub good_of: Vec<Option<NetId>>,
+    /// Per original net: the corresponding faulty-copy net, for nets in
+    /// the fan-out cone of the fault.
+    pub faulty_of: Vec<Option<NetId>>,
+    /// Per original primary-output position: the XOR difference net.
+    pub xor_of_output: Vec<Option<NetId>>,
+    /// Marker over original nets: membership in `C_ψ^sub`.
+    pub sub_nets: Vec<bool>,
+    /// `true` when the fault reaches no primary output (trivially
+    /// untestable); the miter then consists of a constant-0 output.
+    pub unobservable: bool,
+}
+
+impl AtpgMiter {
+    /// Number of nets of `C_ψ^sub` — the paper's measure of ATPG-SAT
+    /// instance size (Section 5.2.1).
+    pub fn sub_size(&self) -> usize {
+        self.sub_nets.iter().filter(|&&b| b).count()
+    }
+
+    /// Projects a model of the miter's CIRCUIT-SAT formula onto the
+    /// original circuit's primary inputs, producing a test vector (inputs
+    /// outside `C_ψ^sub` default to `false`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` is shorter than the encoding's variable count.
+    pub fn extract_test(
+        &self,
+        enc: &CircuitSatEncoding,
+        model: &[bool],
+        original: &Netlist,
+    ) -> Vec<bool> {
+        original
+            .inputs()
+            .iter()
+            .map(|&pi| match self.good_of[pi.index()] {
+                Some(m) => model[enc.var_of(m).index()],
+                None => false,
+            })
+            .collect()
+    }
+}
+
+/// Builds the `C_ψ^ATPG` miter for `fault` on `nl`.
+///
+/// # Panics
+///
+/// Panics if the netlist is invalid (cyclic / undriven nets); call
+/// [`Netlist::validate`] first.
+pub fn build(nl: &Netlist, fault: Fault) -> AtpgMiter {
+    let x = fault.net;
+    let fo = topo::transitive_fanout(nl, x);
+    let (sub, affected) = topo::fault_subcircuit_nets(nl, x);
+
+    let mut m = Netlist::new(format!("{}@{}", nl.name(), fault));
+    let mut good_of: Vec<Option<NetId>> = vec![None; nl.num_nets()];
+    let mut faulty_of: Vec<Option<NetId>> = vec![None; nl.num_nets()];
+
+    if affected.is_empty() {
+        // The fault cannot reach any output: CIRCUIT-SAT must be UNSAT.
+        let z = m
+            .add_gate_named(GateKind::Const0, vec![], "unobservable")
+            .expect("fresh netlist");
+        m.add_output(z);
+        return AtpgMiter {
+            circuit: m,
+            fault,
+            good_of,
+            faulty_of,
+            xor_of_output: vec![None; nl.num_outputs()],
+            sub_nets: sub,
+            unobservable: true,
+        };
+    }
+
+    // Good copy: every net of C_ψ^sub, original names preserved.
+    for (id, net) in nl.nets() {
+        if !sub[id.index()] {
+            continue;
+        }
+        let new = if net.driver.is_none() {
+            m.try_add_input(net.name.clone()).expect("unique names")
+        } else {
+            m.add_net(net.name.clone()).expect("unique names")
+        };
+        good_of[id.index()] = Some(new);
+    }
+    // Faulty copy shells for the fan-out cone.
+    for (id, net) in nl.nets() {
+        if fo[id.index()] {
+            faulty_of[id.index()] =
+                Some(m.add_net(format!("{}@f", net.name)).expect("unique names"));
+        }
+    }
+
+    // Drive good nets (C_ψ^sub is fan-in closed, so all inputs exist).
+    let order = topo::topo_order(nl).expect("validated netlist");
+    for &gid in &order {
+        let gate = nl.gate(gid);
+        let out = gate.output;
+        if let Some(new_out) = good_of[out.index()] {
+            let inputs: Vec<NetId> = gate
+                .inputs
+                .iter()
+                .map(|&i| good_of[i.index()].expect("sub is fan-in closed"))
+                .collect();
+            m.drive_net(new_out, gate.kind, inputs)
+                .expect("construction is well-formed");
+        }
+    }
+
+    // Faulty fan-out cone: X is the constant B; downstream gates read
+    // faulty nets where available, good nets otherwise.
+    let fault_const = if fault.stuck {
+        GateKind::Const1
+    } else {
+        GateKind::Const0
+    };
+    m.drive_net(faulty_of[x.index()].expect("x is in its own fan-out"), fault_const, vec![])
+        .expect("construction is well-formed");
+    for &gid in &order {
+        let gate = nl.gate(gid);
+        let out = gate.output;
+        if out == x || !fo[out.index()] {
+            continue;
+        }
+        let new_out = faulty_of[out.index()].expect("fan-out cone shell exists");
+        let inputs: Vec<NetId> = gate
+            .inputs
+            .iter()
+            .map(|&i| match faulty_of[i.index()] {
+                Some(fnet) => fnet,
+                None => good_of[i.index()].expect("inputs of fan-out gates are in sub"),
+            })
+            .collect();
+        m.drive_net(new_out, gate.kind, inputs)
+            .expect("construction is well-formed");
+    }
+
+    // XOR the affected output pairs; unaffected outputs cannot differ.
+    let mut xor_of_output = vec![None; nl.num_outputs()];
+    for (pos, &o) in nl.outputs().iter().enumerate() {
+        if !fo[o.index()] {
+            continue;
+        }
+        let g = good_of[o.index()].expect("affected outputs are in sub");
+        let f = faulty_of[o.index()].expect("affected outputs are in the cone");
+        let z = m
+            .add_gate_named(GateKind::Xor, vec![g, f], format!("{}@d", nl.net(o).name))
+            .expect("unique names");
+        m.add_output(z);
+        xor_of_output[pos] = Some(z);
+    }
+
+    AtpgMiter {
+        circuit: m,
+        fault,
+        good_of,
+        faulty_of,
+        xor_of_output,
+        sub_nets: sub,
+        unobservable: false,
+    }
+}
+
+/// The unit clause asserting the fault is *activated* in the good circuit
+/// (`X = ¬B`). Implied by the miter, but adding it prunes the search the
+/// way Larrabee's formulation does.
+///
+/// Returns `None` for unobservable faults.
+pub fn activation_clause(m: &AtpgMiter, enc: &CircuitSatEncoding) -> Option<Vec<Lit>> {
+    let good_x = m.good_of[m.fault.net.index()]?;
+    Some(vec![Lit::with_value(enc.var_of(good_x), !m.fault.stuck)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atpg_easy_cnf::circuit;
+    use atpg_easy_netlist::sim;
+    use atpg_easy_sat::{Cdcl, Solver};
+
+    fn c17() -> Netlist {
+        atpg_easy_netlist::parser::bench::parse(
+            "INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
+             10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n19 = NAND(11, 7)\n\
+             22 = NAND(10, 16)\n23 = NAND(16, 19)\n",
+        )
+        .unwrap()
+    }
+
+    /// Ground truth by exhaustive simulation: is any input vector a test?
+    fn detectable_exhaustive(nl: &Netlist, fault: Fault) -> bool {
+        let n = nl.num_inputs();
+        assert!(n <= 12);
+        let s = sim::Simulator::new(nl);
+        let forced = if fault.stuck { !0u64 } else { 0u64 };
+        for m in 0u32..(1 << n) {
+            let ins: Vec<u64> = (0..n)
+                .map(|i| if m >> i & 1 != 0 { !0u64 } else { 0 })
+                .collect();
+            let good = s.run(nl, &ins);
+            let bad = s.run_with_forced(nl, &ins, fault.net, forced);
+            if nl
+                .outputs()
+                .iter()
+                .any(|&o| good[o.index()] & 1 != bad[o.index()] & 1)
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn miter_sat_iff_detectable_on_c17() {
+        let nl = c17();
+        for fault in crate::fault::all_faults(&nl) {
+            let m = build(&nl, fault);
+            m.circuit.validate().expect("miter is well-formed");
+            let enc = circuit::encode(&m.circuit).unwrap();
+            let sol = Cdcl::new().solve(&enc.formula);
+            let expect = detectable_exhaustive(&nl, fault);
+            assert_eq!(
+                sol.outcome.is_sat(),
+                expect,
+                "{} detectability mismatch",
+                fault.describe(&nl)
+            );
+            if let Some(model) = sol.outcome.model() {
+                // The extracted vector must actually detect the fault.
+                let vec = m.extract_test(&enc, model, &nl);
+                assert!(
+                    crate::verify::detects(&nl, fault, &vec),
+                    "{} extracted vector fails",
+                    fault.describe(&nl)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn redundant_fault_unsat() {
+        // y = OR(a, NOT a) is constantly 1: y s-a-1 is untestable.
+        let mut nl = Netlist::new("red");
+        let a = nl.add_input("a");
+        let na = nl.add_gate_named(GateKind::Not, vec![a], "na").unwrap();
+        let y = nl.add_gate_named(GateKind::Or, vec![a, na], "y").unwrap();
+        nl.add_output(y);
+        let m = build(&nl, Fault::stuck_at_1(y));
+        let enc = circuit::encode(&m.circuit).unwrap();
+        assert!(Cdcl::new().solve(&enc.formula).outcome.is_unsat());
+        // ... while y s-a-0 is testable by any vector.
+        let m0 = build(&nl, Fault::stuck_at_0(y));
+        let enc0 = circuit::encode(&m0.circuit).unwrap();
+        assert!(Cdcl::new().solve(&enc0.formula).outcome.is_sat());
+    }
+
+    #[test]
+    fn unobservable_fault_handled() {
+        // A dangling net: drive z from a but never observe it.
+        let mut nl = Netlist::new("dangle");
+        let a = nl.add_input("a");
+        let _z = nl.add_gate_named(GateKind::Not, vec![a], "z").unwrap();
+        let y = nl.add_gate_named(GateKind::Buf, vec![a], "y").unwrap();
+        nl.add_output(y);
+        let z = nl.find_net("z").unwrap();
+        let m = build(&nl, Fault::stuck_at_0(z));
+        assert!(m.unobservable);
+        let enc = circuit::encode(&m.circuit).unwrap();
+        assert!(Cdcl::new().solve(&enc.formula).outcome.is_unsat());
+    }
+
+    #[test]
+    fn sub_size_reasonable() {
+        let nl = c17();
+        // Fault on an output net: sub = fan-in cone of that output only.
+        let out22 = nl.find_net("22").unwrap();
+        let m = build(&nl, Fault::stuck_at_0(out22));
+        assert!(m.sub_size() < nl.num_nets());
+        // Fault on input 3 (feeds both outputs): sub = everything.
+        let n3 = nl.find_net("3").unwrap();
+        let m3 = build(&nl, Fault::stuck_at_0(n3));
+        assert_eq!(m3.sub_size(), nl.num_nets());
+    }
+
+    #[test]
+    fn activation_clause_prunes() {
+        let nl = c17();
+        let n10 = nl.find_net("10").unwrap();
+        let m = build(&nl, Fault::stuck_at_1(n10));
+        let mut enc = circuit::encode(&m.circuit).unwrap();
+        let act = activation_clause(&m, &enc).unwrap();
+        enc.formula.add_clause(act);
+        let sol = Cdcl::new().solve(&enc.formula);
+        let model = sol.outcome.model().expect("testable fault");
+        let vec = m.extract_test(&enc, model, &nl);
+        assert!(crate::verify::detects(&nl, Fault::stuck_at_1(n10), &vec));
+    }
+
+    #[test]
+    fn miter_stays_within_size_bound() {
+        // |C_ψ^ATPG| ≤ 2·|C| + #outputs + 1 nets.
+        let nl = c17();
+        for fault in crate::fault::all_faults(&nl) {
+            let m = build(&nl, fault);
+            assert!(m.circuit.num_nets() <= 2 * nl.num_nets() + nl.num_outputs());
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Test-vector verification by direct good/faulty simulation.
+
+use atpg_easy_netlist::{sim::Simulator, Netlist};
+
+use crate::Fault;
+
+/// Whether `vector` (one bool per primary input) detects `fault`: some
+/// primary output differs between the good and the faulted circuit.
+///
+/// # Panics
+///
+/// Panics if `vector.len() != nl.num_inputs()`.
+pub fn detects(nl: &Netlist, fault: Fault, vector: &[bool]) -> bool {
+    assert_eq!(vector.len(), nl.num_inputs(), "one bit per primary input");
+    let s = Simulator::new(nl);
+    let words: Vec<u64> = vector.iter().map(|&b| if b { 1 } else { 0 }).collect();
+    let good = s.run(nl, &words);
+    let forced = if fault.stuck { 1u64 } else { 0 };
+    let bad = s.run_with_forced(nl, &words, fault.net, forced);
+    nl.outputs()
+        .iter()
+        .any(|&o| good[o.index()] & 1 != bad[o.index()] & 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atpg_easy_netlist::GateKind;
+
+    #[test]
+    fn and_gate_tests() {
+        let mut nl = Netlist::new("and2");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_gate_named(GateKind::And, vec![a, b], "y").unwrap();
+        nl.add_output(y);
+        // y s-a-0 needs a=b=1.
+        assert!(detects(&nl, Fault::stuck_at_0(y), &[true, true]));
+        assert!(!detects(&nl, Fault::stuck_at_0(y), &[true, false]));
+        // a s-a-1 needs a=0, b=1.
+        assert!(detects(&nl, Fault::stuck_at_1(a), &[false, true]));
+        assert!(!detects(&nl, Fault::stuck_at_1(a), &[false, false]));
+    }
+
+    #[test]
+    #[should_panic(expected = "one bit per primary input")]
+    fn wrong_width_panics() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        nl.add_output(a);
+        detects(&nl, Fault::stuck_at_0(a), &[]);
+    }
+}

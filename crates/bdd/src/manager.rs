@@ -1,0 +1,371 @@
+//! The hash-consed ROBDD node manager.
+
+use std::collections::HashMap;
+
+/// A reference to a BDD node (or terminal) inside one [`BddManager`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BddRef(u32);
+
+impl BddRef {
+    /// The constant-false terminal.
+    pub const FALSE: BddRef = BddRef(0);
+    /// The constant-true terminal.
+    pub const TRUE: BddRef = BddRef(1);
+
+    /// Whether this is one of the two terminals.
+    pub fn is_terminal(self) -> bool {
+        self.0 < 2
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Node {
+    var: u32,
+    lo: BddRef,
+    hi: BddRef,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Op {
+    And,
+    Or,
+    Xor,
+}
+
+/// A reduced ordered BDD manager over a fixed variable count with the
+/// natural variable order `0 < 1 < … < n−1`.
+///
+/// Nodes are hash-consed (no duplicate `(var, lo, hi)` triples, no
+/// redundant tests), so structural equality of [`BddRef`]s is functional
+/// equality.
+#[derive(Debug, Clone)]
+pub struct BddManager {
+    num_vars: usize,
+    nodes: Vec<Node>,
+    unique: HashMap<Node, BddRef>,
+    apply_cache: HashMap<(Op, BddRef, BddRef), BddRef>,
+    not_cache: HashMap<BddRef, BddRef>,
+}
+
+impl BddManager {
+    /// Creates a manager over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        BddManager {
+            num_vars,
+            // Slots 0/1 are reserved for the terminals (var = u32::MAX).
+            nodes: vec![
+                Node {
+                    var: u32::MAX,
+                    lo: BddRef::FALSE,
+                    hi: BddRef::FALSE,
+                },
+                Node {
+                    var: u32::MAX,
+                    lo: BddRef::TRUE,
+                    hi: BddRef::TRUE,
+                },
+            ],
+            unique: HashMap::new(),
+            apply_cache: HashMap::new(),
+            not_cache: HashMap::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Total nodes ever allocated (including the two terminals).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The projection function of variable `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= num_vars`.
+    pub fn var(&mut self, index: usize) -> BddRef {
+        assert!(index < self.num_vars, "variable out of range");
+        self.mk(index as u32, BddRef::FALSE, BddRef::TRUE)
+    }
+
+    /// The constant `value`.
+    pub fn constant(&self, value: bool) -> BddRef {
+        if value {
+            BddRef::TRUE
+        } else {
+            BddRef::FALSE
+        }
+    }
+
+    fn mk(&mut self, var: u32, lo: BddRef, hi: BddRef) -> BddRef {
+        if lo == hi {
+            return lo; // redundant test
+        }
+        let node = Node { var, lo, hi };
+        if let Some(&r) = self.unique.get(&node) {
+            return r;
+        }
+        let r = BddRef(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.unique.insert(node, r);
+        r
+    }
+
+    fn top_var(&self, f: BddRef) -> u32 {
+        self.nodes[f.0 as usize].var
+    }
+
+    fn cofactors(&self, f: BddRef, var: u32) -> (BddRef, BddRef) {
+        if f.is_terminal() || self.top_var(f) != var {
+            (f, f)
+        } else {
+            let n = self.nodes[f.0 as usize];
+            (n.lo, n.hi)
+        }
+    }
+
+    fn apply(&mut self, op: Op, f: BddRef, g: BddRef) -> BddRef {
+        // Terminal short-cuts.
+        match (op, f, g) {
+            (Op::And, BddRef::FALSE, _) | (Op::And, _, BddRef::FALSE) => return BddRef::FALSE,
+            (Op::And, BddRef::TRUE, x) | (Op::And, x, BddRef::TRUE) => return x,
+            (Op::Or, BddRef::TRUE, _) | (Op::Or, _, BddRef::TRUE) => return BddRef::TRUE,
+            (Op::Or, BddRef::FALSE, x) | (Op::Or, x, BddRef::FALSE) => return x,
+            (Op::Xor, BddRef::FALSE, x) | (Op::Xor, x, BddRef::FALSE) => return x,
+            (Op::Xor, BddRef::TRUE, x) | (Op::Xor, x, BddRef::TRUE) => return self.not(x),
+            _ => {}
+        }
+        if f == g {
+            return match op {
+                Op::And | Op::Or => f,
+                Op::Xor => BddRef::FALSE,
+            };
+        }
+        // Commutative: canonicalize the cache key.
+        let key = (op, f.min(g), f.max(g));
+        if let Some(&r) = self.apply_cache.get(&key) {
+            return r;
+        }
+        let var = self.top_var(f).min(self.top_var(g));
+        let (f0, f1) = self.cofactors(f, var);
+        let (g0, g1) = self.cofactors(g, var);
+        let lo = self.apply(op, f0, g0);
+        let hi = self.apply(op, f1, g1);
+        let r = self.mk(var, lo, hi);
+        self.apply_cache.insert(key, r);
+        r
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        self.apply(Op::And, f, g)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        self.apply(Op::Or, f, g)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        self.apply(Op::Xor, f, g)
+    }
+
+    /// Negation.
+    pub fn not(&mut self, f: BddRef) -> BddRef {
+        match f {
+            BddRef::FALSE => return BddRef::TRUE,
+            BddRef::TRUE => return BddRef::FALSE,
+            _ => {}
+        }
+        if let Some(&r) = self.not_cache.get(&f) {
+            return r;
+        }
+        let n = self.nodes[f.0 as usize];
+        let lo = self.not(n.lo);
+        let hi = self.not(n.hi);
+        let r = self.mk(n.var, lo, hi);
+        self.not_cache.insert(f, r);
+        self.not_cache.insert(r, f);
+        r
+    }
+
+    /// Evaluates `f` under a complete assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() < num_vars`.
+    pub fn eval(&self, mut f: BddRef, assignment: &[bool]) -> bool {
+        assert!(assignment.len() >= self.num_vars, "assignment too short");
+        while !f.is_terminal() {
+            let n = self.nodes[f.0 as usize];
+            f = if assignment[n.var as usize] { n.hi } else { n.lo };
+        }
+        f == BddRef::TRUE
+    }
+
+    /// Number of distinct nodes reachable from `f` (terminals excluded) —
+    /// the "BDD size" of the Section-6 bounds.
+    pub fn size(&self, f: BddRef) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        while let Some(x) = stack.pop() {
+            if x.is_terminal() || !seen.insert(x) {
+                continue;
+            }
+            let n = self.nodes[x.0 as usize];
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        seen.len()
+    }
+
+    /// Number of distinct nodes reachable from any of `roots` (shared
+    /// nodes counted once).
+    pub fn shared_size(&self, roots: &[BddRef]) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack: Vec<BddRef> = roots.to_vec();
+        while let Some(x) = stack.pop() {
+            if x.is_terminal() || !seen.insert(x) {
+                continue;
+            }
+            let n = self.nodes[x.0 as usize];
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        seen.len()
+    }
+
+    /// Number of satisfying assignments of `f` over all `num_vars`
+    /// variables, as an `f64` (exact for < 2⁵³).
+    pub fn sat_count(&self, f: BddRef) -> f64 {
+        fn count(
+            m: &BddManager,
+            f: BddRef,
+            memo: &mut HashMap<BddRef, f64>,
+        ) -> f64 {
+            // Fraction of the full space that satisfies f.
+            match f {
+                BddRef::FALSE => return 0.0,
+                BddRef::TRUE => return 1.0,
+                _ => {}
+            }
+            if let Some(&c) = memo.get(&f) {
+                return c;
+            }
+            let n = m.nodes[f.0 as usize];
+            let c = 0.5 * count(m, n.lo, memo) + 0.5 * count(m, n.hi, memo);
+            memo.insert(f, c);
+            c
+        }
+        let mut memo = HashMap::new();
+        count(self, f, &mut memo) * (2f64).powi(self.num_vars as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_and_vars() {
+        let mut m = BddManager::new(2);
+        assert!(m.eval(BddRef::TRUE, &[false, false]));
+        assert!(!m.eval(BddRef::FALSE, &[true, true]));
+        let a = m.var(0);
+        assert!(m.eval(a, &[true, false]));
+        assert!(!m.eval(a, &[false, true]));
+    }
+
+    #[test]
+    fn hash_consing_canonicalizes() {
+        let mut m = BddManager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let ab = m.and(a, b);
+        let ba = m.and(b, a);
+        assert_eq!(ab, ba, "structural equality = functional equality");
+        let t1 = m.or(ab, a);
+        assert_eq!(t1, a, "absorption reduces to a");
+    }
+
+    #[test]
+    fn xor_and_not() {
+        let mut m = BddManager::new(2);
+        let a = m.var(0);
+        let b = m.var(1);
+        let x = m.xor(a, b);
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            assert_eq!(m.eval(x, &[va, vb]), va ^ vb);
+        }
+        let nx = m.not(x);
+        let back = m.not(nx);
+        assert_eq!(back, x, "negation is an involution");
+    }
+
+    #[test]
+    fn de_morgan() {
+        let mut m = BddManager::new(2);
+        let a = m.var(0);
+        let b = m.var(1);
+        let and = m.and(a, b);
+        let left = m.not(and);
+        let na = m.not(a);
+        let nb = m.not(b);
+        let right = m.or(na, nb);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn sat_count_small() {
+        let mut m = BddManager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.or(a, b); // 6 of 8 assignments
+        assert_eq!(m.sat_count(f), 6.0);
+        assert_eq!(m.sat_count(BddRef::TRUE), 8.0);
+        assert_eq!(m.sat_count(BddRef::FALSE), 0.0);
+    }
+
+    #[test]
+    fn size_counts_reachable_nodes() {
+        let mut m = BddManager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let ab = m.and(a, b);
+        let abc = m.and(ab, c);
+        // Conjunction chain: one node per variable.
+        assert_eq!(m.size(abc), 3);
+        assert_eq!(m.size(BddRef::TRUE), 0);
+        // `ab` and `abc` share no internal nodes (their b-nodes differ in
+        // the hi child), so the shared count is the plain sum.
+        assert_eq!(m.shared_size(&[abc, ab]), 3 + 2);
+    }
+
+    #[test]
+    fn parity_bdd_is_linear_in_vars() {
+        // XOR chains have 2n−1 nodes under any order — the classic BDD
+        // best case.
+        let n = 10;
+        let mut m = BddManager::new(n);
+        let mut acc = m.constant(false);
+        for i in 0..n {
+            let v = m.var(i);
+            acc = m.xor(acc, v);
+        }
+        assert_eq!(m.size(acc), 2 * n - 1);
+    }
+
+    #[test]
+    fn redundant_tests_removed() {
+        let mut m = BddManager::new(2);
+        let a = m.var(0);
+        let na = m.not(a);
+        let taut = m.or(a, na);
+        assert_eq!(taut, BddRef::TRUE);
+    }
+}

@@ -1,0 +1,49 @@
+//! Criterion bench: end-to-end ATPG campaigns (the Figure-1 engine) and
+//! miter construction.
+
+use atpg_easy_atpg::campaign::{run, AtpgConfig};
+use atpg_easy_atpg::{fault, miter};
+use atpg_easy_circuits::{adders, alu, suite};
+use atpg_easy_netlist::decompose;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_campaigns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("atpg_campaign");
+    group.sample_size(10);
+    let targets = [
+        ("c17", decompose::decompose(&suite::c17(), 3).expect("ok")),
+        ("rca8", decompose::decompose(&adders::ripple_carry(8), 3).expect("ok")),
+        ("alu4", decompose::decompose(&alu::alu(4), 3).expect("ok")),
+    ];
+    for (name, nl) in &targets {
+        group.bench_function(*name, |b| {
+            b.iter(|| black_box(run(nl, &AtpgConfig::default())))
+        });
+    }
+    // With random-pattern seeding (the production configuration).
+    group.bench_function("alu4_random_seeded", |b| {
+        let nl = &targets[2].1;
+        b.iter(|| {
+            black_box(run(
+                nl,
+                &AtpgConfig {
+                    random_patterns: 64,
+                    ..AtpgConfig::default()
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_miter_build(c: &mut Criterion) {
+    let nl = decompose::decompose(&alu::alu(8), 3).expect("ok");
+    let f = *fault::collapse(&nl).last().expect("faults exist");
+    c.bench_function("miter_build_alu8", |b| {
+        b.iter(|| black_box(miter::build(&nl, f)))
+    });
+}
+
+criterion_group!(benches, bench_campaigns, bench_miter_build);
+criterion_main!(benches);

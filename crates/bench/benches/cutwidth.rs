@@ -1,0 +1,98 @@
+//! Criterion bench: the cut-width machinery — FM bipartitioning,
+//! recursive MLA, exact subset-DP, and tree orderings (the engines behind
+//! Figure 8).
+
+use atpg_easy_circuits::{parity, random, trees};
+use atpg_easy_cutwidth::fm::{bipartition, FmConfig};
+use atpg_easy_cutwidth::mla::{estimate_cutwidth, MlaConfig};
+use atpg_easy_cutwidth::ordering::cutwidth;
+use atpg_easy_cutwidth::{exact, tree, Hypergraph};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn graphs() -> Vec<(String, Hypergraph)> {
+    let mut out = Vec::new();
+    for gates in [100usize, 400] {
+        let nl = random::generate(&random::RandomCircuitConfig {
+            gates,
+            inputs: 16,
+            ..Default::default()
+        })
+        .expect("valid config");
+        out.push((format!("rand{gates}"), Hypergraph::from_netlist(&nl)));
+    }
+    out.push((
+        "parity64".into(),
+        Hypergraph::from_netlist(&parity::parity_tree(64)),
+    ));
+    out
+}
+
+fn bench_fm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fm_bipartition");
+    for (name, h) in graphs() {
+        group.bench_function(&name, |b| {
+            b.iter(|| black_box(bipartition(&h, &FmConfig::default())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mla(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mla_estimate");
+    group.sample_size(20);
+    for (name, h) in graphs() {
+        group.bench_function(&name, |b| {
+            b.iter(|| black_box(estimate_cutwidth(&h, &MlaConfig::default())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_subset_dp");
+    for n in [10usize, 14, 18] {
+        let edges: Vec<Vec<usize>> = (0..n - 1).map(|i| vec![i, i + 1]).collect();
+        let h = Hypergraph::new(n, edges);
+        group.bench_function(format!("path{n}"), |b| {
+            b.iter(|| black_box(exact::min_cutwidth(&h)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tree_order(c: &mut Criterion) {
+    let nl = trees::random_tree(3, 2000, 5);
+    let h = Hypergraph::from_netlist(&nl);
+    c.bench_function("tree_order_2000", |b| {
+        b.iter(|| {
+            let order = tree::tree_order(&nl).expect("tree");
+            black_box(cutwidth(&h, &order))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fm,
+    bench_mla,
+    bench_exact,
+    bench_tree_order,
+    bench_multilevel_vs_flat
+);
+criterion_main!(benches);
+
+fn bench_multilevel_vs_flat(c: &mut Criterion) {
+    use atpg_easy_cutwidth::multilevel::bipartition_multilevel;
+    let nl = atpg_easy_circuits::cellular::cellular_1d(64);
+    let dec = atpg_easy_netlist::decompose::decompose(&nl, 3).expect("decomposes");
+    let h = Hypergraph::from_netlist(&dec);
+    let mut group = c.benchmark_group("partitioner_quality");
+    group.bench_function("flat_fm_chain", |b| {
+        b.iter(|| black_box(bipartition(&h, &FmConfig::default())))
+    });
+    group.bench_function("multilevel_chain", |b| {
+        b.iter(|| black_box(bipartition_multilevel(&h, &[], &[], &FmConfig::default())))
+    });
+    group.finish();
+}

@@ -1,0 +1,40 @@
+//! Criterion bench: 64-pattern-parallel fault simulation (the fault-
+//! dropping engine behind the campaign loop).
+
+use atpg_easy_atpg::fault::all_faults;
+use atpg_easy_atpg::faultsim::FaultSimulator;
+use atpg_easy_circuits::{alu, multiplier};
+use atpg_easy_netlist::{decompose, sim::Simulator};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_faultsim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_simulation");
+    for (name, raw) in [
+        ("alu8", alu::alu(8)),
+        ("mul4", multiplier::array_multiplier(4)),
+    ] {
+        let nl = decompose::decompose(&raw, 3).expect("decomposes");
+        let fs = FaultSimulator::new(&nl);
+        let faults = all_faults(&nl);
+        let vectors: Vec<Vec<bool>> = (0..64u64)
+            .map(|p| (0..nl.num_inputs()).map(|i| (p >> (i % 64)) & 1 != 0).collect())
+            .collect();
+        group.bench_function(format!("{name}_64pat_{}faults", faults.len()), |b| {
+            b.iter(|| black_box(fs.detect_batch(&nl, &vectors, &faults)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_good_sim(c: &mut Criterion) {
+    let nl = decompose::decompose(&multiplier::array_multiplier(8), 3).expect("decomposes");
+    let s = Simulator::new(&nl);
+    let words: Vec<u64> = (0..nl.num_inputs() as u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+    c.bench_function("good_sim_mul8_64pat", |b| {
+        b.iter(|| black_box(s.run(&nl, &words)))
+    });
+}
+
+criterion_group!(benches, bench_faultsim, bench_good_sim);
+criterion_main!(benches);

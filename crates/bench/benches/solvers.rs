@@ -1,0 +1,53 @@
+//! Criterion bench: the four solvers on the same ATPG-SAT instances
+//! (the S4.1 ablation, timed).
+
+use atpg_easy_atpg::{fault, miter};
+use atpg_easy_circuits::suite;
+use atpg_easy_cnf::{circuit, CnfFormula};
+use atpg_easy_netlist::decompose;
+use atpg_easy_sat::{CachingBacktracking, Cdcl, Dpll, SimpleBacktracking, Solver};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn atpg_instance() -> CnfFormula {
+    let nl = decompose::decompose(&suite::c17(), 3).expect("decomposes");
+    let f = fault::collapse(&nl)[3];
+    let m = miter::build(&nl, f);
+    circuit::encode(&m.circuit).expect("encodes").formula
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let formula = atpg_instance();
+    let mut group = c.benchmark_group("solvers_c17_fault");
+    group.bench_function("simple", |b| {
+        b.iter(|| black_box(SimpleBacktracking::new().solve(&formula)))
+    });
+    group.bench_function("caching", |b| {
+        b.iter(|| black_box(CachingBacktracking::new().solve(&formula)))
+    });
+    group.bench_function("dpll", |b| {
+        b.iter(|| black_box(Dpll::new().solve(&formula)))
+    });
+    group.bench_function("cdcl", |b| {
+        b.iter(|| black_box(Cdcl::new().solve(&formula)))
+    });
+    group.finish();
+}
+
+fn bench_cdcl_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cdcl_adder_scaling");
+    for n in [4usize, 8, 16] {
+        let nl = decompose::decompose(&atpg_easy_circuits::adders::ripple_carry(n), 3)
+            .expect("decomposes");
+        let f = *fault::collapse(&nl).last().expect("faults exist");
+        let m = miter::build(&nl, f);
+        let formula = circuit::encode(&m.circuit).expect("encodes").formula;
+        group.bench_function(format!("rca{n}"), |b| {
+            b.iter(|| black_box(Cdcl::new().solve(&formula)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers, bench_cdcl_scaling);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! **Section 6** experiment: BDD sizes versus the Berman/McMillan width
+//! bound, contrasted with the cut-width bound on caching backtracking.
+//!
+//! ```text
+//! cargo run -p atpg-easy-bench --release --bin bdd_bounds
+//! ```
+//!
+//! For each circuit the harness reports, under a topological arrangement:
+//! the forward/reverse wire widths and McMillan's `log₂(n·2^(w_f·2^w_r))`,
+//! the measured (shared) BDD size of all outputs, the undirected
+//! cut-width, and Theorem 4.1's `log₂(n·2^(2·k_fo·W))`. The paper's two
+//! observations show up directly: the BDD bound is doubly exponential in
+//! the reverse width (here 0, because the arrangement is topological, so
+//! it collapses to Berman's single exponential), and the two bounds
+//! measure different things — multipliers blow both up, parity trees
+//! neither.
+
+use atpg_easy_bdd::{build_outputs, BddManager, BuildError};
+use atpg_easy_circuits::{adders, multiplier, parity, suite};
+use atpg_easy_core::bounds;
+use atpg_easy_cutwidth::mla::{self, MlaConfig};
+use atpg_easy_cutwidth::{directed, Hypergraph};
+use atpg_easy_netlist::{decompose, Netlist};
+
+fn row(name: &str, raw: &Netlist) {
+    let nl = decompose::decompose(raw, 3).expect("decomposes");
+    let order = directed::topological_order(&nl);
+    let dw = directed::directed_widths(&nl, &order);
+    let h = Hypergraph::from_netlist(&nl);
+    let (w, _) = mla::estimate_cutwidth(&h, &MlaConfig::default());
+    let n = nl.num_nets();
+    let mcmillan = dw.mcmillan_log2_bound(n);
+    let thm41 = bounds::theorem41_log2_bound(n, nl.max_fanout(), w);
+    let mut m = BddManager::new(nl.num_inputs());
+    let bdd = match build_outputs(&mut m, &nl, 2_000_000) {
+        Ok(outs) => format!("{}", m.shared_size(&outs)),
+        Err(BuildError::NodeBudgetExceeded { .. }) => ">2e6".to_string(),
+    };
+    println!(
+        "{name:<10} n={n:<5} w_f={:<4} w_r={:<3} log2(BDD bound)={:<8.1} BDD size={bdd:<8} W={w:<4} log2(Thm4.1)={thm41:<7.1}",
+        dw.forward, dw.reverse, mcmillan
+    );
+}
+
+fn main() {
+    println!("== Section 6: BDD width bounds vs cut-width bound (topological arrangement) ==");
+    row("c17", &suite::c17());
+    row("par32", &parity::parity_tree(32));
+    row("rca8", &adders::ripple_carry(8));
+    row("rca16", &adders::ripple_carry(16));
+    row("cla6", &adders::carry_lookahead(6));
+    row("alu8", &atpg_easy_circuits::alu::alu(8));
+    row("mul4", &multiplier::array_multiplier(4));
+    row("mul6", &multiplier::array_multiplier(6));
+    row("mul8", &multiplier::array_multiplier(8));
+    println!(
+        "\nNotes: topological arrangements have w_r = 0, so McMillan's bound \
+         collapses to Berman's n·2^w_f. The columns illustrate the paper's \
+         Section-6 point that the two results characterize different \
+         entities: rca16 keeps cut-width 6 (ATPG stays easy) while its BDD \
+         explodes under the same a-bits-then-b-bits arrangement (the \
+         classic non-interleaved adder blow-up), and the parity tree is \
+         easy for both."
+    );
+}

@@ -1,0 +1,84 @@
+//! Solver ablation (**S4.1** in DESIGN.md): simple vs caching
+//! backtracking (the mechanism of the paper's Figure 5) vs DPLL vs CDCL,
+//! on the same ATPG-SAT instances with the same static ordering.
+//!
+//! ```text
+//! cargo run -p atpg-easy-bench --release --bin caching_ablation -- [--cap N]
+//! ```
+
+use atpg_easy_atpg::{fault, miter};
+use atpg_easy_bench::{flag, parse_args};
+use atpg_easy_circuits::suite;
+use atpg_easy_cnf::circuit;
+use atpg_easy_core::varorder;
+use atpg_easy_cutwidth::mla::{self, MlaConfig};
+use atpg_easy_cutwidth::Hypergraph;
+use atpg_easy_netlist::decompose;
+use atpg_easy_sat::{CachingBacktracking, Cdcl, Dpll, Limits, SimpleBacktracking, Solver};
+
+fn main() {
+    let (_, flags) = parse_args(std::env::args().skip(1));
+    let cap: usize = flag(&flags, "cap").unwrap_or(20);
+    let budget = Limits::nodes(2_000_000);
+
+    println!("== Caching ablation: backtracking nodes per ATPG-SAT instance ==");
+    println!(
+        "{:<24} {:>6} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "instance", "vars", "simple", "caching", "hits", "dpll", "cdcl"
+    );
+    let mut totals = [0u64; 4];
+    for c in [
+        suite::c17(),
+        atpg_easy_circuits::adders::ripple_carry(3),
+        atpg_easy_circuits::mux::mux_tree(2),
+        atpg_easy_circuits::parity::parity_tree(6),
+    ] {
+        let nl = decompose::decompose(&c, 3).expect("decomposes");
+        let faults: Vec<_> = fault::collapse(&nl).into_iter().take(cap).collect();
+        for f in faults {
+            let m = miter::build(&nl, f);
+            if m.unobservable {
+                continue;
+            }
+            let enc = circuit::encode(&m.circuit).expect("encodes");
+            // The same MLA-derived static order for both backtrackers.
+            let h = Hypergraph::from_netlist(&m.circuit);
+            let (_, node_order) = mla::estimate_cutwidth(&h, &MlaConfig::default());
+            let var_order = varorder::variable_order(&m.circuit, &node_order);
+            let simple = SimpleBacktracking::new()
+                .with_order(var_order.clone())
+                .with_limits(budget)
+                .solve(&enc.formula);
+            let cached = CachingBacktracking::new()
+                .with_order(var_order)
+                .with_limits(budget)
+                .solve(&enc.formula);
+            let dpll = Dpll::new().with_limits(budget).solve(&enc.formula);
+            let cdcl = Cdcl::new().solve(&enc.formula);
+            assert_eq!(simple.outcome.is_sat(), cached.outcome.is_sat());
+            assert_eq!(cached.outcome.is_sat(), cdcl.outcome.is_sat());
+            println!(
+                "{:<24} {:>6} {:>12} {:>12} {:>10} {:>10} {:>10}",
+                format!("{}:{}", nl.name(), f.describe(&nl)),
+                enc.formula.num_vars(),
+                simple.stats.nodes,
+                cached.stats.nodes,
+                cached.stats.cache_hits,
+                dpll.stats.nodes,
+                cdcl.stats.decisions
+            );
+            totals[0] += simple.stats.nodes;
+            totals[1] += cached.stats.nodes;
+            totals[2] += dpll.stats.nodes;
+            totals[3] += cdcl.stats.decisions;
+        }
+    }
+    println!(
+        "TOTALS: simple={} caching={} dpll={} cdcl={}",
+        totals[0], totals[1], totals[2], totals[3]
+    );
+    println!(
+        "caching/simple node ratio: {:.3}",
+        totals[1] as f64 / totals[0].max(1) as f64
+    );
+}

@@ -1,0 +1,65 @@
+//! Regenerates **Figure 1**: per-ATPG-SAT-instance solve time versus
+//! instance size for a TEGUS-style campaign over a benchmark suite.
+//!
+//! ```text
+//! cargo run -p atpg-easy-bench --release --bin fig1 -- all [--cap N] [--threshold-ms T]
+//! ```
+//!
+//! Prints the per-circuit table, the headline summary (the paper: >90% of
+//! ~11,000 instances under 10 ms; tail ≈ cubic), an ASCII rendering of the
+//! scatter, and least-squares fits of time-vs-size over the slow tail.
+
+use std::time::Duration;
+
+use atpg_easy_bench::{flag, parse_args, resolve_suite};
+use atpg_easy_core::experiment::{figure1, Figure1Config};
+use atpg_easy_core::report;
+use atpg_easy_fit::fit_all;
+
+fn main() {
+    let (pos, flags) = parse_args(std::env::args().skip(1));
+    let suite_name = pos.first().map(String::as_str).unwrap_or("all");
+    let Some(circuits) = resolve_suite(suite_name) else {
+        eprintln!("usage: fig1 [mcnc|iscas|all] [--cap N] [--threshold-ms T] [--csv FILE]");
+        std::process::exit(2);
+    };
+    let cap: Option<usize> = flag(&flags, "cap");
+    let threshold = Duration::from_millis(flag(&flags, "threshold-ms").unwrap_or(10));
+    let csv_path: Option<String> = flag(&flags, "csv");
+
+    println!("== Figure 1: ATPG-SAT instance effort ({suite_name}) ==");
+    let points = figure1(
+        &circuits,
+        &Figure1Config {
+            max_faults_per_circuit: cap,
+            ..Figure1Config::default()
+        },
+    );
+    print!("{}", report::figure1_table(&points, threshold));
+    if let Some(path) = csv_path {
+        std::fs::write(&path, report::figure1_csv(&points)).expect("csv path writable");
+        println!("(scatter written to {path})");
+    }
+
+    // Scatter: time (µs) vs variables, log-x — the paper's axes.
+    let scatter: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.vars as f64, p.time.as_secs_f64() * 1e6))
+        .collect();
+    println!("\nsolve time (µs) vs instance size (vars):");
+    print!("{}", report::ascii_scatter(&scatter, 72, 16));
+
+    // Tail analysis: fit decisions-vs-vars over instances that needed real
+    // search (machine-independent counterpart of the paper's cubic tail).
+    let tail: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|p| p.decisions > 0)
+        .map(|p| (p.vars as f64, (p.decisions + p.propagations) as f64))
+        .collect();
+    if tail.len() >= 3 {
+        println!("\nfits of solver work (decisions+propagations) vs size over the searching tail:");
+        for f in fit_all(&tail) {
+            println!("  {f}");
+        }
+    }
+}

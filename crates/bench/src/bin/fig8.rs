@@ -1,0 +1,56 @@
+//! Regenerates **Figure 8(a)/(b)**: estimated cut-width of `C_ψ^sub`
+//! versus subcircuit size for every fault of a suite, with the paper's
+//! linear/log/power model selection.
+//!
+//! ```text
+//! cargo run -p atpg-easy-bench --release --bin fig8 -- mcnc  [--cap N]
+//! cargo run -p atpg-easy-bench --release --bin fig8 -- iscas [--cap N]
+//! cargo run -p atpg-easy-bench --release --bin fig8 -- mult           # C6288 contrast
+//! ```
+//!
+//! The expected shape (paper Section 5.2.2): the logarithmic curve gives
+//! the best least-squares fit for the benchmark suites; the multiplier
+//! (`mult`) instead fits a power law with exponent ≈ 0.5.
+
+use atpg_easy_bench::{flag, parse_args, resolve_suite};
+use atpg_easy_core::experiment::{fig8_scatter, figure8, Figure8Config};
+use atpg_easy_core::report;
+
+fn main() {
+    let (pos, flags) = parse_args(std::env::args().skip(1));
+    let suite_name = pos.first().map(String::as_str).unwrap_or("mcnc");
+    let Some(circuits) = resolve_suite(suite_name) else {
+        eprintln!("usage: fig8 [mcnc|iscas|all|mult] [--cap N] [--csv FILE]");
+        std::process::exit(2);
+    };
+    let cap: Option<usize> = flag(&flags, "cap");
+    let csv_path: Option<String> = flag(&flags, "csv");
+
+    println!("== Figure 8: cut-width of C_psi^sub vs size ({suite_name}) ==");
+    let points = figure8(
+        &circuits,
+        &Figure8Config {
+            max_faults_per_circuit: cap,
+            ..Figure8Config::default()
+        },
+    );
+    print!("{}", report::figure8_fits(&points));
+    if let Some(path) = csv_path {
+        std::fs::write(&path, report::figure8_csv(&points)).expect("csv path writable");
+        println!("(scatter written to {path})");
+    }
+    println!("\ncut-width vs |C_psi^sub| (log-x):");
+    print!("{}", report::ascii_scatter(&fig8_scatter(&points), 72, 16));
+
+    // Per-circuit maxima, for the appendix-style table.
+    let mut per: std::collections::BTreeMap<&str, (usize, usize)> = Default::default();
+    for p in &points {
+        let e = per.entry(&p.circuit).or_insert((0, 0));
+        e.0 = e.0.max(p.sub_size);
+        e.1 = e.1.max(p.cutwidth);
+    }
+    println!("\n{:<12} {:>12} {:>12}", "circuit", "max |sub|", "max width");
+    for (name, (size, width)) in per {
+        println!("{name:<12} {size:>12} {width:>12}");
+    }
+}

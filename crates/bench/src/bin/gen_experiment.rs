@@ -1,0 +1,41 @@
+//! Regenerates the **Section 5.2.3** study: the Figure-8 cut-width
+//! scatter on circ/gen-style parameterized random circuits, sweeping
+//! sizes well beyond the benchmark suites.
+//!
+//! ```text
+//! cargo run -p atpg-easy-bench --release --bin gen_experiment -- \
+//!     [--max-size N] [--faults F] [--locality PCT]
+//! ```
+//!
+//! Expected shape: "the same logarithmic increase in cutwidth versus
+//! circuit size was seen for the generated circuits as was observed for
+//! the actual benchmark circuits."
+
+use atpg_easy_bench::{flag, parse_args};
+use atpg_easy_core::experiment::{fig8_scatter, generated_study, GeneratedConfig};
+use atpg_easy_core::report;
+
+fn main() {
+    let (_, flags) = parse_args(std::env::args().skip(1));
+    let max_size: usize = flag(&flags, "max-size").unwrap_or(3200);
+    let faults: usize = flag(&flags, "faults").unwrap_or(40);
+    let locality: f64 = flag::<f64>(&flags, "locality").unwrap_or(90.0) / 100.0;
+
+    let mut sizes = vec![100usize];
+    while *sizes.last().expect("non-empty") * 2 <= max_size {
+        let next = sizes.last().expect("non-empty") * 2;
+        sizes.push(next);
+    }
+    println!(
+        "== Generated-circuit study: sizes {sizes:?}, {faults} faults/circuit, locality {locality} =="
+    );
+    let points = generated_study(&GeneratedConfig {
+        sizes,
+        faults_per_circuit: faults,
+        locality,
+        ..GeneratedConfig::default()
+    });
+    print!("{}", report::figure8_fits(&points));
+    println!("\ncut-width vs |C_psi^sub| (log-x):");
+    print!("{}", report::ascii_scatter(&fig8_scatter(&points), 72, 16));
+}

@@ -1,0 +1,63 @@
+//! **Theorem 5.1 / Lemma 5.2** study: k-bounded circuits and k-ary trees
+//! are log-bounded-width, demonstrated constructively.
+//!
+//! ```text
+//! cargo run -p atpg-easy-bench --release --bin kbounded_study
+//! ```
+//!
+//! For trees the smallest-subtree-first ordering is compared against the
+//! `(k−1)·log₂(n)` bound; for k-bounded circuits the block-forest
+//! certificate ordering is measured across a size sweep and fitted.
+
+use atpg_easy_circuits::kbounded::{self, KBoundedConfig};
+use atpg_easy_circuits::trees;
+use atpg_easy_core::predictor;
+use atpg_easy_cutwidth::ordering::cutwidth;
+use atpg_easy_cutwidth::{tree, Hypergraph};
+
+fn main() {
+    println!("== Lemma 5.2: k-ary trees, smallest-subtree-first ordering ==");
+    println!(
+        "{:<4} {:>8} {:>8} {:>14}",
+        "k", "nodes", "width", "(k-1)log2(n)+k"
+    );
+    for k in 2..=4 {
+        for gates in [15, 63, 255, 1023, 4095] {
+            let nl = trees::random_tree(k, gates, 42);
+            let h = Hypergraph::from_netlist(&nl);
+            let order = tree::tree_order(&nl).expect("generator emits trees");
+            let w = cutwidth(&h, &order);
+            let bound = tree::lemma52_bound(k, h.num_nodes());
+            assert!((w as f64) <= bound, "Lemma 5.2 violated: {w} > {bound}");
+            println!("{k:<4} {:>8} {w:>8} {bound:>14.1}", h.num_nodes());
+        }
+    }
+
+    println!("\n== Theorem 5.1: k-bounded circuits, certificate ordering ==");
+    let mut scatter = Vec::new();
+    println!("{:<8} {:>8} {:>8}", "blocks", "nodes", "width");
+    for blocks in [20, 60, 180, 540, 1620, 4860, 14580] {
+        for seed in 0..6 {
+            let kb = kbounded::generate(&KBoundedConfig {
+                blocks,
+                k: 3,
+                seed,
+            });
+            let h = Hypergraph::from_netlist(&kb.netlist);
+            let w = cutwidth(&h, &kb.certificate_order());
+            scatter.push((h.num_nodes() as f64, w as f64));
+            if seed == 0 {
+                println!("{blocks:<8} {:>8} {w:>8}", h.num_nodes());
+            }
+        }
+    }
+    let c = predictor::classify(&scatter).expect("enough data");
+    for f in &c.fits {
+        let marker = if f.model == c.best.model { " <== best" } else { "" };
+        println!("  {f}{marker}");
+    }
+    println!(
+        "k-bounded family classified log-bounded-width: {}",
+        c.is_log_bounded()
+    );
+}

@@ -1,0 +1,61 @@
+//! Mechanized check of **Lemma 4.2 / Figure 7**: for every fault ψ there
+//! is an ordering of `C_ψ^ATPG` with `W ≤ 2·W(C, h) + 2`.
+//!
+//! ```text
+//! cargo run -p atpg-easy-bench --release --bin lemma42 -- [mcnc|iscas] [--cap N]
+//! ```
+
+use atpg_easy_atpg::fault;
+use atpg_easy_bench::{flag, parse_args, resolve_suite};
+use atpg_easy_core::lemma42;
+use atpg_easy_cutwidth::mla::{self, MlaConfig};
+use atpg_easy_cutwidth::Hypergraph;
+use atpg_easy_netlist::decompose;
+
+fn main() {
+    let (pos, flags) = parse_args(std::env::args().skip(1));
+    let suite_name = pos.first().map(String::as_str).unwrap_or("mcnc");
+    let Some(circuits) = resolve_suite(suite_name) else {
+        eprintln!("usage: lemma42 [mcnc|iscas|all] [--cap N]");
+        std::process::exit(2);
+    };
+    let cap: usize = flag(&flags, "cap").unwrap_or(60);
+
+    println!("== Lemma 4.2: W(C_psi^ATPG, h_psi) <= 2*W(C,h) + 2 ({suite_name}) ==");
+    let mut checked = 0usize;
+    let mut tightest = 0.0f64;
+    for c in &circuits {
+        let nl = decompose::decompose(&c.netlist, 3).expect("decomposes");
+        let h = Hypergraph::from_netlist(&nl);
+        let (w, order) = mla::estimate_cutwidth(&h, &MlaConfig::default());
+        let mut faults = fault::all_faults(&nl);
+        if faults.len() > cap {
+            let stride = faults.len().div_ceil(cap);
+            faults = faults.into_iter().step_by(stride).collect();
+        }
+        let mut max_miter = 0usize;
+        for f in faults {
+            if let Some(chk) = lemma42::check(&nl, f, &order) {
+                assert!(
+                    chk.holds(),
+                    "violated on {} / {}: {} > {}",
+                    c.name,
+                    f.describe(&nl),
+                    chk.w_miter,
+                    chk.bound
+                );
+                checked += 1;
+                max_miter = max_miter.max(chk.w_miter);
+                tightest = tightest.max(chk.w_miter as f64 / chk.bound as f64);
+            }
+        }
+        println!(
+            "{:<12} W(C,h)={:<4} max W(miter,h_psi)={:<4} bound={}",
+            c.name,
+            w,
+            max_miter,
+            2 * w + 2
+        );
+    }
+    println!("checked {checked} faults; tightest ratio W_miter/bound = {tightest:.2}; all hold");
+}

@@ -1,0 +1,75 @@
+//! Ordering ablation: how much the variable order `h` matters to
+//! Algorithm 1 — the quantitative version of the paper's Figure-6
+//! contrast between orderings A and B.
+//!
+//! ```text
+//! cargo run -p atpg-easy-bench --release --bin ordering_ablation
+//! ```
+//!
+//! For each circuit, CIRCUIT-SAT is solved by caching backtracking under
+//! three variable orders: the MLA (min-cut) ordering, a topological
+//! ordering, and a deterministic shuffled ordering. The cut-width under
+//! each ordering is reported next to the node count — the bound's
+//! sensitivity to `h` in action.
+
+use atpg_easy_circuits::{adders, cellular, parity, suite, trees};
+use atpg_easy_cnf::circuit;
+use atpg_easy_core::varorder;
+use atpg_easy_cutwidth::mla::{self, MlaConfig};
+use atpg_easy_cutwidth::{directed, ordering, Hypergraph};
+use atpg_easy_netlist::{decompose, Netlist};
+use atpg_easy_sat::{CachingBacktracking, Limits, Solver};
+
+fn shuffled(n: usize, seed: u64) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut state = seed | 1;
+    for i in (1..n).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        perm.swap(i, (state as usize) % (i + 1));
+    }
+    perm
+}
+
+fn run(name: &str, raw: &Netlist) {
+    let nl = decompose::decompose(raw, 3).expect("decomposes");
+    let h = Hypergraph::from_netlist(&nl);
+    let enc = circuit::encode(&nl).expect("encodes");
+    let budget = Limits::nodes(50_000_000);
+    let orders = [
+        ("mla", mla::estimate_cutwidth(&h, &MlaConfig::default()).1),
+        ("topo", directed::topological_order(&nl)),
+        ("random", shuffled(h.num_nodes(), 0xABCD)),
+    ];
+    print!("{name:<10}");
+    for (label, node_order) in orders {
+        let w = ordering::cutwidth(&h, &node_order);
+        let vars = varorder::variable_order(&nl, &node_order);
+        let sol = CachingBacktracking::new()
+            .with_order(vars)
+            .with_limits(budget)
+            .solve(&enc.formula);
+        let nodes = if sol.outcome == atpg_easy_sat::Outcome::Aborted {
+            ">5e7".to_string()
+        } else {
+            sol.stats.nodes.to_string()
+        };
+        print!("  {label}: W={w:<3} nodes={nodes:<9}");
+    }
+    println!();
+}
+
+fn main() {
+    println!("== Ordering ablation: Algorithm 1 under MLA / topological / random orders ==");
+    run("par16", &parity::parity_tree(16));
+    run("tree3", &trees::random_tree(3, 40, 7));
+    run("rca6", &adders::ripple_carry(6));
+    run("cell1d24", &cellular::cellular_1d(24));
+    run("c17", &suite::c17());
+    println!(
+        "\nThe random order inflates the cut-width and with it the explored \
+         tree; the MLA order realizes the small width Theorem 4.1 needs \
+         (paper Figure 6: ordering A vs ordering B)."
+    );
+}

@@ -1,0 +1,61 @@
+//! Mechanized check of **Theorem 4.1**: the node count of caching-based
+//! backtracking on CIRCUIT-SAT is at most `n · 2^(2·k_fo·W(C,h))`.
+//!
+//! ```text
+//! cargo run -p atpg-easy-bench --release --bin theorem41
+//! ```
+//!
+//! For a set of circuits the harness computes an MLA node ordering, the
+//! induced variable order, the cut-width under that ordering, runs
+//! Algorithm 1, and reports measured nodes against the bound (as log₂).
+
+use atpg_easy_circuits::{adders, parity, trees};
+use atpg_easy_cnf::circuit;
+use atpg_easy_core::{bounds, varorder};
+use atpg_easy_cutwidth::mla::{self, MlaConfig};
+use atpg_easy_cutwidth::Hypergraph;
+use atpg_easy_netlist::{decompose, Netlist};
+use atpg_easy_sat::{CachingBacktracking, Solver};
+
+fn check(name: &str, raw: &Netlist) {
+    let nl = decompose::decompose(raw, 3).expect("decomposes");
+    let h = Hypergraph::from_netlist(&nl);
+    let (w, node_order) = mla::estimate_cutwidth(&h, &MlaConfig::default());
+    let var_order = varorder::variable_order(&nl, &node_order);
+    let enc = circuit::encode(&nl).expect("encodes");
+    let sol = CachingBacktracking::new()
+        .with_order(var_order)
+        .solve(&enc.formula);
+    let n = enc.formula.num_vars();
+    let k_fo = nl.max_fanout();
+    let bound_log2 = bounds::theorem41_log2_bound(n, k_fo, w);
+    let nodes = sol.stats.nodes.max(1);
+    let ok = (nodes as f64).log2() <= bound_log2;
+    println!(
+        "{name:<12} n={n:<5} k_fo={k_fo:<2} W={w:<3} nodes={nodes:<8} log2(nodes)={:<6.1} bound(log2)={:<7.1} {}",
+        (nodes as f64).log2(),
+        bound_log2,
+        if ok { "OK" } else { "VIOLATED" }
+    );
+    assert!(ok, "Theorem 4.1 violated on {name}");
+}
+
+fn main() {
+    println!("== Theorem 4.1: caching backtracking nodes <= n * 2^(2*k_fo*W) ==");
+    check("tree2x6", &trees::random_tree(2, 63, 1));
+    check("tree3x4", &trees::random_tree(3, 40, 2));
+    check("parity16", &parity::parity_tree(16));
+    check("rca4", &adders::ripple_carry(4));
+    check("rca6", &adders::ripple_carry(6));
+    check("c17", &atpg_easy_circuits::suite::c17());
+    check(
+        "rand60",
+        &atpg_easy_circuits::random::generate(&atpg_easy_circuits::random::RandomCircuitConfig {
+            gates: 60,
+            inputs: 10,
+            ..Default::default()
+        })
+        .expect("valid config"),
+    );
+    println!("all bounds hold");
+}

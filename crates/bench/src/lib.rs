@@ -1,0 +1,76 @@
+//! Shared harness utilities for the experiment binaries that regenerate
+//! the paper's figures (see DESIGN.md's experiment index).
+//!
+//! Each binary accepts a suite argument (`mcnc`, `iscas`, `all`) and
+//! simple `--key value` flags; run with `--help` for usage. Results are
+//! printed as plain-text tables — the same rows/series the paper plots.
+
+use atpg_easy_circuits::suite::{self, NamedCircuit};
+
+/// Resolves a suite name to its circuits.
+///
+/// Accepted names: `mcnc`, `iscas`, `all` (both), `mult` (the C6288-like
+/// multiplier the paper omitted).
+pub fn resolve_suite(name: &str) -> Option<Vec<NamedCircuit>> {
+    match name {
+        "mcnc" => Some(suite::mcnc_like()),
+        "iscas" => Some(suite::iscas_like()),
+        "all" => {
+            let mut v = suite::mcnc_like();
+            v.extend(suite::iscas_like());
+            Some(v)
+        }
+        "mult" => Some(vec![suite::c6288_like()]),
+        _ => None,
+    }
+}
+
+/// Minimal `--key value` flag parser over `std::env::args`-style input.
+/// Returns `(positional, flags)`.
+pub fn parse_args(args: impl Iterator<Item = String>) -> (Vec<String>, Vec<(String, String)>) {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = args.peekable();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            let value = it.next().unwrap_or_default();
+            flags.push((key.to_string(), value));
+        } else {
+            positional.push(a);
+        }
+    }
+    (positional, flags)
+}
+
+/// Looks up a flag value and parses it.
+pub fn flag<T: std::str::FromStr>(flags: &[(String, String)], key: &str) -> Option<T> {
+    flags
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| v.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_resolve() {
+        assert!(resolve_suite("mcnc").is_some());
+        assert!(resolve_suite("iscas").is_some());
+        assert!(resolve_suite("all").unwrap().len() > resolve_suite("mcnc").unwrap().len());
+        assert!(resolve_suite("nope").is_none());
+    }
+
+    #[test]
+    fn args_parse() {
+        let (pos, flags) = parse_args(
+            ["iscas", "--cap", "50", "--fast"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(pos, vec!["iscas"]);
+        assert_eq!(flag::<usize>(&flags, "cap"), Some(50));
+        assert_eq!(flag::<usize>(&flags, "missing"), None);
+    }
+}

@@ -1,0 +1,169 @@
+//! Ripple-carry and carry-lookahead adders.
+//!
+//! The ripple-carry adder is Fujiwara's canonical k-bounded circuit
+//! (paper Section 3.2): each full-adder cell is a block with 3 inputs and
+//! the blocks form a chain. The carry-lookahead adder, by contrast, has
+//! global reconvergence through the lookahead logic.
+
+use atpg_easy_netlist::{GateKind, NetId, Netlist};
+
+fn full_adder(nl: &mut Netlist, a: NetId, b: NetId, cin: NetId, tag: &str) -> (NetId, NetId) {
+    let axb = nl
+        .add_gate_named(GateKind::Xor, vec![a, b], format!("axb{tag}"))
+        .expect("unique tag");
+    let sum = nl
+        .add_gate_named(GateKind::Xor, vec![axb, cin], format!("sum{tag}"))
+        .expect("unique tag");
+    let ab = nl
+        .add_gate_named(GateKind::And, vec![a, b], format!("ab{tag}"))
+        .expect("unique tag");
+    let cx = nl
+        .add_gate_named(GateKind::And, vec![axb, cin], format!("cx{tag}"))
+        .expect("unique tag");
+    let cout = nl
+        .add_gate_named(GateKind::Or, vec![ab, cx], format!("cout{tag}"))
+        .expect("unique tag");
+    (sum, cout)
+}
+
+/// An `n`-bit ripple-carry adder: inputs `a0..`, `b0..`, `cin`; outputs
+/// `s0..` and `cout`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ripple_carry(n: usize) -> Netlist {
+    assert!(n > 0, "adder width must be positive");
+    let mut nl = Netlist::new(format!("rca{n}"));
+    let a: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("a{i}"))).collect();
+    let b: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("b{i}"))).collect();
+    let mut carry = nl.add_input("cin");
+    for i in 0..n {
+        let (sum, cout) = full_adder(&mut nl, a[i], b[i], carry, &format!("_{i}"));
+        nl.add_output(sum);
+        carry = cout;
+    }
+    nl.add_output(carry);
+    nl
+}
+
+/// An `n`-bit carry-lookahead adder (single-level lookahead): carries are
+/// computed as `c_{i+1} = g_i ∨ (p_i ∧ c_i)` fully expanded, giving the
+/// deep reconvergence the ripple version lacks.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn carry_lookahead(n: usize) -> Netlist {
+    assert!(n > 0, "adder width must be positive");
+    let mut nl = Netlist::new(format!("cla{n}"));
+    let a: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("a{i}"))).collect();
+    let b: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("b{i}"))).collect();
+    let cin = nl.add_input("cin");
+    let mut g = Vec::with_capacity(n);
+    let mut p = Vec::with_capacity(n);
+    for i in 0..n {
+        g.push(
+            nl.add_gate_named(GateKind::And, vec![a[i], b[i]], format!("g{i}"))
+                .expect("unique"),
+        );
+        p.push(
+            nl.add_gate_named(GateKind::Xor, vec![a[i], b[i]], format!("p{i}"))
+                .expect("unique"),
+        );
+    }
+    // c_{i+1} = g_i + p_i g_{i-1} + p_i p_{i-1} g_{i-2} + … + p_i…p_0 cin
+    let mut carries = vec![cin];
+    for i in 0..n {
+        let mut terms: Vec<NetId> = vec![g[i]];
+        for j in (0..i).rev() {
+            // p_i p_{i-1} … p_{j+1} g_j
+            let mut ands = vec![g[j]];
+            ands.extend((j + 1..=i).map(|t| p[t]));
+            terms.push(
+                nl.add_gate_named(GateKind::And, ands, format!("t{i}_{j}"))
+                    .expect("unique"),
+            );
+        }
+        let mut ands = vec![cin];
+        ands.extend((0..=i).map(|t| p[t]));
+        terms.push(
+            nl.add_gate_named(GateKind::And, ands, format!("t{i}_cin"))
+                .expect("unique"),
+        );
+        carries.push(
+            nl.add_gate_named(GateKind::Or, terms, format!("c{}", i + 1))
+                .expect("unique"),
+        );
+    }
+    for i in 0..n {
+        let s = nl
+            .add_gate_named(GateKind::Xor, vec![p[i], carries[i]], format!("s{i}"))
+            .expect("unique");
+        nl.add_output(s);
+    }
+    nl.add_output(carries[n]);
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atpg_easy_netlist::sim;
+
+    fn check_adder(nl: &Netlist, n: usize) {
+        assert!(nl.validate().is_ok());
+        let max = 1u64 << n;
+        let trials: Vec<(u64, u64, bool)> = if n <= 3 {
+            (0..max)
+                .flat_map(|a| (0..max).flat_map(move |b| [(a, b, false), (a, b, true)]))
+                .collect()
+        } else {
+            (0..64u64)
+                .map(|s| ((s * 37) % max, (s * 53 + 11) % max, s % 2 == 0))
+                .collect()
+        };
+        for (a, b, cin) in trials {
+            let mut inputs = Vec::new();
+            inputs.extend((0..n).map(|i| a >> i & 1 != 0));
+            inputs.extend((0..n).map(|i| b >> i & 1 != 0));
+            inputs.push(cin);
+            let outs = sim::eval_outputs(nl, &inputs);
+            let expect = a + b + u64::from(cin);
+            let got = outs
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (i, &bit)| acc | (u64::from(bit) << i));
+            assert_eq!(got, expect & ((max << 1) - 1), "{a}+{b}+{}", u8::from(cin));
+        }
+    }
+
+    #[test]
+    fn ripple_carry_adds() {
+        for n in [1, 2, 3, 8] {
+            check_adder(&ripple_carry(n), n);
+        }
+    }
+
+    #[test]
+    fn carry_lookahead_adds() {
+        for n in [1, 2, 3, 6] {
+            check_adder(&carry_lookahead(n), n);
+        }
+    }
+
+    #[test]
+    fn lookahead_has_wide_gates() {
+        // The expanded lookahead terms create wide AND gates — the
+        // structural difference the cut-width experiments rely on.
+        let nl = carry_lookahead(8);
+        assert!(nl.max_fanin() >= 8);
+        assert!(ripple_carry(8).max_fanin() <= 2);
+    }
+
+    #[test]
+    fn sizes_grow_linearly_for_ripple() {
+        assert_eq!(ripple_carry(4).num_gates(), 4 * 5);
+        assert_eq!(ripple_carry(16).num_gates(), 16 * 5);
+    }
+}

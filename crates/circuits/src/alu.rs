@@ -1,0 +1,125 @@
+//! A 74181-flavoured ALU slice array — the C880 structural family.
+
+use atpg_easy_netlist::{GateKind, NetId, Netlist};
+
+/// An `n`-bit ALU with two function-select bits and carry-in:
+///
+/// | s1 s0 | result            |
+/// |-------|-------------------|
+/// | 0  0  | `a AND b`         |
+/// | 0  1  | `a OR b`          |
+/// | 1  0  | `a XOR b`         |
+/// | 1  1  | `a + b + cin`     |
+///
+/// Outputs `f0..f_{n-1}` and `cout` (carry meaningful in add mode only).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn alu(n: usize) -> Netlist {
+    assert!(n > 0, "ALU width must be positive");
+    let mut nl = Netlist::new(format!("alu{n}"));
+    let a: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("a{i}"))).collect();
+    let b: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("b{i}"))).collect();
+    let cin = nl.add_input("cin");
+    let s0 = nl.add_input("s0");
+    let s1 = nl.add_input("s1");
+    let ns0 = nl.add_gate_named(GateKind::Not, vec![s0], "ns0").expect("unique");
+    let ns1 = nl.add_gate_named(GateKind::Not, vec![s1], "ns1").expect("unique");
+
+    let mut carry = cin;
+    for i in 0..n {
+        let and_i = nl
+            .add_gate_named(GateKind::And, vec![a[i], b[i]], format!("and{i}"))
+            .expect("unique");
+        let or_i = nl
+            .add_gate_named(GateKind::Or, vec![a[i], b[i]], format!("or{i}"))
+            .expect("unique");
+        let xor_i = nl
+            .add_gate_named(GateKind::Xor, vec![a[i], b[i]], format!("xor{i}"))
+            .expect("unique");
+        // Full-adder sum and carry for add mode.
+        let sum_i = nl
+            .add_gate_named(GateKind::Xor, vec![xor_i, carry], format!("sum{i}"))
+            .expect("unique");
+        let cprop = nl
+            .add_gate_named(GateKind::And, vec![xor_i, carry], format!("cp{i}"))
+            .expect("unique");
+        let cnext = nl
+            .add_gate_named(GateKind::Or, vec![and_i, cprop], format!("cn{i}"))
+            .expect("unique");
+        // 4-way select.
+        let t00 = nl
+            .add_gate_named(GateKind::And, vec![and_i, ns1, ns0], format!("t00_{i}"))
+            .expect("unique");
+        let t01 = nl
+            .add_gate_named(GateKind::And, vec![or_i, ns1, s0], format!("t01_{i}"))
+            .expect("unique");
+        let t10 = nl
+            .add_gate_named(GateKind::And, vec![xor_i, s1, ns0], format!("t10_{i}"))
+            .expect("unique");
+        let t11 = nl
+            .add_gate_named(GateKind::And, vec![sum_i, s1, s0], format!("t11_{i}"))
+            .expect("unique");
+        let f = nl
+            .add_gate_named(GateKind::Or, vec![t00, t01, t10, t11], format!("f{i}"))
+            .expect("unique");
+        nl.add_output(f);
+        carry = cnext;
+    }
+    let cout = nl
+        .add_gate_named(GateKind::Buf, vec![carry], "cout")
+        .expect("unique");
+    nl.add_output(cout);
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atpg_easy_netlist::sim;
+
+    fn run(nl: &Netlist, n: usize, a: u64, b: u64, cin: bool, s: u8) -> (u64, bool) {
+        let mut ins = Vec::new();
+        ins.extend((0..n).map(|i| a >> i & 1 != 0));
+        ins.extend((0..n).map(|i| b >> i & 1 != 0));
+        ins.push(cin);
+        ins.push(s & 1 != 0);
+        ins.push(s & 2 != 0);
+        let outs = sim::eval_outputs(nl, &ins);
+        let f = outs[..n]
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &bit)| acc | (u64::from(bit) << i));
+        (f, outs[n])
+    }
+
+    #[test]
+    fn all_modes_exhaustive_width_3() {
+        let n = 3;
+        let nl = alu(n);
+        assert!(nl.validate().is_ok());
+        let mask = (1u64 << n) - 1;
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                for cin in [false, true] {
+                    assert_eq!(run(&nl, n, a, b, cin, 0).0, a & b, "AND {a} {b}");
+                    assert_eq!(run(&nl, n, a, b, cin, 1).0, a | b, "OR {a} {b}");
+                    assert_eq!(run(&nl, n, a, b, cin, 2).0, a ^ b, "XOR {a} {b}");
+                    let (f, cout) = run(&nl, n, a, b, cin, 3);
+                    let sum = a + b + u64::from(cin);
+                    assert_eq!(f, sum & mask, "ADD {a} {b} {cin}");
+                    assert_eq!(cout, sum > mask, "COUT {a} {b} {cin}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wider_alu_valid() {
+        let nl = alu(8);
+        assert!(nl.validate().is_ok());
+        let (f, _) = run(&nl, 8, 200, 55, true, 3);
+        assert_eq!(f, 0); // 200 + 55 + 1 = 256 ≡ 0 (mod 256)
+    }
+}

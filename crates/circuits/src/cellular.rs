@@ -1,0 +1,115 @@
+//! One- and two-dimensional cellular arrays — the remaining k-bounded
+//! families Fujiwara \[10\] names (paper Section 3.2).
+
+use atpg_easy_netlist::{GateKind, NetId, Netlist};
+
+/// A 1-D cellular array of `n` cells. Each cell computes
+/// `y_i = (x_i AND carry) OR (NOT x_i AND NOT carry)` (an XNOR-accumulator)
+/// and passes `y_i` to the next cell; every `y_i` is observable.
+///
+/// Each cell is a 2-input block and the blocks form a chain, so the array
+/// is 2-bounded.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn cellular_1d(n: usize) -> Netlist {
+    assert!(n > 0, "array length must be positive");
+    let mut nl = Netlist::new(format!("cell1d_{n}"));
+    let xs: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("x{i}"))).collect();
+    let mut state = nl.add_input("seed");
+    for (i, &x) in xs.iter().enumerate() {
+        let y = nl
+            .add_gate_named(GateKind::Xnor, vec![x, state], format!("y{i}"))
+            .expect("unique");
+        nl.add_output(y);
+        state = y;
+    }
+    nl
+}
+
+/// A 2-D cellular array (`rows × cols`). Cell `(r, c)` computes
+/// `AND` of its west and north signals `OR` the local input — a simple
+/// systolic pattern with both horizontal and vertical propagation. All
+/// bottom-row and right-column signals are observable.
+///
+/// Unlike the 1-D array, a 2-D array of side `s` has cut-width Θ(s) = Θ(√n),
+/// which is why Fujiwara's k-bounded arrays stop being log-bounded-width in
+/// two dimensions — a useful contrast case for the experiments.
+///
+/// # Panics
+///
+/// Panics if `rows == 0 || cols == 0`.
+pub fn cellular_2d(rows: usize, cols: usize) -> Netlist {
+    assert!(rows > 0 && cols > 0, "array dimensions must be positive");
+    let mut nl = Netlist::new(format!("cell2d_{rows}x{cols}"));
+    let west: Vec<NetId> = (0..rows).map(|r| nl.add_input(format!("w{r}"))).collect();
+    let north: Vec<NetId> = (0..cols).map(|c| nl.add_input(format!("n{c}"))).collect();
+    let local: Vec<Vec<NetId>> = (0..rows)
+        .map(|r| (0..cols).map(|c| nl.add_input(format!("x{r}_{c}"))).collect())
+        .collect();
+
+    let mut h = west; // per-row horizontal signal
+    let mut v = north; // per-col vertical signal
+    for r in 0..rows {
+        for c in 0..cols {
+            let t = nl
+                .add_gate_named(GateKind::And, vec![h[r], v[c]], format!("t{r}_{c}"))
+                .expect("unique");
+            let o = nl
+                .add_gate_named(GateKind::Or, vec![t, local[r][c]], format!("o{r}_{c}"))
+                .expect("unique");
+            h[r] = o;
+            v[c] = o;
+        }
+    }
+    for r in 0..rows {
+        nl.add_output(h[r]);
+    }
+    for c in 0..cols {
+        nl.add_output(v[c]);
+    }
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atpg_easy_netlist::sim;
+
+    #[test]
+    fn cellular_1d_is_running_xnor() {
+        let n = 5;
+        let nl = cellular_1d(n);
+        assert!(nl.validate().is_ok());
+        for m in 0u32..(1 << (n + 1)) {
+            let ins: Vec<bool> = (0..=n).map(|i| m >> i & 1 != 0).collect();
+            let outs = sim::eval_outputs(&nl, &ins);
+            let mut state = ins[n]; // seed is the last input
+            for i in 0..n {
+                state = !(ins[i] ^ state);
+                assert_eq!(outs[i], state, "cell {i}, m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn cellular_2d_valid_and_sized() {
+        let nl = cellular_2d(4, 6);
+        assert!(nl.validate().is_ok());
+        assert_eq!(nl.num_gates(), 2 * 4 * 6);
+        // The bottom-right cell drives both the last-row and last-column
+        // observation point, and duplicate outputs are merged.
+        assert_eq!(nl.num_outputs(), 4 + 6 - 1);
+    }
+
+    #[test]
+    fn cellular_2d_propagates() {
+        // 1x1: out_h = out_v = (w AND n) OR x.
+        let nl = cellular_2d(1, 1);
+        // inputs: w0, n0, x0_0; the single cell feeds one merged output.
+        assert_eq!(sim::eval_outputs(&nl, &[true, true, false]), vec![true]);
+        assert_eq!(sim::eval_outputs(&nl, &[true, false, false]), vec![false]);
+        assert_eq!(sim::eval_outputs(&nl, &[false, false, true]), vec![true]);
+    }
+}

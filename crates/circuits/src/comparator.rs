@@ -1,0 +1,91 @@
+//! Magnitude/equality comparators.
+
+use atpg_easy_netlist::{GateKind, NetId, Netlist};
+
+/// An `n`-bit comparator: inputs `a0..`, `b0..`; outputs `eq` and `gt`
+/// (`a > b` unsigned). Built as a ripple from the most significant bit.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn comparator(n: usize) -> Netlist {
+    assert!(n > 0, "comparator width must be positive");
+    let mut nl = Netlist::new(format!("cmp{n}"));
+    let a: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("a{i}"))).collect();
+    let b: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("b{i}"))).collect();
+
+    // Bitwise eq_i = XNOR(a_i, b_i); gti = a_i AND NOT b_i.
+    let mut eq_acc: Option<NetId> = None;
+    let mut gt_acc: Option<NetId> = None;
+    for i in (0..n).rev() {
+        let eq_i = nl
+            .add_gate_named(GateKind::Xnor, vec![a[i], b[i]], format!("eq{i}"))
+            .expect("unique");
+        let nb = nl
+            .add_gate_named(GateKind::Not, vec![b[i]], format!("nb{i}"))
+            .expect("unique");
+        let gt_i = nl
+            .add_gate_named(GateKind::And, vec![a[i], nb], format!("gtb{i}"))
+            .expect("unique");
+        match (eq_acc, gt_acc) {
+            (None, None) => {
+                eq_acc = Some(eq_i);
+                gt_acc = Some(gt_i);
+            }
+            (Some(e), Some(g)) => {
+                // gt = g OR (e AND gt_i); eq = e AND eq_i.
+                let t = nl
+                    .add_gate_named(GateKind::And, vec![e, gt_i], format!("t{i}"))
+                    .expect("unique");
+                gt_acc = Some(
+                    nl.add_gate_named(GateKind::Or, vec![g, t], format!("gt_acc{i}"))
+                        .expect("unique"),
+                );
+                eq_acc = Some(
+                    nl.add_gate_named(GateKind::And, vec![e, eq_i], format!("eq_acc{i}"))
+                        .expect("unique"),
+                );
+            }
+            _ => unreachable!("accumulators move together"),
+        }
+    }
+    let eq = nl
+        .add_gate_named(GateKind::Buf, vec![eq_acc.expect("n > 0")], "eq")
+        .expect("unique");
+    let gt = nl
+        .add_gate_named(GateKind::Buf, vec![gt_acc.expect("n > 0")], "gt")
+        .expect("unique");
+    nl.add_output(eq);
+    nl.add_output(gt);
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atpg_easy_netlist::sim;
+
+    #[test]
+    fn compares_exhaustively() {
+        let n = 4;
+        let nl = comparator(n);
+        assert!(nl.validate().is_ok());
+        for a in 0u64..16 {
+            for b in 0u64..16 {
+                let mut ins = Vec::new();
+                ins.extend((0..n).map(|i| a >> i & 1 != 0));
+                ins.extend((0..n).map(|i| b >> i & 1 != 0));
+                let outs = sim::eval_outputs(&nl, &ins);
+                assert_eq!(outs[0], a == b, "eq {a} {b}");
+                assert_eq!(outs[1], a > b, "gt {a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn width_one() {
+        let nl = comparator(1);
+        assert_eq!(sim::eval_outputs(&nl, &[true, false]), vec![false, true]);
+        assert_eq!(sim::eval_outputs(&nl, &[true, true]), vec![true, false]);
+    }
+}

@@ -1,0 +1,65 @@
+//! Binary decoders — Fujiwara's second k-bounded example.
+
+use atpg_easy_netlist::{GateKind, NetId, Netlist};
+
+/// An `n`-to-`2ⁿ` decoder with enable: output `d_m` is 1 iff the select
+/// inputs spell `m` and `en` is 1.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 16`.
+pub fn decoder(n: usize) -> Netlist {
+    assert!((1..=16).contains(&n), "decoder select width out of range");
+    let mut nl = Netlist::new(format!("dec{n}"));
+    let sel: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("s{i}"))).collect();
+    let en = nl.add_input("en");
+    let nsel: Vec<NetId> = (0..n)
+        .map(|i| {
+            nl.add_gate_named(GateKind::Not, vec![sel[i]], format!("ns{i}"))
+                .expect("unique")
+        })
+        .collect();
+    for m in 0u32..(1 << n) {
+        let mut ins: Vec<NetId> = (0..n)
+            .map(|i| if m >> i & 1 != 0 { sel[i] } else { nsel[i] })
+            .collect();
+        ins.push(en);
+        let d = nl
+            .add_gate_named(GateKind::And, ins, format!("d{m}"))
+            .expect("unique");
+        nl.add_output(d);
+    }
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atpg_easy_netlist::sim;
+
+    #[test]
+    fn one_hot_when_enabled() {
+        let nl = decoder(3);
+        assert!(nl.validate().is_ok());
+        for m in 0u32..8 {
+            let mut ins: Vec<bool> = (0..3).map(|i| m >> i & 1 != 0).collect();
+            ins.push(true);
+            let outs = sim::eval_outputs(&nl, &ins);
+            for (j, &o) in outs.iter().enumerate() {
+                assert_eq!(o, j as u32 == m, "select {m}, line {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_zero_when_disabled() {
+        let nl = decoder(2);
+        let outs = sim::eval_outputs(&nl, &[true, false, false]);
+        assert!(outs.iter().all(|&o| !o));
+    }
+
+    #[test]
+    fn output_count() {
+        assert_eq!(decoder(4).num_outputs(), 16);
+    }
+}

@@ -1,0 +1,269 @@
+//! Random k-bounded circuits with their block-forest certificate
+//! (Fujiwara's class, paper Section 3.2 / Theorem 5.1).
+//!
+//! A circuit is k-bounded when its nodes partition into blocks of at most
+//! `k` inputs whose block graph is a DAG with no reconvergent paths. We
+//! generate such circuits *by construction*: each block's output is
+//! consumed by at most one later block, so the block graph is a forest and
+//! reconvergence is impossible. The returned [`KBoundedCircuit`] keeps the
+//! block structure as a certificate, from which
+//! [`KBoundedCircuit::certificate_order`] derives the Theorem-5.1 ordering
+//! (smallest-subtree-first DFS over the block forest).
+
+use atpg_easy_netlist::{GateId, GateKind, NetId, Netlist};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters for [`generate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KBoundedConfig {
+    /// Number of blocks.
+    pub blocks: usize,
+    /// Maximum inputs per block (the `k` of k-bounded).
+    pub k: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KBoundedConfig {
+    fn default() -> Self {
+        KBoundedConfig {
+            blocks: 50,
+            k: 3,
+            seed: 7,
+        }
+    }
+}
+
+/// A generated k-bounded circuit plus its block certificate.
+#[derive(Debug, Clone)]
+pub struct KBoundedCircuit {
+    /// The circuit.
+    pub netlist: Netlist,
+    /// The block-input bound `k`.
+    pub k: usize,
+    /// Gates of each block, in creation order.
+    pub block_gates: Vec<Vec<GateId>>,
+    /// Primary inputs consumed by each block (fresh per block).
+    pub block_inputs: Vec<Vec<NetId>>,
+    /// The single output net of each block.
+    pub block_output: Vec<NetId>,
+    /// For each block, the block that consumes its output (`None` for
+    /// forest roots, whose outputs are primary outputs).
+    pub parent: Vec<Option<usize>>,
+}
+
+impl KBoundedCircuit {
+    /// An ordering of the circuit's hypergraph nodes
+    /// ([`Hypergraph::from_netlist`](atpg_easy_cutwidth-free) numbering:
+    /// gates, then inputs, then output terminals) that realizes the
+    /// Theorem-5.1 `O(k · log n)` cut-width: smallest-subtree-first DFS
+    /// preorder over the block forest, each block's primary inputs and
+    /// gates placed contiguously.
+    pub fn certificate_order(&self) -> Vec<usize> {
+        let n_blocks = self.block_gates.len();
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n_blocks];
+        let mut roots = Vec::new();
+        for (b, p) in self.parent.iter().enumerate() {
+            match p {
+                Some(q) => children[*q].push(b),
+                None => roots.push(b),
+            }
+        }
+        // Subtree sizes over the block forest.
+        let mut size = vec![1usize; n_blocks];
+        // Blocks are created in topological order (children before
+        // parents), so a reverse sweep is bottom-up... children have
+        // SMALLER indices than parents, so forward sweep accumulates.
+        for b in 0..n_blocks {
+            for &c in &children[b] {
+                debug_assert!(c < b);
+                size[b] += size[c];
+            }
+        }
+
+        let g = self.netlist.num_gates();
+        let pi_index: std::collections::HashMap<NetId, usize> = self
+            .netlist
+            .inputs()
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, g + i))
+            .collect();
+        let po_base = g + self.netlist.num_inputs();
+
+        let mut order = Vec::new();
+        // DFS each root (roots sorted smallest-first as well); preorder:
+        // parent block first, then children smallest-first.
+        let mut stack: Vec<usize> = Vec::new();
+        let mut sorted_roots = roots.clone();
+        sorted_roots.sort_by_key(|&b| size[b]);
+        for &r in sorted_roots.iter().rev() {
+            stack.push(r);
+        }
+        while let Some(b) = stack.pop() {
+            // Emit the block: its output terminal (if a root), its fresh
+            // primary inputs, then its gates.
+            if self.parent[b].is_none() {
+                if let Some(pos) = self
+                    .netlist
+                    .outputs()
+                    .iter()
+                    .position(|&o| o == self.block_output[b])
+                {
+                    order.push(po_base + pos);
+                }
+            }
+            for pi in &self.block_inputs[b] {
+                order.push(pi_index[pi]);
+            }
+            for gid in &self.block_gates[b] {
+                order.push(gid.index());
+            }
+            let mut kids = children[b].clone();
+            kids.sort_by_key(|&c| size[c]);
+            for &c in kids.iter().rev() {
+                stack.push(c);
+            }
+        }
+        order
+    }
+}
+
+/// Generates a random k-bounded circuit.
+///
+/// Each block draws up to `k` inputs from a pool of unconsumed earlier
+/// block outputs (consuming them) and fresh primary inputs, then combines
+/// them with a random gate tree. Leftover block outputs become primary
+/// outputs.
+///
+/// # Panics
+///
+/// Panics if `blocks == 0` or `k < 2`.
+pub fn generate(config: &KBoundedConfig) -> KBoundedCircuit {
+    assert!(config.blocks > 0, "need at least one block");
+    assert!(config.k >= 2, "k must be at least 2");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut nl = Netlist::new(format!("kb{}_{}", config.k, config.blocks));
+
+    // Pool of unconsumed block outputs: (block index, net).
+    let mut pool: Vec<(usize, NetId)> = Vec::new();
+    let mut block_gates = Vec::with_capacity(config.blocks);
+    let mut block_inputs = Vec::with_capacity(config.blocks);
+    let mut block_output = Vec::with_capacity(config.blocks);
+    let mut parent: Vec<Option<usize>> = vec![None; config.blocks];
+    let mut pi_count = 0usize;
+
+    for b in 0..config.blocks {
+        let n_in = rng.random_range(2..=config.k);
+        let from_pool = rng.random_range(0..=n_in.min(pool.len()));
+        let mut ins: Vec<NetId> = Vec::with_capacity(n_in);
+        let mut fresh: Vec<NetId> = Vec::new();
+        for _ in 0..from_pool {
+            let idx = rng.random_range(0..pool.len());
+            let (src, net) = pool.swap_remove(idx);
+            parent[src] = Some(b);
+            ins.push(net);
+        }
+        while ins.len() < n_in {
+            let pi = nl.add_input(format!("pi{pi_count}"));
+            pi_count += 1;
+            fresh.push(pi);
+            ins.push(pi);
+        }
+
+        // Random balanced gate tree over the block inputs.
+        let mut gates = Vec::new();
+        let mut layer = ins;
+        let mut t = 0usize;
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                if pair.len() == 1 {
+                    next.push(pair[0]);
+                    continue;
+                }
+                const KINDS: [GateKind; 5] = [
+                    GateKind::And,
+                    GateKind::Or,
+                    GateKind::Nand,
+                    GateKind::Nor,
+                    GateKind::Xor,
+                ];
+                let kind = KINDS[rng.random_range(0..KINDS.len())];
+                let out = nl
+                    .add_gate_named(kind, pair.to_vec(), format!("b{b}_g{t}"))
+                    .expect("unique names");
+                t += 1;
+                gates.push(nl.net(out).driver.expect("just driven"));
+                next.push(out);
+            }
+            layer = next;
+        }
+        let out_net = layer[0];
+        pool.push((b, out_net));
+        block_gates.push(gates);
+        block_inputs.push(fresh);
+        block_output.push(out_net);
+    }
+
+    for (_, net) in &pool {
+        nl.add_output(*net);
+    }
+    nl.validate().expect("construction is well-formed");
+    KBoundedCircuit {
+        netlist: nl,
+        k: config.k,
+        block_gates,
+        block_inputs,
+        block_output,
+        parent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_circuit_is_valid_forest() {
+        let kb = generate(&KBoundedConfig::default());
+        assert!(kb.netlist.validate().is_ok());
+        // Every block output has at most one reader: fan-out ≤ 1 on block
+        // outputs guarantees the no-reconvergence property.
+        let fanouts = kb.netlist.fanouts();
+        for &out in &kb.block_output {
+            assert!(fanouts[out.index()].len() <= 1);
+        }
+    }
+
+    #[test]
+    fn block_inputs_bounded_by_k() {
+        let kb = generate(&KBoundedConfig {
+            blocks: 80,
+            k: 4,
+            seed: 3,
+        });
+        for b in 0..kb.block_gates.len() {
+            let external = kb.block_inputs[b].len()
+                + kb.parent.iter().filter(|p| **p == Some(b)).count();
+            assert!(external <= 4, "block {b} has {external} inputs");
+        }
+    }
+
+    #[test]
+    fn certificate_order_is_permutation() {
+        let kb = generate(&KBoundedConfig::default());
+        let mut order = kb.certificate_order();
+        let n = kb.netlist.num_gates() + kb.netlist.num_inputs() + kb.netlist.num_outputs();
+        order.sort_unstable();
+        assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&KBoundedConfig::default());
+        let b = generate(&KBoundedConfig::default());
+        assert_eq!(a.netlist.to_string(), b.netlist.to_string());
+    }
+}

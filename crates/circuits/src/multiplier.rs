@@ -1,0 +1,178 @@
+//! Array multipliers — the C6288 structural family.
+//!
+//! C6288 is a 16×16 array multiplier built from half/full-adder cells; it
+//! is the ISCAS85 circuit the paper had to *omit* from its cut-width study
+//! ("due to limitations in our min-cut linear arrangement procedure"),
+//! because a 2-D array has polynomial (≈√n), not logarithmic, cut-width.
+//! We generate the same structure at parameterizable width so the
+//! reproduction can show exactly that contrast.
+
+use atpg_easy_netlist::{GateKind, NetId, Netlist};
+
+fn half_adder(nl: &mut Netlist, a: NetId, b: NetId, tag: &str) -> (NetId, NetId) {
+    let s = nl
+        .add_gate_named(GateKind::Xor, vec![a, b], format!("hs{tag}"))
+        .expect("unique");
+    let c = nl
+        .add_gate_named(GateKind::And, vec![a, b], format!("hc{tag}"))
+        .expect("unique");
+    (s, c)
+}
+
+fn full_adder(nl: &mut Netlist, a: NetId, b: NetId, cin: NetId, tag: &str) -> (NetId, NetId) {
+    let axb = nl
+        .add_gate_named(GateKind::Xor, vec![a, b], format!("fx{tag}"))
+        .expect("unique");
+    let s = nl
+        .add_gate_named(GateKind::Xor, vec![axb, cin], format!("fs{tag}"))
+        .expect("unique");
+    let t1 = nl
+        .add_gate_named(GateKind::And, vec![a, b], format!("fa{tag}"))
+        .expect("unique");
+    let t2 = nl
+        .add_gate_named(GateKind::And, vec![axb, cin], format!("fb{tag}"))
+        .expect("unique");
+    let c = nl
+        .add_gate_named(GateKind::Or, vec![t1, t2], format!("fc{tag}"))
+        .expect("unique");
+    (s, c)
+}
+
+/// An `n×n` carry-save array multiplier: inputs `a0..`, `b0..`; outputs
+/// `p0..p_{2n-1}`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn array_multiplier(n: usize) -> Netlist {
+    assert!(n > 0, "multiplier width must be positive");
+    let mut nl = Netlist::new(format!("mul{n}x{n}"));
+    let a: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("a{i}"))).collect();
+    let b: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("b{i}"))).collect();
+
+    // Partial products.
+    let mut pp = vec![vec![NetId::from_index(0); n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            pp[i][j] = nl
+                .add_gate_named(GateKind::And, vec![a[i], b[j]], format!("pp{i}_{j}"))
+                .expect("unique");
+        }
+    }
+    if n == 1 {
+        nl.add_output(pp[0][0]);
+        return nl;
+    }
+
+    // Row-by-row carry-save reduction: row j adds pp[·][j] into the
+    // running sum.
+    let mut sum: Vec<NetId> = (0..n).map(|i| pp[i][0]).collect(); // weights 0..n-1 (+row offset)
+    nl.add_output(sum[0]); // p0
+    let mut carries: Vec<NetId> = Vec::new();
+    for j in 1..n {
+        let mut new_sum = Vec::with_capacity(n);
+        let mut new_carries = Vec::with_capacity(n);
+        for i in 0..n {
+            // Bit of weight i+j: sum[i+1] (shifted) + pp[i][j] + carry[i].
+            let s_in = if i + 1 < n { Some(sum[i + 1]) } else { None };
+            let c_in = if j > 1 { Some(carries[i]) } else { None };
+            let tag = format!("_{i}_{j}");
+            let (s, c) = match (s_in, c_in) {
+                (Some(s0), Some(c0)) => full_adder(&mut nl, pp[i][j], s0, c0, &tag),
+                (Some(s0), None) => half_adder(&mut nl, pp[i][j], s0, &tag),
+                (None, Some(c0)) => half_adder(&mut nl, pp[i][j], c0, &tag),
+                (None, None) => {
+                    let buf = nl
+                        .add_gate_named(GateKind::Buf, vec![pp[i][j]], format!("pb{tag}"))
+                        .expect("unique");
+                    let zero = nl
+                        .add_gate_named(GateKind::Const0, vec![], format!("z{tag}"))
+                        .expect("unique");
+                    (buf, zero)
+                }
+            };
+            new_sum.push(s);
+            new_carries.push(c);
+        }
+        nl.add_output(new_sum[0]); // p_j
+        sum = new_sum;
+        carries = new_carries;
+    }
+
+    // Final ripple adder over the remaining sum (weights n..) and carries.
+    let mut carry: Option<NetId> = None;
+    for i in 0..n {
+        let s_bit = if i + 1 < n { Some(sum[i + 1]) } else { None };
+        let c_bit = Some(carries[i]);
+        let tag = format!("_fin{i}");
+        let (s, c) = match (s_bit, c_bit, carry) {
+            (Some(x), Some(y), Some(z)) => full_adder(&mut nl, x, y, z, &tag),
+            (Some(x), Some(y), None) => half_adder(&mut nl, x, y, &tag),
+            (None, Some(y), Some(z)) => half_adder(&mut nl, y, z, &tag),
+            (None, Some(y), None) => {
+                let buf = nl
+                    .add_gate_named(GateKind::Buf, vec![y], format!("bb{tag}"))
+                    .expect("unique");
+                (buf, y)
+            }
+            _ => unreachable!("carries always exist"),
+        };
+        nl.add_output(s); // p_{n+i}
+        carry = match (s_bit, c_bit) {
+            (None, Some(_)) if i == n - 1 => None,
+            _ => Some(c),
+        };
+        if i == n - 1 {
+            break;
+        }
+    }
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atpg_easy_netlist::sim;
+
+    fn check(n: usize) {
+        let nl = array_multiplier(n);
+        assert!(nl.validate().is_ok(), "mul{n} invalid");
+        assert_eq!(nl.num_outputs(), if n == 1 { 1 } else { 2 * n });
+        let max = 1u64 << n;
+        let pairs: Vec<(u64, u64)> = if n <= 4 {
+            (0..max).flat_map(|a| (0..max).map(move |b| (a, b))).collect()
+        } else {
+            (0..100).map(|s| ((s * 91) % max, (s * 57 + 3) % max)).collect()
+        };
+        for (a, b) in pairs {
+            let mut inputs = Vec::new();
+            inputs.extend((0..n).map(|i| a >> i & 1 != 0));
+            inputs.extend((0..n).map(|i| b >> i & 1 != 0));
+            let outs = sim::eval_outputs(&nl, &inputs);
+            let got = outs
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (i, &bit)| acc | (u64::from(bit) << i));
+            assert_eq!(got, a * b, "{a}*{b} (n={n})");
+        }
+    }
+
+    #[test]
+    fn multiplies_small_widths() {
+        for n in [1, 2, 3, 4] {
+            check(n);
+        }
+    }
+
+    #[test]
+    fn multiplies_width_six_sampled() {
+        check(6);
+    }
+
+    #[test]
+    fn quadratic_size() {
+        let g4 = array_multiplier(4).num_gates();
+        let g8 = array_multiplier(8).num_gates();
+        assert!(g8 > 3 * g4, "array multiplier grows quadratically: {g4} -> {g8}");
+    }
+}

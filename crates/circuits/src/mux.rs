@@ -1,0 +1,76 @@
+//! Multiplexer trees.
+
+use atpg_easy_netlist::{GateKind, NetId, Netlist};
+
+/// A `2ˢ`-to-1 multiplexer built as a binary tree of 2-input muxes:
+/// data inputs `d0..`, select inputs `s0..` (s0 = least significant),
+/// output `y`.
+///
+/// # Panics
+///
+/// Panics if `sel_bits == 0` or `sel_bits > 16`.
+pub fn mux_tree(sel_bits: usize) -> Netlist {
+    assert!((1..=16).contains(&sel_bits), "select width out of range");
+    let mut nl = Netlist::new(format!("mux{}", 1 << sel_bits));
+    let data: Vec<NetId> = (0..1usize << sel_bits)
+        .map(|i| nl.add_input(format!("d{i}")))
+        .collect();
+    let sel: Vec<NetId> = (0..sel_bits).map(|i| nl.add_input(format!("s{i}"))).collect();
+
+    let mut layer = data;
+    let mut fresh = 0usize;
+    for (level, &s) in sel.iter().enumerate() {
+        let ns = nl
+            .add_gate_named(GateKind::Not, vec![s], format!("ns{level}"))
+            .expect("unique");
+        let mut next = Vec::with_capacity(layer.len() / 2);
+        for pair in layer.chunks(2) {
+            let t0 = nl
+                .add_gate_named(GateKind::And, vec![pair[0], ns], format!("m0_{fresh}"))
+                .expect("unique");
+            let t1 = nl
+                .add_gate_named(GateKind::And, vec![pair[1], s], format!("m1_{fresh}"))
+                .expect("unique");
+            let o = nl
+                .add_gate_named(GateKind::Or, vec![t0, t1], format!("mo_{fresh}"))
+                .expect("unique");
+            fresh += 1;
+            next.push(o);
+        }
+        layer = next;
+    }
+    debug_assert_eq!(layer.len(), 1);
+    nl.add_output(layer[0]);
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atpg_easy_netlist::sim;
+
+    #[test]
+    fn selects_the_right_input() {
+        let s = 3;
+        let nl = mux_tree(s);
+        assert!(nl.validate().is_ok());
+        let n_data = 1 << s;
+        for sel in 0..n_data as u32 {
+            for active in 0..n_data {
+                let mut ins = vec![false; n_data + s];
+                ins[active] = true;
+                for b in 0..s {
+                    ins[n_data + b] = sel >> b & 1 != 0;
+                }
+                let outs = sim::eval_outputs(&nl, &ins);
+                assert_eq!(outs[0], active as u32 == sel, "sel={sel} active={active}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_output() {
+        assert_eq!(mux_tree(4).num_outputs(), 1);
+        assert_eq!(mux_tree(4).num_inputs(), 16 + 4);
+    }
+}

@@ -1,0 +1,115 @@
+//! Random k-ary tree circuits (for the Lemma 5.2 experiments).
+
+use atpg_easy_netlist::{GateKind, NetId, Netlist};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generates a random tree circuit with exactly `gates` gates, each with
+/// fan-in between 2 and `k` (or an inverter), a single output, and every
+/// internal net read exactly once.
+///
+/// # Panics
+///
+/// Panics if `gates == 0` or `k < 2`.
+pub fn random_tree(k: usize, gates: usize, seed: u64) -> Netlist {
+    assert!(gates > 0, "need at least one gate");
+    assert!(k >= 2, "k must be at least 2");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nl = Netlist::new(format!("tree{k}_{gates}"));
+    // Pool of open subtree roots; each is consumed exactly once.
+    let mut pool: Vec<NetId> = Vec::new();
+    let mut pi = 0usize;
+    const KINDS: [GateKind; 5] = [
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Xor,
+    ];
+    for g in 0..gates {
+        let remaining = gates - g - 1;
+        // The final gate must be able to absorb the whole pool; keep the
+        // pool small enough that `remaining` gates (each net-consuming up
+        // to k-1 pool entries) can reduce it to one.
+        let fanin = if remaining == 0 && pool.len() > 1 {
+            pool.len().min(k)
+        } else {
+            rng.random_range(2..=k)
+        };
+        let mut ins = Vec::with_capacity(fanin);
+        for _ in 0..fanin {
+            // Prefer pool entries when the pool risks outgrowing the
+            // remaining reduction capacity.
+            let capacity = remaining * (k - 1) + 1;
+            let must_consume = pool.len() + fanin >= capacity;
+            let take_pool = !pool.is_empty() && (must_consume || rng.random_bool(0.5));
+            if take_pool {
+                let idx = rng.random_range(0..pool.len());
+                ins.push(pool.swap_remove(idx));
+            } else {
+                let p = nl.add_input(format!("x{pi}"));
+                pi += 1;
+                ins.push(p);
+            }
+        }
+        let kind = if ins.len() == 1 {
+            GateKind::Not
+        } else {
+            KINDS[rng.random_range(0..KINDS.len())]
+        };
+        let out = nl
+            .add_gate_named(kind, ins, format!("g{g}"))
+            .expect("unique names");
+        pool.push(out);
+    }
+    // Reduce any leftover pool with extra gates so a single root remains.
+    let mut extra = 0usize;
+    while pool.len() > 1 {
+        let take = pool.len().min(k);
+        let ins: Vec<NetId> = pool.drain(pool.len() - take..).collect();
+        let out = nl
+            .add_gate_named(GateKind::And, ins, format!("r{extra}"))
+            .expect("unique names");
+        extra += 1;
+        pool.push(out);
+    }
+    nl.add_output(pool[0]);
+    nl.validate().expect("tree construction is well-formed");
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trees_are_trees() {
+        for seed in 0..6 {
+            for k in [2, 3, 4] {
+                let nl = random_tree(k, 40, seed);
+                let fanouts = nl.fanouts();
+                for (id, _) in nl.nets() {
+                    let readers = fanouts[id.index()].len() + usize::from(nl.is_output(id));
+                    assert_eq!(readers, 1, "net read exactly once (k={k} seed={seed})");
+                }
+                assert_eq!(nl.num_outputs(), 1);
+                assert!(nl.max_fanin() <= k);
+            }
+        }
+    }
+
+    #[test]
+    fn gate_count_close_to_requested() {
+        let nl = random_tree(3, 100, 1);
+        assert!(nl.num_gates() >= 100);
+        assert!(nl.num_gates() <= 110, "few reduction gates: {}", nl.num_gates());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            random_tree(3, 30, 9).to_string(),
+            random_tree(3, 30, 9).to_string()
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! DIMACS CNF reading and writing.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{CnfFormula, Lit};
+
+/// Errors from DIMACS parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseDimacsError {
+    /// Missing or malformed `p cnf <vars> <clauses>` header.
+    BadHeader,
+    /// A token could not be parsed as an integer.
+    BadToken(String),
+    /// The final clause was not terminated with `0`.
+    UnterminatedClause,
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDimacsError::BadHeader => write!(f, "missing or malformed `p cnf` header"),
+            ParseDimacsError::BadToken(t) => write!(f, "bad token `{t}`"),
+            ParseDimacsError::UnterminatedClause => write!(f, "final clause not terminated by 0"),
+        }
+    }
+}
+
+impl Error for ParseDimacsError {}
+
+/// Serializes a formula in DIMACS CNF format.
+pub fn write(f: &CnfFormula) -> String {
+    let mut s = format!("p cnf {} {}\n", f.num_vars(), f.num_clauses());
+    for clause in f.clauses() {
+        for &lit in clause {
+            s.push_str(&lit.to_dimacs().to_string());
+            s.push(' ');
+        }
+        s.push_str("0\n");
+    }
+    s
+}
+
+/// Parses DIMACS CNF text.
+///
+/// # Errors
+///
+/// A [`ParseDimacsError`] describing the first problem found.
+pub fn parse(text: &str) -> Result<CnfFormula, ParseDimacsError> {
+    let mut formula: Option<CnfFormula> = None;
+    let mut current: Vec<Lit> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if line.starts_with('p') {
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            if parts.len() != 4 || parts[1] != "cnf" {
+                return Err(ParseDimacsError::BadHeader);
+            }
+            let nv: usize = parts[2]
+                .parse()
+                .map_err(|_| ParseDimacsError::BadHeader)?;
+            formula = Some(CnfFormula::new(nv));
+            continue;
+        }
+        let f = formula.as_mut().ok_or(ParseDimacsError::BadHeader)?;
+        for tok in line.split_whitespace() {
+            let v: i64 = tok
+                .parse()
+                .map_err(|_| ParseDimacsError::BadToken(tok.to_string()))?;
+            if v == 0 {
+                f.add_clause(std::mem::take(&mut current));
+            } else {
+                current.push(Lit::from_dimacs(v));
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(ParseDimacsError::UnterminatedClause);
+    }
+    formula.ok_or(ParseDimacsError::BadHeader)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Var;
+
+    #[test]
+    fn roundtrip() {
+        let mut f = CnfFormula::new(3);
+        f.add_clause(vec![
+            Lit::positive(Var::from_index(0)),
+            Lit::negative(Var::from_index(2)),
+        ]);
+        f.add_clause(vec![Lit::negative(Var::from_index(1))]);
+        let text = write(&f);
+        let g = parse(&text).unwrap();
+        assert_eq!(g.num_vars(), 3);
+        assert_eq!(g.num_clauses(), 2);
+        assert_eq!(g.clauses(), f.clauses());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let g = parse("c hi\np cnf 2 1\n1 -2 0\n").unwrap();
+        assert_eq!(g.num_clauses(), 1);
+    }
+
+    #[test]
+    fn missing_header() {
+        assert_eq!(parse("1 0\n"), Err(ParseDimacsError::BadHeader));
+    }
+
+    #[test]
+    fn unterminated() {
+        assert_eq!(
+            parse("p cnf 2 1\n1 -2\n"),
+            Err(ParseDimacsError::UnterminatedClause)
+        );
+    }
+
+    #[test]
+    fn bad_token() {
+        assert!(matches!(
+            parse("p cnf 1 1\nxyz 0\n"),
+            Err(ParseDimacsError::BadToken(_))
+        ));
+    }
+
+    #[test]
+    fn multiline_clause() {
+        let g = parse("p cnf 3 1\n1\n2\n3 0\n").unwrap();
+        assert_eq!(g.num_clauses(), 1);
+        assert_eq!(g.clauses()[0].len(), 3);
+    }
+}

@@ -1,0 +1,245 @@
+//! CNF formula container.
+
+use std::fmt;
+
+use crate::{Clause, Var};
+
+/// A CNF formula: a conjunction of clauses over variables `0..num_vars`.
+///
+/// Mirrors the paper's Section 2 definition: a set of clauses, each a set
+/// of literals. Duplicate literals within a clause are removed on insertion
+/// and tautological clauses (containing `l` and `¬l`) are dropped, so the
+/// stored clause set matches the paper's set-of-sets semantics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CnfFormula {
+    num_vars: usize,
+    clauses: Vec<Clause>,
+}
+
+impl CnfFormula {
+    /// Creates an empty formula over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        CnfFormula {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Total number of literal occurrences.
+    pub fn num_literals(&self) -> usize {
+        self.clauses.iter().map(Vec::len).sum()
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Ensures at least `n` variables exist.
+    pub fn grow_to(&mut self, n: usize) {
+        self.num_vars = self.num_vars.max(n);
+    }
+
+    /// Adds a clause. Duplicate literals are removed; tautologies are
+    /// silently dropped; variables beyond the current count grow the
+    /// formula. Returns `true` if the clause was kept.
+    ///
+    /// An **empty clause is kept** — it makes the formula trivially
+    /// unsatisfiable, matching the paper's definition of an inconsistent
+    /// sub-formula.
+    pub fn add_clause(&mut self, mut clause: Clause) -> bool {
+        clause.sort_unstable();
+        clause.dedup();
+        for w in clause.windows(2) {
+            if w[0].var() == w[1].var() {
+                return false; // l and !l: tautology
+            }
+        }
+        if let Some(max) = clause.iter().map(|l| l.var().index()).max() {
+            self.grow_to(max + 1);
+        }
+        self.clauses.push(clause);
+        true
+    }
+
+    /// Whether the formula contains an empty clause (trivially UNSAT).
+    pub fn has_empty_clause(&self) -> bool {
+        self.clauses.iter().any(Vec::is_empty)
+    }
+
+    /// Evaluates under a partial assignment (`None` = unassigned).
+    ///
+    /// Returns `Some(true)` if every clause has a true literal,
+    /// `Some(false)` if some clause has all literals false, and `None`
+    /// otherwise (undetermined).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() < num_vars`.
+    pub fn eval(&self, assignment: &[Option<bool>]) -> Option<bool> {
+        assert!(assignment.len() >= self.num_vars, "assignment too short");
+        let mut all_sat = true;
+        for clause in &self.clauses {
+            let mut sat = false;
+            let mut undecided = false;
+            for &lit in clause {
+                match assignment[lit.var().index()] {
+                    Some(v) if v == lit.asserted_value() => {
+                        sat = true;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => undecided = true,
+                }
+            }
+            if sat {
+                continue;
+            }
+            if undecided {
+                all_sat = false;
+            } else {
+                return Some(false);
+            }
+        }
+        if all_sat {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    /// Evaluates under a complete assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() < num_vars`.
+    pub fn eval_complete(&self, assignment: &[bool]) -> bool {
+        assert!(assignment.len() >= self.num_vars, "assignment too short");
+        self.clauses.iter().all(|c| {
+            c.iter()
+                .any(|&l| assignment[l.var().index()] == l.asserted_value())
+        })
+    }
+
+    /// Maximum clause length.
+    pub fn max_clause_len(&self) -> usize {
+        self.clauses.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+impl Extend<Clause> for CnfFormula {
+    fn extend<T: IntoIterator<Item = Clause>>(&mut self, iter: T) {
+        for c in iter {
+            self.add_clause(c);
+        }
+    }
+}
+
+impl FromIterator<Clause> for CnfFormula {
+    fn from_iter<T: IntoIterator<Item = Clause>>(iter: T) -> Self {
+        let mut f = CnfFormula::new(0);
+        f.extend(iter);
+        f
+    }
+}
+
+impl fmt::Display for CnfFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, clause) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "(")?;
+            for (j, lit) in clause.iter().enumerate() {
+                if j > 0 {
+                    write!(f, " ∨ ")?;
+                }
+                write!(f, "{lit}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lit;
+
+    fn lit(i: usize, pos: bool) -> Lit {
+        Lit::with_value(Var::from_index(i), pos)
+    }
+
+    #[test]
+    fn add_and_count() {
+        let mut f = CnfFormula::new(0);
+        assert!(f.add_clause(vec![lit(0, true), lit(1, false)]));
+        assert_eq!(f.num_vars(), 2);
+        assert_eq!(f.num_clauses(), 1);
+        assert_eq!(f.num_literals(), 2);
+    }
+
+    #[test]
+    fn tautology_dropped_duplicates_merged() {
+        let mut f = CnfFormula::new(2);
+        assert!(!f.add_clause(vec![lit(0, true), lit(0, false)]));
+        assert_eq!(f.num_clauses(), 0);
+        assert!(f.add_clause(vec![lit(1, true), lit(1, true)]));
+        assert_eq!(f.clauses()[0].len(), 1);
+    }
+
+    #[test]
+    fn eval_partial() {
+        // (x0 | !x1) & (x1 | x2)
+        let mut f = CnfFormula::new(3);
+        f.add_clause(vec![lit(0, true), lit(1, false)]);
+        f.add_clause(vec![lit(1, true), lit(2, true)]);
+        assert_eq!(f.eval(&[None, None, None]), None);
+        assert_eq!(f.eval(&[Some(true), None, Some(true)]), Some(true));
+        assert_eq!(f.eval(&[Some(false), Some(true), None]), Some(false));
+        assert!(f.eval_complete(&[true, true, false]));
+        assert!(!f.eval_complete(&[false, true, false]));
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut f = CnfFormula::new(1);
+        f.add_clause(vec![]);
+        assert!(f.has_empty_clause());
+        assert_eq!(f.eval(&[None]), Some(false));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let f: CnfFormula = vec![vec![lit(0, true)], vec![lit(1, false)]]
+            .into_iter()
+            .collect();
+        assert_eq!(f.num_clauses(), 2);
+        assert_eq!(f.num_vars(), 2);
+    }
+
+    #[test]
+    fn display() {
+        let mut f = CnfFormula::new(2);
+        f.add_clause(vec![lit(0, true), lit(1, false)]);
+        assert_eq!(f.to_string(), "(x0 ∨ !x1)");
+    }
+}

@@ -1,0 +1,187 @@
+//! Variables and literals.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, a dense index starting at 0.
+///
+/// In CIRCUIT-SAT encodings ([`crate::circuit`]) variable `i` corresponds
+/// to the net with [`NetId::index`](atpg_easy_netlist::NetId::index) `i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable from a dense index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        Var(index as u32)
+    }
+
+    /// The dense index of the variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable together with a polarity.
+///
+/// Encoded as `2*var + sign` where sign 1 means negated, so literals of the
+/// same variable are adjacent and a literal fits in a `u32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    #[inline]
+    pub fn positive(var: Var) -> Self {
+        Lit(var.0 << 1)
+    }
+
+    /// The negative literal of `var`.
+    #[inline]
+    pub fn negative(var: Var) -> Self {
+        Lit(var.0 << 1 | 1)
+    }
+
+    /// Creates a literal from a variable and a truth value it asserts:
+    /// `Lit::with_value(v, true)` is satisfied when `v` is true.
+    #[inline]
+    pub fn with_value(var: Var, value: bool) -> Self {
+        if value {
+            Lit::positive(var)
+        } else {
+            Lit::negative(var)
+        }
+    }
+
+    /// The underlying variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether this is the positive literal.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The truth value of the variable under which this literal is true.
+    #[inline]
+    pub fn asserted_value(self) -> bool {
+        self.is_positive()
+    }
+
+    /// Dense code (`2*var + sign`), handy for indexing literal tables.
+    #[inline]
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Inverse of [`Self::code`].
+    #[inline]
+    pub fn from_code(code: usize) -> Self {
+        Lit(code as u32)
+    }
+
+    /// DIMACS integer form: `var+1` negated by sign.
+    pub fn to_dimacs(self) -> i64 {
+        let v = (self.var().index() + 1) as i64;
+        if self.is_positive() {
+            v
+        } else {
+            -v
+        }
+    }
+
+    /// Parses a DIMACS integer (non-zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value == 0`.
+    pub fn from_dimacs(value: i64) -> Self {
+        assert!(value != 0, "0 is the DIMACS clause terminator");
+        let var = Var::from_index((value.unsigned_abs() - 1) as usize);
+        Lit::with_value(var, value > 0)
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "{}", self.var())
+        } else {
+            write!(f, "!{}", self.var())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polarity_and_negation() {
+        let v = Var::from_index(3);
+        let p = Lit::positive(v);
+        let n = Lit::negative(v);
+        assert!(p.is_positive());
+        assert!(!n.is_positive());
+        assert_eq!(!p, n);
+        assert_eq!(!!p, p);
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+    }
+
+    #[test]
+    fn codes_are_dense() {
+        let v = Var::from_index(5);
+        assert_eq!(Lit::positive(v).code(), 10);
+        assert_eq!(Lit::negative(v).code(), 11);
+        assert_eq!(Lit::from_code(11), Lit::negative(v));
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        for i in [1i64, -1, 7, -42] {
+            assert_eq!(Lit::from_dimacs(i).to_dimacs(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "DIMACS")]
+    fn dimacs_zero_panics() {
+        Lit::from_dimacs(0);
+    }
+
+    #[test]
+    fn display() {
+        let v = Var::from_index(2);
+        assert_eq!(Lit::positive(v).to_string(), "x2");
+        assert_eq!(Lit::negative(v).to_string(), "!x2");
+    }
+
+    #[test]
+    fn with_value() {
+        let v = Var::from_index(0);
+        assert!(Lit::with_value(v, true).is_positive());
+        assert!(!Lit::with_value(v, false).is_positive());
+        assert!(Lit::with_value(v, true).asserted_value());
+    }
+}

@@ -1,0 +1,160 @@
+//! Purdom–Brown-style formula parameterization (Section 3.3).
+//!
+//! Purdom and Brown \[21\] analyze the *average* running time of
+//! backtracking over random CNF populations parameterized by the number
+//! of variables `v`, the number of clauses `t`, and the literal
+//! probability `p` (each of the `2v` literals appears in a clause
+//! independently with probability `p`). Broad parameter regions are
+//! solvable in polynomial average time; in particular, populations with
+//! **bounded expected clause length** (`2·p·v = O(1)`) and **polynomially
+//! many clauses** fall into such a region.
+//!
+//! ATPG-SAT formulas match that easy region: gate clauses have at most
+//! `k_fi + 1` literals and there are `O(v)` of them. The paper's caveat
+//! (Section 3.3) applies verbatim and is encoded in the API: membership
+//! of the *population* says nothing hard about the ATPG *subset*, so the
+//! verdict is [`AverageCaseVerdict::SuggestsEasy`] at best, never a
+//! proof.
+
+use crate::CnfFormula;
+
+/// The Purdom–Brown population parameters of a formula.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FormulaParams {
+    /// Number of variables `v`.
+    pub vars: usize,
+    /// Number of clauses `t`.
+    pub clauses: usize,
+    /// Average clause length.
+    pub avg_clause_len: f64,
+    /// Maximum clause length.
+    pub max_clause_len: usize,
+    /// The matched per-literal probability `p = avg_len / (2v)`.
+    pub literal_probability: f64,
+    /// Clause/variable ratio `t / v`.
+    pub clause_var_ratio: f64,
+}
+
+/// What the average-case analysis can conclude (Section 3.3's punchline:
+/// never more than a suggestion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AverageCaseVerdict {
+    /// The matched random population is polynomial on average — which
+    /// *suggests*, but does not prove, that the instance family is easy.
+    SuggestsEasy,
+    /// The parameters fall outside the easy region; nothing follows.
+    Inconclusive,
+}
+
+/// Measures the Purdom–Brown parameters of a formula.
+///
+/// # Panics
+///
+/// Panics if the formula has no variables.
+pub fn measure(f: &CnfFormula) -> FormulaParams {
+    assert!(f.num_vars() > 0, "formula must have variables");
+    let v = f.num_vars();
+    let t = f.num_clauses();
+    let avg = if t == 0 {
+        0.0
+    } else {
+        f.num_literals() as f64 / t as f64
+    };
+    FormulaParams {
+        vars: v,
+        clauses: t,
+        avg_clause_len: avg,
+        max_clause_len: f.max_clause_len(),
+        literal_probability: avg / (2.0 * v as f64),
+        clause_var_ratio: t as f64 / v as f64,
+    }
+}
+
+/// Classifies the matched population: bounded *average* clause length
+/// with polynomially many clauses (`t ≤ ratio_bound · v`) sits in a
+/// polynomial-average-time region. The average (not the maximum) is the
+/// right statistic because one exceptional clause — CIRCUIT-SAT's output
+/// disjunction over `p` outputs — does not move the population.
+///
+/// The defaults (`avg ≤ 4`, `t ≤ 16·v`) comfortably contain every
+/// CIRCUIT-SAT/ATPG-SAT formula this workspace produces (gate clauses
+/// have `≤ k_fi + 1` literals after decomposition and there are `O(v)`
+/// of them).
+pub fn classify(params: &FormulaParams) -> AverageCaseVerdict {
+    classify_with(params, 4.0, 16.0)
+}
+
+/// [`classify`] with explicit region bounds.
+pub fn classify_with(
+    params: &FormulaParams,
+    max_avg_len: f64,
+    max_ratio: f64,
+) -> AverageCaseVerdict {
+    if params.avg_clause_len <= max_avg_len && params.clause_var_ratio <= max_ratio {
+        AverageCaseVerdict::SuggestsEasy
+    } else {
+        AverageCaseVerdict::Inconclusive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Lit, Var};
+
+    fn lit(i: usize, pos: bool) -> Lit {
+        Lit::with_value(Var::from_index(i), pos)
+    }
+
+    #[test]
+    fn measures_basic_parameters() {
+        let mut f = CnfFormula::new(4);
+        f.add_clause(vec![lit(0, true), lit(1, false)]);
+        f.add_clause(vec![lit(1, true), lit(2, true), lit(3, false)]);
+        let p = measure(&f);
+        assert_eq!(p.vars, 4);
+        assert_eq!(p.clauses, 2);
+        assert!((p.avg_clause_len - 2.5).abs() < 1e-12);
+        assert_eq!(p.max_clause_len, 3);
+        assert!((p.literal_probability - 2.5 / 8.0).abs() < 1e-12);
+        assert!((p.clause_var_ratio - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circuit_formulas_suggest_easy() {
+        // A gate-clause-shaped formula: short clauses, O(v) of them.
+        let mut f = CnfFormula::new(30);
+        for i in 0..28 {
+            f.add_clause(vec![lit(i, true), lit(i + 1, false)]);
+            f.add_clause(vec![lit(i, false), lit(i + 1, true), lit(i + 2, true)]);
+        }
+        assert_eq!(classify(&measure(&f)), AverageCaseVerdict::SuggestsEasy);
+    }
+
+    #[test]
+    fn wide_clauses_are_inconclusive() {
+        let mut f = CnfFormula::new(20);
+        f.add_clause((0..20).map(|i| lit(i, true)).collect());
+        assert_eq!(classify(&measure(&f)), AverageCaseVerdict::Inconclusive);
+    }
+
+    #[test]
+    fn dense_formulas_are_inconclusive() {
+        let mut f = CnfFormula::new(3);
+        for i in 0..64 {
+            f.add_clause(vec![lit(i % 3, i % 2 == 0), lit((i + 1) % 3, i % 3 == 0)]);
+        }
+        // 64 clauses over 3 vars: ratio 21 > 16 (duplicates removed may
+        // reduce count, so check the measured ratio first).
+        let p = measure(&f);
+        if p.clause_var_ratio > 16.0 {
+            assert_eq!(classify(&p), AverageCaseVerdict::Inconclusive);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must have variables")]
+    fn empty_formula_panics() {
+        measure(&CnfFormula::new(0));
+    }
+}

@@ -1,0 +1,270 @@
+//! Formula-level preprocessing: unit propagation and pure-literal
+//! elimination to fixpoint.
+//!
+//! SAT-based ATPG tools preprocess each instance before search (TEGUS
+//! derives "global implications" up front); this module provides the
+//! equisatisfiable core of that step and reports the forced assignments
+//! so models of the simplified formula extend to models of the original.
+
+use crate::{Clause, CnfFormula, Lit, Var};
+
+/// Result of [`simplify`].
+#[derive(Debug, Clone)]
+pub struct Simplified {
+    /// The residual formula (over the same variable numbering).
+    pub formula: CnfFormula,
+    /// Assignments forced by unit propagation or chosen for pure literals,
+    /// indexed by variable.
+    pub forced: Vec<Option<bool>>,
+    /// `true` when propagation derived the empty clause (original is
+    /// UNSAT regardless of the residual formula).
+    pub contradiction: bool,
+    /// Unit propagations performed.
+    pub units: usize,
+    /// Pure literals eliminated.
+    pub pures: usize,
+}
+
+impl Simplified {
+    /// Extends a model of the residual formula to a model of the original
+    /// (forced variables take their forced value; remaining unassigned
+    /// variables keep the residual model's value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model.len() < forced.len()`.
+    pub fn extend_model(&self, model: &[bool]) -> Vec<bool> {
+        assert!(model.len() >= self.forced.len(), "model too short");
+        self.forced
+            .iter()
+            .enumerate()
+            .map(|(v, f)| f.unwrap_or(model[v]))
+            .collect()
+    }
+}
+
+/// Simplifies a formula by unit propagation and pure-literal elimination,
+/// iterated to fixpoint. The result is equisatisfiable with the input,
+/// and satisfying assignments transfer through
+/// [`Simplified::extend_model`].
+pub fn simplify(f: &CnfFormula) -> Simplified {
+    let n = f.num_vars();
+    let mut forced: Vec<Option<bool>> = vec![None; n];
+    let mut clauses: Vec<Option<Clause>> = f.clauses().iter().cloned().map(Some).collect();
+    let mut units = 0usize;
+    let mut pures = 0usize;
+    let mut contradiction = false;
+
+    loop {
+        let mut changed = false;
+
+        // Unit propagation.
+        loop {
+            let mut unit: Option<Lit> = None;
+            'scan: for c in clauses.iter().flatten() {
+                let mut last: Option<Lit> = None;
+                let mut open = 0usize;
+                for &l in c {
+                    match forced[l.var().index()] {
+                        Some(v) if v == l.asserted_value() => continue 'scan, // satisfied
+                        Some(_) => {}
+                        None => {
+                            last = Some(l);
+                            open += 1;
+                        }
+                    }
+                }
+                match open {
+                    0 => {
+                        contradiction = true;
+                        break 'scan;
+                    }
+                    1 => {
+                        unit = last;
+                        break 'scan;
+                    }
+                    _ => {}
+                }
+            }
+            if contradiction {
+                break;
+            }
+            match unit {
+                Some(l) => {
+                    forced[l.var().index()] = Some(l.asserted_value());
+                    units += 1;
+                    changed = true;
+                }
+                None => break,
+            }
+        }
+        if contradiction {
+            break;
+        }
+
+        // Drop satisfied clauses and falsified literals.
+        for slot in clauses.iter_mut() {
+            let Some(c) = slot else { continue };
+            let satisfied = c
+                .iter()
+                .any(|&l| forced[l.var().index()] == Some(l.asserted_value()));
+            if satisfied {
+                *slot = None;
+            } else {
+                c.retain(|&l| forced[l.var().index()].is_none());
+            }
+        }
+
+        // Pure literals: variables occurring with a single polarity.
+        let mut pos = vec![false; n];
+        let mut neg = vec![false; n];
+        for c in clauses.iter().flatten() {
+            for &l in c {
+                if l.is_positive() {
+                    pos[l.var().index()] = true;
+                } else {
+                    neg[l.var().index()] = true;
+                }
+            }
+        }
+        for v in 0..n {
+            if forced[v].is_some() {
+                continue;
+            }
+            if pos[v] ^ neg[v] {
+                forced[v] = Some(pos[v]);
+                pures += 1;
+                changed = true;
+            }
+        }
+        if changed {
+            // Re-run: the pure assignments may satisfy more clauses.
+            for slot in clauses.iter_mut() {
+                let Some(c) = slot else { continue };
+                if c.iter()
+                    .any(|&l| forced[l.var().index()] == Some(l.asserted_value()))
+                {
+                    *slot = None;
+                }
+            }
+            continue;
+        }
+        break;
+    }
+
+    let mut residual = CnfFormula::new(n);
+    if contradiction {
+        residual.add_clause(vec![]);
+    } else {
+        for c in clauses.into_iter().flatten() {
+            residual.add_clause(c);
+        }
+    }
+    Simplified {
+        formula: residual,
+        forced,
+        contradiction,
+        units,
+        pures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(i: usize, pos: bool) -> Lit {
+        Lit::with_value(Var::from_index(i), pos)
+    }
+
+    #[test]
+    fn unit_chain_collapses_fully() {
+        // x0, x0→x1, x1→x2.
+        let mut f = CnfFormula::new(3);
+        f.add_clause(vec![lit(0, true)]);
+        f.add_clause(vec![lit(0, false), lit(1, true)]);
+        f.add_clause(vec![lit(1, false), lit(2, true)]);
+        let s = simplify(&f);
+        assert!(!s.contradiction);
+        assert_eq!(s.formula.num_clauses(), 0);
+        assert_eq!(s.forced, vec![Some(true), Some(true), Some(true)]);
+        assert_eq!(s.units, 3);
+    }
+
+    #[test]
+    fn contradiction_detected() {
+        let mut f = CnfFormula::new(1);
+        f.add_clause(vec![lit(0, true)]);
+        f.add_clause(vec![lit(0, false)]);
+        let s = simplify(&f);
+        assert!(s.contradiction);
+        assert!(s.formula.has_empty_clause());
+    }
+
+    #[test]
+    fn pure_literals_eliminated() {
+        // x0 only positive, x1 mixed: x0 is pure.
+        let mut f = CnfFormula::new(2);
+        f.add_clause(vec![lit(0, true), lit(1, true)]);
+        f.add_clause(vec![lit(0, true), lit(1, false)]);
+        let s = simplify(&f);
+        assert_eq!(s.forced[0], Some(true));
+        assert_eq!(s.formula.num_clauses(), 0, "pure assignment satisfies all");
+        assert!(s.pures >= 1);
+    }
+
+    #[test]
+    fn extend_model_restores_original_satisfaction() {
+        // (x0) ∧ (¬x0 ∨ x1 ∨ x2) ∧ (¬x1 ∨ x3) — partially collapses.
+        let mut f = CnfFormula::new(4);
+        f.add_clause(vec![lit(0, true)]);
+        f.add_clause(vec![lit(0, false), lit(1, true), lit(2, true)]);
+        f.add_clause(vec![lit(1, false), lit(3, true)]);
+        let s = simplify(&f);
+        assert!(!s.contradiction);
+        // Any model of the residual extends to a model of the original.
+        let n = f.num_vars();
+        for m in 0u32..(1 << n) {
+            let model: Vec<bool> = (0..n).map(|i| m >> i & 1 != 0).collect();
+            if s.formula.eval_complete(&model) {
+                let full = s.extend_model(&model);
+                assert!(f.eval_complete(&full), "model {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn equisatisfiable_on_circuit_formulas() {
+        use atpg_easy_netlist::{GateKind, Netlist};
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.add_gate_named(GateKind::Nand, vec![a, b], "x").unwrap();
+        let y = nl.add_gate_named(GateKind::And, vec![x, a], "y").unwrap();
+        nl.add_output(y);
+        let enc = crate::circuit::encode(&nl).unwrap();
+        let s = simplify(&enc.formula);
+        assert!(!s.contradiction);
+        // The output unit clause must have propagated something.
+        assert!(s.units >= 1);
+        // Brute-force both; satisfiability must agree.
+        let sat = |f: &CnfFormula| {
+            (0u32..(1 << f.num_vars())).any(|m| {
+                let v: Vec<bool> = (0..f.num_vars()).map(|i| m >> i & 1 != 0).collect();
+                f.eval_complete(&v)
+            })
+        };
+        assert_eq!(sat(&enc.formula), sat(&s.formula));
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut f = CnfFormula::new(3);
+        f.add_clause(vec![lit(0, true), lit(1, false)]);
+        f.add_clause(vec![lit(1, true), lit(2, true)]);
+        let once = simplify(&f);
+        let twice = simplify(&once.formula);
+        assert_eq!(twice.units + twice.pures, 0,
+            "simplification reaches a fixpoint in one call");
+    }
+}

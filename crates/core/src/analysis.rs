@@ -1,0 +1,155 @@
+//! Per-fault complexity analysis: the paper's whole argument applied to
+//! one ATPG instance at a time.
+//!
+//! For a fault ψ the pipeline builds `C_ψ^ATPG`, finds a low-cut-width
+//! ordering of it with the MLA estimator, runs the paper's Algorithm 1
+//! under the induced variable order, and compares the measured node count
+//! against the Theorem-4.1 bound `n · 2^(2·k_fo·W)`. This is the
+//! mechanized composition of Lemma 4.3 (the miter has small width because
+//! the circuit does) with Theorem 4.1 (small width ⇒ small tree).
+
+use atpg_easy_atpg::{miter, Fault};
+use atpg_easy_cnf::circuit;
+use atpg_easy_cutwidth::mla::{self, MlaConfig};
+use atpg_easy_cutwidth::Hypergraph;
+use atpg_easy_netlist::Netlist;
+use atpg_easy_sat::{CachingBacktracking, Limits, Outcome, Solver};
+
+use crate::{bounds, varorder};
+
+/// The complexity ledger of one ATPG-SAT instance.
+#[derive(Debug, Clone)]
+pub struct FaultAnalysis {
+    /// The fault.
+    pub fault: Fault,
+    /// `|C_ψ^sub|` in nets.
+    pub sub_size: usize,
+    /// Variables of the ATPG-SAT formula (nets of `C_ψ^ATPG`).
+    pub miter_vars: usize,
+    /// Estimated cut-width of the miter under its MLA ordering.
+    pub w_miter: usize,
+    /// Base-2 log of the Theorem-4.1 bound for the miter.
+    pub log2_bound: f64,
+    /// Algorithm-1 nodes actually expanded under the induced order.
+    pub nodes: u64,
+    /// Whether the instance was decided (`false` = budget hit).
+    pub decided: bool,
+    /// The verdict, when decided: `true` = testable.
+    pub testable: bool,
+}
+
+impl FaultAnalysis {
+    /// Whether the measured work respects the Theorem-4.1 bound.
+    pub fn within_bound(&self) -> bool {
+        (self.nodes.max(1) as f64).log2() <= self.log2_bound
+    }
+}
+
+/// Analyzes a single fault. Returns `None` for unobservable faults.
+///
+/// `node_budget` caps Algorithm 1 (the model solver is exponentially
+/// slower than CDCL on adversarial orderings; the bound still applies to
+/// whatever was explored).
+///
+/// # Panics
+///
+/// Panics if the netlist is invalid or contains wide XOR gates.
+pub fn analyze_fault(
+    nl: &Netlist,
+    fault: Fault,
+    config: &MlaConfig,
+    node_budget: u64,
+) -> Option<FaultAnalysis> {
+    let m = miter::build(nl, fault);
+    if m.unobservable {
+        return None;
+    }
+    let h = Hypergraph::from_netlist(&m.circuit);
+    let (w, node_order) = mla::estimate_cutwidth(&h, config);
+    let vars = varorder::variable_order(&m.circuit, &node_order);
+    let mut enc = circuit::encode(&m.circuit).expect("miters encode");
+    if let Some(act) = miter::activation_clause(&m, &enc) {
+        enc.formula.add_clause(act);
+    }
+    let sol = CachingBacktracking::new()
+        .with_order(vars)
+        .with_limits(Limits::nodes(node_budget))
+        .solve(&enc.formula);
+    let n = enc.formula.num_vars();
+    Some(FaultAnalysis {
+        fault,
+        sub_size: m.sub_size(),
+        miter_vars: n,
+        w_miter: w,
+        log2_bound: bounds::theorem41_log2_bound(n, m.circuit.max_fanout(), w),
+        nodes: sol.stats.nodes,
+        decided: sol.outcome != Outcome::Aborted,
+        testable: sol.outcome.is_sat(),
+    })
+}
+
+/// Analyzes every `stride`-th collapsed fault of a circuit.
+///
+/// # Panics
+///
+/// Panics if `stride == 0` or the netlist is invalid.
+pub fn analyze_circuit(
+    nl: &Netlist,
+    config: &MlaConfig,
+    stride: usize,
+    node_budget: u64,
+) -> Vec<FaultAnalysis> {
+    assert!(stride > 0, "stride must be positive");
+    atpg_easy_atpg::fault::collapse(nl)
+        .into_iter()
+        .step_by(stride)
+        .filter_map(|f| analyze_fault(nl, f, config, node_budget))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atpg_easy_circuits::{adders, suite};
+    use atpg_easy_netlist::decompose;
+
+    #[test]
+    fn every_c17_instance_within_bound() {
+        let nl = suite::c17();
+        let analyses = analyze_circuit(&nl, &MlaConfig::default(), 1, 10_000_000);
+        assert!(!analyses.is_empty());
+        for a in &analyses {
+            assert!(a.decided, "{}", a.fault.describe(&nl));
+            assert!(
+                a.within_bound(),
+                "{}: {} nodes vs bound 2^{:.1}",
+                a.fault.describe(&nl),
+                a.nodes,
+                a.log2_bound
+            );
+            assert!(a.testable, "every c17 fault is testable");
+        }
+    }
+
+    #[test]
+    fn adder_instances_within_bound() {
+        let nl = decompose::decompose(&adders::ripple_carry(4), 3).unwrap();
+        for a in analyze_circuit(&nl, &MlaConfig::default(), 3, 50_000_000) {
+            assert!(a.within_bound(), "{}", a.fault.describe(&nl));
+            assert!(a.sub_size > 0);
+            assert!(a.miter_vars >= a.sub_size);
+        }
+    }
+
+    #[test]
+    fn unobservable_fault_is_none() {
+        use atpg_easy_netlist::{GateKind, Netlist};
+        let mut nl = Netlist::new("d");
+        let a = nl.add_input("a");
+        let _dead = nl.add_gate_named(GateKind::Not, vec![a], "dead").unwrap();
+        let y = nl.add_gate_named(GateKind::Buf, vec![a], "y").unwrap();
+        nl.add_output(y);
+        let dead = nl.find_net("dead").unwrap();
+        assert!(analyze_fault(&nl, Fault::stuck_at_0(dead), &MlaConfig::default(), 1000).is_none());
+    }
+}

@@ -1,0 +1,90 @@
+//! The paper's complexity bounds (Section 4).
+
+/// Lemma 4.1: the number of distinct consistent sub-formulas reachable by
+/// assigning a variable prefix with cut size `cut` is at most
+/// `2^(2·k_fo·cut)`. Returned as the base-2 logarithm (the raw count
+/// overflows quickly).
+pub fn lemma41_log2_bound(k_fo: usize, cut: usize) -> f64 {
+    2.0 * k_fo as f64 * cut as f64
+}
+
+/// Theorem 4.1: caching-based backtracking solves CIRCUIT-SAT on a
+/// circuit with `n` formula variables, fan-out bound `k_fo` and cut-width
+/// `w` (under the solver's ordering) within `n · 2^(2·k_fo·w)` tree nodes
+/// (up to a constant). Returned as the base-2 logarithm.
+pub fn theorem41_log2_bound(n: usize, k_fo: usize, w: usize) -> f64 {
+    (n.max(1) as f64).log2() + 2.0 * k_fo as f64 * w as f64
+}
+
+/// Theorem 4.1 as a saturating node count: `n · 2^(2·k_fo·w)`, clamped to
+/// `u64::MAX` when it overflows (the bound is then vacuous in practice).
+pub fn theorem41_bound(n: usize, k_fo: usize, w: usize) -> u64 {
+    let exp = 2u32.saturating_mul(k_fo as u32).saturating_mul(w as u32);
+    if exp >= 63 {
+        return u64::MAX;
+    }
+    (n as u64).saturating_mul(1u64 << exp)
+}
+
+/// Equation 4.5: the multi-output extension —
+/// `O(p · n_max · 2^(2·k_fo·W(C,H)))` where `p` is the output count and
+/// `n_max` the largest single-output cone. Returned as the base-2
+/// logarithm.
+pub fn eq45_log2_bound(p: usize, n_max: usize, k_fo: usize, w: usize) -> f64 {
+    (p.max(1) as f64).log2() + theorem41_log2_bound(n_max, k_fo, w)
+}
+
+/// The Lemma 4.2 right-hand side: `2·w + 2`.
+pub fn lemma42_bound(w: usize) -> usize {
+    2 * w + 2
+}
+
+/// Solving a circuit whose cut-width is `c·log₂(size)` is polynomial of
+/// degree `1 + 2·k_fo·c` (Lemma 5.1). Returns that degree.
+pub fn polynomial_degree(k_fo: usize, c: f64) -> f64 {
+    1.0 + 2.0 * k_fo as f64 * c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem41_matches_closed_form() {
+        assert_eq!(theorem41_bound(10, 1, 2), 10 * 16);
+        assert_eq!(theorem41_bound(3, 2, 3), 3 * 4096);
+        assert_eq!(theorem41_bound(100, 3, 20), u64::MAX, "saturates");
+    }
+
+    #[test]
+    fn log_forms_consistent() {
+        let log = theorem41_log2_bound(10, 1, 2);
+        assert!((log - (10f64.log2() + 4.0)).abs() < 1e-12);
+        let raw = theorem41_bound(10, 1, 2) as f64;
+        assert!((raw.log2() - log).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq45_adds_output_factor() {
+        let single = theorem41_log2_bound(50, 2, 3);
+        let multi = eq45_log2_bound(8, 50, 2, 3);
+        assert!((multi - single - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma42_rhs() {
+        assert_eq!(lemma42_bound(3), 8);
+        assert_eq!(lemma42_bound(0), 2);
+    }
+
+    #[test]
+    fn degree_grows_with_fanout_and_constant() {
+        assert!(polynomial_degree(2, 1.0) > polynomial_degree(1, 1.0));
+        assert!((polynomial_degree(1, 1.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma41_bound_form() {
+        assert!((lemma41_log2_bound(2, 5) - 20.0).abs() < 1e-12);
+    }
+}

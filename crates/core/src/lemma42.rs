@@ -1,0 +1,201 @@
+//! Lemma 4.2/4.3: the cut-width of the ATPG miter is linearly related to
+//! the cut-width of the circuit under test.
+//!
+//! Given an ordering `h` of the circuit's hypergraph nodes, the derived
+//! ordering `h_ψ` walks `h` and places, for every node, its good-copy
+//! image immediately followed by its faulty-copy image (when the node is
+//! in the fault's fan-out cone); the XOR difference gate and output
+//! terminal of each affected output sit at the original output-terminal
+//! position. Every original net then corresponds to at most two miter
+//! nets with the same span, and the XOR bookkeeping adds at most two more
+//! crossing edges at any cut: `W(C_ψ^ATPG, h_ψ) ≤ 2·W(C, h) + 2`.
+
+use atpg_easy_atpg::{miter, AtpgMiter, Fault};
+use atpg_easy_cutwidth::{ordering, Hypergraph};
+use atpg_easy_netlist::Netlist;
+
+use crate::bounds;
+
+/// The outcome of a mechanized Lemma 4.2 check for one fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lemma42Check {
+    /// `W(C, h)` over the whole circuit.
+    pub w_circuit: usize,
+    /// `W(C_ψ^ATPG, h_ψ)` under the derived ordering.
+    pub w_miter: usize,
+    /// The right-hand side `2·W(C, h) + 2`.
+    pub bound: usize,
+}
+
+impl Lemma42Check {
+    /// Whether the inequality holds (it must; a `false` would be a bug in
+    /// the construction).
+    pub fn holds(&self) -> bool {
+        self.w_miter <= self.bound
+    }
+}
+
+/// Derives the miter ordering `h_ψ` from a circuit ordering `h`
+/// (a permutation of the nodes of [`Hypergraph::from_netlist`] for `nl`).
+///
+/// # Panics
+///
+/// Panics if `h` is not such a permutation or the miter belongs to a
+/// different circuit/fault.
+pub fn derived_ordering(nl: &Netlist, m: &AtpgMiter, h: &[usize]) -> Vec<usize> {
+    let g = nl.num_gates();
+    let pi = nl.num_inputs();
+    assert_eq!(
+        h.len(),
+        g + pi + nl.num_outputs(),
+        "h must order the circuit's hypergraph nodes"
+    );
+    let mc = &m.circuit;
+    let mg = mc.num_gates();
+    let mpi = mc.num_inputs();
+    // Positions of miter nets among the miter's inputs / outputs.
+    let mut in_pos = vec![usize::MAX; mc.num_nets()];
+    for (p, &n) in mc.inputs().iter().enumerate() {
+        in_pos[n.index()] = p;
+    }
+    let mut out_pos = vec![usize::MAX; mc.num_nets()];
+    for (p, &n) in mc.outputs().iter().enumerate() {
+        out_pos[n.index()] = p;
+    }
+
+    let mut order = Vec::with_capacity(mg + mpi + mc.num_outputs());
+    for &v in h {
+        if v < g {
+            let out = nl.gate(atpg_easy_netlist::GateId::from_index(v)).output;
+            if let Some(gn) = m.good_of[out.index()] {
+                let d = mc.net(gn).driver.expect("good gate outputs are driven");
+                order.push(d.index());
+            }
+            if let Some(fnet) = m.faulty_of[out.index()] {
+                let d = mc.net(fnet).driver.expect("faulty nets are driven");
+                order.push(d.index());
+            }
+        } else if v < g + pi {
+            let net = nl.inputs()[v - g];
+            if let Some(gn) = m.good_of[net.index()] {
+                debug_assert!(mc.is_input(gn));
+                order.push(mg + in_pos[gn.index()]);
+            }
+            if let Some(fnet) = m.faulty_of[net.index()] {
+                // The fault site was a primary input: its faulty copy is a
+                // constant gate, placed right after the input node.
+                let d = mc.net(fnet).driver.expect("faulty nets are driven");
+                order.push(d.index());
+            }
+        } else {
+            let j = v - g - pi;
+            if let Some(z) = m.xor_of_output[j] {
+                let d = mc.net(z).driver.expect("XOR difference nets are driven");
+                order.push(d.index());
+                order.push(mg + mpi + out_pos[z.index()]);
+            }
+        }
+    }
+    order
+}
+
+/// Builds the miter for `fault`, derives `h_ψ` from `h`, and evaluates
+/// both sides of Lemma 4.2. Returns `None` for unobservable faults (their
+/// miter is a constant and the lemma is vacuous).
+///
+/// # Panics
+///
+/// See [`derived_ordering`].
+pub fn check(nl: &Netlist, fault: Fault, h: &[usize]) -> Option<Lemma42Check> {
+    let hc = Hypergraph::from_netlist(nl);
+    let w_circuit = ordering::cutwidth(&hc, h);
+    let m = miter::build(nl, fault);
+    if m.unobservable {
+        return None;
+    }
+    let h_psi = derived_ordering(nl, &m, h);
+    let hm = Hypergraph::from_netlist(&m.circuit);
+    let w_miter = ordering::cutwidth(&hm, &h_psi);
+    Some(Lemma42Check {
+        w_circuit,
+        w_miter,
+        bound: bounds::lemma42_bound(w_circuit),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atpg_easy_atpg::fault::all_faults;
+    use atpg_easy_circuits::suite;
+    use atpg_easy_cutwidth::mla::{self, MlaConfig};
+
+    fn check_all_faults(nl: &Netlist, h: &[usize]) {
+        for fault in all_faults(nl) {
+            if let Some(c) = check(nl, fault, h) {
+                assert!(
+                    c.holds(),
+                    "Lemma 4.2 violated for {}: W_miter {} > 2·{}+2",
+                    fault.describe(nl),
+                    c.w_miter,
+                    c.w_circuit
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn holds_on_c17_with_mla_ordering() {
+        let nl = suite::c17();
+        let h = Hypergraph::from_netlist(&nl);
+        let (_, order) = mla::estimate_cutwidth(&h, &MlaConfig::default());
+        check_all_faults(&nl, &order);
+    }
+
+    #[test]
+    fn holds_on_c17_with_identity_ordering() {
+        let nl = suite::c17();
+        let h = Hypergraph::from_netlist(&nl);
+        let identity: Vec<usize> = (0..h.num_nodes()).collect();
+        check_all_faults(&nl, &identity);
+    }
+
+    #[test]
+    fn holds_on_adder_and_mux() {
+        for nl in [
+            atpg_easy_circuits::adders::ripple_carry(4),
+            atpg_easy_circuits::mux::mux_tree(2),
+        ] {
+            let h = Hypergraph::from_netlist(&nl);
+            let (_, order) = mla::estimate_cutwidth(&h, &MlaConfig::default());
+            check_all_faults(&nl, &order);
+        }
+    }
+
+    #[test]
+    fn derived_ordering_is_permutation() {
+        let nl = suite::c17();
+        let fault = Fault::stuck_at_1(nl.find_net("11").unwrap());
+        let m = miter::build(&nl, fault);
+        let hc = Hypergraph::from_netlist(&nl);
+        let identity: Vec<usize> = (0..hc.num_nodes()).collect();
+        let mut h_psi = derived_ordering(&nl, &m, &identity);
+        let hm = Hypergraph::from_netlist(&m.circuit);
+        h_psi.sort_unstable();
+        assert_eq!(h_psi, (0..hm.num_nodes()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unobservable_fault_gives_none() {
+        use atpg_easy_netlist::GateKind;
+        let mut nl = Netlist::new("d");
+        let a = nl.add_input("a");
+        let _dead = nl.add_gate_named(GateKind::Not, vec![a], "dead").unwrap();
+        let y = nl.add_gate_named(GateKind::Buf, vec![a], "y").unwrap();
+        nl.add_output(y);
+        let dead = nl.find_net("dead").unwrap();
+        let hc = Hypergraph::from_netlist(&nl);
+        let identity: Vec<usize> = (0..hc.num_nodes()).collect();
+        assert!(check(&nl, Fault::stuck_at_0(dead), &identity).is_none());
+    }
+}

@@ -1,0 +1,76 @@
+//! The empirical log-bounded-width classifier (Definition 5.1 applied to
+//! measured data, as in the paper's Section 5.2.2).
+
+use atpg_easy_fit::{best_fit, fit_all, Fit, Model};
+
+/// Verdict of the log-bounded-width test on a cut-width-versus-size
+/// scatter.
+#[derive(Debug, Clone)]
+pub struct WidthClassification {
+    /// All three candidate fits (any that could be computed).
+    pub fits: Vec<Fit>,
+    /// The winning (lowest-SSE) fit.
+    pub best: Fit,
+}
+
+impl WidthClassification {
+    /// `true` when the logarithmic model wins — the paper's criterion for
+    /// calling a circuit family log-bounded-width.
+    pub fn is_log_bounded(&self) -> bool {
+        self.best.model == Model::Logarithmic
+    }
+
+    /// The fitted constant `c` such that `W ≈ c·log₂(size)` (converted
+    /// from the natural-log fit), when the log model won.
+    pub fn log2_coefficient(&self) -> Option<f64> {
+        (self.best.model == Model::Logarithmic).then(|| self.best.a * std::f64::consts::LN_2)
+    }
+}
+
+/// Classifies a `(size, cut-width)` scatter.
+///
+/// Returns `None` when no model can be fitted (fewer than two usable
+/// points).
+pub fn classify(points: &[(f64, f64)]) -> Option<WidthClassification> {
+    let best = best_fit(points)?;
+    Some(WidthClassification {
+        fits: fit_all(points),
+        best,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_scatter_classified_log_bounded() {
+        let pts: Vec<(f64, f64)> = (4..2000)
+            .map(|i| {
+                let x = i as f64;
+                // cut-width ≈ 1.5·log2(x) with deterministic jitter.
+                let w = (1.5 * x.log2() + ((i * 7) % 5) as f64 * 0.2).round();
+                (x, w)
+            })
+            .collect();
+        let c = classify(&pts).unwrap();
+        assert!(c.is_log_bounded(), "best: {}", c.best);
+        let coeff = c.log2_coefficient().unwrap();
+        assert!((coeff - 1.5).abs() < 0.2, "coefficient {coeff}");
+    }
+
+    #[test]
+    fn sqrt_scatter_not_log_bounded() {
+        // Cut-width ~ √size (the 2-D array / multiplier shape).
+        let pts: Vec<(f64, f64)> = (4..2000).map(|i| (i as f64, (i as f64).sqrt())).collect();
+        let c = classify(&pts).unwrap();
+        assert!(!c.is_log_bounded(), "best: {}", c.best);
+        assert_eq!(c.best.model, Model::Power);
+        assert!((c.best.b - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_data_is_none() {
+        assert!(classify(&[]).is_none());
+    }
+}

@@ -1,0 +1,224 @@
+//! Plain-text renderings of the series the paper plots.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use crate::experiment::{fig1_summary, Fig1Point, Fig8Point};
+use crate::predictor;
+
+/// Renders the Figure-1 population as a per-circuit table plus the
+/// headline summary line ("N instances, P% under T").
+pub fn figure1_table(points: &[Fig1Point], fast_threshold: Duration) -> String {
+    let mut per: BTreeMap<&str, Vec<&Fig1Point>> = BTreeMap::new();
+    for p in points {
+        per.entry(&p.circuit).or_default().push(p);
+    }
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<12} {:>9} {:>10} {:>10} {:>12} {:>8}",
+        "circuit", "instances", "max vars", "fast %", "max time", "aborted"
+    );
+    for (name, pts) in &per {
+        let fast = pts.iter().filter(|p| p.time <= fast_threshold).count();
+        let max_vars = pts.iter().map(|p| p.vars).max().unwrap_or(0);
+        let max_time = pts.iter().map(|p| p.time).max().unwrap_or(Duration::ZERO);
+        let aborted = pts.iter().filter(|p| p.outcome == "ABORT").count();
+        let _ = writeln!(
+            s,
+            "{:<12} {:>9} {:>10} {:>9.1}% {:>12?} {:>8}",
+            name,
+            pts.len(),
+            max_vars,
+            100.0 * fast as f64 / pts.len().max(1) as f64,
+            max_time,
+            aborted
+        );
+    }
+    let owned: Vec<Fig1Point> = points.to_vec();
+    let sum = fig1_summary(&owned, fast_threshold);
+    let _ = writeln!(
+        s,
+        "TOTAL: {} instances; {:.1}% solved within {:?}; largest instance {} vars",
+        sum.instances,
+        100.0 * sum.fast_fraction,
+        fast_threshold,
+        sum.max_vars
+    );
+    s
+}
+
+/// Renders the Figure-8 scatter summary: the three least-squares fits and
+/// the winner, per the paper's model-selection methodology.
+pub fn figure8_fits(points: &[Fig8Point]) -> String {
+    let scatter = crate::experiment::fig8_scatter(points);
+    let mut s = String::new();
+    let _ = writeln!(s, "{} data points", points.len());
+    match predictor::classify(&scatter) {
+        None => {
+            let _ = writeln!(s, "not enough data to fit");
+        }
+        Some(c) => {
+            for f in &c.fits {
+                let marker = if f.model == c.best.model { " <== best" } else { "" };
+                let _ = writeln!(s, "  {f}{marker}");
+            }
+            let _ = writeln!(
+                s,
+                "log-bounded-width: {}{}",
+                c.is_log_bounded(),
+                c.log2_coefficient()
+                    .map(|k| format!(" (W ≈ {k:.2}·log₂ size)"))
+                    .unwrap_or_default()
+            );
+        }
+    }
+    s
+}
+
+/// A coarse ASCII scatter plot (log-x), for eyeballing figure shapes in a
+/// terminal.
+pub fn ascii_scatter(points: &[(f64, f64)], width: usize, height: usize) -> String {
+    if points.is_empty() {
+        return "(no data)\n".into();
+    }
+    let min_x = points.iter().map(|p| p.0).fold(f64::MAX, f64::min).max(1.0);
+    let max_x = points.iter().map(|p| p.0).fold(1.0f64, f64::max);
+    let max_y = points.iter().map(|p| p.1).fold(1.0f64, f64::max);
+    let mut grid = vec![vec![b' '; width]; height];
+    for &(x, y) in points {
+        let fx = if max_x > min_x {
+            (x.max(min_x).ln() - min_x.ln()) / (max_x.ln() - min_x.ln())
+        } else {
+            0.0
+        };
+        let fy = y / max_y;
+        let col = ((fx * (width - 1) as f64).round() as usize).min(width - 1);
+        let row = height - 1 - ((fy * (height - 1) as f64).round() as usize).min(height - 1);
+        grid[row][col] = b'*';
+    }
+    let mut s = String::new();
+    let _ = writeln!(s, "y: 0..{max_y:.0}   x (log): {min_x:.0}..{max_x:.0}");
+    for row in grid {
+        let _ = writeln!(s, "|{}", String::from_utf8_lossy(&row));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(circuit: &str, vars: usize, ms: u64) -> Fig1Point {
+        Fig1Point {
+            circuit: circuit.into(),
+            fault: "x/s-a-0".into(),
+            vars,
+            clauses: vars * 3,
+            time: Duration::from_millis(ms),
+            decisions: 1,
+            propagations: 2,
+            conflicts: 0,
+            outcome: "SAT",
+        }
+    }
+
+    #[test]
+    fn fig1_table_renders() {
+        let pts = vec![pt("a", 10, 1), pt("a", 20, 50), pt("b", 5, 0)];
+        let t = figure1_table(&pts, Duration::from_millis(10));
+        assert!(t.contains("TOTAL: 3 instances"));
+        assert!(t.contains('a') && t.contains('b'));
+    }
+
+    #[test]
+    fn fig8_fits_renders() {
+        let pts: Vec<Fig8Point> = (2..100)
+            .map(|i| Fig8Point {
+                circuit: "t".into(),
+                sub_size: i * 10,
+                cutwidth: ((i * 10) as f64).log2() as usize + 2,
+            })
+            .collect();
+        let s = figure8_fits(&pts);
+        assert!(s.contains("best"));
+        assert!(s.contains("log-bounded-width: true"), "{s}");
+    }
+
+    #[test]
+    fn scatter_draws() {
+        let s = ascii_scatter(&[(1.0, 1.0), (100.0, 5.0), (1000.0, 8.0)], 40, 10);
+        assert!(s.matches('*').count() >= 2);
+        assert_eq!(ascii_scatter(&[], 10, 5), "(no data)\n");
+    }
+}
+
+/// Figure-1 points as CSV (`circuit,fault,vars,clauses,time_us,decisions,
+/// propagations,conflicts,outcome`) — for external plotting of the
+/// scatter exactly as the paper draws it.
+pub fn figure1_csv(points: &[Fig1Point]) -> String {
+    let mut s = String::from(
+        "circuit,fault,vars,clauses,time_us,decisions,propagations,conflicts,outcome\n",
+    );
+    for p in points {
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{:.3},{},{},{},{}",
+            p.circuit,
+            p.fault,
+            p.vars,
+            p.clauses,
+            p.time.as_secs_f64() * 1e6,
+            p.decisions,
+            p.propagations,
+            p.conflicts,
+            p.outcome
+        );
+    }
+    s
+}
+
+/// Figure-8 points as CSV (`circuit,sub_size,cutwidth`).
+pub fn figure8_csv(points: &[Fig8Point]) -> String {
+    let mut s = String::from("circuit,sub_size,cutwidth\n");
+    for p in points {
+        let _ = writeln!(s, "{},{},{}", p.circuit, p.sub_size, p.cutwidth);
+    }
+    s
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use super::*;
+
+    #[test]
+    fn fig1_csv_shape() {
+        let p = Fig1Point {
+            circuit: "c17".into(),
+            fault: "x/s-a-1".into(),
+            vars: 10,
+            clauses: 20,
+            time: Duration::from_micros(42),
+            decisions: 3,
+            propagations: 7,
+            conflicts: 1,
+            outcome: "SAT",
+        };
+        let csv = figure1_csv(&[p]);
+        let mut lines = csv.lines();
+        assert!(lines.next().unwrap().starts_with("circuit,fault"));
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("c17,x/s-a-1,10,20,42.000,3,7,1,SAT"), "{row}");
+    }
+
+    #[test]
+    fn fig8_csv_shape() {
+        let p = Fig8Point {
+            circuit: "rca8".into(),
+            sub_size: 100,
+            cutwidth: 6,
+        };
+        assert_eq!(figure8_csv(&[p]), "circuit,sub_size,cutwidth\nrca8,100,6\n");
+    }
+}

@@ -1,0 +1,75 @@
+//! Bridging hypergraph node orderings and solver variable orders.
+//!
+//! Definition 4.1 orders the hypergraph *nodes* (gates, inputs, output
+//! terminals) while Algorithm 1 orders the formula *variables* (one per
+//! net). Every net is driven by exactly one node, so a node ordering
+//! induces the variable ordering the paper uses in Figures 5/6: a net's
+//! variable is ranked by the position of its driver node (output
+//! terminals drive no net and are skipped).
+
+use atpg_easy_cnf::Var;
+use atpg_easy_netlist::{GateId, Netlist};
+
+/// Converts a node ordering (numbering of
+/// [`Hypergraph::from_netlist`](atpg_easy_cutwidth::Hypergraph::from_netlist):
+/// gates, then inputs, then output terminals) into the induced variable
+/// order over the CIRCUIT-SAT formula of `nl`.
+///
+/// # Panics
+///
+/// Panics if `node_order` has the wrong length for `nl`.
+pub fn variable_order(nl: &Netlist, node_order: &[usize]) -> Vec<Var> {
+    let g = nl.num_gates();
+    let pi = nl.num_inputs();
+    assert_eq!(
+        node_order.len(),
+        g + pi + nl.num_outputs(),
+        "node order must cover gates, inputs and output terminals"
+    );
+    let mut order = Vec::with_capacity(nl.num_nets());
+    for &v in node_order {
+        if v < g {
+            order.push(Var::from_index(
+                nl.gate(GateId::from_index(v)).output.index(),
+            ));
+        } else if v < g + pi {
+            order.push(Var::from_index(nl.inputs()[v - g].index()));
+        }
+        // Output terminals drive no net: skipped.
+    }
+    debug_assert_eq!(order.len(), nl.num_nets());
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atpg_easy_circuits::suite;
+    use atpg_easy_cutwidth::Hypergraph;
+
+    #[test]
+    fn order_covers_every_net_once() {
+        let nl = suite::c17();
+        let h = Hypergraph::from_netlist(&nl);
+        let identity: Vec<usize> = (0..h.num_nodes()).collect();
+        let vars = variable_order(&nl, &identity);
+        assert_eq!(vars.len(), nl.num_nets());
+        let mut seen = vec![false; nl.num_nets()];
+        for v in vars {
+            assert!(!seen[v.index()]);
+            seen[v.index()] = true;
+        }
+    }
+
+    #[test]
+    fn driver_position_respected() {
+        let nl = suite::c17();
+        let g = nl.num_gates();
+        // Put the first primary input node first: its net must lead.
+        let h_graph = Hypergraph::from_netlist(&nl);
+        let mut order: Vec<usize> = (0..h_graph.num_nodes()).collect();
+        order.swap(0, g); // first input node to front
+        let vars = variable_order(&nl, &order);
+        assert_eq!(vars[0].index(), nl.inputs()[0].index());
+    }
+}

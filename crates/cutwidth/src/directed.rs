@@ -1,0 +1,225 @@
+//! Directed (forward/reverse) circuit widths — the quantities in the BDD
+//! size bounds the paper contrasts with in Section 6.
+//!
+//! Berman \[1\] and McMillan \[19\] bound BDD size in terms of a linear
+//! arrangement of the circuit *elements* where each wire (driver → sink
+//! pair) runs forward or backward: with `w_f` forward wires and `w_r`
+//! reverse wires across every cross-section, the BDD for the output has
+//! at most `n · 2^(w_f · 2^(w_r))` nodes. The paper stresses two
+//! contrasts with its own result (Definition 4.1):
+//!
+//! - cut-width is **undirected** (signal flow direction is irrelevant),
+//!   and counts *nets* once, not wires;
+//! - the BDD bound is exponential in `w_f` and doubly exponential in
+//!   `w_r`, while Theorem 4.1 is singly exponential in the cut-width.
+
+use atpg_easy_netlist::Netlist;
+
+/// Forward and reverse wire widths of a circuit under a node ordering
+/// (numbering of [`Hypergraph::from_netlist`](crate::Hypergraph::from_netlist): gates, inputs, output
+/// terminals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirectedWidths {
+    /// Maximum number of wires crossing any cut in the forward direction
+    /// (driver placed before the cut, sink after).
+    pub forward: usize,
+    /// Maximum crossing in the reverse direction (sink before driver).
+    pub reverse: usize,
+}
+
+impl DirectedWidths {
+    /// The base-2 logarithm of McMillan's BDD size bound
+    /// `n · 2^(w_f · 2^(w_r))`, clamped to `f64::INFINITY` on overflow.
+    pub fn mcmillan_log2_bound(&self, n: usize) -> f64 {
+        let exp = (self.forward as f64) * (2f64).powi(self.reverse as i32);
+        (n.max(1) as f64).log2() + exp
+    }
+}
+
+/// Computes the forward/reverse wire widths of `nl` under `order` (a
+/// permutation of the hypergraph nodes; output terminals count as sinks).
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of the hypergraph nodes.
+pub fn directed_widths(nl: &Netlist, order: &[usize]) -> DirectedWidths {
+    let g = nl.num_gates();
+    let pi = nl.num_inputs();
+    let n_nodes = g + pi + nl.num_outputs();
+    assert_eq!(order.len(), n_nodes, "order must cover every node");
+    let mut pos = vec![usize::MAX; n_nodes];
+    for (p, &v) in order.iter().enumerate() {
+        assert!(v < n_nodes, "unknown node {v}");
+        assert!(pos[v] == usize::MAX, "repeated node {v}");
+        pos[v] = p;
+    }
+
+    // Driver node of each net.
+    let mut driver = vec![usize::MAX; nl.num_nets()];
+    for (i, &net) in nl.inputs().iter().enumerate() {
+        driver[net.index()] = g + i;
+    }
+    for (gid, gate) in nl.gates() {
+        driver[gate.output.index()] = gid.index();
+    }
+
+    // One wire per (driver, sink) pair.
+    let mut fwd_diff = vec![0isize; n_nodes + 1];
+    let mut rev_diff = vec![0isize; n_nodes + 1];
+    let mut add_wire = |from: usize, to: usize| {
+        let (a, b) = (pos[from], pos[to]);
+        if a == b {
+            return;
+        }
+        let (lo, hi) = (a.min(b), a.max(b));
+        // Wire spans cuts lo..hi; direction by placement of the driver.
+        if a < b {
+            fwd_diff[lo] += 1;
+            fwd_diff[hi] -= 1;
+        } else {
+            rev_diff[lo] += 1;
+            rev_diff[hi] -= 1;
+        }
+    };
+    for (gid, gate) in nl.gates() {
+        for &inp in &gate.inputs {
+            add_wire(driver[inp.index()], gid.index());
+        }
+    }
+    for (t, &o) in nl.outputs().iter().enumerate() {
+        add_wire(driver[o.index()], g + pi + t);
+    }
+
+    let mut forward = 0usize;
+    let mut reverse = 0usize;
+    let (mut fa, mut ra) = (0isize, 0isize);
+    for c in 0..n_nodes.saturating_sub(1) {
+        fa += fwd_diff[c];
+        ra += rev_diff[c];
+        forward = forward.max(fa as usize);
+        reverse = reverse.max(ra as usize);
+    }
+    DirectedWidths { forward, reverse }
+}
+
+/// A topological node ordering (inputs and gates in dependency order,
+/// each output terminal right after its driver) — by construction the
+/// reverse width is zero, the setting of Berman's original bound.
+pub fn topological_order(nl: &Netlist) -> Vec<usize> {
+    let g = nl.num_gates();
+    let pi = nl.num_inputs();
+    let mut order = Vec::with_capacity(g + pi + nl.num_outputs());
+    for i in 0..pi {
+        order.push(g + i);
+    }
+    let topo = atpg_easy_netlist::topo::topo_order(nl).expect("acyclic circuits only");
+    // Emit output terminals immediately after their drivers.
+    let mut terminal_after = vec![Vec::new(); g + pi];
+    for (t, &o) in nl.outputs().iter().enumerate() {
+        let node = match nl.net(o).driver {
+            Some(gid) => gid.index(),
+            None => {
+                g + nl
+                    .inputs()
+                    .iter()
+                    .position(|&x| x == o)
+                    .expect("undriven nets are inputs")
+            }
+        };
+        terminal_after[node].push(g + pi + t);
+    }
+    for i in 0..pi {
+        let mut pending = std::mem::take(&mut terminal_after[g + i]);
+        order.append(&mut pending);
+    }
+    for gid in topo {
+        order.push(gid.index());
+        let mut pending = std::mem::take(&mut terminal_after[gid.index()]);
+        order.append(&mut pending);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atpg_easy_netlist::{GateKind, Netlist};
+
+    fn chain(n: usize) -> Netlist {
+        let mut nl = Netlist::new("chain");
+        let mut cur = nl.add_input("x");
+        for i in 0..n {
+            cur = nl
+                .add_gate_named(GateKind::Not, vec![cur], format!("n{i}"))
+                .unwrap();
+        }
+        nl.add_output(cur);
+        nl
+    }
+
+    #[test]
+    fn topological_order_has_zero_reverse_width() {
+        for nl in [chain(10), crate::tree::tests_support::fig_tree()] {
+            let order = topological_order(&nl);
+            let w = directed_widths(&nl, &order);
+            assert_eq!(w.reverse, 0, "{}", nl.name());
+            assert!(w.forward >= 1);
+        }
+    }
+
+    #[test]
+    fn chain_topological_forward_width_is_one() {
+        let nl = chain(20);
+        let order = topological_order(&nl);
+        let w = directed_widths(&nl, &order);
+        assert_eq!(w.forward, 1);
+    }
+
+    #[test]
+    fn reversed_order_flips_directions() {
+        let nl = chain(8);
+        let mut order = topological_order(&nl);
+        let fwd = directed_widths(&nl, &order);
+        order.reverse();
+        let rev = directed_widths(&nl, &order);
+        assert_eq!(fwd.forward, rev.reverse);
+        assert_eq!(fwd.reverse, rev.forward);
+    }
+
+    #[test]
+    fn fanout_counts_per_wire_not_per_net() {
+        // One net feeding 3 gates contributes 3 forward wires — unlike the
+        // undirected cut-width where the net is one hyperedge.
+        let mut nl = Netlist::new("fan");
+        let a = nl.add_input("a");
+        let mut outs = Vec::new();
+        for i in 0..3 {
+            outs.push(nl.add_gate_named(GateKind::Not, vec![a], format!("n{i}")).unwrap());
+        }
+        let y = nl.add_gate_named(GateKind::And, outs, "y").unwrap();
+        nl.add_output(y);
+        let order = topological_order(&nl);
+        let w = directed_widths(&nl, &order);
+        assert!(w.forward >= 3, "three wires leave the input: {w:?}");
+        let h = crate::Hypergraph::from_netlist(&nl);
+        // Match the node orderings: the undirected cut-width of net `a`
+        // alone is 1 hyperedge.
+        assert!(crate::ordering::cutwidth(&h, &order) < w.forward + 3);
+    }
+
+    #[test]
+    fn mcmillan_bound_monotone() {
+        let a = DirectedWidths { forward: 3, reverse: 0 };
+        let b = DirectedWidths { forward: 3, reverse: 1 };
+        let c = DirectedWidths { forward: 4, reverse: 0 };
+        assert!(a.mcmillan_log2_bound(10) < b.mcmillan_log2_bound(10));
+        assert!(a.mcmillan_log2_bound(10) < c.mcmillan_log2_bound(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover")]
+    fn bad_order_panics() {
+        let nl = chain(3);
+        directed_widths(&nl, &[0, 1]);
+    }
+}

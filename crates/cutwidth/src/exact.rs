@@ -1,0 +1,235 @@
+//! Exact minimum cut-width by subset dynamic programming.
+//!
+//! The min-cut linear arrangement problem is NP-complete; for the small
+//! partitions at the leaves of the recursive-bisection MLA (Section 5.2.1
+//! of the paper, following Hochbaum's framework) an exact solution is
+//! affordable: Held–Karp-style DP over node subsets,
+//! `f(S) = max(cut(S), min_{v∈S} f(S∖{v}))`,
+//! where `cut(S)` is the number of hyperedges spanning `S` and its
+//! complement. Time `O(2ⁿ·(n+m))`, practical to `n ≈ 20`.
+
+use crate::Hypergraph;
+
+/// Hard cap on the node count accepted by [`min_cutwidth`].
+pub const MAX_EXACT_NODES: usize = 24;
+
+/// Computes the exact minimum cut-width and an optimal ordering.
+///
+/// # Panics
+///
+/// Panics if `h.num_nodes() > MAX_EXACT_NODES` (the DP table would not
+/// fit); use [`crate::mla`] for larger graphs.
+pub fn min_cutwidth(h: &Hypergraph) -> (usize, Vec<usize>) {
+    min_cutwidth_anchored(h, None, None)
+}
+
+/// Exact minimum cut-width with optional anchored end nodes: `first` is
+/// forced to the leftmost position and `last` to the rightmost. Used by
+/// the recursive MLA for terminal propagation — the anchors summarize the
+/// already-placed left context and the pending right context.
+///
+/// # Panics
+///
+/// Panics if the graph is too large (see [`MAX_EXACT_NODES`]), an anchor
+/// is out of range, or `first == last` with more than one node.
+pub fn min_cutwidth_anchored(
+    h: &Hypergraph,
+    first: Option<usize>,
+    last: Option<usize>,
+) -> (usize, Vec<usize>) {
+    let n = h.num_nodes();
+    assert!(
+        n <= MAX_EXACT_NODES,
+        "exact cut-width limited to {MAX_EXACT_NODES} nodes, got {n}"
+    );
+    if n == 0 {
+        return (0, Vec::new());
+    }
+    if let (Some(f), Some(l)) = (first, last) {
+        assert!(f != l || n == 1, "first and last anchors must differ");
+    }
+    let first_mask = first.map(|f| {
+        assert!(f < n, "first anchor out of range");
+        1u32 << f
+    });
+    let last_mask = last.map(|l| {
+        assert!(l < n, "last anchor out of range");
+        1u32 << l
+    });
+    let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+    let masks: Vec<u32> = h
+        .edges()
+        .iter()
+        .map(|e| e.iter().fold(0u32, |m, &v| m | 1 << v))
+        .collect();
+
+    let size = 1usize << n;
+    let mut best = vec![u16::MAX; size];
+    let mut choice = vec![u8::MAX; size];
+    best[0] = 0;
+    for s in 1u32..=full {
+        // Constraint: a valid prefix contains `first` and excludes `last`
+        // (until the prefix is everything).
+        if let Some(fm) = first_mask {
+            if s & fm == 0 {
+                continue;
+            }
+        }
+        if let Some(lm) = last_mask {
+            if s != full && s & lm != 0 {
+                continue;
+            }
+        }
+        // cut(S): edges with nodes on both sides.
+        let mut cut = 0u16;
+        for &m in &masks {
+            if m & s != 0 && m & !s & full != 0 {
+                cut += 1;
+            }
+        }
+        let mut inner = u16::MAX;
+        let mut pick = u8::MAX;
+        let mut rest = s;
+        while rest != 0 {
+            let v = rest.trailing_zeros();
+            rest &= rest - 1;
+            // `first` may only be the last-placed node of the singleton
+            // prefix {first}.
+            if first_mask == Some(1 << v) && s != 1 << v {
+                continue;
+            }
+            let prev_set = s & !(1 << v);
+            let prev = best[prev_set as usize];
+            if prev < inner {
+                inner = prev;
+                pick = v as u8;
+            }
+        }
+        if inner == u16::MAX {
+            continue;
+        }
+        best[s as usize] = inner.max(cut);
+        choice[s as usize] = pick;
+    }
+
+    // Reconstruct: choice[S] is the node placed *last* in prefix S.
+    debug_assert!(best[full as usize] != u16::MAX, "constraints satisfiable");
+    let mut order = vec![0usize; n];
+    let mut s = full;
+    for p in (0..n).rev() {
+        let v = choice[s as usize] as usize;
+        order[p] = v;
+        s &= !(1 << v);
+    }
+    (best[full as usize] as usize, order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ordering::cutwidth;
+
+    #[test]
+    fn path_is_width_one() {
+        let h = Hypergraph::new(5, vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4]]);
+        let (w, order) = min_cutwidth(&h);
+        assert_eq!(w, 1);
+        assert_eq!(cutwidth(&h, &order), 1);
+    }
+
+    #[test]
+    fn cycle_is_width_two() {
+        let h = Hypergraph::new(
+            5,
+            vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 0]],
+        );
+        let (w, order) = min_cutwidth(&h);
+        assert_eq!(w, 2);
+        assert_eq!(cutwidth(&h, &order), 2);
+    }
+
+    #[test]
+    fn complete_graph_k4() {
+        // K4 has minimum cut-width 4 (max cut at the middle: 2·2 = 4).
+        let mut edges = Vec::new();
+        for i in 0..4 {
+            for j in i + 1..4 {
+                edges.push(vec![i, j]);
+            }
+        }
+        let h = Hypergraph::new(4, edges);
+        let (w, _) = min_cutwidth(&h);
+        assert_eq!(w, 4);
+    }
+
+    #[test]
+    fn star_width_matches_degree_split() {
+        // Star K1,4 as five 2-pin edges... center 0, leaves 1..=4.
+        // Optimal: place two leaves, center, two leaves → width 2.
+        let h = Hypergraph::new(
+            5,
+            (1..5).map(|l| vec![0, l]).collect::<Vec<_>>(),
+        );
+        let (w, order) = min_cutwidth(&h);
+        assert_eq!(w, 2);
+        assert_eq!(cutwidth(&h, &order), 2);
+    }
+
+    #[test]
+    fn hyperedge_star_width_one() {
+        // The same star as ONE 5-pin hyperedge has width 1: a hyperedge
+        // crosses each cut at most once. This is why nets, not wires, are
+        // the right model (paper Definition 4.1).
+        let h = Hypergraph::new(5, vec![vec![0, 1, 2, 3, 4]]);
+        let (w, _) = min_cutwidth(&h);
+        assert_eq!(w, 1);
+    }
+
+    #[test]
+    fn returned_order_is_optimal_small_random() {
+        // Brute-force cross-check on all permutations of 6 nodes.
+        let h = Hypergraph::new(
+            6,
+            vec![
+                vec![0, 1, 2],
+                vec![2, 3],
+                vec![3, 4, 5],
+                vec![0, 5],
+                vec![1, 4],
+            ],
+        );
+        let (w, order) = min_cutwidth(&h);
+        assert_eq!(cutwidth(&h, &order), w);
+        let mut best = usize::MAX;
+        let mut perm: Vec<usize> = (0..6).collect();
+        permute(&mut perm, 0, &mut |p| best = best.min(cutwidth(&h, p)));
+        assert_eq!(w, best);
+    }
+
+    fn permute(v: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+        if k == v.len() {
+            f(v);
+            return;
+        }
+        for i in k..v.len() {
+            v.swap(k, i);
+            permute(v, k + 1, f);
+            v.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let h = Hypergraph::new(0, vec![]);
+        let (w, order) = min_cutwidth(&h);
+        assert_eq!(w, 0);
+        assert!(order.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exact cut-width limited")]
+    fn too_large_panics() {
+        let h = Hypergraph::new(MAX_EXACT_NODES + 1, vec![]);
+        min_cutwidth(&h);
+    }
+}

@@ -1,0 +1,449 @@
+//! Fiduccia–Mattheyses min-cut bipartitioning.
+//!
+//! The paper estimates cut-width with recursive min-cut bisection using
+//! hMETIS (Section 5.2.1). This module supplies the refinement engine of
+//! that substitute, built from scratch: a gain-driven FM sweep over
+//! weighted hypergraph nodes with optional *anchored* terminal nodes, and
+//! a multi-restart flat driver. The multilevel (coarsening) driver that
+//! completes the hMETIS stand-in lives in [`crate::multilevel`].
+//! Everything is deterministic for a given seed.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::Hypergraph;
+
+/// Configuration for [`bipartition`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FmConfig {
+    /// Maximum refinement passes per restart (each pass is a full FM
+    /// tentative-move sweep).
+    pub max_passes: usize,
+    /// Independent random restarts; the best result wins.
+    pub restarts: usize,
+    /// Allowed imbalance as a fraction of the total node weight; the
+    /// smaller side may not drop below `total/2 − max(tolerance·total,
+    /// heaviest node)`.
+    pub balance_tolerance: f64,
+    /// RNG seed (experiments are reproducible).
+    pub seed: u64,
+}
+
+impl Default for FmConfig {
+    fn default() -> Self {
+        FmConfig {
+            max_passes: 8,
+            restarts: 4,
+            balance_tolerance: 0.1,
+            seed: 0xF1D,
+        }
+    }
+}
+
+/// A two-way partition: `side[v]` is `true` for the right side, with the
+/// number of hyperedges spanning both sides.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bipartition {
+    /// Side assignment per node.
+    pub side: Vec<bool>,
+    /// Hyperedges with nodes on both sides.
+    pub cut: usize,
+}
+
+/// Counts hyperedges crossing `side`.
+pub fn cut_size(h: &Hypergraph, side: &[bool]) -> usize {
+    h.edges()
+        .iter()
+        .filter(|e| {
+            let mut any_l = false;
+            let mut any_r = false;
+            for &v in e.iter() {
+                if side[v] {
+                    any_r = true;
+                } else {
+                    any_l = true;
+                }
+            }
+            any_l && any_r
+        })
+        .count()
+}
+
+struct Pass<'a> {
+    h: &'a Hypergraph,
+    incidence: &'a [Vec<usize>],
+    weight: &'a [u64],
+    side: Vec<bool>,
+    counts: Vec<[usize; 2]>, // per edge: nodes on each side
+    gain: Vec<i64>,
+    locked: Vec<bool>,
+    heap: std::collections::BinaryHeap<(i64, usize)>,
+    /// Free (non-anchored) node weight per side; anchors never move and do
+    /// not participate in balance.
+    sizes: [u64; 2],
+}
+
+impl<'a> Pass<'a> {
+    fn new(
+        h: &'a Hypergraph,
+        incidence: &'a [Vec<usize>],
+        weight: &'a [u64],
+        side: Vec<bool>,
+        anchored: &[bool],
+    ) -> Self {
+        let mut counts = vec![[0usize; 2]; h.num_edges()];
+        for (ei, e) in h.edges().iter().enumerate() {
+            for &v in e {
+                counts[ei][usize::from(side[v])] += 1;
+            }
+        }
+        let mut sizes = [0u64; 2];
+        for (v, &s) in side.iter().enumerate() {
+            if !anchored[v] {
+                sizes[usize::from(s)] += weight[v];
+            }
+        }
+        let mut p = Pass {
+            h,
+            incidence,
+            weight,
+            side,
+            counts,
+            gain: vec![0; h.num_nodes()],
+            locked: anchored.to_vec(),
+            heap: std::collections::BinaryHeap::new(),
+            sizes,
+        };
+        for v in 0..h.num_nodes() {
+            if !p.locked[v] {
+                p.gain[v] = p.compute_gain(v);
+                p.heap.push((p.gain[v], v));
+            }
+        }
+        p
+    }
+
+    fn compute_gain(&self, v: usize) -> i64 {
+        let from = usize::from(self.side[v]);
+        let to = 1 - from;
+        let mut g = 0i64;
+        for &ei in &self.incidence[v] {
+            if self.h.edges()[ei].len() < 2 {
+                continue;
+            }
+            if self.counts[ei][from] == 1 {
+                g += 1; // moving v un-cuts this edge
+            }
+            if self.counts[ei][to] == 0 {
+                g -= 1; // moving v newly cuts this edge
+            }
+        }
+        g
+    }
+
+    fn move_node(&mut self, v: usize) {
+        let from = usize::from(self.side[v]);
+        let to = 1 - from;
+        self.side[v] = !self.side[v];
+        self.sizes[from] -= self.weight[v];
+        self.sizes[to] += self.weight[v];
+        // Update edge counts and refresh gains of affected nodes.
+        for k in 0..self.incidence[v].len() {
+            let ei = self.incidence[v][k];
+            self.counts[ei][from] -= 1;
+            self.counts[ei][to] += 1;
+            for j in 0..self.h.edges()[ei].len() {
+                let u = self.h.edges()[ei][j];
+                if !self.locked[u] {
+                    let g = self.compute_gain(u);
+                    if g != self.gain[u] {
+                        self.gain[u] = g;
+                        self.heap.push((g, u));
+                    }
+                }
+            }
+        }
+    }
+
+    /// One FM sweep. Returns the improved side vector if the pass found a
+    /// better prefix, else `None`.
+    fn run(mut self, min_side_weight: u64) -> Option<Vec<bool>> {
+        let n = self.h.num_nodes();
+        let mut moves: Vec<usize> = Vec::with_capacity(n);
+        let mut cumulative = 0i64;
+        let mut best_gain = 0i64;
+        let mut best_len = 0usize;
+        for _ in 0..n {
+            // Pop the best movable unlocked node.
+            let mut chosen = None;
+            let mut stash: Vec<(i64, usize)> = Vec::new();
+            while let Some((g, v)) = self.heap.pop() {
+                if self.locked[v] || g != self.gain[v] {
+                    continue;
+                }
+                let from = usize::from(self.side[v]);
+                if self.sizes[from] < min_side_weight + self.weight[v] {
+                    stash.push((g, v)); // would unbalance; try the next one
+                    continue;
+                }
+                chosen = Some((g, v));
+                break;
+            }
+            for item in stash {
+                self.heap.push(item);
+            }
+            let Some((g, v)) = chosen else { break };
+            self.locked[v] = true;
+            self.move_node(v);
+            cumulative += g;
+            moves.push(v);
+            if cumulative > best_gain {
+                best_gain = cumulative;
+                best_len = moves.len();
+            }
+        }
+        if best_gain <= 0 {
+            return None;
+        }
+        // Roll back to the best prefix.
+        for &v in moves[best_len..].iter().rev() {
+            self.side[v] = !self.side[v];
+        }
+        Some(self.side)
+    }
+}
+
+/// The minimum side weight implied by the balance tolerance.
+pub(crate) fn min_side_weight(total: u64, max_node: u64, tolerance: f64) -> u64 {
+    let slack = ((tolerance * total as f64) as u64).max(max_node).max(1);
+    (total / 2).saturating_sub(slack).max(1).min(total / 2)
+}
+
+/// Runs up to `max_passes` FM refinement sweeps on an existing weighted,
+/// anchored partition, in place. Returns the final cut.
+pub(crate) fn refine(
+    h: &Hypergraph,
+    weight: &[u64],
+    side: &mut Vec<bool>,
+    anchored: &[bool],
+    min_side_w: u64,
+    max_passes: usize,
+) -> usize {
+    let incidence = h.incidence();
+    for _ in 0..max_passes {
+        match Pass::new(h, &incidence, weight, side.clone(), anchored).run(min_side_w) {
+            Some(better) => *side = better,
+            None => break,
+        }
+    }
+    cut_size(h, side)
+}
+
+/// Bipartitions a hypergraph by multi-restart FM.
+///
+/// Returns the best partition found. For graphs with fewer than two nodes
+/// the partition is trivial.
+pub fn bipartition(h: &Hypergraph, config: &FmConfig) -> Bipartition {
+    bipartition_anchored(h, &[], &[], config)
+}
+
+/// FM bipartitioning with *anchored* (terminal-propagation) nodes:
+/// `left_anchors` are fixed on the left side and `right_anchors` on the
+/// right; they contribute to edge cuts but never move and do not count
+/// toward balance. This is how recursive-bisection placement keeps
+/// sub-block orientation consistent with the surrounding layout
+/// (Dunlop–Kernighan terminal propagation).
+///
+/// # Panics
+///
+/// Panics if an anchor index is out of range or appears on both sides.
+pub fn bipartition_anchored(
+    h: &Hypergraph,
+    left_anchors: &[usize],
+    right_anchors: &[usize],
+    config: &FmConfig,
+) -> Bipartition {
+    let weight = vec![1u64; h.num_nodes()];
+    bipartition_weighted(h, &weight, left_anchors, right_anchors, config)
+}
+
+/// The weighted core behind [`bipartition_anchored`]; node weights drive
+/// the balance constraint (used by the multilevel driver on coarsened
+/// graphs).
+///
+/// # Panics
+///
+/// Panics if `weight.len() != h.num_nodes()`, an anchor is out of range,
+/// or an anchor appears on both sides.
+pub fn bipartition_weighted(
+    h: &Hypergraph,
+    weight: &[u64],
+    left_anchors: &[usize],
+    right_anchors: &[usize],
+    config: &FmConfig,
+) -> Bipartition {
+    let n = h.num_nodes();
+    assert_eq!(weight.len(), n, "one weight per node");
+    let mut anchored = vec![false; n];
+    for &v in left_anchors.iter().chain(right_anchors) {
+        assert!(v < n, "anchor {v} out of range");
+        assert!(!anchored[v], "anchor {v} listed twice");
+        anchored[v] = true;
+    }
+    let free: Vec<usize> = (0..n).filter(|&v| !anchored[v]).collect();
+    if free.len() < 2 {
+        let mut side = vec![false; n];
+        for &v in right_anchors {
+            side[v] = true;
+        }
+        let cut = cut_size(h, &side);
+        return Bipartition { side, cut };
+    }
+    let total: u64 = free.iter().map(|&v| weight[v]).sum();
+    let max_node = free.iter().map(|&v| weight[v]).max().unwrap_or(1);
+    let min_w = min_side_weight(total, max_node, config.balance_tolerance);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut best: Option<Bipartition> = None;
+    let incidence = h.incidence();
+    for _ in 0..config.restarts.max(1) {
+        let mut perm = free.clone();
+        perm.shuffle(&mut rng);
+        let mut side = vec![false; n];
+        for &v in right_anchors {
+            side[v] = true;
+        }
+        // Greedy weighted halving of the shuffled free nodes.
+        let mut acc = 0u64;
+        for &v in &perm {
+            if acc * 2 >= total {
+                side[v] = true;
+            } else {
+                acc += weight[v];
+            }
+        }
+        for _ in 0..config.max_passes {
+            match Pass::new(h, &incidence, weight, side.clone(), &anchored).run(min_w) {
+                Some(better) => side = better,
+                None => break,
+            }
+        }
+        let cut = cut_size(h, &side);
+        if best.as_ref().is_none_or(|b| cut < b.cut) {
+            best = Some(Bipartition { side, cut });
+        }
+    }
+    best.expect("at least one restart ran")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two K4-ish clusters joined by a single bridge edge.
+    fn two_clusters() -> Hypergraph {
+        let mut edges = Vec::new();
+        for base in [0, 4] {
+            for i in 0..4 {
+                for j in i + 1..4 {
+                    edges.push(vec![base + i, base + j]);
+                }
+            }
+        }
+        edges.push(vec![3, 4]); // bridge
+        Hypergraph::new(8, edges)
+    }
+
+    #[test]
+    fn finds_the_bridge() {
+        let h = two_clusters();
+        let p = bipartition(&h, &FmConfig::default());
+        assert_eq!(p.cut, 1, "the optimal bisection cuts only the bridge");
+        assert_eq!(cut_size(&h, &p.side), p.cut);
+        // Each cluster stays together.
+        for base in [0, 4] {
+            let s = p.side[base];
+            for i in 0..4 {
+                assert_eq!(p.side[base + i], s);
+            }
+        }
+    }
+
+    #[test]
+    fn balance_respected() {
+        let h = two_clusters();
+        let p = bipartition(&h, &FmConfig::default());
+        let left = p.side.iter().filter(|&&s| !s).count();
+        assert!((3..=5).contains(&left), "left side has {left} of 8 nodes");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let h = two_clusters();
+        let a = bipartition(&h, &FmConfig::default());
+        let b = bipartition(&h, &FmConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hyperedge_cluster() {
+        // Two 4-pin hyperedges sharing one node: cutting at the shared node
+        // can achieve cut 1.
+        let h = Hypergraph::new(7, vec![vec![0, 1, 2, 3], vec![3, 4, 5, 6]]);
+        let p = bipartition(&h, &FmConfig::default());
+        assert!(p.cut <= 1, "cut {}", p.cut);
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        let h0 = Hypergraph::new(0, vec![]);
+        assert_eq!(bipartition(&h0, &FmConfig::default()).cut, 0);
+        let h1 = Hypergraph::new(1, vec![]);
+        assert_eq!(bipartition(&h1, &FmConfig::default()).side, vec![false]);
+        let h2 = Hypergraph::new(2, vec![vec![0, 1]]);
+        let p = bipartition(&h2, &FmConfig::default());
+        assert_eq!(p.cut, 1);
+        assert_ne!(p.side[0], p.side[1]);
+    }
+
+    #[test]
+    fn cut_size_counts_spanning_edges() {
+        let h = Hypergraph::new(4, vec![vec![0, 1], vec![2, 3], vec![1, 2]]);
+        assert_eq!(cut_size(&h, &[false, false, true, true]), 1);
+        assert_eq!(cut_size(&h, &[false, true, false, true]), 3);
+    }
+
+    #[test]
+    fn anchors_fix_orientation() {
+        // A path 0-1-2-3-4-5 with node 0 anchored left, node 5 anchored
+        // right: the split must separate low from high indices.
+        let h = Hypergraph::new(6, (0..5).map(|i| vec![i, i + 1]).collect());
+        let p = bipartition_anchored(&h, &[0], &[5], &FmConfig::default());
+        assert!(!p.side[0] && p.side[5]);
+        assert_eq!(p.cut, 1, "path with oriented anchors cuts one edge");
+        // The sides are contiguous.
+        let boundary: Vec<bool> = p.side.clone();
+        let first_right = boundary.iter().position(|&s| s).expect("right side exists");
+        assert!(boundary[first_right..].iter().all(|&s| s));
+    }
+
+    #[test]
+    fn weights_shift_balance() {
+        // 4 nodes in a path; node 0 weighs as much as the other three: a
+        // balanced weighted split is {0} vs {1,2,3}.
+        let h = Hypergraph::new(4, vec![vec![0, 1], vec![1, 2], vec![2, 3]]);
+        let p = bipartition_weighted(&h, &[3, 1, 1, 1], &[], &[], &FmConfig::default());
+        let heavy_side = p.side[0];
+        let others = (1..4).filter(|&v| p.side[v] == heavy_side).count();
+        assert!(others <= 1, "heavy node sits nearly alone: {:?}", p.side);
+    }
+
+    #[test]
+    fn anchors_on_both_sides_rejected() {
+        let h = Hypergraph::new(3, vec![vec![0, 1]]);
+        let result = std::panic::catch_unwind(|| {
+            bipartition_anchored(&h, &[0], &[0], &FmConfig::default())
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,224 @@
+//! Undirected hypergraph view of a circuit.
+
+use atpg_easy_netlist::Netlist;
+
+/// What a hypergraph node stands for when derived from a netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// A logic gate (index = gate index in the source netlist).
+    Gate(usize),
+    /// A primary input (index = position in `Netlist::inputs()`).
+    Input(usize),
+    /// A primary-output terminal (index = position in `Netlist::outputs()`).
+    Output(usize),
+}
+
+/// An undirected hypergraph: `num_nodes` nodes and a list of hyperedges,
+/// each a set of node indices.
+///
+/// Per the paper's Section 4.2, a circuit maps to a hypergraph whose nodes
+/// are the gates, primary inputs and primary outputs, and whose hyperedges
+/// are the signal nets (each spanning driver and all sinks); see
+/// [`Hypergraph::from_netlist`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hypergraph {
+    num_nodes: usize,
+    edges: Vec<Vec<usize>>,
+    kinds: Option<Vec<NodeKind>>,
+}
+
+impl Hypergraph {
+    /// Builds a hypergraph from explicit edge lists. Single-node and empty
+    /// edges are permitted (they can never be cut) but deduplicated node
+    /// lists are expected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a node `>= num_nodes`.
+    pub fn new(num_nodes: usize, edges: Vec<Vec<usize>>) -> Self {
+        for e in &edges {
+            for &v in e {
+                assert!(v < num_nodes, "edge references node {v} out of {num_nodes}");
+            }
+        }
+        Hypergraph {
+            num_nodes,
+            edges,
+            kinds: None,
+        }
+    }
+
+    /// Derives the hypergraph of a netlist: nodes are gates, then primary
+    /// inputs, then one terminal node per primary output; each net becomes
+    /// a hyperedge spanning its driver node and every gate reading it, plus
+    /// the output terminal when the net is a primary output.
+    pub fn from_netlist(nl: &Netlist) -> Self {
+        let g = nl.num_gates();
+        let pi = nl.num_inputs();
+        let po = nl.num_outputs();
+        let mut kinds = Vec::with_capacity(g + pi + po);
+        kinds.extend((0..g).map(NodeKind::Gate));
+        kinds.extend((0..pi).map(NodeKind::Input));
+        kinds.extend((0..po).map(NodeKind::Output));
+
+        // Node index of the driver of each net.
+        let mut driver_node = vec![usize::MAX; nl.num_nets()];
+        for (i, &net) in nl.inputs().iter().enumerate() {
+            driver_node[net.index()] = g + i;
+        }
+        for (gid, gate) in nl.gates() {
+            driver_node[gate.output.index()] = gid.index();
+        }
+
+        let fanouts = nl.fanouts();
+        let mut edges: Vec<Vec<usize>> = Vec::with_capacity(nl.num_nets());
+        for (id, _net) in nl.nets() {
+            let mut pins = vec![driver_node[id.index()]];
+            pins.extend(fanouts[id.index()].iter().map(|gid| gid.index()));
+            for (oi, &o) in nl.outputs().iter().enumerate() {
+                if o == id {
+                    pins.push(g + pi + oi);
+                }
+            }
+            pins.sort_unstable();
+            pins.dedup();
+            edges.push(pins);
+        }
+        Hypergraph {
+            num_nodes: g + pi + po,
+            edges,
+            kinds: Some(kinds),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of hyperedges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The hyperedges.
+    pub fn edges(&self) -> &[Vec<usize>] {
+        &self.edges
+    }
+
+    /// Node kinds, when derived from a netlist.
+    pub fn kinds(&self) -> Option<&[NodeKind]> {
+        self.kinds.as_deref()
+    }
+
+    /// Total number of pins (node–edge incidences).
+    pub fn num_pins(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// Per-node incidence lists (edge indices).
+    pub fn incidence(&self) -> Vec<Vec<usize>> {
+        let mut inc = vec![Vec::new(); self.num_nodes];
+        for (ei, e) in self.edges.iter().enumerate() {
+            for &v in e {
+                inc[v].push(ei);
+            }
+        }
+        inc
+    }
+
+    /// The sub-hypergraph induced by a node subset: nodes are renumbered
+    /// densely in the order given; each edge is intersected with the subset
+    /// and kept if at least two nodes survive. Returns the graph and the
+    /// mapping `new → old`.
+    pub fn induced(&self, nodes: &[usize]) -> (Hypergraph, Vec<usize>) {
+        let mut old_to_new = vec![usize::MAX; self.num_nodes];
+        for (new, &old) in nodes.iter().enumerate() {
+            old_to_new[old] = new;
+        }
+        let mut edges = Vec::new();
+        for e in &self.edges {
+            let proj: Vec<usize> = e
+                .iter()
+                .filter_map(|&v| {
+                    let n = old_to_new[v];
+                    (n != usize::MAX).then_some(n)
+                })
+                .collect();
+            if proj.len() >= 2 {
+                edges.push(proj);
+            }
+        }
+        (
+            Hypergraph {
+                num_nodes: nodes.len(),
+                edges,
+                kinds: None,
+            },
+            nodes.to_vec(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atpg_easy_netlist::{GateKind, Netlist};
+
+    #[test]
+    fn from_netlist_structure() {
+        // y = AND(a, b), output y. Nodes: 1 gate + 2 PI + 1 PO = 4.
+        // Edges: net a {PI_a, gate}, net b {PI_b, gate}, net y {gate, PO}.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_gate_named(GateKind::And, vec![a, b], "y").unwrap();
+        nl.add_output(y);
+        let h = Hypergraph::from_netlist(&nl);
+        assert_eq!(h.num_nodes(), 4);
+        assert_eq!(h.num_edges(), 3);
+        assert!(h.edges().iter().all(|e| e.len() == 2));
+        let kinds = h.kinds().unwrap();
+        assert_eq!(kinds[0], NodeKind::Gate(0));
+        assert_eq!(kinds[1], NodeKind::Input(0));
+        assert_eq!(kinds[3], NodeKind::Output(0));
+    }
+
+    #[test]
+    fn fanout_makes_wide_edges() {
+        // a feeds two gates: net a is a 3-pin hyperedge.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let x = nl.add_gate_named(GateKind::Not, vec![a], "x").unwrap();
+        let y = nl.add_gate_named(GateKind::Buf, vec![a], "y").unwrap();
+        nl.add_output(x);
+        nl.add_output(y);
+        let h = Hypergraph::from_netlist(&nl);
+        assert!(h.edges().iter().any(|e| e.len() == 3));
+        assert_eq!(h.num_pins(), 3 + 2 + 2);
+    }
+
+    #[test]
+    fn induced_subgraph_projects_edges() {
+        let h = Hypergraph::new(4, vec![vec![0, 1, 2], vec![2, 3], vec![0, 3]]);
+        let (sub, map) = h.induced(&[0, 1, 2]);
+        assert_eq!(sub.num_nodes(), 3);
+        // Edge {0,1,2} survives fully; {2,3} → {2} dropped; {0,3} → {0} dropped.
+        assert_eq!(sub.num_edges(), 1);
+        assert_eq!(map, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_range_edge_panics() {
+        Hypergraph::new(2, vec![vec![0, 5]]);
+    }
+
+    #[test]
+    fn incidence_lists() {
+        let h = Hypergraph::new(3, vec![vec![0, 1], vec![1, 2]]);
+        let inc = h.incidence();
+        assert_eq!(inc[1], vec![0, 1]);
+        assert_eq!(inc[0], vec![0]);
+    }
+}

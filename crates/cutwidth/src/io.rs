@@ -1,0 +1,173 @@
+//! hMETIS `.hgr` hypergraph file I/O.
+//!
+//! The paper ran its bipartitioning with the real hMETIS package; this
+//! module reads and writes hMETIS's plain hypergraph format so our graphs
+//! can be cross-checked against the original tool (and external graphs
+//! can be pulled into the estimator):
+//!
+//! ```text
+//! % comment
+//! <num_hyperedges> <num_vertices>
+//! v1 v2 v3        (1-based vertex ids, one line per hyperedge)
+//! ...
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::Hypergraph;
+
+/// Errors from `.hgr` parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseHgrError {
+    /// Missing or malformed header line.
+    BadHeader,
+    /// A vertex id was not a positive integer or exceeded the vertex count.
+    BadVertex {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Fewer hyperedge lines than the header promised.
+    TooFewEdges {
+        /// Edges found.
+        found: usize,
+        /// Edges promised.
+        expected: usize,
+    },
+    /// Weighted formats (`fmt` field) are not supported.
+    Unsupported,
+}
+
+impl fmt::Display for ParseHgrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseHgrError::BadHeader => write!(f, "missing or malformed .hgr header"),
+            ParseHgrError::BadVertex { line } => write!(f, "bad vertex id at line {line}"),
+            ParseHgrError::TooFewEdges { found, expected } => {
+                write!(f, "found {found} hyperedges, header promised {expected}")
+            }
+            ParseHgrError::Unsupported => write!(f, "weighted .hgr formats are not supported"),
+        }
+    }
+}
+
+impl Error for ParseHgrError {}
+
+/// Serializes a hypergraph in hMETIS `.hgr` format (unweighted).
+pub fn write_hgr(h: &Hypergraph) -> String {
+    let mut s = format!("{} {}\n", h.num_edges(), h.num_nodes());
+    for e in h.edges() {
+        let line: Vec<String> = e.iter().map(|v| (v + 1).to_string()).collect();
+        s.push_str(&line.join(" "));
+        s.push('\n');
+    }
+    s
+}
+
+/// Parses hMETIS `.hgr` text (unweighted format only).
+///
+/// # Errors
+///
+/// A [`ParseHgrError`] describing the first problem found.
+pub fn parse_hgr(text: &str) -> Result<Hypergraph, ParseHgrError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('%'));
+    let (_, header) = lines.next().ok_or(ParseHgrError::BadHeader)?;
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() == 3 {
+        return Err(ParseHgrError::Unsupported);
+    }
+    if fields.len() != 2 {
+        return Err(ParseHgrError::BadHeader);
+    }
+    let num_edges: usize = fields[0].parse().map_err(|_| ParseHgrError::BadHeader)?;
+    let num_nodes: usize = fields[1].parse().map_err(|_| ParseHgrError::BadHeader)?;
+    let mut edges = Vec::with_capacity(num_edges);
+    for (line, text) in lines.take(num_edges) {
+        let mut pins = Vec::new();
+        for tok in text.split_whitespace() {
+            let v: usize = tok.parse().map_err(|_| ParseHgrError::BadVertex { line })?;
+            if v == 0 || v > num_nodes {
+                return Err(ParseHgrError::BadVertex { line });
+            }
+            pins.push(v - 1);
+        }
+        pins.sort_unstable();
+        pins.dedup();
+        edges.push(pins);
+    }
+    if edges.len() != num_edges {
+        return Err(ParseHgrError::TooFewEdges {
+            found: edges.len(),
+            expected: num_edges,
+        });
+    }
+    Ok(Hypergraph::new(num_nodes, edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let h = Hypergraph::new(5, vec![vec![0, 1, 2], vec![2, 3], vec![3, 4]]);
+        let text = write_hgr(&h);
+        let back = parse_hgr(&text).unwrap();
+        assert_eq!(back.num_nodes(), 5);
+        assert_eq!(back.edges(), h.edges());
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let text = "% a comment\n\n2 3\n1 2\n\n2 3\n";
+        let h = parse_hgr(text).unwrap();
+        assert_eq!(h.num_edges(), 2);
+        assert_eq!(h.edges()[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn rejects_weighted_format() {
+        assert_eq!(parse_hgr("2 3 11\n1 2\n2 3\n"), Err(ParseHgrError::Unsupported));
+    }
+
+    #[test]
+    fn rejects_out_of_range_vertex() {
+        assert!(matches!(
+            parse_hgr("1 3\n1 4\n"),
+            Err(ParseHgrError::BadVertex { line: 2 })
+        ));
+        assert!(matches!(
+            parse_hgr("1 3\n0 1\n"),
+            Err(ParseHgrError::BadVertex { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        assert_eq!(
+            parse_hgr("3 4\n1 2\n2 3\n"),
+            Err(ParseHgrError::TooFewEdges {
+                found: 2,
+                expected: 3
+            })
+        );
+    }
+
+    #[test]
+    fn netlist_graph_roundtrips() {
+        use atpg_easy_netlist::{GateKind, Netlist};
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_gate_named(GateKind::And, vec![a, b], "y").unwrap();
+        nl.add_output(y);
+        let h = Hypergraph::from_netlist(&nl);
+        let back = parse_hgr(&write_hgr(&h)).unwrap();
+        assert_eq!(back.num_nodes(), h.num_nodes());
+        assert_eq!(back.num_edges(), h.num_edges());
+    }
+}

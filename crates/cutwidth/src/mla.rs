@@ -1,0 +1,307 @@
+//! Approximate min-cut linear arrangement (MLA) by recursive bisection —
+//! the paper's cut-width estimation procedure (Section 5.2.1).
+//!
+//! "This algorithm generates a placement based on recursive mincut
+//! bipartitioning, until the partitions are sufficiently small and then
+//! performs an exact MLA for each of these partitions." We use the
+//! from-scratch FM bipartitioner of [`crate::fm`] in place of hMETIS and
+//! the subset-DP of [`crate::exact`] at the leaves.
+
+use atpg_easy_netlist::Netlist;
+
+use crate::fm::FmConfig;
+use crate::multilevel::bipartition_multilevel;
+use crate::ordering::cutwidth;
+use crate::{exact, Hypergraph};
+
+/// Configuration for [`arrange`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MlaConfig {
+    /// FM settings used at every bisection level.
+    pub fm: FmConfig,
+    /// Partitions of at most this many nodes are solved exactly.
+    pub leaf_size: usize,
+}
+
+impl Default for MlaConfig {
+    fn default() -> Self {
+        MlaConfig {
+            fm: FmConfig::default(),
+            leaf_size: 12,
+        }
+    }
+}
+
+/// Region of a node during the recursive layout, for terminal
+/// propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Region {
+    /// Already emitted (lies to the left of the active window).
+    Left,
+    /// Currently being arranged.
+    Active,
+    /// Pending (will be emitted after the active window).
+    Right,
+}
+
+/// Produces a linear arrangement of the hypergraph nodes approximating the
+/// min-cut linear arrangement.
+///
+/// Terminal propagation is applied throughout: at every bisection, edges
+/// leaving the active window toward already-placed (left) or pending
+/// (right) nodes are represented by anchored pseudo-nodes, so sub-block
+/// orientation stays consistent with the global layout.
+///
+/// # Panics
+///
+/// Panics if `config.leaf_size` exceeds [`exact::MAX_EXACT_NODES`]` − 2`
+/// or is 0 (two slots are reserved for the anchors).
+pub fn arrange(h: &Hypergraph, config: &MlaConfig) -> Vec<usize> {
+    assert!(
+        (1..=exact::MAX_EXACT_NODES - 2).contains(&config.leaf_size),
+        "leaf_size must be in 1..={}",
+        exact::MAX_EXACT_NODES - 2
+    );
+    let mut order = Vec::with_capacity(h.num_nodes());
+    let all: Vec<usize> = (0..h.num_nodes()).collect();
+    let mut region = vec![Region::Active; h.num_nodes()];
+    recurse(h, &all, config, config.fm.seed, &mut order, &mut region);
+    order
+}
+
+/// Builds the induced subgraph over `nodes` with up to two anchor
+/// pseudo-nodes summarizing edges that leave the window. Returns
+/// `(sub, back-map, anchor_left, anchor_right)`; anchor slots are `None`
+/// when no edge leaves in that direction.
+fn induced_with_anchors(
+    root: &Hypergraph,
+    nodes: &[usize],
+    region: &[Region],
+) -> (Hypergraph, Vec<usize>, Option<usize>, Option<usize>) {
+    let n_active = nodes.len();
+    let mut old_to_new = vec![usize::MAX; root.num_nodes()];
+    for (new, &old) in nodes.iter().enumerate() {
+        old_to_new[old] = new;
+    }
+    let anchor_l = n_active;
+    let anchor_r = n_active + 1;
+    let mut used_l = false;
+    let mut used_r = false;
+    let mut edges = Vec::new();
+    for e in root.edges() {
+        let mut proj: Vec<usize> = Vec::new();
+        let (mut to_l, mut to_r) = (false, false);
+        for &v in e {
+            let nv = old_to_new[v];
+            if nv != usize::MAX {
+                proj.push(nv);
+            } else {
+                match region[v] {
+                    Region::Left => to_l = true,
+                    Region::Right => to_r = true,
+                    Region::Active => unreachable!("active nodes are in the window"),
+                }
+            }
+        }
+        if proj.is_empty() {
+            continue;
+        }
+        if to_l {
+            proj.push(anchor_l);
+            used_l = true;
+        }
+        if to_r {
+            proj.push(anchor_r);
+            used_r = true;
+        }
+        if proj.len() >= 2 {
+            edges.push(proj);
+        }
+    }
+    let sub = Hypergraph::new(n_active + 2, edges);
+    (
+        sub,
+        nodes.to_vec(),
+        used_l.then_some(anchor_l),
+        used_r.then_some(anchor_r),
+    )
+}
+
+fn recurse(
+    root: &Hypergraph,
+    nodes: &[usize],
+    config: &MlaConfig,
+    seed: u64,
+    out: &mut Vec<usize>,
+    region: &mut [Region],
+) {
+    if nodes.is_empty() {
+        return;
+    }
+    let (sub, back, al, ar) = induced_with_anchors(root, nodes, region);
+    let n_active = nodes.len();
+    if n_active <= config.leaf_size {
+        // Anchors (when present) are pinned to the window ends.
+        let (_, local) = exact::min_cutwidth_anchored(&sub, Some(n_active), Some(n_active + 1));
+        for v in local {
+            if v < n_active {
+                out.push(back[v]);
+                region[back[v]] = Region::Left;
+            }
+        }
+        return;
+    }
+    let mut fm = config.fm;
+    fm.seed = seed;
+    let la: Vec<usize> = al.into_iter().collect();
+    let ra: Vec<usize> = ar.into_iter().collect();
+    // The two anchor slots always exist in `sub`; pin the unused ones too
+    // so they never wander into the balance accounting.
+    let mut left_anchors = la;
+    let mut right_anchors = ra;
+    if left_anchors.is_empty() {
+        left_anchors.push(n_active);
+    }
+    if right_anchors.is_empty() {
+        right_anchors.push(n_active + 1);
+    }
+    let part = bipartition_multilevel(&sub, &left_anchors, &right_anchors, &fm);
+    let mut left: Vec<usize> = Vec::new();
+    let mut right: Vec<usize> = Vec::new();
+    for (v, &s) in part.side.iter().enumerate().take(n_active) {
+        if s {
+            right.push(back[v]);
+        } else {
+            left.push(back[v]);
+        }
+    }
+    // FM keeps both sides non-empty for n ≥ 2, but guard against collapse.
+    if left.is_empty() || right.is_empty() {
+        let mid = nodes.len() / 2;
+        left = nodes[..mid].to_vec();
+        right = nodes[mid..].to_vec();
+    }
+    for &v in &right {
+        region[v] = Region::Right;
+    }
+    recurse(
+        root,
+        &left,
+        config,
+        seed.wrapping_mul(0x9E3779B9).wrapping_add(1),
+        out,
+        region,
+    );
+    for &v in &right {
+        region[v] = Region::Active;
+    }
+    recurse(
+        root,
+        &right,
+        config,
+        seed.wrapping_mul(0x9E3779B9).wrapping_add(2),
+        out,
+        region,
+    );
+}
+
+/// Estimated minimum cut-width of a hypergraph: the cut-width under the
+/// arrangement of [`arrange`].
+pub fn estimate_cutwidth(h: &Hypergraph, config: &MlaConfig) -> (usize, Vec<usize>) {
+    let order = arrange(h, config);
+    (cutwidth(h, &order), order)
+}
+
+/// Estimated minimum cut-width of a circuit (via
+/// [`Hypergraph::from_netlist`]).
+pub fn netlist_cutwidth(nl: &Netlist, config: &MlaConfig) -> usize {
+    let h = Hypergraph::from_netlist(nl);
+    estimate_cutwidth(&h, config).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Hypergraph {
+        Hypergraph::new(n, (0..n - 1).map(|i| vec![i, i + 1]).collect())
+    }
+
+    #[test]
+    fn path_stays_narrow() {
+        // The true cut-width of a path is 1; recursive bisection should get
+        // close (within a small constant) even for longer paths.
+        let h = path(64);
+        let (w, order) = estimate_cutwidth(&h, &MlaConfig::default());
+        assert_eq!(order.len(), 64);
+        assert!(w <= 4, "estimated width {w} too far from optimum 1");
+    }
+
+    #[test]
+    fn order_is_permutation() {
+        let h = path(40);
+        let order = arrange(&h, &MlaConfig::default());
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn exact_at_leaf_sizes() {
+        // With n ≤ leaf_size the result equals the exact optimum.
+        let h = Hypergraph::new(
+            6,
+            vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 5], vec![5, 0]],
+        );
+        let (w, _) = estimate_cutwidth(&h, &MlaConfig::default());
+        assert_eq!(w, 2, "cycle of 6 has min cut-width 2");
+    }
+
+    #[test]
+    fn grid_width_reasonable() {
+        // 6x6 grid graph: optimal cut-width is 7 (n+1); estimate must be
+        // within a small factor.
+        let n = 6;
+        let idx = |r: usize, c: usize| r * n + c;
+        let mut edges = Vec::new();
+        for r in 0..n {
+            for c in 0..n {
+                if c + 1 < n {
+                    edges.push(vec![idx(r, c), idx(r, c + 1)]);
+                }
+                if r + 1 < n {
+                    edges.push(vec![idx(r, c), idx(r + 1, c)]);
+                }
+            }
+        }
+        let h = Hypergraph::new(n * n, edges);
+        let (w, _) = estimate_cutwidth(&h, &MlaConfig::default());
+        assert!((6..=14).contains(&w), "6x6 grid estimate {w}");
+    }
+
+    #[test]
+    fn netlist_convenience() {
+        use atpg_easy_netlist::{GateKind, Netlist};
+        let mut nl = Netlist::new("chain");
+        let mut cur = nl.add_input("x");
+        for i in 0..10 {
+            cur = nl
+                .add_gate_named(GateKind::Not, vec![cur], format!("n{i}"))
+                .unwrap();
+        }
+        nl.add_output(cur);
+        let w = netlist_cutwidth(&nl, &MlaConfig::default());
+        assert!(w <= 3, "inverter chain is a path, got {w}");
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf_size")]
+    fn bad_leaf_size_panics() {
+        let h = path(4);
+        let cfg = MlaConfig {
+            leaf_size: 0,
+            ..MlaConfig::default()
+        };
+        arrange(&h, &cfg);
+    }
+}

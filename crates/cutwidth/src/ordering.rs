@@ -1,0 +1,116 @@
+//! Cut-width under a linear ordering (the paper's Definition 4.1).
+
+use crate::Hypergraph;
+
+/// Validates that `order` is a permutation of `0..n` and returns the
+/// inverse (position of each node).
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of the graph's nodes.
+pub fn positions(h: &Hypergraph, order: &[usize]) -> Vec<usize> {
+    assert_eq!(order.len(), h.num_nodes(), "order must list every node");
+    let mut pos = vec![usize::MAX; h.num_nodes()];
+    for (p, &v) in order.iter().enumerate() {
+        assert!(v < h.num_nodes(), "order references unknown node {v}");
+        assert!(pos[v] == usize::MAX, "order repeats node {v}");
+        pos[v] = p;
+    }
+    pos
+}
+
+/// The cut profile: `profile[i]` is the number of hyperedges crossing the
+/// cut between positions `i` and `i+1` (there are `n−1` cuts).
+///
+/// A hyperedge spanning positions `[lo, hi]` crosses cuts `lo..hi`.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of the nodes.
+pub fn cut_profile(h: &Hypergraph, order: &[usize]) -> Vec<usize> {
+    let pos = positions(h, order);
+    let n = h.num_nodes();
+    if n <= 1 {
+        return Vec::new();
+    }
+    // Difference array over the n−1 cuts.
+    let mut diff = vec![0isize; n];
+    for e in h.edges() {
+        let (mut lo, mut hi) = (usize::MAX, 0usize);
+        for &v in e {
+            lo = lo.min(pos[v]);
+            hi = hi.max(pos[v]);
+        }
+        if lo < hi {
+            diff[lo] += 1;
+            diff[hi] -= 1;
+        }
+    }
+    let mut profile = Vec::with_capacity(n - 1);
+    let mut acc = 0isize;
+    for d in diff.iter().take(n - 1) {
+        acc += d;
+        profile.push(acc as usize);
+    }
+    profile
+}
+
+/// The cut-width `W(G, h)` of the hypergraph under `order`.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of the nodes.
+pub fn cutwidth(h: &Hypergraph, order: &[usize]) -> usize {
+    cut_profile(h, order).into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_graph_width_one() {
+        let h = Hypergraph::new(4, vec![vec![0, 1], vec![1, 2], vec![2, 3]]);
+        assert_eq!(cutwidth(&h, &[0, 1, 2, 3]), 1);
+        // A bad ordering interleaves the path.
+        assert_eq!(cutwidth(&h, &[0, 2, 1, 3]), 3);
+    }
+
+    #[test]
+    fn hyperedge_counts_once_per_cut() {
+        // One 4-pin hyperedge: crosses every cut exactly once regardless of
+        // how many pins are on each side.
+        let h = Hypergraph::new(4, vec![vec![0, 1, 2, 3]]);
+        assert_eq!(cut_profile(&h, &[0, 1, 2, 3]), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn profile_matches_definition() {
+        let h = Hypergraph::new(3, vec![vec![0, 1], vec![1, 2], vec![0, 2]]);
+        // Order 0,1,2: cut after 0 crosses {0,1} and {0,2}; after 1 crosses
+        // {1,2} and {0,2}.
+        assert_eq!(cut_profile(&h, &[0, 1, 2]), vec![2, 2]);
+        assert_eq!(cutwidth(&h, &[0, 1, 2]), 2);
+    }
+
+    #[test]
+    fn single_node_and_empty() {
+        let h = Hypergraph::new(1, vec![]);
+        assert_eq!(cutwidth(&h, &[0]), 0);
+        assert!(cut_profile(&h, &[0]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats")]
+    fn repeated_node_panics() {
+        let h = Hypergraph::new(2, vec![]);
+        cutwidth(&h, &[0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must list every node")]
+    fn short_order_panics() {
+        let h = Hypergraph::new(3, vec![]);
+        cutwidth(&h, &[0, 1]);
+    }
+}

@@ -1,0 +1,241 @@
+//! Orderings for tree circuits realizing Lemma 5.2:
+//! a k-ary tree has an ordering with cut-width ≤ (k−1)·log₂(n) (+O(k)).
+//!
+//! The construction is *smallest-subtree-first DFS preorder*: visit the
+//! root, then recursively visit children in increasing subtree size. At
+//! any prefix cut, the crossing nets are exactly the nets from already-
+//! placed ancestors to their not-yet-started children; because every
+//! ancestor with `c ≥ 1` unstarted children has its in-progress subtree no
+//! larger than `n_a/(c+1)`, subtree sizes shrink geometrically along the
+//! ancestor path and the total crossing count is `O(k·log n)`.
+
+use atpg_easy_netlist::{Netlist, NetId};
+
+#[cfg(test)]
+use crate::Hypergraph;
+
+/// Why a netlist does not admit the tree ordering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NotATree {
+    /// The circuit has several primary outputs.
+    MultipleOutputs,
+    /// Some net feeds more than one gate (or a gate and an output).
+    SharedNet(String),
+    /// Some net is unused (neither read nor an output) — the underlying
+    /// graph is disconnected.
+    Disconnected(String),
+}
+
+/// Computes the smallest-subtree-first DFS preorder of a *tree circuit*:
+/// a single-output netlist in which every net has exactly one reader.
+///
+/// Returns a node ordering for the numbering of
+/// [`Hypergraph::from_netlist`](crate::Hypergraph::from_netlist)
+/// (gates, then inputs, then the output terminal).
+///
+/// # Errors
+///
+/// A [`NotATree`] explaining the violation.
+pub fn tree_order(nl: &Netlist) -> Result<Vec<usize>, NotATree> {
+    if nl.num_outputs() != 1 {
+        return Err(NotATree::MultipleOutputs);
+    }
+    let fanouts = nl.fanouts();
+    for (id, net) in nl.nets() {
+        let sinks = fanouts[id.index()].len() + usize::from(nl.is_output(id));
+        if sinks > 1 {
+            return Err(NotATree::SharedNet(net.name.clone()));
+        }
+        if sinks == 0 {
+            return Err(NotATree::Disconnected(net.name.clone()));
+        }
+    }
+
+    let g = nl.num_gates();
+    let pi_node = |pos: usize| g + pos;
+    // Map PI nets to their node index.
+    let mut pi_of_net = vec![usize::MAX; nl.num_nets()];
+    for (pos, &net) in nl.inputs().iter().enumerate() {
+        pi_of_net[net.index()] = pi_node(pos);
+    }
+    // Node of the driver of a net.
+    let node_of_net = |net: NetId| -> usize {
+        match nl.net(net).driver {
+            Some(gid) => gid.index(),
+            None => pi_of_net[net.index()],
+        }
+    };
+
+    // Subtree sizes (in hypergraph nodes) computed bottom-up over gates.
+    let order = atpg_easy_netlist::topo::topo_order(nl).expect("tree circuits are acyclic");
+    let mut size = vec![1usize; g + nl.num_inputs() + 1];
+    for &gid in &order {
+        let mut s = 1usize;
+        for &inp in &nl.gate(gid).inputs {
+            s += size[node_of_net(inp)];
+        }
+        size[gid.index()] = s;
+    }
+
+    // Preorder DFS from the output terminal, children smallest-first.
+    let out_net = nl.outputs()[0];
+    let terminal = g + nl.num_inputs();
+    let mut result = Vec::with_capacity(g + nl.num_inputs() + 1);
+    result.push(terminal);
+    let mut stack: Vec<usize> = vec![node_of_net(out_net)];
+    while let Some(node) = stack.pop() {
+        result.push(node);
+        if node < g {
+            let gate = nl.gate(atpg_easy_netlist::GateId::from_index(node));
+            let mut children: Vec<usize> =
+                gate.inputs.iter().map(|&inp| node_of_net(inp)).collect();
+            // Visit smallest first ⇒ push largest first (stack is LIFO).
+            children.sort_by_key(|&c| size[c]);
+            for &c in children.iter().rev() {
+                stack.push(c);
+            }
+        }
+    }
+    Ok(result)
+}
+
+/// The Lemma 5.2 bound for a k-ary tree of `n` nodes:
+/// `(k−1)·log₂(n) + k` (the `+k` absorbs the current node's own pending
+/// children; the paper's asymptotic statement is `O((k−1)·log n)`).
+pub fn lemma52_bound(k: usize, n: usize) -> f64 {
+    if n <= 1 {
+        return k as f64;
+    }
+    (k as f64 - 1.0) * (n as f64).log2() + k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ordering::cutwidth;
+    use atpg_easy_netlist::{GateKind, Netlist};
+
+    /// A complete k-ary AND-tree of the given depth.
+    fn complete_tree(k: usize, depth: usize) -> Netlist {
+        let mut nl = Netlist::new(format!("tree{k}x{depth}"));
+        let mut count = 0usize;
+        fn build(nl: &mut Netlist, k: usize, depth: usize, count: &mut usize) -> NetId {
+            *count += 1;
+            let my = *count;
+            if depth == 0 {
+                return nl.add_input(format!("leaf{my}"));
+            }
+            let kids: Vec<NetId> = (0..k).map(|_| build(nl, k, depth - 1, count)).collect();
+            nl.add_gate_named(GateKind::And, kids, format!("g{my}")).unwrap()
+        }
+        let root = build(&mut nl, k, depth, &mut count);
+        nl.add_output(root);
+        nl
+    }
+
+    #[test]
+    fn binary_tree_meets_lemma52() {
+        for depth in 1..=8 {
+            let nl = complete_tree(2, depth);
+            let h = Hypergraph::from_netlist(&nl);
+            let order = tree_order(&nl).unwrap();
+            let w = cutwidth(&h, &order);
+            let n = h.num_nodes();
+            assert!(
+                (w as f64) <= lemma52_bound(2, n),
+                "depth {depth}: width {w} > bound {}",
+                lemma52_bound(2, n)
+            );
+        }
+    }
+
+    #[test]
+    fn ternary_tree_meets_lemma52() {
+        for depth in 1..=5 {
+            let nl = complete_tree(3, depth);
+            let h = Hypergraph::from_netlist(&nl);
+            let order = tree_order(&nl).unwrap();
+            let w = cutwidth(&h, &order);
+            assert!(
+                (w as f64) <= lemma52_bound(3, h.num_nodes()),
+                "depth {depth}: width {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_width_is_tiny() {
+        let mut nl = Netlist::new("chain");
+        let mut cur = nl.add_input("x");
+        for i in 0..100 {
+            cur = nl
+                .add_gate_named(GateKind::Not, vec![cur], format!("n{i}"))
+                .unwrap();
+        }
+        nl.add_output(cur);
+        let h = Hypergraph::from_netlist(&nl);
+        let order = tree_order(&nl).unwrap();
+        assert_eq!(cutwidth(&h, &order), 1, "a path has cut-width 1");
+    }
+
+    #[test]
+    fn ordering_is_permutation() {
+        let nl = complete_tree(2, 5);
+        let h = Hypergraph::from_netlist(&nl);
+        let mut order = tree_order(&nl).unwrap();
+        order.sort_unstable();
+        assert_eq!(order, (0..h.num_nodes()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn logarithmic_growth() {
+        // Doubling the tree size increases the width by at most ~(k−1)+1.
+        let w_at = |depth: usize| {
+            let nl = complete_tree(2, depth);
+            let h = Hypergraph::from_netlist(&nl);
+            cutwidth(&h, &tree_order(&nl).unwrap())
+        };
+        let (w5, w9) = (w_at(5), w_at(9));
+        assert!(
+            w9 <= w5 + 5,
+            "16x larger tree must add at most ~4 to the width: {w5} -> {w9}"
+        );
+    }
+
+    #[test]
+    fn rejects_non_trees() {
+        let mut nl = Netlist::new("dag");
+        let a = nl.add_input("a");
+        let x = nl.add_gate_named(GateKind::Not, vec![a], "x").unwrap();
+        let y = nl.add_gate_named(GateKind::Buf, vec![a], "y").unwrap();
+        let z = nl.add_gate_named(GateKind::And, vec![x, y], "z").unwrap();
+        nl.add_output(z);
+        assert!(matches!(tree_order(&nl), Err(NotATree::SharedNet(_))));
+
+        let mut nl2 = Netlist::new("two_out");
+        let b = nl2.add_input("b");
+        let p = nl2.add_gate_named(GateKind::Not, vec![b], "p").unwrap();
+        nl2.add_output(p);
+        nl2.add_output(b);
+        assert_eq!(tree_order(&nl2), Err(NotATree::MultipleOutputs));
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use atpg_easy_netlist::{GateKind, Netlist};
+
+    /// A small fixed tree circuit shared by sibling module tests:
+    /// y = AND(OR(a, b), NOT(c)).
+    pub(crate) fn fig_tree() -> Netlist {
+        let mut nl = Netlist::new("fig_tree");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let o = nl.add_gate_named(GateKind::Or, vec![a, b], "o").unwrap();
+        let n = nl.add_gate_named(GateKind::Not, vec![c], "n").unwrap();
+        let y = nl.add_gate_named(GateKind::And, vec![o, n], "y").unwrap();
+        nl.add_output(y);
+        nl
+    }
+}

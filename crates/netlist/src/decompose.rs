@@ -1,0 +1,343 @@
+//! Technology decomposition to bounded-fan-in AND/OR networks with
+//! inversions — our stand-in for the SIS `tech_decomp` pass the paper uses
+//! to pre-process every benchmark (Section 5.2.2).
+//!
+//! After [`decompose`] every gate is `And`, `Or`, `Not`, `Buf`, `Const0` or
+//! `Const1`, and every `And`/`Or` has at most `max_fanin` inputs. NAND/NOR
+//! become an AND/OR tree followed by an inverter; XOR/XNOR expand to the
+//! two-level AND-OR form, combined in a balanced binary tree.
+
+use crate::{topo, GateKind, NetId, Netlist, NetlistError};
+
+/// How wide gates are broken into bounded-fan-in trees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Balanced reduction tree (depth `⌈log_k(fanin)⌉`) — what SIS
+    /// `tech_decomp` produces and the experiments use.
+    #[default]
+    Balanced,
+    /// Left-deep chain (depth `fanin − 1`) — the ablation alternative:
+    /// chains keep the *cut-width* of the decomposed gate low (a chain is
+    /// a path) at the cost of logic depth.
+    Chain,
+}
+
+/// Decomposes `nl` into an equivalent network of at-most-`max_fanin`-input
+/// AND/OR gates plus inverters and buffers. Original net names are kept for
+/// nets that survive; helper nets get `_d<N>` names.
+///
+/// # Errors
+///
+/// [`NetlistError::Cycle`] if the source is cyclic. Any other error would
+/// indicate an internal bug and is propagated as-is.
+///
+/// # Panics
+///
+/// Panics if `max_fanin < 2`.
+pub fn decompose(nl: &Netlist, max_fanin: usize) -> Result<Netlist, NetlistError> {
+    decompose_with(nl, max_fanin, Strategy::Balanced)
+}
+
+/// [`decompose`] with an explicit tree [`Strategy`].
+///
+/// # Errors
+///
+/// See [`decompose`].
+///
+/// # Panics
+///
+/// Panics if `max_fanin < 2`.
+pub fn decompose_with(
+    nl: &Netlist,
+    max_fanin: usize,
+    strategy: Strategy,
+) -> Result<Netlist, NetlistError> {
+    assert!(max_fanin >= 2, "max_fanin must be at least 2");
+    let order = topo::topo_order(nl)?;
+    let mut out = Netlist::new(format!("{}_dec{}", nl.name(), max_fanin));
+    let mut map: Vec<Option<NetId>> = vec![None; nl.num_nets()];
+    let mut fresh = 0usize;
+
+    for &inp in nl.inputs() {
+        let new = out.try_add_input(nl.net(inp).name.clone())?;
+        map[inp.index()] = Some(new);
+    }
+
+    let mut helper = |out: &mut Netlist, kind: GateKind, inputs: Vec<NetId>| -> NetId {
+        loop {
+            let name = format!("_d{fresh}");
+            fresh += 1;
+            match out.add_gate_named(kind, inputs.clone(), name) {
+                Ok(id) => return id,
+                Err(NetlistError::DuplicateName(_)) => continue,
+                Err(e) => panic!("internal decomposition error: {e}"),
+            }
+        }
+    };
+
+    // Builds a reduction tree of `kind` over `ins`, bounded fan-in.
+    fn tree(
+        out: &mut Netlist,
+        helper: &mut impl FnMut(&mut Netlist, GateKind, Vec<NetId>) -> NetId,
+        kind: GateKind,
+        mut ins: Vec<NetId>,
+        k: usize,
+        strategy: Strategy,
+    ) -> NetId {
+        debug_assert!(!ins.is_empty());
+        match strategy {
+            Strategy::Balanced => {
+                while ins.len() > k {
+                    let mut next = Vec::with_capacity(ins.len().div_ceil(k));
+                    for chunk in ins.chunks(k) {
+                        if chunk.len() == 1 {
+                            next.push(chunk[0]);
+                        } else {
+                            next.push(helper(out, kind, chunk.to_vec()));
+                        }
+                    }
+                    ins = next;
+                }
+                if ins.len() == 1 {
+                    ins[0]
+                } else {
+                    helper(out, kind, ins)
+                }
+            }
+            Strategy::Chain => {
+                // Left-deep: absorb k inputs, then k−1 more per level.
+                let mut acc = if ins.len() <= k {
+                    return if ins.len() == 1 {
+                        ins[0]
+                    } else {
+                        helper(out, kind, ins)
+                    };
+                } else {
+                    helper(out, kind, ins[..k].to_vec())
+                };
+                let mut rest = &ins[k..];
+                while !rest.is_empty() {
+                    let take = (k - 1).min(rest.len());
+                    let mut args = vec![acc];
+                    args.extend_from_slice(&rest[..take]);
+                    acc = helper(out, kind, args);
+                    rest = &rest[take..];
+                }
+                acc
+            }
+        }
+    }
+
+    // XOR of exactly two nets in AND-OR-INV form.
+    fn xor2(
+        out: &mut Netlist,
+        helper: &mut impl FnMut(&mut Netlist, GateKind, Vec<NetId>) -> NetId,
+        a: NetId,
+        b: NetId,
+    ) -> NetId {
+        let na = helper(out, GateKind::Not, vec![a]);
+        let nb = helper(out, GateKind::Not, vec![b]);
+        let t1 = helper(out, GateKind::And, vec![a, nb]);
+        let t2 = helper(out, GateKind::And, vec![na, b]);
+        helper(out, GateKind::Or, vec![t1, t2])
+    }
+
+    for gid in order {
+        let gate = nl.gate(gid);
+        let ins: Vec<NetId> = gate
+            .inputs
+            .iter()
+            .map(|&i| map[i.index()].expect("topological order maps inputs first"))
+            .collect();
+        let name = nl.net(gate.output).name.clone();
+        let result = match gate.kind {
+            GateKind::And | GateKind::Or => {
+                if ins.len() <= max_fanin {
+                    out.add_gate_named(gate.kind, ins, name)?
+                } else {
+                    let t = tree(&mut out, &mut helper, gate.kind, ins, max_fanin, strategy);
+                    // Final level needs the original name: rebuild via BUF if
+                    // the tree collapsed to a helper net.
+                    out.add_gate_named(GateKind::Buf, vec![t], name)?
+                }
+            }
+            GateKind::Nand | GateKind::Nor => {
+                let base = if gate.kind == GateKind::Nand {
+                    GateKind::And
+                } else {
+                    GateKind::Or
+                };
+                let t = if ins.len() == 1 {
+                    ins[0]
+                } else {
+                    tree(&mut out, &mut helper, base, ins, max_fanin, strategy)
+                };
+                out.add_gate_named(GateKind::Not, vec![t], name)?
+            }
+            GateKind::Xor | GateKind::Xnor => {
+                let mut acc = ins[0];
+                for &next in &ins[1..] {
+                    acc = xor2(&mut out, &mut helper, acc, next);
+                }
+                if gate.kind == GateKind::Xor {
+                    out.add_gate_named(GateKind::Buf, vec![acc], name)?
+                } else {
+                    out.add_gate_named(GateKind::Not, vec![acc], name)?
+                }
+            }
+            GateKind::Not | GateKind::Buf => out.add_gate_named(gate.kind, ins, name)?,
+            GateKind::Const0 | GateKind::Const1 => out.add_gate_named(gate.kind, vec![], name)?,
+        };
+        map[gate.output.index()] = Some(result);
+    }
+
+    for &o in nl.outputs() {
+        out.add_output(map[o.index()].expect("outputs are driven"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim;
+    use crate::{GateKind, Netlist};
+
+    fn equivalent(a: &Netlist, b: &Netlist) -> bool {
+        assert_eq!(a.num_inputs(), b.num_inputs());
+        let n = a.num_inputs();
+        assert!(n <= 12, "exhaustive check only for small circuits");
+        for m in 0u32..(1 << n) {
+            let ins: Vec<bool> = (0..n).map(|i| m >> i & 1 != 0).collect();
+            if sim::eval_outputs(a, &ins) != sim::eval_outputs(b, &ins) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn wide(kind: GateKind, n: usize) -> Netlist {
+        let mut nl = Netlist::new("wide");
+        let ins: Vec<_> = (0..n).map(|i| nl.add_input(format!("x{i}"))).collect();
+        let y = nl.add_gate_named(kind, ins, "y").unwrap();
+        nl.add_output(y);
+        nl
+    }
+
+    #[test]
+    fn wide_and_decomposes_equivalently() {
+        for n in [2, 3, 5, 9] {
+            let nl = wide(GateKind::And, n);
+            let dec = decompose(&nl, 3).unwrap();
+            assert!(dec.validate().is_ok());
+            assert!(dec.max_fanin() <= 3);
+            assert!(equivalent(&nl, &dec), "AND{n}");
+        }
+    }
+
+    #[test]
+    fn all_kinds_decompose_equivalently() {
+        for kind in [
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+        ] {
+            for n in [1, 2, 4, 7] {
+                let nl = wide(kind, n);
+                let dec = decompose(&nl, 3).unwrap();
+                assert!(dec.max_fanin() <= 3, "{kind} fanin");
+                assert!(
+                    dec.gates().all(|(_, g)| matches!(
+                        g.kind,
+                        GateKind::And | GateKind::Or | GateKind::Not | GateKind::Buf
+                    )),
+                    "{kind} kinds"
+                );
+                assert!(equivalent(&nl, &dec), "{kind}{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn fanin_two_target() {
+        let nl = wide(GateKind::Nor, 6);
+        let dec = decompose(&nl, 2).unwrap();
+        assert!(dec.max_fanin() <= 2);
+        assert!(equivalent(&nl, &dec));
+    }
+
+    #[test]
+    fn names_preserved_for_original_nets() {
+        let nl = wide(GateKind::Xor, 4);
+        let dec = decompose(&nl, 3).unwrap();
+        assert!(dec.find_net("y").is_some());
+        assert!(dec.find_net("x0").is_some());
+        assert!(dec.is_output(dec.find_net("y").unwrap()));
+    }
+
+    #[test]
+    fn constants_pass_through() {
+        let mut nl = Netlist::new("c");
+        let a = nl.add_input("a");
+        let k = nl.add_gate_named(GateKind::Const1, vec![], "k").unwrap();
+        let y = nl.add_gate_named(GateKind::And, vec![a, k], "y").unwrap();
+        nl.add_output(y);
+        let dec = decompose(&nl, 2).unwrap();
+        assert!(equivalent(&nl, &dec));
+    }
+}
+
+#[cfg(test)]
+mod strategy_tests {
+    use super::*;
+    use crate::{sim, topo, GateKind, Netlist};
+
+    fn wide(kind: GateKind, n: usize) -> Netlist {
+        let mut nl = Netlist::new("wide");
+        let ins: Vec<_> = (0..n).map(|i| nl.add_input(format!("x{i}"))).collect();
+        let y = nl.add_gate_named(kind, ins, "y").unwrap();
+        nl.add_output(y);
+        nl
+    }
+
+    #[test]
+    fn chain_is_equivalent_to_balanced() {
+        for kind in [GateKind::And, GateKind::Nor, GateKind::Xor] {
+            let nl = wide(kind, 9);
+            let bal = decompose_with(&nl, 2, Strategy::Balanced).unwrap();
+            let chain = decompose_with(&nl, 2, Strategy::Chain).unwrap();
+            for m in 0u32..(1 << 9) {
+                let ins: Vec<bool> = (0..9).map(|i| m >> i & 1 != 0).collect();
+                assert_eq!(
+                    sim::eval_outputs(&bal, &ins),
+                    sim::eval_outputs(&chain, &ins),
+                    "{kind} minterm {m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chain_is_deeper_than_balanced() {
+        let nl = wide(GateKind::And, 16);
+        let bal = decompose_with(&nl, 2, Strategy::Balanced).unwrap();
+        let chain = decompose_with(&nl, 2, Strategy::Chain).unwrap();
+        assert!(topo::depth(&chain) > topo::depth(&bal));
+        // +1 for the name-preserving buffer on the tree root.
+        assert_eq!(topo::depth(&bal), 4 + 1, "balanced: log2(16) + buf");
+        assert_eq!(topo::depth(&chain), 15 + 1, "chain: n-1 + buf");
+    }
+
+    #[test]
+    fn both_respect_fanin_bound() {
+        let nl = wide(GateKind::Or, 11);
+        for s in [Strategy::Balanced, Strategy::Chain] {
+            let dec = decompose_with(&nl, 3, s).unwrap();
+            assert!(dec.max_fanin() <= 3, "{s:?}");
+            assert!(dec.validate().is_ok());
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for netlist construction, validation and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, validating or parsing a
+/// [`Netlist`](crate::Netlist).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A net name was declared twice.
+    DuplicateName(String),
+    /// A referenced net name does not exist.
+    UnknownNet(String),
+    /// A net already has a driver (gate output or primary input).
+    MultipleDrivers(String),
+    /// A net has no driver.
+    Undriven(String),
+    /// A gate was given an inadmissible number of inputs for its kind.
+    BadFanin {
+        /// Gate kind as text (avoids a pub dependency on the enum here).
+        kind: String,
+        /// The offending input count.
+        got: usize,
+    },
+    /// The network contains a combinational cycle through the named net.
+    Cycle(String),
+    /// A parse error, with 1-based line number and message.
+    Parse {
+        /// Line where the problem was detected.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A construct valid in the source format but unsupported here
+    /// (e.g. sequential elements in `.bench` files).
+    Unsupported(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateName(n) => write!(f, "duplicate net name `{n}`"),
+            NetlistError::UnknownNet(n) => write!(f, "unknown net `{n}`"),
+            NetlistError::MultipleDrivers(n) => write!(f, "net `{n}` has multiple drivers"),
+            NetlistError::Undriven(n) => write!(f, "net `{n}` has no driver"),
+            NetlistError::BadFanin { kind, got } => {
+                write!(f, "gate kind {kind} cannot take {got} inputs")
+            }
+            NetlistError::Cycle(n) => write!(f, "combinational cycle through net `{n}`"),
+            NetlistError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            NetlistError::Unsupported(what) => write!(f, "unsupported construct: {what}"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetlistError::Parse {
+            line: 12,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 12"));
+        assert!(NetlistError::UnknownNet("x".into()).to_string().contains('x'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

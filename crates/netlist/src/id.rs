@@ -1,0 +1,89 @@
+//! Strongly-typed identifiers for nets and gates.
+
+use std::fmt;
+
+/// Identifier of a signal net within a [`Netlist`](crate::Netlist).
+///
+/// A net is driven either by a primary input or by exactly one gate output,
+/// and is consumed by any number of gate inputs and/or primary outputs.
+/// `NetId`s are dense indices assigned in creation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub(crate) u32);
+
+/// Identifier of a gate within a [`Netlist`](crate::Netlist).
+///
+/// `GateId`s are dense indices assigned in creation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GateId(pub(crate) u32);
+
+impl NetId {
+    /// Returns the dense index of this net.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a `NetId` from a dense index.
+    ///
+    /// Intended for sibling crates that build parallel per-net tables; the
+    /// caller is responsible for the index being in range for the netlist it
+    /// is used with.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NetId(index as u32)
+    }
+}
+
+impl GateId {
+    /// Returns the dense index of this gate.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a `GateId` from a dense index.
+    ///
+    /// The caller is responsible for the index being in range for the
+    /// netlist it is used with.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        GateId(index as u32)
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_id_roundtrip() {
+        let id = NetId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "n42");
+    }
+
+    #[test]
+    fn gate_id_roundtrip() {
+        let id = GateId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "g7");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(NetId::from_index(1) < NetId::from_index(2));
+        assert!(GateId::from_index(0) < GateId::from_index(9));
+    }
+}

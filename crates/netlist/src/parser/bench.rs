@@ -1,0 +1,266 @@
+//! ISCAS85 `.bench` format parser and writer.
+//!
+//! The format, as used by the ISCAS85 combinational suite:
+//!
+//! ```text
+//! # comment
+//! INPUT(1)
+//! OUTPUT(22)
+//! 10 = NAND(1, 3)
+//! 22 = OR(10, 16)
+//! ```
+//!
+//! Sequential constructs (`DFF`) are rejected — the paper (and this
+//! reproduction) treats combinational circuits only.
+
+use crate::{GateKind, Netlist, NetlistError};
+
+fn parse_kind(s: &str, line: usize) -> Result<GateKind, NetlistError> {
+    match s.to_ascii_uppercase().as_str() {
+        "AND" => Ok(GateKind::And),
+        "OR" => Ok(GateKind::Or),
+        "NAND" => Ok(GateKind::Nand),
+        "NOR" => Ok(GateKind::Nor),
+        "XOR" => Ok(GateKind::Xor),
+        "XNOR" => Ok(GateKind::Xnor),
+        "NOT" | "INV" => Ok(GateKind::Not),
+        "BUF" | "BUFF" => Ok(GateKind::Buf),
+        "DFF" => Err(NetlistError::Unsupported(
+            "sequential element DFF in .bench file".into(),
+        )),
+        other => Err(NetlistError::Parse {
+            line,
+            message: format!("unknown gate type `{other}`"),
+        }),
+    }
+}
+
+/// Parses `.bench` text into a [`Netlist`].
+///
+/// # Errors
+///
+/// [`NetlistError::Parse`] for malformed lines,
+/// [`NetlistError::Unsupported`] for `DFF`s, and the usual structural
+/// errors (duplicate drivers, cycles) surfaced by validation.
+pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
+    let mut nl = Netlist::new("bench");
+    let mut outputs: Vec<(usize, String)> = Vec::new();
+
+    let lookup_or_add = |nl: &mut Netlist, name: &str| match nl.find_net(name) {
+        Some(id) => id,
+        None => nl.add_net(name).expect("checked absent"),
+    };
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let stripped = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        }
+        .trim();
+        if stripped.is_empty() {
+            continue;
+        }
+        let upper = stripped.to_ascii_uppercase();
+        if upper.starts_with("INPUT") || upper.starts_with("OUTPUT") {
+            let open = stripped.find('(').ok_or(NetlistError::Parse {
+                line,
+                message: "expected `(`".into(),
+            })?;
+            let close = stripped.rfind(')').ok_or(NetlistError::Parse {
+                line,
+                message: "expected `)`".into(),
+            })?;
+            let name = stripped[open + 1..close].trim();
+            if name.is_empty() {
+                return Err(NetlistError::Parse {
+                    line,
+                    message: "empty signal name".into(),
+                });
+            }
+            if upper.starts_with("INPUT") {
+                match nl.find_net(name) {
+                    Some(id) => nl.mark_input(id)?,
+                    None => {
+                        nl.try_add_input(name)?;
+                    }
+                }
+            } else {
+                outputs.push((line, name.to_string()));
+            }
+            continue;
+        }
+        // Gate line: `out = KIND(in1, in2, ...)`
+        let eq = stripped.find('=').ok_or(NetlistError::Parse {
+            line,
+            message: "expected `=` in gate definition".into(),
+        })?;
+        let out_name = stripped[..eq].trim();
+        let rhs = stripped[eq + 1..].trim();
+        let open = rhs.find('(').ok_or(NetlistError::Parse {
+            line,
+            message: "expected `(` in gate definition".into(),
+        })?;
+        let close = rhs.rfind(')').ok_or(NetlistError::Parse {
+            line,
+            message: "expected `)` in gate definition".into(),
+        })?;
+        let kind = parse_kind(rhs[..open].trim(), line)?;
+        let args = rhs[open + 1..close].trim();
+        let inputs: Vec<_> = if args.is_empty() {
+            Vec::new()
+        } else {
+            args.split(',')
+                .map(|a| lookup_or_add(&mut nl, a.trim()))
+                .collect()
+        };
+        let out_net = lookup_or_add(&mut nl, out_name);
+        nl.drive_net(out_net, kind, inputs)?;
+    }
+
+    for (line, name) in outputs {
+        let id = nl.find_net(&name).ok_or(NetlistError::Parse {
+            line,
+            message: format!("OUTPUT references unknown net `{name}`"),
+        })?;
+        nl.add_output(id);
+    }
+    nl.validate()?;
+    Ok(nl)
+}
+
+/// Writes a netlist in `.bench` syntax.
+///
+/// Constant gates, which `.bench` cannot express directly, are emitted as
+/// `AND(x, NOT x)`-free: we reject them instead.
+///
+/// # Errors
+///
+/// [`NetlistError::Unsupported`] if the netlist contains constant gates.
+pub fn write(nl: &Netlist) -> Result<String, NetlistError> {
+    let mut s = format!("# {}\n", nl.name());
+    for &i in nl.inputs() {
+        s.push_str(&format!("INPUT({})\n", nl.net(i).name));
+    }
+    for &o in nl.outputs() {
+        s.push_str(&format!("OUTPUT({})\n", nl.net(o).name));
+    }
+    for (_, g) in nl.gates() {
+        let kind = match g.kind {
+            GateKind::And => "AND",
+            GateKind::Or => "OR",
+            GateKind::Nand => "NAND",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Not => "NOT",
+            GateKind::Buf => "BUFF",
+            GateKind::Const0 | GateKind::Const1 => {
+                return Err(NetlistError::Unsupported(
+                    "constant gate in .bench output".into(),
+                ))
+            }
+        };
+        let ins: Vec<&str> = g.inputs.iter().map(|&n| nl.net(n).name.as_str()).collect();
+        s.push_str(&format!(
+            "{} = {}({})\n",
+            nl.net(g.output).name,
+            kind,
+            ins.join(", ")
+        ));
+    }
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim;
+
+    const C17: &str = "\
+# c17 benchmark
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+    #[test]
+    fn parses_c17() {
+        let nl = parse(C17).unwrap();
+        assert_eq!(nl.num_inputs(), 5);
+        assert_eq!(nl.num_outputs(), 2);
+        assert_eq!(nl.num_gates(), 6);
+        assert!(nl.validate().is_ok());
+    }
+
+    #[test]
+    fn c17_functionality() {
+        // With all inputs 0: 10 = 1, 11 = 1, 16 = 1, 19 = 1, 22 = 0, 23 = 0.
+        let nl = parse(C17).unwrap();
+        let outs = sim::eval_outputs(&nl, &[false; 5]);
+        assert_eq!(outs, vec![false, false]);
+        // Inputs all 1: 10 = 0, 11 = 0, 16 = 1, 19 = 1, 22 = 1, 23 = 0.
+        let outs = sim::eval_outputs(&nl, &[true; 5]);
+        assert_eq!(outs, vec![true, false]);
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let text = "\
+OUTPUT(y)
+y = AND(a, b)
+INPUT(a)
+INPUT(b)
+";
+        let nl = parse(text).unwrap();
+        assert_eq!(nl.num_inputs(), 2);
+        assert_eq!(nl.num_gates(), 1);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let nl = parse(C17).unwrap();
+        let text = write(&nl).unwrap();
+        let nl2 = parse(&text).unwrap();
+        assert_eq!(nl2.num_gates(), nl.num_gates());
+        for m in 0..32u32 {
+            let ins: Vec<bool> = (0..5).map(|i| m >> i & 1 != 0).collect();
+            assert_eq!(sim::eval_outputs(&nl, &ins), sim::eval_outputs(&nl2, &ins));
+        }
+    }
+
+    #[test]
+    fn dff_rejected() {
+        let text = "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n";
+        assert!(matches!(parse(text), Err(NetlistError::Unsupported(_))));
+    }
+
+    #[test]
+    fn unknown_gate_rejected() {
+        let text = "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n";
+        assert!(matches!(parse(text), Err(NetlistError::Parse { line: 3, .. })));
+    }
+
+    #[test]
+    fn unknown_output_rejected() {
+        let text = "INPUT(a)\nOUTPUT(zz)\n";
+        assert!(matches!(parse(text), Err(NetlistError::Parse { .. })));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "\n# hi\nINPUT(a) # trailing\nOUTPUT(y)\ny = BUFF(a)\n\n";
+        let nl = parse(text).unwrap();
+        assert_eq!(nl.num_gates(), 1);
+    }
+}

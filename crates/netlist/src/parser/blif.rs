@@ -1,0 +1,427 @@
+//! A combinational subset of Berkeley BLIF, the native format of the MCNC91
+//! logic-synthesis benchmarks.
+//!
+//! Supported constructs: `.model`, `.inputs`, `.outputs`, `.names` with
+//! single-output SOP covers (including the `-` don't-care), line
+//! continuation with `\`, comments with `#`, `.end`. Latches and
+//! subcircuits are rejected.
+//!
+//! Each `.names` block becomes an AND-OR-INV gate cluster: one AND per cube
+//! (with inverters for `0` literals) feeding an OR, complemented when the
+//! cover describes the off-set.
+
+use crate::{GateKind, NetId, Netlist, NetlistError};
+
+/// Parses BLIF text into a [`Netlist`].
+///
+/// # Errors
+///
+/// [`NetlistError::Parse`] for malformed input,
+/// [`NetlistError::Unsupported`] for sequential/hierarchical constructs,
+/// plus structural validation errors.
+pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
+    // Join continuation lines, drop comments, keep 1-based line numbers of
+    // the first physical line of each logical line.
+    let mut logical: Vec<(usize, String)> = Vec::new();
+    let mut acc = String::new();
+    let mut acc_line = 0usize;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let no_comment = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        };
+        let mut part = no_comment.trim_end().to_string();
+        let continued = part.ends_with('\\');
+        if continued {
+            part.pop();
+        }
+        if acc.is_empty() {
+            acc_line = line;
+        }
+        acc.push_str(part.trim());
+        acc.push(' ');
+        if !continued {
+            let s = acc.trim().to_string();
+            if !s.is_empty() {
+                logical.push((acc_line, s));
+            }
+            acc.clear();
+        }
+    }
+    if !acc.trim().is_empty() {
+        logical.push((acc_line, acc.trim().to_string()));
+    }
+
+    let mut nl = Netlist::new("blif");
+    let mut outputs: Vec<(usize, String)> = Vec::new();
+    let mut i = 0usize;
+    let mut fresh = 0usize;
+
+    let lookup_or_add = |nl: &mut Netlist, name: &str| match nl.find_net(name) {
+        Some(id) => id,
+        None => nl.add_net(name).expect("checked absent"),
+    };
+
+    while i < logical.len() {
+        let (line, ref s) = logical[i];
+        let mut toks = s.split_whitespace();
+        let head = toks.next().expect("non-empty logical line");
+        match head {
+            ".model" => {
+                if let Some(name) = toks.next() {
+                    nl.set_name(name);
+                }
+                i += 1;
+            }
+            ".inputs" => {
+                for t in toks {
+                    match nl.find_net(t) {
+                        Some(id) => nl.mark_input(id)?,
+                        None => {
+                            nl.try_add_input(t)?;
+                        }
+                    }
+                }
+                i += 1;
+            }
+            ".outputs" => {
+                for t in toks {
+                    outputs.push((line, t.to_string()));
+                }
+                i += 1;
+            }
+            ".names" => {
+                let signals: Vec<&str> = toks.collect();
+                if signals.is_empty() {
+                    return Err(NetlistError::Parse {
+                        line,
+                        message: ".names needs at least an output".into(),
+                    });
+                }
+                let (in_names, out_name) = signals.split_at(signals.len() - 1);
+                let ins: Vec<NetId> = in_names
+                    .iter()
+                    .map(|t| lookup_or_add(&mut nl, t))
+                    .collect();
+                // Collect cover rows until the next dot-directive.
+                i += 1;
+                let mut cubes: Vec<(String, char)> = Vec::new();
+                while i < logical.len() && !logical[i].1.starts_with('.') {
+                    let (rline, ref row) = logical[i];
+                    let parts: Vec<&str> = row.split_whitespace().collect();
+                    let (pattern, value) = match (parts.len(), in_names.is_empty()) {
+                        (1, true) => (String::new(), parts[0]),
+                        (2, false) => (parts[0].to_string(), parts[1]),
+                        _ => {
+                            return Err(NetlistError::Parse {
+                                line: rline,
+                                message: format!("malformed cover row `{row}`"),
+                            })
+                        }
+                    };
+                    if pattern.len() != in_names.len() {
+                        return Err(NetlistError::Parse {
+                            line: rline,
+                            message: "cover row width mismatch".into(),
+                        });
+                    }
+                    let v = match value {
+                        "1" => '1',
+                        "0" => '0',
+                        _ => {
+                            return Err(NetlistError::Parse {
+                                line: rline,
+                                message: format!("bad output value `{value}`"),
+                            })
+                        }
+                    };
+                    cubes.push((pattern, v));
+                    i += 1;
+                }
+                build_names(&mut nl, &ins, out_name[0], &cubes, &mut fresh, line)?;
+            }
+            ".end" => {
+                i += 1;
+            }
+            ".latch" | ".subckt" | ".gate" | ".mlatch" => {
+                return Err(NetlistError::Unsupported(format!(
+                    "BLIF construct `{head}` (line {line})"
+                )));
+            }
+            _ => {
+                return Err(NetlistError::Parse {
+                    line,
+                    message: format!("unknown directive `{head}`"),
+                });
+            }
+        }
+    }
+
+    for (line, name) in outputs {
+        let id = nl.find_net(&name).ok_or(NetlistError::Parse {
+            line,
+            message: format!(".outputs references unknown net `{name}`"),
+        })?;
+        nl.add_output(id);
+    }
+    nl.validate()?;
+    Ok(nl)
+}
+
+/// Materializes one `.names` cover as gates driving `out_name`.
+fn build_names(
+    nl: &mut Netlist,
+    ins: &[NetId],
+    out_name: &str,
+    cubes: &[(String, char)],
+    fresh: &mut usize,
+    line: usize,
+) -> Result<(), NetlistError> {
+    let mut helper = |nl: &mut Netlist, kind: GateKind, inputs: Vec<NetId>| -> NetId {
+        loop {
+            let name = format!("_b{f}", f = *fresh);
+            *fresh += 1;
+            match nl.add_gate_named(kind, inputs.clone(), name) {
+                Ok(id) => return id,
+                Err(NetlistError::DuplicateName(_)) => continue,
+                Err(e) => panic!("internal BLIF build error: {e}"),
+            }
+        }
+    };
+
+    let out_net = match nl.find_net(out_name) {
+        Some(id) => id,
+        None => nl.add_net(out_name)?,
+    };
+
+    // Empty cover: constant 0 (on-set is empty).
+    if cubes.is_empty() {
+        nl.drive_net(out_net, GateKind::Const0, vec![])?;
+        return Ok(());
+    }
+    let polarity = cubes[0].1;
+    if cubes.iter().any(|(_, v)| *v != polarity) {
+        return Err(NetlistError::Parse {
+            line,
+            message: "mixed on-set/off-set cover".into(),
+        });
+    }
+
+    // Constant node (no inputs, single `1` or `0` row).
+    if ins.is_empty() {
+        let kind = if polarity == '1' {
+            GateKind::Const1
+        } else {
+            GateKind::Const0
+        };
+        nl.drive_net(out_net, kind, vec![])?;
+        return Ok(());
+    }
+
+    // One AND term per cube.
+    let mut terms: Vec<NetId> = Vec::with_capacity(cubes.len());
+    for (pattern, _) in cubes {
+        let mut lits: Vec<NetId> = Vec::new();
+        for (pos, ch) in pattern.chars().enumerate() {
+            match ch {
+                '1' => lits.push(ins[pos]),
+                '0' => lits.push(helper(nl, GateKind::Not, vec![ins[pos]])),
+                '-' => {}
+                other => {
+                    return Err(NetlistError::Parse {
+                        line,
+                        message: format!("bad cube character `{other}`"),
+                    })
+                }
+            }
+        }
+        let term = match lits.len() {
+            0 => helper(nl, GateKind::Const1, vec![]),
+            1 => lits[0],
+            _ => helper(nl, GateKind::And, lits),
+        };
+        terms.push(term);
+    }
+    let cover = if terms.len() == 1 {
+        terms[0]
+    } else {
+        helper(nl, GateKind::Or, terms)
+    };
+    let final_kind = if polarity == '1' {
+        GateKind::Buf
+    } else {
+        GateKind::Not
+    };
+    nl.drive_net(out_net, final_kind, vec![cover])?;
+    Ok(())
+}
+
+/// Writes a netlist as BLIF. Every gate becomes one `.names` block.
+///
+/// # Errors
+///
+/// [`NetlistError::Unsupported`] for XOR/XNOR gates wider than 16 inputs
+/// (the minterm expansion would be enormous); decompose first.
+pub fn write(nl: &Netlist) -> Result<String, NetlistError> {
+    let mut s = format!(".model {}\n", nl.name());
+    s.push_str(".inputs");
+    for &i in nl.inputs() {
+        s.push(' ');
+        s.push_str(&nl.net(i).name);
+    }
+    s.push_str("\n.outputs");
+    for &o in nl.outputs() {
+        s.push(' ');
+        s.push_str(&nl.net(o).name);
+    }
+    s.push('\n');
+    for (_, g) in nl.gates() {
+        s.push_str(".names");
+        for &i in &g.inputs {
+            s.push(' ');
+            s.push_str(&nl.net(i).name);
+        }
+        s.push(' ');
+        s.push_str(&nl.net(g.output).name);
+        s.push('\n');
+        let n = g.inputs.len();
+        match g.kind {
+            GateKind::And => {
+                s.push_str(&"1".repeat(n));
+                s.push_str(" 1\n");
+            }
+            GateKind::Nand => {
+                s.push_str(&"1".repeat(n));
+                s.push_str(" 0\n");
+            }
+            GateKind::Or => {
+                for p in 0..n {
+                    let row: String = (0..n).map(|q| if q == p { '1' } else { '-' }).collect();
+                    s.push_str(&row);
+                    s.push_str(" 1\n");
+                }
+            }
+            GateKind::Nor => {
+                s.push_str(&"0".repeat(n));
+                s.push_str(" 1\n");
+            }
+            GateKind::Not => s.push_str("0 1\n"),
+            GateKind::Buf => s.push_str("1 1\n"),
+            GateKind::Const0 => { /* empty cover = constant 0 */ }
+            GateKind::Const1 => s.push_str("1\n"),
+            GateKind::Xor | GateKind::Xnor => {
+                if n > 16 {
+                    return Err(NetlistError::Unsupported(
+                        "XOR wider than 16 inputs in BLIF writer".into(),
+                    ));
+                }
+                let want = g.kind == GateKind::Xor;
+                for m in 0u32..(1 << n) {
+                    let ones = m.count_ones() % 2 == 1;
+                    if ones == want {
+                        let row: String =
+                            (0..n).map(|q| if m >> q & 1 != 0 { '1' } else { '0' }).collect();
+                        s.push_str(&row);
+                        s.push_str(" 1\n");
+                    }
+                }
+            }
+        }
+    }
+    s.push_str(".end\n");
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim;
+
+    const MAJ: &str = "\
+.model majority
+.inputs a b c
+.outputs m
+.names a b c m
+11- 1
+1-1 1
+-11 1
+.end
+";
+
+    #[test]
+    fn parses_majority() {
+        let nl = parse(MAJ).unwrap();
+        assert_eq!(nl.name(), "majority");
+        assert_eq!(nl.num_inputs(), 3);
+        assert_eq!(nl.num_outputs(), 1);
+        for m in 0..8u32 {
+            let ins: Vec<bool> = (0..3).map(|i| m >> i & 1 != 0).collect();
+            let expect = ins.iter().filter(|&&b| b).count() >= 2;
+            assert_eq!(sim::eval_outputs(&nl, &ins), vec![expect], "minterm {m}");
+        }
+    }
+
+    #[test]
+    fn offset_cover() {
+        // y is 0 exactly when a=1,b=1 → y = NAND(a,b).
+        let text = ".model t\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n";
+        let nl = parse(text).unwrap();
+        assert_eq!(sim::eval_outputs(&nl, &[true, true]), vec![false]);
+        assert_eq!(sim::eval_outputs(&nl, &[true, false]), vec![true]);
+    }
+
+    #[test]
+    fn constants() {
+        let text = ".model t\n.inputs a\n.outputs k0 k1 y\n.names k0\n.names k1\n1\n.names a y\n1 1\n.end\n";
+        let nl = parse(text).unwrap();
+        assert_eq!(
+            sim::eval_outputs(&nl, &[false]),
+            vec![false, true, false]
+        );
+    }
+
+    #[test]
+    fn continuation_lines() {
+        let text = ".model t\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n";
+        let nl = parse(text).unwrap();
+        assert_eq!(nl.num_inputs(), 2);
+    }
+
+    #[test]
+    fn latch_rejected() {
+        let text = ".model t\n.inputs a\n.outputs y\n.latch a y re clk 0\n.end\n";
+        assert!(matches!(parse(text), Err(NetlistError::Unsupported(_))));
+    }
+
+    #[test]
+    fn mixed_cover_rejected() {
+        let text = ".model t\n.inputs a\n.outputs y\n.names a y\n1 1\n0 0\n.end\n";
+        assert!(matches!(parse(text), Err(NetlistError::Parse { .. })));
+    }
+
+    #[test]
+    fn roundtrip_gate_kinds() {
+        use crate::{GateKind, Netlist};
+        let mut nl = Netlist::new("rt");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        for (idx, kind) in GateKind::ALL.iter().enumerate() {
+            let n = match kind {
+                GateKind::Not | GateKind::Buf => 1,
+                GateKind::Const0 | GateKind::Const1 => 0,
+                _ => 3,
+            };
+            let ins = [a, b, c][..n].to_vec();
+            let y = nl.add_gate_named(*kind, ins, format!("y{idx}")).unwrap();
+            nl.add_output(y);
+        }
+        let text = write(&nl).unwrap();
+        let nl2 = parse(&text).unwrap();
+        for m in 0..8u32 {
+            let ins: Vec<bool> = (0..3).map(|i| m >> i & 1 != 0).collect();
+            assert_eq!(sim::eval_outputs(&nl, &ins), sim::eval_outputs(&nl2, &ins));
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Netlist parsers and writers.
+//!
+//! - [`mod@bench`]: the ISCAS85 `.bench` format (`INPUT(...)`, `OUTPUT(...)`,
+//!   `y = AND(a, b)`), the native format of the ISCAS85 suite.
+//! - [`blif`]: a combinational subset of Berkeley BLIF (`.model`,
+//!   `.inputs`, `.outputs`, `.names` with SOP covers), the native format of
+//!   the MCNC91 suite.
+
+pub mod bench;
+pub mod blif;

@@ -1,0 +1,177 @@
+//! Bit-parallel logic simulation.
+//!
+//! Each net carries a 64-bit word; bit `p` of every word belongs to
+//! simulation pattern `p`, so one pass evaluates 64 input vectors at once.
+//! This is the classic parallel-pattern technique ATPG tools (including
+//! TEGUS) use for fault dropping.
+
+use crate::{topo, NetId, Netlist};
+
+/// A reusable simulator for one netlist.
+///
+/// Construction performs the topological sort once; each
+/// [`Simulator::run`] is then a linear sweep.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    order: Vec<crate::GateId>,
+    num_nets: usize,
+}
+
+impl Simulator {
+    /// Prepares a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist is cyclic; call
+    /// [`Netlist::validate`](crate::Netlist::validate) first.
+    pub fn new(nl: &Netlist) -> Self {
+        Simulator {
+            order: topo::topo_order(nl).expect("simulation requires an acyclic netlist"),
+            num_nets: nl.num_nets(),
+        }
+    }
+
+    /// Evaluates all nets for 64 parallel patterns.
+    ///
+    /// `input_words[i]` supplies the word for `nl.inputs()[i]`. Returns one
+    /// word per net, indexed by [`NetId::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_words.len() != nl.num_inputs()` or the netlist does
+    /// not match the one the simulator was built for.
+    pub fn run(&self, nl: &Netlist, input_words: &[u64]) -> Vec<u64> {
+        assert_eq!(input_words.len(), nl.num_inputs(), "one word per input");
+        assert_eq!(nl.num_nets(), self.num_nets, "netlist/simulator mismatch");
+        let mut values = vec![0u64; self.num_nets];
+        for (i, &net) in nl.inputs().iter().enumerate() {
+            values[net.index()] = input_words[i];
+        }
+        let mut in_buf: Vec<u64> = Vec::with_capacity(8);
+        for &gid in &self.order {
+            let gate = nl.gate(gid);
+            in_buf.clear();
+            in_buf.extend(gate.inputs.iter().map(|&n| values[n.index()]));
+            values[gate.output.index()] = gate.kind.eval_words(&in_buf);
+        }
+        values
+    }
+
+    /// Like [`Self::run`] but forcing net `forced` to the constant word
+    /// `forced_value` regardless of its driver — i.e. simulating a stuck-at
+    /// fault (all-zeros word for s-a-0, all-ones for s-a-1).
+    pub fn run_with_forced(
+        &self,
+        nl: &Netlist,
+        input_words: &[u64],
+        forced: NetId,
+        forced_value: u64,
+    ) -> Vec<u64> {
+        assert_eq!(input_words.len(), nl.num_inputs(), "one word per input");
+        let mut values = vec![0u64; self.num_nets];
+        for (i, &net) in nl.inputs().iter().enumerate() {
+            values[net.index()] = input_words[i];
+        }
+        values[forced.index()] = forced_value;
+        let mut in_buf: Vec<u64> = Vec::with_capacity(8);
+        for &gid in &self.order {
+            let gate = nl.gate(gid);
+            if gate.output == forced {
+                continue; // the fault overrides the driver
+            }
+            in_buf.clear();
+            in_buf.extend(gate.inputs.iter().map(|&n| values[n.index()]));
+            values[gate.output.index()] = gate.kind.eval_words(&in_buf);
+        }
+        values
+    }
+}
+
+/// Convenience single-pattern evaluation: returns the boolean value of every
+/// net under the given input assignment.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != nl.num_inputs()` or the netlist is cyclic.
+pub fn eval(nl: &Netlist, inputs: &[bool]) -> Vec<bool> {
+    let words: Vec<u64> = inputs.iter().map(|&b| if b { !0 } else { 0 }).collect();
+    Simulator::new(nl)
+        .run(nl, &words)
+        .into_iter()
+        .map(|w| w & 1 != 0)
+        .collect()
+}
+
+/// Evaluates only the primary outputs for one input assignment.
+///
+/// # Panics
+///
+/// Same as [`eval`].
+pub fn eval_outputs(nl: &Netlist, inputs: &[bool]) -> Vec<bool> {
+    let all = eval(nl, inputs);
+    nl.outputs().iter().map(|&o| all[o.index()]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GateKind, Netlist};
+
+    fn xor2() -> Netlist {
+        let mut nl = Netlist::new("xor2");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_gate_named(GateKind::Xor, vec![a, b], "y").unwrap();
+        nl.add_output(y);
+        nl
+    }
+
+    #[test]
+    fn single_pattern_eval() {
+        let nl = xor2();
+        assert_eq!(eval_outputs(&nl, &[false, false]), vec![false]);
+        assert_eq!(eval_outputs(&nl, &[true, false]), vec![true]);
+        assert_eq!(eval_outputs(&nl, &[true, true]), vec![false]);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let nl = xor2();
+        let sim = Simulator::new(&nl);
+        // Pack all four minterms into the low bits of the words.
+        let a = 0b1010u64;
+        let b = 0b1100u64;
+        let vals = sim.run(&nl, &[a, b]);
+        let y = nl.find_net("y").unwrap();
+        assert_eq!(vals[y.index()] & 0xF, 0b0110);
+    }
+
+    #[test]
+    fn forced_net_overrides_driver() {
+        let nl = xor2();
+        let sim = Simulator::new(&nl);
+        let y = nl.find_net("y").unwrap();
+        let vals = sim.run_with_forced(&nl, &[0, 0], y, !0);
+        assert_eq!(vals[y.index()], !0, "stuck-at-1 on the output");
+    }
+
+    #[test]
+    fn forced_internal_net_propagates() {
+        // y = AND(a, b); force a=1 regardless of the supplied 0 word.
+        let mut nl = Netlist::new("and2");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_gate_named(GateKind::And, vec![a, b], "y").unwrap();
+        nl.add_output(y);
+        let sim = Simulator::new(&nl);
+        let vals = sim.run_with_forced(&nl, &[0, !0], a, !0);
+        assert_eq!(vals[y.index()], !0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one word per input")]
+    fn wrong_input_count_panics() {
+        let nl = xor2();
+        Simulator::new(&nl).run(&nl, &[0]);
+    }
+}

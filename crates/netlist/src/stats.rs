@@ -1,0 +1,242 @@
+//! Structural circuit statistics.
+
+use std::fmt;
+
+use crate::{topo, Netlist};
+
+/// Summary statistics of a [`Netlist`], as reported by the experiment
+/// harnesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CircuitStats {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of gates.
+    pub gates: usize,
+    /// Number of nets (including inputs).
+    pub nets: usize,
+    /// Largest gate fan-in (`k_fi`).
+    pub max_fanin: usize,
+    /// Largest net fan-out (`k_fo`).
+    pub max_fanout: usize,
+    /// Logic depth (levels).
+    pub depth: usize,
+}
+
+impl CircuitStats {
+    /// Gathers statistics for a netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist is cyclic.
+    pub fn of(nl: &Netlist) -> Self {
+        CircuitStats {
+            inputs: nl.num_inputs(),
+            outputs: nl.num_outputs(),
+            gates: nl.num_gates(),
+            nets: nl.num_nets(),
+            max_fanin: nl.max_fanin(),
+            max_fanout: nl.max_fanout(),
+            depth: topo::depth(nl),
+        }
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} PI, {} PO, {} gates, {} nets, fanin<={}, fanout<={}, depth {}",
+            self.inputs,
+            self.outputs,
+            self.gates,
+            self.nets,
+            self.max_fanin,
+            self.max_fanout,
+            self.depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GateKind, Netlist};
+
+    #[test]
+    fn stats_of_small_circuit() {
+        let mut nl = Netlist::new("s");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.add_gate_named(GateKind::And, vec![a, b], "x").unwrap();
+        let y = nl.add_gate_named(GateKind::Not, vec![x], "y").unwrap();
+        nl.add_output(y);
+        let st = CircuitStats::of(&nl);
+        assert_eq!(st.inputs, 2);
+        assert_eq!(st.gates, 2);
+        assert_eq!(st.depth, 2);
+        assert_eq!(st.max_fanin, 2);
+        assert!(st.to_string().contains("2 gates"));
+    }
+}
+
+/// Reconvergence statistics — the quantitative version of the paper's
+/// "treeness" intuition (Sections 5.1 and 7: log-bounded-width requires
+/// only a *minimality of reconvergence*).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ReconvergenceStats {
+    /// Nets feeding more than one gate (fan-out stems).
+    pub stems: usize,
+    /// Stems whose branches meet again at some gate downstream.
+    pub reconvergent_stems: usize,
+    /// Reconvergent stems whose *nearest* meeting gate is within
+    /// [`LOCAL_RECONVERGENCE_LEVELS`] logic levels — the "local
+    /// reconvergence" k-boundedness tolerates (paper Section 3.2).
+    pub local_reconvergent_stems: usize,
+    /// Reconvergent stems meeting only beyond that horizon — the deep
+    /// reconvergence that actually drives cut-width up.
+    pub nonlocal_reconvergent_stems: usize,
+    /// Nets in the circuit.
+    pub nets: usize,
+}
+
+/// Level horizon separating "local" from "non-local" reconvergence.
+pub const LOCAL_RECONVERGENCE_LEVELS: usize = 4;
+
+impl ReconvergenceStats {
+    /// Fraction of nets that are reconvergent stems — 0.0 for trees.
+    pub fn reconvergence_fraction(&self) -> f64 {
+        if self.nets == 0 {
+            0.0
+        } else {
+            self.reconvergent_stems as f64 / self.nets as f64
+        }
+    }
+
+    /// Fraction of nets whose branches reconverge non-locally.
+    pub fn nonlocal_fraction(&self) -> f64 {
+        if self.nets == 0 {
+            0.0
+        } else {
+            self.nonlocal_reconvergent_stems as f64 / self.nets as f64
+        }
+    }
+}
+
+/// Measures the circuit's reconvergence: for each fan-out stem, walk the
+/// transitive fan-out and check whether some gate reads the stem's signal
+/// through two or more distinct input nets. Trees (and k-bounded block
+/// forests at the block level) have none.
+///
+/// # Panics
+///
+/// Panics if the netlist is cyclic.
+pub fn reconvergence(nl: &crate::Netlist) -> ReconvergenceStats {
+    let fanouts = nl.fanouts();
+    let levels = crate::topo::levels(nl);
+    let mut stats = ReconvergenceStats {
+        nets: nl.num_nets(),
+        ..Default::default()
+    };
+    for (stem, _) in nl.nets() {
+        if fanouts[stem.index()].len() < 2 {
+            continue;
+        }
+        stats.stems += 1;
+        // Mark nets reachable from the stem; the nearest gate reading two
+        // reached inputs is the first reconvergence point.
+        let reach = crate::topo::transitive_fanout(nl, stem);
+        let nearest: Option<usize> = nl
+            .gates()
+            .filter(|(_, gate)| {
+                gate.inputs.iter().filter(|i| reach[i.index()]).count() >= 2
+            })
+            .map(|(_, gate)| levels[gate.output.index()].saturating_sub(levels[stem.index()]))
+            .min();
+        if let Some(distance) = nearest {
+            stats.reconvergent_stems += 1;
+            if distance <= LOCAL_RECONVERGENCE_LEVELS {
+                stats.local_reconvergent_stems += 1;
+            } else {
+                stats.nonlocal_reconvergent_stems += 1;
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod reconvergence_tests {
+    use super::*;
+    use crate::{GateKind, Netlist};
+
+    #[test]
+    fn trees_have_no_reconvergence() {
+        let mut nl = Netlist::new("tree");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let t = nl.add_gate_named(GateKind::And, vec![a, b], "t").unwrap();
+        let y = nl.add_gate_named(GateKind::Or, vec![t, c], "y").unwrap();
+        nl.add_output(y);
+        let r = reconvergence(&nl);
+        assert_eq!(r.stems, 0);
+        assert_eq!(r.reconvergent_stems, 0);
+        assert_eq!(r.reconvergence_fraction(), 0.0);
+    }
+
+    #[test]
+    fn xor_form_reconverges() {
+        // y = (a AND !b) OR (!a AND b): both a and b are reconvergent stems.
+        let mut nl = Netlist::new("xor");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let na = nl.add_gate_named(GateKind::Not, vec![a], "na").unwrap();
+        let nb = nl.add_gate_named(GateKind::Not, vec![b], "nb").unwrap();
+        let t1 = nl.add_gate_named(GateKind::And, vec![a, nb], "t1").unwrap();
+        let t2 = nl.add_gate_named(GateKind::And, vec![na, b], "t2").unwrap();
+        let y = nl.add_gate_named(GateKind::Or, vec![t1, t2], "y").unwrap();
+        nl.add_output(y);
+        let r = reconvergence(&nl);
+        assert_eq!(r.stems, 2);
+        assert_eq!(r.reconvergent_stems, 2);
+        // XOR-shaped reconvergence happens within two levels: local.
+        assert_eq!(r.local_reconvergent_stems, 2);
+        assert_eq!(r.nonlocal_reconvergent_stems, 0);
+    }
+
+    #[test]
+    fn deep_reconvergence_is_nonlocal() {
+        // A stem whose branches meet only after a long inverter chain.
+        let mut nl = Netlist::new("deep");
+        let a = nl.add_input("a");
+        let mut long = nl.add_gate_named(GateKind::Not, vec![a], "c0").unwrap();
+        for i in 1..8 {
+            long = nl
+                .add_gate_named(GateKind::Not, vec![long], format!("c{i}"))
+                .unwrap();
+        }
+        let y = nl.add_gate_named(GateKind::And, vec![a, long], "y").unwrap();
+        nl.add_output(y);
+        let r = reconvergence(&nl);
+        assert_eq!(r.reconvergent_stems, 1);
+        assert_eq!(r.nonlocal_reconvergent_stems, 1);
+        assert_eq!(r.local_reconvergent_stems, 0);
+    }
+
+    #[test]
+    fn fanout_without_reconvergence() {
+        // a feeds two gates whose outputs go to separate POs: a stem, but
+        // no reconvergence.
+        let mut nl = Netlist::new("fan");
+        let a = nl.add_input("a");
+        let x = nl.add_gate_named(GateKind::Not, vec![a], "x").unwrap();
+        let y = nl.add_gate_named(GateKind::Buf, vec![a], "y").unwrap();
+        nl.add_output(x);
+        nl.add_output(y);
+        let r = reconvergence(&nl);
+        assert_eq!(r.stems, 1);
+        assert_eq!(r.reconvergent_stems, 0);
+    }
+}

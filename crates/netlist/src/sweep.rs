@@ -1,0 +1,423 @@
+//! Netlist cleanup: constant propagation, buffer collapsing and
+//! dead-logic removal.
+//!
+//! ATPG tools run a sweep like this before fault enumeration so that
+//! trivially redundant faults (logic behind constants, unread nets) do
+//! not pollute the fault list. The pass is semantics-preserving on the
+//! primary outputs.
+
+use crate::{GateKind, NetId, Netlist, NetlistError};
+
+/// What [`sweep`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Gates whose output was proved constant and folded.
+    pub constants_folded: usize,
+    /// Buffer/inverter pairs collapsed into direct connections.
+    pub buffers_collapsed: usize,
+    /// Gates removed because nothing reads them.
+    pub dead_gates_removed: usize,
+}
+
+/// Tri-state signal class used during propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    Const(bool),
+    /// Equal to another net (possibly inverted).
+    Alias { root: NetId, inverted: bool },
+}
+
+/// Sweeps a netlist: propagates constants through gates, collapses
+/// buffers/double inverters, and drops unreachable logic. Returns the
+/// cleaned netlist and a report. Net names of surviving nets are kept;
+/// primary inputs always survive.
+///
+/// # Errors
+///
+/// Propagates structural errors from rebuilding (none occur for valid
+/// inputs).
+///
+/// # Panics
+///
+/// Panics if the input netlist is cyclic.
+pub fn sweep(nl: &Netlist) -> Result<(Netlist, SweepReport), NetlistError> {
+    let order = crate::topo::topo_order(nl).expect("sweep requires an acyclic netlist");
+    let mut report = SweepReport::default();
+
+    // Pass 1: classify every net as constant, alias, or opaque.
+    let mut class: Vec<Option<Class>> = vec![None; nl.num_nets()];
+    let resolve = |class: &Vec<Option<Class>>, mut net: NetId| -> (NetId, bool) {
+        let mut inv = false;
+        loop {
+            match class[net.index()] {
+                Some(Class::Alias { root, inverted }) => {
+                    inv ^= inverted;
+                    net = root;
+                }
+                _ => return (net, inv),
+            }
+        }
+    };
+    // Per-gate rebuild plan for gates that survive with simplified inputs.
+    let mut plan: Vec<Option<(GateKind, Vec<(NetId, bool)>)>> = vec![None; nl.num_gates()];
+    for &gid in &order {
+        let gate = nl.gate(gid);
+        // Resolve inputs through aliases; split into constants and live.
+        let mut live: Vec<(NetId, bool)> = Vec::with_capacity(gate.inputs.len());
+        let mut consts: Vec<bool> = Vec::new();
+        for &inp in &gate.inputs {
+            let (root, inv) = resolve(&class, inp);
+            match class[root.index()] {
+                Some(Class::Const(v)) => consts.push(v ^ inv),
+                _ => live.push((root, inv)),
+            }
+        }
+        let out = gate.output;
+        let simplified = gate.inputs.len() != live.len();
+        let folded: Option<Class> = match gate.kind {
+            GateKind::Const0 => Some(Class::Const(false)),
+            GateKind::Const1 => Some(Class::Const(true)),
+            GateKind::Buf | GateKind::Not => {
+                let invert = gate.kind == GateKind::Not;
+                Some(match (consts.first(), live.first()) {
+                    (Some(&v), _) => Class::Const(v ^ invert),
+                    (None, Some(&(root, inv))) => Class::Alias {
+                        root,
+                        inverted: inv ^ invert,
+                    },
+                    (None, None) => unreachable!("single-input gates have one input"),
+                })
+            }
+            GateKind::And | GateKind::Nand => {
+                let invert = gate.kind == GateKind::Nand;
+                if consts.contains(&false) {
+                    Some(Class::Const(invert))
+                } else if live.is_empty() {
+                    Some(Class::Const(!invert))
+                } else if live.len() == 1 && !invert && !live[0].1 {
+                    Some(Class::Alias {
+                        root: live[0].0,
+                        inverted: false,
+                    })
+                } else {
+                    plan[gid.index()] = Some((gate.kind, live));
+                    None
+                }
+            }
+            GateKind::Or | GateKind::Nor => {
+                let invert = gate.kind == GateKind::Nor;
+                if consts.contains(&true) {
+                    Some(Class::Const(!invert))
+                } else if live.is_empty() {
+                    Some(Class::Const(invert))
+                } else if live.len() == 1 && !invert && !live[0].1 {
+                    Some(Class::Alias {
+                        root: live[0].0,
+                        inverted: false,
+                    })
+                } else {
+                    plan[gid.index()] = Some((gate.kind, live));
+                    None
+                }
+            }
+            GateKind::Xor | GateKind::Xnor => {
+                let mut parity = consts.iter().fold(false, |a, &c| a ^ c);
+                if gate.kind == GateKind::Xnor {
+                    parity = !parity;
+                }
+                if live.is_empty() {
+                    Some(Class::Const(parity))
+                } else if live.len() == 1 {
+                    Some(Class::Alias {
+                        root: live[0].0,
+                        inverted: live[0].1 ^ parity,
+                    })
+                } else {
+                    let kind = if parity { GateKind::Xnor } else { GateKind::Xor };
+                    plan[gid.index()] = Some((kind, live));
+                    None
+                }
+            }
+        };
+        if let Some(c) = folded {
+            match c {
+                Class::Const(_) if !gate.kind.is_trivial() => report.constants_folded += 1,
+                Class::Alias { .. } if matches!(gate.kind, GateKind::Buf | GateKind::Not) => {
+                    report.buffers_collapsed += 1
+                }
+                Class::Alias { .. } => report.constants_folded += 1,
+                _ => {}
+            }
+            class[out.index()] = Some(c);
+        } else if simplified {
+            report.constants_folded += 1;
+        }
+    }
+
+    // Pass 2: mark nets needed at the outputs (through aliases).
+    let mut needed = vec![false; nl.num_nets()];
+    let mut stack: Vec<NetId> = Vec::new();
+    for &o in nl.outputs() {
+        let (root, _) = resolve(&class, o);
+        if !matches!(class[root.index()], Some(Class::Const(_))) {
+            stack.push(root);
+        }
+    }
+    while let Some(net) = stack.pop() {
+        if needed[net.index()] {
+            continue;
+        }
+        needed[net.index()] = true;
+        if let Some(gid) = nl.net(net).driver {
+            let deps: Vec<NetId> = match &plan[gid.index()] {
+                Some((_, live)) => live.iter().map(|&(r, _)| r).collect(),
+                None => nl.gate(gid).inputs.clone(),
+            };
+            for inp in deps {
+                let (root, _) = resolve(&class, inp);
+                if !needed[root.index()] && !matches!(class[root.index()], Some(Class::Const(_))) {
+                    stack.push(root);
+                }
+            }
+        }
+    }
+
+    // Pass 3: rebuild. Primary inputs always survive (the interface is
+    // preserved even when an input became irrelevant).
+    let mut out = Netlist::new(format!("{}_swept", nl.name()));
+    let mut map: Vec<Option<NetId>> = vec![None; nl.num_nets()];
+    for &pi in nl.inputs() {
+        map[pi.index()] = Some(out.try_add_input(nl.net(pi).name.clone())?);
+    }
+    let mut const_nets: [Option<NetId>; 2] = [None, None];
+    // One shared inverter per root net (keyed by the *output* netlist id).
+    let mut inverters: std::collections::HashMap<NetId, NetId> = std::collections::HashMap::new();
+    let mut fresh = 0usize;
+
+    fn fresh_name(out: &Netlist, prefix: &str, fresh: &mut usize) -> String {
+        loop {
+            let cand = format!("{prefix}{fresh}");
+            *fresh += 1;
+            if out.find_net(&cand).is_none() {
+                return cand;
+            }
+        }
+    }
+
+    // Materializes a constant net on demand.
+    fn constant(
+        out: &mut Netlist,
+        const_nets: &mut [Option<NetId>; 2],
+        fresh: &mut usize,
+        v: bool,
+    ) -> Result<NetId, NetlistError> {
+        if let Some(n) = const_nets[usize::from(v)] {
+            return Ok(n);
+        }
+        let kind = if v { GateKind::Const1 } else { GateKind::Const0 };
+        let name = fresh_name(out, "_k", fresh);
+        let n = out.add_gate_named(kind, vec![], name)?;
+        const_nets[usize::from(v)] = Some(n);
+        Ok(n)
+    }
+
+    for &gid in &order {
+        let gate = nl.gate(gid);
+        let o = gate.output;
+        let (root, _) = resolve(&class, o);
+        if root != o || matches!(class[o.index()], Some(Class::Const(_))) {
+            continue; // folded away
+        }
+        if !needed[o.index()] {
+            report.dead_gates_removed += 1;
+            continue;
+        }
+        // Rebuild this gate from its plan (simplified inputs) or verbatim.
+        let (kind, resolved_inputs): (GateKind, Vec<(NetId, bool)>) = match &plan[gid.index()] {
+            Some((k, live)) => (*k, live.clone()),
+            None => (
+                gate.kind,
+                gate.inputs.iter().map(|&i| resolve(&class, i)).collect(),
+            ),
+        };
+        let mut new_inputs = Vec::with_capacity(resolved_inputs.len());
+        for (r, inv) in resolved_inputs {
+            let base = match class[r.index()] {
+                Some(Class::Const(v)) => constant(&mut out, &mut const_nets, &mut fresh, v)?,
+                _ => map[r.index()].expect("dependencies built first"),
+            };
+            if inv {
+                let n = match inverters.get(&base) {
+                    Some(&n) => n,
+                    None => {
+                        let name = fresh_name(&out, "_s", &mut fresh);
+                        let n = out.add_gate_named(GateKind::Not, vec![base], name)?;
+                        inverters.insert(base, n);
+                        n
+                    }
+                };
+                new_inputs.push(n);
+            } else {
+                new_inputs.push(base);
+            }
+        }
+        map[o.index()] = Some(out.add_gate_named(kind, new_inputs, nl.net(o).name.clone())?);
+    }
+
+    // Outputs: resolve through aliases; constants materialize. Two source
+    // outputs may resolve to the same net — a buffer keeps the interface
+    // width intact.
+    let mut used_outputs: std::collections::HashSet<NetId> = std::collections::HashSet::new();
+    for &o in nl.outputs() {
+        let (root, inv) = resolve(&class, o);
+        let base = match class[root.index()] {
+            Some(Class::Const(v)) => constant(&mut out, &mut const_nets, &mut fresh, v ^ inv)?,
+            _ => {
+                let b = map[root.index()].expect("needed nets were built");
+                if inv {
+                    match inverters.get(&b) {
+                        Some(&n) => n,
+                        None => {
+                            let name = fresh_name(&out, "_s", &mut fresh);
+                            let n = out.add_gate_named(GateKind::Not, vec![b], name)?;
+                            inverters.insert(b, n);
+                            n
+                        }
+                    }
+                } else {
+                    b
+                }
+            }
+        };
+        let distinct = if used_outputs.insert(base) {
+            base
+        } else {
+            let name = fresh_name(&out, "_o", &mut fresh);
+            let b = out.add_gate_named(GateKind::Buf, vec![base], name)?;
+            used_outputs.insert(b);
+            b
+        };
+        out.add_output(distinct);
+    }
+    out.validate()?;
+    Ok((out, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim;
+
+    fn equivalent(a: &Netlist, b: &Netlist) {
+        assert_eq!(a.num_inputs(), b.num_inputs());
+        let n = a.num_inputs();
+        assert!(n <= 10);
+        for m in 0u32..(1 << n) {
+            let ins: Vec<bool> = (0..n).map(|i| m >> i & 1 != 0).collect();
+            assert_eq!(
+                sim::eval_outputs(a, &ins),
+                sim::eval_outputs(b, &ins),
+                "minterm {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_folds_through_and() {
+        let mut nl = Netlist::new("k");
+        let a = nl.add_input("a");
+        let k0 = nl.add_gate_named(GateKind::Const0, vec![], "k0").unwrap();
+        let y = nl.add_gate_named(GateKind::And, vec![a, k0], "y").unwrap();
+        let z = nl.add_gate_named(GateKind::Or, vec![y, a], "z").unwrap();
+        nl.add_output(z);
+        let (swept, report) = sweep(&nl).unwrap();
+        equivalent(&nl, &swept);
+        assert!(report.constants_folded >= 1);
+        // z = OR(0, a) = a: the whole circuit reduces to a buffer-ish form.
+        assert!(swept.num_gates() <= 1, "{swept}");
+    }
+
+    #[test]
+    fn double_inverter_collapses() {
+        let mut nl = Netlist::new("bb");
+        let a = nl.add_input("a");
+        let n1 = nl.add_gate_named(GateKind::Not, vec![a], "n1").unwrap();
+        let n2 = nl.add_gate_named(GateKind::Not, vec![n1], "n2").unwrap();
+        let b = nl.add_input("b");
+        let y = nl.add_gate_named(GateKind::And, vec![n2, b], "y").unwrap();
+        nl.add_output(y);
+        let (swept, report) = sweep(&nl).unwrap();
+        equivalent(&nl, &swept);
+        assert!(report.buffers_collapsed >= 2);
+        assert_eq!(swept.num_gates(), 1, "only the AND survives: {swept}");
+    }
+
+    #[test]
+    fn dead_logic_removed() {
+        let mut nl = Netlist::new("dead");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let _dead = nl.add_gate_named(GateKind::Xor, vec![a, b], "dead").unwrap();
+        let y = nl.add_gate_named(GateKind::Or, vec![a, b], "y").unwrap();
+        nl.add_output(y);
+        let (swept, report) = sweep(&nl).unwrap();
+        equivalent(&nl, &swept);
+        assert_eq!(report.dead_gates_removed, 1);
+        assert_eq!(swept.num_gates(), 1);
+    }
+
+    #[test]
+    fn constant_output_materialized() {
+        // y = OR(a, NOT a) = 1.
+        let mut nl = Netlist::new("taut");
+        let a = nl.add_input("a");
+        let na = nl.add_gate_named(GateKind::Not, vec![a], "na").unwrap();
+        let y = nl.add_gate_named(GateKind::Or, vec![a, na], "y").unwrap();
+        nl.add_output(y);
+        let (swept, _) = sweep(&nl).unwrap();
+        // OR over {a, ¬a} is not folded by the class analysis (it is not a
+        // constant *input*), so the sweep keeps the gate — but it must
+        // still be equivalent.
+        equivalent(&nl, &swept);
+    }
+
+    #[test]
+    fn xor_with_constants_folds() {
+        let mut nl = Netlist::new("xk");
+        let k1 = nl.add_gate_named(GateKind::Const1, vec![], "k1").unwrap();
+        let k0 = nl.add_gate_named(GateKind::Const0, vec![], "k0").unwrap();
+        let y = nl.add_gate_named(GateKind::Xor, vec![k1, k0], "y").unwrap();
+        nl.add_input("a");
+        nl.add_output(y);
+        let (swept, _) = sweep(&nl).unwrap();
+        equivalent(&nl, &swept);
+        // The output is the constant 1.
+        assert!(swept.num_gates() <= 1);
+    }
+
+    #[test]
+    fn idempotent_on_clean_circuits() {
+        let mut nl = Netlist::new("clean");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_gate_named(GateKind::Nand, vec![a, b], "y").unwrap();
+        nl.add_output(y);
+        let (once, r1) = sweep(&nl).unwrap();
+        assert_eq!(r1, SweepReport::default());
+        let (twice, r2) = sweep(&once).unwrap();
+        assert_eq!(r2, SweepReport::default());
+        equivalent(&once, &twice);
+    }
+
+    #[test]
+    fn random_circuits_preserved() {
+        use crate::parser::bench;
+        let text = "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(z)\nOUTPUT(w)\n\
+                    t1 = NAND(a, b)\nt2 = BUFF(t1)\nt3 = NOT(t2)\nt4 = NOR(c, c)\n\
+                    z = XOR(t3, t4)\nw = AND(t2, c)\n";
+        let nl = bench::parse(text).unwrap();
+        let (swept, _) = sweep(&nl).unwrap();
+        equivalent(&nl, &swept);
+        assert!(swept.num_gates() <= nl.num_gates());
+    }
+}

@@ -1,0 +1,384 @@
+//! Topological analysis: gate ordering, logic levels, transitive fan-in /
+//! fan-out cones, and subcircuit extraction.
+//!
+//! These are the structural primitives behind the paper's constructions:
+//! `C_ψ^fo` is the transitive fan-out of the fault net, and `C_ψ^sub` is the
+//! transitive fan-in of that fan-out (Section 2, Figure 3).
+
+use crate::{GateId, NetId, Netlist, NetlistError};
+
+/// Computes a topological order of the gates (inputs before users).
+///
+/// # Errors
+///
+/// [`NetlistError::Cycle`] naming a net on a combinational cycle.
+pub fn topo_order(nl: &Netlist) -> Result<Vec<GateId>, NetlistError> {
+    let mut pending = vec![0usize; nl.num_gates()];
+    let mut ready = Vec::new();
+    for (gid, gate) in nl.gates() {
+        let n = gate
+            .inputs
+            .iter()
+            .filter(|&&inp| nl.net(inp).driver.is_some())
+            .count();
+        pending[gid.index()] = n;
+        if n == 0 {
+            ready.push(gid);
+        }
+    }
+    let fanouts = nl.fanouts();
+    let mut order = Vec::with_capacity(nl.num_gates());
+    while let Some(gid) = ready.pop() {
+        order.push(gid);
+        let out = nl.gate(gid).output;
+        for &user in &fanouts[out.index()] {
+            // A gate may read the same net several times; decrement once per
+            // occurrence. `fanouts` already lists one entry per occurrence.
+            pending[user.index()] -= 1;
+            if pending[user.index()] == 0 {
+                ready.push(user);
+            }
+        }
+    }
+    if order.len() != nl.num_gates() {
+        let stuck = nl
+            .gate_ids()
+            .find(|g| pending[g.index()] > 0)
+            .expect("some gate must be unprocessed");
+        return Err(NetlistError::Cycle(nl.net(nl.gate(stuck).output).name.clone()));
+    }
+    Ok(order)
+}
+
+/// Logic level of every net: inputs at level 0, a gate output one more than
+/// its deepest input.
+///
+/// # Panics
+///
+/// Panics if the netlist has a cycle or undriven internal nets; call
+/// [`Netlist::validate`] first.
+pub fn levels(nl: &Netlist) -> Vec<usize> {
+    let order = topo_order(nl).expect("levels requires an acyclic netlist");
+    let mut level = vec![0usize; nl.num_nets()];
+    for gid in order {
+        let gate = nl.gate(gid);
+        let l = gate
+            .inputs
+            .iter()
+            .map(|&i| level[i.index()])
+            .max()
+            .unwrap_or(0);
+        level[gate.output.index()] = l + 1;
+    }
+    level
+}
+
+/// Depth of the circuit: the maximum net level.
+pub fn depth(nl: &Netlist) -> usize {
+    levels(nl).into_iter().max().unwrap_or(0)
+}
+
+/// Per-net marker of the transitive fan-in of `roots` (the roots included).
+pub fn transitive_fanin(nl: &Netlist, roots: &[NetId]) -> Vec<bool> {
+    let mut seen = vec![false; nl.num_nets()];
+    let mut stack: Vec<NetId> = roots.to_vec();
+    while let Some(net) = stack.pop() {
+        if seen[net.index()] {
+            continue;
+        }
+        seen[net.index()] = true;
+        if let Some(g) = nl.net(net).driver {
+            for &inp in &nl.gate(g).inputs {
+                if !seen[inp.index()] {
+                    stack.push(inp);
+                }
+            }
+        }
+    }
+    seen
+}
+
+/// Per-net marker of the transitive fan-out of `root` (the root included).
+pub fn transitive_fanout(nl: &Netlist, root: NetId) -> Vec<bool> {
+    let fanouts = nl.fanouts();
+    let mut seen = vec![false; nl.num_nets()];
+    let mut stack = vec![root];
+    while let Some(net) = stack.pop() {
+        if seen[net.index()] {
+            continue;
+        }
+        seen[net.index()] = true;
+        for &user in &fanouts[net.index()] {
+            let out = nl.gate(user).output;
+            if !seen[out.index()] {
+                stack.push(out);
+            }
+        }
+    }
+    seen
+}
+
+/// Result of [`extract_cone`]: the extracted subcircuit plus the mapping
+/// from old net ids to new ones (dense `Vec`, `None` for nets outside the
+/// cone).
+#[derive(Debug, Clone)]
+pub struct ConeExtraction {
+    /// The extracted subcircuit. Net names are preserved.
+    pub netlist: Netlist,
+    /// `net_map[old.index()]` is the corresponding net in `netlist`.
+    pub net_map: Vec<Option<NetId>>,
+}
+
+/// Extracts the transitive fan-in cone of `outputs` as a standalone
+/// netlist. The listed nets become the primary outputs of the extraction;
+/// original primary inputs inside the cone remain primary inputs.
+///
+/// # Panics
+///
+/// Panics if the source netlist has a cycle; validate it first.
+pub fn extract_cone(nl: &Netlist, outputs: &[NetId]) -> ConeExtraction {
+    let keep = transitive_fanin(nl, outputs);
+    extract_marked(nl, &keep, outputs)
+}
+
+/// Extracts the subcircuit induced by a per-net marker. Any marked net
+/// whose driver gate has an unmarked input becomes a primary input of the
+/// extraction (its logic is cut away), as does any marked original primary
+/// input. `outputs` lists the nets to expose as primary outputs.
+///
+/// This generalized form is what the ATPG miter construction needs: the
+/// fan-out cone `C_ψ^fo` is a marked region whose side inputs come from the
+/// surrounding circuit.
+pub fn extract_marked(nl: &Netlist, keep: &[bool], outputs: &[NetId]) -> ConeExtraction {
+    let mut sub = Netlist::new(format!("{}_cone", nl.name()));
+    let mut net_map: Vec<Option<NetId>> = vec![None; nl.num_nets()];
+
+    // Pass 1: create all kept nets. A kept net is an input of the extraction
+    // if it is an original PI, or if its driver is missing / has any
+    // un-kept input net.
+    for (id, net) in nl.nets() {
+        if !keep[id.index()] {
+            continue;
+        }
+        let treat_as_input = match net.driver {
+            None => true,
+            Some(g) => nl.gate(g).inputs.iter().any(|&i| !keep[i.index()]),
+        };
+        let new_id = if treat_as_input {
+            sub.try_add_input(net.name.clone())
+                .expect("names unique in source")
+        } else {
+            sub.add_net(net.name.clone()).expect("names unique in source")
+        };
+        net_map[id.index()] = Some(new_id);
+    }
+
+    // Pass 2: recreate drivers of non-input kept nets.
+    for (id, net) in nl.nets() {
+        let Some(new_id) = net_map[id.index()] else {
+            continue;
+        };
+        if sub.is_input(new_id) {
+            continue;
+        }
+        let g = nl.gate(net.driver.expect("non-input kept net has driver"));
+        let inputs: Vec<NetId> = g
+            .inputs
+            .iter()
+            .map(|&i| net_map[i.index()].expect("kept gate input is kept"))
+            .collect();
+        sub.drive_net(new_id, g.kind, inputs)
+            .expect("extraction preserves well-formedness");
+    }
+
+    for &o in outputs {
+        if let Some(new_o) = net_map[o.index()] {
+            sub.add_output(new_o);
+        }
+    }
+    ConeExtraction { netlist: sub, net_map }
+}
+
+/// The nets of `C_ψ^sub` for a fault on net `x`: the transitive fan-in of
+/// the transitive fan-out of `x`, together with the primary outputs reached
+/// by `x` (the outputs of `C_ψ^sub`).
+pub fn fault_subcircuit_nets(nl: &Netlist, x: NetId) -> (Vec<bool>, Vec<NetId>) {
+    let fo = transitive_fanout(nl, x);
+    let affected: Vec<NetId> = nl
+        .outputs()
+        .iter()
+        .copied()
+        .filter(|o| fo[o.index()])
+        .collect();
+    let roots: Vec<NetId> = fo
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &m)| m.then(|| NetId::from_index(i)))
+        .collect();
+    let sub = transitive_fanin(nl, &roots);
+    (sub, affected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+
+    /// The circuit of Figure 4(a) in the paper:
+    /// f = OR(b, !c); g = NAND-ish structure; here verbatim:
+    /// f = OR(b, c') ; g = AND(d, e)' ... We use the clause structure:
+    /// f = OR(b, NOT c), g = NAND(d, e), h = AND(a, f), i = AND(h, g), out i.
+    pub(crate) fn fig4a() -> Netlist {
+        let mut nl = Netlist::new("fig4a");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let d = nl.add_input("d");
+        let e = nl.add_input("e");
+        let nc = nl.add_gate_named(GateKind::Not, vec![c], "c_n").unwrap();
+        let f = nl.add_gate_named(GateKind::Or, vec![b, nc], "f").unwrap();
+        let g = nl.add_gate_named(GateKind::Nand, vec![d, e], "g").unwrap();
+        let h = nl.add_gate_named(GateKind::And, vec![a, f], "h").unwrap();
+        let i = nl.add_gate_named(GateKind::And, vec![h, g], "i").unwrap();
+        nl.add_output(i);
+        nl
+    }
+
+    #[test]
+    fn topo_is_consistent() {
+        let nl = fig4a();
+        let order = topo_order(&nl).unwrap();
+        assert_eq!(order.len(), nl.num_gates());
+        let mut pos = vec![0; nl.num_gates()];
+        for (p, g) in order.iter().enumerate() {
+            pos[g.index()] = p;
+        }
+        for (gid, gate) in nl.gates() {
+            for &inp in &gate.inputs {
+                if let Some(drv) = nl.net(inp).driver {
+                    assert!(pos[drv.index()] < pos[gid.index()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn levels_and_depth() {
+        let nl = fig4a();
+        let lv = levels(&nl);
+        let f = nl.find_net("f").unwrap();
+        let i = nl.find_net("i").unwrap();
+        assert_eq!(lv[nl.find_net("a").unwrap().index()], 0);
+        assert_eq!(lv[f.index()], 2); // via NOT c
+        assert_eq!(lv[i.index()], 4);
+        assert_eq!(depth(&nl), 4);
+    }
+
+    #[test]
+    fn fanin_cone_of_output_is_everything() {
+        let nl = fig4a();
+        let i = nl.find_net("i").unwrap();
+        let cone = transitive_fanin(&nl, &[i]);
+        assert!(cone.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn fanout_cone_of_f() {
+        let nl = fig4a();
+        let f = nl.find_net("f").unwrap();
+        let fo = transitive_fanout(&nl, f);
+        let names: Vec<&str> = nl
+            .nets()
+            .filter(|(id, _)| fo[id.index()])
+            .map(|(_, n)| n.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["f", "h", "i"]);
+    }
+
+    #[test]
+    fn extract_cone_of_internal_net() {
+        let nl = fig4a();
+        let f = nl.find_net("f").unwrap();
+        let ext = extract_cone(&nl, &[f]);
+        let sub = &ext.netlist;
+        assert!(sub.validate().is_ok());
+        assert_eq!(sub.num_inputs(), 2); // b, c
+        assert_eq!(sub.num_gates(), 2); // NOT, OR
+        assert_eq!(sub.num_outputs(), 1);
+        assert!(sub.find_net("f").is_some());
+        assert!(sub.find_net("a").is_none());
+    }
+
+    #[test]
+    fn fault_subcircuit_of_f_is_whole_circuit() {
+        // The fan-out of f reaches the only output; its fan-in cone pulls in
+        // everything.
+        let nl = fig4a();
+        let f = nl.find_net("f").unwrap();
+        let (sub, outs) = fault_subcircuit_nets(&nl, f);
+        assert!(sub.iter().all(|&b| b));
+        assert_eq!(outs, vec![nl.find_net("i").unwrap()]);
+    }
+
+    #[test]
+    fn fault_subcircuit_of_g_excludes_bc_side_logic() {
+        let nl = fig4a();
+        let g = nl.find_net("g").unwrap();
+        let (sub, _) = fault_subcircuit_nets(&nl, g);
+        // g's fanout is {g, i}; fanin of that is everything except nothing —
+        // i depends on h which depends on a and f... so all nets again.
+        assert!(sub[nl.find_net("h").unwrap().index()]);
+        // But a fault on h: fanout {h, i}; fanin includes g,d,e as side inputs.
+        let h = nl.find_net("h").unwrap();
+        let (sub_h, outs_h) = fault_subcircuit_nets(&nl, h);
+        assert!(sub_h.iter().all(|&b| b));
+        assert_eq!(outs_h.len(), 1);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut nl = Netlist::new("cyc");
+        let a = nl.add_input("a");
+        let x = nl.add_net("x").unwrap();
+        let y = nl.add_gate_named(GateKind::And, vec![a, x], "y").unwrap();
+        nl.drive_net(x, GateKind::Buf, vec![y]).unwrap();
+        nl.add_output(y);
+        assert!(matches!(topo_order(&nl), Err(NetlistError::Cycle(_))));
+    }
+
+    #[test]
+    fn extract_marked_cuts_side_inputs() {
+        // Mark only {f, h, i}: h's input a and i's input g become PIs.
+        let nl = fig4a();
+        let mut keep = vec![false; nl.num_nets()];
+        for name in ["f", "h", "i"] {
+            keep[nl.find_net(name).unwrap().index()] = true;
+        }
+        let i = nl.find_net("i").unwrap();
+        let ext = extract_marked(&nl, &keep, &[i]);
+        let sub = &ext.netlist;
+        assert!(sub.validate().is_ok());
+        // Each of f, h, i has at least one un-kept input net, so each
+        // becomes a primary input of the extraction and no gate survives.
+        assert!(sub.is_input(sub.find_net("f").unwrap()));
+        assert!(sub.is_input(sub.find_net("h").unwrap()));
+        assert!(sub.is_input(sub.find_net("i").unwrap()));
+        assert_eq!(sub.num_gates(), 0);
+    }
+
+    #[test]
+    fn extract_marked_gate_survives_when_all_inputs_kept() {
+        let nl = fig4a();
+        let mut keep = vec![false; nl.num_nets()];
+        for name in ["a", "f", "h"] {
+            keep[nl.find_net(name).unwrap().index()] = true;
+        }
+        let h = nl.find_net("h").unwrap();
+        let ext = extract_marked(&nl, &keep, &[h]);
+        let sub = &ext.netlist;
+        assert!(sub.validate().is_ok());
+        assert_eq!(sub.num_gates(), 1); // h = AND(a, f)
+        assert!(sub.is_input(sub.find_net("a").unwrap()));
+        assert!(sub.is_input(sub.find_net("f").unwrap()));
+    }
+}

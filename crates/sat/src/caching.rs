@@ -1,0 +1,378 @@
+//! The paper's Algorithm 1: caching-based backtracking.
+//!
+//! Simple backtracking with a fixed variable order, except that whenever
+//! the search backtracks from an unsatisfiable sub-formula, the sub-formula
+//! is cached; before a sub-formula is expanded it is looked up and, if
+//! present, diagnosed UNSAT immediately. Sub-formulas are identified by
+//! their residual clause set (satisfied clauses removed, false literals
+//! removed, duplicate clauses merged), per footnote 2 of the paper.
+//!
+//! Theorem 4.1: on a CIRCUIT-SAT formula `f(C)` this solver expands
+//! `O(n · 2^(2·k_fo·W(C,h)))` nodes under ordering `h`.
+
+use std::collections::HashSet;
+
+use atpg_easy_cnf::{CnfFormula, Var};
+
+use crate::simple::{check_order, Residual};
+use crate::{Limits, Outcome, Solution, Solver, SolverStats};
+
+/// What happened at one backtracking-tree node (see [`TraceEvent`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOutcome {
+    /// The assignment produced a null clause: immediate backtrack.
+    Conflict,
+    /// The residual sub-formula was found in the UNSAT cache.
+    CacheHit,
+    /// The node was expanded (children follow at depth + 1).
+    Expanded,
+    /// Every clause became satisfied: SAT leaf.
+    Satisfied,
+}
+
+/// One node of the backtracking tree, as drawn in the paper's Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Depth in the tree (0 = first variable of the ordering).
+    pub depth: usize,
+    /// The variable assigned at this node.
+    pub var: Var,
+    /// The value tried.
+    pub value: bool,
+    /// How the node resolved.
+    pub outcome: TraceOutcome,
+}
+
+/// Renders a trace as an indented tree, one line per node.
+pub fn render_trace(events: &[TraceEvent]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for e in events {
+        let marker = match e.outcome {
+            TraceOutcome::Conflict => "✗ conflict",
+            TraceOutcome::CacheHit => "⊘ cache hit",
+            TraceOutcome::Expanded => "",
+            TraceOutcome::Satisfied => "✓ SAT",
+        };
+        let _ = writeln!(
+            s,
+            "{}{}={} {}",
+            "  ".repeat(e.depth),
+            e.var,
+            u8::from(e.value),
+            marker
+        );
+    }
+    s
+}
+
+/// Caching-based backtracking (the paper's Algorithm 1).
+///
+/// The cache is "perfect" in the sense of the paper's analysis: lookups and
+/// insertions are hash-table operations on a 128-bit fingerprint of the
+/// residual clause set, so each access is O(active clauses) — constant per
+/// node for bounded-width formulas.
+#[derive(Debug, Clone, Default)]
+pub struct CachingBacktracking {
+    order: Option<Vec<Var>>,
+    limits: Limits,
+    tracing: bool,
+    trace: Vec<TraceEvent>,
+}
+
+impl CachingBacktracking {
+    /// Solver with index variable order and no limits.
+    pub fn new() -> Self {
+        CachingBacktracking::default()
+    }
+
+    /// Sets the static variable order `h` (a permutation of all variables).
+    ///
+    /// # Panics
+    ///
+    /// At solve time, panics if the order is not a permutation.
+    pub fn with_order(mut self, order: Vec<Var>) -> Self {
+        self.order = Some(order);
+        self
+    }
+
+    /// Sets a resource budget.
+    pub fn with_limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Records every backtracking-tree node of the next solve; read it
+    /// back with [`Self::trace`]. Tracing costs memory proportional to
+    /// the tree, so leave it off for experiments.
+    pub fn with_trace(mut self) -> Self {
+        self.tracing = true;
+        self
+    }
+
+    /// The backtracking tree of the most recent solve (empty unless
+    /// [`Self::with_trace`] was set).
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+}
+
+enum Verdict {
+    Sat,
+    Unsat,
+    Aborted,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn cache_sat(
+    res: &mut Residual,
+    order: &[Var],
+    depth: usize,
+    cache: &mut HashSet<u128>,
+    stats: &mut SolverStats,
+    limits: &Limits,
+    trace: &mut Option<&mut Vec<TraceEvent>>,
+) -> Verdict {
+    if res.all_satisfied() || depth == order.len() {
+        return Verdict::Sat;
+    }
+    let v = order[depth];
+    let mut aborted = false;
+    for value in [false, true] {
+        stats.nodes += 1;
+        stats.decisions += 1;
+        if let Some(max) = limits.max_nodes {
+            if stats.nodes > max {
+                return Verdict::Aborted;
+            }
+        }
+        res.assign(v, value);
+        let mut record = |t: &mut Option<&mut Vec<TraceEvent>>, outcome| {
+            if let Some(events) = t {
+                events.push(TraceEvent {
+                    depth,
+                    var: v,
+                    value,
+                    outcome,
+                });
+            }
+        };
+        if res.has_conflict() {
+            stats.conflicts += 1;
+            record(trace, TraceOutcome::Conflict);
+        } else if res.all_satisfied() {
+            record(trace, TraceOutcome::Satisfied);
+            return Verdict::Sat;
+        } else {
+            let key = res.state_fingerprint();
+            if cache.contains(&key) {
+                stats.cache_hits += 1;
+                record(trace, TraceOutcome::CacheHit);
+            } else {
+                record(trace, TraceOutcome::Expanded);
+                match cache_sat(res, order, depth + 1, cache, stats, limits, trace) {
+                    Verdict::Unsat => {
+                        cache.insert(key);
+                    }
+                    Verdict::Sat => return Verdict::Sat,
+                    Verdict::Aborted => {
+                        aborted = true;
+                        res.unassign(v);
+                        break;
+                    }
+                }
+            }
+        }
+        res.unassign(v);
+    }
+    if aborted {
+        Verdict::Aborted
+    } else {
+        Verdict::Unsat
+    }
+}
+
+impl Solver for CachingBacktracking {
+    fn solve(&mut self, formula: &CnfFormula) -> Solution {
+        let order: Vec<Var> = match &self.order {
+            Some(o) => {
+                check_order(o, formula.num_vars());
+                o.clone()
+            }
+            None => (0..formula.num_vars()).map(Var::from_index).collect(),
+        };
+        let mut res = Residual::new(formula);
+        let mut stats = SolverStats::default();
+        if res.has_conflict() {
+            return Solution {
+                outcome: Outcome::Unsat,
+                stats,
+            };
+        }
+        let mut cache: HashSet<u128> = HashSet::new();
+        self.trace.clear();
+        let mut trace_slot: Option<&mut Vec<TraceEvent>> = if self.tracing {
+            Some(&mut self.trace)
+        } else {
+            None
+        };
+        let verdict = cache_sat(
+            &mut res,
+            &order,
+            0,
+            &mut cache,
+            &mut stats,
+            &self.limits,
+            &mut trace_slot,
+        );
+        stats.cache_entries = cache.len() as u64;
+        let outcome = match verdict {
+            Verdict::Sat => Outcome::Sat(res.model()),
+            Verdict::Unsat => Outcome::Unsat,
+            Verdict::Aborted => Outcome::Aborted,
+        };
+        Solution { outcome, stats }
+    }
+
+    fn name(&self) -> &'static str {
+        "caching-backtracking"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimpleBacktracking;
+    use atpg_easy_cnf::Lit;
+
+    fn lit(i: usize, pos: bool) -> Lit {
+        Lit::with_value(Var::from_index(i), pos)
+    }
+
+    /// The paper's Formula 4.1 (Figure 4(a) CIRCUIT-SAT instance), with the
+    /// variable order A = (b, c, f, a, h, d, e, g, i) used in Figure 5.
+    /// Variables: b=0 c=1 f=2 a=3 h=4 d=5 e=6 g=7 i=8.
+    fn formula_41() -> (CnfFormula, Vec<Var>) {
+        let (b, c, f, a, h, d, e, g, i) = (0, 1, 2, 3, 4, 5, 6, 7, 8);
+        let mut cnf = CnfFormula::new(9);
+        // f = OR(!b, c): (b + f)(c̄ + f)(b̄ + c + f̄) — a polarity variant of
+        // the paper's first gate; structure and clause counts match.
+        cnf.add_clause(vec![lit(b, true), lit(f, true)]);
+        cnf.add_clause(vec![lit(c, false), lit(f, true)]);
+        cnf.add_clause(vec![lit(b, false), lit(c, true), lit(f, false)]);
+        // g = NAND(d, e): (d + g)(e + g)(d̄ + ē + ḡ)
+        cnf.add_clause(vec![lit(d, true), lit(g, true)]);
+        cnf.add_clause(vec![lit(e, true), lit(g, true)]);
+        cnf.add_clause(vec![lit(d, false), lit(e, false), lit(g, false)]);
+        // h = AND(a, f): (a + h̄)(f + h̄)(ā + f̄ + h)
+        cnf.add_clause(vec![lit(a, true), lit(h, false)]);
+        cnf.add_clause(vec![lit(f, true), lit(h, false)]);
+        cnf.add_clause(vec![lit(a, false), lit(f, false), lit(h, true)]);
+        // i = AND(h, g): (h + ī)(g + ī)(h̄ + ḡ + i)
+        cnf.add_clause(vec![lit(h, true), lit(i, false)]);
+        cnf.add_clause(vec![lit(g, true), lit(i, false)]);
+        cnf.add_clause(vec![lit(h, false), lit(g, false), lit(i, true)]);
+        // output: (i)
+        cnf.add_clause(vec![lit(i, true)]);
+        let order = [b, c, f, a, h, d, e, g, i]
+            .into_iter()
+            .map(Var::from_index)
+            .collect();
+        (cnf, order)
+    }
+
+    #[test]
+    fn formula_41_is_sat_and_model_checks() {
+        let (f, order) = formula_41();
+        let sol = CachingBacktracking::new().with_order(order).solve(&f);
+        let model = sol.outcome.model().expect("Formula 4.1 is satisfiable");
+        assert!(f.eval_complete(model));
+    }
+
+    #[test]
+    fn cache_prunes_on_unsat_instance() {
+        // Make Formula 4.1 UNSAT by also requiring h false and f true and
+        // a true (h = AND(a, f) forces h true: contradiction).
+        let (mut f, order) = formula_41();
+        f.add_clause(vec![lit(4, false)]); // !h
+        f.add_clause(vec![lit(2, true)]); // f
+        f.add_clause(vec![lit(3, true)]); // a
+        let simple = SimpleBacktracking::new()
+            .with_order(order.clone())
+            .solve(&f);
+        let cached = CachingBacktracking::new().with_order(order).solve(&f);
+        assert!(simple.outcome.is_unsat());
+        assert!(cached.outcome.is_unsat());
+        assert!(cached.stats.nodes <= simple.stats.nodes);
+    }
+
+    #[test]
+    fn cache_hits_occur_on_shared_subformulas() {
+        // Chain of disconnected UNSAT blocks forces the same residual
+        // sub-formula to appear under many prefixes.
+        //   block: (x ∨ y)(¬x ∨ y)(x ∨ ¬y)(¬x ∨ ¬y)  over trailing vars,
+        //   with irrelevant leading variables z0..z3.
+        let mut f = CnfFormula::new(6);
+        for (a, b) in [(true, true), (false, true), (true, false), (false, false)] {
+            f.add_clause(vec![lit(4, a), lit(5, b)]);
+        }
+        let sol = CachingBacktracking::new().solve(&f);
+        assert!(sol.outcome.is_unsat());
+        assert!(sol.stats.cache_hits > 0, "{:?}", sol.stats);
+        assert!(sol.stats.cache_entries > 0);
+        // Simple backtracking explores the UNSAT block once per prefix.
+        let simple = SimpleBacktracking::new().solve(&f);
+        assert!(sol.stats.nodes < simple.stats.nodes);
+    }
+
+    #[test]
+    fn budget_aborts() {
+        let mut f = CnfFormula::new(20);
+        // Unsatisfiable parity-ish instance that needs deep search.
+        for i in 0..19 {
+            f.add_clause(vec![lit(i, true), lit(i + 1, true)]);
+            f.add_clause(vec![lit(i, false), lit(i + 1, false)]);
+        }
+        f.add_clause(vec![lit(0, true)]);
+        f.add_clause(vec![lit(19, true)]);
+        let sol = CachingBacktracking::new()
+            .with_limits(Limits::nodes(3))
+            .solve(&f);
+        assert_eq!(sol.outcome, Outcome::Aborted);
+    }
+
+    #[test]
+    fn empty_formula_sat() {
+        let f = CnfFormula::new(0);
+        assert!(CachingBacktracking::new().solve(&f).outcome.is_sat());
+    }
+
+    #[test]
+    fn trace_records_the_tree() {
+        let (f, order) = formula_41();
+        let mut solver = CachingBacktracking::new().with_order(order).with_trace();
+        let sol = solver.solve(&f);
+        assert!(sol.outcome.is_sat());
+        let trace = solver.trace();
+        assert_eq!(trace.len() as u64, sol.stats.nodes, "one event per node");
+        let hits = trace
+            .iter()
+            .filter(|e| e.outcome == crate::TraceOutcome::CacheHit)
+            .count() as u64;
+        assert_eq!(hits, sol.stats.cache_hits);
+        assert!(trace
+            .iter()
+            .any(|e| e.outcome == crate::TraceOutcome::Satisfied));
+        let rendered = crate::render_trace(trace);
+        assert!(rendered.contains("SAT"), "{rendered}");
+        assert!(rendered.lines().count() == trace.len());
+    }
+
+    #[test]
+    fn tracing_off_by_default() {
+        let (f, _) = formula_41();
+        let mut solver = CachingBacktracking::new();
+        solver.solve(&f);
+        assert!(solver.trace().is_empty());
+    }
+}

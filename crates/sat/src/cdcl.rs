@@ -1,0 +1,619 @@
+//! CDCL: conflict-driven clause learning.
+//!
+//! A MiniSat-style solver — two-watched-literal propagation, first-UIP
+//! conflict analysis, VSIDS variable activities with phase saving, Luby
+//! restarts, and activity-based learnt-clause deletion. It stands in for
+//! the engineered SAT engine inside TEGUS in the Figure-1 reproduction:
+//! the paper's point is precisely that such solvers dispatch almost all
+//! ATPG-SAT instances instantly.
+
+use std::collections::BinaryHeap;
+
+use atpg_easy_cnf::{CnfFormula, Lit, Var};
+
+use crate::{Limits, Outcome, Solution, Solver, SolverStats};
+
+const VAR_DECAY: f64 = 0.95;
+const CLA_DECAY: f64 = 0.999;
+const RESCALE_LIMIT: f64 = 1e100;
+const RESTART_BASE: u64 = 64;
+
+/// Conflict-driven clause-learning SAT solver.
+#[derive(Debug, Clone, Default)]
+pub struct Cdcl {
+    limits: Limits,
+}
+
+impl Cdcl {
+    /// Solver with default configuration and no limits.
+    pub fn new() -> Self {
+        Cdcl::default()
+    }
+
+    /// Sets a resource budget (conflicts and/or decisions).
+    pub fn with_limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ClauseData {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f64,
+    deleted: bool,
+}
+
+struct Engine {
+    clauses: Vec<ClauseData>,
+    /// Per literal code: indices of clauses currently watching that literal.
+    watches: Vec<Vec<usize>>,
+    assign: Vec<Option<bool>>,
+    level: Vec<u32>,
+    reason: Vec<Option<usize>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    heap: BinaryHeap<(u64, u32)>,
+    phase: Vec<bool>,
+    stats: SolverStats,
+    num_learnt: usize,
+    max_learnt: usize,
+}
+
+/// The Luby restart sequence: 1,1,2,1,1,2,4,...
+fn luby(mut i: u64) -> u64 {
+    loop {
+        // Find the subsequence containing i.
+        let mut k = 1u32;
+        while (1u64 << k) - 1 < i + 1 {
+            k += 1;
+        }
+        if (1u64 << k) - 1 == i + 1 {
+            return 1u64 << (k - 1);
+        }
+        i -= (1u64 << (k - 1)) - 1;
+    }
+}
+
+impl Engine {
+    fn new(f: &CnfFormula) -> Self {
+        let n = f.num_vars();
+        Engine {
+            clauses: Vec::with_capacity(f.num_clauses()),
+            watches: vec![Vec::new(); 2 * n],
+            assign: vec![None; n],
+            level: vec![0; n],
+            reason: vec![None; n],
+            trail: Vec::with_capacity(n),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: vec![0.0; n],
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            heap: (0..n as u32).map(|v| (0u64, v)).collect(),
+            phase: vec![false; n],
+            stats: SolverStats::default(),
+            num_learnt: 0,
+            max_learnt: (f.num_clauses() / 3).max(2000),
+        }
+    }
+
+    fn value(&self, l: Lit) -> Option<bool> {
+        self.assign[l.var().index()].map(|v| v == l.asserted_value())
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Enqueues `l` as true. Returns false if it contradicts the current
+    /// assignment.
+    fn enqueue(&mut self, l: Lit, from: Option<usize>) -> bool {
+        match self.value(l) {
+            Some(v) => v,
+            None => {
+                let vi = l.var().index();
+                self.assign[vi] = Some(l.asserted_value());
+                self.level[vi] = self.decision_level();
+                self.reason[vi] = from;
+                self.phase[vi] = l.asserted_value();
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    /// Two-watched-literal unit propagation. Returns a conflicting clause
+    /// index if a conflict arises.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let false_lit = !p;
+            let mut list = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut i = 0;
+            while i < list.len() {
+                let ci = list[i];
+                if self.clauses[ci].deleted {
+                    list.swap_remove(i);
+                    continue;
+                }
+                // Make sure the falsified literal is lits[1].
+                if self.clauses[ci].lits[0] == false_lit {
+                    self.clauses[ci].lits.swap(0, 1);
+                }
+                let first = self.clauses[ci].lits[0];
+                if self.value(first) == Some(true) {
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut moved = false;
+                for k in 2..self.clauses[ci].lits.len() {
+                    let cand = self.clauses[ci].lits[k];
+                    if self.value(cand) != Some(false) {
+                        self.clauses[ci].lits.swap(1, k);
+                        self.watches[cand.code()].push(ci);
+                        list.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Clause is unit or conflicting on `first`.
+                if self.value(first) == Some(false) {
+                    self.watches[false_lit.code()] = list;
+                    return Some(ci);
+                }
+                self.stats.propagations += 1;
+                self.enqueue(first, Some(ci));
+                i += 1;
+            }
+            self.watches[false_lit.code()] = list;
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > RESCALE_LIMIT {
+            for a in &mut self.activity {
+                *a *= 1.0 / RESCALE_LIMIT;
+            }
+            self.var_inc *= 1.0 / RESCALE_LIMIT;
+        }
+        self.heap
+            .push((self.activity[v.index()].to_bits(), v.index() as u32));
+    }
+
+    fn bump_clause(&mut self, ci: usize) {
+        self.clauses[ci].activity += self.cla_inc;
+        if self.clauses[ci].activity > RESCALE_LIMIT {
+            for c in &mut self.clauses {
+                c.activity *= 1.0 / RESCALE_LIMIT;
+            }
+            self.cla_inc *= 1.0 / RESCALE_LIMIT;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, mut confl: usize) -> (Vec<Lit>, u32) {
+        let mut seen = vec![false; self.assign.len()];
+        let mut learnt: Vec<Lit> = Vec::new();
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut idx = self.trail.len();
+        let cur_level = self.decision_level();
+        loop {
+            self.bump_clause(confl);
+            let lits: Vec<Lit> = self.clauses[confl].lits.clone();
+            for &q in &lits {
+                if Some(q) == p {
+                    continue;
+                }
+                let v = q.var();
+                if !seen[v.index()] && self.level[v.index()] > 0 {
+                    seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] == cur_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk back the trail to the next marked literal.
+            loop {
+                idx -= 1;
+                if seen[self.trail[idx].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[idx];
+            seen[pl.var().index()] = false;
+            counter -= 1;
+            p = Some(pl);
+            if counter == 0 {
+                break;
+            }
+            confl = self.reason[pl.var().index()].expect("non-decision has a reason");
+        }
+        let asserting = !p.expect("loop ran at least once");
+        let mut clause = vec![asserting];
+        clause.extend(learnt);
+        // Conflict-clause minimization (MiniSat-style self-subsumption):
+        // drop any non-asserting literal whose reason is entirely implied
+        // by the other clause literals. `seen` still marks the clause's
+        // variables here.
+        let keep: Vec<bool> = clause
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| i == 0 || !self.lit_redundant(l, &seen))
+            .collect();
+        let mut i = 0;
+        clause.retain(|_| {
+            let k = keep[i];
+            i += 1;
+            k
+        });
+        // Backjump level: highest level among the non-asserting literals.
+        let bt = clause[1..]
+            .iter()
+            .map(|l| self.level[l.var().index()])
+            .max()
+            .unwrap_or(0);
+        (clause, bt)
+    }
+
+    /// Whether `l` is redundant in the learnt clause: every literal in its
+    /// reason chain is either at level 0 or already marked in `seen`
+    /// (i.e. in the clause). Conservative: a decision literal outside the
+    /// clause makes the chain non-redundant.
+    fn lit_redundant(&self, l: Lit, seen: &[bool]) -> bool {
+        let Some(reason0) = self.reason[l.var().index()] else {
+            return false; // decision literal: cannot be resolved away
+        };
+        let mut stack = vec![reason0];
+        let mut visited: Vec<usize> = Vec::new();
+        let mut ok = true;
+        'outer: while let Some(ci) = stack.pop() {
+            for &q in &self.clauses[ci].lits {
+                let vi = q.var().index();
+                if q.var() == l.var() || self.level[vi] == 0 || seen[vi] {
+                    continue;
+                }
+                if visited.contains(&vi) {
+                    continue;
+                }
+                match self.reason[vi] {
+                    Some(r) => {
+                        visited.push(vi);
+                        stack.push(r);
+                    }
+                    None => {
+                        ok = false;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        ok
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        while self.decision_level() > level {
+            let lim = self.trail_lim.pop().expect("level > 0");
+            while self.trail.len() > lim {
+                let l = self.trail.pop().expect("trail non-empty");
+                let vi = l.var().index();
+                self.assign[vi] = None;
+                self.reason[vi] = None;
+                self.heap.push((self.activity[vi].to_bits(), vi as u32));
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    /// Attaches a clause and returns its index; the caller guarantees
+    /// `lits.len() >= 2`.
+    fn attach(&mut self, lits: Vec<Lit>, learnt: bool) -> usize {
+        debug_assert!(lits.len() >= 2);
+        let ci = self.clauses.len();
+        self.watches[lits[0].code()].push(ci);
+        self.watches[lits[1].code()].push(ci);
+        self.clauses.push(ClauseData {
+            lits,
+            learnt,
+            activity: 0.0,
+            deleted: false,
+        });
+        if learnt {
+            self.num_learnt += 1;
+        }
+        ci
+    }
+
+    /// Deletes low-activity learnt clauses that are not currently reasons.
+    fn reduce_db(&mut self) {
+        let mut learnt: Vec<usize> = (0..self.clauses.len())
+            .filter(|&ci| {
+                let c = &self.clauses[ci];
+                c.learnt && !c.deleted && c.lits.len() > 2
+            })
+            .collect();
+        learnt.sort_by(|&a, &b| {
+            self.clauses[a]
+                .activity
+                .partial_cmp(&self.clauses[b].activity)
+                .expect("activities are finite")
+        });
+        let locked: Vec<bool> = learnt
+            .iter()
+            .map(|&ci| {
+                self.clauses[ci].lits.first().is_some_and(|l| {
+                    self.reason[l.var().index()] == Some(ci) && self.assign[l.var().index()].is_some()
+                })
+            })
+            .collect();
+        let target = learnt.len() / 2;
+        let mut removed = 0usize;
+        for (k, &ci) in learnt.iter().enumerate() {
+            if removed >= target {
+                break;
+            }
+            if locked[k] {
+                continue;
+            }
+            self.clauses[ci].deleted = true;
+            self.num_learnt -= 1;
+            removed += 1;
+        }
+        // Deleted clauses are purged from watch lists lazily in propagate().
+    }
+
+    fn decide(&mut self) -> Option<Var> {
+        while let Some((_, v)) = self.heap.pop() {
+            if self.assign[v as usize].is_none() {
+                return Some(Var::from_index(v as usize));
+            }
+        }
+        // Fallback: linear scan (heap entries are lazy and may run out).
+        self.assign
+            .iter()
+            .position(Option::is_none)
+            .map(Var::from_index)
+    }
+}
+
+impl Solver for Cdcl {
+    fn solve(&mut self, formula: &CnfFormula) -> Solution {
+        let mut e = Engine::new(formula);
+        // Load the problem clauses.
+        for clause in formula.clauses() {
+            match clause.len() {
+                0 => {
+                    return Solution {
+                        outcome: Outcome::Unsat,
+                        stats: e.stats,
+                    }
+                }
+                1 => {
+                    if !e.enqueue(clause[0], None) {
+                        return Solution {
+                            outcome: Outcome::Unsat,
+                            stats: e.stats,
+                        };
+                    }
+                }
+                _ => {
+                    e.attach(clause.clone(), false);
+                }
+            }
+        }
+
+        let mut restart_count: u64 = 0;
+        let mut conflicts_until_restart = RESTART_BASE * luby(0);
+        let mut conflicts_this_restart: u64 = 0;
+
+        loop {
+            if let Some(confl) = e.propagate() {
+                e.stats.conflicts += 1;
+                conflicts_this_restart += 1;
+                if let Some(max) = self.limits.max_conflicts {
+                    if e.stats.conflicts > max {
+                        e.stats.learnt_clauses = e.num_learnt as u64;
+                        return Solution {
+                            outcome: Outcome::Aborted,
+                            stats: e.stats,
+                        };
+                    }
+                }
+                if e.decision_level() == 0 {
+                    e.stats.learnt_clauses = e.num_learnt as u64;
+                    return Solution {
+                        outcome: Outcome::Unsat,
+                        stats: e.stats,
+                    };
+                }
+                let (learnt, bt_level) = e.analyze(confl);
+                e.cancel_until(bt_level);
+                let asserting = learnt[0];
+                if learnt.len() == 1 {
+                    e.enqueue(asserting, None);
+                } else {
+                    let ci = e.attach(learnt, true);
+                    e.bump_clause(ci);
+                    e.enqueue(asserting, Some(ci));
+                }
+                e.var_inc /= VAR_DECAY;
+                e.cla_inc /= CLA_DECAY;
+                if e.num_learnt > e.max_learnt {
+                    e.reduce_db();
+                    e.max_learnt += e.max_learnt / 10;
+                }
+            } else {
+                // No conflict.
+                if conflicts_this_restart >= conflicts_until_restart {
+                    restart_count += 1;
+                    e.stats.restarts = restart_count;
+                    conflicts_this_restart = 0;
+                    conflicts_until_restart = RESTART_BASE * luby(restart_count);
+                    e.cancel_until(0);
+                    continue;
+                }
+                match e.decide() {
+                    None => {
+                        // Complete assignment: SAT.
+                        let model: Vec<bool> =
+                            e.assign.iter().map(|v| v.expect("complete")).collect();
+                        debug_assert!(formula.eval_complete(&model));
+                        e.stats.learnt_clauses = e.num_learnt as u64;
+                        return Solution {
+                            outcome: Outcome::Sat(model),
+                            stats: e.stats,
+                        };
+                    }
+                    Some(v) => {
+                        e.stats.decisions += 1;
+                        e.stats.nodes += 1;
+                        if let Some(max) = self.limits.max_nodes {
+                            if e.stats.nodes > max {
+                                e.stats.learnt_clauses = e.num_learnt as u64;
+                                return Solution {
+                                    outcome: Outcome::Aborted,
+                                    stats: e.stats,
+                                };
+                            }
+                        }
+                        let phase = e.phase[v.index()];
+                        e.trail_lim.push(e.trail.len());
+                        e.enqueue(Lit::with_value(v, phase), None);
+                    }
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "cdcl"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(i: usize, pos: bool) -> Lit {
+        Lit::with_value(Var::from_index(i), pos)
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(luby(i as u64), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn simple_sat() {
+        let mut f = CnfFormula::new(3);
+        f.add_clause(vec![lit(0, true), lit(1, true)]);
+        f.add_clause(vec![lit(1, false), lit(2, true)]);
+        f.add_clause(vec![lit(0, false), lit(2, false)]);
+        let sol = Cdcl::new().solve(&f);
+        let model = sol.outcome.model().expect("SAT");
+        assert!(f.eval_complete(model));
+    }
+
+    #[test]
+    fn simple_unsat() {
+        let mut f = CnfFormula::new(2);
+        for a in [true, false] {
+            for b in [true, false] {
+                f.add_clause(vec![lit(0, a), lit(1, b)]);
+            }
+        }
+        assert!(Cdcl::new().solve(&f).outcome.is_unsat());
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // Variables p_{i,j}: pigeon i in hole j; i in 0..3, j in 0..2.
+        let v = |i: usize, j: usize| lit(i * 2 + j, true);
+        let nv = |i: usize, j: usize| lit(i * 2 + j, false);
+        let mut f = CnfFormula::new(6);
+        for i in 0..3 {
+            f.add_clause(vec![v(i, 0), v(i, 1)]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in i1 + 1..3 {
+                    f.add_clause(vec![nv(i1, j), nv(i2, j)]);
+                }
+            }
+        }
+        let sol = Cdcl::new().solve(&f);
+        assert!(sol.outcome.is_unsat());
+        assert!(sol.stats.conflicts > 0);
+    }
+
+    #[test]
+    fn learns_unit_clauses() {
+        // A chain that forces learning: (x0∨x1)(x0∨¬x1) implies x0.
+        let mut f = CnfFormula::new(2);
+        f.add_clause(vec![lit(0, true), lit(1, true)]);
+        f.add_clause(vec![lit(0, true), lit(1, false)]);
+        f.add_clause(vec![lit(0, false), lit(1, true)]);
+        let sol = Cdcl::new().solve(&f);
+        let model = sol.outcome.model().expect("SAT");
+        assert!(model[0]);
+    }
+
+    #[test]
+    fn conflict_budget() {
+        // PHP(5,4) is UNSAT and needs some conflicts.
+        let n_p = 5;
+        let n_h = 4;
+        let v = |i: usize, j: usize, pos: bool| lit(i * n_h + j, pos);
+        let mut f = CnfFormula::new(n_p * n_h);
+        for i in 0..n_p {
+            f.add_clause((0..n_h).map(|j| v(i, j, true)).collect());
+        }
+        for j in 0..n_h {
+            for i1 in 0..n_p {
+                for i2 in i1 + 1..n_p {
+                    f.add_clause(vec![v(i1, j, false), v(i2, j, false)]);
+                }
+            }
+        }
+        let sol = Cdcl::new().with_limits(Limits::conflicts(2)).solve(&f);
+        assert_eq!(sol.outcome, Outcome::Aborted);
+        let full = Cdcl::new().solve(&f);
+        assert!(full.outcome.is_unsat());
+    }
+
+    #[test]
+    fn empty_formula_sat() {
+        let f = CnfFormula::new(4);
+        let sol = Cdcl::new().solve(&f);
+        assert!(sol.outcome.is_sat());
+    }
+
+    #[test]
+    fn duplicate_unit_clauses_ok() {
+        let mut f = CnfFormula::new(1);
+        f.add_clause(vec![lit(0, true)]);
+        f.add_clause(vec![lit(0, true)]);
+        let sol = Cdcl::new().solve(&f);
+        assert_eq!(sol.outcome.model(), Some(&[true][..]));
+    }
+}

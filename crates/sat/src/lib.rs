@@ -1,0 +1,140 @@
+//! SAT solvers for the *atpg-easy* reproduction of "Why is ATPG Easy?".
+//!
+//! Four solvers over [`atpg_easy_cnf::CnfFormula`]:
+//!
+//! - [`SimpleBacktracking`]: fixed-order chronological backtracking — the
+//!   baseline the paper's Algorithm 1 augments.
+//! - [`CachingBacktracking`]: **the paper's Algorithm 1**: simple
+//!   backtracking with a cache of UNSAT sub-formulas, keyed by the residual
+//!   clause *set* (footnote 2 of the paper: two sub-formulas are identical
+//!   iff they have the same set of clauses). Theorem 4.1 bounds this
+//!   solver's node count by `n · 2^(2·k_fo·W(C,h))`.
+//! - [`Dpll`]: DPLL with unit propagation, the classic improvement.
+//! - [`Cdcl`]: conflict-driven clause learning with watched literals,
+//!   1UIP learning, VSIDS, phase saving and Luby restarts — the stand-in
+//!   for the tuned solver inside TEGUS used for the Figure-1 experiment.
+//!
+//! All solvers implement [`Solver`], report machine-independent work
+//! counters in [`SolverStats`], and respect a node/conflict [`Limits`]
+//! budget so experiment harnesses can bound worst-case instances.
+//!
+//! # Example
+//!
+//! ```
+//! use atpg_easy_cnf::{CnfFormula, Lit, Var};
+//! use atpg_easy_sat::{Cdcl, Outcome, Solver};
+//!
+//! let mut f = CnfFormula::new(2);
+//! let (a, b) = (Var::from_index(0), Var::from_index(1));
+//! f.add_clause(vec![Lit::positive(a), Lit::positive(b)]);
+//! f.add_clause(vec![Lit::negative(a)]);
+//! let solution = Cdcl::new().solve(&f);
+//! match solution.outcome {
+//!     Outcome::Sat(model) => assert!(model[b.index()]),
+//!     _ => panic!("satisfiable"),
+//! }
+//! ```
+
+mod caching;
+mod cdcl;
+mod dpll;
+mod result;
+mod simple;
+
+pub use caching::{render_trace, CachingBacktracking, TraceEvent, TraceOutcome};
+pub use cdcl::Cdcl;
+pub use dpll::Dpll;
+pub use result::{Limits, Outcome, Solution, SolverStats};
+pub use simple::SimpleBacktracking;
+
+use atpg_easy_cnf::CnfFormula;
+
+/// Common interface for all solvers.
+pub trait Solver {
+    /// Decides satisfiability of `formula`.
+    fn solve(&mut self, formula: &CnfFormula) -> Solution;
+
+    /// A short, stable identifier for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod cross_tests {
+    use super::*;
+    use atpg_easy_cnf::{Lit, Var};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_formula(rng: &mut StdRng, vars: usize, clauses: usize, k: usize) -> CnfFormula {
+        let mut f = CnfFormula::new(vars);
+        for _ in 0..clauses {
+            let len = rng.random_range(1..=k);
+            let clause: Vec<Lit> = (0..len)
+                .map(|_| {
+                    Lit::with_value(Var::from_index(rng.random_range(0..vars)), rng.random_bool(0.5))
+                })
+                .collect();
+            f.add_clause(clause);
+        }
+        f
+    }
+
+    fn brute_force(f: &CnfFormula) -> bool {
+        let n = f.num_vars();
+        assert!(n <= 16);
+        (0u32..(1 << n)).any(|m| {
+            let assign: Vec<bool> = (0..n).map(|i| m >> i & 1 != 0).collect();
+            f.eval_complete(&assign)
+        })
+    }
+
+    #[test]
+    fn all_solvers_agree_with_brute_force() {
+        let mut rng = StdRng::seed_from_u64(0xA7B6);
+        for round in 0..120 {
+            let vars = 3 + round % 8;
+            let clauses = 2 + (round * 7) % 24;
+            let f = random_formula(&mut rng, vars, clauses, 3);
+            let expect = brute_force(&f);
+            let solvers: Vec<Box<dyn Solver>> = vec![
+                Box::new(SimpleBacktracking::new()),
+                Box::new(CachingBacktracking::new()),
+                Box::new(Dpll::new()),
+                Box::new(Cdcl::new()),
+            ];
+            for mut s in solvers {
+                let sol = s.solve(&f);
+                match sol.outcome {
+                    Outcome::Sat(model) => {
+                        assert!(expect, "{} claimed SAT on UNSAT (round {round})", s.name());
+                        assert!(
+                            f.eval_complete(&model),
+                            "{} returned a non-model (round {round})",
+                            s.name()
+                        );
+                    }
+                    Outcome::Unsat => {
+                        assert!(!expect, "{} claimed UNSAT on SAT (round {round})", s.name());
+                    }
+                    Outcome::Aborted => panic!("no limits were set (round {round})"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn caching_never_explores_more_than_simple() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..40 {
+            let f = random_formula(&mut rng, 8, 20, 3);
+            let simple = SimpleBacktracking::new().solve(&f);
+            let cached = CachingBacktracking::new().solve(&f);
+            assert!(
+                cached.stats.nodes <= simple.stats.nodes,
+                "cache pruning can only shrink the tree: {} vs {}",
+                cached.stats.nodes,
+                simple.stats.nodes
+            );
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Solver outcomes, statistics and resource budgets.
+
+use std::fmt;
+
+/// The verdict of a solve call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Satisfiable, with a complete model indexed by variable.
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+    /// The solver hit its [`Limits`] budget before deciding.
+    Aborted,
+}
+
+impl Outcome {
+    /// Whether the outcome is [`Outcome::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, Outcome::Sat(_))
+    }
+
+    /// Whether the outcome is [`Outcome::Unsat`].
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, Outcome::Unsat)
+    }
+
+    /// The model, if satisfiable.
+    pub fn model(&self) -> Option<&[bool]> {
+        match self {
+            Outcome::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Machine-independent work counters gathered during a solve.
+///
+/// `nodes` is the quantity Theorem 4.1 bounds for
+/// [`CachingBacktracking`](crate::CachingBacktracking): the number of
+/// backtracking-tree nodes expanded (one per variable assignment tried).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Backtracking-tree nodes expanded / decisions made.
+    pub nodes: u64,
+    /// Decision variables branched on (CDCL/DPLL terminology).
+    pub decisions: u64,
+    /// Literals set by unit propagation.
+    pub propagations: u64,
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Sub-formula cache hits (caching backtracking only).
+    pub cache_hits: u64,
+    /// Entries resident in the sub-formula cache at the end.
+    pub cache_entries: u64,
+    /// Learnt clauses currently in the database (CDCL only).
+    pub learnt_clauses: u64,
+    /// Restarts performed (CDCL only).
+    pub restarts: u64,
+}
+
+impl fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "nodes={} decisions={} props={} conflicts={} cache_hits={}",
+            self.nodes, self.decisions, self.propagations, self.conflicts, self.cache_hits
+        )
+    }
+}
+
+/// A completed solve: outcome plus statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Solution {
+    /// SAT / UNSAT / aborted.
+    pub outcome: Outcome,
+    /// Work performed.
+    pub stats: SolverStats,
+}
+
+/// Resource budget. A solver that exhausts a budget returns
+/// [`Outcome::Aborted`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum backtracking nodes / decisions, `None` = unlimited.
+    pub max_nodes: Option<u64>,
+    /// Maximum conflicts (CDCL), `None` = unlimited.
+    pub max_conflicts: Option<u64>,
+}
+
+impl Limits {
+    /// No limits: run to completion.
+    pub fn none() -> Self {
+        Limits::default()
+    }
+
+    /// Limit backtracking nodes / decisions.
+    pub fn nodes(max: u64) -> Self {
+        Limits {
+            max_nodes: Some(max),
+            ..Limits::default()
+        }
+    }
+
+    /// Limit conflicts.
+    pub fn conflicts(max: u64) -> Self {
+        Limits {
+            max_conflicts: Some(max),
+            ..Limits::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_accessors() {
+        let sat = Outcome::Sat(vec![true]);
+        assert!(sat.is_sat());
+        assert!(!sat.is_unsat());
+        assert_eq!(sat.model(), Some(&[true][..]));
+        assert!(Outcome::Unsat.is_unsat());
+        assert_eq!(Outcome::Unsat.model(), None);
+        assert!(!Outcome::Aborted.is_sat());
+    }
+
+    #[test]
+    fn limits_constructors() {
+        assert_eq!(Limits::none().max_nodes, None);
+        assert_eq!(Limits::nodes(10).max_nodes, Some(10));
+        assert_eq!(Limits::conflicts(5).max_conflicts, Some(5));
+    }
+
+    #[test]
+    fn stats_display() {
+        let s = SolverStats {
+            nodes: 3,
+            ..Default::default()
+        };
+        assert!(s.to_string().contains("nodes=3"));
+    }
+}

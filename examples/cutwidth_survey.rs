@@ -1,0 +1,99 @@
+//! A miniature Figure-8 survey: estimate the cut-width of every fault's
+//! subcircuit for a few contrasting circuit families and fit the growth
+//! models — trees stay logarithmic, the array multiplier goes √n.
+//!
+//! ```text
+//! cargo run --release --example cutwidth_survey
+//! ```
+
+use atpg_easy::analysis::experiment::{fig8_scatter, figure8, Figure8Config};
+use atpg_easy::analysis::{predictor, report};
+use atpg_easy::circuits::suite::NamedCircuit;
+use atpg_easy::circuits::{adders, multiplier, parity};
+
+/// Slowly-growing width: the log model wins outright, or a power law wins
+/// with a small exponent (over finite ranges `a·x^b` with `b ≪ 1` and
+/// `a·ln x + c` are nearly indistinguishable — the paper's own
+/// least-squares methodology, Section 5.2.2).
+fn grows_slowly(c: &atpg_easy::analysis::predictor::WidthClassification) -> bool {
+    use atpg_easy::fit::Model;
+    match c.best.model {
+        Model::Logarithmic => true,
+        Model::Power => c.best.b < 0.35,
+        Model::Linear => false,
+    }
+}
+
+fn survey(title: &str, circuits: Vec<NamedCircuit>) {
+    println!("== {title} ==");
+    let points = figure8(
+        &circuits,
+        &Figure8Config {
+            max_faults_per_circuit: Some(80),
+            ..Figure8Config::default()
+        },
+    );
+    let scatter = fig8_scatter(&points);
+    match predictor::classify(&scatter) {
+        None => println!("  (not enough data)"),
+        Some(c) => {
+            println!("  best fit: {}", c.best);
+            println!(
+                "  width grows slowly (log-like): {}{}",
+                grows_slowly(&c),
+                c.log2_coefficient()
+                    .map(|k| format!("  (W ≈ {k:.2}·log₂ size)"))
+                    .unwrap_or_default()
+            );
+        }
+    }
+    print!("{}", report::ascii_scatter(&scatter, 64, 10));
+    println!();
+}
+
+fn main() {
+    // Tree-like families: expect logarithmic width.
+    survey(
+        "parity trees + ripple adders (tree-like)",
+        vec![
+            NamedCircuit {
+                name: "par16".into(),
+                netlist: parity::parity_tree(16),
+            },
+            NamedCircuit {
+                name: "par64".into(),
+                netlist: parity::parity_tree(64),
+            },
+            NamedCircuit {
+                name: "par512".into(),
+                netlist: parity::parity_tree(512),
+            },
+            NamedCircuit {
+                name: "rca8".into(),
+                netlist: adders::ripple_carry(8),
+            },
+            NamedCircuit {
+                name: "rca96".into(),
+                netlist: adders::ripple_carry(96),
+            },
+        ],
+    );
+    // A 2-D array: expect power-law (≈ √n) width — the C6288 effect.
+    survey(
+        "array multipliers (2-D)",
+        vec![
+            NamedCircuit {
+                name: "mul4".into(),
+                netlist: multiplier::array_multiplier(4),
+            },
+            NamedCircuit {
+                name: "mul6".into(),
+                netlist: multiplier::array_multiplier(6),
+            },
+            NamedCircuit {
+                name: "mul8".into(),
+                netlist: multiplier::array_multiplier(8),
+            },
+        ],
+    );
+}

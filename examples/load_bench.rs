@@ -1,0 +1,95 @@
+//! Load a real netlist file (ISCAS85 `.bench` or BLIF), clean it, map it
+//! to ≤3-input AND/OR gates, and run the full paper pipeline on it:
+//! ATPG campaign, cut-width estimate, and the Theorem-4.1 ledger.
+//!
+//! ```text
+//! cargo run --release --example load_bench -- path/to/c432.bench
+//! cargo run --release --example load_bench            # falls back to c17
+//! ```
+//!
+//! Drop genuine MCNC91/ISCAS85 files in to reproduce the paper's
+//! experiments on the original circuits.
+
+use atpg_easy::analysis::{analysis, predictor};
+use atpg_easy::atpg::campaign::{run, AtpgConfig};
+use atpg_easy::circuits::suite;
+use atpg_easy::cutwidth::mla::MlaConfig;
+use atpg_easy::cutwidth::{mla, Hypergraph};
+use atpg_easy::netlist::{decompose, parser, stats::CircuitStats, sweep, Netlist};
+
+fn load(path: &str) -> Result<Netlist, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    let nl = if path.ends_with(".blif") {
+        parser::blif::parse(&text)?
+    } else {
+        parser::bench::parse(&text)?
+    };
+    Ok(nl)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let raw = match std::env::args().nth(1) {
+        Some(path) => {
+            println!("loading {path}");
+            load(&path)?
+        }
+        None => {
+            println!("no file given; using the embedded ISCAS85 c17");
+            suite::c17()
+        }
+    };
+    println!("raw:       {}", CircuitStats::of(&raw));
+
+    let (clean, report) = sweep::sweep(&raw)?;
+    println!(
+        "swept:     {} ({} const folds, {} buffers, {} dead gates)",
+        CircuitStats::of(&clean),
+        report.constants_folded,
+        report.buffers_collapsed,
+        report.dead_gates_removed
+    );
+    let nl = decompose::decompose(&clean, 3)?;
+    println!("decomposed: {}", CircuitStats::of(&nl));
+
+    // Cut-width of the whole circuit (the paper's Figure-8 statistic).
+    let h = Hypergraph::from_netlist(&nl);
+    let (w, _) = mla::estimate_cutwidth(&h, &MlaConfig::default());
+    println!(
+        "estimated cut-width: {w}  ({} hypergraph nodes; log2 = {:.1})",
+        h.num_nodes(),
+        (h.num_nodes() as f64).log2()
+    );
+
+    // ATPG campaign.
+    let result = run(
+        &nl,
+        &AtpgConfig {
+            random_patterns: 128,
+            ..AtpgConfig::default()
+        },
+    );
+    println!(
+        "ATPG: {} faults, coverage {:.2}%, {} untestable, {} SAT instances",
+        result.records.len(),
+        100.0 * result.coverage(),
+        result.untestable(),
+        result.sat_records().count()
+    );
+
+    // Per-fault Theorem-4.1 ledger on a sample.
+    let ledger = analysis::analyze_circuit(&nl, &MlaConfig::default(), 8, 5_000_000);
+    let within = ledger.iter().filter(|a| a.within_bound()).count();
+    println!(
+        "Theorem 4.1 ledger: {}/{} sampled instances within bound",
+        within,
+        ledger.len()
+    );
+    let scatter: Vec<(f64, f64)> = ledger
+        .iter()
+        .map(|a| (a.sub_size as f64, a.w_miter as f64))
+        .collect();
+    if let Some(c) = predictor::classify(&scatter) {
+        println!("width-vs-size best fit: {}", c.best);
+    }
+    Ok(())
+}

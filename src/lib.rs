@@ -1,0 +1,50 @@
+//! # atpg-easy — a reproduction of *"Why is ATPG Easy?"*
+//!
+//! Prasad, Chong & Keutzer (DAC 1999) explain the practical tractability of
+//! automatic test pattern generation by bounding the runtime of a
+//! caching-based backtracking SAT solver in terms of the *cut-width* of the
+//! circuit under test. This workspace rebuilds the entire apparatus from
+//! scratch: the netlist substrate, the Larrabee/TEGUS SAT formulation of
+//! ATPG, the paper's Algorithm 1 (and modern baselines), cut-width /
+//! min-cut linear arrangement machinery, benchmark-circuit generators, and
+//! the experiment pipelines that regenerate every figure.
+//!
+//! This facade crate re-exports the subcrates under stable short names:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`netlist`] | `atpg-easy-netlist` | Boolean networks, parsers, simulation, decomposition |
+//! | [`cnf`] | `atpg-easy-cnf` | CNF formulas, CIRCUIT-SAT encoding, Horn/q-Horn classes |
+//! | [`sat`] | `atpg-easy-sat` | simple/caching backtracking (Algorithm 1), DPLL, CDCL |
+//! | [`atpg`] | `atpg-easy-atpg` | stuck-at faults, ATPG miter, TEGUS-style campaigns |
+//! | [`cutwidth`] | `atpg-easy-cutwidth` | hypergraphs, orderings, FM/MLA, tree bounds |
+//! | [`circuits`] | `atpg-easy-circuits` | benchmark generators and suites |
+//! | [`fit`] | `atpg-easy-fit` | least-squares model fitting and selection |
+//! | [`bdd`] | `atpg-easy-bdd` | ROBDD package for the Section-6 contrast |
+//! | [`analysis`] | `atpg-easy-core` | the paper's bounds, checkers and experiments |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use atpg_easy::netlist::{GateKind, Netlist};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut nl = Netlist::new("demo");
+//! let a = nl.add_input("a");
+//! let b = nl.add_input("b");
+//! let y = nl.add_gate_named(GateKind::And, vec![a, b], "y")?;
+//! nl.add_output(y);
+//! nl.validate()?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub use atpg_easy_atpg as atpg;
+pub use atpg_easy_bdd as bdd;
+pub use atpg_easy_circuits as circuits;
+pub use atpg_easy_cnf as cnf;
+pub use atpg_easy_core as analysis;
+pub use atpg_easy_cutwidth as cutwidth;
+pub use atpg_easy_fit as fit;
+pub use atpg_easy_netlist as netlist;
+pub use atpg_easy_sat as sat;

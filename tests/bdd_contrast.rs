@@ -1,0 +1,93 @@
+//! Integration test: the Section-6 contrast — BDD sizes versus the
+//! Berman/McMillan width bound, next to the cut-width machinery.
+
+use atpg_easy::bdd::{build_outputs, BddManager};
+use atpg_easy::circuits::{adders, multiplier, parity, suite};
+use atpg_easy::cutwidth::{directed, Hypergraph};
+use atpg_easy::netlist::{decompose, sim, Netlist};
+
+/// Builds BDDs and checks them against exhaustive simulation.
+fn bdds_match_simulation(raw: &Netlist) {
+    let nl = decompose::decompose(raw, 3).unwrap();
+    let mut m = BddManager::new(nl.num_inputs());
+    let outs = build_outputs(&mut m, &nl, 1 << 22).expect("fits the budget");
+    let n = nl.num_inputs();
+    assert!(n <= 12);
+    for mask in 0u32..(1 << n) {
+        let ins: Vec<bool> = (0..n).map(|i| mask >> i & 1 != 0).collect();
+        let expect = sim::eval_outputs(&nl, &ins);
+        for (o, &bdd) in outs.iter().enumerate() {
+            assert_eq!(m.eval(bdd, &ins), expect[o], "{} output {o}", nl.name());
+        }
+    }
+}
+
+#[test]
+fn bdds_agree_with_simulation_across_families() {
+    bdds_match_simulation(&suite::c17());
+    bdds_match_simulation(&adders::ripple_carry(4));
+    bdds_match_simulation(&parity::parity_tree(9));
+    bdds_match_simulation(&multiplier::array_multiplier(3));
+}
+
+#[test]
+fn mcmillan_bound_holds_on_measured_bdds() {
+    // log2(BDD size) ≤ log2(n · 2^(w_f · 2^w_r)) under the same
+    // (topological) arrangement whose widths we measure.
+    for raw in [
+        suite::c17(),
+        parity::parity_tree(16),
+        adders::ripple_carry(6),
+    ] {
+        let nl = decompose::decompose(&raw, 3).unwrap();
+        let order = directed::topological_order(&nl);
+        let dw = directed::directed_widths(&nl, &order);
+        assert_eq!(dw.reverse, 0, "topological arrangements have w_r = 0");
+        let mut m = BddManager::new(nl.num_inputs());
+        let outs = build_outputs(&mut m, &nl, 1 << 24).expect("fits");
+        // McMillan's bound is per single output.
+        for &o in &outs {
+            let size = m.size(o).max(1) as f64;
+            let bound = dw.mcmillan_log2_bound(nl.num_nets());
+            assert!(
+                size.log2() <= bound,
+                "{}: BDD {size} vs bound 2^{bound:.1}",
+                nl.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn parity_tree_easy_for_both_models() {
+    // Parity trees: linear BDDs and logarithmic cut-width.
+    let nl = decompose::decompose(&parity::parity_tree(24), 3).unwrap();
+    let mut m = BddManager::new(nl.num_inputs());
+    let outs = build_outputs(&mut m, &nl, 1 << 20).unwrap();
+    assert!(m.size(outs[0]) <= 2 * 24, "parity BDD is linear");
+    let h = Hypergraph::from_netlist(&nl);
+    let (w, _) = atpg_easy::cutwidth::mla::estimate_cutwidth(
+        &h,
+        &atpg_easy::cutwidth::mla::MlaConfig::default(),
+    );
+    assert!(w <= 10, "parity cut-width is small, got {w}");
+}
+
+#[test]
+fn separated_adder_order_explodes_bdd_but_not_cutwidth() {
+    // The classic dichotomy: rca under a-bits-then-b-bits BDD order has
+    // an exponential BDD, while its cut-width stays constant-ish.
+    let nl = decompose::decompose(&adders::ripple_carry(12), 3).unwrap();
+    let mut m = BddManager::new(nl.num_inputs());
+    let grew_large = match build_outputs(&mut m, &nl, 60_000) {
+        Err(_) => true,
+        Ok(outs) => m.shared_size(&outs) > 20_000,
+    };
+    assert!(grew_large, "separated-order adder BDD must be large");
+    let h = Hypergraph::from_netlist(&nl);
+    let (w, _) = atpg_easy::cutwidth::mla::estimate_cutwidth(
+        &h,
+        &atpg_easy::cutwidth::mla::MlaConfig::default(),
+    );
+    assert!(w <= 12, "the same adder keeps a small cut-width ({w})");
+}

@@ -1,0 +1,118 @@
+//! Property tests over the cut-width machinery: optimality of the exact
+//! DP, validity of MLA arrangements, partitioner invariants.
+
+use atpg_easy::cutwidth::fm::{bipartition, cut_size, FmConfig};
+use atpg_easy::cutwidth::mla::{self, MlaConfig};
+use atpg_easy::cutwidth::multilevel::bipartition_multilevel;
+use atpg_easy::cutwidth::{exact, ordering, Hypergraph};
+use proptest::prelude::*;
+
+fn small_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    (3usize..9).prop_flat_map(|n| {
+        prop::collection::vec(prop::collection::vec(0..n, 2..4), 1..12)
+            .prop_map(move |mut edges| {
+                for e in &mut edges {
+                    e.sort_unstable();
+                    e.dedup();
+                }
+                edges.retain(|e| e.len() >= 2);
+                Hypergraph::new(n, edges)
+            })
+    })
+}
+
+fn medium_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    (10usize..60).prop_flat_map(|n| {
+        prop::collection::vec(prop::collection::vec(0..n, 2..5), n / 2..2 * n)
+            .prop_map(move |mut edges| {
+                for e in &mut edges {
+                    e.sort_unstable();
+                    e.dedup();
+                }
+                edges.retain(|e| e.len() >= 2);
+                Hypergraph::new(n, edges)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exact_is_no_worse_than_any_sampled_order(h in small_hypergraph(), seed in 0u64..100) {
+        let (w, order) = exact::min_cutwidth(&h);
+        prop_assert_eq!(ordering::cutwidth(&h, &order), w);
+        // Compare against a pseudo-random ordering.
+        let n = h.num_nodes();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        for i in (1..n).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            perm.swap(i, (state as usize) % (i + 1));
+        }
+        prop_assert!(w <= ordering::cutwidth(&h, &perm));
+    }
+
+    #[test]
+    fn mla_returns_permutation_within_exact_bound(h in small_hypergraph()) {
+        let (w_exact, _) = exact::min_cutwidth(&h);
+        let (w_est, order) = mla::estimate_cutwidth(&h, &MlaConfig::default());
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..h.num_nodes()).collect::<Vec<_>>());
+        // Graphs at most leaf-sized are solved exactly.
+        if h.num_nodes() <= MlaConfig::default().leaf_size {
+            prop_assert_eq!(w_est, w_exact);
+        } else {
+            prop_assert!(w_est >= w_exact);
+        }
+    }
+
+    #[test]
+    fn partitioners_report_true_cut(h in medium_hypergraph()) {
+        let flat = bipartition(&h, &FmConfig::default());
+        prop_assert_eq!(flat.cut, cut_size(&h, &flat.side));
+        let ml = bipartition_multilevel(&h, &[], &[], &FmConfig::default());
+        prop_assert_eq!(ml.cut, cut_size(&h, &ml.side));
+    }
+
+    #[test]
+    fn multilevel_respects_anchors(h in medium_hypergraph()) {
+        let n = h.num_nodes();
+        let p = bipartition_multilevel(&h, &[0], &[n - 1], &FmConfig::default());
+        prop_assert!(!p.side[0]);
+        prop_assert!(p.side[n - 1]);
+    }
+
+    #[test]
+    fn cut_profile_peaks_at_cutwidth(h in medium_hypergraph(), seed in 0u64..50) {
+        let n = h.num_nodes();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = seed.wrapping_add(7).wrapping_mul(0x2545F4914F6CDD1D);
+        for i in (1..n).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            perm.swap(i, (state as usize) % (i + 1));
+        }
+        let profile = ordering::cut_profile(&h, &perm);
+        let w = ordering::cutwidth(&h, &perm);
+        prop_assert_eq!(profile.iter().copied().max().unwrap_or(0), w);
+        // Every cut is bounded by the number of edges.
+        prop_assert!(profile.iter().all(|&c| c <= h.num_edges()));
+    }
+
+    #[test]
+    fn anchored_exact_places_anchors_at_ends(h in small_hypergraph()) {
+        let n = h.num_nodes();
+        let (w, order) = exact::min_cutwidth_anchored(&h, Some(0), Some(n - 1));
+        prop_assert_eq!(order[0], 0);
+        prop_assert_eq!(order[n - 1], n - 1);
+        prop_assert_eq!(ordering::cutwidth(&h, &order), w);
+        // The constrained optimum is no better than the free optimum.
+        let (w_free, _) = exact::min_cutwidth(&h);
+        prop_assert!(w >= w_free);
+    }
+}

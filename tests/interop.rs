@@ -1,0 +1,106 @@
+//! Interoperability round-trips across the workspace: DIMACS, hMETIS
+//! `.hgr`, the branch-and-bound certifier, and the sweep → decompose →
+//! ATPG pipeline on the same circuit.
+
+use atpg_easy::atpg::{fault, miter};
+use atpg_easy::circuits::{random, suite};
+use atpg_easy::cnf::{circuit, dimacs};
+use atpg_easy::cutwidth::{bb, io, mla, ordering, Hypergraph};
+use atpg_easy::netlist::{decompose, sweep};
+use atpg_easy::sat::{Cdcl, Solver};
+
+#[test]
+fn dimacs_roundtrip_preserves_atpg_verdicts() {
+    let nl = decompose::decompose(&suite::c17(), 3).unwrap();
+    for f in fault::collapse(&nl) {
+        let m = miter::build(&nl, f);
+        let enc = circuit::encode(&m.circuit).unwrap();
+        let text = dimacs::write(&enc.formula);
+        let back = dimacs::parse(&text).unwrap();
+        assert_eq!(back.num_vars(), enc.formula.num_vars());
+        assert_eq!(back.num_clauses(), enc.formula.num_clauses());
+        let a = Cdcl::new().solve(&enc.formula).outcome.is_sat();
+        let b = Cdcl::new().solve(&back).outcome.is_sat();
+        assert_eq!(a, b, "{}", f.describe(&nl));
+    }
+}
+
+#[test]
+fn hgr_roundtrip_preserves_cutwidth() {
+    let nl = decompose::decompose(&suite::priority_encoder(8), 3).unwrap();
+    let h = Hypergraph::from_netlist(&nl);
+    let back = io::parse_hgr(&io::write_hgr(&h)).unwrap();
+    assert_eq!(back.num_nodes(), h.num_nodes());
+    // Cut-width under the same ordering is identical.
+    let order: Vec<usize> = (0..h.num_nodes()).collect();
+    assert_eq!(
+        ordering::cutwidth(&h, &order),
+        ordering::cutwidth(&back, &order)
+    );
+    // And the MLA estimate on the round-tripped graph matches.
+    let cfg = mla::MlaConfig::default();
+    assert_eq!(
+        mla::estimate_cutwidth(&h, &cfg).0,
+        mla::estimate_cutwidth(&back, &cfg).0
+    );
+}
+
+#[test]
+fn branch_and_bound_certifies_mla_on_small_cones() {
+    // For small fault cones, the exact B&B must confirm the MLA estimate
+    // is an upper bound on the true cut-width.
+    let nl = decompose::decompose(&suite::c17(), 3).unwrap();
+    let f = fault::collapse(&nl)[0];
+    let (sub, outs) = atpg_easy::netlist::topo::fault_subcircuit_nets(&nl, f.net);
+    let ext = atpg_easy::netlist::topo::extract_marked(&nl, &sub, &outs);
+    let h = Hypergraph::from_netlist(&ext.netlist);
+    let (est, _) = mla::estimate_cutwidth(&h, &mla::MlaConfig::default());
+    let exact = bb::min_cutwidth_bb(&h, 20_000_000);
+    assert!(exact.proven_optimal, "cone of {} nodes", h.num_nodes());
+    assert!(est >= exact.width);
+    assert!(
+        est <= exact.width + 3,
+        "MLA estimate {est} far from optimum {}",
+        exact.width
+    );
+}
+
+#[test]
+fn sweep_then_decompose_then_atpg_pipeline() {
+    // The production pipeline on a messy generated circuit: sweep,
+    // decompose, campaign — coverage identical to the unswept run.
+    let raw = random::generate(&random::RandomCircuitConfig {
+        gates: 50,
+        inputs: 8,
+        seed: 77,
+        ..Default::default()
+    })
+    .unwrap();
+    let (clean, _) = sweep::sweep(&raw).unwrap();
+    let a = decompose::decompose(&raw, 3).unwrap();
+    let b = decompose::decompose(&clean, 3).unwrap();
+    use atpg_easy::atpg::campaign::{run, AtpgConfig};
+    let ra = run(&a, &AtpgConfig::default());
+    let rb = run(&b, &AtpgConfig::default());
+    assert_eq!(ra.aborted(), 0);
+    assert_eq!(rb.aborted(), 0);
+    // Coverage is a semantic property: both pipelines reach 100% of their
+    // testable faults.
+    assert!((ra.coverage() - 1.0).abs() < 1e-9);
+    assert!((rb.coverage() - 1.0).abs() < 1e-9);
+    // The swept netlist never has more faults to target.
+    assert!(rb.records.len() <= ra.records.len());
+}
+
+#[test]
+fn blif_export_feeds_back_through_the_whole_stack() {
+    // netlist -> BLIF -> netlist -> CNF -> solver.
+    let nl = decompose::decompose(&suite::c17(), 3).unwrap();
+    let text = atpg_easy::netlist::parser::blif::write(&nl).unwrap();
+    let back = atpg_easy::netlist::parser::blif::parse(&text).unwrap();
+    let enc_a = circuit::encode(&nl).unwrap();
+    let enc_b = circuit::encode(&back).unwrap();
+    let a = Cdcl::new().solve(&enc_a.formula).outcome.is_sat();
+    let b = Cdcl::new().solve(&enc_b.formula).outcome.is_sat();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,84 @@
+//! Integration test: Lemma 4.2/4.3 — the derived ordering keeps the ATPG
+//! miter's cut-width within `2·W(C, h) + 2`, for MLA, identity and
+//! reversed orderings, across circuit families.
+
+use atpg_easy::analysis::lemma42;
+use atpg_easy::atpg::fault;
+use atpg_easy::circuits::{adders, alu, mux, random, suite};
+use atpg_easy::cutwidth::mla::{self, MlaConfig};
+use atpg_easy::cutwidth::Hypergraph;
+use atpg_easy::netlist::{decompose, Netlist};
+
+fn check_all(nl: &Netlist, order: &[usize]) {
+    for (i, f) in fault::all_faults(nl).into_iter().enumerate() {
+        if i % 3 != 0 {
+            continue; // sample for runtime
+        }
+        if let Some(chk) = lemma42::check(nl, f, order) {
+            assert!(
+                chk.holds(),
+                "{}: {} gives miter width {} > bound {}",
+                nl.name(),
+                f.describe(nl),
+                chk.w_miter,
+                chk.bound
+            );
+        }
+    }
+}
+
+fn mla_order(nl: &Netlist) -> Vec<usize> {
+    let h = Hypergraph::from_netlist(nl);
+    mla::estimate_cutwidth(&h, &MlaConfig::default()).1
+}
+
+#[test]
+fn holds_with_mla_orderings() {
+    for raw in [suite::c17(), adders::ripple_carry(4), mux::mux_tree(2)] {
+        let nl = decompose::decompose(&raw, 3).unwrap();
+        check_all(&nl, &mla_order(&nl));
+    }
+}
+
+#[test]
+fn holds_with_identity_and_reverse_orderings() {
+    // The lemma quantifies over *any* ordering h; deliberately bad ones
+    // must still satisfy the inequality (both sides degrade together).
+    let nl = decompose::decompose(&alu::alu(2), 3).unwrap();
+    let n = Hypergraph::from_netlist(&nl).num_nodes();
+    let identity: Vec<usize> = (0..n).collect();
+    let reversed: Vec<usize> = (0..n).rev().collect();
+    check_all(&nl, &identity);
+    check_all(&nl, &reversed);
+}
+
+#[test]
+fn holds_on_random_circuits() {
+    for seed in 0..3 {
+        let raw = random::generate(&random::RandomCircuitConfig {
+            gates: 40,
+            inputs: 8,
+            seed: 100 + seed,
+            ..Default::default()
+        })
+        .unwrap();
+        let nl = decompose::decompose(&raw, 3).unwrap();
+        check_all(&nl, &mla_order(&nl));
+    }
+}
+
+#[test]
+fn derived_ordering_is_always_a_permutation() {
+    let nl = decompose::decompose(&adders::carry_lookahead(3), 3).unwrap();
+    let order = mla_order(&nl);
+    for f in fault::all_faults(&nl) {
+        let m = atpg_easy::atpg::miter::build(&nl, f);
+        if m.unobservable {
+            continue;
+        }
+        let mut h_psi = lemma42::derived_ordering(&nl, &m, &order);
+        let hm = Hypergraph::from_netlist(&m.circuit);
+        h_psi.sort_unstable();
+        assert_eq!(h_psi, (0..hm.num_nodes()).collect::<Vec<_>>());
+    }
+}

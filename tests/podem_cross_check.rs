@@ -1,0 +1,67 @@
+//! Integration test: PODEM (structural) and the SAT formulation agree on
+//! every fault's testability, and PODEM's vectors verify.
+
+use atpg_easy::atpg::podem::{self, PodemResult};
+use atpg_easy::atpg::{fault, miter, verify};
+use atpg_easy::circuits::{comparator, random, suite};
+use atpg_easy::cnf::circuit;
+use atpg_easy::netlist::decompose;
+use atpg_easy::sat::{Cdcl, Solver};
+
+fn cross_check(raw: &atpg_easy::netlist::Netlist, sample_stride: usize) {
+    let nl = decompose::decompose(raw, 3).unwrap();
+    for (i, f) in fault::all_faults(&nl).into_iter().enumerate() {
+        if i % sample_stride != 0 {
+            continue;
+        }
+        let (pres, _) = podem::generate_test(&nl, f, 1_000_000);
+        let m = miter::build(&nl, f);
+        let enc = circuit::encode(&m.circuit).unwrap();
+        let sat = Cdcl::new().solve(&enc.formula).outcome.is_sat();
+        match pres {
+            PodemResult::Detected(v) => {
+                assert!(sat, "{}: PODEM found a test, SAT says untestable", f.describe(&nl));
+                assert!(verify::detects(&nl, f, &v), "{}", f.describe(&nl));
+            }
+            PodemResult::Untestable => {
+                assert!(!sat, "{}: SAT found a test, PODEM says untestable", f.describe(&nl));
+            }
+            PodemResult::Aborted => panic!("budget must suffice on these sizes"),
+        }
+    }
+}
+
+#[test]
+fn agree_on_c17_and_comparator() {
+    cross_check(&suite::c17(), 1);
+    cross_check(&comparator::comparator(4), 2);
+}
+
+#[test]
+fn agree_on_redundant_logic() {
+    use atpg_easy::netlist::{GateKind, Netlist};
+    // A circuit with genuine redundancy: y = (a ∧ b) ∨ (a ∧ ¬b) ∨ a ≡ a.
+    let mut nl = Netlist::new("red");
+    let a = nl.add_input("a");
+    let b = nl.add_input("b");
+    let nb = nl.add_gate_named(GateKind::Not, vec![b], "nb").unwrap();
+    let t1 = nl.add_gate_named(GateKind::And, vec![a, b], "t1").unwrap();
+    let t2 = nl.add_gate_named(GateKind::And, vec![a, nb], "t2").unwrap();
+    let y = nl.add_gate_named(GateKind::Or, vec![t1, t2, a], "y").unwrap();
+    nl.add_output(y);
+    cross_check(&nl, 1);
+}
+
+#[test]
+fn agree_on_random_circuits() {
+    for seed in 0..3 {
+        let nl = random::generate(&random::RandomCircuitConfig {
+            gates: 30,
+            inputs: 7,
+            seed: 500 + seed,
+            ..Default::default()
+        })
+        .unwrap();
+        cross_check(&nl, 4);
+    }
+}

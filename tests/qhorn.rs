@@ -1,0 +1,80 @@
+//! Integration test: the Section 3.1 claim — ATPG-SAT instances are not
+//! q-Horn in general, so the polynomial SAT classes cannot explain ATPG's
+//! practical ease.
+
+use atpg_easy::atpg::{fault, miter};
+use atpg_easy::circuits::{adders, suite};
+use atpg_easy::cnf::horn::{self, SatClass};
+use atpg_easy::cnf::{circuit, CnfFormula, Lit, Var};
+use atpg_easy::netlist::decompose;
+
+#[test]
+fn atpg_sat_instances_are_generally_not_q_horn() {
+    let nl = decompose::decompose(&suite::c17(), 3).unwrap();
+    let mut general = 0usize;
+    let mut total = 0usize;
+    for f in fault::collapse(&nl) {
+        let m = miter::build(&nl, f);
+        if m.unobservable {
+            continue;
+        }
+        let enc = circuit::encode(&m.circuit).unwrap();
+        total += 1;
+        if horn::classify(&enc.formula) == SatClass::General {
+            general += 1;
+        }
+    }
+    assert!(total > 0);
+    assert!(
+        general * 2 > total,
+        "most instances must fall outside q-Horn: {general}/{total}"
+    );
+}
+
+#[test]
+fn adder_atpg_instances_not_q_horn_either() {
+    let nl = decompose::decompose(&adders::ripple_carry(3), 3).unwrap();
+    let f = *fault::collapse(&nl).last().unwrap();
+    let m = miter::build(&nl, f);
+    let enc = circuit::encode(&m.circuit).unwrap();
+    assert_eq!(horn::classify(&enc.formula), SatClass::General);
+}
+
+#[test]
+fn class_hierarchy_sanity() {
+    let lit = |i: usize, p: bool| Lit::with_value(Var::from_index(i), p);
+    // Horn ⊂ q-Horn.
+    let mut h = CnfFormula::new(3);
+    h.add_clause(vec![lit(0, true), lit(1, false), lit(2, false)]);
+    assert!(horn::is_horn(&h));
+    assert!(horn::is_q_horn(&h));
+    // 2-SAT ⊂ q-Horn.
+    let mut two = CnfFormula::new(2);
+    two.add_clause(vec![lit(0, true), lit(1, true)]);
+    assert!(horn::is_two_sat(&two));
+    assert!(horn::is_q_horn(&two));
+    // The canonical non-q-Horn pair.
+    let mut g = CnfFormula::new(3);
+    g.add_clause(vec![lit(0, true), lit(1, true), lit(2, true)]);
+    g.add_clause(vec![lit(0, false), lit(1, false), lit(2, false)]);
+    assert!(!horn::is_q_horn(&g));
+}
+
+#[test]
+fn pure_and_circuit_yields_horn_like_formula() {
+    // CIRCUIT-SAT on an AND-only cone is almost Horn: only the output
+    // clause and the "big" gate clauses carry multiple positives; the
+    // instance is at least renamable-Horn for a single AND gate.
+    use atpg_easy::netlist::{GateKind, Netlist};
+    let mut nl = Netlist::new("and");
+    let a = nl.add_input("a");
+    let b = nl.add_input("b");
+    let y = nl.add_gate_named(GateKind::And, vec![a, b], "y").unwrap();
+    nl.add_output(y);
+    let enc = circuit::encode(&nl).unwrap();
+    let class = horn::classify(&enc.formula);
+    assert!(
+        class != SatClass::General,
+        "a single-AND CIRCUIT-SAT stays inside the easy classes ({class:?})"
+    );
+}

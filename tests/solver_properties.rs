@@ -1,0 +1,103 @@
+//! Property tests over the SAT solver stack: agreement, model validity,
+//! caching soundness, budget behavior.
+
+use atpg_easy::cnf::{CnfFormula, Lit, Var};
+use atpg_easy::sat::{
+    CachingBacktracking, Cdcl, Dpll, Limits, Outcome, SimpleBacktracking, Solver,
+};
+use proptest::prelude::*;
+
+fn clause_strategy(vars: usize, max_len: usize) -> impl Strategy<Value = Vec<Lit>> {
+    prop::collection::vec((0..vars, any::<bool>()), 1..=max_len)
+        .prop_map(|lits| {
+            lits.into_iter()
+                .map(|(v, pos)| Lit::with_value(Var::from_index(v), pos))
+                .collect()
+        })
+}
+
+fn formula_strategy() -> impl Strategy<Value = CnfFormula> {
+    (2usize..9).prop_flat_map(|vars| {
+        prop::collection::vec(clause_strategy(vars, 3), 0..24).prop_map(move |clauses| {
+            let mut f = CnfFormula::new(vars);
+            for c in clauses {
+                f.add_clause(c);
+            }
+            f
+        })
+    })
+}
+
+fn brute_force(f: &CnfFormula) -> bool {
+    let n = f.num_vars();
+    (0u32..(1 << n)).any(|m| {
+        let assign: Vec<bool> = (0..n).map(|i| m >> i & 1 != 0).collect();
+        f.eval_complete(&assign)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn solvers_agree_and_models_check(f in formula_strategy()) {
+        let expect = brute_force(&f);
+        let solvers: Vec<Box<dyn Solver>> = vec![
+            Box::new(SimpleBacktracking::new()),
+            Box::new(CachingBacktracking::new()),
+            Box::new(Dpll::new()),
+            Box::new(Cdcl::new()),
+        ];
+        for mut s in solvers {
+            match s.solve(&f).outcome {
+                Outcome::Sat(model) => {
+                    prop_assert!(expect, "{} SAT on UNSAT formula", s.name());
+                    prop_assert!(f.eval_complete(&model), "{} bad model", s.name());
+                }
+                Outcome::Unsat => prop_assert!(!expect, "{} UNSAT on SAT formula", s.name()),
+                Outcome::Aborted => prop_assert!(false, "no limits configured"),
+            }
+        }
+    }
+
+    #[test]
+    fn caching_explores_no_more_than_simple(f in formula_strategy()) {
+        let simple = SimpleBacktracking::new().solve(&f);
+        let cached = CachingBacktracking::new().solve(&f);
+        prop_assert!(cached.stats.nodes <= simple.stats.nodes);
+        prop_assert_eq!(cached.outcome.is_sat(), simple.outcome.is_sat());
+    }
+
+    #[test]
+    fn node_budget_is_respected(f in formula_strategy(), budget in 1u64..30) {
+        for mut s in [
+            Box::new(SimpleBacktracking::new().with_limits(Limits::nodes(budget)))
+                as Box<dyn Solver>,
+            Box::new(CachingBacktracking::new().with_limits(Limits::nodes(budget))),
+            Box::new(Dpll::new().with_limits(Limits::nodes(budget))),
+        ] {
+            let sol = s.solve(&f);
+            prop_assert!(sol.stats.nodes <= budget + 1, "{}", s.name());
+            if let Outcome::Sat(model) = sol.outcome {
+                prop_assert!(f.eval_complete(&model));
+            }
+        }
+    }
+
+    #[test]
+    fn solving_is_deterministic(f in formula_strategy()) {
+        let a = Cdcl::new().solve(&f);
+        let b = Cdcl::new().solve(&f);
+        prop_assert_eq!(a.outcome, b.outcome);
+        prop_assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn reversed_order_same_verdict(f in formula_strategy()) {
+        let fwd: Vec<Var> = (0..f.num_vars()).map(Var::from_index).collect();
+        let rev: Vec<Var> = fwd.iter().rev().copied().collect();
+        let a = CachingBacktracking::new().with_order(fwd).solve(&f);
+        let b = CachingBacktracking::new().with_order(rev).solve(&f);
+        prop_assert_eq!(a.outcome.is_sat(), b.outcome.is_sat());
+    }
+}

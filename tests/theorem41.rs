@@ -1,0 +1,81 @@
+//! Integration test: Theorem 4.1 — the caching-backtracking node count on
+//! CIRCUIT-SAT is bounded by `n · 2^(2·k_fo·W(C,h))` under the ordering
+//! induced by any node arrangement.
+
+use atpg_easy::analysis::{bounds, varorder};
+use atpg_easy::circuits::{adders, parity, random, suite, trees};
+use atpg_easy::cnf::circuit;
+use atpg_easy::cutwidth::mla::{self, MlaConfig};
+use atpg_easy::cutwidth::Hypergraph;
+use atpg_easy::netlist::{decompose, Netlist};
+use atpg_easy::sat::{CachingBacktracking, Solver};
+
+fn assert_theorem41(raw: &Netlist) {
+    let nl = decompose::decompose(raw, 3).unwrap();
+    let h = Hypergraph::from_netlist(&nl);
+    let (w, node_order) = mla::estimate_cutwidth(&h, &MlaConfig::default());
+    let vars = varorder::variable_order(&nl, &node_order);
+    let enc = circuit::encode(&nl).unwrap();
+    let sol = CachingBacktracking::new().with_order(vars).solve(&enc.formula);
+    let log2_nodes = (sol.stats.nodes.max(1) as f64).log2();
+    let bound = bounds::theorem41_log2_bound(enc.formula.num_vars(), nl.max_fanout(), w);
+    assert!(
+        log2_nodes <= bound,
+        "{}: log2(nodes) {log2_nodes:.1} > bound {bound:.1}",
+        nl.name()
+    );
+}
+
+#[test]
+fn holds_on_trees() {
+    assert_theorem41(&trees::random_tree(2, 40, 11));
+    assert_theorem41(&trees::random_tree(3, 30, 12));
+    assert_theorem41(&parity::parity_tree(12));
+}
+
+#[test]
+fn holds_on_adders_and_c17() {
+    assert_theorem41(&adders::ripple_carry(4));
+    assert_theorem41(&suite::c17());
+}
+
+#[test]
+fn holds_on_random_circuits() {
+    for seed in 0..3 {
+        let nl = random::generate(&random::RandomCircuitConfig {
+            gates: 30,
+            inputs: 8,
+            seed,
+            ..Default::default()
+        })
+        .unwrap();
+        assert_theorem41(&nl);
+    }
+}
+
+#[test]
+fn bound_grows_with_width_not_size() {
+    // The chain (width O(1)) admits a much smaller bound at equal size
+    // than a wide random circuit — the qualitative content of the theorem.
+    let chain = decompose::decompose(&atpg_easy::circuits::cellular::cellular_1d(20), 3).unwrap();
+    let hc = Hypergraph::from_netlist(&chain);
+    let (w_chain, _) = mla::estimate_cutwidth(&hc, &MlaConfig::default());
+    let rand = decompose::decompose(
+        &random::generate(&random::RandomCircuitConfig {
+            gates: chain.num_gates(),
+            inputs: chain.num_inputs(),
+            locality: 0.2,
+            far_window: usize::MAX,
+            ..Default::default()
+        })
+        .unwrap(),
+        3,
+    )
+    .unwrap();
+    let hr = Hypergraph::from_netlist(&rand);
+    let (w_rand, _) = mla::estimate_cutwidth(&hr, &MlaConfig::default());
+    assert!(
+        w_chain < w_rand,
+        "chain width {w_chain} must undercut expander width {w_rand}"
+    );
+}

@@ -1,0 +1,95 @@
+//! Integration + property tests: Lemma 5.2 (tree orderings) and
+//! Theorem 5.1 (k-bounded circuits are log-bounded-width).
+
+use atpg_easy::circuits::{kbounded, trees};
+use atpg_easy::cutwidth::ordering::cutwidth;
+use atpg_easy::cutwidth::{tree, Hypergraph};
+use proptest::prelude::*;
+
+#[test]
+fn lemma52_across_sizes_and_arities() {
+    for k in 2..=5 {
+        for gates in [10, 50, 200, 800] {
+            for seed in 0..3 {
+                let nl = trees::random_tree(k, gates, seed);
+                let h = Hypergraph::from_netlist(&nl);
+                let order = tree::tree_order(&nl).expect("generator emits trees");
+                let w = cutwidth(&h, &order);
+                let bound = tree::lemma52_bound(k, h.num_nodes());
+                assert!(
+                    (w as f64) <= bound,
+                    "k={k} gates={gates} seed={seed}: {w} > {bound}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem51_certificate_width_is_logarithmic() {
+    // The certificate ordering of a k-bounded circuit stays within
+    // c·log₂(n) for a modest constant (empirically c < 2 for k = 3; we
+    // allow 3 plus an additive cushion).
+    for blocks in [30, 100, 300, 1000] {
+        for seed in 0..3 {
+            let kb = kbounded::generate(&kbounded::KBoundedConfig {
+                blocks,
+                k: 3,
+                seed,
+            });
+            let h = Hypergraph::from_netlist(&kb.netlist);
+            let w = cutwidth(&h, &kb.certificate_order());
+            let bound = 3.0 * (h.num_nodes() as f64).log2() + 6.0;
+            assert!(
+                (w as f64) <= bound,
+                "blocks={blocks} seed={seed}: width {w} > {bound:.1}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tree_order_is_permutation_and_meets_bound(
+        k in 2usize..=4,
+        gates in 5usize..120,
+        seed in 0u64..1000,
+    ) {
+        let nl = trees::random_tree(k, gates, seed);
+        let h = Hypergraph::from_netlist(&nl);
+        let order = tree::tree_order(&nl).expect("generator emits trees");
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..h.num_nodes()).collect::<Vec<_>>());
+        let w = cutwidth(&h, &order);
+        prop_assert!((w as f64) <= tree::lemma52_bound(k, h.num_nodes()));
+    }
+
+    #[test]
+    fn kbounded_certificate_is_permutation(
+        blocks in 2usize..60,
+        k in 2usize..=4,
+        seed in 0u64..1000,
+    ) {
+        let kb = kbounded::generate(&kbounded::KBoundedConfig { blocks, k, seed });
+        let mut order = kb.certificate_order();
+        let n = kb.netlist.num_gates() + kb.netlist.num_inputs() + kb.netlist.num_outputs();
+        order.sort_unstable();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn kbounded_block_outputs_have_single_reader(
+        blocks in 2usize..60,
+        k in 2usize..=4,
+        seed in 0u64..1000,
+    ) {
+        let kb = kbounded::generate(&kbounded::KBoundedConfig { blocks, k, seed });
+        let fanouts = kb.netlist.fanouts();
+        for &out in &kb.block_output {
+            prop_assert!(fanouts[out.index()].len() <= 1);
+        }
+    }
+}
