@@ -65,6 +65,9 @@ pub struct AtpgConfig {
     pub random_patterns: usize,
     /// Seed for the random-pattern phase.
     pub seed: u64,
+    /// Lint the netlist before fault enumeration and fail fast with a
+    /// diagnostic report instead of panicking mid-campaign (default on).
+    pub preflight: bool,
 }
 
 impl Default for AtpgConfig {
@@ -78,6 +81,7 @@ impl Default for AtpgConfig {
             dominance: false,
             random_patterns: 0,
             seed: 1,
+            preflight: true,
         }
     }
 }
@@ -173,9 +177,22 @@ impl CampaignResult {
 ///
 /// # Panics
 ///
-/// Panics if the netlist is invalid (validate first) or contains XOR/XNOR
-/// gates wider than two inputs (decompose first).
+/// With `config.preflight` set (the default), panics with a rendered
+/// diagnostic report if the netlist fails the lint preflight (cycles,
+/// undriven or multiply-driven nets, bad fanin, no outputs). With
+/// preflight disabled, a malformed netlist instead panics wherever the
+/// campaign first trips over it. Also panics on XOR/XNOR gates wider
+/// than two inputs (decompose first).
 pub fn run(nl: &Netlist, config: &AtpgConfig) -> CampaignResult {
+    if config.preflight {
+        let report = atpg_easy_lint::preflight(nl);
+        assert!(
+            !report.has_errors(),
+            "netlist `{}` failed ATPG preflight:\n{}",
+            nl.name(),
+            report.render_human()
+        );
+    }
     let faults = if config.dominance {
         fault::collapse_with_dominance(nl)
     } else if config.collapse {
@@ -304,7 +321,11 @@ mod tests {
         );
         for r in &res.records {
             if let FaultOutcome::Detected(v) = &r.outcome {
-                assert!(verify::detects(&nl, r.fault, v), "{}", r.fault.describe(&nl));
+                assert!(
+                    verify::detects(&nl, r.fault, v),
+                    "{}",
+                    r.fault.describe(&nl)
+                );
             }
         }
     }
@@ -408,6 +429,21 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "failed ATPG preflight")]
+    fn preflight_rejects_malformed_netlist() {
+        // An undriven net feeding an output trips N002 before any miter
+        // is built.
+        let mut nl = Netlist::new("ghost");
+        let a = nl.add_input("a");
+        let ghost = nl.add_net("ghost").unwrap();
+        let y = nl
+            .add_gate_named(atpg_easy_netlist::GateKind::And, vec![a, ghost], "y")
+            .unwrap();
+        nl.add_output(y);
+        run(&nl, &AtpgConfig::default());
+    }
+
+    #[test]
     fn sat_records_expose_instance_sizes() {
         let nl = c17();
         let res = run(&nl, &AtpgConfig::default());
@@ -472,10 +508,13 @@ mod compaction_tests {
     #[test]
     fn compaction_preserves_coverage() {
         let nl = c17();
-        let res = run(&nl, &AtpgConfig {
-            random_patterns: 64,
-            ..AtpgConfig::default()
-        });
+        let res = run(
+            &nl,
+            &AtpgConfig {
+                random_patterns: 64,
+                ..AtpgConfig::default()
+            },
+        );
         let faults = fault::collapse(&nl);
         let compact = compact_tests(&nl, &res.tests, &faults);
         assert!(compact.len() <= res.tests.len());

@@ -67,7 +67,7 @@ pub fn collapse(nl: &Netlist) -> Vec<Fault> {
     let index = |f: &Fault| f.net.index() * 2 + usize::from(f.stuck);
     let mut parent: Vec<usize> = (0..faults.len()).collect();
 
-    fn find(parent: &mut Vec<usize>, mut i: usize) -> usize {
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
         while parent[i] != i {
             parent[i] = parent[parent[i]];
             i = parent[i];
@@ -112,7 +112,10 @@ pub fn collapse(nl: &Netlist) -> Vec<Fault> {
                         union(
                             &mut parent,
                             index(&Fault { net: inp, stuck: v }),
-                            index(&Fault { net: out, stuck: !v }),
+                            index(&Fault {
+                                net: out,
+                                stuck: !v,
+                            }),
                         );
                     }
                 }
@@ -268,7 +271,9 @@ mod dominance_tests {
         let forced = if f.stuck { !0u64 } else { 0 };
         let mut mask = 0u64;
         for m in 0u64..(1 << n) {
-            let ins: Vec<u64> = (0..n).map(|i| if m >> i & 1 != 0 { !0 } else { 0 }).collect();
+            let ins: Vec<u64> = (0..n)
+                .map(|i| if m >> i & 1 != 0 { !0 } else { 0 })
+                .collect();
             let good = s.run(nl, &ins);
             let bad = s.run_with_forced(nl, &ins, f.net, forced);
             if nl
@@ -292,10 +297,12 @@ mod dominance_tests {
             if tf == 0 {
                 continue; // untestable: nothing to cover
             }
-            let covered = kept_sets
-                .iter()
-                .any(|&tc| tc != 0 && tc & !tf == 0);
-            assert!(covered, "{} not covered by the collapsed list", f.describe(nl));
+            let covered = kept_sets.iter().any(|&tc| tc != 0 && tc & !tf == 0);
+            assert!(
+                covered,
+                "{} not covered by the collapsed list",
+                f.describe(nl)
+            );
         }
     }
 
@@ -339,7 +346,9 @@ mod dominance_tests {
         let d = nl.add_input("d");
         let t1 = nl.add_gate_named(GateKind::Or, vec![a, b], "t1").unwrap();
         let t2 = nl.add_gate_named(GateKind::Nand, vec![c, d], "t2").unwrap();
-        let t3 = nl.add_gate_named(GateKind::Xor, vec![t1, t2], "t3").unwrap();
+        let t3 = nl
+            .add_gate_named(GateKind::Xor, vec![t1, t2], "t3")
+            .unwrap();
         let y = nl.add_gate_named(GateKind::And, vec![t3, a], "y").unwrap();
         nl.add_output(y);
         assert_coverage_preserving(&nl);

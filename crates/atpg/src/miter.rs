@@ -147,8 +147,12 @@ pub fn build(nl: &Netlist, fault: Fault) -> AtpgMiter {
     } else {
         GateKind::Const0
     };
-    m.drive_net(faulty_of[x.index()].expect("x is in its own fan-out"), fault_const, vec![])
-        .expect("construction is well-formed");
+    m.drive_net(
+        faulty_of[x.index()].expect("x is in its own fan-out"),
+        fault_const,
+        vec![],
+    )
+    .expect("construction is well-formed");
     for &gid in &order {
         let gate = nl.gate(gid);
         let out = gate.output;

@@ -44,7 +44,7 @@ pub struct PodemStats {
 
 /// Evaluates one gate in three-valued logic.
 fn eval_gate_3v(kind: GateKind, ins: &[Tv]) -> Tv {
-    let known = |wanted: bool| ins.iter().any(|&v| v == Some(wanted));
+    let known = |wanted: bool| ins.contains(&Some(wanted));
     let all_known = ins.iter().all(Option::is_some);
     match kind {
         GateKind::And | GateKind::Nand => {
@@ -80,7 +80,11 @@ fn eval_gate_3v(kind: GateKind, ins: &[Tv]) -> Tv {
                 None
             } else {
                 let parity = ins.iter().fold(false, |acc, v| acc ^ v.expect("known"));
-                Some(if kind == GateKind::Xor { parity } else { !parity })
+                Some(if kind == GateKind::Xor {
+                    parity
+                } else {
+                    !parity
+                })
             }
         }
         GateKind::Not => ins[0].map(|b| !b),
@@ -261,11 +265,7 @@ impl<'a> Podem<'a> {
 /// # Panics
 ///
 /// Panics if the netlist is cyclic.
-pub fn generate_test(
-    nl: &Netlist,
-    fault: Fault,
-    max_backtracks: u64,
-) -> (PodemResult, PodemStats) {
+pub fn generate_test(nl: &Netlist, fault: Fault, max_backtracks: u64) -> (PodemResult, PodemStats) {
     let mut p = Podem::new(nl, fault);
     // Decision stack: (input position, value, tried_both).
     let mut stack: Vec<(usize, bool, bool)> = Vec::new();
@@ -329,7 +329,9 @@ fn detectable_exhaustive(nl: &Netlist, f: Fault) -> bool {
     let s = sim::Simulator::new(nl);
     let forced = if f.stuck { !0u64 } else { 0 };
     (0u32..(1 << n)).any(|m| {
-        let ins: Vec<u64> = (0..n).map(|i| if m >> i & 1 != 0 { !0 } else { 0 }).collect();
+        let ins: Vec<u64> = (0..n)
+            .map(|i| if m >> i & 1 != 0 { !0 } else { 0 })
+            .collect();
         let good = s.run(nl, &ins);
         let bad = s.run_with_forced(nl, &ins, f.net, forced);
         nl.outputs()

@@ -106,7 +106,9 @@ pub fn build_outputs(
             GateKind::Const1 => m.constant(true),
         };
         if m.num_nodes() > node_budget {
-            return Err(BuildError::NodeBudgetExceeded { budget: node_budget });
+            return Err(BuildError::NodeBudgetExceeded {
+                budget: node_budget,
+            });
         }
         of_net[gate.output.index()] = Some(out);
     }
@@ -212,11 +214,17 @@ mod tests {
     fn parity_tree_stays_small() {
         let mut nl = Netlist::new("par");
         let xs: Vec<_> = (0..8).map(|i| nl.add_input(format!("x{i}"))).collect();
-        let y = nl.add_gate_named(atpg_easy_netlist::GateKind::Xor, xs[..2].to_vec(), "t0").unwrap();
+        let y = nl
+            .add_gate_named(atpg_easy_netlist::GateKind::Xor, xs[..2].to_vec(), "t0")
+            .unwrap();
         let mut acc = y;
         for (i, &x) in xs[2..].iter().enumerate() {
             acc = nl
-                .add_gate_named(atpg_easy_netlist::GateKind::Xor, vec![acc, x], format!("t{}", i + 1))
+                .add_gate_named(
+                    atpg_easy_netlist::GateKind::Xor,
+                    vec![acc, x],
+                    format!("t{}", i + 1),
+                )
                 .unwrap();
         }
         nl.add_output(acc);

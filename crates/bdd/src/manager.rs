@@ -202,7 +202,11 @@ impl BddManager {
         assert!(assignment.len() >= self.num_vars, "assignment too short");
         while !f.is_terminal() {
             let n = self.nodes[f.0 as usize];
-            f = if assignment[n.var as usize] { n.hi } else { n.lo };
+            f = if assignment[n.var as usize] {
+                n.hi
+            } else {
+                n.lo
+            };
         }
         f == BddRef::TRUE
     }
@@ -242,11 +246,7 @@ impl BddManager {
     /// Number of satisfying assignments of `f` over all `num_vars`
     /// variables, as an `f64` (exact for < 2⁵³).
     pub fn sat_count(&self, f: BddRef) -> f64 {
-        fn count(
-            m: &BddManager,
-            f: BddRef,
-            memo: &mut HashMap<BddRef, f64>,
-        ) -> f64 {
+        fn count(m: &BddManager, f: BddRef, memo: &mut HashMap<BddRef, f64>) -> f64 {
             // Fraction of the full space that satisfies f.
             match f {
                 BddRef::FALSE => return 0.0,

@@ -13,7 +13,10 @@ fn bench_campaigns(c: &mut Criterion) {
     group.sample_size(10);
     let targets = [
         ("c17", decompose::decompose(&suite::c17(), 3).expect("ok")),
-        ("rca8", decompose::decompose(&adders::ripple_carry(8), 3).expect("ok")),
+        (
+            "rca8",
+            decompose::decompose(&adders::ripple_carry(8), 3).expect("ok"),
+        ),
         ("alu4", decompose::decompose(&alu::alu(4), 3).expect("ok")),
     ];
     for (name, nl) in &targets {

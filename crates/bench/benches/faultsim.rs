@@ -18,7 +18,11 @@ fn bench_faultsim(c: &mut Criterion) {
         let fs = FaultSimulator::new(&nl);
         let faults = all_faults(&nl);
         let vectors: Vec<Vec<bool>> = (0..64u64)
-            .map(|p| (0..nl.num_inputs()).map(|i| (p >> (i % 64)) & 1 != 0).collect())
+            .map(|p| {
+                (0..nl.num_inputs())
+                    .map(|i| (p >> (i % 64)) & 1 != 0)
+                    .collect()
+            })
             .collect();
         group.bench_function(format!("{name}_64pat_{}faults", faults.len()), |b| {
             b.iter(|| black_box(fs.detect_batch(&nl, &vectors, &faults)))
@@ -30,7 +34,9 @@ fn bench_faultsim(c: &mut Criterion) {
 fn bench_good_sim(c: &mut Criterion) {
     let nl = decompose::decompose(&multiplier::array_multiplier(8), 3).expect("decomposes");
     let s = Simulator::new(&nl);
-    let words: Vec<u64> = (0..nl.num_inputs() as u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+    let words: Vec<u64> = (0..nl.num_inputs() as u64)
+        .map(|i| i.wrapping_mul(0x9E37))
+        .collect();
     c.bench_function("good_sim_mul8_64pat", |b| {
         b.iter(|| black_box(s.run(&nl, &words)))
     });

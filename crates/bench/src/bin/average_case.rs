@@ -42,7 +42,8 @@ fn main() {
                 Some(a) => params::FormulaParams {
                     vars: a.vars.max(p.vars),
                     clauses: a.clauses.max(p.clauses),
-                    avg_clause_len: a.avg_clause_len + (p.avg_clause_len - a.avg_clause_len) / count as f64,
+                    avg_clause_len: a.avg_clause_len
+                        + (p.avg_clause_len - a.avg_clause_len) / count as f64,
                     max_clause_len: a.max_clause_len.max(p.max_clause_len),
                     literal_probability: a.literal_probability.max(p.literal_probability),
                     clause_var_ratio: a.clause_var_ratio.max(p.clause_var_ratio),
@@ -61,7 +62,10 @@ fn main() {
             "SuggestsEasy"
         );
     }
-    assert!(all_easy, "every ATPG-SAT instance sits in the easy population");
+    assert!(
+        all_easy,
+        "every ATPG-SAT instance sits in the easy population"
+    );
     println!(
         "\nEvery instance has bounded clause length and O(v) clauses, so the \
          matched random population is polynomial on average — but, as the \

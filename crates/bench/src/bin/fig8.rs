@@ -49,7 +49,10 @@ fn main() {
         e.0 = e.0.max(p.sub_size);
         e.1 = e.1.max(p.cutwidth);
     }
-    println!("\n{:<12} {:>12} {:>12}", "circuit", "max |sub|", "max width");
+    println!(
+        "\n{:<12} {:>12} {:>12}",
+        "circuit", "max |sub|", "max width"
+    );
     for (name, (size, width)) in per {
         println!("{name:<12} {size:>12} {width:>12}");
     }

@@ -38,11 +38,7 @@ fn main() {
     println!("{:<8} {:>8} {:>8}", "blocks", "nodes", "width");
     for blocks in [20, 60, 180, 540, 1620, 4860, 14580] {
         for seed in 0..6 {
-            let kb = kbounded::generate(&KBoundedConfig {
-                blocks,
-                k: 3,
-                seed,
-            });
+            let kb = kbounded::generate(&KBoundedConfig { blocks, k: 3, seed });
             let h = Hypergraph::from_netlist(&kb.netlist);
             let w = cutwidth(&h, &kb.certificate_order());
             scatter.push((h.num_nodes() as f64, w as f64));
@@ -53,7 +49,11 @@ fn main() {
     }
     let c = predictor::classify(&scatter).expect("enough data");
     for f in &c.fits {
-        let marker = if f.model == c.best.model { " <== best" } else { "" };
+        let marker = if f.model == c.best.model {
+            " <== best"
+        } else {
+            ""
+        };
         println!("  {f}{marker}");
     }
     println!(

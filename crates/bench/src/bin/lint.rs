@@ -1,0 +1,9 @@
+//! Thin wrapper over [`atpg_easy_bench::lint_cli`] — see that module for
+//! the full flag reference. A twin binary at the workspace root lets
+//! `cargo run --release --bin lint` work without `-p atpg-easy-bench`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    atpg_easy_bench::lint_cli::run()
+}

@@ -87,7 +87,5 @@ fn main() {
         cla > rca && cla > par,
         "lookahead ({cla:.2}) must out-width ripple ({rca:.2}) and parity ({par:.2})"
     );
-    println!(
-        "contrast check: cla6 {cla:.2} > rca8 {rca:.2}, par64 {par:.2}  [holds]"
-    );
+    println!("contrast check: cla6 {cla:.2} > rca8 {rca:.2}, par64 {par:.2}  [holds]");
 }

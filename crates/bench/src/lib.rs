@@ -7,6 +7,8 @@
 
 use atpg_easy_circuits::suite::{self, NamedCircuit};
 
+pub mod lint_cli;
+
 /// Resolves a suite name to its circuits.
 ///
 /// Accepted names: `mcnc`, `iscas`, `all` (both), `mult` (the C6288-like

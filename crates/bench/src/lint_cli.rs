@@ -1,0 +1,215 @@
+//! Structural lint driver: netlist, CNF-encoding, and width-certificate
+//! checks over circuit files or the built-in benchmark suite.
+//!
+//! ```text
+//! cargo run --release --bin lint -- [FILES...] [--all-circuits]
+//!     [--json] [--strict] [--max-fanout K] [--no-certs]
+//! ```
+//!
+//! `FILES` are parsed by extension (`.bench` ISCAS / `.blif` BLIF).
+//! `--all-circuits` lints every generator in the built-in suite instead.
+//! For each target the driver runs the `N*` netlist passes, encodes the
+//! (XOR-decomposed) circuit with the Tseitin consistency encoder and runs
+//! the `C*` passes against it, and — unless `--no-certs` — computes an
+//! MLA ordering, validates the resulting width certificate (`O001`/`O002`),
+//! and checks a sample-fault miter certificate against the Lemma 4.2
+//! bound (`O003`/`O004`).
+//!
+//! Exit codes: 0 clean, 1 diagnostics found (errors, or any finding with
+//! `--strict`), 2 usage or I/O error.
+//!
+//! The logic lives here (rather than in the `lint` bin target) so that
+//! both the workspace-root `lint` binary and the bench-crate one are thin
+//! wrappers around [`run`].
+
+use std::process::ExitCode;
+
+use atpg_easy_atpg::{fault, miter};
+use atpg_easy_cnf::circuit;
+use atpg_easy_core::lemma42;
+use atpg_easy_cutwidth::mla::{self, MlaConfig};
+use atpg_easy_cutwidth::Hypergraph;
+use atpg_easy_lint::{cert, cnf as cnf_lint, netlist as netlist_lint, NetlistLintConfig, Report};
+use atpg_easy_netlist::{decompose, parser, Netlist};
+
+const USAGE: &str = "usage: lint [FILES...] [--all-circuits] [--json] [--strict] \
+                     [--max-fanout K] [--no-certs]";
+
+struct Options {
+    files: Vec<String>,
+    all_circuits: bool,
+    json: bool,
+    strict: bool,
+    max_fanout: Option<usize>,
+    certs: bool,
+}
+
+fn parse_options(args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut opts = Options {
+        files: Vec::new(),
+        all_circuits: false,
+        json: false,
+        strict: false,
+        max_fanout: None,
+        certs: true,
+    };
+    let mut it = args.peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--all-circuits" => opts.all_circuits = true,
+            "--json" => opts.json = true,
+            "--strict" => opts.strict = true,
+            "--no-certs" => opts.certs = false,
+            "--max-fanout" => {
+                let v = it.next().ok_or("--max-fanout needs a value")?;
+                opts.max_fanout = Some(v.parse().map_err(|_| format!("bad fanout `{v}`"))?);
+            }
+            "--help" | "-h" => return Err(String::new()),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            _ => opts.files.push(a),
+        }
+    }
+    if opts.files.is_empty() && !opts.all_circuits {
+        return Err("no input: pass FILES or --all-circuits".to_string());
+    }
+    Ok(opts)
+}
+
+/// Runs every applicable pass family on one netlist.
+fn lint_netlist(nl: &Netlist, opts: &Options) -> Report {
+    let config = NetlistLintConfig {
+        max_fanout: opts.max_fanout,
+        ..NetlistLintConfig::default()
+    };
+    let mut report = netlist_lint::lint_with(nl, &config);
+    // The CNF passes need a well-formed, encodable circuit; skip them when
+    // the structural checks already failed (the encoder would panic or
+    // error on the same defects).
+    if report.has_errors() {
+        return report;
+    }
+
+    // C* passes over the Tseitin consistency encoding (XORs decomposed to
+    // fanin 2 first, as the ATPG pipeline does).
+    match decompose::decompose(nl, usize::MAX) {
+        Ok(flat) => match circuit::encode_consistency(&flat) {
+            Ok(enc) => {
+                report.merge(cnf_lint::lint(&enc.formula));
+                report.merge(cnf_lint::lint_encoding(&flat, &enc.formula));
+            }
+            Err(e) => report.add(
+                atpg_easy_lint::Code::C006,
+                atpg_easy_lint::Location::General,
+                format!("circuit failed to encode: {e}"),
+            ),
+        },
+        Err(e) => report.add(
+            atpg_easy_lint::Code::N005,
+            atpg_easy_lint::Location::General,
+            format!("XOR decomposition failed: {e}"),
+        ),
+    }
+
+    // O* passes: self-check the MLA width certificate, then a sample-fault
+    // miter against the Lemma 4.2 bound.
+    if opts.certs && nl.num_outputs() > 0 {
+        let h = Hypergraph::from_netlist(nl);
+        let (w, order) = mla::estimate_cutwidth(&h, &MlaConfig::default());
+        report.merge(cert::lint_width_claim(&h, &order, w));
+        // Check the first fault whose miter the derived ordering fully
+        // covers; unobservable faults yield the degenerate Const0 miter
+        // whose derived ordering is empty, so validate only its structure.
+        for &f in fault::collapse(nl).iter().take(8) {
+            let m = miter::build(nl, f);
+            let h_psi = lemma42::derived_ordering(nl, &m, &order);
+            let hm = Hypergraph::from_netlist(&m.circuit);
+            if h_psi.len() == hm.num_nodes() {
+                report.merge(cert::lint_miter_certificate(&m.circuit, &h_psi, w));
+                break;
+            }
+            report.merge(cert::lint_miter_structure(&m.circuit));
+        }
+    }
+    report
+}
+
+fn load_file(path: &str) -> Result<Netlist, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let nl = if path.ends_with(".blif") {
+        parser::blif::parse(&text)
+    } else if path.ends_with(".bench") {
+        parser::bench::parse(&text)
+    } else {
+        return Err(format!(
+            "`{path}`: unknown extension (expected .bench or .blif)"
+        ));
+    };
+    nl.map_err(|e| format!("`{path}`: parse error: {e}"))
+}
+
+/// Entry point shared by the `lint` binaries; lints `std::env::args`
+/// targets and returns the process exit code.
+pub fn run() -> ExitCode {
+    let opts = match parse_options(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // (name, netlist) targets in lint order.
+    let mut targets: Vec<(String, Netlist)> = Vec::new();
+    for path in &opts.files {
+        match load_file(path) {
+            Ok(nl) => targets.push((path.clone(), nl)),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if opts.all_circuits {
+        let mut suite = crate::resolve_suite("all").expect("built-in suite");
+        suite.extend(crate::resolve_suite("mult").expect("built-in suite"));
+        targets.extend(suite.into_iter().map(|c| (c.name, c.netlist)));
+    }
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut json_parts: Vec<String> = Vec::new();
+    for (name, nl) in &targets {
+        let report = lint_netlist(nl, &opts);
+        errors += report.errors();
+        warnings += report.warnings();
+        if opts.json {
+            json_parts.push(format!(
+                "{{\"target\":\"{}\",\"report\":{}}}",
+                name.replace('\\', "\\\\").replace('"', "\\\""),
+                report.render_json().trim_end()
+            ));
+        } else if report.is_empty() {
+            println!("{name}: clean");
+        } else {
+            println!("{name}:");
+            print!("{}", report.render_human());
+        }
+    }
+    if opts.json {
+        println!("{{\"targets\":[{}]}}", json_parts.join(","));
+    } else {
+        println!(
+            "lint: {} target(s), {errors} error(s), {warnings} warning(s)",
+            targets.len()
+        );
+    }
+    let fail = errors > 0 || (opts.strict && warnings > 0);
+    if fail {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -24,8 +24,12 @@ pub fn alu(n: usize) -> Netlist {
     let cin = nl.add_input("cin");
     let s0 = nl.add_input("s0");
     let s1 = nl.add_input("s1");
-    let ns0 = nl.add_gate_named(GateKind::Not, vec![s0], "ns0").expect("unique");
-    let ns1 = nl.add_gate_named(GateKind::Not, vec![s1], "ns1").expect("unique");
+    let ns0 = nl
+        .add_gate_named(GateKind::Not, vec![s0], "ns0")
+        .expect("unique");
+    let ns1 = nl
+        .add_gate_named(GateKind::Not, vec![s1], "ns1")
+        .expect("unique");
 
     let mut carry = cin;
     for i in 0..n {

@@ -46,7 +46,11 @@ pub fn cellular_2d(rows: usize, cols: usize) -> Netlist {
     let west: Vec<NetId> = (0..rows).map(|r| nl.add_input(format!("w{r}"))).collect();
     let north: Vec<NetId> = (0..cols).map(|c| nl.add_input(format!("n{c}"))).collect();
     let local: Vec<Vec<NetId>> = (0..rows)
-        .map(|r| (0..cols).map(|c| nl.add_input(format!("x{r}_{c}"))).collect())
+        .map(|r| {
+            (0..cols)
+                .map(|c| nl.add_input(format!("x{r}_{c}")))
+                .collect()
+        })
         .collect();
 
     let mut h = west; // per-row horizontal signal
@@ -63,11 +67,11 @@ pub fn cellular_2d(rows: usize, cols: usize) -> Netlist {
             v[c] = o;
         }
     }
-    for r in 0..rows {
-        nl.add_output(h[r]);
+    for &row_out in h.iter().take(rows) {
+        nl.add_output(row_out);
     }
-    for c in 0..cols {
-        nl.add_output(v[c]);
+    for &col_out in v.iter().take(cols) {
+        nl.add_output(col_out);
     }
     nl
 }

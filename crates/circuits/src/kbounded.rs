@@ -245,8 +245,8 @@ mod tests {
             seed: 3,
         });
         for b in 0..kb.block_gates.len() {
-            let external = kb.block_inputs[b].len()
-                + kb.parent.iter().filter(|p| **p == Some(b)).count();
+            let external =
+                kb.block_inputs[b].len() + kb.parent.iter().filter(|p| **p == Some(b)).count();
             assert!(external <= 4, "block {b} has {external} inputs");
         }
     }

@@ -69,6 +69,10 @@ pub fn array_multiplier(n: usize) -> Netlist {
     let mut sum: Vec<NetId> = (0..n).map(|i| pp[i][0]).collect(); // weights 0..n-1 (+row offset)
     nl.add_output(sum[0]); // p0
     let mut carries: Vec<NetId> = Vec::new();
+    // `j` simultaneously indexes the partial-product column and offsets
+    // the shifted running sum, so an iterator form would obscure the
+    // weight arithmetic.
+    #[allow(clippy::needless_range_loop)]
     for j in 1..n {
         let mut new_sum = Vec::with_capacity(n);
         let mut new_carries = Vec::with_capacity(n);
@@ -140,9 +144,13 @@ mod tests {
         assert_eq!(nl.num_outputs(), if n == 1 { 1 } else { 2 * n });
         let max = 1u64 << n;
         let pairs: Vec<(u64, u64)> = if n <= 4 {
-            (0..max).flat_map(|a| (0..max).map(move |b| (a, b))).collect()
+            (0..max)
+                .flat_map(|a| (0..max).map(move |b| (a, b)))
+                .collect()
         } else {
-            (0..100).map(|s| ((s * 91) % max, (s * 57 + 3) % max)).collect()
+            (0..100)
+                .map(|s| ((s * 91) % max, (s * 57 + 3) % max))
+                .collect()
         };
         for (a, b) in pairs {
             let mut inputs = Vec::new();
@@ -173,6 +181,9 @@ mod tests {
     fn quadratic_size() {
         let g4 = array_multiplier(4).num_gates();
         let g8 = array_multiplier(8).num_gates();
-        assert!(g8 > 3 * g4, "array multiplier grows quadratically: {g4} -> {g8}");
+        assert!(
+            g8 > 3 * g4,
+            "array multiplier grows quadratically: {g4} -> {g8}"
+        );
     }
 }

@@ -15,7 +15,9 @@ pub fn mux_tree(sel_bits: usize) -> Netlist {
     let data: Vec<NetId> = (0..1usize << sel_bits)
         .map(|i| nl.add_input(format!("d{i}")))
         .collect();
-    let sel: Vec<NetId> = (0..sel_bits).map(|i| nl.add_input(format!("s{i}"))).collect();
+    let sel: Vec<NetId> = (0..sel_bits)
+        .map(|i| nl.add_input(format!("s{i}")))
+        .collect();
 
     let mut layer = data;
     let mut fresh = 0usize;

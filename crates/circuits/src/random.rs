@@ -153,11 +153,7 @@ mod tests {
         let a = generate(&cfg).unwrap();
         let b = generate(&cfg).unwrap();
         assert_eq!(a.to_string(), b.to_string());
-        let c = generate(&RandomCircuitConfig {
-            seed: 7,
-            ..cfg
-        })
-        .unwrap();
+        let c = generate(&RandomCircuitConfig { seed: 7, ..cfg }).unwrap();
         assert_ne!(a.to_string(), c.to_string());
     }
 

@@ -60,8 +60,8 @@ pub fn priority_encoder(n: usize) -> Netlist {
                 .expect("unique")
         })
         .collect();
-    for i in 0..n {
-        let mut ins = vec![req[i]];
+    for (i, &r) in req.iter().enumerate() {
+        let mut ins = vec![r];
         ins.extend((i + 1..n).map(|j| nreq[j]));
         let g = if ins.len() == 1 {
             nl.add_gate_named(GateKind::Buf, ins, format!("grant{i}"))
@@ -182,11 +182,7 @@ mod tests {
             .chain(mcnc_like())
             .chain([c6288_like()])
         {
-            assert!(
-                c.netlist.validate().is_ok(),
-                "{} does not validate",
-                c.name
-            );
+            assert!(c.netlist.validate().is_ok(), "{} does not validate", c.name);
             assert!(c.netlist.num_outputs() > 0, "{} has no outputs", c.name);
             assert!(names.insert(c.name.clone()), "duplicate name {}", c.name);
         }
@@ -197,6 +193,9 @@ mod tests {
         let sizes: Vec<usize> = iscas_like().iter().map(|c| c.netlist.num_gates()).collect();
         let min = sizes.iter().min().unwrap();
         let max = sizes.iter().max().unwrap();
-        assert!(*max > *min * 10, "sizes must span an order of magnitude: {sizes:?}");
+        assert!(
+            *max > *min * 10,
+            "sizes must span an order of magnitude: {sizes:?}"
+        );
     }
 }

@@ -102,7 +102,11 @@ mod tests {
     fn gate_count_close_to_requested() {
         let nl = random_tree(3, 100, 1);
         assert!(nl.num_gates() >= 100);
-        assert!(nl.num_gates() <= 110, "few reduction gates: {}", nl.num_gates());
+        assert!(
+            nl.num_gates() <= 110,
+            "few reduction gates: {}",
+            nl.num_gates()
+        );
     }
 
     #[test]

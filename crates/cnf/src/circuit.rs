@@ -121,7 +121,11 @@ pub fn gate_clauses(
                 formula.add_clause(vec![yl, pos(*a), neg(*b)]);
                 formula.add_clause(vec![yl, neg(*a), pos(*b)]);
             }
-            _ => return Err(EncodeError::WideXor { fanin: inputs.len() }),
+            _ => {
+                return Err(EncodeError::WideXor {
+                    fanin: inputs.len(),
+                })
+            }
         },
         GateKind::Not => {
             formula.add_clause(vec![!y, neg(inputs[0])]);

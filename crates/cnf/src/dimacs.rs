@@ -59,9 +59,7 @@ pub fn parse(text: &str) -> Result<CnfFormula, ParseDimacsError> {
             if parts.len() != 4 || parts[1] != "cnf" {
                 return Err(ParseDimacsError::BadHeader);
             }
-            let nv: usize = parts[2]
-                .parse()
-                .map_err(|_| ParseDimacsError::BadHeader)?;
+            let nv: usize = parts[2].parse().map_err(|_| ParseDimacsError::BadHeader)?;
             formula = Some(CnfFormula::new(nv));
             continue;
         }

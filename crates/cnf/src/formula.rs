@@ -79,6 +79,19 @@ impl CnfFormula {
         true
     }
 
+    /// Pushes a clause verbatim: no sorting, deduplication, tautology
+    /// filtering, and no variable growth.
+    ///
+    /// For trusted loaders that normalize separately, and for building the
+    /// malformed formulas `atpg-easy-lint` exercises its CNF passes
+    /// against. The stored formula may afterwards violate every invariant
+    /// documented on [`Self::add_clause`] — including referencing
+    /// variables at or beyond [`Self::num_vars`]; run the lint passes to
+    /// detect that.
+    pub fn add_clause_unchecked(&mut self, clause: Clause) {
+        self.clauses.push(clause);
+    }
+
     /// Whether the formula contains an empty clause (trivially UNSAT).
     pub fn has_empty_clause(&self) -> bool {
         self.clauses.iter().any(Vec::is_empty)

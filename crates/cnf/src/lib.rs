@@ -30,9 +30,9 @@ pub mod circuit;
 pub mod dimacs;
 mod formula;
 pub mod horn;
+mod lit;
 pub mod params;
 pub mod simplify;
-mod lit;
 
 pub use circuit::{encode, CircuitSatEncoding};
 pub use formula::CnfFormula;

@@ -6,7 +6,7 @@
 //! equisatisfiable core of that step and reports the forced assignments
 //! so models of the simplified formula extend to models of the original.
 
-use crate::{Clause, CnfFormula, Lit, Var};
+use crate::{Clause, CnfFormula, Lit};
 
 /// Result of [`simplify`].
 #[derive(Debug, Clone)]
@@ -172,6 +172,7 @@ pub fn simplify(f: &CnfFormula) -> Simplified {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Var;
 
     fn lit(i: usize, pos: bool) -> Lit {
         Lit::with_value(Var::from_index(i), pos)
@@ -264,7 +265,10 @@ mod tests {
         f.add_clause(vec![lit(1, true), lit(2, true)]);
         let once = simplify(&f);
         let twice = simplify(&once.formula);
-        assert_eq!(twice.units + twice.pures, 0,
-            "simplification reaches a fixpoint in one call");
+        assert_eq!(
+            twice.units + twice.pures,
+            0,
+            "simplification reaches a fixpoint in one call"
+        );
     }
 }

@@ -92,6 +92,7 @@ pub fn figure1(circuits: &[NamedCircuit], config: &Figure1Config) -> Vec<Fig1Poi
             dominance: false,
             random_patterns: 0,
             seed: 1,
+            preflight: true,
         };
         let result = campaign::run(&nl, &cfg);
         let mut records: Vec<&campaign::FaultRecord> = result.sat_records().collect();
@@ -151,7 +152,11 @@ pub fn fig1_summary(points: &[Fig1Point], fast_threshold: Duration) -> Fig1Summa
         },
         fast_threshold,
         max_vars: points.iter().map(|p| p.vars).max().unwrap_or(0),
-        max_time: points.iter().map(|p| p.time).max().unwrap_or(Duration::ZERO),
+        max_time: points
+            .iter()
+            .map(|p| p.time)
+            .max()
+            .unwrap_or(Duration::ZERO),
     }
 }
 
@@ -318,7 +323,10 @@ mod tests {
         let pts = figure1(&circuits, &Figure1Config::default());
         assert!(!pts.is_empty());
         assert!(pts.iter().all(|p| p.vars > 0 && p.clauses > 0));
-        assert!(pts.iter().all(|p| p.outcome == "SAT"), "c17 is fully testable");
+        assert!(
+            pts.iter().all(|p| p.outcome == "SAT"),
+            "c17 is fully testable"
+        );
         let summary = fig1_summary(&pts, Duration::from_millis(10));
         assert_eq!(summary.instances, pts.len());
         assert!(summary.fast_fraction > 0.9, "c17 instances are trivial");

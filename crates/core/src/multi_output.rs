@@ -67,10 +67,7 @@ pub fn analyze(nl: &Netlist, config: &MlaConfig) -> MultiOutputAnalysis {
 ///
 /// Panics if the circuit has no outputs, is invalid, or contains wide
 /// XOR gates (decompose first).
-pub fn circuit_sat_per_cone(
-    nl: &Netlist,
-    config: &MlaConfig,
-) -> (bool, u64, MultiOutputAnalysis) {
+pub fn circuit_sat_per_cone(nl: &Netlist, config: &MlaConfig) -> (bool, u64, MultiOutputAnalysis) {
     let analysis = analyze(nl, config);
     let mut total_nodes = 0u64;
     let mut sat = false;
@@ -81,7 +78,9 @@ pub fn circuit_sat_per_cone(
         let (_, node_order) = mla::estimate_cutwidth(&h, config);
         let vars = varorder::variable_order(cone, &node_order);
         let enc = circuit::encode(cone).expect("cones encode");
-        let sol = CachingBacktracking::new().with_order(vars).solve(&enc.formula);
+        let sol = CachingBacktracking::new()
+            .with_order(vars)
+            .solve(&enc.formula);
         total_nodes += sol.stats.nodes;
         if matches!(sol.outcome, Outcome::Sat(_)) {
             sat = true;

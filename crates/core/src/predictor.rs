@@ -23,7 +23,7 @@ impl WidthClassification {
     /// The fitted constant `c` such that `W ≈ c·log₂(size)` (converted
     /// from the natural-log fit), when the log model won.
     pub fn log2_coefficient(&self) -> Option<f64> {
-        (self.best.model == Model::Logarithmic).then(|| self.best.a * std::f64::consts::LN_2)
+        (self.best.model == Model::Logarithmic).then_some(self.best.a * std::f64::consts::LN_2)
     }
 }
 

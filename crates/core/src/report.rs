@@ -61,7 +61,11 @@ pub fn figure8_fits(points: &[Fig8Point]) -> String {
         }
         Some(c) => {
             for f in &c.fits {
-                let marker = if f.model == c.best.model { " <== best" } else { "" };
+                let marker = if f.model == c.best.model {
+                    " <== best"
+                } else {
+                    ""
+                };
                 let _ = writeln!(s, "  {f}{marker}");
             }
             let _ = writeln!(
@@ -209,7 +213,10 @@ mod csv_tests {
         let mut lines = csv.lines();
         assert!(lines.next().unwrap().starts_with("circuit,fault"));
         let row = lines.next().unwrap();
-        assert!(row.starts_with("c17,x/s-a-1,10,20,42.000,3,7,1,SAT"), "{row}");
+        assert!(
+            row.starts_with("c17,x/s-a-1,10,20,42.000,3,7,1,SAT"),
+            "{row}"
+        );
     }
 
     #[test]

@@ -206,11 +206,24 @@ mod tests {
             path(8),
             Hypergraph::new(
                 6,
-                vec![vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![0, 5], vec![1, 4]],
+                vec![
+                    vec![0, 1, 2],
+                    vec![2, 3],
+                    vec![3, 4, 5],
+                    vec![0, 5],
+                    vec![1, 4],
+                ],
             ),
             Hypergraph::new(
                 7,
-                vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 0], vec![4, 5, 6], vec![0, 4]],
+                vec![
+                    vec![0, 1],
+                    vec![1, 2],
+                    vec![2, 3],
+                    vec![3, 0],
+                    vec![4, 5, 6],
+                    vec![0, 4],
+                ],
             ),
         ];
         for h in graphs {
@@ -268,7 +281,11 @@ mod tests {
             let bb = min_cutwidth_bb(&h, 20_000_000);
             assert!(bb.proven_optimal, "seed {seed}");
             let (est, _) = mla::estimate_cutwidth(&h, &MlaConfig::default());
-            assert!(est >= bb.width, "estimate {est} < optimum {} (seed {seed})", bb.width);
+            assert!(
+                est >= bb.width,
+                "estimate {est} < optimum {} (seed {seed})",
+                bb.width
+            );
         }
     }
 

@@ -194,7 +194,10 @@ mod tests {
         let a = nl.add_input("a");
         let mut outs = Vec::new();
         for i in 0..3 {
-            outs.push(nl.add_gate_named(GateKind::Not, vec![a], format!("n{i}")).unwrap());
+            outs.push(
+                nl.add_gate_named(GateKind::Not, vec![a], format!("n{i}"))
+                    .unwrap(),
+            );
         }
         let y = nl.add_gate_named(GateKind::And, outs, "y").unwrap();
         nl.add_output(y);
@@ -209,9 +212,18 @@ mod tests {
 
     #[test]
     fn mcmillan_bound_monotone() {
-        let a = DirectedWidths { forward: 3, reverse: 0 };
-        let b = DirectedWidths { forward: 3, reverse: 1 };
-        let c = DirectedWidths { forward: 4, reverse: 0 };
+        let a = DirectedWidths {
+            forward: 3,
+            reverse: 0,
+        };
+        let b = DirectedWidths {
+            forward: 3,
+            reverse: 1,
+        };
+        let c = DirectedWidths {
+            forward: 4,
+            reverse: 0,
+        };
         assert!(a.mcmillan_log2_bound(10) < b.mcmillan_log2_bound(10));
         assert!(a.mcmillan_log2_bound(10) < c.mcmillan_log2_bound(10));
     }

@@ -166,10 +166,7 @@ mod tests {
     fn star_width_matches_degree_split() {
         // Star K1,4 as five 2-pin edges... center 0, leaves 1..=4.
         // Optimal: place two leaves, center, two leaves → width 2.
-        let h = Hypergraph::new(
-            5,
-            (1..5).map(|l| vec![0, l]).collect::<Vec<_>>(),
-        );
+        let h = Hypergraph::new(5, (1..5).map(|l| vec![0, l]).collect::<Vec<_>>());
         let (w, order) = min_cutwidth(&h);
         assert_eq!(w, 2);
         assert_eq!(cutwidth(&h, &order), 2);

@@ -441,9 +441,8 @@ mod tests {
     #[test]
     fn anchors_on_both_sides_rejected() {
         let h = Hypergraph::new(3, vec![vec![0, 1]]);
-        let result = std::panic::catch_unwind(|| {
-            bipartition_anchored(&h, &[0], &[0], &FmConfig::default())
-        });
+        let result =
+            std::panic::catch_unwind(|| bipartition_anchored(&h, &[0], &[0], &FmConfig::default()));
         assert!(result.is_err());
     }
 }

@@ -131,7 +131,10 @@ mod tests {
 
     #[test]
     fn rejects_weighted_format() {
-        assert_eq!(parse_hgr("2 3 11\n1 2\n2 3\n"), Err(ParseHgrError::Unsupported));
+        assert_eq!(
+            parse_hgr("2 3 11\n1 2\n2 3\n"),
+            Err(ParseHgrError::Unsupported)
+        );
     }
 
     #[test]

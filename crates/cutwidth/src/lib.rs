@@ -41,8 +41,8 @@ pub mod bb;
 pub mod directed;
 pub mod exact;
 pub mod fm;
-pub mod io;
 mod hypergraph;
+pub mod io;
 pub mod mla;
 pub mod multilevel;
 pub mod ordering;

@@ -251,7 +251,14 @@ mod tests {
         // With n ≤ leaf_size the result equals the exact optimum.
         let h = Hypergraph::new(
             6,
-            vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 5], vec![5, 0]],
+            vec![
+                vec![0, 1],
+                vec![1, 2],
+                vec![2, 3],
+                vec![3, 4],
+                vec![4, 5],
+                vec![5, 0],
+            ],
         );
         let (w, _) = estimate_cutwidth(&h, &MlaConfig::default());
         assert_eq!(w, 2, "cycle of 6 has min cut-width 2");

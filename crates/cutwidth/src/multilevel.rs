@@ -28,13 +28,17 @@ struct Level {
     map_from_finer: Vec<usize>,
 }
 
+/// A coarsened level: the smaller hypergraph, per-node weights and anchor
+/// flags, and the fine-to-coarse node map.
+type CoarseLevel = (Hypergraph, Vec<u64>, Vec<bool>, Vec<usize>);
+
 /// One round of heavy-connectivity matching. Anchored nodes never merge.
 fn coarsen_once(
     h: &Hypergraph,
     weight: &[u64],
     anchored: &[bool],
     rng: &mut StdRng,
-) -> Option<(Hypergraph, Vec<u64>, Vec<bool>, Vec<usize>)> {
+) -> Option<CoarseLevel> {
     let n = h.num_nodes();
     let incidence = h.incidence();
     let mut visit: Vec<usize> = (0..n).collect();

@@ -9,7 +9,7 @@
 //! larger than `n_a/(c+1)`, subtree sizes shrink geometrically along the
 //! ancestor path and the total crossing count is `O(k·log n)`.
 
-use atpg_easy_netlist::{Netlist, NetId};
+use atpg_easy_netlist::{NetId, Netlist};
 
 #[cfg(test)]
 use crate::Hypergraph;
@@ -126,7 +126,8 @@ mod tests {
                 return nl.add_input(format!("leaf{my}"));
             }
             let kids: Vec<NetId> = (0..k).map(|_| build(nl, k, depth - 1, count)).collect();
-            nl.add_gate_named(GateKind::And, kids, format!("g{my}")).unwrap()
+            nl.add_gate_named(GateKind::And, kids, format!("g{my}"))
+                .unwrap()
         }
         let root = build(&mut nl, k, depth, &mut count);
         nl.add_output(root);

@@ -1,0 +1,287 @@
+//! Width-certificate passes (`O*` codes).
+//!
+//! A *width certificate* is an ordering `h` of a circuit hypergraph's
+//! nodes together with a claimed cut-width `W(C, h)`. The paper's
+//! complexity bounds (Lemma 4.1, Theorem 4.1) are only as trustworthy as
+//! these certificates, so the passes here re-derive everything: the
+//! ordering must be a permutation (`O001`), the claimed width must equal
+//! the recomputed width (`O002`), and a miter certificate must respect
+//! the Lemma 4.2 bound `W(C_ψ, h_ψ) ≤ 2·W(C, h) + 2` (`O003`) over a
+//! structurally valid miter whose outputs are XOR difference gates
+//! (`O004`).
+
+use atpg_easy_cutwidth::{ordering, Hypergraph};
+use atpg_easy_netlist::{GateKind, Netlist};
+
+use crate::diag::{Code, Location, Report};
+
+/// `O001`: checks that `order` is a permutation of `0..num_nodes`.
+pub fn lint_ordering(num_nodes: usize, order: &[usize]) -> Report {
+    let mut report = Report::new();
+    if order.len() != num_nodes {
+        report.add(
+            Code::O001,
+            Location::General,
+            format!(
+                "ordering has {} entries but the hypergraph has {num_nodes} nodes",
+                order.len()
+            ),
+        );
+        return report;
+    }
+    let mut seen = vec![false; num_nodes];
+    for (pos, &v) in order.iter().enumerate() {
+        if v >= num_nodes {
+            report.add(
+                Code::O001,
+                Location::Position { index: pos },
+                format!("ordering references unknown node {v} (nodes are 0..{num_nodes})"),
+            );
+        } else if seen[v] {
+            report.add(
+                Code::O001,
+                Location::Position { index: pos },
+                format!("ordering repeats node {v}"),
+            );
+        } else {
+            seen[v] = true;
+        }
+    }
+    report
+}
+
+/// `O001` + `O002`: validates the ordering and recomputes `W(C, h)`,
+/// comparing against `claimed_width`.
+pub fn lint_width_claim(h: &Hypergraph, order: &[usize], claimed_width: usize) -> Report {
+    let mut report = lint_ordering(h.num_nodes(), order);
+    if report.has_errors() {
+        return report; // cutwidth() would panic on a non-permutation
+    }
+    let recomputed = ordering::cutwidth(h, order);
+    if recomputed != claimed_width {
+        report.add(
+            Code::O002,
+            Location::General,
+            format!(
+                "claimed cut-width {claimed_width} but recomputing W(C,h) over \
+                 {} nodes / {} edges gives {recomputed}",
+                h.num_nodes(),
+                h.num_edges()
+            ),
+        );
+    }
+    report
+}
+
+/// The Lemma 4.2 right-hand side: `2W + 2`.
+pub fn lemma42_bound(w_original: usize) -> usize {
+    2 * w_original + 2
+}
+
+/// `O004`: structural miter validation.
+///
+/// Every primary output of an ATPG miter must be an XOR (or XNOR)
+/// difference gate combining a good-copy net with a faulty-copy net — or,
+/// for the unobservable-fault degenerate case, a single constant-0
+/// output.
+pub fn lint_miter_structure(miter: &Netlist) -> Report {
+    let mut report = Report::new();
+    if miter.num_outputs() == 0 {
+        report.add(
+            Code::O004,
+            Location::General,
+            "miter has no primary outputs; no difference signal exists",
+        );
+        return report;
+    }
+    // Degenerate unobservable-fault miter: exactly one Const0 output.
+    if miter.num_outputs() == 1 {
+        let out = miter.outputs()[0];
+        if let Some(gid) = miter.net(out).driver {
+            if miter.gate(gid).kind == GateKind::Const0 {
+                return report;
+            }
+        }
+    }
+    for (pos, &out) in miter.outputs().iter().enumerate() {
+        match miter.net(out).driver {
+            Some(gid) => {
+                let kind = miter.gate(gid).kind;
+                if !matches!(kind, GateKind::Xor | GateKind::Xnor) {
+                    report.add(
+                        Code::O004,
+                        Location::Net {
+                            index: out.index(),
+                            name: miter.net(out).name.clone(),
+                        },
+                        format!(
+                            "miter output #{pos} (`{}`) is driven by {kind}, \
+                             not an XOR difference gate",
+                            miter.net(out).name
+                        ),
+                    );
+                }
+            }
+            None => {
+                report.add(
+                    Code::O004,
+                    Location::Net {
+                        index: out.index(),
+                        name: miter.net(out).name.clone(),
+                    },
+                    format!(
+                        "miter output #{pos} (`{}`) is undriven",
+                        miter.net(out).name
+                    ),
+                );
+            }
+        }
+    }
+    report
+}
+
+/// `O001` + `O003` (+ `O004`): full miter certificate check.
+///
+/// `miter_order` must order the nodes of
+/// [`Hypergraph::from_netlist`]`(miter)`; `w_original` is the certified
+/// cut-width `W(C, h)` of the circuit under test. Lemma 4.2 promises an
+/// ordering of the miter with width at most [`lemma42_bound`], so a
+/// derived ordering that exceeds the bound falsifies the certificate.
+pub fn lint_miter_certificate(miter: &Netlist, miter_order: &[usize], w_original: usize) -> Report {
+    let mut report = lint_miter_structure(miter);
+    let h = Hypergraph::from_netlist(miter);
+    let order_report = lint_ordering(h.num_nodes(), miter_order);
+    let order_ok = !order_report.has_errors();
+    report.merge(order_report);
+    if !order_ok {
+        return report;
+    }
+    let w_miter = ordering::cutwidth(&h, miter_order);
+    let bound = lemma42_bound(w_original);
+    if w_miter > bound {
+        report.add(
+            Code::O003,
+            Location::General,
+            format!(
+                "miter cut-width {w_miter} exceeds the Lemma 4.2 bound \
+                 2·{w_original}+2 = {bound}"
+            ),
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use atpg_easy_netlist::Netlist;
+
+    fn path3() -> Hypergraph {
+        Hypergraph::new(3, vec![vec![0, 1], vec![1, 2]])
+    }
+
+    #[test]
+    fn valid_certificate_is_clean() {
+        let h = path3();
+        let report = lint_width_claim(&h, &[0, 1, 2], 1);
+        assert!(report.is_empty(), "{report}");
+    }
+
+    #[test]
+    fn o001_wrong_length_detected() {
+        let report = lint_ordering(3, &[0, 1]);
+        assert!(report.has_code(Code::O001), "{report}");
+    }
+
+    #[test]
+    fn o001_repeat_detected() {
+        let report = lint_ordering(3, &[0, 1, 1]);
+        assert!(report.has_code(Code::O001), "{report}");
+    }
+
+    #[test]
+    fn o001_out_of_range_detected() {
+        let report = lint_ordering(3, &[0, 1, 7]);
+        assert!(report.has_code(Code::O001), "{report}");
+    }
+
+    #[test]
+    fn o002_wrong_claim_detected() {
+        let h = path3();
+        let report = lint_width_claim(&h, &[0, 1, 2], 2);
+        assert_eq!(report.with_code(Code::O002).count(), 1, "{report}");
+        // The bad ordering short-circuits before recomputation.
+        let bad = lint_width_claim(&h, &[0, 0, 0], 2);
+        assert!(bad.has_code(Code::O001));
+        assert!(!bad.has_code(Code::O002));
+    }
+
+    fn tiny_miter() -> Netlist {
+        // good: y = AND(a, b); faulty: y@f = OR(a, b); diff = XOR(y, y@f)
+        let mut m = Netlist::new("miter");
+        let a = m.add_input("a");
+        let b = m.add_input("b");
+        let y = m.add_gate_named(GateKind::And, vec![a, b], "y").unwrap();
+        let yf = m.add_gate_named(GateKind::Or, vec![a, b], "y@f").unwrap();
+        let d = m.add_gate_named(GateKind::Xor, vec![y, yf], "d0").unwrap();
+        m.add_output(d);
+        m
+    }
+
+    #[test]
+    fn valid_miter_structure_is_clean() {
+        assert!(lint_miter_structure(&tiny_miter()).is_empty());
+    }
+
+    #[test]
+    fn unobservable_const0_miter_accepted() {
+        let mut m = Netlist::new("unobs");
+        let z = m
+            .add_gate_named(GateKind::Const0, vec![], "unobservable")
+            .unwrap();
+        m.add_output(z);
+        assert!(lint_miter_structure(&m).is_empty());
+    }
+
+    #[test]
+    fn o004_non_xor_output_detected() {
+        let mut m = Netlist::new("bad");
+        let a = m.add_input("a");
+        let b = m.add_input("b");
+        let y = m.add_gate_named(GateKind::And, vec![a, b], "y").unwrap();
+        m.add_output(y);
+        let report = lint_miter_structure(&m);
+        assert!(report.has_code(Code::O004), "{report}");
+    }
+
+    #[test]
+    fn o004_no_output_miter_detected() {
+        let m = Netlist::new("empty");
+        assert!(lint_miter_structure(&m).has_code(Code::O004));
+    }
+
+    #[test]
+    fn o003_bound_violation_detected() {
+        let m = tiny_miter();
+        let h = Hypergraph::from_netlist(&m);
+        let order: Vec<usize> = (0..h.num_nodes()).collect();
+        // With a claimed original width of 0 the bound 2·0+2 = 2 is
+        // beaten by this miter under any ordering.
+        let report = lint_miter_certificate(&m, &order, 0);
+        assert!(report.has_code(Code::O003), "{report}");
+        // A generous claim passes.
+        let ok = lint_miter_certificate(&m, &order, 10);
+        assert!(!ok.has_code(Code::O003), "{ok}");
+        assert!(ok.is_empty(), "{ok}");
+    }
+
+    #[test]
+    fn o003_skipped_when_ordering_invalid() {
+        let m = tiny_miter();
+        let report = lint_miter_certificate(&m, &[0, 0], 0);
+        assert!(report.has_code(Code::O001));
+        assert!(!report.has_code(Code::O003));
+    }
+}

@@ -1,0 +1,479 @@
+//! The diagnostics framework: stable codes, severities, source locations,
+//! and a [`Report`] container with human-readable and JSON rendering.
+//!
+//! Codes are stable identifiers (`N001`, `C003`, `O002`, …) that tools and
+//! tests key on; renumbering an existing code is a breaking change. The
+//! families mirror the pass families: `N*` netlist structure, `C*` CNF
+//! formulas and encodings, `O*` ordering/width certificates.
+
+use std::fmt;
+
+/// How bad a finding is.
+///
+/// `Error` findings invalidate downstream consumers (solvers, campaigns,
+/// width claims); `Warning` findings are suspicious but survivable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious structure; downstream results remain meaningful.
+    Warning,
+    /// Malformed structure; downstream results are not to be trusted.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// A stable diagnostic code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// Combinational cycle in the netlist.
+    N001,
+    /// Net with no driver that is not a primary input.
+    N002,
+    /// Net with more than one driver (or a driven primary input).
+    N003,
+    /// Dead logic: net that cannot reach any primary output.
+    N004,
+    /// Gate fan-in outside the kind's admissible range.
+    N005,
+    /// Net fan-out exceeds the configured `k_fo` bound.
+    N006,
+    /// Netlist has no primary outputs.
+    N007,
+    /// Tautological clause (contains `l` and `¬l`).
+    C001,
+    /// Clause duplicates an earlier clause (as a literal set).
+    C002,
+    /// Clause repeats a literal.
+    C003,
+    /// Variables that occur in no clause (index gaps).
+    C004,
+    /// Literal references a variable at or beyond `num_vars`.
+    C005,
+    /// Gate clause group disagrees with the gate's truth table.
+    C006,
+    /// Empty clause (formula trivially unsatisfiable).
+    C007,
+    /// Ordering is not a permutation of the hypergraph nodes.
+    O001,
+    /// Claimed cut-width differs from the recomputed `W(C, h)`.
+    O002,
+    /// Miter cut-width exceeds the Lemma 4.2 bound `2W + 2`.
+    O003,
+    /// Miter output structure invalid (outputs are not difference gates).
+    O004,
+}
+
+impl Code {
+    /// Every code, in family order. Tools iterate this to document or test
+    /// the full set.
+    pub const ALL: [Code; 18] = [
+        Code::N001,
+        Code::N002,
+        Code::N003,
+        Code::N004,
+        Code::N005,
+        Code::N006,
+        Code::N007,
+        Code::C001,
+        Code::C002,
+        Code::C003,
+        Code::C004,
+        Code::C005,
+        Code::C006,
+        Code::C007,
+        Code::O001,
+        Code::O002,
+        Code::O003,
+        Code::O004,
+    ];
+
+    /// The stable textual form (`"N001"`, …).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::N001 => "N001",
+            Code::N002 => "N002",
+            Code::N003 => "N003",
+            Code::N004 => "N004",
+            Code::N005 => "N005",
+            Code::N006 => "N006",
+            Code::N007 => "N007",
+            Code::C001 => "C001",
+            Code::C002 => "C002",
+            Code::C003 => "C003",
+            Code::C004 => "C004",
+            Code::C005 => "C005",
+            Code::C006 => "C006",
+            Code::C007 => "C007",
+            Code::O001 => "O001",
+            Code::O002 => "O002",
+            Code::O003 => "O003",
+            Code::O004 => "O004",
+        }
+    }
+
+    /// The severity this code always reports at.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::N001
+            | Code::N002
+            | Code::N003
+            | Code::N005
+            | Code::N006
+            | Code::C005
+            | Code::C006
+            | Code::O001
+            | Code::O002
+            | Code::O003
+            | Code::O004 => Severity::Error,
+            Code::N004
+            | Code::N007
+            | Code::C001
+            | Code::C002
+            | Code::C003
+            | Code::C004
+            | Code::C007 => Severity::Warning,
+        }
+    }
+
+    /// One-line description, suitable for documentation tables.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Code::N001 => "combinational cycle",
+            Code::N002 => "undriven net that is not a primary input",
+            Code::N003 => "net with multiple drivers",
+            Code::N004 => "dead logic: net cannot reach any primary output",
+            Code::N005 => "gate fan-in outside the kind's admissible range",
+            Code::N006 => "net fan-out exceeds the configured k_fo bound",
+            Code::N007 => "netlist has no primary outputs",
+            Code::C001 => "tautological clause",
+            Code::C002 => "duplicate clause",
+            Code::C003 => "repeated literal within a clause",
+            Code::C004 => "variables that occur in no clause",
+            Code::C005 => "literal references a variable beyond num_vars",
+            Code::C006 => "gate clause group disagrees with the gate truth table",
+            Code::C007 => "empty clause (formula trivially UNSAT)",
+            Code::O001 => "ordering is not a permutation of the nodes",
+            Code::O002 => "claimed cut-width differs from recomputed W(C,h)",
+            Code::O003 => "miter cut-width exceeds the Lemma 4.2 bound 2W+2",
+            Code::O004 => "miter outputs are not XOR difference gates",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where in the linted object a diagnostic points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Location {
+    /// The object as a whole.
+    General,
+    /// A net, by dense index and name.
+    Net {
+        /// `NetId::index` of the net.
+        index: usize,
+        /// The net's name.
+        name: String,
+    },
+    /// A gate, by dense index.
+    Gate {
+        /// `GateId::index` of the gate.
+        index: usize,
+    },
+    /// A clause, by position in the formula.
+    Clause {
+        /// Clause index.
+        index: usize,
+    },
+    /// A position in an ordering.
+    Position {
+        /// Ordering position.
+        index: usize,
+    },
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Location::General => Ok(()),
+            Location::Net { index, name } => write!(f, " [net `{name}` #{index}]"),
+            Location::Gate { index } => write!(f, " [gate #{index}]"),
+            Location::Clause { index } => write!(f, " [clause #{index}]"),
+            Location::Position { index } => write!(f, " [position #{index}]"),
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: Code,
+    /// Severity (always `code.severity()`).
+    pub severity: Severity,
+    /// Where the finding points.
+    pub location: Location,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic at the code's canonical severity.
+    pub fn new(code: Code, location: Location, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            location,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {}{}",
+            self.severity, self.code, self.message, self.location
+        )
+    }
+}
+
+/// A collection of diagnostics from one or more passes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Adds one finding.
+    pub fn push(&mut self, diag: Diagnostic) {
+        self.diagnostics.push(diag);
+    }
+
+    /// Adds a finding by parts, at the code's canonical severity.
+    pub fn add(&mut self, code: Code, location: Location, message: impl Into<String>) {
+        self.push(Diagnostic::new(code, location, message));
+    }
+
+    /// Appends every finding of `other`.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// All findings, in emission order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// Whether there are no findings at all.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Whether any error-severity finding is present.
+    pub fn has_errors(&self) -> bool {
+        self.errors() > 0
+    }
+
+    /// Whether a finding with `code` is present.
+    pub fn has_code(&self, code: Code) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Findings carrying `code`.
+    pub fn with_code(&self, code: Code) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.code == code)
+    }
+
+    /// One line per finding plus a summary line, `rustc`-style.
+    pub fn render_human(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "{d}");
+        }
+        let _ = writeln!(
+            out,
+            "{} error(s), {} warning(s)",
+            self.errors(),
+            self.warnings()
+        );
+        out
+    }
+
+    /// The report as a JSON object with a `diagnostics` array; stable keys,
+    /// no external dependencies.
+    pub fn render_json(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::from("{\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"code\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\"",
+                d.code,
+                d.severity,
+                json_escape(&d.message)
+            );
+            match &d.location {
+                Location::General => {}
+                Location::Net { index, name } => {
+                    let _ = write!(
+                        out,
+                        ",\"net\":{{\"index\":{index},\"name\":\"{}\"}}",
+                        json_escape(name)
+                    );
+                }
+                Location::Gate { index } => {
+                    let _ = write!(out, ",\"gate\":{index}");
+                }
+                Location::Clause { index } => {
+                    let _ = write!(out, ",\"clause\":{index}");
+                }
+                Location::Position { index } => {
+                    let _ = write!(out, ",\"position\":{index}");
+                }
+            }
+            out.push('}');
+        }
+        let _ = write!(
+            out,
+            "],\"errors\":{},\"warnings\":{}}}",
+            self.errors(),
+            self.warnings()
+        );
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_human())
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_stable() {
+        let mut seen = std::collections::HashSet::new();
+        for c in Code::ALL {
+            assert!(seen.insert(c.as_str()), "duplicate code {c}");
+            assert!(!c.summary().is_empty());
+        }
+        assert_eq!(Code::N001.as_str(), "N001");
+        assert_eq!(Code::O004.as_str(), "O004");
+    }
+
+    #[test]
+    fn report_counts_and_rendering() {
+        let mut r = Report::new();
+        r.add(
+            Code::N002,
+            Location::Net {
+                index: 3,
+                name: "x".into(),
+            },
+            "net `x` has no driver",
+        );
+        r.add(Code::N004, Location::General, "unused cone");
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.warnings(), 1);
+        assert!(r.has_errors());
+        assert!(r.has_code(Code::N002));
+        assert!(!r.has_code(Code::N001));
+        let human = r.render_human();
+        assert!(human.contains("error[N002]"), "{human}");
+        assert!(human.contains("warning[N004]"), "{human}");
+        assert!(human.contains("1 error(s), 1 warning(s)"), "{human}");
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let mut r = Report::new();
+        r.add(
+            Code::C006,
+            Location::Gate { index: 0 },
+            "mismatch on \"weird\"\nname",
+        );
+        let json = r.render_json();
+        assert!(json.contains("\\\"weird\\\"\\n"), "{json}");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = Report::new();
+        a.add(Code::N007, Location::General, "no outputs");
+        let mut b = Report::new();
+        b.add(Code::N001, Location::General, "cycle");
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,0 +1,449 @@
+//! Netlist structure passes (`N*` codes).
+//!
+//! These verify the structural preconditions the paper's analysis rests
+//! on before solvers and campaigns consume a circuit: acyclicity, a
+//! single driver per net, admissible gate fan-ins, and — for k-bounded
+//! claims (Lemma 4.1 and Theorem 4.1) — the fan-out bound `k_fo`.
+
+use atpg_easy_netlist::Netlist;
+
+use crate::diag::{Code, Location, Report};
+
+/// Configuration for the netlist passes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetlistLintConfig {
+    /// When set, nets whose fan-out (gate sinks plus primary-output
+    /// consumption) exceeds this bound are reported as `N006`. Use the
+    /// `k_fo` the circuit claims.
+    pub max_fanout: Option<usize>,
+    /// Skip the `N004` dead-logic pass (it is quadratic in pathological
+    /// fan-in-free netlists and purely advisory).
+    pub skip_dead_logic: bool,
+}
+
+/// Runs every netlist pass with the default configuration.
+pub fn lint(nl: &Netlist) -> Report {
+    lint_with(nl, &NetlistLintConfig::default())
+}
+
+/// Runs every netlist pass.
+pub fn lint_with(nl: &Netlist, config: &NetlistLintConfig) -> Report {
+    let mut report = Report::new();
+    check_drivers(nl, &mut report);
+    check_fanin(nl, &mut report);
+    check_cycles(nl, &mut report);
+    if let Some(bound) = config.max_fanout {
+        check_fanout_bound(nl, bound, &mut report);
+    }
+    if nl.num_outputs() == 0 {
+        report.add(
+            Code::N007,
+            Location::General,
+            "netlist has no primary outputs; CIRCUIT-SAT and ATPG are undefined",
+        );
+    } else if !config.skip_dead_logic {
+        check_dead_logic(nl, &mut report);
+    }
+    report
+}
+
+fn net_loc(nl: &Netlist, index: usize) -> Location {
+    Location::Net {
+        index,
+        name: nl
+            .net(atpg_easy_netlist::NetId::from_index(index))
+            .name
+            .clone(),
+    }
+}
+
+/// `N002` undriven nets and `N003` multiply-driven nets.
+///
+/// Driver multiplicity is counted over the *gate list* (not the recorded
+/// `driver` field), so gates smuggled in past the checked construction
+/// API are seen; a primary input counts as one driver.
+fn check_drivers(nl: &Netlist, report: &mut Report) {
+    let mut driver_count = vec![0usize; nl.num_nets()];
+    for (_, gate) in nl.gates() {
+        driver_count[gate.output.index()] += 1;
+    }
+    for (id, net) in nl.nets() {
+        let input = nl.is_input(id);
+        let drivers = driver_count[id.index()] + usize::from(input);
+        if drivers == 0 {
+            report.add(
+                Code::N002,
+                net_loc(nl, id.index()),
+                format!(
+                    "net `{}` has no driver and is not a primary input",
+                    net.name
+                ),
+            );
+        } else if drivers > 1 {
+            let detail = if input {
+                "is a primary input but also driven by a gate"
+            } else {
+                "is driven by more than one gate"
+            };
+            report.add(
+                Code::N003,
+                net_loc(nl, id.index()),
+                format!("net `{}` {detail} ({drivers} drivers)", net.name),
+            );
+        }
+    }
+}
+
+/// `N005` fan-in arity violations, via [`GateKind::accepts_fanin`].
+fn check_fanin(nl: &Netlist, report: &mut Report) {
+    for (gid, gate) in nl.gates() {
+        if !gate.kind.accepts_fanin(gate.fanin()) {
+            let (lo, hi) = gate.kind.fanin_bounds();
+            let range = if hi == usize::MAX {
+                format!("{lo}+")
+            } else if lo == hi {
+                format!("exactly {lo}")
+            } else {
+                format!("{lo}..={hi}")
+            };
+            report.add(
+                Code::N005,
+                Location::Gate { index: gid.index() },
+                format!(
+                    "{} gate driving `{}` has {} inputs; {} expects {range}",
+                    gate.kind,
+                    nl.net(gate.output).name,
+                    gate.fanin(),
+                    gate.kind
+                ),
+            );
+        }
+    }
+}
+
+/// `N001` combinational cycles, one diagnostic per strongly connected
+/// component of nets (iterative Tarjan; recursion-free so deep chains
+/// cannot overflow the stack).
+fn check_cycles(nl: &Netlist, report: &mut Report) {
+    let n = nl.num_nets();
+    // Net-level dependency edges: gate input -> gate output.
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut self_loop = vec![false; n];
+    for (_, gate) in nl.gates() {
+        for &inp in &gate.inputs {
+            if inp == gate.output {
+                self_loop[inp.index()] = true;
+            } else {
+                succ[inp.index()].push(gate.output.index());
+            }
+        }
+    }
+
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    // Explicit DFS frames: (node, next successor position).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start] = next_index;
+        lowlink[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+
+        while let Some(&(v, i)) = frames.last() {
+            if i < succ[v].len() {
+                let w = succ[v][i];
+                let top = frames.len() - 1;
+                frames[top].1 += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    // Pop the SCC rooted at v.
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    if component.len() > 1 || self_loop[v] {
+                        component.sort_unstable();
+                        let names: Vec<&str> = component
+                            .iter()
+                            .take(5)
+                            .map(|&i| {
+                                nl.net(atpg_easy_netlist::NetId::from_index(i))
+                                    .name
+                                    .as_str()
+                            })
+                            .collect();
+                        let suffix = if component.len() > 5 { ", …" } else { "" };
+                        report.add(
+                            Code::N001,
+                            net_loc(nl, component[0]),
+                            format!(
+                                "combinational cycle through {} net(s): `{}`{suffix}",
+                                component.len(),
+                                names.join("`, `"),
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    // Self-loops on nets not in a larger SCC were reported above only when
+    // lowlink closed at v; a pure self-loop forms a singleton SCC and is
+    // caught by the `self_loop[v]` test.
+}
+
+/// `N004` dead logic: nets from which no primary output is reachable.
+fn check_dead_logic(nl: &Netlist, report: &mut Report) {
+    // Backward reachability from the output nets through gate drivers.
+    let mut live = vec![false; nl.num_nets()];
+    let mut work: Vec<usize> = Vec::new();
+    for &o in nl.outputs() {
+        if !live[o.index()] {
+            live[o.index()] = true;
+            work.push(o.index());
+        }
+    }
+    while let Some(v) = work.pop() {
+        let id = atpg_easy_netlist::NetId::from_index(v);
+        if let Some(gid) = nl.net(id).driver {
+            for &inp in &nl.gate(gid).inputs {
+                if !live[inp.index()] {
+                    live[inp.index()] = true;
+                    work.push(inp.index());
+                }
+            }
+        }
+    }
+    for (id, net) in nl.nets() {
+        if !live[id.index()] {
+            let what = if nl.is_input(id) {
+                "primary input"
+            } else {
+                "net"
+            };
+            report.add(
+                Code::N004,
+                net_loc(nl, id.index()),
+                format!("{what} `{}` cannot reach any primary output", net.name),
+            );
+        }
+    }
+}
+
+/// `N006` fan-out bound: nets consumed by more than `bound` sinks.
+fn check_fanout_bound(nl: &Netlist, bound: usize, report: &mut Report) {
+    let mut counts = vec![0usize; nl.num_nets()];
+    for (_, gate) in nl.gates() {
+        for &inp in &gate.inputs {
+            counts[inp.index()] += 1;
+        }
+    }
+    for &o in nl.outputs() {
+        counts[o.index()] += 1;
+    }
+    for (id, net) in nl.nets() {
+        let c = counts[id.index()];
+        if c > bound {
+            report.add(
+                Code::N006,
+                net_loc(nl, id.index()),
+                format!(
+                    "net `{}` has fan-out {c}, exceeding the claimed k_fo bound {bound}",
+                    net.name
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use atpg_easy_netlist::{GateKind, Netlist};
+
+    fn clean() -> Netlist {
+        let mut nl = Netlist::new("clean");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_gate_named(GateKind::And, vec![a, b], "y").unwrap();
+        nl.add_output(y);
+        nl
+    }
+
+    #[test]
+    fn clean_netlist_has_no_findings() {
+        let report = lint(&clean());
+        assert!(report.is_empty(), "{report}");
+    }
+
+    #[test]
+    fn n001_cycle_detected() {
+        let mut nl = Netlist::new("cyc");
+        let a = nl.add_input("a");
+        let x = nl.add_net("x").unwrap();
+        let y = nl.add_net("y").unwrap();
+        nl.drive_net(x, GateKind::And, vec![a, y]).unwrap();
+        nl.drive_net(y, GateKind::Or, vec![x, a]).unwrap();
+        nl.add_output(y);
+        let report = lint(&nl);
+        assert!(report.has_code(Code::N001), "{report}");
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn n001_self_loop_detected() {
+        let mut nl = Netlist::new("selfloop");
+        let a = nl.add_input("a");
+        let x = nl.add_net("x").unwrap();
+        let gid = nl.add_gate_unchecked(GateKind::And, vec![a, x], x);
+        assert_eq!(nl.net(x).driver, Some(gid));
+        nl.add_output(x);
+        let report = lint(&nl);
+        assert!(report.has_code(Code::N001), "{report}");
+    }
+
+    #[test]
+    fn n002_undriven_net_detected() {
+        let mut nl = Netlist::new("und");
+        let a = nl.add_input("a");
+        let ghost = nl.add_net("ghost").unwrap();
+        let y = nl
+            .add_gate_named(GateKind::And, vec![a, ghost], "y")
+            .unwrap();
+        nl.add_output(y);
+        let report = lint(&nl);
+        assert_eq!(report.with_code(Code::N002).count(), 1, "{report}");
+        assert!(report
+            .with_code(Code::N002)
+            .all(|d| d.message.contains("ghost")));
+    }
+
+    #[test]
+    fn n003_multiple_drivers_detected() {
+        let mut nl = Netlist::new("multi");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_gate_named(GateKind::And, vec![a, b], "y").unwrap();
+        nl.add_gate_unchecked(GateKind::Or, vec![a, b], y);
+        nl.add_output(y);
+        let report = lint(&nl);
+        assert!(report.has_code(Code::N003), "{report}");
+    }
+
+    #[test]
+    fn n003_driven_primary_input_detected() {
+        let mut nl = Netlist::new("drivenpi");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        nl.add_gate_unchecked(GateKind::Not, vec![b], a);
+        let y = nl.add_gate_named(GateKind::And, vec![a, b], "y").unwrap();
+        nl.add_output(y);
+        let report = lint(&nl);
+        assert!(report.has_code(Code::N003), "{report}");
+    }
+
+    #[test]
+    fn n004_dead_logic_detected() {
+        let mut nl = Netlist::new("dead");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_gate_named(GateKind::And, vec![a, b], "y").unwrap();
+        // A cone nobody reads.
+        nl.add_gate_named(GateKind::Not, vec![a], "orphan").unwrap();
+        nl.add_output(y);
+        let report = lint(&nl);
+        assert!(report.has_code(Code::N004), "{report}");
+        assert!(!report.has_errors(), "dead logic is a warning: {report}");
+        // The pass can be disabled.
+        let quiet = lint_with(
+            &nl,
+            &NetlistLintConfig {
+                skip_dead_logic: true,
+                ..NetlistLintConfig::default()
+            },
+        );
+        assert!(quiet.is_empty(), "{quiet}");
+    }
+
+    #[test]
+    fn n005_bad_fanin_detected() {
+        let mut nl = Netlist::new("arity");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_net("y").unwrap();
+        nl.add_gate_unchecked(GateKind::Not, vec![a, b], y);
+        nl.add_output(y);
+        let report = lint(&nl);
+        assert!(report.has_code(Code::N005), "{report}");
+    }
+
+    #[test]
+    fn n006_fanout_bound_checked_only_when_configured() {
+        let mut nl = Netlist::new("fo");
+        let a = nl.add_input("a");
+        for i in 0..4 {
+            let y = nl
+                .add_gate_named(GateKind::Not, vec![a], format!("y{i}"))
+                .unwrap();
+            nl.add_output(y);
+        }
+        assert!(!lint(&nl).has_code(Code::N006));
+        let bounded = lint_with(
+            &nl,
+            &NetlistLintConfig {
+                max_fanout: Some(3),
+                ..NetlistLintConfig::default()
+            },
+        );
+        assert!(bounded.has_code(Code::N006), "{bounded}");
+        let loose = lint_with(
+            &nl,
+            &NetlistLintConfig {
+                max_fanout: Some(4),
+                ..NetlistLintConfig::default()
+            },
+        );
+        assert!(!loose.has_code(Code::N006), "{loose}");
+    }
+
+    #[test]
+    fn n007_no_outputs_detected() {
+        let mut nl = Netlist::new("noout");
+        let a = nl.add_input("a");
+        nl.add_gate_named(GateKind::Not, vec![a], "x").unwrap();
+        let report = lint(&nl);
+        assert!(report.has_code(Code::N007), "{report}");
+        // No N004 spam when everything is trivially dead.
+        assert!(!report.has_code(Code::N004), "{report}");
+    }
+}

@@ -47,7 +47,9 @@ impl fmt::Display for NetlistError {
                 write!(f, "gate kind {kind} cannot take {got} inputs")
             }
             NetlistError::Cycle(n) => write!(f, "combinational cycle through net `{n}`"),
-            NetlistError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             NetlistError::Unsupported(what) => write!(f, "unsupported construct: {what}"),
         }
     }
@@ -66,7 +68,9 @@ mod tests {
             message: "bad token".into(),
         };
         assert!(e.to_string().contains("line 12"));
-        assert!(NetlistError::UnknownNet("x".into()).to_string().contains('x'));
+        assert!(NetlistError::UnknownNet("x".into())
+            .to_string()
+            .contains('x'));
     }
 
     #[test]

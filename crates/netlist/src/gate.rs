@@ -189,7 +189,8 @@ mod tests {
         let c = 0b11110000u64;
         let out = GateKind::Xor.eval_words(&[a, b, c]);
         for m in 0..8 {
-            let expect = GateKind::Xor.eval_bool(&[a >> m & 1 != 0, b >> m & 1 != 0, c >> m & 1 != 0]);
+            let expect =
+                GateKind::Xor.eval_bool(&[a >> m & 1 != 0, b >> m & 1 != 0, c >> m & 1 != 0]);
             assert_eq!(out >> m & 1 != 0, expect, "minterm {m}");
         }
     }

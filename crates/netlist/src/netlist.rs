@@ -269,6 +269,33 @@ impl Netlist {
         Ok(gid)
     }
 
+    /// Appends a gate with **no** arity, duplicate-driver, or acyclicity
+    /// checks and returns its id.
+    ///
+    /// This exists for building deliberately malformed netlists — the
+    /// adversarial inputs `atpg-easy-lint` exercises its passes against —
+    /// and for trusted bulk loaders that validate separately. The net's
+    /// recorded driver is only set when it had none, so a multiply-driven
+    /// net keeps its first driver while the extra gate stays visible to
+    /// analyses that scan the gate list.
+    pub fn add_gate_unchecked(
+        &mut self,
+        kind: GateKind,
+        inputs: Vec<NetId>,
+        output: NetId,
+    ) -> GateId {
+        let gid = GateId::from_index(self.gates.len());
+        self.gates.push(Gate {
+            kind,
+            inputs,
+            output,
+        });
+        if self.nets[output.index()].driver.is_none() {
+            self.nets[output.index()].driver = Some(gid);
+        }
+        gid
+    }
+
     /// Per-net lists of the gates reading that net (fan-out lists).
     ///
     /// Primary-output consumption is not included; use
@@ -334,7 +361,11 @@ impl fmt::Display for Netlist {
             self.nets.len()
         )?;
         for (_, g) in self.gates() {
-            let ins: Vec<&str> = g.inputs.iter().map(|&n| self.net(n).name.as_str()).collect();
+            let ins: Vec<&str> = g
+                .inputs
+                .iter()
+                .map(|&n| self.net(n).name.as_str())
+                .collect();
             writeln!(
                 f,
                 "  {} = {}({})",

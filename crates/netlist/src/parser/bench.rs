@@ -25,6 +25,11 @@ fn parse_kind(s: &str, line: usize) -> Result<GateKind, NetlistError> {
         "XNOR" => Ok(GateKind::Xnor),
         "NOT" | "INV" => Ok(GateKind::Not),
         "BUF" | "BUFF" => Ok(GateKind::Buf),
+        // Extension: classic .bench has no constant primitive, but our
+        // writer needs one to round-trip generated circuits (e.g. the
+        // C6288-like multiplier's tied-off carries).
+        "CONST0" => Ok(GateKind::Const0),
+        "CONST1" => Ok(GateKind::Const1),
         "DFF" => Err(NetlistError::Unsupported(
             "sequential element DFF in .bench file".into(),
         )),
@@ -131,12 +136,13 @@ pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
 
 /// Writes a netlist in `.bench` syntax.
 ///
-/// Constant gates, which `.bench` cannot express directly, are emitted as
-/// `AND(x, NOT x)`-free: we reject them instead.
+/// Constant gates have no classic `.bench` spelling; they are written as
+/// the extension `CONST0()` / `CONST1()`, which [`parse`] accepts back.
 ///
 /// # Errors
 ///
-/// [`NetlistError::Unsupported`] if the netlist contains constant gates.
+/// Currently infallible; the `Result` is kept for future unsupported
+/// constructs (e.g. sequential elements).
 pub fn write(nl: &Netlist) -> Result<String, NetlistError> {
     let mut s = format!("# {}\n", nl.name());
     for &i in nl.inputs() {
@@ -155,11 +161,8 @@ pub fn write(nl: &Netlist) -> Result<String, NetlistError> {
             GateKind::Xnor => "XNOR",
             GateKind::Not => "NOT",
             GateKind::Buf => "BUFF",
-            GateKind::Const0 | GateKind::Const1 => {
-                return Err(NetlistError::Unsupported(
-                    "constant gate in .bench output".into(),
-                ))
-            }
+            GateKind::Const0 => "CONST0",
+            GateKind::Const1 => "CONST1",
         };
         let ins: Vec<&str> = g.inputs.iter().map(|&n| nl.net(n).name.as_str()).collect();
         s.push_str(&format!(
@@ -248,7 +251,10 @@ INPUT(b)
     #[test]
     fn unknown_gate_rejected() {
         let text = "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n";
-        assert!(matches!(parse(text), Err(NetlistError::Parse { line: 3, .. })));
+        assert!(matches!(
+            parse(text),
+            Err(NetlistError::Parse { line: 3, .. })
+        ));
     }
 
     #[test]

@@ -57,6 +57,16 @@ pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
     let mut outputs: Vec<(usize, String)> = Vec::new();
     let mut i = 0usize;
     let mut fresh = 0usize;
+    // Every signal name in the file, collected up front so that fresh
+    // helper nets never collide with a name that only appears on a later
+    // line (which would spuriously give that net two drivers).
+    let reserved: std::collections::HashSet<&str> = logical
+        .iter()
+        .filter(|(_, s)| {
+            s.starts_with(".inputs") || s.starts_with(".outputs") || s.starts_with(".names")
+        })
+        .flat_map(|(_, s)| s.split_whitespace().skip(1))
+        .collect();
 
     let lookup_or_add = |nl: &mut Netlist, name: &str| match nl.find_net(name) {
         Some(id) => id,
@@ -100,10 +110,7 @@ pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
                     });
                 }
                 let (in_names, out_name) = signals.split_at(signals.len() - 1);
-                let ins: Vec<NetId> = in_names
-                    .iter()
-                    .map(|t| lookup_or_add(&mut nl, t))
-                    .collect();
+                let ins: Vec<NetId> = in_names.iter().map(|t| lookup_or_add(&mut nl, t)).collect();
                 // Collect cover rows until the next dot-directive.
                 i += 1;
                 let mut cubes: Vec<(String, char)> = Vec::new();
@@ -139,7 +146,15 @@ pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
                     cubes.push((pattern, v));
                     i += 1;
                 }
-                build_names(&mut nl, &ins, out_name[0], &cubes, &mut fresh, line)?;
+                build_names(
+                    &mut nl,
+                    &ins,
+                    out_name[0],
+                    &cubes,
+                    &mut fresh,
+                    &reserved,
+                    line,
+                )?;
             }
             ".end" => {
                 i += 1;
@@ -176,12 +191,16 @@ fn build_names(
     out_name: &str,
     cubes: &[(String, char)],
     fresh: &mut usize,
+    reserved: &std::collections::HashSet<&str>,
     line: usize,
 ) -> Result<(), NetlistError> {
     let mut helper = |nl: &mut Netlist, kind: GateKind, inputs: Vec<NetId>| -> NetId {
         loop {
             let name = format!("_b{f}", f = *fresh);
             *fresh += 1;
+            if reserved.contains(name.as_str()) {
+                continue;
+            }
             match nl.add_gate_named(kind, inputs.clone(), name) {
                 Ok(id) => return id,
                 Err(NetlistError::DuplicateName(_)) => continue,
@@ -219,14 +238,15 @@ fn build_names(
         return Ok(());
     }
 
-    // One AND term per cube.
-    let mut terms: Vec<NetId> = Vec::with_capacity(cubes.len());
+    // Literal positions per cube: (input index, positive?).
+    let on = polarity == '1';
+    let mut cube_lits: Vec<Vec<(usize, bool)>> = Vec::with_capacity(cubes.len());
     for (pattern, _) in cubes {
-        let mut lits: Vec<NetId> = Vec::new();
+        let mut lits = Vec::new();
         for (pos, ch) in pattern.chars().enumerate() {
             match ch {
-                '1' => lits.push(ins[pos]),
-                '0' => lits.push(helper(nl, GateKind::Not, vec![ins[pos]])),
+                '1' => lits.push((pos, true)),
+                '0' => lits.push((pos, false)),
                 '-' => {}
                 other => {
                     return Err(NetlistError::Parse {
@@ -236,24 +256,75 @@ fn build_names(
                 }
             }
         }
-        let term = match lits.len() {
-            0 => helper(nl, GateKind::Const1, vec![]),
-            1 => lits[0],
-            _ => helper(nl, GateKind::And, lits),
+        cube_lits.push(lits);
+    }
+
+    // The last gate drives `out_net` directly, so a cover that denotes a
+    // plain gate parses back as exactly that gate and `parse ∘ write` is a
+    // fixpoint after one normalization.
+    if cube_lits.len() == 1 {
+        let lits = &cube_lits[0];
+        match lits.as_slice() {
+            // `---` row: the function is constant regardless of inputs.
+            [] => {
+                let kind = if on {
+                    GateKind::Const1
+                } else {
+                    GateKind::Const0
+                };
+                nl.drive_net(out_net, kind, vec![])?;
+            }
+            &[(pos, positive)] => {
+                let kind = if positive == on {
+                    GateKind::Buf
+                } else {
+                    GateKind::Not
+                };
+                nl.drive_net(out_net, kind, vec![ins[pos]])?;
+            }
+            _ => {
+                let mapped: Vec<NetId> = lits
+                    .iter()
+                    .map(|&(pos, positive)| {
+                        if positive {
+                            ins[pos]
+                        } else {
+                            helper(nl, GateKind::Not, vec![ins[pos]])
+                        }
+                    })
+                    .collect();
+                let kind = if on { GateKind::And } else { GateKind::Nand };
+                nl.drive_net(out_net, kind, mapped)?;
+            }
+        }
+        return Ok(());
+    }
+
+    // Multi-cube cover: one AND term per cube, OR/NOR of the terms.
+    let mut terms: Vec<NetId> = Vec::with_capacity(cube_lits.len());
+    for lits in &cube_lits {
+        let term = match lits.as_slice() {
+            [] => helper(nl, GateKind::Const1, vec![]),
+            &[(pos, true)] => ins[pos],
+            &[(pos, false)] => helper(nl, GateKind::Not, vec![ins[pos]]),
+            _ => {
+                let mapped: Vec<NetId> = lits
+                    .iter()
+                    .map(|&(pos, positive)| {
+                        if positive {
+                            ins[pos]
+                        } else {
+                            helper(nl, GateKind::Not, vec![ins[pos]])
+                        }
+                    })
+                    .collect();
+                helper(nl, GateKind::And, mapped)
+            }
         };
         terms.push(term);
     }
-    let cover = if terms.len() == 1 {
-        terms[0]
-    } else {
-        helper(nl, GateKind::Or, terms)
-    };
-    let final_kind = if polarity == '1' {
-        GateKind::Buf
-    } else {
-        GateKind::Not
-    };
-    nl.drive_net(out_net, final_kind, vec![cover])?;
+    let kind = if on { GateKind::Or } else { GateKind::Nor };
+    nl.drive_net(out_net, kind, terms)?;
     Ok(())
 }
 
@@ -320,8 +391,9 @@ pub fn write(nl: &Netlist) -> Result<String, NetlistError> {
                 for m in 0u32..(1 << n) {
                     let ones = m.count_ones() % 2 == 1;
                     if ones == want {
-                        let row: String =
-                            (0..n).map(|q| if m >> q & 1 != 0 { '1' } else { '0' }).collect();
+                        let row: String = (0..n)
+                            .map(|q| if m >> q & 1 != 0 { '1' } else { '0' })
+                            .collect();
                         s.push_str(&row);
                         s.push_str(" 1\n");
                     }
@@ -375,10 +447,7 @@ mod tests {
     fn constants() {
         let text = ".model t\n.inputs a\n.outputs k0 k1 y\n.names k0\n.names k1\n1\n.names a y\n1 1\n.end\n";
         let nl = parse(text).unwrap();
-        assert_eq!(
-            sim::eval_outputs(&nl, &[false]),
-            vec![false, true, false]
-        );
+        assert_eq!(sim::eval_outputs(&nl, &[false]), vec![false, true, false]);
     }
 
     #[test]

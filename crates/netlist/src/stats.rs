@@ -149,9 +149,7 @@ pub fn reconvergence(nl: &crate::Netlist) -> ReconvergenceStats {
         let reach = crate::topo::transitive_fanout(nl, stem);
         let nearest: Option<usize> = nl
             .gates()
-            .filter(|(_, gate)| {
-                gate.inputs.iter().filter(|i| reach[i.index()]).count() >= 2
-            })
+            .filter(|(_, gate)| gate.inputs.iter().filter(|i| reach[i.index()]).count() >= 2)
             .map(|(_, gate)| levels[gate.output.index()].saturating_sub(levels[stem.index()]))
             .min();
         if let Some(distance) = nearest {
@@ -217,7 +215,9 @@ mod reconvergence_tests {
                 .add_gate_named(GateKind::Not, vec![long], format!("c{i}"))
                 .unwrap();
         }
-        let y = nl.add_gate_named(GateKind::And, vec![a, long], "y").unwrap();
+        let y = nl
+            .add_gate_named(GateKind::And, vec![a, long], "y")
+            .unwrap();
         nl.add_output(y);
         let r = reconvergence(&nl);
         assert_eq!(r.reconvergent_stems, 1);

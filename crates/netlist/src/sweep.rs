@@ -24,7 +24,10 @@ pub struct SweepReport {
 enum Class {
     Const(bool),
     /// Equal to another net (possibly inverted).
-    Alias { root: NetId, inverted: bool },
+    Alias {
+        root: NetId,
+        inverted: bool,
+    },
 }
 
 /// Sweeps a netlist: propagates constants through gates, collapses
@@ -58,8 +61,10 @@ pub fn sweep(nl: &Netlist) -> Result<(Netlist, SweepReport), NetlistError> {
             }
         }
     };
-    // Per-gate rebuild plan for gates that survive with simplified inputs.
-    let mut plan: Vec<Option<(GateKind, Vec<(NetId, bool)>)>> = vec![None; nl.num_gates()];
+    // Per-gate rebuild plan for gates that survive with simplified inputs:
+    // the kind plus each live input as (net, inverted?).
+    type RebuildPlan = Option<(GateKind, Vec<(NetId, bool)>)>;
+    let mut plan: Vec<RebuildPlan> = vec![None; nl.num_gates()];
     for &gid in &order {
         let gate = nl.gate(gid);
         // Resolve inputs through aliases; split into constants and live.
@@ -133,7 +138,11 @@ pub fn sweep(nl: &Netlist) -> Result<(Netlist, SweepReport), NetlistError> {
                         inverted: live[0].1 ^ parity,
                     })
                 } else {
-                    let kind = if parity { GateKind::Xnor } else { GateKind::Xor };
+                    let kind = if parity {
+                        GateKind::Xnor
+                    } else {
+                        GateKind::Xor
+                    };
                     plan[gid.index()] = Some((kind, live));
                     None
                 }
@@ -214,7 +223,11 @@ pub fn sweep(nl: &Netlist) -> Result<(Netlist, SweepReport), NetlistError> {
         if let Some(n) = const_nets[usize::from(v)] {
             return Ok(n);
         }
-        let kind = if v { GateKind::Const1 } else { GateKind::Const0 };
+        let kind = if v {
+            GateKind::Const1
+        } else {
+            GateKind::Const0
+        };
         let name = fresh_name(out, "_k", fresh);
         let n = out.add_gate_named(kind, vec![], name)?;
         const_nets[usize::from(v)] = Some(n);
@@ -357,7 +370,9 @@ mod tests {
         let mut nl = Netlist::new("dead");
         let a = nl.add_input("a");
         let b = nl.add_input("b");
-        let _dead = nl.add_gate_named(GateKind::Xor, vec![a, b], "dead").unwrap();
+        let _dead = nl
+            .add_gate_named(GateKind::Xor, vec![a, b], "dead")
+            .unwrap();
         let y = nl.add_gate_named(GateKind::Or, vec![a, b], "y").unwrap();
         nl.add_output(y);
         let (swept, report) = sweep(&nl).unwrap();

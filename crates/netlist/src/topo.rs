@@ -45,7 +45,9 @@ pub fn topo_order(nl: &Netlist) -> Result<Vec<GateId>, NetlistError> {
             .gate_ids()
             .find(|g| pending[g.index()] > 0)
             .expect("some gate must be unprocessed");
-        return Err(NetlistError::Cycle(nl.net(nl.gate(stuck).output).name.clone()));
+        return Err(NetlistError::Cycle(
+            nl.net(nl.gate(stuck).output).name.clone(),
+        ));
     }
     Ok(order)
 }
@@ -168,7 +170,8 @@ pub fn extract_marked(nl: &Netlist, keep: &[bool], outputs: &[NetId]) -> ConeExt
             sub.try_add_input(net.name.clone())
                 .expect("names unique in source")
         } else {
-            sub.add_net(net.name.clone()).expect("names unique in source")
+            sub.add_net(net.name.clone())
+                .expect("names unique in source")
         };
         net_map[id.index()] = Some(new_id);
     }
@@ -196,7 +199,10 @@ pub fn extract_marked(nl: &Netlist, keep: &[bool], outputs: &[NetId]) -> ConeExt
             sub.add_output(new_o);
         }
     }
-    ConeExtraction { netlist: sub, net_map }
+    ConeExtraction {
+        netlist: sub,
+        net_map,
+    }
 }
 
 /// The nets of `C_ψ^sub` for a fault on net `x`: the transitive fan-in of
@@ -213,7 +219,8 @@ pub fn fault_subcircuit_nets(nl: &Netlist, x: NetId) -> (Vec<bool>, Vec<NetId>) 
     let roots: Vec<NetId> = fo
         .iter()
         .enumerate()
-        .filter_map(|(i, &m)| m.then(|| NetId::from_index(i)))
+        .filter(|&(_, &m)| m)
+        .map(|(i, _)| NetId::from_index(i))
         .collect();
     let sub = transitive_fanin(nl, &roots);
     (sub, affected)

@@ -147,7 +147,7 @@ fn cache_sat(
             }
         }
         res.assign(v, value);
-        let mut record = |t: &mut Option<&mut Vec<TraceEvent>>, outcome| {
+        let record = |t: &mut Option<&mut Vec<TraceEvent>>, outcome| {
             if let Some(events) = t {
                 events.push(TraceEvent {
                     depth,

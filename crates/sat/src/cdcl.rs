@@ -359,7 +359,8 @@ impl Engine {
             .iter()
             .map(|&ci| {
                 self.clauses[ci].lits.first().is_some_and(|l| {
-                    self.reason[l.var().index()] == Some(ci) && self.assign[l.var().index()].is_some()
+                    self.reason[l.var().index()] == Some(ci)
+                        && self.assign[l.var().index()].is_some()
                 })
             })
             .collect();

@@ -144,12 +144,7 @@ impl State {
     }
 }
 
-fn rec(
-    st: &mut State,
-    order: &[Var],
-    stats: &mut SolverStats,
-    limits: &Limits,
-) -> Verdict {
+fn rec(st: &mut State, order: &[Var], stats: &mut SolverStats, limits: &Limits) -> Verdict {
     let mark = st.trail.len();
     if !st.propagate(stats) {
         stats.conflicts += 1;
@@ -207,9 +202,7 @@ impl Solver for Dpll {
         }
         let verdict = rec(&mut st, &order, &mut stats, &self.limits);
         let outcome = match verdict {
-            Verdict::Sat => {
-                Outcome::Sat(st.assign.iter().map(|v| v.unwrap_or(false)).collect())
-            }
+            Verdict::Sat => Outcome::Sat(st.assign.iter().map(|v| v.unwrap_or(false)).collect()),
             Verdict::Unsat => Outcome::Unsat,
             Verdict::Aborted => Outcome::Aborted,
         };

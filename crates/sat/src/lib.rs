@@ -71,7 +71,10 @@ mod cross_tests {
             let len = rng.random_range(1..=k);
             let clause: Vec<Lit> = (0..len)
                 .map(|_| {
-                    Lit::with_value(Var::from_index(rng.random_range(0..vars)), rng.random_bool(0.5))
+                    Lit::with_value(
+                        Var::from_index(rng.random_range(0..vars)),
+                        rng.random_bool(0.5),
+                    )
                 })
                 .collect();
             f.add_clause(clause);

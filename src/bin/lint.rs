@@ -1,0 +1,9 @@
+//! Workspace-root `lint` binary so `cargo run --release --bin lint` works
+//! without `-p atpg-easy-bench`. All logic is in
+//! [`atpg_easy_bench::lint_cli`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    atpg_easy_bench::lint_cli::run()
+}

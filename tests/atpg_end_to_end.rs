@@ -15,7 +15,9 @@ fn detectable_exhaustive(nl: &Netlist, f: Fault) -> bool {
     let s = sim::Simulator::new(nl);
     let forced = if f.stuck { !0u64 } else { 0 };
     (0u32..(1 << n)).any(|m| {
-        let ins: Vec<u64> = (0..n).map(|i| if m >> i & 1 != 0 { !0 } else { 0 }).collect();
+        let ins: Vec<u64> = (0..n)
+            .map(|i| if m >> i & 1 != 0 { !0 } else { 0 })
+            .collect();
         let good = s.run(nl, &ins);
         let bad = s.run_with_forced(nl, &ins, f.net, forced);
         nl.outputs()
@@ -81,7 +83,11 @@ fn campaign_full_coverage_on_testable_circuits() {
 fn solver_choices_agree_on_verdicts() {
     let nl = decompose::decompose(&mux::mux_tree(2), 3).unwrap();
     let mut verdicts: Option<Vec<bool>> = None;
-    for solver in [SolverChoice::Cdcl, SolverChoice::Dpll, SolverChoice::Caching] {
+    for solver in [
+        SolverChoice::Cdcl,
+        SolverChoice::Dpll,
+        SolverChoice::Caching,
+    ] {
         let res = run(
             &nl,
             &AtpgConfig {

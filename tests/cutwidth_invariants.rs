@@ -9,29 +9,31 @@ use proptest::prelude::*;
 
 fn small_hypergraph() -> impl Strategy<Value = Hypergraph> {
     (3usize..9).prop_flat_map(|n| {
-        prop::collection::vec(prop::collection::vec(0..n, 2..4), 1..12)
-            .prop_map(move |mut edges| {
+        prop::collection::vec(prop::collection::vec(0..n, 2..4), 1..12).prop_map(
+            move |mut edges| {
                 for e in &mut edges {
                     e.sort_unstable();
                     e.dedup();
                 }
                 edges.retain(|e| e.len() >= 2);
                 Hypergraph::new(n, edges)
-            })
+            },
+        )
     })
 }
 
 fn medium_hypergraph() -> impl Strategy<Value = Hypergraph> {
     (10usize..60).prop_flat_map(|n| {
-        prop::collection::vec(prop::collection::vec(0..n, 2..5), n / 2..2 * n)
-            .prop_map(move |mut edges| {
+        prop::collection::vec(prop::collection::vec(0..n, 2..5), n / 2..2 * n).prop_map(
+            move |mut edges| {
                 for e in &mut edges {
                     e.sort_unstable();
                     e.dedup();
                 }
                 edges.retain(|e| e.len() >= 2);
                 Hypergraph::new(n, edges)
-            })
+            },
+        )
     })
 }
 

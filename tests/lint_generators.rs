@@ -1,0 +1,96 @@
+//! Property: every circuit generator in `crates/circuits` produces
+//! lint-clean netlists — zero error-severity diagnostics from the full
+//! netlist pass family, and zero errors from the CNF passes over their
+//! Tseitin consistency encodings.
+//!
+//! Warnings are permitted: several generators intentionally leave dead
+//! cones (e.g. the priority encoder's unused `nr` chain tail), which is a
+//! property of the generated circuit, not a defect in it.
+
+use atpg_easy::circuits::kbounded::{self, KBoundedConfig};
+use atpg_easy::circuits::random::{self, RandomCircuitConfig};
+use atpg_easy::circuits::{adders, alu, cellular, comparator, decoder, mux, parity, suite, trees};
+use atpg_easy::cnf::circuit;
+use atpg_easy::lint;
+use atpg_easy::netlist::{decompose, Netlist};
+use proptest::prelude::*;
+
+/// Asserts zero lint errors from the netlist passes and, when the circuit
+/// encodes, from the CNF passes as well.
+fn assert_lint_clean(nl: &Netlist, what: &str) {
+    let report = lint::preflight(nl);
+    assert!(
+        !report.has_errors(),
+        "{what}: netlist lint errors:\n{}",
+        report.render_human()
+    );
+    let flat = decompose::decompose(nl, usize::MAX)
+        .unwrap_or_else(|e| panic!("{what}: decompose failed: {e}"));
+    let enc =
+        circuit::encode_consistency(&flat).unwrap_or_else(|e| panic!("{what}: encode failed: {e}"));
+    let mut cnf_report = lint::cnf::lint(&enc.formula);
+    cnf_report.merge(lint::cnf::lint_encoding(&flat, &enc.formula));
+    assert!(
+        !cnf_report.has_errors(),
+        "{what}: CNF lint errors:\n{}",
+        cnf_report.render_human()
+    );
+}
+
+#[test]
+fn fixed_generators_are_lint_clean() {
+    for c in suite::mcnc_like() {
+        assert_lint_clean(&c.netlist, &format!("suite::{}", c.name));
+    }
+    for c in suite::iscas_like() {
+        assert_lint_clean(&c.netlist, &format!("suite::{}", c.name));
+    }
+    let mult = suite::c6288_like();
+    assert_lint_clean(&mult.netlist, "suite::c6288w");
+    assert_lint_clean(&suite::c17(), "suite::c17");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_circuits_are_lint_clean(
+        gates in 5usize..60,
+        inputs in 2usize..10,
+        seed in 0u64..1000,
+    ) {
+        let nl = random::generate(&RandomCircuitConfig {
+            gates,
+            inputs,
+            seed,
+            ..Default::default()
+        })
+        .expect("valid config");
+        assert_lint_clean(&nl, &format!("random(g={gates},i={inputs},s={seed})"));
+    }
+
+    #[test]
+    fn parameterized_generators_are_lint_clean(n in 2usize..8) {
+        assert_lint_clean(&adders::ripple_carry(n), &format!("ripple_carry({n})"));
+        assert_lint_clean(&adders::carry_lookahead(n), &format!("carry_lookahead({n})"));
+        assert_lint_clean(&alu::alu(n), &format!("alu({n})"));
+        assert_lint_clean(&comparator::comparator(n), &format!("comparator({n})"));
+        assert_lint_clean(&decoder::decoder(n), &format!("decoder({n})"));
+        assert_lint_clean(&parity::parity_tree(n + 1), &format!("parity_tree({})", n + 1));
+        assert_lint_clean(&parity::parity_checker(n, 4), &format!("parity_checker({n},4)"));
+        assert_lint_clean(&cellular::cellular_1d(n * 4), &format!("cellular_1d({})", n * 4));
+        assert_lint_clean(&cellular::cellular_2d(n, n + 1), &format!("cellular_2d({n},{})", n + 1));
+        assert_lint_clean(&suite::priority_encoder(n + 2), &format!("priority_encoder({})", n + 2));
+    }
+
+    #[test]
+    fn structured_generators_are_lint_clean(sel in 2usize..5, seed in 0u64..100) {
+        assert_lint_clean(&mux::mux_tree(sel), &format!("mux_tree({sel})"));
+        assert_lint_clean(&trees::random_tree(3, 20, seed), &format!("random_tree(3,20,{seed})"));
+        assert_lint_clean(&alu::alu(4), "alu(4)");
+        let kb = kbounded::generate(&KBoundedConfig { blocks: 12, k: 3, seed });
+        assert_lint_clean(&kb.netlist, &format!("kbounded(12,3,{seed})"));
+        let mult = atpg_easy::circuits::multiplier::array_multiplier(sel + 1);
+        assert_lint_clean(&mult, &format!("array_multiplier({})", sel + 1));
+    }
+}

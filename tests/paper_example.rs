@@ -79,7 +79,9 @@ fn figure5_caching_prunes_under_ordering_a() {
     let cached = CachingBacktracking::new()
         .with_order(vars.clone())
         .solve(&enc.formula);
-    let simple = SimpleBacktracking::new().with_order(vars).solve(&enc.formula);
+    let simple = SimpleBacktracking::new()
+        .with_order(vars)
+        .solve(&enc.formula);
     assert!(cached.outcome.is_sat());
     assert!(simple.outcome.is_sat());
     assert!(cached.stats.nodes <= simple.stats.nodes);
@@ -95,7 +97,11 @@ fn figure7_lemma42_width_4() {
         .expect("observable fault");
     assert_eq!(chk.w_circuit, 3);
     assert_eq!(chk.bound, 8);
-    assert!(chk.w_miter <= 4, "paper reports width 4, got {}", chk.w_miter);
+    assert!(
+        chk.w_miter <= 4,
+        "paper reports width 4, got {}",
+        chk.w_miter
+    );
     assert!(chk.holds());
 }
 
@@ -110,7 +116,11 @@ fn fault_f_stuck_at_1_is_testable() {
     let sol = Cdcl::new().solve(&enc.formula);
     let model = sol.outcome.model().expect("testable");
     let vector = m.extract_test(&enc, model, &nl);
-    assert!(atpg_easy::atpg::verify::detects(&nl, Fault::stuck_at_1(f), &vector));
+    assert!(atpg_easy::atpg::verify::detects(
+        &nl,
+        Fault::stuck_at_1(f),
+        &vector
+    ));
     // The vector must set b=0, c=1 (f=0) and a=1.
     assert!(!vector[1], "b must be 0");
     assert!(vector[2], "c must be 1");

@@ -1,0 +1,140 @@
+//! Parser round-trips: `parse ∘ write` must be the identity (up to net
+//! renumbering) for `.bench`, and a fixpoint after one normalization pass
+//! for BLIF, across the whole built-in circuits suite.
+//!
+//! The `.bench` format represents every [`GateKind`] except constants
+//! directly, so writing and re-parsing must reproduce the exact same
+//! structure. BLIF covers are materialized as AND/OR/NOT trees with
+//! helper nets on parse, so the first round normalizes; after that the
+//! representation must be stable, and the normalization must preserve
+//! input/output names and simulation semantics.
+
+use atpg_easy::circuits::suite;
+use atpg_easy::netlist::parser::{bench, blif};
+use atpg_easy::netlist::{sim, GateKind, Netlist};
+
+/// One gate as (kind, output name, input names).
+type GateSig = (GateKind, String, Vec<String>);
+
+/// Order-sensitive structural signature, keyed by net *names* so that net
+/// renumbering across a parse does not matter.
+fn signature(nl: &Netlist) -> (Vec<String>, Vec<String>, Vec<GateSig>) {
+    let name = |id| nl.net(id).name.clone();
+    let inputs = nl.inputs().iter().map(|&i| name(i)).collect();
+    let outputs = nl.outputs().iter().map(|&o| name(o)).collect();
+    let gates = nl
+        .gates()
+        .map(|(_, g)| {
+            (
+                g.kind,
+                name(g.output),
+                g.inputs.iter().map(|&i| name(i)).collect(),
+            )
+        })
+        .collect();
+    (inputs, outputs, gates)
+}
+
+fn whole_suite() -> Vec<suite::NamedCircuit> {
+    let mut v = suite::mcnc_like();
+    v.extend(suite::iscas_like());
+    v.push(suite::c6288_like());
+    v
+}
+
+/// Deterministic input vectors that exercise all-zeros, all-ones, and a
+/// spread of mixed patterns.
+fn probe_vectors(width: usize) -> Vec<Vec<bool>> {
+    let mut vs = vec![vec![false; width], vec![true; width]];
+    for seed in [
+        0x9e3779b97f4a7c15u64,
+        0xd1b54a32d192ed03,
+        0x2545f4914f6cdd1d,
+    ] {
+        let mut x = seed;
+        vs.push(
+            (0..width)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x & 1 == 1
+                })
+                .collect(),
+        );
+    }
+    vs
+}
+
+#[test]
+fn bench_roundtrip_is_identity_on_the_suite() {
+    for c in whole_suite() {
+        let text = bench::write(&c.netlist)
+            .unwrap_or_else(|e| panic!("{}: .bench write failed: {e}", c.name));
+        let back =
+            bench::parse(&text).unwrap_or_else(|e| panic!("{}: re-parse failed: {e}", c.name));
+        assert_eq!(
+            signature(&back),
+            signature(&c.netlist),
+            "{}: parse∘write is not the identity",
+            c.name
+        );
+        // And the text itself is a fixpoint apart from the name comment,
+        // which `.bench` cannot carry through a parse.
+        let text2 = bench::write(&back).unwrap();
+        let body = |t: &str| {
+            t.lines()
+                .filter(|l| !l.starts_with('#'))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(body(&text2), body(&text), "{}: writer not stable", c.name);
+    }
+}
+
+#[test]
+fn blif_roundtrip_reaches_a_fixpoint_and_preserves_semantics() {
+    for c in whole_suite() {
+        let nl = &c.netlist;
+        let once = blif::parse(&blif::write(nl).unwrap())
+            .unwrap_or_else(|e| panic!("{}: BLIF round 1 failed: {e}", c.name));
+        // Normalization preserves the interface and the Boolean function.
+        assert_eq!(
+            signature(&once).0,
+            signature(nl).0,
+            "{}: inputs changed",
+            c.name
+        );
+        assert_eq!(
+            signature(&once).1,
+            signature(nl).1,
+            "{}: outputs changed",
+            c.name
+        );
+        for v in probe_vectors(nl.num_inputs()) {
+            assert_eq!(
+                sim::eval_outputs(&once, &v),
+                sim::eval_outputs(nl, &v),
+                "{}: semantics changed under BLIF round-trip",
+                c.name
+            );
+        }
+        // After one normalization the representation is stable: the writer
+        // output is literally identical from then on.
+        let text1 = blif::write(&once).unwrap();
+        let twice =
+            blif::parse(&text1).unwrap_or_else(|e| panic!("{}: BLIF round 2 failed: {e}", c.name));
+        assert_eq!(
+            signature(&twice),
+            signature(&once),
+            "{}: BLIF normalization is not a fixpoint",
+            c.name
+        );
+        assert_eq!(
+            blif::write(&twice).unwrap(),
+            text1,
+            "{}: BLIF writer not stable",
+            c.name
+        );
+    }
+}

@@ -20,11 +20,19 @@ fn cross_check(raw: &atpg_easy::netlist::Netlist, sample_stride: usize) {
         let sat = Cdcl::new().solve(&enc.formula).outcome.is_sat();
         match pres {
             PodemResult::Detected(v) => {
-                assert!(sat, "{}: PODEM found a test, SAT says untestable", f.describe(&nl));
+                assert!(
+                    sat,
+                    "{}: PODEM found a test, SAT says untestable",
+                    f.describe(&nl)
+                );
                 assert!(verify::detects(&nl, f, &v), "{}", f.describe(&nl));
             }
             PodemResult::Untestable => {
-                assert!(!sat, "{}: SAT found a test, PODEM says untestable", f.describe(&nl));
+                assert!(
+                    !sat,
+                    "{}: SAT found a test, PODEM says untestable",
+                    f.describe(&nl)
+                );
             }
             PodemResult::Aborted => panic!("budget must suffice on these sizes"),
         }
@@ -47,7 +55,9 @@ fn agree_on_redundant_logic() {
     let nb = nl.add_gate_named(GateKind::Not, vec![b], "nb").unwrap();
     let t1 = nl.add_gate_named(GateKind::And, vec![a, b], "t1").unwrap();
     let t2 = nl.add_gate_named(GateKind::And, vec![a, nb], "t2").unwrap();
-    let y = nl.add_gate_named(GateKind::Or, vec![t1, t2, a], "y").unwrap();
+    let y = nl
+        .add_gate_named(GateKind::Or, vec![t1, t2, a], "y")
+        .unwrap();
     nl.add_output(y);
     cross_check(&nl, 1);
 }

@@ -8,12 +8,11 @@ use atpg_easy::sat::{
 use proptest::prelude::*;
 
 fn clause_strategy(vars: usize, max_len: usize) -> impl Strategy<Value = Vec<Lit>> {
-    prop::collection::vec((0..vars, any::<bool>()), 1..=max_len)
-        .prop_map(|lits| {
-            lits.into_iter()
-                .map(|(v, pos)| Lit::with_value(Var::from_index(v), pos))
-                .collect()
-        })
+    prop::collection::vec((0..vars, any::<bool>()), 1..=max_len).prop_map(|lits| {
+        lits.into_iter()
+            .map(|(v, pos)| Lit::with_value(Var::from_index(v), pos))
+            .collect()
+    })
 }
 
 fn formula_strategy() -> impl Strategy<Value = CnfFormula> {

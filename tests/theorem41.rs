@@ -16,7 +16,9 @@ fn assert_theorem41(raw: &Netlist) {
     let (w, node_order) = mla::estimate_cutwidth(&h, &MlaConfig::default());
     let vars = varorder::variable_order(&nl, &node_order);
     let enc = circuit::encode(&nl).unwrap();
-    let sol = CachingBacktracking::new().with_order(vars).solve(&enc.formula);
+    let sol = CachingBacktracking::new()
+        .with_order(vars)
+        .solve(&enc.formula);
     let log2_nodes = (sol.stats.nodes.max(1) as f64).log2();
     let bound = bounds::theorem41_log2_bound(enc.formula.num_vars(), nl.max_fanout(), w);
     assert!(

@@ -32,11 +32,7 @@ fn theorem51_certificate_width_is_logarithmic() {
     // allow 3 plus an additive cushion).
     for blocks in [30, 100, 300, 1000] {
         for seed in 0..3 {
-            let kb = kbounded::generate(&kbounded::KBoundedConfig {
-                blocks,
-                k: 3,
-                seed,
-            });
+            let kb = kbounded::generate(&kbounded::KBoundedConfig { blocks, k: 3, seed });
             let h = Hypergraph::from_netlist(&kb.netlist);
             let w = cutwidth(&h, &kb.certificate_order());
             let bound = 3.0 * (h.num_nodes() as f64).log2() + 6.0;

@@ -1,0 +1,168 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of criterion's API its benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Instead of
+//! criterion's statistical analysis it reports the median and minimum of a
+//! fixed number of timed samples — enough to compare orders of magnitude,
+//! not to detect 1% regressions.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so benches may use either `std::hint::black_box` or
+/// `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// The timing loop handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `f`, recording `samples` timed batches after one warm-up.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch sizing: aim for ~10ms per sample, capped.
+        black_box(f());
+        let probe = Instant::now();
+        black_box(f());
+        let once = probe.elapsed().max(Duration::from_nanos(1));
+        let per_sample =
+            (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 1000) as u64;
+        self.iters_per_sample = per_sample;
+        let sample_count = self.samples.capacity().max(10);
+        self.samples.clear();
+        for _ in 0..sample_count {
+            let started = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            self.samples.push(started.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() || self.iters_per_sample == 0 {
+            println!("{name:40} (no samples)");
+            return;
+        }
+        let mut per_iter: Vec<Duration> = self
+            .samples
+            .iter()
+            .map(|d| *d / self.iters_per_sample as u32)
+            .collect();
+        per_iter.sort_unstable();
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+        println!("{name:40} median {median:>12.3?}   min {min:>12.3?}");
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.as_ref());
+        self.criterion.run_one(&label, self.sample_size, f);
+        self
+    }
+
+    /// Finishes the group (formatting only).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, label: &str, samples: usize, mut f: F) {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(samples),
+            iters_per_sample: 0,
+        };
+        f(&mut b);
+        b.report(label);
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.as_ref(), 10, f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        println!("== {} ==", name.as_ref());
+        BenchmarkGroup {
+            criterion: self,
+            name: name.as_ref().to_string(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("add", |b| b.iter(|| black_box(1u64 + 1)));
+        let mut g = c.benchmark_group("group");
+        g.sample_size(3);
+        g.bench_function("mul", |b| b.iter(|| black_box(3u64 * 7)));
+        g.finish();
+    }
+
+    criterion_group!(benches, trivial);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,190 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access and no crates.io mirror, so
+//! the workspace vendors the small slice of `rand`'s API it actually uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], the [`RngExt`]
+//! sampling helpers (`random_range`, `random_bool`), and
+//! [`seq::SliceRandom::shuffle`]. The generator is SplitMix64 — not
+//! cryptographic, but statistically fine for test-pattern generation and
+//! fully deterministic per seed, which is what the experiments need.
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 pseudo-random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 pseudo-random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling helpers over any [`RngCore`] (the subset of rand's `Rng`
+/// extension trait this workspace calls).
+pub trait RngExt: RngCore {
+    /// Uniform sample from `range` (`Range` or `RangeInclusive`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distr::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        // 53 high-quality mantissa bits -> uniform in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Range sampling machinery.
+pub mod distr {
+    use super::RngCore;
+
+    /// A range from which a uniform sample can be drawn.
+    pub trait SampleRange<T> {
+        /// Draws one sample.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    macro_rules! impl_sample_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample from empty range");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample from empty range");
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    if span == 0 {
+                        // Full u64 domain.
+                        return lo.wrapping_add(rng.next_u64() as $t);
+                    }
+                    lo + (rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_sample_range!(u8, u16, u32, u64, usize);
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::RngCore;
+
+    /// In-place shuffling of slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle driven by `rng`.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0usize..1000), b.random_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.random_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(2u64..=5);
+            assert!((2..=5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+        let heads = (0..10_000).filter(|_| rng.random_bool(0.5)).count();
+        assert!((3_500..6_500).contains(&heads), "{heads}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "50 elements virtually never fixed"
+        );
+    }
+}
