@@ -171,6 +171,53 @@ impl CampaignResult {
     pub fn sat_records(&self) -> impl Iterator<Item = &FaultRecord> {
         self.records.iter().filter(|r| r.sat_vars > 0)
     }
+
+    /// Canonical textual rendering of everything deterministic in the
+    /// result. Wall-clock `solve_time` is excluded (it varies run to run);
+    /// every other field — outcomes, test vectors, instance sizes, solver
+    /// counters — is included. Two campaigns are behaviorally identical
+    /// iff their canonical reports are byte-identical; the parallel engine
+    /// uses this to assert thread-count independence.
+    pub fn canonical_report(&self) -> String {
+        use std::fmt::Write as _;
+        fn bits(v: &[bool]) -> String {
+            v.iter().map(|&b| if b { '1' } else { '0' }).collect()
+        }
+        let mut out = String::new();
+        for r in &self.records {
+            let outcome = match &r.outcome {
+                FaultOutcome::Detected(v) => format!("detected:{}", bits(v)),
+                FaultOutcome::DetectedBySimulation => "sim".to_string(),
+                FaultOutcome::Untestable => "untestable".to_string(),
+                FaultOutcome::Aborted => "aborted".to_string(),
+            };
+            let s = &r.stats;
+            writeln!(
+                out,
+                "fault net={} sa{} {} vars={} clauses={} sub={} nodes={} decisions={} \
+                 props={} conflicts={} cache_hits={} cache_entries={} learnt={} restarts={}",
+                r.fault.net.index(),
+                u8::from(r.fault.stuck),
+                outcome,
+                r.sat_vars,
+                r.sat_clauses,
+                r.sub_size,
+                s.nodes,
+                s.decisions,
+                s.propagations,
+                s.conflicts,
+                s.cache_hits,
+                s.cache_entries,
+                s.learnt_clauses,
+                s.restarts
+            )
+            .expect("writing to a String cannot fail");
+        }
+        for t in &self.tests {
+            writeln!(out, "test {}", bits(t)).expect("writing to a String cannot fail");
+        }
+        out
+    }
 }
 
 /// Runs a full ATPG campaign on `nl`.
@@ -184,6 +231,48 @@ impl CampaignResult {
 /// campaign first trips over it. Also panics on XOR/XNOR gates wider
 /// than two inputs (decompose first).
 pub fn run(nl: &Netlist, config: &AtpgConfig) -> CampaignResult {
+    check_preflight(nl, config);
+    let faults = target_faults(nl, config);
+    let fs = FaultSimulator::with_cones(nl);
+    let mut detected = vec![false; faults.len()];
+
+    // Phase 1: random-pattern fault dropping.
+    let tests = random_phase(nl, config, &fs, &faults, &mut detected);
+    let mut result = CampaignResult {
+        records: Vec::with_capacity(faults.len()),
+        tests,
+    };
+
+    // Phase 2: one ATPG-SAT instance per remaining fault.
+    for (i, &f) in faults.iter().enumerate() {
+        if detected[i] {
+            result.records.push(simulated_record(f));
+            continue;
+        }
+        let record = solve_one(nl, f, config);
+        if let FaultOutcome::Detected(vector) = &record.outcome {
+            detected[i] = true;
+            if config.fault_dropping {
+                let hits = fs.detect_batch(nl, std::slice::from_ref(vector), &faults);
+                for (j, hit) in hits.into_iter().enumerate() {
+                    if hit {
+                        detected[j] = true;
+                    }
+                }
+            }
+            result.tests.push(vector.clone());
+        }
+        result.records.push(record);
+    }
+    result
+}
+
+/// Runs the preflight lint if the config asks for it.
+///
+/// # Panics
+///
+/// Panics with the rendered diagnostic report on lint errors.
+pub(crate) fn check_preflight(nl: &Netlist, config: &AtpgConfig) {
     if config.preflight {
         let report = atpg_easy_lint::preflight(nl);
         assert!(
@@ -193,96 +282,107 @@ pub fn run(nl: &Netlist, config: &AtpgConfig) -> CampaignResult {
             report.render_human()
         );
     }
-    let faults = if config.dominance {
+}
+
+/// The fault list the campaign targets, after the configured collapsing.
+pub(crate) fn target_faults(nl: &Netlist, config: &AtpgConfig) -> Vec<Fault> {
+    if config.dominance {
         fault::collapse_with_dominance(nl)
     } else if config.collapse {
         fault::collapse(nl)
     } else {
         fault::all_faults(nl)
-    };
-    let fs = FaultSimulator::new(nl);
-    let mut detected = vec![false; faults.len()];
-    let mut result = CampaignResult::default();
-
-    // Phase 1: random-pattern fault dropping.
-    if config.random_patterns > 0 && nl.num_inputs() > 0 {
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut remaining = config.random_patterns;
-        while remaining > 0 {
-            let batch = remaining.min(64);
-            remaining -= batch;
-            let vectors: Vec<Vec<bool>> = (0..batch)
-                .map(|_| (0..nl.num_inputs()).map(|_| rng.random_bool(0.5)).collect())
-                .collect();
-            let hits = fs.detect_batch(nl, &vectors, &faults);
-            let mut useful = false;
-            for (i, hit) in hits.into_iter().enumerate() {
-                if hit && !detected[i] {
-                    detected[i] = true;
-                    useful = true;
-                }
-            }
-            if useful {
-                result.tests.extend(vectors);
-            }
-        }
     }
+}
 
-    // Phase 2: one ATPG-SAT instance per remaining fault.
-    for (i, &f) in faults.iter().enumerate() {
-        if detected[i] {
-            result.records.push(FaultRecord {
-                fault: f,
-                outcome: FaultOutcome::DetectedBySimulation,
-                sat_vars: 0,
-                sat_clauses: 0,
-                sub_size: 0,
-                solve_time: Duration::ZERO,
-                stats: SolverStats::default(),
-            });
-            continue;
-        }
-        let m = miter::build(nl, f);
-        let mut enc = circuit::encode(&m.circuit).expect("miter circuits encode cleanly");
-        if config.activation_clause {
-            if let Some(clause) = miter::activation_clause(&m, &enc) {
-                enc.formula.add_clause(clause);
-            }
-        }
-        let mut solver = config.solver.make(config.limits);
-        let started = Instant::now();
-        let sol = solver.solve(&enc.formula);
-        let solve_time = started.elapsed();
-        let outcome = match sol.outcome {
-            Outcome::Sat(model) => {
-                let vector = m.extract_test(&enc, &model, nl);
-                debug_assert!(verify::detects(nl, f, &vector), "model must be a test");
+/// Phase 1: simulates `config.random_patterns` random vectors against the
+/// fault list, marking hits in `detected`, and returns the batches that
+/// retired at least one new fault. Deterministic in `config.seed`; the
+/// parallel engine runs this identically (single-threaded) before fanning
+/// out, which is what makes its output thread-count independent.
+pub(crate) fn random_phase(
+    nl: &Netlist,
+    config: &AtpgConfig,
+    fs: &FaultSimulator,
+    faults: &[Fault],
+    detected: &mut [bool],
+) -> Vec<Vec<bool>> {
+    let mut tests = Vec::new();
+    if config.random_patterns == 0 || nl.num_inputs() == 0 {
+        return tests;
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut remaining = config.random_patterns;
+    while remaining > 0 {
+        let batch = remaining.min(64);
+        remaining -= batch;
+        let vectors: Vec<Vec<bool>> = (0..batch)
+            .map(|_| (0..nl.num_inputs()).map(|_| rng.random_bool(0.5)).collect())
+            .collect();
+        let hits = fs.detect_batch(nl, &vectors, faults);
+        let mut useful = false;
+        for (i, hit) in hits.into_iter().enumerate() {
+            if hit && !detected[i] {
                 detected[i] = true;
-                if config.fault_dropping {
-                    let hits = fs.detect_batch(nl, std::slice::from_ref(&vector), &faults);
-                    for (j, hit) in hits.into_iter().enumerate() {
-                        if hit {
-                            detected[j] = true;
-                        }
-                    }
-                }
-                result.tests.push(vector.clone());
-                FaultOutcome::Detected(vector)
+                useful = true;
             }
-            Outcome::Unsat => FaultOutcome::Untestable,
-            Outcome::Aborted => FaultOutcome::Aborted,
-        };
-        result.records.push(FaultRecord {
-            fault: f,
-            outcome,
-            sat_vars: enc.formula.num_vars(),
-            sat_clauses: enc.formula.num_clauses(),
-            sub_size: m.sub_size(),
-            solve_time,
-            stats: sol.stats,
-        });
+        }
+        if useful {
+            tests.extend(vectors);
+        }
     }
-    result
+    tests
+}
+
+/// The record for a fault retired by simulation (no SAT instance built).
+pub(crate) fn simulated_record(f: Fault) -> FaultRecord {
+    FaultRecord {
+        fault: f,
+        outcome: FaultOutcome::DetectedBySimulation,
+        sat_vars: 0,
+        sat_clauses: 0,
+        sub_size: 0,
+        solve_time: Duration::ZERO,
+        stats: SolverStats::default(),
+    }
+}
+
+/// Builds, encodes and solves the ATPG-SAT instance for one fault.
+///
+/// Deterministic apart from the wall-clock `solve_time` field (and any
+/// wall-clock limit in `config.limits`): identical inputs produce an
+/// identical record. Both the sequential and the parallel campaign engines
+/// funnel through this.
+pub(crate) fn solve_one(nl: &Netlist, f: Fault, config: &AtpgConfig) -> FaultRecord {
+    let m = miter::build(nl, f);
+    let mut enc = circuit::encode(&m.circuit).expect("miter circuits encode cleanly");
+    if config.activation_clause {
+        if let Some(clause) = miter::activation_clause(&m, &enc) {
+            enc.formula.add_clause(clause);
+        }
+    }
+    let mut solver = config.solver.make(config.limits);
+    let started = Instant::now();
+    let sol = solver.solve(&enc.formula);
+    let solve_time = started.elapsed();
+    let outcome = match sol.outcome {
+        Outcome::Sat(model) => {
+            let vector = m.extract_test(&enc, &model, nl);
+            debug_assert!(verify::detects(nl, f, &vector), "model must be a test");
+            FaultOutcome::Detected(vector)
+        }
+        Outcome::Unsat => FaultOutcome::Untestable,
+        Outcome::Aborted => FaultOutcome::Aborted,
+    };
+    FaultRecord {
+        fault: f,
+        outcome,
+        sat_vars: enc.formula.num_vars(),
+        sat_clauses: enc.formula.num_clauses(),
+        sub_size: m.sub_size(),
+        solve_time,
+        stats: sol.stats,
+    }
 }
 
 #[cfg(test)]
@@ -466,7 +566,7 @@ mod tests {
 ///
 /// Panics if a vector has the wrong width or the netlist is cyclic.
 pub fn compact_tests(nl: &Netlist, tests: &[Vec<bool>], faults: &[Fault]) -> Vec<Vec<bool>> {
-    let fs = FaultSimulator::new(nl);
+    let fs = FaultSimulator::with_cones(nl);
     let mut undetected: Vec<Fault> = faults.to_vec();
     let mut kept: Vec<Vec<bool>> = Vec::new();
     for vector in tests.iter().rev() {

@@ -6,18 +6,79 @@
 //! generated test is simulated against all remaining faults so each SAT
 //! call typically retires many faults (TEGUS does exactly this).
 
-use atpg_easy_netlist::{sim::Simulator, Netlist};
+use atpg_easy_netlist::{sim::Simulator, NetId, Netlist};
 
 use crate::Fault;
+
+/// Per-net fan-out cones, flattened into one arena.
+///
+/// `gates[start[n]..start[n + 1]]` is the topologically ordered fan-out
+/// cone of net `n` (excluding its driver), as produced by
+/// [`fanout_cone_gates`](atpg_easy_netlist::topo::fanout_cone_gates).
+#[derive(Debug, Clone)]
+struct ConeArena {
+    start: Vec<usize>,
+    gates: Vec<atpg_easy_netlist::GateId>,
+}
+
+impl ConeArena {
+    /// Equivalent to calling [`fanout_cone_gates`](atpg_easy_netlist::topo::fanout_cone_gates) for every net,
+    /// but computes the fan-out adjacency once and reuses one marker
+    /// buffer, so the whole arena costs O(nets × gates) with no per-net
+    /// allocation churn.
+    fn build(nl: &Netlist, order: &[atpg_easy_netlist::GateId]) -> Self {
+        let fanouts = nl.fanouts();
+        let num_nets = nl.num_nets();
+        let mut start = Vec::with_capacity(num_nets + 1);
+        let mut gates = Vec::new();
+        let mut seen = vec![false; num_nets];
+        let mut touched: Vec<usize> = Vec::new();
+        let mut stack: Vec<NetId> = Vec::new();
+        start.push(0);
+        for i in 0..num_nets {
+            let root = NetId::from_index(i);
+            stack.push(root);
+            while let Some(net) = stack.pop() {
+                if seen[net.index()] {
+                    continue;
+                }
+                seen[net.index()] = true;
+                touched.push(net.index());
+                for &user in &fanouts[net.index()] {
+                    let out = nl.gate(user).output;
+                    if !seen[out.index()] {
+                        stack.push(out);
+                    }
+                }
+            }
+            gates.extend(order.iter().copied().filter(|&g| {
+                let out = nl.gate(g).output;
+                seen[out.index()] && out != root
+            }));
+            start.push(gates.len());
+            for t in touched.drain(..) {
+                seen[t] = false;
+            }
+        }
+        ConeArena { start, gates }
+    }
+
+    fn cone(&self, net: NetId) -> &[atpg_easy_netlist::GateId] {
+        &self.gates[self.start[net.index()]..self.start[net.index() + 1]]
+    }
+}
 
 /// A reusable fault simulator for one circuit.
 #[derive(Debug, Clone)]
 pub struct FaultSimulator {
     sim: Simulator,
+    cones: Option<ConeArena>,
 }
 
 impl FaultSimulator {
-    /// Prepares the simulator (topological sort happens once).
+    /// Prepares the simulator (topological sort happens once). Faulty
+    /// resimulation sweeps the whole circuit per fault; use
+    /// [`Self::with_cones`] for campaigns with many faults.
     ///
     /// # Panics
     ///
@@ -25,7 +86,31 @@ impl FaultSimulator {
     pub fn new(nl: &Netlist) -> Self {
         FaultSimulator {
             sim: Simulator::new(nl),
+            cones: None,
         }
+    }
+
+    /// Like [`Self::new`] but additionally precomputes the fan-out cone of
+    /// every net, so faulty resimulation visits only the gates a fault can
+    /// influence instead of the whole circuit. The precomputation costs
+    /// O(nets × gates) once; campaigns amortize it over every
+    /// (test vector, fault) pair simulated for fault dropping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist is cyclic.
+    pub fn with_cones(nl: &Netlist) -> Self {
+        let sim = Simulator::new(nl);
+        let cones = ConeArena::build(nl, sim.order());
+        FaultSimulator {
+            sim,
+            cones: Some(cones),
+        }
+    }
+
+    /// Whether this simulator carries the precomputed cone arena.
+    pub fn has_cones(&self) -> bool {
+        self.cones.is_some()
     }
 
     /// Good-circuit net values for 64 parallel patterns.
@@ -35,7 +120,28 @@ impl FaultSimulator {
 
     /// Bitmask of lanes (patterns) in which `fault` is detected, given the
     /// precomputed good values for the same `input_words`.
+    ///
+    /// Dispatches to the cone-limited path when the simulator was built
+    /// with [`Self::with_cones`]; otherwise resimulates the whole circuit.
+    /// `scratch` must equal `good` on entry and is restored on return (it
+    /// is only used by the cone path).
     pub fn detect_mask(
+        &self,
+        nl: &Netlist,
+        input_words: &[u64],
+        good: &[u64],
+        scratch: &mut [u64],
+        fault: Fault,
+    ) -> u64 {
+        match &self.cones {
+            Some(_) => self.detect_mask_cone(nl, good, scratch, fault),
+            None => self.detect_mask_full(nl, input_words, good, fault),
+        }
+    }
+
+    /// Whole-circuit reference path: resimulates every gate with the fault
+    /// net forced. Kept alongside the cone path as the equivalence oracle.
+    pub fn detect_mask_full(
         &self,
         nl: &Netlist,
         input_words: &[u64],
@@ -59,6 +165,38 @@ impl FaultSimulator {
         mask
     }
 
+    /// Cone-limited path: re-evaluates only the fault net's fan-out cone.
+    /// `scratch` must equal `good` on entry; it is restored before
+    /// returning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulator was not built with [`Self::with_cones`].
+    pub fn detect_mask_cone(
+        &self,
+        nl: &Netlist,
+        good: &[u64],
+        scratch: &mut [u64],
+        fault: Fault,
+    ) -> u64 {
+        let cones = self
+            .cones
+            .as_ref()
+            .expect("detect_mask_cone requires FaultSimulator::with_cones");
+        let stuck_word = if fault.stuck { !0u64 } else { 0 };
+        if good[fault.net.index()] ^ stuck_word == 0 {
+            return 0;
+        }
+        self.sim.resim_cone_forced(
+            nl,
+            good,
+            scratch,
+            fault.net,
+            stuck_word,
+            cones.cone(fault.net),
+        )
+    }
+
     /// Simulates one batch of up to 64 vectors against a fault list,
     /// returning (per fault) whether it is detected by any lane.
     ///
@@ -72,9 +210,25 @@ impl FaultSimulator {
         assert!(vectors.len() <= 64, "at most 64 vectors per batch");
         let words = pack_vectors(nl, vectors);
         let good = self.good_values(nl, &words);
+        let mut scratch = good.clone();
         faults
             .iter()
-            .map(|&f| self.detect_mask(nl, &words, &good, f) != 0)
+            .map(|&f| self.detect_mask(nl, &words, &good, &mut scratch, f) != 0)
+            .collect()
+    }
+
+    /// Like [`Self::detect_batch`] but returning the full 64-bit detection
+    /// word per fault (bit `p` set iff pattern `p` detects the fault).
+    /// Campaign engines use the words to credit detections to individual
+    /// test vectors.
+    pub fn detect_words(&self, nl: &Netlist, vectors: &[Vec<bool>], faults: &[Fault]) -> Vec<u64> {
+        assert!(vectors.len() <= 64, "at most 64 vectors per batch");
+        let words = pack_vectors(nl, vectors);
+        let good = self.good_values(nl, &words);
+        let mut scratch = good.clone();
+        faults
+            .iter()
+            .map(|&f| self.detect_mask(nl, &words, &good, &mut scratch, f))
             .collect()
     }
 }
@@ -128,8 +282,9 @@ mod tests {
             .collect();
         let words = pack_vectors(&nl, &vectors);
         let good = fs.good_values(&nl, &words);
+        let mut scratch = good.clone();
         for fault in all_faults(&nl) {
-            let mask = fs.detect_mask(&nl, &words, &good, fault);
+            let mask = fs.detect_mask(&nl, &words, &good, &mut scratch, fault);
             for (p, v) in vectors.iter().enumerate() {
                 assert_eq!(
                     mask >> p & 1 != 0,
@@ -138,6 +293,50 @@ mod tests {
                     fault.describe(&nl)
                 );
             }
+        }
+    }
+
+    #[test]
+    fn cone_path_agrees_with_full_path() {
+        let nl = xor_chain();
+        let fast = FaultSimulator::with_cones(&nl);
+        let slow = FaultSimulator::new(&nl);
+        assert!(fast.has_cones());
+        assert!(!slow.has_cones());
+        let vectors: Vec<Vec<bool>> = (0..8u32)
+            .map(|m| (0..3).map(|i| m >> i & 1 != 0).collect())
+            .collect();
+        let words = pack_vectors(&nl, &vectors);
+        let good = fast.good_values(&nl, &words);
+        let mut scratch = good.clone();
+        for fault in all_faults(&nl) {
+            assert_eq!(
+                fast.detect_mask_cone(&nl, &good, &mut scratch, fault),
+                slow.detect_mask_full(&nl, &words, &good, fault),
+                "fault {}",
+                fault.describe(&nl)
+            );
+            assert_eq!(
+                scratch,
+                good,
+                "scratch restored after {}",
+                fault.describe(&nl)
+            );
+        }
+    }
+
+    #[test]
+    fn detect_words_credit_individual_patterns() {
+        let nl = xor_chain();
+        let fs = FaultSimulator::with_cones(&nl);
+        let vectors: Vec<Vec<bool>> = (0..8u32)
+            .map(|m| (0..3).map(|i| m >> i & 1 != 0).collect())
+            .collect();
+        let faults = all_faults(&nl);
+        let words = fs.detect_words(&nl, &vectors, &faults);
+        let det = fs.detect_batch(&nl, &vectors, &faults);
+        for (w, d) in words.iter().zip(&det) {
+            assert_eq!(*w != 0, *d, "word and batch flag agree");
         }
     }
 

@@ -16,7 +16,11 @@
 //!   engines;
 //! - [`campaign`]: the TEGUS-style loop — one ATPG-SAT instance per fault,
 //!   any [`Solver`](atpg_easy_sat::Solver), optional fault dropping —
-//!   which is exactly the experiment behind the paper's Figure 1.
+//!   which is exactly the experiment behind the paper's Figure 1;
+//! - [`parallel`]: the fault-parallel campaign engine — a sharded work
+//!   queue of collapsed faults served by worker threads, with fault
+//!   dropping coordinated through a drop-bitmap and committed in fault
+//!   order so the output is byte-identical at any thread count.
 //!
 //! # Example: test a stuck-at fault
 //!
@@ -45,9 +49,11 @@ pub mod campaign;
 pub mod fault;
 pub mod faultsim;
 pub mod miter;
+pub mod parallel;
 pub mod podem;
 pub mod verify;
 
 pub use campaign::{AtpgConfig, CampaignResult, FaultOutcome, FaultRecord, SolverChoice};
 pub use fault::Fault;
 pub use miter::AtpgMiter;
+pub use parallel::{AtpgCampaign, ParallelReport, ParallelRun, WorkerReport};

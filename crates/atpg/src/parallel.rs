@@ -1,0 +1,530 @@
+//! Fault-parallel campaign engine.
+//!
+//! [`AtpgCampaign`] runs the same TEGUS-style campaign as
+//! [`campaign::run`], but solves the per-fault ATPG-SAT instances on a
+//! pool of worker threads. The output is **byte-identical** to the
+//! sequential engine for any thread count (compare
+//! [`CampaignResult::canonical_report`]); only wall-clock fields differ.
+//!
+//! # How determinism survives fault dropping
+//!
+//! Fault dropping makes the workload only *nearly* embarrassingly
+//! parallel: whether fault `i` needs a SAT call depends on the tests
+//! generated for faults `< i`, so a naive parallel run would give
+//! interleaving-dependent results. This engine keeps the sequential
+//! semantics with *speculative solve + in-order commit*:
+//!
+//! - Workers pop fault indices from a sharded queue (one contiguous shard
+//!   per worker, work stealing when a shard drains) and speculatively
+//!   solve each popped fault, unless its bit in a shared drop-bitmap is
+//!   already set. Every solved instance is shipped to the committer along
+//!   with the drop hits of its test vector against the whole fault list —
+//!   a pure function of the vector, so it parallelizes safely.
+//! - The committing thread commits faults strictly in index order. Only
+//!   the committer writes the drop-bitmap, and only from committed tests,
+//!   so the bitmap content — and therefore every outcome — is independent
+//!   of worker interleaving. A speculative solve for a fault that an
+//!   earlier committed test already covers is simply discarded (counted
+//!   as `wasted_solves`).
+//!
+//! Workers reading a *set* bit is always sound (bits are monotone and
+//! only reflect committed state); workers missing a set bit merely wastes
+//! work. Deadlock-freedom: if the commit frontier waits on fault `f`,
+//! then `f`'s drop bit is unset (bits are set only for committed-detected
+//! faults), so whichever worker pops `f` sees the bit unset — or sees it
+//! set only after the frontier has already passed `f` — and delivers a
+//! solved record.
+//!
+//! The random-pattern phase runs single-threaded before the fan-out,
+//! identically to the sequential engine, so workers need no RNG streams —
+//! phase 2 is entirely deterministic given the committed test order.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use atpg_easy_netlist::Netlist;
+use atpg_easy_sat::SolverStats;
+
+use crate::campaign::{self, AtpgConfig, CampaignResult, FaultOutcome, FaultRecord};
+use crate::faultsim::FaultSimulator;
+use crate::Fault;
+
+/// A parallel ATPG campaign: configuration plus a thread count.
+#[derive(Debug, Clone)]
+pub struct AtpgCampaign {
+    config: AtpgConfig,
+    threads: usize,
+}
+
+impl AtpgCampaign {
+    /// A campaign over `config` with one worker thread.
+    pub fn new(config: AtpgConfig) -> Self {
+        AtpgCampaign { config, threads: 1 }
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1). The result is
+    /// byte-identical for every value; only wall-clock time changes.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs the campaign. See the module docs for the execution model.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`campaign::run`].
+    pub fn run(&self, nl: &Netlist) -> ParallelRun {
+        let started = Instant::now();
+        campaign::check_preflight(nl, &self.config);
+        let faults = campaign::target_faults(nl, &self.config);
+        let fs = FaultSimulator::with_cones(nl);
+        let mut detected = vec![false; faults.len()];
+
+        // Phase 1: identical to the sequential engine, single-threaded.
+        let tests = campaign::random_phase(nl, &self.config, &fs, &faults, &mut detected);
+        let mut result = CampaignResult {
+            records: Vec::with_capacity(faults.len()),
+            tests,
+        };
+
+        let queue = ShardedQueue::new(faults.len(), self.threads);
+        let drop_bits = DropBitmap::new(faults.len());
+        for (i, &d) in detected.iter().enumerate() {
+            if d {
+                drop_bits.set(i);
+            }
+        }
+
+        let (workers, committed_sat, dropped) = std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel::<Solved>();
+            let mut handles = Vec::with_capacity(self.threads);
+            for worker_id in 0..self.threads {
+                let tx = tx.clone();
+                let queue = &queue;
+                let drop_bits = &drop_bits;
+                let faults = &faults;
+                let fs = fs.clone();
+                let config = self.config;
+                handles.push(scope.spawn(move || {
+                    run_worker(worker_id, nl, faults, &config, &fs, queue, drop_bits, tx)
+                }));
+            }
+            drop(tx);
+            let (committed_sat, dropped) =
+                commit_loop(rx, &faults, &mut detected, &drop_bits, &mut result);
+            let workers: Vec<WorkerReport> = handles
+                .into_iter()
+                .map(|h| h.join().expect("worker threads do not panic"))
+                .collect();
+            (workers, committed_sat, dropped)
+        });
+
+        let solved: usize = workers.iter().map(|w| w.solved).sum();
+        let report = ParallelReport {
+            threads: self.threads,
+            wall: started.elapsed(),
+            queue_depth: faults.len(),
+            workers,
+            committed_sat,
+            dropped,
+            wasted_solves: solved - committed_sat,
+        };
+        ParallelRun { result, report }
+    }
+}
+
+/// A completed parallel campaign: the (thread-count-independent) result
+/// plus the (machine-dependent) execution report.
+#[derive(Debug, Clone)]
+pub struct ParallelRun {
+    /// Identical to what [`campaign::run`] produces, modulo `solve_time`.
+    pub result: CampaignResult,
+    /// How the run was executed: per-worker counters, wall time.
+    pub report: ParallelReport,
+}
+
+/// Observability counters for one parallel campaign.
+#[derive(Debug, Clone)]
+pub struct ParallelReport {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock time for the whole campaign (both phases).
+    pub wall: Duration,
+    /// Initial work-queue depth (targeted faults).
+    pub queue_depth: usize,
+    /// One entry per worker.
+    pub workers: Vec<WorkerReport>,
+    /// SAT instances whose verdict made it into the result.
+    pub committed_sat: usize,
+    /// Faults retired without a committed SAT verdict (random patterns or
+    /// fault dropping).
+    pub dropped: usize,
+    /// Speculative solves discarded at commit time because an earlier
+    /// committed test already covered the fault — the price of keeping
+    /// dropping deterministic under parallelism.
+    pub wasted_solves: usize,
+}
+
+impl ParallelReport {
+    /// Fraction of targeted faults retired without a committed SAT call.
+    pub fn drop_rate(&self) -> f64 {
+        if self.queue_depth == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.queue_depth as f64
+        }
+    }
+}
+
+/// Per-worker execution counters.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerReport {
+    /// Worker index.
+    pub id: usize,
+    /// Fault indices popped from the queue.
+    pub popped: usize,
+    /// Pops taken from another worker's shard.
+    pub stolen: usize,
+    /// SAT instances actually solved (the rest were drop-bit skips).
+    pub solved: usize,
+    /// Pops skipped because the drop-bitmap bit was already set.
+    pub skipped: usize,
+    /// Wall-clock time spent inside the solver.
+    pub solve_time: Duration,
+    /// Solver counters summed over this worker's solved instances.
+    pub stats: SolverStats,
+}
+
+/// Work queue: one contiguous shard of fault indices per worker, each with
+/// an atomic cursor. A worker drains its own shard first, then steals from
+/// the next non-empty shard (round-robin), so low indices — the ones the
+/// commit frontier needs first — are served early.
+struct ShardedQueue {
+    /// `bounds[s]..bounds[s + 1]` is shard `s`.
+    bounds: Vec<usize>,
+    cursors: Vec<AtomicUsize>,
+}
+
+impl ShardedQueue {
+    fn new(items: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let mut bounds = Vec::with_capacity(shards + 1);
+        for s in 0..=shards {
+            bounds.push(items * s / shards);
+        }
+        let cursors = (0..shards).map(|s| AtomicUsize::new(bounds[s])).collect();
+        ShardedQueue { bounds, cursors }
+    }
+
+    fn num_shards(&self) -> usize {
+        self.cursors.len()
+    }
+
+    /// Pops the next index for `worker`, stealing if its shard is empty.
+    /// Returns the index and whether it was stolen. Each index is handed
+    /// out exactly once across all workers.
+    fn pop(&self, worker: usize) -> Option<(usize, bool)> {
+        let shards = self.num_shards();
+        for probe in 0..shards {
+            let s = (worker + probe) % shards;
+            let end = self.bounds[s + 1];
+            let mut at = self.cursors[s].load(Ordering::Relaxed);
+            while at < end {
+                match self.cursors[s].compare_exchange_weak(
+                    at,
+                    at + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return Some((at, probe != 0)),
+                    Err(current) => at = current,
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Shared fault-drop bitmap. Bits are monotone (set-only) and written by
+/// the committer alone, so a set bit always reflects committed state.
+/// Relaxed ordering suffices: correctness never depends on a worker
+/// *seeing* a bit — a missed bit only costs a wasted speculative solve.
+struct DropBitmap {
+    words: Vec<AtomicU64>,
+}
+
+impl DropBitmap {
+    fn new(bits: usize) -> Self {
+        DropBitmap {
+            words: (0..bits.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn set(&self, i: usize) {
+        self.words[i / 64].fetch_or(1 << (i % 64), Ordering::Relaxed);
+    }
+
+    fn get(&self, i: usize) -> bool {
+        self.words[i / 64].load(Ordering::Relaxed) >> (i % 64) & 1 != 0
+    }
+}
+
+/// A speculatively solved instance on its way to the committer. `hits` is
+/// present for detected faults when dropping is on: one bit per campaign
+/// fault, set iff the test vector detects it.
+struct Solved {
+    index: usize,
+    record: FaultRecord,
+    hits: Option<Vec<u64>>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_worker(
+    id: usize,
+    nl: &Netlist,
+    faults: &[Fault],
+    config: &AtpgConfig,
+    fs: &FaultSimulator,
+    queue: &ShardedQueue,
+    drop_bits: &DropBitmap,
+    tx: mpsc::Sender<Solved>,
+) -> WorkerReport {
+    let mut report = WorkerReport {
+        id,
+        ..WorkerReport::default()
+    };
+    while let Some((index, stolen)) = queue.pop(id) {
+        report.popped += 1;
+        if stolen {
+            report.stolen += 1;
+        }
+        if drop_bits.get(index) {
+            report.skipped += 1;
+            continue;
+        }
+        let record = campaign::solve_one(nl, faults[index], config);
+        report.solved += 1;
+        report.solve_time += record.solve_time;
+        accumulate(&mut report.stats, &record.stats);
+        let hits = match &record.outcome {
+            FaultOutcome::Detected(vector) if config.fault_dropping => Some(pack_hits(
+                &fs.detect_batch(nl, std::slice::from_ref(vector), faults),
+            )),
+            _ => None,
+        };
+        // The committer may already have passed this fault and hung up;
+        // a closed channel just means the solve was wasted.
+        let _ = tx.send(Solved {
+            index,
+            record,
+            hits,
+        });
+    }
+    report
+}
+
+/// Consumes worker messages and commits faults strictly in index order,
+/// appending records and tests to `result`. This is the only writer of
+/// `detected` and `drop_bits` during phase 2. Returns
+/// `(committed_sat, dropped)`.
+fn commit_loop(
+    rx: mpsc::Receiver<Solved>,
+    faults: &[Fault],
+    detected: &mut [bool],
+    drop_bits: &DropBitmap,
+    result: &mut CampaignResult,
+) -> (usize, usize) {
+    let mut committed_sat = 0usize;
+    let mut dropped = 0usize;
+    let mut pending: HashMap<usize, Solved> = HashMap::new();
+    let mut frontier = 0usize;
+    loop {
+        // Advance the frontier as far as the committed state allows.
+        while frontier < faults.len() {
+            if detected[frontier] {
+                pending.remove(&frontier); // speculative solve, superseded
+                result
+                    .records
+                    .push(campaign::simulated_record(faults[frontier]));
+                dropped += 1;
+                frontier += 1;
+                continue;
+            }
+            let Some(solved) = pending.remove(&frontier) else {
+                break;
+            };
+            if let FaultOutcome::Detected(vector) = &solved.record.outcome {
+                detected[frontier] = true;
+                drop_bits.set(frontier);
+                if let Some(hits) = &solved.hits {
+                    for (j, d) in detected.iter_mut().enumerate() {
+                        if hits[j / 64] >> (j % 64) & 1 != 0 && !*d {
+                            *d = true;
+                            drop_bits.set(j);
+                        }
+                    }
+                }
+                result.tests.push(vector.clone());
+            }
+            committed_sat += 1;
+            result.records.push(solved.record);
+            frontier += 1;
+        }
+        if frontier >= faults.len() {
+            break;
+        }
+        let solved = rx.recv().expect("a worker owns every uncommitted fault");
+        if solved.index >= frontier {
+            pending.insert(solved.index, solved);
+        }
+    }
+    (committed_sat, dropped)
+}
+
+/// Packs a per-fault hit list into bitmap words.
+fn pack_hits(hits: &[bool]) -> Vec<u64> {
+    let mut words = vec![0u64; hits.len().div_ceil(64)];
+    for (j, &h) in hits.iter().enumerate() {
+        if h {
+            words[j / 64] |= 1 << (j % 64);
+        }
+    }
+    words
+}
+
+/// Sums solver counters (SolverStats has no arithmetic impls by design —
+/// per-instance counters are the paper's unit of measurement).
+fn accumulate(total: &mut SolverStats, one: &SolverStats) {
+    total.nodes += one.nodes;
+    total.decisions += one.decisions;
+    total.propagations += one.propagations;
+    total.conflicts += one.conflicts;
+    total.cache_hits += one.cache_hits;
+    total.cache_entries += one.cache_entries;
+    total.learnt_clauses += one.learnt_clauses;
+    total.restarts += one.restarts;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atpg_easy_netlist::parser::bench;
+
+    fn c17() -> Netlist {
+        bench::parse(
+            "INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
+             10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n19 = NAND(11, 7)\n\
+             22 = NAND(10, 16)\n23 = NAND(16, 19)\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sharded_queue_covers_every_index_once() {
+        let q = ShardedQueue::new(10, 3);
+        let mut seen = vec![false; 10];
+        for w in 0..3 {
+            while let Some((i, _)) = q.pop(w) {
+                assert!(!seen[i], "index {i} popped twice");
+                seen[i] = true;
+                if seen.iter().filter(|&&s| s).count() % 2 == 0 {
+                    break; // interleave workers
+                }
+            }
+        }
+        // Drain the rest from one worker (exercises stealing).
+        while let Some((i, _)) = q.pop(0) {
+            assert!(!seen[i], "index {i} popped twice");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert!(q.pop(1).is_none());
+    }
+
+    #[test]
+    fn empty_queue() {
+        let q = ShardedQueue::new(0, 4);
+        for w in 0..4 {
+            assert!(q.pop(w).is_none());
+        }
+    }
+
+    #[test]
+    fn more_shards_than_items() {
+        let q = ShardedQueue::new(2, 8);
+        let mut got = Vec::new();
+        while let Some((i, _)) = q.pop(5) {
+            got.push(i);
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1]);
+    }
+
+    #[test]
+    fn drop_bitmap_set_get() {
+        let b = DropBitmap::new(130);
+        assert!(!b.get(0) && !b.get(64) && !b.get(129));
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1) && !b.get(65) && !b.get(128));
+    }
+
+    #[test]
+    fn parallel_matches_sequential_and_thread_counts_agree() {
+        let nl = c17();
+        let config = AtpgConfig {
+            random_patterns: 32,
+            seed: 7,
+            ..AtpgConfig::default()
+        };
+        let sequential = campaign::run(&nl, &config).canonical_report();
+        for threads in [1, 2, 8] {
+            let run = AtpgCampaign::new(config).with_threads(threads).run(&nl);
+            assert_eq!(
+                run.result.canonical_report(),
+                sequential,
+                "threads={threads} must reproduce the sequential campaign"
+            );
+            assert_eq!(run.report.threads, threads);
+            assert_eq!(run.report.workers.len(), threads);
+            let popped: usize = run.report.workers.iter().map(|w| w.popped).sum();
+            assert_eq!(popped, run.report.queue_depth, "every fault popped once");
+        }
+    }
+
+    #[test]
+    fn parallel_without_dropping_matches_sequential() {
+        let nl = c17();
+        let config = AtpgConfig {
+            fault_dropping: false,
+            ..AtpgConfig::default()
+        };
+        let sequential = campaign::run(&nl, &config).canonical_report();
+        let run = AtpgCampaign::new(config).with_threads(3).run(&nl);
+        assert_eq!(run.result.canonical_report(), sequential);
+        assert_eq!(run.report.wasted_solves, 0, "nothing drops, nothing wasted");
+    }
+
+    #[test]
+    fn report_counters_are_consistent() {
+        let nl = c17();
+        let run = AtpgCampaign::new(AtpgConfig::default())
+            .with_threads(4)
+            .run(&nl);
+        let r = &run.report;
+        assert_eq!(r.committed_sat + r.dropped, r.queue_depth);
+        assert!(r.drop_rate() > 0.0, "c17 fault dropping retires faults");
+        let solved: usize = r.workers.iter().map(|w| w.solved).sum();
+        assert_eq!(r.wasted_solves, solved - r.committed_sat);
+    }
+}

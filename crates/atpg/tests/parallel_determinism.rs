@@ -1,0 +1,67 @@
+//! The parallel campaign engine must produce byte-identical reports at
+//! every thread count, and those reports must equal the sequential
+//! engine's — fault dropping included.
+
+use atpg_easy_atpg::campaign::{self, AtpgConfig};
+use atpg_easy_atpg::parallel::AtpgCampaign;
+use atpg_easy_circuits::suite;
+use atpg_easy_netlist::Netlist;
+
+fn circuits() -> Vec<(String, Netlist)> {
+    let mut picked = Vec::new();
+    picked.push(("c17".to_string(), suite::c17()));
+    for c in suite::mcnc_like() {
+        if c.name == "rca8" {
+            picked.push((c.name, c.netlist));
+        }
+    }
+    for c in suite::iscas_like() {
+        if c.name == "c432w" {
+            picked.push((c.name, c.netlist));
+        }
+    }
+    assert_eq!(picked.len(), 3, "suite circuits present");
+    picked
+}
+
+#[test]
+fn reports_identical_for_1_2_8_threads() {
+    let config = AtpgConfig {
+        random_patterns: 64,
+        seed: 0xDEC0DE,
+        ..AtpgConfig::default()
+    };
+    for (name, nl) in circuits() {
+        let sequential = campaign::run(&nl, &config);
+        let reference = sequential.canonical_report();
+        for threads in [1, 2, 8] {
+            let run = AtpgCampaign::new(config).with_threads(threads).run(&nl);
+            assert_eq!(
+                run.result.canonical_report(),
+                reference,
+                "{name} at {threads} threads diverges from the sequential campaign"
+            );
+            assert!(
+                (run.result.coverage() - sequential.coverage()).abs() < 1e-12,
+                "{name}: coverage must match"
+            );
+        }
+    }
+}
+
+#[test]
+fn dominance_collapsed_campaign_is_thread_count_independent() {
+    let config = AtpgConfig {
+        dominance: true,
+        random_patterns: 16,
+        seed: 3,
+        ..AtpgConfig::default()
+    };
+    let nl = suite::c17();
+    let reference = AtpgCampaign::new(config).with_threads(1).run(&nl);
+    let wide = AtpgCampaign::new(config).with_threads(8).run(&nl);
+    assert_eq!(
+        reference.result.canonical_report(),
+        wide.result.canonical_report()
+    );
+}

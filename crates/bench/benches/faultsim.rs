@@ -16,6 +16,7 @@ fn bench_faultsim(c: &mut Criterion) {
     ] {
         let nl = decompose::decompose(&raw, 3).expect("decomposes");
         let fs = FaultSimulator::new(&nl);
+        let fs_cones = FaultSimulator::with_cones(&nl);
         let faults = all_faults(&nl);
         let vectors: Vec<Vec<bool>> = (0..64u64)
             .map(|p| {
@@ -24,8 +25,11 @@ fn bench_faultsim(c: &mut Criterion) {
                     .collect()
             })
             .collect();
-        group.bench_function(format!("{name}_64pat_{}faults", faults.len()), |b| {
+        group.bench_function(format!("{name}_64pat_{}faults_full", faults.len()), |b| {
             b.iter(|| black_box(fs.detect_batch(&nl, &vectors, &faults)))
+        });
+        group.bench_function(format!("{name}_64pat_{}faults_cone", faults.len()), |b| {
+            b.iter(|| black_box(fs_cones.detect_batch(&nl, &vectors, &faults)))
         });
     }
     group.finish();

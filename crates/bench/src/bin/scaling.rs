@@ -1,0 +1,109 @@
+//! Thread-scaling measurement for the parallel campaign engine.
+//!
+//! ```text
+//! cargo run -p atpg-easy-bench --release --bin scaling -- [mcnc|iscas|all] \
+//!     [--threads 1,2,4,8] [--patterns N] [--out results/scaling.json]
+//! ```
+//!
+//! Runs the suite's campaigns at each thread count, checks that every run
+//! is byte-identical to the 1-thread baseline (the engine's determinism
+//! contract), and writes wall time, speedup, drop rate and per-worker
+//! instance counts to `results/scaling.json`. Speedup is measured, not
+//! assumed: on a single-CPU host the threads serialize and the numbers
+//! say so.
+
+use std::time::Duration;
+
+use atpg_easy_atpg::parallel::AtpgCampaign;
+use atpg_easy_atpg::AtpgConfig;
+use atpg_easy_bench::{flag, parse_args, resolve_suite};
+use atpg_easy_core::report::{self, ScalingRun};
+
+fn main() {
+    let (pos, flags) = parse_args(std::env::args().skip(1));
+    let suite_name = pos.first().map(String::as_str).unwrap_or("mcnc");
+    let Some(circuits) = resolve_suite(suite_name) else {
+        eprintln!(
+            "usage: scaling [mcnc|iscas|all] [--threads 1,2,4,8] [--patterns N] [--out FILE]"
+        );
+        std::process::exit(2);
+    };
+    let thread_counts: Vec<usize> = flag::<String>(&flags, "threads")
+        .unwrap_or_else(|| "1,2,4,8".to_string())
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .collect();
+    let patterns: usize = flag(&flags, "patterns").unwrap_or(64);
+    let out = flag::<String>(&flags, "out").unwrap_or_else(|| "results/scaling.json".to_string());
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let config = AtpgConfig {
+        random_patterns: patterns,
+        ..AtpgConfig::default()
+    };
+
+    println!("== campaign thread scaling ({suite_name}, {host_cpus} host CPUs) ==");
+    let mut runs: Vec<ScalingRun> = Vec::new();
+    let mut baseline_reports: Vec<String> = Vec::new();
+    for &threads in &thread_counts {
+        let mut wall = Duration::ZERO;
+        let mut targeted = 0usize;
+        let mut dropped = 0usize;
+        let mut committed_sat = 0usize;
+        let mut wasted = 0usize;
+        let mut per_worker = vec![0usize; threads];
+        for (ci, c) in circuits.iter().enumerate() {
+            let run = AtpgCampaign::new(config)
+                .with_threads(threads)
+                .run(&c.netlist);
+            let canonical = run.result.canonical_report();
+            if threads == thread_counts[0] {
+                baseline_reports.push(canonical);
+            } else {
+                assert_eq!(
+                    baseline_reports[ci], canonical,
+                    "{}: {threads}-thread run diverged from baseline",
+                    c.name
+                );
+            }
+            let r = &run.report;
+            wall += r.wall;
+            targeted += r.queue_depth;
+            dropped += r.dropped;
+            committed_sat += r.committed_sat;
+            wasted += r.wasted_solves;
+            for w in &r.workers {
+                per_worker[w.id] += w.solved;
+            }
+        }
+        let drop_rate = if targeted == 0 {
+            0.0
+        } else {
+            dropped as f64 / targeted as f64
+        };
+        let speedup = runs
+            .first()
+            .map(|b: &ScalingRun| b.wall.as_secs_f64() / wall.as_secs_f64().max(1e-12))
+            .unwrap_or(1.0);
+        println!(
+            "threads={threads:<3} wall={wall:>10.3?} speedup={speedup:>5.2}x \
+             drop_rate={:.1}% sat={committed_sat} wasted={wasted}",
+            100.0 * drop_rate
+        );
+        runs.push(ScalingRun {
+            threads,
+            wall,
+            drop_rate,
+            committed_sat,
+            wasted_solves: wasted,
+            per_worker_solved: per_worker,
+        });
+    }
+
+    let json = report::scaling_json(suite_name, host_cpus, &runs);
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("results directory creatable");
+    }
+    std::fs::write(&out, json).expect("scaling.json writable");
+    println!("(written to {out}; all thread counts byte-identical to baseline)");
+}

@@ -1,8 +1,12 @@
-//! Plain-text renderings of the series the paper plots.
+//! Plain-text renderings of the series the paper plots, plus execution
+//! reports for the parallel campaign engine (per-worker breakdowns and
+//! the `scaling.json` schema).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Duration;
+
+use atpg_easy_atpg::parallel::ParallelReport;
 
 use crate::experiment::{fig1_summary, Fig1Point, Fig8Point};
 use crate::predictor;
@@ -190,6 +194,141 @@ pub fn figure8_csv(points: &[Fig8Point]) -> String {
         let _ = writeln!(s, "{},{},{}", p.circuit, p.sub_size, p.cutwidth);
     }
     s
+}
+
+/// Per-worker breakdown of one parallel campaign, plus the headline
+/// queue/drop counters.
+pub fn worker_table(report: &ParallelReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<7} {:>7} {:>7} {:>8} {:>8} {:>12} {:>12}",
+        "worker", "popped", "stolen", "solved", "skipped", "solve time", "conflicts"
+    );
+    for w in &report.workers {
+        let _ = writeln!(
+            s,
+            "{:<7} {:>7} {:>7} {:>8} {:>8} {:>12?} {:>12}",
+            w.id, w.popped, w.stolen, w.solved, w.skipped, w.solve_time, w.stats.conflicts
+        );
+    }
+    let _ = writeln!(
+        s,
+        "queue depth {} | committed SAT {} | dropped {} ({:.1}%) | wasted solves {} | wall {:?}",
+        report.queue_depth,
+        report.committed_sat,
+        report.dropped,
+        100.0 * report.drop_rate(),
+        report.wasted_solves,
+        report.wall
+    );
+    s
+}
+
+/// One aggregated scaling measurement: a whole benchmark suite run at one
+/// thread count.
+#[derive(Debug, Clone)]
+pub struct ScalingRun {
+    /// Worker threads.
+    pub threads: usize,
+    /// Total wall-clock across the suite.
+    pub wall: Duration,
+    /// Faults retired without a committed SAT call / targeted faults.
+    pub drop_rate: f64,
+    /// Committed SAT instances across the suite.
+    pub committed_sat: usize,
+    /// Speculative solves discarded at commit time.
+    pub wasted_solves: usize,
+    /// SAT instances solved per worker id, summed across circuits.
+    pub per_worker_solved: Vec<usize>,
+}
+
+/// Renders the scaling measurements as JSON (`results/scaling.json`
+/// schema). Speedup is relative to the first run (the 1-thread baseline
+/// by convention). No serde in this workspace — the schema is flat enough
+/// to hand-roll.
+pub fn scaling_json(suite: &str, host_cpus: usize, runs: &[ScalingRun]) -> String {
+    fn escape(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let base = runs.first().map(|r| r.wall.as_secs_f64());
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"suite\": \"{}\",", escape(suite));
+    let _ = writeln!(s, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(s, "  \"runs\": [");
+    for (i, r) in runs.iter().enumerate() {
+        let wall = r.wall.as_secs_f64();
+        let speedup = match base {
+            Some(b) if wall > 0.0 => b / wall,
+            _ => 1.0,
+        };
+        let workers: Vec<String> = r.per_worker_solved.iter().map(|n| n.to_string()).collect();
+        let _ = write!(
+            s,
+            "    {{\"threads\": {}, \"wall_s\": {:.6}, \"speedup\": {:.3}, \
+             \"drop_rate\": {:.4}, \"committed_sat\": {}, \"wasted_solves\": {}, \
+             \"per_worker_solved\": [{}]}}",
+            r.threads,
+            wall,
+            speedup,
+            r.drop_rate,
+            r.committed_sat,
+            r.wasted_solves,
+            workers.join(", ")
+        );
+        let _ = writeln!(s, "{}", if i + 1 < runs.len() { "," } else { "" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod parallel_report_tests {
+    use super::*;
+    use atpg_easy_atpg::parallel::AtpgCampaign;
+    use atpg_easy_atpg::AtpgConfig;
+    use atpg_easy_circuits::suite;
+
+    #[test]
+    fn worker_table_renders() {
+        let run = AtpgCampaign::new(AtpgConfig::default())
+            .with_threads(2)
+            .run(&suite::c17());
+        let t = worker_table(&run.report);
+        assert!(t.contains("worker"), "{t}");
+        assert!(t.contains("queue depth"), "{t}");
+        assert_eq!(t.lines().count(), 2 + 2, "header + 2 workers + summary");
+    }
+
+    #[test]
+    fn scaling_json_shape() {
+        let runs = vec![
+            ScalingRun {
+                threads: 1,
+                wall: Duration::from_millis(100),
+                drop_rate: 0.5,
+                committed_sat: 10,
+                wasted_solves: 0,
+                per_worker_solved: vec![10],
+            },
+            ScalingRun {
+                threads: 2,
+                wall: Duration::from_millis(50),
+                drop_rate: 0.5,
+                committed_sat: 10,
+                wasted_solves: 2,
+                per_worker_solved: vec![7, 5],
+            },
+        ];
+        let j = scaling_json("mcnc", 4, &runs);
+        assert!(j.contains("\"suite\": \"mcnc\""), "{j}");
+        assert!(j.contains("\"host_cpus\": 4"), "{j}");
+        assert!(j.contains("\"speedup\": 2.000"), "{j}");
+        assert!(j.contains("\"per_worker_solved\": [7, 5]"), "{j}");
+        // Balanced braces/brackets — cheap well-formedness check.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
 }
 
 #[cfg(test)]

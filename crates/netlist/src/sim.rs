@@ -57,6 +57,11 @@ impl Simulator {
         values
     }
 
+    /// The topological gate order this simulator evaluates in.
+    pub fn order(&self) -> &[crate::GateId] {
+        &self.order
+    }
+
     /// Like [`Self::run`] but forcing net `forced` to the constant word
     /// `forced_value` regardless of its driver — i.e. simulating a stuck-at
     /// fault (all-zeros word for s-a-0, all-ones for s-a-1).
@@ -84,6 +89,56 @@ impl Simulator {
             values[gate.output.index()] = gate.kind.eval_words(&in_buf);
         }
         values
+    }
+
+    /// Event-driven faulty resimulation limited to the fan-out cone of the
+    /// fault net.
+    ///
+    /// `good` holds the fault-free value of every net (from [`Self::run`]);
+    /// `scratch` must be equal to `good` on entry. The net `forced` is set
+    /// to `forced_value` and only the gates in `cone` — the topologically
+    /// ordered fan-out cone from
+    /// [`topo::fanout_cone_gates`](crate::topo::fanout_cone_gates) — are
+    /// re-evaluated. This is sound because every net outside the cone is
+    /// unreachable from the fault and therefore keeps its good value, which
+    /// `scratch` already holds.
+    ///
+    /// Returns the detection word: bit `p` is set iff pattern `p` observes
+    /// a difference on at least one primary output. `scratch` is restored
+    /// to `good` before returning, so it can be reused across faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `good` / `scratch` are not sized for this netlist.
+    pub fn resim_cone_forced(
+        &self,
+        nl: &Netlist,
+        good: &[u64],
+        scratch: &mut [u64],
+        forced: NetId,
+        forced_value: u64,
+        cone: &[crate::GateId],
+    ) -> u64 {
+        assert_eq!(good.len(), self.num_nets, "good values cover every net");
+        assert_eq!(scratch.len(), self.num_nets, "scratch covers every net");
+        scratch[forced.index()] = forced_value;
+        let mut in_buf: Vec<u64> = Vec::with_capacity(8);
+        for &gid in cone {
+            let gate = nl.gate(gid);
+            in_buf.clear();
+            in_buf.extend(gate.inputs.iter().map(|&n| scratch[n.index()]));
+            scratch[gate.output.index()] = gate.kind.eval_words(&in_buf);
+        }
+        let mut detect = 0u64;
+        for &o in nl.outputs() {
+            detect |= scratch[o.index()] ^ good[o.index()];
+        }
+        scratch[forced.index()] = good[forced.index()];
+        for &gid in cone {
+            let out = nl.gate(gid).output;
+            scratch[out.index()] = good[out.index()];
+        }
+        detect
     }
 }
 
@@ -173,5 +228,37 @@ mod tests {
     fn wrong_input_count_panics() {
         let nl = xor2();
         Simulator::new(&nl).run(&nl, &[0]);
+    }
+
+    #[test]
+    fn cone_resim_matches_full_forced_resim() {
+        // A two-output circuit so the cone is a strict subset of the gates:
+        // y0 = AND(a, b); y1 = OR(b, c). A fault on the AND cannot touch y1.
+        let mut nl = Netlist::new("two_cones");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let y0 = nl.add_gate_named(GateKind::And, vec![a, b], "y0").unwrap();
+        let y1 = nl.add_gate_named(GateKind::Or, vec![b, c], "y1").unwrap();
+        nl.add_output(y0);
+        nl.add_output(y1);
+        let sim = Simulator::new(&nl);
+        let inputs = [0xF0F0u64, 0xCCCCu64, 0xAAAAu64];
+        let good = sim.run(&nl, &inputs);
+        let mut scratch = good.clone();
+        for (net, stuck) in [(y0, 0u64), (y0, !0u64), (a, 0), (a, !0), (b, 0), (b, !0)] {
+            let cone = crate::topo::fanout_cone_gates(&nl, sim.order(), net);
+            let fast = sim.resim_cone_forced(&nl, &good, &mut scratch, net, stuck, &cone);
+            let full = sim.run_with_forced(&nl, &inputs, net, stuck);
+            let slow = nl
+                .outputs()
+                .iter()
+                .fold(0u64, |m, &o| m | (full[o.index()] ^ good[o.index()]));
+            assert_eq!(fast, slow, "cone resim must match whole-circuit resim");
+            assert_eq!(scratch, good, "scratch is restored after each fault");
+        }
+        // Sanity: the fault on y0 has a two-gate circuit but a one-gate cone.
+        assert!(crate::topo::fanout_cone_gates(&nl, sim.order(), y0).is_empty());
+        assert_eq!(crate::topo::fanout_cone_gates(&nl, sim.order(), b).len(), 2);
     }
 }

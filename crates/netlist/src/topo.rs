@@ -120,6 +120,28 @@ pub fn transitive_fanout(nl: &Netlist, root: NetId) -> Vec<bool> {
     seen
 }
 
+/// The gates whose output lies in the transitive fan-out of `root`, in
+/// topological order, excluding the driver of `root` itself.
+///
+/// This is exactly the set of gates a stuck-at fault on `root` can
+/// influence: re-evaluating them in order (with `root` forced) updates
+/// every net that can differ from the good circuit. The root's own driver
+/// is excluded because the fault overrides it.
+///
+/// `order` must be a topological order of `nl` (e.g. from [`topo_order`]);
+/// passing it in lets callers amortize the sort across many faults.
+pub fn fanout_cone_gates(nl: &Netlist, order: &[GateId], root: NetId) -> Vec<GateId> {
+    let fo = transitive_fanout(nl, root);
+    order
+        .iter()
+        .copied()
+        .filter(|&g| {
+            let out = nl.gate(g).output;
+            fo[out.index()] && out != root
+        })
+        .collect()
+}
+
 /// Result of [`extract_cone`]: the extracted subcircuit plus the mapping
 /// from old net ids to new ones (dense `Vec`, `None` for nets outside the
 /// cone).
@@ -300,6 +322,35 @@ mod tests {
             .map(|(_, n)| n.name.as_str())
             .collect();
         assert_eq!(names, vec!["f", "h", "i"]);
+    }
+
+    #[test]
+    fn fanout_cone_gates_of_f() {
+        let nl = fig4a();
+        let order = topo_order(&nl).unwrap();
+        let f = nl.find_net("f").unwrap();
+        let cone = fanout_cone_gates(&nl, &order, f);
+        // f's fan-out nets are {f, h, i}; f's own driver is excluded, so
+        // the cone gates drive h and i, in that order.
+        let names: Vec<&str> = cone
+            .iter()
+            .map(|&g| nl.net(nl.gate(g).output).name.as_str())
+            .collect();
+        assert_eq!(names, vec!["h", "i"]);
+    }
+
+    #[test]
+    fn fanout_cone_gates_of_input() {
+        // A primary input has no driver; its cone is every gate downstream.
+        let nl = fig4a();
+        let order = topo_order(&nl).unwrap();
+        let a = nl.find_net("a").unwrap();
+        let cone = fanout_cone_gates(&nl, &order, a);
+        let names: Vec<&str> = cone
+            .iter()
+            .map(|&g| nl.net(nl.gate(g).output).name.as_str())
+            .collect();
+        assert_eq!(names, vec!["h", "i"]);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::collections::HashSet;
 use atpg_easy_cnf::{CnfFormula, Var};
 
 use crate::simple::{check_order, Residual};
-use crate::{Limits, Outcome, Solution, Solver, SolverStats};
+use crate::{Deadline, Limits, Outcome, Solution, Solver, SolverStats};
 
 /// What happened at one backtracking-tree node (see [`TraceEvent`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,6 +131,7 @@ fn cache_sat(
     cache: &mut HashSet<u128>,
     stats: &mut SolverStats,
     limits: &Limits,
+    deadline: &mut Deadline,
     trace: &mut Option<&mut Vec<TraceEvent>>,
 ) -> Verdict {
     if res.all_satisfied() || depth == order.len() {
@@ -145,6 +146,9 @@ fn cache_sat(
             if stats.nodes > max {
                 return Verdict::Aborted;
             }
+        }
+        if deadline.expired() {
+            return Verdict::Aborted;
         }
         res.assign(v, value);
         let record = |t: &mut Option<&mut Vec<TraceEvent>>, outcome| {
@@ -170,7 +174,7 @@ fn cache_sat(
                 record(trace, TraceOutcome::CacheHit);
             } else {
                 record(trace, TraceOutcome::Expanded);
-                match cache_sat(res, order, depth + 1, cache, stats, limits, trace) {
+                match cache_sat(res, order, depth + 1, cache, stats, limits, deadline, trace) {
                     Verdict::Unsat => {
                         cache.insert(key);
                     }
@@ -216,6 +220,7 @@ impl Solver for CachingBacktracking {
         } else {
             None
         };
+        let mut deadline = Deadline::start(&self.limits);
         let verdict = cache_sat(
             &mut res,
             &order,
@@ -223,6 +228,7 @@ impl Solver for CachingBacktracking {
             &mut cache,
             &mut stats,
             &self.limits,
+            &mut deadline,
             &mut trace_slot,
         );
         stats.cache_entries = cache.len() as u64;

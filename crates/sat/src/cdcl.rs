@@ -11,7 +11,7 @@ use std::collections::BinaryHeap;
 
 use atpg_easy_cnf::{CnfFormula, Lit, Var};
 
-use crate::{Limits, Outcome, Solution, Solver, SolverStats};
+use crate::{Deadline, Limits, Outcome, Solution, Solver, SolverStats};
 
 const VAR_DECAY: f64 = 0.95;
 const CLA_DECAY: f64 = 0.999;
@@ -423,8 +423,19 @@ impl Solver for Cdcl {
         let mut restart_count: u64 = 0;
         let mut conflicts_until_restart = RESTART_BASE * luby(0);
         let mut conflicts_this_restart: u64 = 0;
+        let mut deadline = Deadline::start(&self.limits);
 
         loop {
+            // One tick per main-loop iteration: each iteration performs one
+            // bounded propagation pass plus either one conflict analysis or
+            // one decision, so the clock is consulted often enough.
+            if deadline.expired() {
+                e.stats.learnt_clauses = e.num_learnt as u64;
+                return Solution {
+                    outcome: Outcome::Aborted,
+                    stats: e.stats,
+                };
+            }
             if let Some(confl) = e.propagate() {
                 e.stats.conflicts += 1;
                 conflicts_this_restart += 1;

@@ -6,7 +6,7 @@
 
 use atpg_easy_cnf::{CnfFormula, Lit, Var};
 
-use crate::{Limits, Outcome, Solution, Solver, SolverStats};
+use crate::{Deadline, Limits, Outcome, Solution, Solver, SolverStats};
 
 /// DPLL with unit propagation and static branching order.
 #[derive(Debug, Clone, Default)]
@@ -111,7 +111,11 @@ impl State {
     }
 
     /// Propagates unit clauses to fixpoint. Returns `false` on conflict.
-    fn propagate(&mut self, stats: &mut SolverStats) -> bool {
+    ///
+    /// Ticks `deadline` once per propagated literal; on expiry the fixpoint
+    /// loop stops early (no conflict is reported) and the caller's deadline
+    /// check aborts the search.
+    fn propagate(&mut self, stats: &mut SolverStats, deadline: &mut Deadline) -> bool {
         loop {
             let mut unit: Option<Lit> = None;
             for ci in 0..self.clauses.len() {
@@ -135,6 +139,9 @@ impl State {
                 None => return true,
                 Some(l) => {
                     stats.propagations += 1;
+                    if deadline.expired() {
+                        return true;
+                    }
                     if !self.assign(l.var(), l.asserted_value()) {
                         return false;
                     }
@@ -144,12 +151,22 @@ impl State {
     }
 }
 
-fn rec(st: &mut State, order: &[Var], stats: &mut SolverStats, limits: &Limits) -> Verdict {
+fn rec(
+    st: &mut State,
+    order: &[Var],
+    stats: &mut SolverStats,
+    limits: &Limits,
+    deadline: &mut Deadline,
+) -> Verdict {
     let mark = st.trail.len();
-    if !st.propagate(stats) {
+    if !st.propagate(stats, deadline) {
         stats.conflicts += 1;
         st.undo_to(mark);
         return Verdict::Unsat;
+    }
+    if deadline.expired() {
+        st.undo_to(mark);
+        return Verdict::Aborted;
     }
     if st.open_clauses == 0 {
         return Verdict::Sat;
@@ -170,7 +187,7 @@ fn rec(st: &mut State, order: &[Var], stats: &mut SolverStats, limits: &Limits) 
         let decision_mark = st.trail.len();
         let ok = st.assign(v, value);
         if ok {
-            match rec(st, order, stats, limits) {
+            match rec(st, order, stats, limits, deadline) {
                 Verdict::Unsat => {}
                 other => return other,
             }
@@ -200,7 +217,8 @@ impl Solver for Dpll {
                 stats,
             };
         }
-        let verdict = rec(&mut st, &order, &mut stats, &self.limits);
+        let mut deadline = Deadline::start(&self.limits);
+        let verdict = rec(&mut st, &order, &mut stats, &self.limits, &mut deadline);
         let outcome = match verdict {
             Verdict::Sat => Outcome::Sat(st.assign.iter().map(|v| v.unwrap_or(false)).collect()),
             Verdict::Unsat => Outcome::Unsat,

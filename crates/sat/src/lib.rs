@@ -44,13 +44,17 @@ mod simple;
 pub use caching::{render_trace, CachingBacktracking, TraceEvent, TraceOutcome};
 pub use cdcl::Cdcl;
 pub use dpll::Dpll;
-pub use result::{Limits, Outcome, Solution, SolverStats};
+pub use result::{Deadline, Limits, Outcome, Solution, SolverStats};
 pub use simple::SimpleBacktracking;
 
 use atpg_easy_cnf::CnfFormula;
 
 /// Common interface for all solvers.
-pub trait Solver {
+///
+/// `Send` is a supertrait so `Box<dyn Solver>` can be owned by worker
+/// threads in parallel campaign engines; every solver here is plain owned
+/// data, so the bound is free.
+pub trait Solver: Send {
     /// Decides satisfiability of `formula`.
     fn solve(&mut self, formula: &CnfFormula) -> Solution;
 
@@ -122,6 +126,43 @@ mod cross_tests {
                     Outcome::Aborted => panic!("no limits were set (round {round})"),
                 }
             }
+        }
+    }
+
+    #[test]
+    fn wall_deadline_aborts_all_solvers() {
+        // PHP(10,9): hard enough that no solver here finishes within the
+        // ~512 deadline ticks a zero deadline allows before the first
+        // clock read.
+        let n_p = 10;
+        let n_h = 9;
+        let v = |i: usize, j: usize, pos: bool| Lit::with_value(Var::from_index(i * n_h + j), pos);
+        let mut f = CnfFormula::new(n_p * n_h);
+        for i in 0..n_p {
+            f.add_clause((0..n_h).map(|j| v(i, j, true)).collect());
+        }
+        for j in 0..n_h {
+            for i1 in 0..n_p {
+                for i2 in i1 + 1..n_p {
+                    f.add_clause(vec![v(i1, j, false), v(i2, j, false)]);
+                }
+            }
+        }
+        let limits = Limits::wall(std::time::Duration::ZERO);
+        let solvers: Vec<Box<dyn Solver>> = vec![
+            Box::new(SimpleBacktracking::new().with_limits(limits)),
+            Box::new(CachingBacktracking::new().with_limits(limits)),
+            Box::new(Dpll::new().with_limits(limits)),
+            Box::new(Cdcl::new().with_limits(limits)),
+        ];
+        for mut s in solvers {
+            let sol = s.solve(&f);
+            assert_eq!(
+                sol.outcome,
+                Outcome::Aborted,
+                "{} must abort on an already-expired deadline",
+                s.name()
+            );
         }
     }
 

@@ -1,6 +1,7 @@
 //! Solver outcomes, statistics and resource budgets.
 
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// The verdict of a solve call.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,6 +86,11 @@ pub struct Limits {
     pub max_nodes: Option<u64>,
     /// Maximum conflicts (CDCL), `None` = unlimited.
     pub max_conflicts: Option<u64>,
+    /// Wall-clock deadline for one solve call, `None` = unlimited. Unlike
+    /// the node/conflict budgets this is machine-dependent; campaign
+    /// engines use it so one pathological instance cannot stall a worker
+    /// thread indefinitely.
+    pub max_wall: Option<Duration>,
 }
 
 impl Limits {
@@ -108,6 +114,70 @@ impl Limits {
             ..Limits::default()
         }
     }
+
+    /// Limit wall-clock time per solve call.
+    pub fn wall(max: Duration) -> Self {
+        Limits {
+            max_wall: Some(max),
+            ..Limits::default()
+        }
+    }
+
+    /// Adds a wall-clock deadline to an existing budget.
+    pub fn with_wall(mut self, max: Duration) -> Self {
+        self.max_wall = Some(max);
+        self
+    }
+}
+
+/// How many [`Deadline::expired`] ticks elapse between actual clock reads.
+const DEADLINE_CHECK_INTERVAL: u32 = 512;
+
+/// Amortized wall-clock deadline checker.
+///
+/// Solvers tick this once per backtracking node (and CDCL additionally
+/// once per propagation pass); the tick only reads the clock every
+/// [`DEADLINE_CHECK_INTERVAL`] calls, so enforcement costs a decrement on
+/// the hot path. With no `max_wall` configured every call is a single
+/// branch on `None`.
+#[derive(Debug, Clone)]
+pub struct Deadline {
+    deadline: Option<Instant>,
+    countdown: u32,
+    hit: bool,
+}
+
+impl Deadline {
+    /// Starts the clock for one solve call under `limits`.
+    pub fn start(limits: &Limits) -> Self {
+        Deadline {
+            deadline: limits.max_wall.map(|d| Instant::now() + d),
+            countdown: DEADLINE_CHECK_INTERVAL,
+            hit: false,
+        }
+    }
+
+    /// Ticks the checker; `true` once the deadline has passed (and on
+    /// every tick thereafter, so recursive solvers unwind promptly).
+    ///
+    /// Only every [`DEADLINE_CHECK_INTERVAL`]-th call consults the clock,
+    /// so expiry is detected within that many ticks of the true instant.
+    #[inline]
+    pub fn expired(&mut self) -> bool {
+        let Some(deadline) = self.deadline else {
+            return false;
+        };
+        if self.hit {
+            return true;
+        }
+        self.countdown -= 1;
+        if self.countdown > 0 {
+            return false;
+        }
+        self.countdown = DEADLINE_CHECK_INTERVAL;
+        self.hit = Instant::now() >= deadline;
+        self.hit
+    }
 }
 
 #[cfg(test)]
@@ -130,6 +200,38 @@ mod tests {
         assert_eq!(Limits::none().max_nodes, None);
         assert_eq!(Limits::nodes(10).max_nodes, Some(10));
         assert_eq!(Limits::conflicts(5).max_conflicts, Some(5));
+        assert_eq!(
+            Limits::wall(Duration::from_millis(7)).max_wall,
+            Some(Duration::from_millis(7))
+        );
+        let combined = Limits::nodes(10).with_wall(Duration::from_secs(1));
+        assert_eq!(combined.max_nodes, Some(10));
+        assert_eq!(combined.max_wall, Some(Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn deadline_without_wall_never_expires() {
+        let mut d = Deadline::start(&Limits::nodes(3));
+        for _ in 0..10_000 {
+            assert!(!d.expired());
+        }
+    }
+
+    #[test]
+    fn deadline_expires_and_stays_expired() {
+        let mut d = Deadline::start(&Limits::wall(Duration::ZERO));
+        // The first DEADLINE_CHECK_INTERVAL - 1 ticks are amortized away;
+        // within one interval the zero deadline must register.
+        let mut fired = false;
+        for _ in 0..2 * DEADLINE_CHECK_INTERVAL {
+            if d.expired() {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "zero deadline must expire within one interval");
+        assert!(d.expired(), "expiry is sticky");
+        assert!(d.expired());
     }
 
     #[test]

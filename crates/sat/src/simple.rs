@@ -3,7 +3,7 @@
 
 use atpg_easy_cnf::{CnfFormula, Lit, Var};
 
-use crate::{Limits, Outcome, Solution, Solver, SolverStats};
+use crate::{Deadline, Limits, Outcome, Solution, Solver, SolverStats};
 
 /// Incremental view of a formula under a partial assignment.
 ///
@@ -226,6 +226,7 @@ impl Solver for SimpleBacktracking {
             depth: usize,
             stats: &mut SolverStats,
             limits: &Limits,
+            deadline: &mut Deadline,
         ) -> Verdict {
             if res.all_satisfied() || depth == order.len() {
                 // All variables assigned with no null clause means every
@@ -241,11 +242,14 @@ impl Solver for SimpleBacktracking {
                         return Verdict::Aborted;
                     }
                 }
+                if deadline.expired() {
+                    return Verdict::Aborted;
+                }
                 res.assign(v, value);
                 if res.has_conflict() {
                     stats.conflicts += 1;
                 } else {
-                    match rec(res, order, depth + 1, stats, limits) {
+                    match rec(res, order, depth + 1, stats, limits, deadline) {
                         Verdict::Unsat => {}
                         other => return other,
                     }
@@ -255,7 +259,8 @@ impl Solver for SimpleBacktracking {
             Verdict::Unsat
         }
 
-        let verdict = rec(&mut res, &order, 0, &mut stats, &self.limits);
+        let mut deadline = Deadline::start(&self.limits);
+        let verdict = rec(&mut res, &order, 0, &mut stats, &self.limits, &mut deadline);
         let outcome = match verdict {
             Verdict::Sat => Outcome::Sat(res.model()),
             Verdict::Unsat => Outcome::Unsat,
