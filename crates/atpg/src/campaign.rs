@@ -9,6 +9,7 @@ use std::time::{Duration, Instant};
 
 use atpg_easy_cnf::circuit;
 use atpg_easy_netlist::Netlist;
+use atpg_easy_obs::{Counters, CountingProbe, InstanceTrace};
 use atpg_easy_sat::{
     CachingBacktracking, Cdcl, Dpll, Limits, Outcome, SimpleBacktracking, Solver, SolverStats,
 };
@@ -231,6 +232,30 @@ impl CampaignResult {
 /// campaign first trips over it. Also panics on XOR/XNOR gates wider
 /// than two inputs (decompose first).
 pub fn run(nl: &Netlist, config: &AtpgConfig) -> CampaignResult {
+    run_inner(nl, config, false).0
+}
+
+/// Runs a full campaign like [`run`], additionally emitting one
+/// [`InstanceTrace`] per SAT instance, sequence-numbered by record index
+/// (so traces line up with the records of the returned result).
+///
+/// Traces are probe-derived: each solve goes through
+/// [`Solver::solve_probed`] with a [`CountingProbe`], so the counters in
+/// the trace are the per-instance event totals. The campaign result is
+/// identical to what [`run`] produces (probes only observe).
+///
+/// # Panics
+///
+/// Same conditions as [`run`].
+pub fn run_traced(nl: &Netlist, config: &AtpgConfig) -> (CampaignResult, Vec<InstanceTrace>) {
+    run_inner(nl, config, true)
+}
+
+fn run_inner(
+    nl: &Netlist,
+    config: &AtpgConfig,
+    tracing: bool,
+) -> (CampaignResult, Vec<InstanceTrace>) {
     check_preflight(nl, config);
     let faults = target_faults(nl, config);
     let fs = FaultSimulator::with_cones(nl);
@@ -242,6 +267,7 @@ pub fn run(nl: &Netlist, config: &AtpgConfig) -> CampaignResult {
         records: Vec::with_capacity(faults.len()),
         tests,
     };
+    let mut traces = Vec::new();
 
     // Phase 2: one ATPG-SAT instance per remaining fault.
     for (i, &f) in faults.iter().enumerate() {
@@ -249,7 +275,20 @@ pub fn run(nl: &Netlist, config: &AtpgConfig) -> CampaignResult {
             result.records.push(simulated_record(f));
             continue;
         }
-        let record = solve_one(nl, f, config);
+        let (record, counters) = if tracing {
+            solve_one_counted(nl, f, config)
+        } else {
+            (solve_one(nl, f, config), Counters::default())
+        };
+        if tracing {
+            traces.push(fault_trace(
+                nl,
+                result.records.len() as u64,
+                &record,
+                counters,
+                0,
+            ));
+        }
         if let FaultOutcome::Detected(vector) = &record.outcome {
             detected[i] = true;
             if config.fault_dropping {
@@ -264,7 +303,7 @@ pub fn run(nl: &Netlist, config: &AtpgConfig) -> CampaignResult {
         }
         result.records.push(record);
     }
-    result
+    (result, traces)
 }
 
 /// Runs the preflight lint if the config asks for it.
@@ -354,6 +393,63 @@ pub(crate) fn simulated_record(f: Fault) -> FaultRecord {
 /// identical record. Both the sequential and the parallel campaign engines
 /// funnel through this.
 pub(crate) fn solve_one(nl: &Netlist, f: Fault, config: &AtpgConfig) -> FaultRecord {
+    solve_instance(nl, f, config, None)
+}
+
+/// Like [`solve_one`], but observes the solve through a [`CountingProbe`]
+/// and returns the probe-derived per-instance event totals alongside the
+/// record. The record itself is identical to what [`solve_one`] produces.
+pub(crate) fn solve_one_counted(
+    nl: &Netlist,
+    f: Fault,
+    config: &AtpgConfig,
+) -> (FaultRecord, Counters) {
+    let mut probe = CountingProbe::default();
+    let record = solve_instance(nl, f, config, Some(&mut probe));
+    (record, probe.counters)
+}
+
+/// The Figure-1 outcome label of a fault record: `"SAT"`, `"UNSAT"`,
+/// `"ABORT"`, or `"SIM"` for faults retired by simulation.
+pub fn outcome_label(outcome: &FaultOutcome) -> &'static str {
+    match outcome {
+        FaultOutcome::Detected(_) => "SAT",
+        FaultOutcome::DetectedBySimulation => "SIM",
+        FaultOutcome::Untestable => "UNSAT",
+        FaultOutcome::Aborted => "ABORT",
+    }
+}
+
+/// Builds the [`InstanceTrace`] for one solved SAT instance. `seq` is the
+/// record's index in the campaign's deterministic commit order; `worker`
+/// is the id of the thread that solved it (0 for sequential runs).
+pub(crate) fn fault_trace(
+    nl: &Netlist,
+    seq: u64,
+    record: &FaultRecord,
+    counters: Counters,
+    worker: u64,
+) -> InstanceTrace {
+    InstanceTrace {
+        seq,
+        circuit: nl.name().to_string(),
+        fault: record.fault.describe(nl),
+        vars: record.sat_vars as u64,
+        clauses: record.sat_clauses as u64,
+        sub_size: record.sub_size as u64,
+        outcome: outcome_label(&record.outcome).to_string(),
+        wall_ns: record.solve_time.as_nanos() as u64,
+        worker,
+        counters,
+    }
+}
+
+fn solve_instance(
+    nl: &Netlist,
+    f: Fault,
+    config: &AtpgConfig,
+    probe: Option<&mut CountingProbe>,
+) -> FaultRecord {
     let m = miter::build(nl, f);
     let mut enc = circuit::encode(&m.circuit).expect("miter circuits encode cleanly");
     if config.activation_clause {
@@ -363,7 +459,10 @@ pub(crate) fn solve_one(nl: &Netlist, f: Fault, config: &AtpgConfig) -> FaultRec
     }
     let mut solver = config.solver.make(config.limits);
     let started = Instant::now();
-    let sol = solver.solve(&enc.formula);
+    let sol = match probe {
+        None => solver.solve(&enc.formula),
+        Some(p) => solver.solve_probed(&enc.formula, p),
+    };
     let solve_time = started.elapsed();
     let outcome = match sol.outcome {
         Outcome::Sat(model) => {
@@ -541,6 +640,37 @@ mod tests {
             .unwrap();
         nl.add_output(y);
         run(&nl, &AtpgConfig::default());
+    }
+
+    #[test]
+    fn run_traced_matches_run_and_covers_every_sat_record() {
+        let nl = c17();
+        let config = AtpgConfig {
+            random_patterns: 16,
+            seed: 3,
+            ..AtpgConfig::default()
+        };
+        let plain = run(&nl, &config);
+        let (traced, traces) = run_traced(&nl, &config);
+        assert_eq!(
+            plain.canonical_report(),
+            traced.canonical_report(),
+            "probes must not change campaign behavior"
+        );
+        assert_eq!(traces.len(), traced.sat_records().count());
+        for t in &traces {
+            let r = &traced.records[t.seq as usize];
+            assert_eq!(t.circuit, "c17");
+            assert_eq!(t.fault, r.fault.describe(&nl));
+            assert_eq!(t.vars, r.sat_vars as u64);
+            assert_eq!(t.clauses, r.sat_clauses as u64);
+            assert_eq!(t.outcome, outcome_label(&r.outcome));
+            assert_eq!(t.worker, 0);
+            // Probe counters agree with the legacy per-record stats.
+            assert_eq!(t.counters.decisions, r.stats.decisions);
+            assert_eq!(t.counters.propagations, r.stats.propagations);
+            assert_eq!(t.counters.conflicts, r.stats.conflicts);
+        }
     }
 
     #[test]

@@ -45,7 +45,7 @@ use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use atpg_easy_netlist::Netlist;
-use atpg_easy_sat::SolverStats;
+use atpg_easy_obs::{CampaignMeta, Collector, Counters, InstanceTrace, LocalBuf};
 
 use crate::campaign::{self, AtpgConfig, CampaignResult, FaultOutcome, FaultRecord};
 use crate::faultsim::FaultSimulator;
@@ -56,18 +56,35 @@ use crate::Fault;
 pub struct AtpgCampaign {
     config: AtpgConfig,
     threads: usize,
+    tracing: bool,
 }
 
 impl AtpgCampaign {
     /// A campaign over `config` with one worker thread.
     pub fn new(config: AtpgConfig) -> Self {
-        AtpgCampaign { config, threads: 1 }
+        AtpgCampaign {
+            config,
+            threads: 1,
+            tracing: false,
+        }
     }
 
     /// Sets the worker-thread count (clamped to at least 1). The result is
     /// byte-identical for every value; only wall-clock time changes.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Enables per-instance trace collection: workers record one
+    /// [`InstanceTrace`] per solved SAT instance into thread-local buffers
+    /// that are handed off lock-free ([`LocalBuf`] over a [`Collector`]),
+    /// and [`ParallelRun::traces`] carries the committed traces sorted by
+    /// commit order. Off by default (tracing costs one trace record per
+    /// solve; the solver hot path itself is probed either way through the
+    /// monomorphized counting probe).
+    pub fn with_tracing(mut self, tracing: bool) -> Self {
+        self.tracing = tracing;
         self
     }
 
@@ -103,6 +120,7 @@ impl AtpgCampaign {
             }
         }
 
+        let trace_sink = self.tracing.then(Collector::<InstanceTrace>::new);
         let (workers, committed_sat, dropped) = std::thread::scope(|scope| {
             let (tx, rx) = mpsc::channel::<Solved>();
             let mut handles = Vec::with_capacity(self.threads);
@@ -113,8 +131,11 @@ impl AtpgCampaign {
                 let faults = &faults;
                 let fs = fs.clone();
                 let config = self.config;
+                let trace_sink = trace_sink.as_ref();
                 handles.push(scope.spawn(move || {
-                    run_worker(worker_id, nl, faults, &config, &fs, queue, drop_bits, tx)
+                    run_worker(
+                        worker_id, nl, faults, &config, &fs, queue, drop_bits, trace_sink, tx,
+                    )
                 }));
             }
             drop(tx);
@@ -127,6 +148,13 @@ impl AtpgCampaign {
             (workers, committed_sat, dropped)
         });
 
+        // Keep only traces whose solve was actually committed (a wasted
+        // speculative solve commits as a simulated record with no SAT
+        // instance), and restore the deterministic commit order.
+        let mut traces = trace_sink.map(|c| c.drain()).unwrap_or_default();
+        traces.retain(|t| result.records[t.seq as usize].sat_vars > 0);
+        traces.sort_unstable_by_key(|t| t.seq);
+
         let solved: usize = workers.iter().map(|w| w.solved).sum();
         let report = ParallelReport {
             threads: self.threads,
@@ -137,7 +165,11 @@ impl AtpgCampaign {
             dropped,
             wasted_solves: solved - committed_sat,
         };
-        ParallelRun { result, report }
+        ParallelRun {
+            result,
+            report,
+            traces,
+        }
     }
 }
 
@@ -149,6 +181,11 @@ pub struct ParallelRun {
     pub result: CampaignResult,
     /// How the run was executed: per-worker counters, wall time.
     pub report: ParallelReport,
+    /// Per-instance traces in commit order, when tracing was enabled with
+    /// [`AtpgCampaign::with_tracing`]; empty otherwise. One trace per
+    /// committed SAT instance (`traces.len() == report.committed_sat`),
+    /// with `seq` equal to the record index in `result.records`.
+    pub traces: Vec<InstanceTrace>,
 }
 
 /// Observability counters for one parallel campaign.
@@ -182,6 +219,21 @@ impl ParallelReport {
             self.dropped as f64 / self.queue_depth as f64
         }
     }
+
+    /// The campaign-level trace gauges (queue depth, wasted solves, …) as
+    /// a [`CampaignMeta`] line for the JSONL trace. `cutwidth_estimate`
+    /// is the caller's, when one was computed for the circuit.
+    pub fn campaign_meta(&self, circuit: &str, cutwidth_estimate: Option<u64>) -> CampaignMeta {
+        CampaignMeta {
+            circuit: circuit.to_string(),
+            threads: self.threads as u64,
+            queue_depth: self.queue_depth as u64,
+            committed_sat: self.committed_sat as u64,
+            dropped: self.dropped as u64,
+            wasted_solves: self.wasted_solves as u64,
+            cutwidth_estimate,
+        }
+    }
 }
 
 /// Per-worker execution counters.
@@ -199,8 +251,10 @@ pub struct WorkerReport {
     pub skipped: usize,
     /// Wall-clock time spent inside the solver.
     pub solve_time: Duration,
-    /// Solver counters summed over this worker's solved instances.
-    pub stats: SolverStats,
+    /// Probe-derived event totals summed over this worker's solved
+    /// instances (wasted speculative solves included — this reports work
+    /// done, not work committed).
+    pub counters: Counters,
 }
 
 /// Work queue: one contiguous shard of fault indices per worker, each with
@@ -295,12 +349,14 @@ fn run_worker(
     fs: &FaultSimulator,
     queue: &ShardedQueue,
     drop_bits: &DropBitmap,
+    trace_sink: Option<&Collector<InstanceTrace>>,
     tx: mpsc::Sender<Solved>,
 ) -> WorkerReport {
     let mut report = WorkerReport {
         id,
         ..WorkerReport::default()
     };
+    let mut traces = trace_sink.map(LocalBuf::new);
     while let Some((index, stolen)) = queue.pop(id) {
         report.popped += 1;
         if stolen {
@@ -310,10 +366,21 @@ fn run_worker(
             report.skipped += 1;
             continue;
         }
-        let record = campaign::solve_one(nl, faults[index], config);
+        let (record, counters) = campaign::solve_one_counted(nl, faults[index], config);
         report.solved += 1;
         report.solve_time += record.solve_time;
-        accumulate(&mut report.stats, &record.stats);
+        report.counters.add(&counters);
+        if let Some(buf) = traces.as_mut() {
+            // Phase 2 commits exactly one record per fault, in fault
+            // order, so the eventual record index equals the fault index.
+            buf.push(campaign::fault_trace(
+                nl,
+                index as u64,
+                &record,
+                counters,
+                id as u64,
+            ));
+        }
         let hits = match &record.outcome {
             FaultOutcome::Detected(vector) if config.fault_dropping => Some(pack_hits(
                 &fs.detect_batch(nl, std::slice::from_ref(vector), faults),
@@ -398,19 +465,6 @@ fn pack_hits(hits: &[bool]) -> Vec<u64> {
         }
     }
     words
-}
-
-/// Sums solver counters (SolverStats has no arithmetic impls by design —
-/// per-instance counters are the paper's unit of measurement).
-fn accumulate(total: &mut SolverStats, one: &SolverStats) {
-    total.nodes += one.nodes;
-    total.decisions += one.decisions;
-    total.propagations += one.propagations;
-    total.conflicts += one.conflicts;
-    total.cache_hits += one.cache_hits;
-    total.cache_entries += one.cache_entries;
-    total.learnt_clauses += one.learnt_clauses;
-    total.restarts += one.restarts;
 }
 
 #[cfg(test)]
@@ -526,5 +580,35 @@ mod tests {
         assert!(r.drop_rate() > 0.0, "c17 fault dropping retires faults");
         let solved: usize = r.workers.iter().map(|w| w.solved).sum();
         assert_eq!(r.wasted_solves, solved - r.committed_sat);
+        assert!(run.traces.is_empty(), "tracing is off by default");
+        let total: u64 = r.workers.iter().map(|w| w.counters.decisions).sum();
+        assert!(total > 0, "solved instances report probe counters");
+        let meta = r.campaign_meta(nl.name(), None);
+        assert_eq!(meta.queue_depth as usize, r.queue_depth);
+        assert_eq!(meta.committed_sat as usize, r.committed_sat);
+    }
+
+    #[test]
+    fn traced_run_records_every_committed_sat_instance() {
+        let nl = c17();
+        let config = AtpgConfig {
+            random_patterns: 32,
+            seed: 7,
+            ..AtpgConfig::default()
+        };
+        let (_, sequential) = campaign::run_traced(&nl, &config);
+        for threads in [1, 3] {
+            let run = AtpgCampaign::new(config)
+                .with_threads(threads)
+                .with_tracing(true)
+                .run(&nl);
+            assert_eq!(run.traces.len(), run.report.committed_sat);
+            for t in &run.traces {
+                assert!(run.result.records[t.seq as usize].sat_vars > 0);
+            }
+            let canon: Vec<String> = run.traces.iter().map(|t| t.canonical()).collect();
+            let want: Vec<String> = sequential.iter().map(|t| t.canonical()).collect();
+            assert_eq!(canon, want, "threads={threads} traces match sequential");
+        }
     }
 }

@@ -12,7 +12,10 @@
 //! fault's testability, and their decision counts can be compared on the
 //! same instances.
 
+use std::time::Instant;
+
 use atpg_easy_netlist::{GateKind, NetId, Netlist};
+use atpg_easy_obs::{NoProbe, Probe, ProbeOutcome};
 
 use crate::Fault;
 
@@ -266,11 +269,55 @@ impl<'a> Podem<'a> {
 ///
 /// Panics if the netlist is cyclic.
 pub fn generate_test(nl: &Netlist, fault: Fault, max_backtracks: u64) -> (PodemResult, PodemStats) {
+    generate_with(nl, fault, max_backtracks, &mut NoProbe)
+}
+
+/// Like [`generate_test`], but reports the search to `probe`: one
+/// `propagation` per implication pass, `decision`/`backtrack` at depth =
+/// decision-stack height, and the instance span with `vars` = primary
+/// inputs and `clauses` = 0 (PODEM is structural — no CNF is built).
+///
+/// Lets PODEM runs land in the same trace pipeline as the SAT engines,
+/// so decision counts can be compared per fault.
+pub fn generate_test_probed(
+    nl: &Netlist,
+    fault: Fault,
+    max_backtracks: u64,
+    probe: &mut dyn Probe,
+) -> (PodemResult, PodemStats) {
+    generate_with(nl, fault, max_backtracks, probe)
+}
+
+fn generate_with<P: Probe + ?Sized>(
+    nl: &Netlist,
+    fault: Fault,
+    max_backtracks: u64,
+    probe: &mut P,
+) -> (PodemResult, PodemStats) {
+    let start = probe.enabled().then(Instant::now);
+    probe.instance_begin(nl.num_inputs(), 0);
+    let (result, stats) = podem_loop(nl, fault, max_backtracks, probe);
+    let outcome = match &result {
+        PodemResult::Detected(_) => ProbeOutcome::Sat,
+        PodemResult::Untestable => ProbeOutcome::Unsat,
+        PodemResult::Aborted => ProbeOutcome::Aborted,
+    };
+    probe.instance_end(outcome, start.map(|s| s.elapsed()).unwrap_or_default());
+    (result, stats)
+}
+
+fn podem_loop<P: Probe + ?Sized>(
+    nl: &Netlist,
+    fault: Fault,
+    max_backtracks: u64,
+    probe: &mut P,
+) -> (PodemResult, PodemStats) {
     let mut p = Podem::new(nl, fault);
     // Decision stack: (input position, value, tried_both).
     let mut stack: Vec<(usize, bool, bool)> = Vec::new();
     loop {
         p.imply();
+        probe.propagation();
         if p.detected() {
             let vector = p.test_vector();
             debug_assert!(crate::verify::detects(nl, fault, &vector));
@@ -285,6 +332,7 @@ pub fn generate_test(nl: &Netlist, fault: Fault, max_backtracks: u64) -> (PodemR
         match next {
             Some((pos, value)) => {
                 p.stats.decisions += 1;
+                probe.decision(stack.len());
                 p.pi_assign[pos] = Some(value);
                 stack.push((pos, value, false));
             }
@@ -297,6 +345,8 @@ pub fn generate_test(nl: &Netlist, fault: Fault, max_backtracks: u64) -> (PodemR
                             p.pi_assign[pos] = None;
                             if !tried_both {
                                 p.stats.backtracks += 1;
+                                probe.backtrack(stack.len());
+                                probe.deadline_check();
                                 if p.stats.backtracks > max_backtracks {
                                     return (PodemResult::Aborted, p.stats);
                                 }
@@ -445,6 +495,29 @@ mod tests {
         assert!(results
             .iter()
             .all(|(_, r)| matches!(r, PodemResult::Detected(_))));
+    }
+
+    #[test]
+    fn probed_run_matches_plain_run_and_counts_events() {
+        use atpg_easy_obs::CountingProbe;
+        let nl = c17();
+        for f in all_faults(&nl) {
+            let (plain, stats) = generate_test(&nl, f, 100_000);
+            let mut probe = CountingProbe::default();
+            let (probed, probed_stats) = generate_test_probed(&nl, f, 100_000, &mut probe);
+            assert_eq!(plain, probed, "{}", f.describe(&nl));
+            assert_eq!(stats, probed_stats);
+            assert_eq!(probe.counters.decisions, stats.decisions);
+            assert_eq!(probe.counters.backtracks, stats.backtracks);
+            assert_eq!(probe.counters.propagations, stats.implications);
+            assert_eq!(probe.vars, nl.num_inputs());
+            let expect = match probed {
+                PodemResult::Detected(_) => "sat",
+                PodemResult::Untestable => "unsat",
+                PodemResult::Aborted => "aborted",
+            };
+            assert_eq!(probe.outcome.map(|o| o.label()), Some(expect));
+        }
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! Trace determinism: a traced campaign must commit the same canonical
+//! trace set at every thread count — byte-identical after canonical
+//! rendering — and the JSONL sink must round-trip those traces exactly.
+
+use std::collections::BTreeSet;
+
+use atpg_easy_atpg::campaign::{self, AtpgConfig};
+use atpg_easy_atpg::parallel::AtpgCampaign;
+use atpg_easy_circuits::suite;
+use atpg_easy_obs::{parse_jsonl, JsonlSink, TraceLine, TraceSink};
+
+#[test]
+fn traces_byte_identical_across_thread_counts() {
+    let config = AtpgConfig {
+        random_patterns: 32,
+        seed: 0xDEC0DE,
+        ..AtpgConfig::default()
+    };
+    for (name, nl) in [("c17", suite::c17()), ("pri4", suite::priority_encoder(4))] {
+        let (sequential, seq_traces) = campaign::run_traced(&nl, &config);
+        let reference = sequential.canonical_report();
+        let canonical: Vec<String> = seq_traces.iter().map(|t| t.canonical()).collect();
+        for threads in [1, 2, 8] {
+            let run = AtpgCampaign::new(config)
+                .with_threads(threads)
+                .with_tracing(true)
+                .run(&nl);
+            assert_eq!(
+                run.result.canonical_report(),
+                reference,
+                "{name} at {threads} threads diverges from the sequential campaign"
+            );
+            // In commit order the canonical traces are byte-identical...
+            let got: Vec<String> = run.traces.iter().map(|t| t.canonical()).collect();
+            assert_eq!(got, canonical, "{name} at {threads} threads");
+            // ...and as an order-insensitive set, too (each seq is unique).
+            let set: BTreeSet<&String> = got.iter().collect();
+            assert_eq!(set.len(), got.len(), "{name}: seq numbers are unique");
+            assert_eq!(
+                set,
+                canonical.iter().collect::<BTreeSet<_>>(),
+                "{name} at {threads} threads (set comparison)"
+            );
+            assert_eq!(run.traces.len(), run.report.committed_sat);
+        }
+    }
+}
+
+#[test]
+fn jsonl_sink_round_trips_a_traced_campaign() {
+    let nl = suite::c17();
+    let config = AtpgConfig::default();
+    let run = AtpgCampaign::new(config)
+        .with_threads(2)
+        .with_tracing(true)
+        .run(&nl);
+
+    let mut sink = JsonlSink::new(Vec::new());
+    for t in &run.traces {
+        sink.instance(t).expect("writing to a Vec cannot fail");
+    }
+    sink.campaign(&run.report.campaign_meta(nl.name(), None))
+        .expect("writing to a Vec cannot fail");
+    assert_eq!(sink.lines as usize, run.traces.len() + 1);
+    let text = String::from_utf8(sink.into_inner()).expect("JSONL is UTF-8");
+
+    let lines = parse_jsonl(&text).expect("sink output parses");
+    assert_eq!(lines.len(), run.traces.len() + 1);
+    let mut instances = Vec::new();
+    let mut campaigns = Vec::new();
+    for line in lines {
+        match line {
+            TraceLine::Instance(t) => instances.push(t),
+            TraceLine::Campaign(m) => campaigns.push(m),
+        }
+    }
+    assert_eq!(instances, run.traces, "instances survive the round trip");
+    assert_eq!(campaigns.len(), 1);
+    assert_eq!(
+        campaigns[0].committed_sat as usize,
+        run.report.committed_sat
+    );
+    assert_eq!(campaigns[0].threads, 2);
+}

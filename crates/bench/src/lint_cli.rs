@@ -3,11 +3,14 @@
 //!
 //! ```text
 //! cargo run --release --bin lint -- [FILES...] [--all-circuits]
-//!     [--json] [--strict] [--max-fanout K] [--no-certs]
+//!     [--trace FILE]... [--json] [--strict] [--max-fanout K] [--no-certs]
 //! ```
 //!
 //! `FILES` are parsed by extension (`.bench` ISCAS / `.blif` BLIF).
 //! `--all-circuits` lints every generator in the built-in suite instead.
+//! `--trace FILE` runs the `T*` JSONL-telemetry passes on a solver trace
+//! (as written by the `trace` harness) instead of the netlist passes; it
+//! can repeat and combines freely with circuit targets.
 //! For each target the driver runs the `N*` netlist passes, encodes the
 //! (XOR-decomposed) circuit with the Tseitin consistency encoder and runs
 //! the `C*` passes against it, and — unless `--no-certs` — computes an
@@ -32,11 +35,12 @@ use atpg_easy_cutwidth::Hypergraph;
 use atpg_easy_lint::{cert, cnf as cnf_lint, netlist as netlist_lint, NetlistLintConfig, Report};
 use atpg_easy_netlist::{decompose, parser, Netlist};
 
-const USAGE: &str = "usage: lint [FILES...] [--all-circuits] [--json] [--strict] \
-                     [--max-fanout K] [--no-certs]";
+const USAGE: &str = "usage: lint [FILES...] [--all-circuits] [--trace FILE]... [--json] \
+                     [--strict] [--max-fanout K] [--no-certs]";
 
 struct Options {
     files: Vec<String>,
+    traces: Vec<String>,
     all_circuits: bool,
     json: bool,
     strict: bool,
@@ -47,6 +51,7 @@ struct Options {
 fn parse_options(args: impl Iterator<Item = String>) -> Result<Options, String> {
     let mut opts = Options {
         files: Vec::new(),
+        traces: Vec::new(),
         all_circuits: false,
         json: false,
         strict: false,
@@ -64,13 +69,16 @@ fn parse_options(args: impl Iterator<Item = String>) -> Result<Options, String> 
                 let v = it.next().ok_or("--max-fanout needs a value")?;
                 opts.max_fanout = Some(v.parse().map_err(|_| format!("bad fanout `{v}`"))?);
             }
+            "--trace" => {
+                opts.traces.push(it.next().ok_or("--trace needs a file")?);
+            }
             "--help" | "-h" => return Err(String::new()),
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             _ => opts.files.push(a),
         }
     }
-    if opts.files.is_empty() && !opts.all_circuits {
-        return Err("no input: pass FILES or --all-circuits".to_string());
+    if opts.files.is_empty() && opts.traces.is_empty() && !opts.all_circuits {
+        return Err("no input: pass FILES, --trace FILE or --all-circuits".to_string());
     }
     Ok(opts)
 }
@@ -178,11 +186,25 @@ pub fn run() -> ExitCode {
         targets.extend(suite.into_iter().map(|c| (c.name, c.netlist)));
     }
 
+    // (name, report) per target: netlist passes, then T* trace passes.
+    let mut reports: Vec<(String, Report)> = targets
+        .iter()
+        .map(|(name, nl)| (name.clone(), lint_netlist(nl, &opts)))
+        .collect();
+    for path in &opts.traces {
+        match std::fs::read_to_string(path) {
+            Ok(text) => reports.push((path.clone(), atpg_easy_lint::json::lint_trace(&text))),
+            Err(e) => {
+                eprintln!("error: cannot read `{path}`: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
     let mut errors = 0usize;
     let mut warnings = 0usize;
     let mut json_parts: Vec<String> = Vec::new();
-    for (name, nl) in &targets {
-        let report = lint_netlist(nl, &opts);
+    for (name, report) in &reports {
         errors += report.errors();
         warnings += report.warnings();
         if opts.json {
@@ -203,7 +225,7 @@ pub fn run() -> ExitCode {
     } else {
         println!(
             "lint: {} target(s), {errors} error(s), {warnings} warning(s)",
-            targets.len()
+            reports.len()
         );
     }
     let fail = errors > 0 || (opts.strict && warnings > 0);

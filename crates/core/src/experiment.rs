@@ -13,7 +13,7 @@
 use std::collections::HashMap;
 use std::time::Duration;
 
-use atpg_easy_atpg::campaign::{self, AtpgConfig, FaultOutcome, SolverChoice};
+use atpg_easy_atpg::campaign::{self, AtpgConfig, SolverChoice};
 use atpg_easy_atpg::fault;
 use atpg_easy_circuits::random::{self, RandomCircuitConfig};
 use atpg_easy_circuits::suite::NamedCircuit;
@@ -112,12 +112,7 @@ pub fn figure1(circuits: &[NamedCircuit], config: &Figure1Config) -> Vec<Fig1Poi
                 decisions: r.stats.decisions,
                 propagations: r.stats.propagations,
                 conflicts: r.stats.conflicts,
-                outcome: match r.outcome {
-                    FaultOutcome::Detected(_) => "SAT",
-                    FaultOutcome::Untestable => "UNSAT",
-                    FaultOutcome::Aborted => "ABORT",
-                    FaultOutcome::DetectedBySimulation => "SIM",
-                },
+                outcome: campaign::outcome_label(&r.outcome),
             });
         }
     }

@@ -7,6 +7,7 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use atpg_easy_atpg::parallel::ParallelReport;
+use atpg_easy_obs::InstanceTrace;
 
 use crate::experiment::{fig1_summary, Fig1Point, Fig8Point};
 use crate::predictor;
@@ -187,6 +188,39 @@ pub fn figure1_csv(points: &[Fig1Point]) -> String {
     s
 }
 
+/// Rebuilds the Figure-1 population from per-instance traces, so the
+/// paper's scatter can be regenerated offline from a JSONL trace file
+/// instead of a live campaign: `parse_jsonl` → this → [`figure1_csv`].
+/// Instance counts, sizes and counters round-trip exactly; `time` is the
+/// trace's recorded `wall_ns`.
+///
+/// # Panics
+///
+/// Panics if a trace carries an outcome label outside the Figure-1 set
+/// (`SAT`, `UNSAT`, `ABORT`, `SIM`) — campaign-produced traces never do.
+pub fn fig1_points_from_traces(traces: &[InstanceTrace]) -> Vec<Fig1Point> {
+    traces
+        .iter()
+        .map(|t| Fig1Point {
+            circuit: t.circuit.clone(),
+            fault: t.fault.clone(),
+            vars: t.vars as usize,
+            clauses: t.clauses as usize,
+            time: Duration::from_nanos(t.wall_ns),
+            decisions: t.counters.decisions,
+            propagations: t.counters.propagations,
+            conflicts: t.counters.conflicts,
+            outcome: match t.outcome.as_str() {
+                "SAT" => "SAT",
+                "UNSAT" => "UNSAT",
+                "ABORT" => "ABORT",
+                "SIM" => "SIM",
+                other => panic!("unknown Figure-1 outcome label '{other}'"),
+            },
+        })
+        .collect()
+}
+
 /// Figure-8 points as CSV (`circuit,sub_size,cutwidth`).
 pub fn figure8_csv(points: &[Fig8Point]) -> String {
     let mut s = String::from("circuit,sub_size,cutwidth\n");
@@ -202,14 +236,21 @@ pub fn worker_table(report: &ParallelReport) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "{:<7} {:>7} {:>7} {:>8} {:>8} {:>12} {:>12}",
-        "worker", "popped", "stolen", "solved", "skipped", "solve time", "conflicts"
+        "{:<7} {:>7} {:>7} {:>8} {:>8} {:>12} {:>10} {:>10}",
+        "worker", "popped", "stolen", "solved", "skipped", "solve time", "decisions", "conflicts"
     );
     for w in &report.workers {
         let _ = writeln!(
             s,
-            "{:<7} {:>7} {:>7} {:>8} {:>8} {:>12?} {:>12}",
-            w.id, w.popped, w.stolen, w.solved, w.skipped, w.solve_time, w.stats.conflicts
+            "{:<7} {:>7} {:>7} {:>8} {:>8} {:>12?} {:>10} {:>10}",
+            w.id,
+            w.popped,
+            w.stolen,
+            w.solved,
+            w.skipped,
+            w.solve_time,
+            w.counters.decisions,
+            w.counters.conflicts
         );
     }
     let _ = writeln!(

@@ -68,12 +68,20 @@ pub enum Code {
     O003,
     /// Miter output structure invalid (outputs are not difference gates).
     O004,
+    /// Trace line fails to parse as flat JSONL.
+    T001,
+    /// Duplicate instance sequence number within one circuit's trace.
+    T002,
+    /// Instance outcome label outside the Figure-1 set.
+    T003,
+    /// Campaign gauges disagree with the circuit's instance lines.
+    T004,
 }
 
 impl Code {
     /// Every code, in family order. Tools iterate this to document or test
     /// the full set.
-    pub const ALL: [Code; 18] = [
+    pub const ALL: [Code; 22] = [
         Code::N001,
         Code::N002,
         Code::N003,
@@ -92,6 +100,10 @@ impl Code {
         Code::O002,
         Code::O003,
         Code::O004,
+        Code::T001,
+        Code::T002,
+        Code::T003,
+        Code::T004,
     ];
 
     /// The stable textual form (`"N001"`, …).
@@ -115,6 +127,10 @@ impl Code {
             Code::O002 => "O002",
             Code::O003 => "O003",
             Code::O004 => "O004",
+            Code::T001 => "T001",
+            Code::T002 => "T002",
+            Code::T003 => "T003",
+            Code::T004 => "T004",
         }
     }
 
@@ -131,7 +147,11 @@ impl Code {
             | Code::O001
             | Code::O002
             | Code::O003
-            | Code::O004 => Severity::Error,
+            | Code::O004
+            | Code::T001
+            | Code::T002
+            | Code::T003
+            | Code::T004 => Severity::Error,
             Code::N004
             | Code::N007
             | Code::C001
@@ -163,6 +183,10 @@ impl Code {
             Code::O002 => "claimed cut-width differs from recomputed W(C,h)",
             Code::O003 => "miter cut-width exceeds the Lemma 4.2 bound 2W+2",
             Code::O004 => "miter outputs are not XOR difference gates",
+            Code::T001 => "trace line fails to parse as flat JSONL",
+            Code::T002 => "duplicate instance sequence number in a circuit trace",
+            Code::T003 => "instance outcome label outside the Figure-1 set",
+            Code::T004 => "campaign gauges disagree with the instance lines",
         }
     }
 }
@@ -200,6 +224,11 @@ pub enum Location {
         /// Ordering position.
         index: usize,
     },
+    /// A line of a trace file (1-based).
+    Line {
+        /// Line number, starting at 1.
+        line: usize,
+    },
 }
 
 impl fmt::Display for Location {
@@ -210,6 +239,7 @@ impl fmt::Display for Location {
             Location::Gate { index } => write!(f, " [gate #{index}]"),
             Location::Clause { index } => write!(f, " [clause #{index}]"),
             Location::Position { index } => write!(f, " [position #{index}]"),
+            Location::Line { line } => write!(f, " [line {line}]"),
         }
     }
 }
@@ -371,6 +401,9 @@ impl Report {
                 }
                 Location::Position { index } => {
                     let _ = write!(out, ",\"position\":{index}");
+                }
+                Location::Line { line } => {
+                    let _ = write!(out, ",\"line\":{line}");
                 }
             }
             out.push('}');

@@ -1,0 +1,169 @@
+//! `T*` passes: telemetry-trace (JSONL) validation.
+//!
+//! Validates the solver-trace files written by the `trace` harness and
+//! the obs crate's [`JsonlSink`](atpg_easy_obs::JsonlSink): every line
+//! must parse as a flat `"type":"instance"` / `"type":"campaign"` object
+//! (`T001`), instance sequence numbers must be unique per circuit
+//! (`T002`), outcome labels must come from the Figure-1 set (`T003`), and
+//! a circuit's campaign gauges must agree with its instance lines
+//! (`T004`).
+//!
+//! Parsing reuses `atpg_easy_obs::parse_jsonl_line`, so the linter
+//! accepts exactly what the trace pipeline round-trips — no second
+//! schema.
+
+use std::collections::BTreeMap;
+
+use atpg_easy_obs::{parse_jsonl_line, CampaignMeta, InstanceTrace, TraceLine};
+
+use crate::diag::{Code, Location, Report};
+
+/// The outcome labels the Figure-1 pipeline understands.
+const OUTCOMES: [&str; 4] = ["SAT", "UNSAT", "ABORT", "SIM"];
+
+/// Lints a whole JSONL trace document. Blank lines are skipped, matching
+/// `atpg_easy_obs::parse_jsonl`.
+pub fn lint_trace(text: &str) -> Report {
+    let mut report = Report::new();
+    let mut instances: Vec<(usize, InstanceTrace)> = Vec::new();
+    let mut campaigns: Vec<(usize, CampaignMeta)> = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        match parse_jsonl_line(line) {
+            Ok(TraceLine::Instance(t)) => instances.push((lineno, t)),
+            Ok(TraceLine::Campaign(m)) => campaigns.push((lineno, m)),
+            Err(e) => report.add(Code::T001, Location::Line { line: lineno }, e),
+        }
+    }
+
+    // Per-circuit bookkeeping: seen sequence numbers and instance counts.
+    let mut seen: BTreeMap<&str, BTreeMap<u64, usize>> = BTreeMap::new();
+    for (lineno, t) in &instances {
+        if !OUTCOMES.contains(&t.outcome.as_str()) {
+            report.add(
+                Code::T003,
+                Location::Line { line: *lineno },
+                format!("outcome `{}` is not one of SAT/UNSAT/ABORT/SIM", t.outcome),
+            );
+        }
+        if let Some(first) = seen
+            .entry(t.circuit.as_str())
+            .or_default()
+            .insert(t.seq, *lineno)
+        {
+            report.add(
+                Code::T002,
+                Location::Line { line: *lineno },
+                format!(
+                    "circuit `{}` repeats seq {} (first at line {first})",
+                    t.circuit, t.seq
+                ),
+            );
+        }
+    }
+    for (lineno, m) in &campaigns {
+        let count = seen.get(m.circuit.as_str()).map_or(0, BTreeMap::len) as u64;
+        if m.committed_sat != count {
+            report.add(
+                Code::T004,
+                Location::Line { line: *lineno },
+                format!(
+                    "circuit `{}` claims {} committed SAT instances but the trace has {count}",
+                    m.circuit, m.committed_sat
+                ),
+            );
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atpg_easy_obs::Counters;
+
+    fn instance(circuit: &str, seq: u64, outcome: &str) -> String {
+        InstanceTrace {
+            seq,
+            circuit: circuit.into(),
+            fault: format!("n{seq}/s-a-0"),
+            vars: 10,
+            clauses: 20,
+            sub_size: 5,
+            outcome: outcome.into(),
+            wall_ns: 100,
+            worker: 0,
+            counters: Counters::default(),
+        }
+        .to_jsonl()
+    }
+
+    fn campaign(circuit: &str, committed_sat: u64) -> String {
+        CampaignMeta {
+            circuit: circuit.into(),
+            threads: 1,
+            queue_depth: committed_sat,
+            committed_sat,
+            dropped: 0,
+            wasted_solves: 0,
+            cutwidth_estimate: None,
+        }
+        .to_jsonl()
+    }
+
+    #[test]
+    fn clean_trace_passes() {
+        let doc = format!(
+            "{}\n{}\n\n{}\n",
+            instance("c17", 0, "SAT"),
+            instance("c17", 1, "UNSAT"),
+            campaign("c17", 2)
+        );
+        let r = lint_trace(&doc);
+        assert!(r.is_empty(), "{}", r.render_human());
+    }
+
+    #[test]
+    fn garbage_line_is_t001_with_line_number() {
+        let doc = format!("{}\nnot json\n", instance("c17", 0, "SAT"));
+        let r = lint_trace(&doc);
+        assert!(r.has_code(Code::T001));
+        let d = r.with_code(Code::T001).next().expect("one finding");
+        assert_eq!(d.location, Location::Line { line: 2 });
+    }
+
+    #[test]
+    fn duplicate_seq_is_t002_but_only_within_a_circuit() {
+        let doc = format!(
+            "{}\n{}\n{}\n",
+            instance("c17", 3, "SAT"),
+            instance("c17", 3, "SAT"),
+            instance("rca8", 3, "SAT")
+        );
+        let r = lint_trace(&doc);
+        assert_eq!(r.with_code(Code::T002).count(), 1);
+    }
+
+    #[test]
+    fn unknown_outcome_is_t003() {
+        let r = lint_trace(&instance("c17", 0, "MAYBE"));
+        assert!(r.has_code(Code::T003));
+    }
+
+    #[test]
+    fn gauge_mismatch_is_t004() {
+        let doc = format!("{}\n{}\n", instance("c17", 0, "SAT"), campaign("c17", 5));
+        let r = lint_trace(&doc);
+        assert!(r.has_code(Code::T004));
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn empty_document_is_clean() {
+        assert!(lint_trace("").is_empty());
+        assert!(lint_trace("\n\n").is_empty());
+    }
+}

@@ -15,6 +15,7 @@
 //! | [`netlist`] | `N001`–`N007` | structural netlist health |
 //! | [`cnf`] | `C001`–`C007` | CNF formulas and Tseitin encodings |
 //! | [`cert`] | `O001`–`O004` | cut-width and miter certificates |
+//! | [`json`] | `T001`–`T004` | JSONL solver-telemetry traces |
 //!
 //! Every diagnostic carries a stable [`Code`], a [`Severity`], a
 //! [`Location`], and a human-readable message; a [`Report`] renders as
@@ -33,6 +34,7 @@
 pub mod cert;
 pub mod cnf;
 pub mod diag;
+pub mod json;
 pub mod netlist;
 
 pub use diag::{Code, Diagnostic, Location, Report, Severity};

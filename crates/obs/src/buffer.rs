@@ -1,0 +1,212 @@
+//! Lock-free hand-off of per-worker trace buffers.
+//!
+//! Parallel campaign workers record traces into a plain worker-owned
+//! `Vec` (no synchronization on the hot path) wrapped in [`LocalBuf`];
+//! when the buffer is flushed — at worker exit via `Drop`, or explicitly
+//! — the whole `Vec` is pushed onto a shared [`Collector`] with a single
+//! compare-and-swap. The collector is a Treiber stack of `Vec`s, so the
+//! only cross-thread traffic is one CAS per worker per flush, never per
+//! event.
+
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+struct Node<T> {
+    batch: Vec<T>,
+    next: *mut Node<T>,
+}
+
+/// A lock-free multi-producer collector of `Vec<T>` batches.
+///
+/// Producers call [`Collector::push_batch`]; the owner drains with
+/// [`Collector::drain`] after all producers are done (typically after a
+/// `thread::scope` joins its workers).
+pub struct Collector<T> {
+    head: AtomicPtr<Node<T>>,
+}
+
+// SAFETY: the stack hands complete ownership of each batch from producer
+// to consumer; nodes are only read after being unlinked by a successful
+// swap, and T itself crosses threads, hence the T: Send bound.
+unsafe impl<T: Send> Send for Collector<T> {}
+unsafe impl<T: Send> Sync for Collector<T> {}
+
+impl<T> Default for Collector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Collector<T> {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Collector {
+            head: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+
+    /// Pushes one batch; lock-free (a CAS retry loop, no blocking).
+    /// Empty batches are dropped without touching the stack.
+    pub fn push_batch(&self, batch: Vec<T>) {
+        if batch.is_empty() {
+            return;
+        }
+        let node = Box::into_raw(Box::new(Node {
+            batch,
+            next: ptr::null_mut(),
+        }));
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            // SAFETY: `node` was just boxed above and is not yet shared.
+            unsafe { (*node).next = head };
+            match self
+                .head
+                .compare_exchange_weak(head, node, Ordering::Release, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(current) => head = current,
+            }
+        }
+    }
+
+    /// Detaches every pushed batch and concatenates them. Batches appear
+    /// in reverse push order (stack order); callers that need a global
+    /// order sort by a field of `T`.
+    pub fn drain(&self) -> Vec<T> {
+        let mut node = self.head.swap(ptr::null_mut(), Ordering::Acquire);
+        let mut out = Vec::new();
+        while !node.is_null() {
+            // SAFETY: the swap above made this chain exclusively ours.
+            let boxed = unsafe { Box::from_raw(node) };
+            out.extend(boxed.batch);
+            node = boxed.next;
+        }
+        out
+    }
+}
+
+impl<T> Drop for Collector<T> {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+/// A worker-local trace buffer that flushes to a [`Collector`] when
+/// dropped (or on [`LocalBuf::flush`]). Pushing is a plain `Vec::push`.
+pub struct LocalBuf<'a, T> {
+    collector: &'a Collector<T>,
+    buf: Vec<T>,
+}
+
+impl<'a, T> LocalBuf<'a, T> {
+    /// A new empty buffer feeding `collector`.
+    pub fn new(collector: &'a Collector<T>) -> Self {
+        LocalBuf {
+            collector,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Appends one record locally; no synchronization.
+    pub fn push(&mut self, value: T) {
+        self.buf.push(value);
+    }
+
+    /// Number of records buffered locally and not yet handed off.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the local buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Hands the current batch to the collector immediately.
+    pub fn flush(&mut self) {
+        self.collector.push_batch(std::mem::take(&mut self.buf));
+    }
+}
+
+impl<T> Drop for LocalBuf<'_, T> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn single_thread_round_trip() {
+        let c = Collector::new();
+        {
+            let mut b = LocalBuf::new(&c);
+            b.push(1u32);
+            b.push(2);
+            assert_eq!(b.len(), 2);
+        }
+        let mut got = c.drain();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+        assert!(c.drain().is_empty());
+    }
+
+    #[test]
+    fn explicit_flush_then_more_pushes() {
+        let c = Collector::new();
+        let mut b = LocalBuf::new(&c);
+        b.push(10u32);
+        b.flush();
+        assert!(b.is_empty());
+        b.push(20);
+        drop(b);
+        let mut got = c.drain();
+        got.sort_unstable();
+        assert_eq!(got, vec![10, 20]);
+    }
+
+    #[test]
+    fn empty_batches_are_dropped() {
+        let c: Collector<u8> = Collector::new();
+        c.push_batch(Vec::new());
+        {
+            let _b = LocalBuf::new(&c);
+        }
+        assert!(c.drain().is_empty());
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing() {
+        const WORKERS: usize = 8;
+        const PER_WORKER: usize = 1000;
+        let c = Collector::new();
+        thread::scope(|s| {
+            for w in 0..WORKERS {
+                let c = &c;
+                s.spawn(move || {
+                    let mut b = LocalBuf::new(c);
+                    for i in 0..PER_WORKER {
+                        b.push((w * PER_WORKER + i) as u64);
+                        if i % 97 == 0 {
+                            b.flush();
+                        }
+                    }
+                });
+            }
+        });
+        let mut got = c.drain();
+        got.sort_unstable();
+        let want: Vec<u64> = (0..(WORKERS * PER_WORKER) as u64).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn dropping_collector_frees_pending_batches() {
+        let c = Collector::new();
+        c.push_batch(vec![String::from("leak-check")]);
+        drop(c);
+    }
+}

@@ -11,11 +11,14 @@
 //! `O(n · 2^(2·k_fo·W(C,h)))` nodes under ordering `h`.
 
 use std::collections::HashSet;
+use std::time::Instant;
 
 use atpg_easy_cnf::{CnfFormula, Var};
 
 use crate::simple::{check_order, Residual};
-use crate::{Deadline, Limits, Outcome, Solution, Solver, SolverStats};
+use crate::{
+    probe_outcome, Deadline, Limits, NoProbe, Outcome, Probe, Solution, Solver, SolverStats,
+};
 
 /// What happened at one backtracking-tree node (see [`TraceEvent`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +81,7 @@ pub struct CachingBacktracking {
     limits: Limits,
     tracing: bool,
     trace: Vec<TraceEvent>,
+    stats: SolverStats,
 }
 
 impl CachingBacktracking {
@@ -123,81 +127,98 @@ enum Verdict {
     Aborted,
 }
 
-#[allow(clippy::too_many_arguments)]
-fn cache_sat(
-    res: &mut Residual,
-    order: &[Var],
-    depth: usize,
-    cache: &mut HashSet<u128>,
-    stats: &mut SolverStats,
-    limits: &Limits,
-    deadline: &mut Deadline,
-    trace: &mut Option<&mut Vec<TraceEvent>>,
-) -> Verdict {
-    if res.all_satisfied() || depth == order.len() {
-        return Verdict::Sat;
+/// Everything one backtracking search carries besides the residual: the
+/// ordering, cache, budgets and observers.
+struct Search<'a, P: Probe + ?Sized> {
+    order: Vec<Var>,
+    cache: HashSet<u128>,
+    stats: &'a mut SolverStats,
+    limits: Limits,
+    deadline: Deadline,
+    trace: Option<&'a mut Vec<TraceEvent>>,
+    probe: &'a mut P,
+}
+
+impl<P: Probe + ?Sized> Search<'_, P> {
+    fn record(&mut self, depth: usize, v: Var, value: bool, outcome: TraceOutcome) {
+        if let Some(events) = &mut self.trace {
+            events.push(TraceEvent {
+                depth,
+                var: v,
+                value,
+                outcome,
+            });
+        }
     }
-    let v = order[depth];
-    let mut aborted = false;
-    for value in [false, true] {
-        stats.nodes += 1;
-        stats.decisions += 1;
-        if let Some(max) = limits.max_nodes {
-            if stats.nodes > max {
+
+    fn cache_sat(&mut self, res: &mut Residual, depth: usize) -> Verdict {
+        if res.all_satisfied() || depth == self.order.len() {
+            return Verdict::Sat;
+        }
+        let v = self.order[depth];
+        let mut aborted = false;
+        for value in [false, true] {
+            self.stats.nodes += 1;
+            self.stats.decisions += 1;
+            self.probe.decision(depth);
+            if let Some(max) = self.limits.max_nodes {
+                if self.stats.nodes > max {
+                    return Verdict::Aborted;
+                }
+            }
+            self.probe.deadline_check();
+            if self.deadline.expired() {
                 return Verdict::Aborted;
             }
-        }
-        if deadline.expired() {
-            return Verdict::Aborted;
-        }
-        res.assign(v, value);
-        let record = |t: &mut Option<&mut Vec<TraceEvent>>, outcome| {
-            if let Some(events) = t {
-                events.push(TraceEvent {
-                    depth,
-                    var: v,
-                    value,
-                    outcome,
-                });
-            }
-        };
-        if res.has_conflict() {
-            stats.conflicts += 1;
-            record(trace, TraceOutcome::Conflict);
-        } else if res.all_satisfied() {
-            record(trace, TraceOutcome::Satisfied);
-            return Verdict::Sat;
-        } else {
-            let key = res.state_fingerprint();
-            if cache.contains(&key) {
-                stats.cache_hits += 1;
-                record(trace, TraceOutcome::CacheHit);
+            res.assign(v, value);
+            if res.has_conflict() {
+                self.stats.conflicts += 1;
+                self.probe.conflict();
+                self.record(depth, v, value, TraceOutcome::Conflict);
+            } else if res.all_satisfied() {
+                self.record(depth, v, value, TraceOutcome::Satisfied);
+                return Verdict::Sat;
             } else {
-                record(trace, TraceOutcome::Expanded);
-                match cache_sat(res, order, depth + 1, cache, stats, limits, deadline, trace) {
-                    Verdict::Unsat => {
-                        cache.insert(key);
-                    }
-                    Verdict::Sat => return Verdict::Sat,
-                    Verdict::Aborted => {
-                        aborted = true;
-                        res.unassign(v);
-                        break;
+                let key = res.state_fingerprint();
+                if self.cache.contains(&key) {
+                    self.stats.cache_hits += 1;
+                    self.probe.cache_hit();
+                    self.record(depth, v, value, TraceOutcome::CacheHit);
+                } else {
+                    self.probe.cache_miss();
+                    self.record(depth, v, value, TraceOutcome::Expanded);
+                    match self.cache_sat(res, depth + 1) {
+                        Verdict::Unsat => {
+                            if self.cache.insert(key) {
+                                self.probe.cache_insert();
+                            }
+                        }
+                        Verdict::Sat => return Verdict::Sat,
+                        Verdict::Aborted => {
+                            aborted = true;
+                            res.unassign(v);
+                            break;
+                        }
                     }
                 }
             }
+            res.unassign(v);
+            self.probe.backtrack(depth);
         }
-        res.unassign(v);
-    }
-    if aborted {
-        Verdict::Aborted
-    } else {
-        Verdict::Unsat
+        if aborted {
+            Verdict::Aborted
+        } else {
+            Verdict::Unsat
+        }
     }
 }
 
-impl Solver for CachingBacktracking {
-    fn solve(&mut self, formula: &CnfFormula) -> Solution {
+impl CachingBacktracking {
+    fn solve_with<P: Probe + ?Sized>(&mut self, formula: &CnfFormula, probe: &mut P) -> Solution {
+        // Reset the persistent counters so a reused solver starts clean.
+        self.stats = SolverStats::default();
+        let start = probe.enabled().then(Instant::now);
+        probe.instance_begin(formula.num_vars(), formula.num_clauses());
         let order: Vec<Var> = match &self.order {
             Some(o) => {
                 check_order(o, formula.num_vars());
@@ -206,38 +227,49 @@ impl Solver for CachingBacktracking {
             None => (0..formula.num_vars()).map(Var::from_index).collect(),
         };
         let mut res = Residual::new(formula);
-        let mut stats = SolverStats::default();
-        if res.has_conflict() {
-            return Solution {
-                outcome: Outcome::Unsat,
-                stats,
-            };
-        }
-        let mut cache: HashSet<u128> = HashSet::new();
         self.trace.clear();
-        let mut trace_slot: Option<&mut Vec<TraceEvent>> = if self.tracing {
-            Some(&mut self.trace)
+        let outcome = if res.has_conflict() {
+            Outcome::Unsat
         } else {
-            None
+            let mut search = Search {
+                order,
+                cache: HashSet::new(),
+                stats: &mut self.stats,
+                limits: self.limits,
+                deadline: Deadline::start(&self.limits),
+                trace: self.tracing.then_some(&mut self.trace),
+                probe: &mut *probe,
+            };
+            let verdict = search.cache_sat(&mut res, 0);
+            search.stats.cache_entries = search.cache.len() as u64;
+            match verdict {
+                Verdict::Sat => Outcome::Sat(res.model()),
+                Verdict::Unsat => Outcome::Unsat,
+                Verdict::Aborted => Outcome::Aborted,
+            }
         };
-        let mut deadline = Deadline::start(&self.limits);
-        let verdict = cache_sat(
-            &mut res,
-            &order,
-            0,
-            &mut cache,
-            &mut stats,
-            &self.limits,
-            &mut deadline,
-            &mut trace_slot,
+        probe.instance_end(
+            probe_outcome(&outcome),
+            start.map(|s| s.elapsed()).unwrap_or_default(),
         );
-        stats.cache_entries = cache.len() as u64;
-        let outcome = match verdict {
-            Verdict::Sat => Outcome::Sat(res.model()),
-            Verdict::Unsat => Outcome::Unsat,
-            Verdict::Aborted => Outcome::Aborted,
-        };
-        Solution { outcome, stats }
+        Solution {
+            outcome,
+            stats: self.stats,
+        }
+    }
+}
+
+impl Solver for CachingBacktracking {
+    fn solve(&mut self, formula: &CnfFormula) -> Solution {
+        self.solve_with(formula, &mut NoProbe)
+    }
+
+    fn solve_probed(&mut self, formula: &CnfFormula, probe: &mut dyn Probe) -> Solution {
+        self.solve_with(formula, probe)
+    }
+
+    fn stats(&self) -> SolverStats {
+        self.stats
     }
 
     fn name(&self) -> &'static str {

@@ -8,10 +8,13 @@
 //! ATPG-SAT instances instantly.
 
 use std::collections::BinaryHeap;
+use std::time::Instant;
 
 use atpg_easy_cnf::{CnfFormula, Lit, Var};
 
-use crate::{Deadline, Limits, Outcome, Solution, Solver, SolverStats};
+use crate::{
+    probe_outcome, Deadline, Limits, NoProbe, Outcome, Probe, Solution, Solver, SolverStats,
+};
 
 const VAR_DECAY: f64 = 0.95;
 const CLA_DECAY: f64 = 0.999;
@@ -22,6 +25,7 @@ const RESTART_BASE: u64 = 64;
 #[derive(Debug, Clone, Default)]
 pub struct Cdcl {
     limits: Limits,
+    stats: SolverStats,
 }
 
 impl Cdcl {
@@ -130,7 +134,7 @@ impl Engine {
 
     /// Two-watched-literal unit propagation. Returns a conflicting clause
     /// index if a conflict arises.
-    fn propagate(&mut self) -> Option<usize> {
+    fn propagate<P: Probe + ?Sized>(&mut self, probe: &mut P) -> Option<usize> {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
@@ -173,6 +177,7 @@ impl Engine {
                     return Some(ci);
                 }
                 self.stats.propagations += 1;
+                probe.propagation();
                 self.enqueue(first, Some(ci));
                 i += 1;
             }
@@ -394,124 +399,159 @@ impl Engine {
     }
 }
 
-impl Solver for Cdcl {
-    fn solve(&mut self, formula: &CnfFormula) -> Solution {
-        let mut e = Engine::new(formula);
-        // Load the problem clauses.
-        for clause in formula.clauses() {
-            match clause.len() {
-                0 => {
-                    return Solution {
-                        outcome: Outcome::Unsat,
-                        stats: e.stats,
-                    }
-                }
-                1 => {
-                    if !e.enqueue(clause[0], None) {
-                        return Solution {
-                            outcome: Outcome::Unsat,
-                            stats: e.stats,
-                        };
-                    }
-                }
-                _ => {
-                    e.attach(clause.clone(), false);
-                }
-            }
-        }
-
-        let mut restart_count: u64 = 0;
-        let mut conflicts_until_restart = RESTART_BASE * luby(0);
-        let mut conflicts_this_restart: u64 = 0;
-        let mut deadline = Deadline::start(&self.limits);
-
-        loop {
-            // One tick per main-loop iteration: each iteration performs one
-            // bounded propagation pass plus either one conflict analysis or
-            // one decision, so the clock is consulted often enough.
-            if deadline.expired() {
-                e.stats.learnt_clauses = e.num_learnt as u64;
+/// The CDCL main loop, generic over the probe so `solve()` monomorphizes
+/// it away at [`NoProbe`].
+fn run<P: Probe + ?Sized>(formula: &CnfFormula, limits: &Limits, probe: &mut P) -> Solution {
+    let mut e = Engine::new(formula);
+    // Load the problem clauses.
+    for clause in formula.clauses() {
+        match clause.len() {
+            0 => {
                 return Solution {
-                    outcome: Outcome::Aborted,
+                    outcome: Outcome::Unsat,
                     stats: e.stats,
-                };
-            }
-            if let Some(confl) = e.propagate() {
-                e.stats.conflicts += 1;
-                conflicts_this_restart += 1;
-                if let Some(max) = self.limits.max_conflicts {
-                    if e.stats.conflicts > max {
-                        e.stats.learnt_clauses = e.num_learnt as u64;
-                        return Solution {
-                            outcome: Outcome::Aborted,
-                            stats: e.stats,
-                        };
-                    }
                 }
-                if e.decision_level() == 0 {
-                    e.stats.learnt_clauses = e.num_learnt as u64;
+            }
+            1 => {
+                if !e.enqueue(clause[0], None) {
                     return Solution {
                         outcome: Outcome::Unsat,
                         stats: e.stats,
                     };
                 }
-                let (learnt, bt_level) = e.analyze(confl);
-                e.cancel_until(bt_level);
-                let asserting = learnt[0];
-                if learnt.len() == 1 {
-                    e.enqueue(asserting, None);
-                } else {
-                    let ci = e.attach(learnt, true);
-                    e.bump_clause(ci);
-                    e.enqueue(asserting, Some(ci));
+            }
+            _ => {
+                e.attach(clause.clone(), false);
+            }
+        }
+    }
+
+    let mut restart_count: u64 = 0;
+    let mut conflicts_until_restart = RESTART_BASE * luby(0);
+    let mut conflicts_this_restart: u64 = 0;
+    let mut deadline = Deadline::start(limits);
+
+    loop {
+        // One tick per main-loop iteration: each iteration performs one
+        // bounded propagation pass plus either one conflict analysis or
+        // one decision, so the clock is consulted often enough.
+        probe.deadline_check();
+        if deadline.expired() {
+            e.stats.learnt_clauses = e.num_learnt as u64;
+            return Solution {
+                outcome: Outcome::Aborted,
+                stats: e.stats,
+            };
+        }
+        if let Some(confl) = e.propagate(probe) {
+            e.stats.conflicts += 1;
+            probe.conflict();
+            conflicts_this_restart += 1;
+            if let Some(max) = limits.max_conflicts {
+                if e.stats.conflicts > max {
+                    e.stats.learnt_clauses = e.num_learnt as u64;
+                    return Solution {
+                        outcome: Outcome::Aborted,
+                        stats: e.stats,
+                    };
                 }
-                e.var_inc /= VAR_DECAY;
-                e.cla_inc /= CLA_DECAY;
-                if e.num_learnt > e.max_learnt {
-                    e.reduce_db();
-                    e.max_learnt += e.max_learnt / 10;
-                }
+            }
+            if e.decision_level() == 0 {
+                e.stats.learnt_clauses = e.num_learnt as u64;
+                return Solution {
+                    outcome: Outcome::Unsat,
+                    stats: e.stats,
+                };
+            }
+            let (learnt, bt_level) = e.analyze(confl);
+            e.cancel_until(bt_level);
+            probe.backtrack(bt_level as usize);
+            probe.learned(learnt.len());
+            let asserting = learnt[0];
+            if learnt.len() == 1 {
+                e.enqueue(asserting, None);
             } else {
-                // No conflict.
-                if conflicts_this_restart >= conflicts_until_restart {
-                    restart_count += 1;
-                    e.stats.restarts = restart_count;
-                    conflicts_this_restart = 0;
-                    conflicts_until_restart = RESTART_BASE * luby(restart_count);
-                    e.cancel_until(0);
-                    continue;
+                let ci = e.attach(learnt, true);
+                e.bump_clause(ci);
+                e.enqueue(asserting, Some(ci));
+            }
+            e.var_inc /= VAR_DECAY;
+            e.cla_inc /= CLA_DECAY;
+            if e.num_learnt > e.max_learnt {
+                e.reduce_db();
+                e.max_learnt += e.max_learnt / 10;
+            }
+        } else {
+            // No conflict.
+            if conflicts_this_restart >= conflicts_until_restart {
+                restart_count += 1;
+                e.stats.restarts = restart_count;
+                probe.restart();
+                conflicts_this_restart = 0;
+                conflicts_until_restart = RESTART_BASE * luby(restart_count);
+                e.cancel_until(0);
+                continue;
+            }
+            match e.decide() {
+                None => {
+                    // Complete assignment: SAT.
+                    let model: Vec<bool> = e.assign.iter().map(|v| v.expect("complete")).collect();
+                    debug_assert!(formula.eval_complete(&model));
+                    e.stats.learnt_clauses = e.num_learnt as u64;
+                    return Solution {
+                        outcome: Outcome::Sat(model),
+                        stats: e.stats,
+                    };
                 }
-                match e.decide() {
-                    None => {
-                        // Complete assignment: SAT.
-                        let model: Vec<bool> =
-                            e.assign.iter().map(|v| v.expect("complete")).collect();
-                        debug_assert!(formula.eval_complete(&model));
-                        e.stats.learnt_clauses = e.num_learnt as u64;
-                        return Solution {
-                            outcome: Outcome::Sat(model),
-                            stats: e.stats,
-                        };
-                    }
-                    Some(v) => {
-                        e.stats.decisions += 1;
-                        e.stats.nodes += 1;
-                        if let Some(max) = self.limits.max_nodes {
-                            if e.stats.nodes > max {
-                                e.stats.learnt_clauses = e.num_learnt as u64;
-                                return Solution {
-                                    outcome: Outcome::Aborted,
-                                    stats: e.stats,
-                                };
-                            }
+                Some(v) => {
+                    e.stats.decisions += 1;
+                    e.stats.nodes += 1;
+                    probe.decision(e.decision_level() as usize);
+                    if let Some(max) = limits.max_nodes {
+                        if e.stats.nodes > max {
+                            e.stats.learnt_clauses = e.num_learnt as u64;
+                            return Solution {
+                                outcome: Outcome::Aborted,
+                                stats: e.stats,
+                            };
                         }
-                        let phase = e.phase[v.index()];
-                        e.trail_lim.push(e.trail.len());
-                        e.enqueue(Lit::with_value(v, phase), None);
                     }
+                    let phase = e.phase[v.index()];
+                    e.trail_lim.push(e.trail.len());
+                    e.enqueue(Lit::with_value(v, phase), None);
                 }
             }
         }
+    }
+}
+
+impl Cdcl {
+    fn solve_with<P: Probe + ?Sized>(&mut self, formula: &CnfFormula, probe: &mut P) -> Solution {
+        // Reset the persistent counters so a reused solver starts clean.
+        self.stats = SolverStats::default();
+        let start = probe.enabled().then(Instant::now);
+        probe.instance_begin(formula.num_vars(), formula.num_clauses());
+        let solution = run(formula, &self.limits, probe);
+        self.stats = solution.stats;
+        probe.instance_end(
+            probe_outcome(&solution.outcome),
+            start.map(|s| s.elapsed()).unwrap_or_default(),
+        );
+        solution
+    }
+}
+
+impl Solver for Cdcl {
+    fn solve(&mut self, formula: &CnfFormula) -> Solution {
+        self.solve_with(formula, &mut NoProbe)
+    }
+
+    fn solve_probed(&mut self, formula: &CnfFormula, probe: &mut dyn Probe) -> Solution {
+        self.solve_with(formula, probe)
+    }
+
+    fn stats(&self) -> SolverStats {
+        self.stats
     }
 
     fn name(&self) -> &'static str {

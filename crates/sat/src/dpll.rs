@@ -4,15 +4,20 @@
 //! model and the modern CDCL solvers inside tools like TEGUS or GRASP.
 //! Used by the solver-ablation experiments (S4.1 in DESIGN.md).
 
+use std::time::Instant;
+
 use atpg_easy_cnf::{CnfFormula, Lit, Var};
 
-use crate::{Deadline, Limits, Outcome, Solution, Solver, SolverStats};
+use crate::{
+    probe_outcome, Deadline, Limits, NoProbe, Outcome, Probe, Solution, Solver, SolverStats,
+};
 
 /// DPLL with unit propagation and static branching order.
 #[derive(Debug, Clone, Default)]
 pub struct Dpll {
     order: Option<Vec<Var>>,
     limits: Limits,
+    stats: SolverStats,
 }
 
 impl Dpll {
@@ -115,7 +120,12 @@ impl State {
     /// Ticks `deadline` once per propagated literal; on expiry the fixpoint
     /// loop stops early (no conflict is reported) and the caller's deadline
     /// check aborts the search.
-    fn propagate(&mut self, stats: &mut SolverStats, deadline: &mut Deadline) -> bool {
+    fn propagate<P: Probe + ?Sized>(
+        &mut self,
+        stats: &mut SolverStats,
+        deadline: &mut Deadline,
+        probe: &mut P,
+    ) -> bool {
         loop {
             let mut unit: Option<Lit> = None;
             for ci in 0..self.clauses.len() {
@@ -139,6 +149,8 @@ impl State {
                 None => return true,
                 Some(l) => {
                     stats.propagations += 1;
+                    probe.propagation();
+                    probe.deadline_check();
                     if deadline.expired() {
                         return true;
                     }
@@ -151,19 +163,24 @@ impl State {
     }
 }
 
-fn rec(
+#[allow(clippy::too_many_arguments)]
+fn rec<P: Probe + ?Sized>(
     st: &mut State,
     order: &[Var],
+    depth: usize,
     stats: &mut SolverStats,
     limits: &Limits,
     deadline: &mut Deadline,
+    probe: &mut P,
 ) -> Verdict {
     let mark = st.trail.len();
-    if !st.propagate(stats, deadline) {
+    if !st.propagate(stats, deadline, probe) {
         stats.conflicts += 1;
+        probe.conflict();
         st.undo_to(mark);
         return Verdict::Unsat;
     }
+    probe.deadline_check();
     if deadline.expired() {
         st.undo_to(mark);
         return Verdict::Aborted;
@@ -178,6 +195,7 @@ fn rec(
     for value in [false, true] {
         stats.nodes += 1;
         stats.decisions += 1;
+        probe.decision(depth);
         if let Some(max) = limits.max_nodes {
             if stats.nodes > max {
                 st.undo_to(mark);
@@ -187,21 +205,27 @@ fn rec(
         let decision_mark = st.trail.len();
         let ok = st.assign(v, value);
         if ok {
-            match rec(st, order, stats, limits, deadline) {
+            match rec(st, order, depth + 1, stats, limits, deadline, probe) {
                 Verdict::Unsat => {}
                 other => return other,
             }
         } else {
             stats.conflicts += 1;
+            probe.conflict();
         }
         st.undo_to(decision_mark);
+        probe.backtrack(depth);
     }
     st.undo_to(mark);
     Verdict::Unsat
 }
 
-impl Solver for Dpll {
-    fn solve(&mut self, formula: &CnfFormula) -> Solution {
+impl Dpll {
+    fn solve_with<P: Probe + ?Sized>(&mut self, formula: &CnfFormula, probe: &mut P) -> Solution {
+        // Reset the persistent counters so a reused solver starts clean.
+        self.stats = SolverStats::default();
+        let start = probe.enabled().then(Instant::now);
+        probe.instance_begin(formula.num_vars(), formula.num_clauses());
         let order: Vec<Var> = match &self.order {
             Some(o) => {
                 crate::simple::check_order(o, formula.num_vars());
@@ -210,21 +234,49 @@ impl Solver for Dpll {
             None => (0..formula.num_vars()).map(Var::from_index).collect(),
         };
         let mut st = State::new(formula);
-        let mut stats = SolverStats::default();
-        if formula.has_empty_clause() {
-            return Solution {
-                outcome: Outcome::Unsat,
-                stats,
-            };
-        }
-        let mut deadline = Deadline::start(&self.limits);
-        let verdict = rec(&mut st, &order, &mut stats, &self.limits, &mut deadline);
-        let outcome = match verdict {
-            Verdict::Sat => Outcome::Sat(st.assign.iter().map(|v| v.unwrap_or(false)).collect()),
-            Verdict::Unsat => Outcome::Unsat,
-            Verdict::Aborted => Outcome::Aborted,
+        let outcome = if formula.has_empty_clause() {
+            Outcome::Unsat
+        } else {
+            let mut deadline = Deadline::start(&self.limits);
+            let verdict = rec(
+                &mut st,
+                &order,
+                0,
+                &mut self.stats,
+                &self.limits,
+                &mut deadline,
+                probe,
+            );
+            match verdict {
+                Verdict::Sat => {
+                    Outcome::Sat(st.assign.iter().map(|v| v.unwrap_or(false)).collect())
+                }
+                Verdict::Unsat => Outcome::Unsat,
+                Verdict::Aborted => Outcome::Aborted,
+            }
         };
-        Solution { outcome, stats }
+        probe.instance_end(
+            probe_outcome(&outcome),
+            start.map(|s| s.elapsed()).unwrap_or_default(),
+        );
+        Solution {
+            outcome,
+            stats: self.stats,
+        }
+    }
+}
+
+impl Solver for Dpll {
+    fn solve(&mut self, formula: &CnfFormula) -> Solution {
+        self.solve_with(formula, &mut NoProbe)
+    }
+
+    fn solve_probed(&mut self, formula: &CnfFormula, probe: &mut dyn Probe) -> Solution {
+        self.solve_with(formula, probe)
+    }
+
+    fn stats(&self) -> SolverStats {
+        self.stats
     }
 
     fn name(&self) -> &'static str {

@@ -47,6 +47,10 @@ pub use dpll::Dpll;
 pub use result::{Deadline, Limits, Outcome, Solution, SolverStats};
 pub use simple::SimpleBacktracking;
 
+// Re-exported so downstream crates can probe solvers without naming the
+// obs crate separately.
+pub use atpg_easy_obs::{Counters, CountingProbe, NoProbe, Probe, ProbeOutcome};
+
 use atpg_easy_cnf::CnfFormula;
 
 /// Common interface for all solvers.
@@ -54,12 +58,38 @@ use atpg_easy_cnf::CnfFormula;
 /// `Send` is a supertrait so `Box<dyn Solver>` can be owned by worker
 /// threads in parallel campaign engines; every solver here is plain owned
 /// data, so the bound is free.
+///
+/// Each solver implements both entry points through one internal body
+/// generic over `P: Probe + ?Sized`: [`Solver::solve`] instantiates it at
+/// [`NoProbe`] (a zero-sized type whose event methods are empty, so the
+/// calls monomorphize away — the `probe` bench guards this), while
+/// [`Solver::solve_probed`] instantiates it at `dyn Probe` and pays one
+/// virtual call per event only when someone is listening.
 pub trait Solver: Send {
-    /// Decides satisfiability of `formula`.
+    /// Decides satisfiability of `formula` with no observer attached.
     fn solve(&mut self, formula: &CnfFormula) -> Solution;
+
+    /// Decides satisfiability of `formula`, streaming typed events
+    /// (decisions, conflicts, cache traffic, instance begin/end) into
+    /// `probe`.
+    fn solve_probed(&mut self, formula: &CnfFormula, probe: &mut dyn Probe) -> Solution;
+
+    /// Work counters of the most recent `solve`/`solve_probed` call on
+    /// this instance. Counters are reset at the start of every solve, so
+    /// a reused solver never leaks effort across calls.
+    fn stats(&self) -> SolverStats;
 
     /// A short, stable identifier for reports.
     fn name(&self) -> &'static str;
+}
+
+/// Maps a solve outcome to its probe-level summary.
+pub(crate) fn probe_outcome(outcome: &Outcome) -> ProbeOutcome {
+    match outcome {
+        Outcome::Sat(_) => ProbeOutcome::Sat,
+        Outcome::Unsat => ProbeOutcome::Unsat,
+        Outcome::Aborted => ProbeOutcome::Aborted,
+    }
 }
 
 #[cfg(test)]
@@ -163,6 +193,109 @@ mod cross_tests {
                 "{} must abort on an already-expired deadline",
                 s.name()
             );
+        }
+    }
+
+    /// Regression: a reused solver must reset its stats counters between
+    /// `solve()` calls — the second solve of the same formula must report
+    /// exactly what a fresh solver reports, not the running total, and
+    /// the `stats()` accessor must agree with the returned solution.
+    #[test]
+    fn reused_solver_resets_stats_between_solves() {
+        // PHP(4,3): UNSAT and forces real search work out of every solver.
+        let n_p = 4;
+        let n_h = 3;
+        let v = |i: usize, j: usize, pos: bool| Lit::with_value(Var::from_index(i * n_h + j), pos);
+        let mut f = CnfFormula::new(n_p * n_h);
+        for i in 0..n_p {
+            f.add_clause((0..n_h).map(|j| v(i, j, true)).collect());
+        }
+        for j in 0..n_h {
+            for i1 in 0..n_p {
+                for i2 in i1 + 1..n_p {
+                    f.add_clause(vec![v(i1, j, false), v(i2, j, false)]);
+                }
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(0x5EED);
+        let g = random_formula(&mut rng, 7, 18, 3);
+        let solvers: Vec<Box<dyn Solver>> = vec![
+            Box::new(SimpleBacktracking::new()),
+            Box::new(CachingBacktracking::new()),
+            Box::new(Dpll::new()),
+            Box::new(Cdcl::new()),
+        ];
+        for mut reused in solvers {
+            let fresh_f = reused.solve(&f).stats;
+            assert!(
+                fresh_f.nodes + fresh_f.propagations > 0,
+                "{}: trivial fixture",
+                reused.name()
+            );
+            // Interleave another formula, then re-solve the first.
+            let _ = reused.solve(&g);
+            let again = reused.solve(&f);
+            assert_eq!(
+                again.stats,
+                fresh_f,
+                "{}: stats leaked across solve() calls on a reused solver",
+                reused.name()
+            );
+            assert_eq!(
+                reused.stats(),
+                again.stats,
+                "{}: stats() accessor out of sync with last solution",
+                reused.name()
+            );
+        }
+    }
+
+    /// The probe stream must agree with the legacy stats counters on
+    /// every solver, and the un-probed path must report identical work.
+    #[test]
+    fn probe_counters_match_stats_on_all_solvers() {
+        use atpg_easy_obs::CountingProbe;
+        let mut rng = StdRng::seed_from_u64(0xC0DE);
+        for round in 0..20 {
+            let vars = 4 + round % 6;
+            let clauses = 6 + (round * 5) % 20;
+            let f = random_formula(&mut rng, vars, clauses, 3);
+            let solvers: Vec<Box<dyn Solver>> = vec![
+                Box::new(SimpleBacktracking::new()),
+                Box::new(CachingBacktracking::new()),
+                Box::new(Dpll::new()),
+                Box::new(Cdcl::new()),
+            ];
+            for mut s in solvers {
+                let plain = s.solve(&f);
+                let mut probe = CountingProbe::new();
+                let probed = s.solve_probed(&f, &mut probe);
+                assert_eq!(plain.outcome, probed.outcome, "{}", s.name());
+                assert_eq!(plain.stats, probed.stats, "{}", s.name());
+                assert_eq!(probe.vars, f.num_vars(), "{}", s.name());
+                assert_eq!(probe.clauses, f.num_clauses(), "{}", s.name());
+                assert_eq!(
+                    probe.outcome.map(|o| o.label()),
+                    Some(match &probed.outcome {
+                        Outcome::Sat(_) => "sat",
+                        Outcome::Unsat => "unsat",
+                        Outcome::Aborted => "aborted",
+                    }),
+                    "{}",
+                    s.name()
+                );
+                let c = probe.counters;
+                assert_eq!(c.decisions, probed.stats.decisions, "{}", s.name());
+                assert_eq!(c.propagations, probed.stats.propagations, "{}", s.name());
+                assert_eq!(c.conflicts, probed.stats.conflicts, "{}", s.name());
+                assert_eq!(c.cache_hits, probed.stats.cache_hits, "{}", s.name());
+                assert_eq!(c.cache_inserts, probed.stats.cache_entries, "{}", s.name());
+                // `learnt_clauses` counts clauses resident at the end
+                // (units are never attached, reduce_db deletes), so the
+                // event count only bounds it.
+                assert!(c.learned >= probed.stats.learnt_clauses, "{}", s.name());
+                assert_eq!(c.restarts, probed.stats.restarts, "{}", s.name());
+            }
         }
     }
 

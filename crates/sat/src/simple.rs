@@ -1,9 +1,13 @@
 //! Simple (chronological, fixed-order) backtracking, plus the shared
 //! residual-formula bookkeeping used by the caching variant.
 
+use std::time::Instant;
+
 use atpg_easy_cnf::{CnfFormula, Lit, Var};
 
-use crate::{Deadline, Limits, Outcome, Solution, Solver, SolverStats};
+use crate::{
+    probe_outcome, Deadline, Limits, NoProbe, Outcome, Probe, Solution, Solver, SolverStats,
+};
 
 /// Incremental view of a formula under a partial assignment.
 ///
@@ -161,6 +165,7 @@ impl Residual {
 pub struct SimpleBacktracking {
     order: Option<Vec<Var>>,
     limits: Limits,
+    stats: SolverStats,
 }
 
 impl SimpleBacktracking {
@@ -202,8 +207,57 @@ enum Verdict {
     Aborted,
 }
 
-impl Solver for SimpleBacktracking {
-    fn solve(&mut self, formula: &CnfFormula) -> Solution {
+fn rec<P: Probe + ?Sized>(
+    res: &mut Residual,
+    order: &[Var],
+    depth: usize,
+    stats: &mut SolverStats,
+    limits: &Limits,
+    deadline: &mut Deadline,
+    probe: &mut P,
+) -> Verdict {
+    if res.all_satisfied() || depth == order.len() {
+        // All variables assigned with no null clause means every
+        // clause is satisfied.
+        return Verdict::Sat;
+    }
+    let v = order[depth];
+    for value in [false, true] {
+        stats.nodes += 1;
+        stats.decisions += 1;
+        probe.decision(depth);
+        if let Some(max) = limits.max_nodes {
+            if stats.nodes > max {
+                return Verdict::Aborted;
+            }
+        }
+        probe.deadline_check();
+        if deadline.expired() {
+            return Verdict::Aborted;
+        }
+        res.assign(v, value);
+        if res.has_conflict() {
+            stats.conflicts += 1;
+            probe.conflict();
+        } else {
+            match rec(res, order, depth + 1, stats, limits, deadline, probe) {
+                Verdict::Unsat => {}
+                other => return other,
+            }
+        }
+        res.unassign(v);
+        probe.backtrack(depth);
+    }
+    Verdict::Unsat
+}
+
+impl SimpleBacktracking {
+    fn solve_with<P: Probe + ?Sized>(&mut self, formula: &CnfFormula, probe: &mut P) -> Solution {
+        // The stats field outlives this call on a reused solver; reset it
+        // before counting so the previous solve's effort never leaks in.
+        self.stats = SolverStats::default();
+        let start = probe.enabled().then(Instant::now);
+        probe.instance_begin(formula.num_vars(), formula.num_clauses());
         let order: Vec<Var> = match &self.order {
             Some(o) => {
                 check_order(o, formula.num_vars());
@@ -212,61 +266,47 @@ impl Solver for SimpleBacktracking {
             None => (0..formula.num_vars()).map(Var::from_index).collect(),
         };
         let mut res = Residual::new(formula);
-        let mut stats = SolverStats::default();
-        if res.has_conflict() {
-            return Solution {
-                outcome: Outcome::Unsat,
-                stats,
-            };
-        }
-
-        fn rec(
-            res: &mut Residual,
-            order: &[Var],
-            depth: usize,
-            stats: &mut SolverStats,
-            limits: &Limits,
-            deadline: &mut Deadline,
-        ) -> Verdict {
-            if res.all_satisfied() || depth == order.len() {
-                // All variables assigned with no null clause means every
-                // clause is satisfied.
-                return Verdict::Sat;
+        let outcome = if res.has_conflict() {
+            Outcome::Unsat
+        } else {
+            let mut deadline = Deadline::start(&self.limits);
+            let verdict = rec(
+                &mut res,
+                &order,
+                0,
+                &mut self.stats,
+                &self.limits,
+                &mut deadline,
+                probe,
+            );
+            match verdict {
+                Verdict::Sat => Outcome::Sat(res.model()),
+                Verdict::Unsat => Outcome::Unsat,
+                Verdict::Aborted => Outcome::Aborted,
             }
-            let v = order[depth];
-            for value in [false, true] {
-                stats.nodes += 1;
-                stats.decisions += 1;
-                if let Some(max) = limits.max_nodes {
-                    if stats.nodes > max {
-                        return Verdict::Aborted;
-                    }
-                }
-                if deadline.expired() {
-                    return Verdict::Aborted;
-                }
-                res.assign(v, value);
-                if res.has_conflict() {
-                    stats.conflicts += 1;
-                } else {
-                    match rec(res, order, depth + 1, stats, limits, deadline) {
-                        Verdict::Unsat => {}
-                        other => return other,
-                    }
-                }
-                res.unassign(v);
-            }
-            Verdict::Unsat
-        }
-
-        let mut deadline = Deadline::start(&self.limits);
-        let verdict = rec(&mut res, &order, 0, &mut stats, &self.limits, &mut deadline);
-        let outcome = match verdict {
-            Verdict::Sat => Outcome::Sat(res.model()),
-            Verdict::Unsat => Outcome::Unsat,
-            Verdict::Aborted => Outcome::Aborted,
         };
-        Solution { outcome, stats }
+        probe.instance_end(
+            probe_outcome(&outcome),
+            start.map(|s| s.elapsed()).unwrap_or_default(),
+        );
+        Solution {
+            outcome,
+            stats: self.stats,
+        }
+    }
+}
+
+impl Solver for SimpleBacktracking {
+    fn solve(&mut self, formula: &CnfFormula) -> Solution {
+        self.solve_with(formula, &mut NoProbe)
+    }
+
+    fn solve_probed(&mut self, formula: &CnfFormula, probe: &mut dyn Probe) -> Solution {
+        self.solve_with(formula, probe)
+    }
+
+    fn stats(&self) -> SolverStats {
+        self.stats
     }
 
     fn name(&self) -> &'static str {

@@ -23,6 +23,7 @@
 //! | [`bdd`] | `atpg-easy-bdd` | ROBDD package for the Section-6 contrast |
 //! | [`analysis`] | `atpg-easy-core` | the paper's bounds, checkers and experiments |
 //! | [`lint`] | `atpg-easy-lint` | structural diagnostics for netlists, CNF, certificates |
+//! | [`obs`] | `atpg-easy-obs` | solver telemetry: probes, trace records, sinks |
 //!
 //! # Quickstart
 //!
@@ -49,4 +50,5 @@ pub use atpg_easy_cutwidth as cutwidth;
 pub use atpg_easy_fit as fit;
 pub use atpg_easy_lint as lint;
 pub use atpg_easy_netlist as netlist;
+pub use atpg_easy_obs as obs;
 pub use atpg_easy_sat as sat;

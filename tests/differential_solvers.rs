@@ -1,0 +1,112 @@
+//! Differential testing across the whole solver stack: on the same
+//! instance, all four solvers must return the same SAT/UNSAT verdict, and
+//! every SAT model must actually satisfy the formula.
+//!
+//! Two instance sources, matching the two ways the workspace reaches the
+//! solvers: raw random CNF (checked against a brute-force oracle, so a
+//! *unanimous wrong* answer is also caught), and ATPG miters of random
+//! faults on random circuits from `circuits::random` — structurally the
+//! instances the campaign engine emits, with plenty of Tseitin structure
+//! the uniform-random CNF strategy never produces.
+
+use atpg_easy::atpg::{fault, miter};
+use atpg_easy::circuits::random::{self, RandomCircuitConfig};
+use atpg_easy::cnf::{circuit, CnfFormula, Lit, Var};
+use atpg_easy::netlist::decompose;
+use atpg_easy::sat::{CachingBacktracking, Cdcl, Dpll, Outcome, SimpleBacktracking, Solver};
+use proptest::prelude::*;
+
+fn all_solvers() -> Vec<Box<dyn Solver>> {
+    vec![
+        Box::new(SimpleBacktracking::new()),
+        Box::new(CachingBacktracking::new()),
+        Box::new(Dpll::new()),
+        Box::new(Cdcl::new()),
+    ]
+}
+
+/// Solves `f` with every solver; asserts agreement and model validity;
+/// returns the unanimous verdict.
+fn differential_verdict(f: &CnfFormula) -> bool {
+    let mut verdicts = Vec::new();
+    for mut s in all_solvers() {
+        match s.solve(f).outcome {
+            Outcome::Sat(model) => {
+                assert!(
+                    f.eval_complete(&model),
+                    "{} returned a non-satisfying model",
+                    s.name()
+                );
+                verdicts.push((s.name(), true));
+            }
+            Outcome::Unsat => verdicts.push((s.name(), false)),
+            Outcome::Aborted => panic!("{} aborted without limits", s.name()),
+        }
+    }
+    let first = verdicts[0].1;
+    for (name, v) in &verdicts {
+        assert_eq!(*v, first, "{} disagrees with {}", name, verdicts[0].0);
+    }
+    first
+}
+
+fn clause_strategy(vars: usize, max_len: usize) -> impl Strategy<Value = Vec<Lit>> {
+    prop::collection::vec((0..vars, any::<bool>()), 1..=max_len).prop_map(|lits| {
+        lits.into_iter()
+            .map(|(v, pos)| Lit::with_value(Var::from_index(v), pos))
+            .collect()
+    })
+}
+
+fn formula_strategy() -> impl Strategy<Value = CnfFormula> {
+    (2usize..10).prop_flat_map(|vars| {
+        prop::collection::vec(clause_strategy(vars, 3), 0..28).prop_map(move |clauses| {
+            let mut f = CnfFormula::new(vars);
+            for c in clauses {
+                f.add_clause(c);
+            }
+            f
+        })
+    })
+}
+
+fn brute_force(f: &CnfFormula) -> bool {
+    let n = f.num_vars();
+    (0u32..(1 << n)).any(|m| {
+        let assign: Vec<bool> = (0..n).map(|i| m >> i & 1 != 0).collect();
+        f.eval_complete(&assign)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_cnf_verdicts_match_brute_force(f in formula_strategy()) {
+        let verdict = differential_verdict(&f);
+        prop_assert_eq!(verdict, brute_force(&f), "unanimous but wrong verdict");
+    }
+
+    #[test]
+    fn random_circuit_miters_agree(
+        gates in 8usize..40,
+        inputs in 3usize..8,
+        seed in 0u64..1024,
+        fault_pick in any::<u64>(),
+    ) {
+        let nl = random::generate(&RandomCircuitConfig {
+            gates,
+            inputs,
+            seed,
+            ..Default::default()
+        })
+        .expect("random config is valid");
+        let nl = decompose::decompose(&nl, 3).expect("decomposes");
+        let faults = fault::collapse(&nl);
+        assert!(!faults.is_empty(), "every gate yields collapsed faults");
+        let f = faults[(fault_pick % faults.len() as u64) as usize];
+        let m = miter::build(&nl, f);
+        let enc = circuit::encode(&m.circuit).expect("miter encodes");
+        differential_verdict(&enc.formula);
+    }
+}

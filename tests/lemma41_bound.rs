@@ -1,0 +1,66 @@
+//! Property test for Lemma 4.1: under a cut-width-`W` variable ordering,
+//! the caching solver encounters at most `2^(2·k_fo·W)` *distinct*
+//! sub-formulas — so its cache can never hold more entries than that.
+//!
+//! The instances are random k-bounded circuits (Fujiwara's class, paper
+//! Section 3.2) whose generator ships a block-forest certificate; the
+//! ordering under test is [`certificate_order`], and `W` is the cut-width
+//! this repo *measures* for that ordering — the test exercises the whole
+//! chain: generator → certificate → `ordering::cutwidth` → induced
+//! variable order → caching solver → `cache_entries` counter.
+//!
+//! [`certificate_order`]: atpg_easy::circuits::kbounded::KBoundedCircuit::certificate_order
+
+use atpg_easy::analysis::{bounds, varorder};
+use atpg_easy::circuits::kbounded::{self, KBoundedConfig};
+use atpg_easy::cnf::circuit;
+use atpg_easy::cutwidth::{ordering, Hypergraph};
+use atpg_easy::sat::{CachingBacktracking, Solver};
+use proptest::prelude::*;
+
+fn assert_lemma41(config: &KBoundedConfig) {
+    let kb = kbounded::generate(config);
+    let nl = &kb.netlist;
+    // k-bounded blocks are built from balanced binary gate trees, so the
+    // circuit encodes directly — no decomposition that would invalidate
+    // the certificate's node numbering.
+    let h = Hypergraph::from_netlist(nl);
+    let node_order = kb.certificate_order();
+    let w = ordering::cutwidth(&h, &node_order);
+    let vars = varorder::variable_order(nl, &node_order);
+    let enc = circuit::encode(nl).expect("k-bounded circuits encode");
+    let sol = CachingBacktracking::new()
+        .with_order(vars)
+        .solve(&enc.formula);
+    assert!(
+        !matches!(sol.outcome, atpg_easy::sat::Outcome::Aborted),
+        "no limits configured"
+    );
+    let log2_cached = (sol.stats.cache_entries.max(1) as f64).log2();
+    let bound = bounds::lemma41_log2_bound(nl.max_fanout(), w);
+    assert!(
+        log2_cached <= bound,
+        "{}: log2(cache entries) {log2_cached:.2} exceeds Lemma 4.1 bound \
+         {bound:.2} (k_fo {}, certificate width {w})",
+        nl.name(),
+        nl.max_fanout(),
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cache_population_respects_lemma41(
+        blocks in 3usize..40,
+        k in 2usize..5,
+        seed in 0u64..4096,
+    ) {
+        assert_lemma41(&KBoundedConfig { blocks, k, seed });
+    }
+}
+
+#[test]
+fn holds_on_the_default_generator_configuration() {
+    assert_lemma41(&KBoundedConfig::default());
+}
