@@ -69,6 +69,15 @@ pub struct AtpgConfig {
     /// Lint the netlist before fault enumeration and fail fast with a
     /// diagnostic report instead of panicking mid-campaign (default on).
     pub preflight: bool,
+    /// Solve faults against one persistent assumption-based CDCL solver
+    /// (per campaign, or per worker in the parallel engine) instead of a
+    /// fresh solver per fault: the fault-free circuit is encoded once
+    /// and per-fault logic rides on activation literals (see
+    /// [`crate::incremental`]). Implies CDCL — `solver` is ignored.
+    /// Detection verdicts are identical to the from-scratch path
+    /// (compare [`CampaignResult::detection_report`]); models, effort
+    /// counters and instance sizes differ.
+    pub incremental: bool,
 }
 
 impl Default for AtpgConfig {
@@ -83,6 +92,7 @@ impl Default for AtpgConfig {
             random_patterns: 0,
             seed: 1,
             preflight: true,
+            incremental: false,
         }
     }
 }
@@ -219,6 +229,38 @@ impl CampaignResult {
         }
         out
     }
+
+    /// Canonical rendering of the **semantic** per-fault verdicts only:
+    /// one line per fault, `detected` / `untestable` / `aborted`, with
+    /// no test vectors, solver counters or instance sizes. Detected-by-
+    /// SAT and detected-by-simulation collapse to `detected` — which
+    /// vector retires a fault (and therefore which faults ever reach the
+    /// solver) depends on the engine and on solver warm state, but a
+    /// fault's detectability does not.
+    ///
+    /// This is the report that is byte-identical across the sequential,
+    /// parallel (any thread count), from-scratch and incremental
+    /// engines; [`CampaignResult::canonical_report`] is only stable
+    /// within one engine.
+    pub fn detection_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for r in &self.records {
+            let verdict = match &r.outcome {
+                FaultOutcome::Detected(_) | FaultOutcome::DetectedBySimulation => "detected",
+                FaultOutcome::Untestable => "untestable",
+                FaultOutcome::Aborted => "aborted",
+            };
+            writeln!(
+                out,
+                "fault net={} sa{} {verdict}",
+                r.fault.net.index(),
+                u8::from(r.fault.stuck)
+            )
+            .expect("writing to a String cannot fail");
+        }
+        out
+    }
 }
 
 /// Runs a full ATPG campaign on `nl`.
@@ -269,16 +311,21 @@ fn run_inner(
     };
     let mut traces = Vec::new();
 
-    // Phase 2: one ATPG-SAT instance per remaining fault.
+    // Phase 2: one ATPG-SAT instance per remaining fault. In incremental
+    // mode all instances share one warm solver instead of starting cold.
+    let mut inc = config
+        .incremental
+        .then(|| crate::incremental::IncrementalAtpg::new(nl, config));
     for (i, &f) in faults.iter().enumerate() {
         if detected[i] {
             result.records.push(simulated_record(f));
             continue;
         }
-        let (record, counters) = if tracing {
-            solve_one_counted(nl, f, config)
-        } else {
-            (solve_one(nl, f, config), Counters::default())
+        let (record, counters) = match inc.as_mut() {
+            Some(warm) if tracing => warm.solve_fault_counted(f, config),
+            Some(warm) => (warm.solve_fault(f, config, None), Counters::default()),
+            None if tracing => solve_one_counted(nl, f, config),
+            None => (solve_one(nl, f, config), Counters::default()),
         };
         if tracing {
             traces.push(fault_trace(
@@ -392,7 +439,7 @@ pub(crate) fn simulated_record(f: Fault) -> FaultRecord {
 /// wall-clock limit in `config.limits`): identical inputs produce an
 /// identical record. Both the sequential and the parallel campaign engines
 /// funnel through this.
-pub(crate) fn solve_one(nl: &Netlist, f: Fault, config: &AtpgConfig) -> FaultRecord {
+pub fn solve_one(nl: &Netlist, f: Fault, config: &AtpgConfig) -> FaultRecord {
     solve_instance(nl, f, config, None)
 }
 

@@ -1,0 +1,269 @@
+//! Incremental ATPG-SAT: one persistent CDCL solver per campaign (or per
+//! parallel worker), with the fault-free circuit encoded **once** and
+//! each fault's logic added as activation-guarded clauses.
+//!
+//! This is the MiniSat-style incremental interface applied to the TEGUS
+//! loop. The from-scratch path ([`campaign::solve_one`]) builds a miter
+//! netlist and a fresh CNF per fault; this path instead keeps one
+//! [`IncrementalCdcl`] alive across the whole fault list:
+//!
+//! - The **base** is `encode_consistency` of the fault-free circuit —
+//!   variable `i` is net `i`, exactly the paper's CIRCUIT-SAT variable
+//!   correspondence. It is loaded into the solver once per campaign.
+//! - Per fault `ψ(X, B)`, a fresh **activation literal** `a_ψ` guards
+//!   everything fault-specific: a faulty copy of the fan-out cone of `X`
+//!   (fresh variables, `X` clamped to `B`), XOR difference variables for
+//!   the affected outputs, the big-OR observability clause, and the
+//!   Larrabee activation unit (`X = ¬B` in the good circuit). Each such
+//!   clause is added as `(¬a_ψ ∨ clause)` and the instance is solved
+//!   under the single assumption `a_ψ`.
+//! - After the verdict, the permanent unit `(¬a_ψ)` retires the fault's
+//!   clauses; they are satisfied forever and cost nothing but a watch.
+//!
+//! Because conflict analysis never resolves on assumption literals (they
+//! have no reason clause), every clause learnt while solving fault `ψ` is
+//! a consequence of the clause database alone and stays valid for every
+//! later fault — the warm-start effect the `incremental_ab` bench
+//! measures against the from-scratch path.
+//!
+//! The per-fault SAT verdicts are engine-independent, so
+//! [`CampaignResult::detection_report`](crate::CampaignResult::detection_report)
+//! is byte-identical between this path and the from-scratch path, at any
+//! thread count. (Full [`canonical_report`](crate::CampaignResult::canonical_report)s
+//! differ: a warm solver finds different models and spends different
+//! effort.)
+
+use std::time::Instant;
+
+use atpg_easy_cnf::{circuit, CnfFormula, Lit, Var};
+use atpg_easy_netlist::{topo, GateId, Netlist};
+use atpg_easy_obs::CountingProbe;
+use atpg_easy_sat::{IncrementalCdcl, Outcome};
+
+use crate::campaign::{AtpgConfig, FaultOutcome, FaultRecord};
+use crate::{verify, Fault};
+
+/// A persistent per-campaign (or per-worker) incremental ATPG solver.
+///
+/// Construction encodes the fault-free circuit; [`IncrementalAtpg::solve_fault`]
+/// then answers one fault at a time against the shared, warm solver.
+pub struct IncrementalAtpg<'a> {
+    nl: &'a Netlist,
+    order: Vec<GateId>,
+    base_vars: usize,
+    base_clauses: usize,
+    solver: IncrementalCdcl,
+    activation_vars: Vec<Var>,
+}
+
+impl<'a> IncrementalAtpg<'a> {
+    /// Encodes the fault-free `nl` once and readies a persistent solver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist does not encode (wide XORs) or is cyclic;
+    /// the campaign preflight rejects both earlier.
+    pub fn new(nl: &'a Netlist, config: &AtpgConfig) -> Self {
+        let enc = circuit::encode_consistency(nl).expect("campaign circuits encode cleanly");
+        let mut solver = IncrementalCdcl::new(enc.formula.num_vars()).with_limits(config.limits);
+        let ok = solver.add_formula(&enc.formula);
+        debug_assert!(ok, "consistency clauses are always satisfiable");
+        IncrementalAtpg {
+            nl,
+            order: topo::topo_order(nl).expect("validated netlist"),
+            base_vars: enc.formula.num_vars(),
+            base_clauses: enc.formula.num_clauses(),
+            solver,
+            activation_vars: Vec::new(),
+        }
+    }
+
+    /// Variable range of the base (fault-free) encoding: `0..base_vars`.
+    pub fn base_vars(&self) -> usize {
+        self.base_vars
+    }
+
+    /// Activation variables allocated so far, one per solved fault, in
+    /// solve order — the lint activation-hygiene pass checks these.
+    pub fn activation_vars(&self) -> &[Var] {
+        &self.activation_vars
+    }
+
+    /// Access to the underlying solver (read-only, for introspection).
+    pub fn solver(&self) -> &IncrementalCdcl {
+        &self.solver
+    }
+
+    /// Solves one fault against the warm solver, returning a record
+    /// shaped exactly like the from-scratch path's. `sat_vars`/
+    /// `sat_clauses` report the live database size at solve time (the
+    /// instance the solver actually works on), not a per-fault formula.
+    pub fn solve_fault(
+        &mut self,
+        f: Fault,
+        config: &AtpgConfig,
+        probe: Option<&mut CountingProbe>,
+    ) -> FaultRecord {
+        let x = f.net;
+        let fo = topo::transitive_fanout(self.nl, x);
+        let (sub, affected) = topo::fault_subcircuit_nets(self.nl, x);
+        let sub_size = sub.iter().filter(|&&b| b).count();
+
+        let act = self.solver.new_var();
+        self.activation_vars.push(act);
+        let first_cone_var = self.solver.num_vars();
+
+        // Fault-specific clauses, built unguarded in a scratch formula
+        // (which normalizes them), then attached with the ¬a_ψ guard.
+        let mut faulty_of: Vec<Option<Var>> = vec![None; self.nl.num_nets()];
+        let mut scratch;
+        if affected.is_empty() {
+            // Unobservable fault: no output can differ, so the guarded
+            // group is the empty disjunction — `a_ψ` alone is
+            // contradictory, mirroring the Const0 miter of the
+            // from-scratch path.
+            scratch = CnfFormula::new(self.solver.num_vars());
+            scratch.add_clause(Vec::new());
+        } else {
+            for (id, _) in self.nl.nets() {
+                if fo[id.index()] {
+                    faulty_of[id.index()] = Some(self.solver.new_var());
+                }
+            }
+            let diff_vars: Vec<Var> = self
+                .nl
+                .outputs()
+                .iter()
+                .filter(|o| fo[o.index()])
+                .map(|_| self.solver.new_var())
+                .collect();
+            scratch = CnfFormula::new(self.solver.num_vars());
+            // Faulty X is the constant B.
+            let fx = faulty_of[x.index()].expect("x is in its own fan-out");
+            scratch.add_clause(vec![Lit::with_value(fx, f.stuck)]);
+            // Faulty fan-out cone: downstream gates read faulty variables
+            // where available, base (good) variables otherwise.
+            for &gid in &self.order {
+                let gate = self.nl.gate(gid);
+                let out = gate.output;
+                if out == x || !fo[out.index()] {
+                    continue;
+                }
+                let ins: Vec<Var> = gate
+                    .inputs
+                    .iter()
+                    .map(|&i| match faulty_of[i.index()] {
+                        Some(fv) => fv,
+                        None => Var::from_index(i.index()),
+                    })
+                    .collect();
+                let fout = faulty_of[out.index()].expect("fan-out cone is allocated");
+                circuit::gate_clauses(&mut scratch, gate.kind, &ins, fout)
+                    .expect("preflighted circuits have no wide XORs");
+            }
+            // XOR difference per affected output, then observability.
+            let mut d_iter = diff_vars.iter();
+            for &o in self.nl.outputs().iter().filter(|o| fo[o.index()]) {
+                let d = *d_iter.next().expect("one diff var per affected output");
+                let good = Var::from_index(o.index());
+                let faulty = faulty_of[o.index()].expect("affected outputs are in the cone");
+                circuit::gate_clauses(
+                    &mut scratch,
+                    atpg_easy_netlist::GateKind::Xor,
+                    &[good, faulty],
+                    d,
+                )
+                .expect("2-input XOR always encodes");
+            }
+            scratch.add_clause(diff_vars.iter().map(|&d| Lit::positive(d)).collect());
+            // Larrabee activation: X = ¬B in the good circuit — guarded,
+            // unlike the from-scratch path where it is a global unit of
+            // the per-fault formula.
+            if config.activation_clause {
+                scratch.add_clause(vec![Lit::with_value(Var::from_index(x.index()), !f.stuck)]);
+            }
+        }
+
+        let added = scratch.num_clauses();
+        for clause in scratch.clauses() {
+            let mut guarded = Vec::with_capacity(clause.len() + 1);
+            guarded.push(Lit::negative(act));
+            guarded.extend_from_slice(clause);
+            let ok = self.solver.add_clause(guarded);
+            debug_assert!(ok, "guarded clauses cannot refute the database");
+        }
+
+        let started = Instant::now();
+        let sol = match probe {
+            Some(p) => self.solver.solve_assuming_probed(&[Lit::positive(act)], p),
+            None => self.solver.solve_assuming(&[Lit::positive(act)]),
+        };
+        let solve_time = started.elapsed();
+
+        let outcome = match sol.outcome {
+            Outcome::Sat(model) => {
+                let vector: Vec<bool> = self
+                    .nl
+                    .inputs()
+                    .iter()
+                    .map(|pi| model[pi.index()])
+                    .collect();
+                debug_assert!(verify::detects(self.nl, f, &vector), "model must be a test");
+                FaultOutcome::Detected(vector)
+            }
+            Outcome::Unsat => {
+                debug_assert!(
+                    !self.solver.failed_assumptions().is_empty(),
+                    "the database alone is satisfiable; only the assumption can fail"
+                );
+                FaultOutcome::Untestable
+            }
+            Outcome::Aborted => FaultOutcome::Aborted,
+        };
+
+        // Retire the fault: the permanent unit ¬a_ψ satisfies every
+        // guarded clause of this group forever, which makes the cone and
+        // difference variables dead — retire them so later solves never
+        // branch on them (every clause mentioning them carries ¬a_ψ,
+        // including clauses learnt during this solve).
+        let ok = self.solver.add_clause(vec![Lit::negative(act)]);
+        debug_assert!(ok, "clamping an activation literal is always consistent");
+        let cone_vars = (first_cone_var..self.solver.num_vars()).map(Var::from_index);
+        self.solver.retire_vars(cone_vars);
+
+        FaultRecord {
+            fault: f,
+            outcome,
+            sat_vars: self.solver.num_vars(),
+            sat_clauses: self.base_clauses + added,
+            sub_size,
+            solve_time,
+            stats: sol.stats,
+        }
+    }
+
+    /// [`IncrementalAtpg::solve_fault`] observed through a fresh
+    /// [`CountingProbe`]; returns the probe-derived per-instance event
+    /// totals alongside the record, mirroring
+    /// [`campaign::solve_one_counted`](crate::campaign).
+    pub fn solve_fault_counted(
+        &mut self,
+        f: Fault,
+        config: &AtpgConfig,
+    ) -> (FaultRecord, atpg_easy_obs::Counters) {
+        let mut probe = CountingProbe::default();
+        let record = self.solve_fault(f, config, Some(&mut probe));
+        (record, probe.counters)
+    }
+}
+
+impl std::fmt::Debug for IncrementalAtpg<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IncrementalAtpg")
+            .field("circuit", &self.nl.name())
+            .field("base_vars", &self.base_vars)
+            .field("base_clauses", &self.base_clauses)
+            .field("faults_solved", &self.activation_vars.len())
+            .finish()
+    }
+}

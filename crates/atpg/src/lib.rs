@@ -17,6 +17,10 @@
 //! - [`campaign`]: the TEGUS-style loop — one ATPG-SAT instance per fault,
 //!   any [`Solver`](atpg_easy_sat::Solver), optional fault dropping —
 //!   which is exactly the experiment behind the paper's Figure 1;
+//! - [`incremental`]: the same loop against one persistent
+//!   assumption-based CDCL solver — fault-free circuit encoded once,
+//!   per-fault logic on activation literals, learnt clauses retained
+//!   across faults (enable with [`AtpgConfig::incremental`]);
 //! - [`parallel`]: the fault-parallel campaign engine — a sharded work
 //!   queue of collapsed faults served by worker threads, with fault
 //!   dropping coordinated through a drop-bitmap and committed in fault
@@ -48,6 +52,7 @@
 pub mod campaign;
 pub mod fault;
 pub mod faultsim;
+pub mod incremental;
 pub mod miter;
 pub mod parallel;
 pub mod podem;
@@ -55,5 +60,6 @@ pub mod verify;
 
 pub use campaign::{AtpgConfig, CampaignResult, FaultOutcome, FaultRecord, SolverChoice};
 pub use fault::Fault;
+pub use incremental::IncrementalAtpg;
 pub use miter::AtpgMiter;
 pub use parallel::{AtpgCampaign, ParallelReport, ParallelRun, WorkerReport};

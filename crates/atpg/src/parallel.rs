@@ -2,9 +2,14 @@
 //!
 //! [`AtpgCampaign`] runs the same TEGUS-style campaign as
 //! [`campaign::run`], but solves the per-fault ATPG-SAT instances on a
-//! pool of worker threads. The output is **byte-identical** to the
-//! sequential engine for any thread count (compare
-//! [`CampaignResult::canonical_report`]); only wall-clock fields differ.
+//! pool of worker threads. With from-scratch solving the output is
+//! **byte-identical** to the sequential engine for any thread count
+//! (compare [`CampaignResult::canonical_report`]); only wall-clock
+//! fields differ. With [`AtpgConfig::incremental`] each worker keeps its
+//! own warm solver, whose state depends on which faults it happened to
+//! pop — models and effort counters then vary with the schedule, and the
+//! cross-engine / cross-thread-count guarantee is on the semantic
+//! verdicts instead ([`CampaignResult::detection_report`]).
 //!
 //! # How determinism survives fault dropping
 //!
@@ -121,7 +126,7 @@ impl AtpgCampaign {
         }
 
         let trace_sink = self.tracing.then(Collector::<InstanceTrace>::new);
-        let (workers, committed_sat, dropped) = std::thread::scope(|scope| {
+        let (workers, committed) = std::thread::scope(|scope| {
             let (tx, rx) = mpsc::channel::<Solved>();
             let mut handles = Vec::with_capacity(self.threads);
             for worker_id in 0..self.threads {
@@ -139,13 +144,12 @@ impl AtpgCampaign {
                 }));
             }
             drop(tx);
-            let (committed_sat, dropped) =
-                commit_loop(rx, &faults, &mut detected, &drop_bits, &mut result);
+            let committed = commit_loop(rx, &faults, &mut detected, &drop_bits, &mut result);
             let workers: Vec<WorkerReport> = handles
                 .into_iter()
                 .map(|h| h.join().expect("worker threads do not panic"))
                 .collect();
-            (workers, committed_sat, dropped)
+            (workers, committed)
         });
 
         // Keep only traces whose solve was actually committed (a wasted
@@ -155,15 +159,18 @@ impl AtpgCampaign {
         traces.retain(|t| result.records[t.seq as usize].sat_vars > 0);
         traces.sort_unstable_by_key(|t| t.seq);
 
+        // A solve is wasted only when it was never committed at all —
+        // committed UNSAT/abort verdicts are useful work, not waste.
         let solved: usize = workers.iter().map(|w| w.solved).sum();
         let report = ParallelReport {
             threads: self.threads,
             wall: started.elapsed(),
             queue_depth: faults.len(),
             workers,
-            committed_sat,
-            dropped,
-            wasted_solves: solved - committed_sat,
+            committed_sat: committed.sat,
+            committed_unsat: committed.unsat,
+            dropped: committed.dropped,
+            wasted_solves: solved - (committed.sat + committed.unsat),
         };
         ParallelRun {
             result,
@@ -183,8 +190,9 @@ pub struct ParallelRun {
     pub report: ParallelReport,
     /// Per-instance traces in commit order, when tracing was enabled with
     /// [`AtpgCampaign::with_tracing`]; empty otherwise. One trace per
-    /// committed SAT instance (`traces.len() == report.committed_sat`),
-    /// with `seq` equal to the record index in `result.records`.
+    /// committed solver call, whatever its verdict
+    /// (`traces.len() == report.committed_solves()`), with `seq` equal
+    /// to the record index in `result.records`.
     pub traces: Vec<InstanceTrace>,
 }
 
@@ -199,18 +207,29 @@ pub struct ParallelReport {
     pub queue_depth: usize,
     /// One entry per worker.
     pub workers: Vec<WorkerReport>,
-    /// SAT instances whose verdict made it into the result.
+    /// Committed solver calls that detected their fault (SAT verdicts
+    /// that made it into the result).
     pub committed_sat: usize,
-    /// Faults retired without a committed SAT verdict (random patterns or
+    /// Committed solver calls that proved their fault untestable or hit
+    /// a budget (UNSAT/abort verdicts that made it into the result) —
+    /// useful work, distinct from `wasted_solves`.
+    pub committed_unsat: usize,
+    /// Faults retired without a committed solver call (random patterns or
     /// fault dropping).
     pub dropped: usize,
     /// Speculative solves discarded at commit time because an earlier
     /// committed test already covered the fault — the price of keeping
-    /// dropping deterministic under parallelism.
+    /// dropping deterministic under parallelism. Exactly
+    /// `solved − committed_solves()`.
     pub wasted_solves: usize,
 }
 
 impl ParallelReport {
+    /// All committed solver calls, whatever the verdict.
+    pub fn committed_solves(&self) -> usize {
+        self.committed_sat + self.committed_unsat
+    }
+
     /// Fraction of targeted faults retired without a committed SAT call.
     pub fn drop_rate(&self) -> f64 {
         if self.queue_depth == 0 {
@@ -229,6 +248,7 @@ impl ParallelReport {
             threads: self.threads as u64,
             queue_depth: self.queue_depth as u64,
             committed_sat: self.committed_sat as u64,
+            committed_unsat: self.committed_unsat as u64,
             dropped: self.dropped as u64,
             wasted_solves: self.wasted_solves as u64,
             cutwidth_estimate,
@@ -357,6 +377,11 @@ fn run_worker(
         ..WorkerReport::default()
     };
     let mut traces = trace_sink.map(LocalBuf::new);
+    // Incremental mode: one persistent warm solver per worker thread,
+    // seeded with the fault-free encoding before the first pop.
+    let mut warm = config
+        .incremental
+        .then(|| crate::incremental::IncrementalAtpg::new(nl, config));
     while let Some((index, stolen)) = queue.pop(id) {
         report.popped += 1;
         if stolen {
@@ -366,7 +391,10 @@ fn run_worker(
             report.skipped += 1;
             continue;
         }
-        let (record, counters) = campaign::solve_one_counted(nl, faults[index], config);
+        let (record, counters) = match warm.as_mut() {
+            Some(inc) => inc.solve_fault_counted(faults[index], config),
+            None => campaign::solve_one_counted(nl, faults[index], config),
+        };
         report.solved += 1;
         report.solve_time += record.solve_time;
         report.counters.add(&counters);
@@ -398,19 +426,29 @@ fn run_worker(
     report
 }
 
+/// Commit-loop tallies: committed SAT verdicts, committed UNSAT/abort
+/// verdicts, and faults retired without a committed solver call.
+struct Committed {
+    sat: usize,
+    unsat: usize,
+    dropped: usize,
+}
+
 /// Consumes worker messages and commits faults strictly in index order,
 /// appending records and tests to `result`. This is the only writer of
-/// `detected` and `drop_bits` during phase 2. Returns
-/// `(committed_sat, dropped)`.
+/// `detected` and `drop_bits` during phase 2.
 fn commit_loop(
     rx: mpsc::Receiver<Solved>,
     faults: &[Fault],
     detected: &mut [bool],
     drop_bits: &DropBitmap,
     result: &mut CampaignResult,
-) -> (usize, usize) {
-    let mut committed_sat = 0usize;
-    let mut dropped = 0usize;
+) -> Committed {
+    let mut committed = Committed {
+        sat: 0,
+        unsat: 0,
+        dropped: 0,
+    };
     let mut pending: HashMap<usize, Solved> = HashMap::new();
     let mut frontier = 0usize;
     loop {
@@ -421,7 +459,7 @@ fn commit_loop(
                 result
                     .records
                     .push(campaign::simulated_record(faults[frontier]));
-                dropped += 1;
+                committed.dropped += 1;
                 frontier += 1;
                 continue;
             }
@@ -440,8 +478,12 @@ fn commit_loop(
                     }
                 }
                 result.tests.push(vector.clone());
+                committed.sat += 1;
+            } else {
+                // Untestable or aborted: the solver call is committed —
+                // and was necessary — even though no test came out of it.
+                committed.unsat += 1;
             }
-            committed_sat += 1;
             result.records.push(solved.record);
             frontier += 1;
         }
@@ -453,7 +495,7 @@ fn commit_loop(
             pending.insert(solved.index, solved);
         }
     }
-    (committed_sat, dropped)
+    committed
 }
 
 /// Packs a per-fault hit list into bitmap words.
@@ -576,16 +618,101 @@ mod tests {
             .with_threads(4)
             .run(&nl);
         let r = &run.report;
-        assert_eq!(r.committed_sat + r.dropped, r.queue_depth);
+        assert_eq!(r.committed_solves() + r.dropped, r.queue_depth);
+        assert_eq!(r.committed_unsat, 0, "c17 has no untestable faults");
         assert!(r.drop_rate() > 0.0, "c17 fault dropping retires faults");
         let solved: usize = r.workers.iter().map(|w| w.solved).sum();
-        assert_eq!(r.wasted_solves, solved - r.committed_sat);
+        assert_eq!(r.wasted_solves, solved - r.committed_solves());
         assert!(run.traces.is_empty(), "tracing is off by default");
         let total: u64 = r.workers.iter().map(|w| w.counters.decisions).sum();
         assert!(total > 0, "solved instances report probe counters");
         let meta = r.campaign_meta(nl.name(), None);
         assert_eq!(meta.queue_depth as usize, r.queue_depth);
         assert_eq!(meta.committed_sat as usize, r.committed_sat);
+        assert_eq!(meta.committed_unsat as usize, r.committed_unsat);
+    }
+
+    /// Regression: committed UNSAT verdicts are useful work, not waste —
+    /// `committed_sat` must count only detected faults, with untestable
+    /// commits in `committed_unsat` and neither inflating
+    /// `wasted_solves`.
+    #[test]
+    fn untestable_faults_commit_as_unsat_not_waste() {
+        // y = OR(a, NOT a) is constantly 1: its s-a-1 (and the cone
+        // faults dominated by it) are redundant, so the campaign commits
+        // real UNSAT verdicts.
+        let mut nl = Netlist::new("red");
+        let a = nl.add_input("a");
+        let na = nl
+            .add_gate_named(atpg_easy_netlist::GateKind::Not, vec![a], "na")
+            .unwrap();
+        let y = nl
+            .add_gate_named(atpg_easy_netlist::GateKind::Or, vec![a, na], "y")
+            .unwrap();
+        nl.add_output(y);
+        // Dropping off: every solver call must be committed, so a
+        // correct report shows zero waste no matter how commits split
+        // between SAT and UNSAT.
+        let config = AtpgConfig {
+            collapse: false,
+            fault_dropping: false,
+            ..AtpgConfig::default()
+        };
+        let run = AtpgCampaign::new(config).with_threads(2).run(&nl);
+        let r = &run.report;
+        let detected = run
+            .result
+            .records
+            .iter()
+            .filter(|rec| matches!(rec.outcome, FaultOutcome::Detected(_)))
+            .count();
+        let untestable = run
+            .result
+            .records
+            .iter()
+            .filter(|rec| rec.outcome == FaultOutcome::Untestable)
+            .count();
+        assert!(untestable > 0, "fixture must exercise UNSAT commits");
+        assert_eq!(r.committed_sat, detected);
+        assert_eq!(r.committed_unsat, untestable);
+        assert_eq!(r.committed_solves() + r.dropped, r.queue_depth);
+        let solved: usize = r.workers.iter().map(|w| w.solved).sum();
+        assert_eq!(r.wasted_solves, solved - r.committed_solves());
+        // Every solve was committed here (UNSAT faults cannot be dropped
+        // by any test vector), so nothing may be reported as wasted.
+        assert_eq!(r.wasted_solves, 0, "UNSAT commits are not waste");
+    }
+
+    #[test]
+    fn incremental_campaign_matches_detection_report_at_any_thread_count() {
+        let nl = c17();
+        let scratch = AtpgConfig {
+            random_patterns: 32,
+            seed: 7,
+            ..AtpgConfig::default()
+        };
+        let incremental = AtpgConfig {
+            incremental: true,
+            ..scratch
+        };
+        let want = campaign::run(&nl, &scratch).detection_report();
+        assert_eq!(
+            campaign::run(&nl, &incremental).detection_report(),
+            want,
+            "sequential incremental detection must match from-scratch"
+        );
+        for threads in [1, 2, 8] {
+            let run = AtpgCampaign::new(incremental)
+                .with_threads(threads)
+                .run(&nl);
+            assert_eq!(
+                run.result.detection_report(),
+                want,
+                "threads={threads} incremental detection must match from-scratch"
+            );
+            let r = &run.report;
+            assert_eq!(r.committed_solves() + r.dropped, r.queue_depth);
+        }
     }
 
     #[test]
@@ -602,7 +729,7 @@ mod tests {
                 .with_threads(threads)
                 .with_tracing(true)
                 .run(&nl);
-            assert_eq!(run.traces.len(), run.report.committed_sat);
+            assert_eq!(run.traces.len(), run.report.committed_solves());
             for t in &run.traces {
                 assert!(run.result.records[t.seq as usize].sat_vars > 0);
             }

@@ -1,0 +1,100 @@
+//! Incremental-campaign equivalence: the warm assumption-based engine
+//! must reach exactly the same per-fault detection verdicts as the
+//! from-scratch engine — sequentially and at every thread count — and
+//! every test vector it emits must actually detect its fault.
+
+use atpg_easy_atpg::campaign::{self, AtpgConfig, FaultOutcome};
+use atpg_easy_atpg::parallel::AtpgCampaign;
+use atpg_easy_atpg::{fault, verify, IncrementalAtpg};
+use atpg_easy_circuits::suite;
+
+fn configs() -> (AtpgConfig, AtpgConfig) {
+    let scratch = AtpgConfig {
+        random_patterns: 16,
+        seed: 11,
+        ..AtpgConfig::default()
+    };
+    let incremental = AtpgConfig {
+        incremental: true,
+        ..scratch
+    };
+    (scratch, incremental)
+}
+
+#[test]
+fn detection_reports_match_across_engines_and_thread_counts() {
+    let (scratch, incremental) = configs();
+    let alu = suite::iscas_like()
+        .into_iter()
+        .find(|c| c.name == "c880w")
+        .map(|c| c.netlist);
+    let mut circuits = vec![("c17", suite::c17()), ("pri4", suite::priority_encoder(4))];
+    if let Some(nl) = alu {
+        circuits.push(("c880w", nl));
+    }
+    for (name, nl) in circuits {
+        let want = campaign::run(&nl, &scratch).detection_report();
+        let seq = campaign::run(&nl, &incremental);
+        assert_eq!(
+            seq.detection_report(),
+            want,
+            "{name}: sequential incremental diverges from from-scratch"
+        );
+        for threads in [1, 2, 8] {
+            let run = AtpgCampaign::new(incremental)
+                .with_threads(threads)
+                .run(&nl);
+            assert_eq!(
+                run.result.detection_report(),
+                want,
+                "{name}: incremental at {threads} threads diverges from from-scratch"
+            );
+        }
+    }
+}
+
+#[test]
+fn incremental_vectors_verify_and_coverage_matches() {
+    let (scratch, incremental) = configs();
+    for (name, nl) in [("c17", suite::c17()), ("pri4", suite::priority_encoder(4))] {
+        let cold = campaign::run(&nl, &scratch);
+        let warm = campaign::run(&nl, &incremental);
+        assert_eq!(warm.detected(), cold.detected(), "{name}");
+        assert_eq!(warm.untestable(), cold.untestable(), "{name}");
+        assert_eq!(warm.aborted(), 0, "{name}: no limits, no aborts");
+        for r in &warm.records {
+            if let FaultOutcome::Detected(v) = &r.outcome {
+                assert!(
+                    verify::detects(&nl, r.fault, v),
+                    "{name}: incremental vector fails for {}",
+                    r.fault.describe(&nl)
+                );
+            }
+        }
+    }
+}
+
+/// The warm solver, driven fault-by-fault without the campaign loop,
+/// agrees with the miter-based from-scratch verdict on every collapsed
+/// fault — including circuits with redundant (UNSAT) faults.
+#[test]
+fn warm_solver_verdicts_match_solve_one_per_fault() {
+    let config = AtpgConfig {
+        fault_dropping: false,
+        ..AtpgConfig::default()
+    };
+    for (name, nl) in [("c17", suite::c17()), ("pri4", suite::priority_encoder(4))] {
+        let mut warm = IncrementalAtpg::new(&nl, &config);
+        for f in fault::collapse(&nl) {
+            let warm_rec = warm.solve_fault(f, &config, None);
+            let cold_rec = campaign::solve_one(&nl, f, &config);
+            let as_verdict = |o: &FaultOutcome| matches!(o, FaultOutcome::Detected(_));
+            assert_eq!(
+                as_verdict(&warm_rec.outcome),
+                as_verdict(&cold_rec.outcome),
+                "{name}: verdict mismatch on {}",
+                f.describe(&nl)
+            );
+        }
+    }
+}

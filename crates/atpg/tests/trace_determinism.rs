@@ -41,7 +41,7 @@ fn traces_byte_identical_across_thread_counts() {
                 canonical.iter().collect::<BTreeSet<_>>(),
                 "{name} at {threads} threads (set comparison)"
             );
-            assert_eq!(run.traces.len(), run.report.committed_sat);
+            assert_eq!(run.traces.len(), run.report.committed_solves());
         }
     }
 }
@@ -79,6 +79,10 @@ fn jsonl_sink_round_trips_a_traced_campaign() {
     assert_eq!(
         campaigns[0].committed_sat as usize,
         run.report.committed_sat
+    );
+    assert_eq!(
+        campaigns[0].committed_unsat as usize,
+        run.report.committed_unsat
     );
     assert_eq!(campaigns[0].threads, 2);
 }

@@ -1,0 +1,179 @@
+//! A/B harness: incremental (warm, assumption-based) vs from-scratch
+//! fault campaigns over a benchmark suite.
+//!
+//! ```text
+//! cargo run -p atpg-easy-bench --release --bin incremental_ab -- [mcnc|iscas|all|mult]
+//!     [--patterns P] [--seed S] [--out FILE]
+//! ```
+//!
+//! For every circuit the harness runs the sequential campaign twice —
+//! once from scratch (a fresh solver per fault) and once through the
+//! persistent [`IncrementalAtpg`](atpg_easy_atpg::IncrementalAtpg)
+//! engine — and checks the acceptance criteria of the incremental mode:
+//!
+//! 1. the per-fault detection reports are byte-identical, and
+//! 2. the incremental run spends strictly fewer solver conflicts and
+//!    decisions in total (the point of retaining learnt clauses).
+//!
+//! Totals are printed as a table and written as JSON (default
+//! `results/incremental_ab.json`). Exits 1 on a report mismatch or if
+//! the incremental mode is not strictly cheaper overall, 2 on usage
+//! errors.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use atpg_easy_atpg::campaign::{self, AtpgConfig, CampaignResult};
+use atpg_easy_bench::{flag, parse_args, resolve_suite};
+use atpg_easy_netlist::decompose;
+
+/// Solver-effort totals for one campaign.
+#[derive(Debug, Clone, Copy, Default)]
+struct Effort {
+    conflicts: u64,
+    decisions: u64,
+    propagations: u64,
+    solve_time: Duration,
+}
+
+impl Effort {
+    fn of(result: &CampaignResult) -> Effort {
+        let mut e = Effort::default();
+        for r in &result.records {
+            e.conflicts += r.stats.conflicts;
+            e.decisions += r.stats.decisions;
+            e.propagations += r.stats.propagations;
+            e.solve_time += r.solve_time;
+        }
+        e
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"conflicts\": {}, \"decisions\": {}, \"propagations\": {}, \"solve_ms\": {:.3}}}",
+            self.conflicts,
+            self.decisions,
+            self.propagations,
+            self.solve_time.as_secs_f64() * 1e3
+        )
+    }
+}
+
+fn main() -> ExitCode {
+    let (pos, flags) = parse_args(std::env::args().skip(1));
+    let suite_name = pos.first().map(String::as_str).unwrap_or("mcnc");
+    let Some(circuits) = resolve_suite(suite_name) else {
+        eprintln!(
+            "usage: incremental_ab [mcnc|iscas|all|mult] [--patterns P] [--seed S] [--out FILE]"
+        );
+        return ExitCode::from(2);
+    };
+    let patterns: usize = flag(&flags, "patterns").unwrap_or(32);
+    let seed: u64 = flag(&flags, "seed").unwrap_or(1);
+    let out: String = flag(&flags, "out").unwrap_or_else(|| "results/incremental_ab.json".into());
+
+    let fresh_config = AtpgConfig {
+        random_patterns: patterns,
+        seed,
+        ..AtpgConfig::default()
+    };
+    let warm_config = AtpgConfig {
+        incremental: true,
+        ..fresh_config
+    };
+
+    println!("== incremental vs from-scratch A/B ({suite_name}) ==");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10}  report",
+        "circuit", "conf(cold)", "conf(warm)", "dec(cold)", "dec(warm)"
+    );
+
+    let mut rows = String::new();
+    let mut total_fresh = Effort::default();
+    let mut total_warm = Effort::default();
+    let mut reports_match = true;
+    for (i, c) in circuits.iter().enumerate() {
+        let nl = decompose::decompose(&c.netlist, 3).expect("suite circuits decompose");
+        let fresh = campaign::run(&nl, &fresh_config);
+        let warm = campaign::run(&nl, &warm_config);
+        let same = fresh.detection_report() == warm.detection_report();
+        reports_match &= same;
+        let ef = Effort::of(&fresh);
+        let ew = Effort::of(&warm);
+        println!(
+            "{:<12} {:>10} {:>10} {:>10} {:>10}  {}",
+            c.name,
+            ef.conflicts,
+            ew.conflicts,
+            ef.decisions,
+            ew.decisions,
+            if same { "identical" } else { "MISMATCH" }
+        );
+        total_fresh.conflicts += ef.conflicts;
+        total_fresh.decisions += ef.decisions;
+        total_fresh.propagations += ef.propagations;
+        total_fresh.solve_time += ef.solve_time;
+        total_warm.conflicts += ew.conflicts;
+        total_warm.decisions += ew.decisions;
+        total_warm.propagations += ew.propagations;
+        total_warm.solve_time += ew.solve_time;
+        let _ = write!(
+            rows,
+            "    {{\"circuit\": \"{}\", \"faults\": {}, \"report_match\": {}, \
+             \"fresh\": {}, \"incremental\": {}}}{}",
+            c.name,
+            fresh.records.len(),
+            same,
+            ef.json(),
+            ew.json(),
+            if i + 1 < circuits.len() { ",\n" } else { "\n" }
+        );
+    }
+
+    let cheaper = total_warm.conflicts < total_fresh.conflicts
+        && total_warm.decisions < total_fresh.decisions;
+    println!(
+        "totals: conflicts {} -> {} | decisions {} -> {} | propagations {} -> {}",
+        total_fresh.conflicts,
+        total_warm.conflicts,
+        total_fresh.decisions,
+        total_warm.decisions,
+        total_fresh.propagations,
+        total_warm.propagations
+    );
+    println!(
+        "reports {} | incremental strictly cheaper: {}",
+        if reports_match {
+            "identical"
+        } else {
+            "MISMATCH"
+        },
+        cheaper
+    );
+
+    let json = format!(
+        "{{\n  \"suite\": \"{suite_name}\",\n  \"patterns\": {patterns},\n  \"seed\": {seed},\n  \
+         \"reports_match\": {reports_match},\n  \"incremental_strictly_cheaper\": {cheaper},\n  \
+         \"totals\": {{\"fresh\": {}, \"incremental\": {}}},\n  \"circuits\": [\n{rows}  ]\n}}\n",
+        total_fresh.json(),
+        total_warm.json()
+    );
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("results dir creatable");
+        }
+    }
+    std::fs::write(&out, json).expect("out path writable");
+    println!("(written to {out})");
+
+    if !reports_match {
+        eprintln!("error: incremental and from-scratch detection reports differ");
+        return ExitCode::from(1);
+    }
+    if !cheaper {
+        eprintln!("error: incremental mode did not reduce total conflicts+decisions");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

@@ -50,6 +50,7 @@ fn main() {
         let mut targeted = 0usize;
         let mut dropped = 0usize;
         let mut committed_sat = 0usize;
+        let mut committed_unsat = 0usize;
         let mut wasted = 0usize;
         let mut per_worker = vec![0usize; threads];
         for (ci, c) in circuits.iter().enumerate() {
@@ -71,6 +72,7 @@ fn main() {
             targeted += r.queue_depth;
             dropped += r.dropped;
             committed_sat += r.committed_sat;
+            committed_unsat += r.committed_unsat;
             wasted += r.wasted_solves;
             for w in &r.workers {
                 per_worker[w.id] += w.solved;
@@ -87,7 +89,7 @@ fn main() {
             .unwrap_or(1.0);
         println!(
             "threads={threads:<3} wall={wall:>10.3?} speedup={speedup:>5.2}x \
-             drop_rate={:.1}% sat={committed_sat} wasted={wasted}",
+             drop_rate={:.1}% sat={committed_sat} unsat={committed_unsat} wasted={wasted}",
             100.0 * drop_rate
         );
         runs.push(ScalingRun {
@@ -95,6 +97,7 @@ fn main() {
             wall,
             drop_rate,
             committed_sat,
+            committed_unsat,
             wasted_solves: wasted,
             per_worker_solved: per_worker,
         });

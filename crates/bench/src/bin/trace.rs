@@ -59,20 +59,21 @@ fn main() -> ExitCode {
             .with_threads(threads)
             .with_tracing(true)
             .run(&nl);
-        if run.traces.len() != run.report.committed_sat {
+        if run.traces.len() != run.report.committed_solves() {
             eprintln!(
-                "error: {}: {} traces for {} committed SAT instances",
+                "error: {}: {} traces for {} committed instances",
                 c.name,
                 run.traces.len(),
-                run.report.committed_sat
+                run.report.committed_solves()
             );
             return ExitCode::from(1);
         }
         println!(
-            "{:<12} faults {:>5} | committed SAT {:>4} | dropped {:>5} | wasted {:>3} | wall {:?}",
+            "{:<12} faults {:>5} | committed SAT {:>4} / UNSAT {:>3} | dropped {:>5} | wasted {:>3} | wall {:?}",
             c.name,
             run.report.queue_depth,
             run.report.committed_sat,
+            run.report.committed_unsat,
             run.report.dropped,
             run.report.wasted_solves,
             run.report.wall
@@ -126,14 +127,15 @@ fn main() -> ExitCode {
     }
     let rebuilt = &reparsed.summary;
     let mut ok = rebuilt.instances == traces.len() as u64
-        && rebuilt.instances == rebuilt.committed_sat
+        && rebuilt.instances == rebuilt.committed_sat + rebuilt.committed_unsat
         && rebuilt.campaigns == metas.len() as u64;
     for m in &metas {
         let count = rebuilt.by_circuit.get(&m.circuit).copied().unwrap_or(0);
-        if count != m.committed_sat {
+        if count != m.committed_sat + m.committed_unsat {
             eprintln!(
                 "error: {}: trace has {count} instances, campaign committed {}",
-                m.circuit, m.committed_sat
+                m.circuit,
+                m.committed_sat + m.committed_unsat
             );
             ok = false;
         }

@@ -16,7 +16,9 @@
 //! the `C*` passes against it, and — unless `--no-certs` — computes an
 //! MLA ordering, validates the resulting width certificate (`O001`/`O002`),
 //! and checks a sample-fault miter certificate against the Lemma 4.2
-//! bound (`O003`/`O004`).
+//! bound (`O003`/`O004`). Finally it solves a sample of faults through
+//! the incremental campaign engine and audits the warm solver's clause
+//! database for activation-literal hygiene (`A001`–`A004`).
 //!
 //! Exit codes: 0 clean, 1 diagnostics found (errors, or any finding with
 //! `--strict`), 2 usage or I/O error.
@@ -27,12 +29,15 @@
 
 use std::process::ExitCode;
 
-use atpg_easy_atpg::{fault, miter};
+use atpg_easy_atpg::{fault, miter, AtpgConfig, IncrementalAtpg};
 use atpg_easy_cnf::circuit;
 use atpg_easy_core::lemma42;
 use atpg_easy_cutwidth::mla::{self, MlaConfig};
 use atpg_easy_cutwidth::Hypergraph;
-use atpg_easy_lint::{cert, cnf as cnf_lint, netlist as netlist_lint, NetlistLintConfig, Report};
+use atpg_easy_lint::{
+    activation as activation_lint, cert, cnf as cnf_lint, netlist as netlist_lint,
+    NetlistLintConfig, Report,
+};
 use atpg_easy_netlist::{decompose, parser, Netlist};
 
 const USAGE: &str = "usage: lint [FILES...] [--all-circuits] [--trace FILE]... [--json] \
@@ -136,6 +141,30 @@ fn lint_netlist(nl: &Netlist, opts: &Options) -> Report {
                 break;
             }
             report.merge(cert::lint_miter_structure(&m.circuit));
+        }
+    }
+
+    // A* passes: activation-literal hygiene of the incremental encoding.
+    // Solve a sample of collapsed faults through the warm engine, then
+    // audit the resulting clause database against the base/activation
+    // variable split.
+    if nl.num_outputs() > 0 {
+        if let Ok(flat) = decompose::decompose(nl, usize::MAX) {
+            let config = AtpgConfig {
+                incremental: true,
+                ..AtpgConfig::default()
+            };
+            let mut warm = IncrementalAtpg::new(&flat, &config);
+            for &f in fault::collapse(&flat).iter().take(8) {
+                let _ = warm.solve_fault(f, &config, None);
+            }
+            let mut clauses = warm.solver().problem_clauses();
+            clauses.extend(warm.solver().root_units().into_iter().map(|l| vec![l]));
+            report.merge(activation_lint::lint_activation(
+                &clauses,
+                warm.base_vars(),
+                warm.activation_vars(),
+            ));
         }
     }
     report

@@ -93,6 +93,7 @@ pub fn figure1(circuits: &[NamedCircuit], config: &Figure1Config) -> Vec<Fig1Poi
             random_patterns: 0,
             seed: 1,
             preflight: true,
+            incremental: false,
         };
         let result = campaign::run(&nl, &cfg);
         let mut records: Vec<&campaign::FaultRecord> = result.sat_records().collect();

@@ -255,9 +255,10 @@ pub fn worker_table(report: &ParallelReport) -> String {
     }
     let _ = writeln!(
         s,
-        "queue depth {} | committed SAT {} | dropped {} ({:.1}%) | wasted solves {} | wall {:?}",
+        "queue depth {} | committed SAT {} / UNSAT {} | dropped {} ({:.1}%) | wasted solves {} | wall {:?}",
         report.queue_depth,
         report.committed_sat,
+        report.committed_unsat,
         report.dropped,
         100.0 * report.drop_rate(),
         report.wasted_solves,
@@ -278,6 +279,9 @@ pub struct ScalingRun {
     pub drop_rate: f64,
     /// Committed SAT instances across the suite.
     pub committed_sat: usize,
+    /// Committed UNSAT/abort verdicts across the suite (useful work,
+    /// distinct from `wasted_solves`).
+    pub committed_unsat: usize,
     /// Speculative solves discarded at commit time.
     pub wasted_solves: usize,
     /// SAT instances solved per worker id, summed across circuits.
@@ -307,13 +311,14 @@ pub fn scaling_json(suite: &str, host_cpus: usize, runs: &[ScalingRun]) -> Strin
         let _ = write!(
             s,
             "    {{\"threads\": {}, \"wall_s\": {:.6}, \"speedup\": {:.3}, \
-             \"drop_rate\": {:.4}, \"committed_sat\": {}, \"wasted_solves\": {}, \
-             \"per_worker_solved\": [{}]}}",
+             \"drop_rate\": {:.4}, \"committed_sat\": {}, \"committed_unsat\": {}, \
+             \"wasted_solves\": {}, \"per_worker_solved\": [{}]}}",
             r.threads,
             wall,
             speedup,
             r.drop_rate,
             r.committed_sat,
+            r.committed_unsat,
             r.wasted_solves,
             workers.join(", ")
         );
@@ -349,6 +354,7 @@ mod parallel_report_tests {
                 wall: Duration::from_millis(100),
                 drop_rate: 0.5,
                 committed_sat: 10,
+                committed_unsat: 0,
                 wasted_solves: 0,
                 per_worker_solved: vec![10],
             },
@@ -357,6 +363,7 @@ mod parallel_report_tests {
                 wall: Duration::from_millis(50),
                 drop_rate: 0.5,
                 committed_sat: 10,
+                committed_unsat: 1,
                 wasted_solves: 2,
                 per_worker_solved: vec![7, 5],
             },

@@ -1,0 +1,165 @@
+//! Activation-literal hygiene passes (`A*` codes) for incremental
+//! ATPG encodings.
+//!
+//! The incremental campaign engine encodes the fault-free circuit once
+//! and guards every per-fault clause with a fresh *activation literal*
+//! `a_ψ`: each fault clause is attached as `(¬a_ψ ∨ c)`, the fault is
+//! solved under the assumption `[a_ψ]`, and afterwards a root-level
+//! unit `(¬a_ψ)` clamps the fault's logic off forever. That discipline
+//! is what makes learnt-clause retention sound — a clause that mixes
+//! two faults' guards, or asserts a guard positively, silently couples
+//! fault instances and corrupts every later verdict.
+//!
+//! [`lint_activation`] audits a snapshot of a solver's problem clauses
+//! against the declared base/activation variable split:
+//!
+//! - `A001` (error): an activation literal occurs *positively* in a
+//!   clause — guards and clamps must be negative-only, since the
+//!   positive phase is reserved for the assumption.
+//! - `A002` (error): a clause is guarded by more than one activation
+//!   literal — per-fault cones must not share clauses.
+//! - `A003` (error): an activation variable overlaps the base
+//!   (fault-free) variable range, or is declared twice.
+//! - `A004` (warning): a base clause (no guard) references a variable
+//!   outside the base range — fault-cone logic leaking into the shared
+//!   encoding.
+
+use std::collections::HashSet;
+
+use atpg_easy_cnf::{Lit, Var};
+
+use crate::diag::{Code, Location, Report};
+
+/// Audits `clauses` (a problem-clause snapshot, e.g. from
+/// `IncrementalCdcl::problem_clauses`, plus any root units) against the
+/// encoding contract: variables below `base_vars` encode the fault-free
+/// circuit, `activation` lists the per-fault guard variables.
+pub fn lint_activation(clauses: &[Vec<Lit>], base_vars: usize, activation: &[Var]) -> Report {
+    let mut report = Report::new();
+    let mut guards: HashSet<Var> = HashSet::new();
+    for &v in activation {
+        if v.index() < base_vars {
+            report.add(
+                Code::A003,
+                Location::General,
+                format!(
+                    "activation variable {} lies inside the base range 0..{base_vars}",
+                    v.index()
+                ),
+            );
+        }
+        if !guards.insert(v) {
+            report.add(
+                Code::A003,
+                Location::General,
+                format!("activation variable {} declared twice", v.index()),
+            );
+        }
+    }
+
+    for (ci, clause) in clauses.iter().enumerate() {
+        let loc = Location::Clause { index: ci };
+        let mut negative_guards = 0usize;
+        for &lit in clause {
+            if !guards.contains(&lit.var()) {
+                continue;
+            }
+            if lit.is_positive() {
+                report.add(
+                    Code::A001,
+                    loc.clone(),
+                    format!(
+                        "activation variable {} occurs positively; guards must be negative-only",
+                        lit.var().index()
+                    ),
+                );
+            } else {
+                negative_guards += 1;
+            }
+        }
+        if negative_guards > 1 {
+            report.add(
+                Code::A002,
+                loc.clone(),
+                format!("clause is guarded by {negative_guards} activation literals; expected at most one"),
+            );
+        }
+        if negative_guards == 0
+            && clause
+                .iter()
+                .any(|l| l.var().index() >= base_vars && !guards.contains(&l.var()))
+        {
+            report.add(
+                Code::A004,
+                loc,
+                format!(
+                    "unguarded clause references a variable outside the base range 0..{base_vars}"
+                ),
+            );
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(i: usize, pos: bool) -> Lit {
+        Lit::with_value(Var::from_index(i), pos)
+    }
+
+    fn var(i: usize) -> Var {
+        Var::from_index(i)
+    }
+
+    #[test]
+    fn clean_incremental_encoding_passes() {
+        // Base: vars 0..3. Fault cone vars 4..6 guarded by activation 3.
+        let clauses = vec![
+            vec![lit(0, true), lit(1, false)],                // base
+            vec![lit(3, false), lit(4, true), lit(0, false)], // guarded cone
+            vec![lit(3, false), lit(5, true), lit(4, false)], // guarded cone
+        ];
+        let r = lint_activation(&clauses, 3, &[var(3)]);
+        assert!(r.is_empty(), "{}", r.render_human());
+    }
+
+    #[test]
+    fn positive_guard_is_a001() {
+        let clauses = vec![vec![lit(3, true), lit(0, true)]];
+        let r = lint_activation(&clauses, 3, &[var(3)]);
+        assert!(r.has_code(Code::A001));
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn double_guard_is_a002() {
+        let clauses = vec![vec![lit(3, false), lit(4, false), lit(0, true)]];
+        let r = lint_activation(&clauses, 3, &[var(3), var(4)]);
+        assert!(r.has_code(Code::A002));
+    }
+
+    #[test]
+    fn overlapping_or_duplicate_activation_is_a003() {
+        let r = lint_activation(&[], 5, &[var(2)]);
+        assert!(r.has_code(Code::A003), "inside base range");
+        let r = lint_activation(&[], 2, &[var(3), var(3)]);
+        assert!(r.has_code(Code::A003), "declared twice");
+    }
+
+    #[test]
+    fn unguarded_cone_leak_is_a004_warning() {
+        let clauses = vec![vec![lit(0, true), lit(7, true)]];
+        let r = lint_activation(&clauses, 3, &[var(3)]);
+        assert!(r.has_code(Code::A004));
+        assert!(!r.has_errors(), "A004 is a warning");
+    }
+
+    #[test]
+    fn guarded_clause_may_use_cone_vars_freely() {
+        let clauses = vec![vec![lit(3, false), lit(9, true), lit(10, false)]];
+        let r = lint_activation(&clauses, 3, &[var(3)]);
+        assert!(r.is_empty(), "{}", r.render_human());
+    }
+}

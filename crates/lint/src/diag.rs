@@ -76,12 +76,20 @@ pub enum Code {
     T003,
     /// Campaign gauges disagree with the circuit's instance lines.
     T004,
+    /// Activation literal occurs positively in a clause.
+    A001,
+    /// Clause guarded by more than one activation literal.
+    A002,
+    /// Activation variable overlaps the base range or is declared twice.
+    A003,
+    /// Unguarded clause references a variable outside the base range.
+    A004,
 }
 
 impl Code {
     /// Every code, in family order. Tools iterate this to document or test
     /// the full set.
-    pub const ALL: [Code; 22] = [
+    pub const ALL: [Code; 26] = [
         Code::N001,
         Code::N002,
         Code::N003,
@@ -104,6 +112,10 @@ impl Code {
         Code::T002,
         Code::T003,
         Code::T004,
+        Code::A001,
+        Code::A002,
+        Code::A003,
+        Code::A004,
     ];
 
     /// The stable textual form (`"N001"`, …).
@@ -131,6 +143,10 @@ impl Code {
             Code::T002 => "T002",
             Code::T003 => "T003",
             Code::T004 => "T004",
+            Code::A001 => "A001",
+            Code::A002 => "A002",
+            Code::A003 => "A003",
+            Code::A004 => "A004",
         }
     }
 
@@ -151,14 +167,18 @@ impl Code {
             | Code::T001
             | Code::T002
             | Code::T003
-            | Code::T004 => Severity::Error,
+            | Code::T004
+            | Code::A001
+            | Code::A002
+            | Code::A003 => Severity::Error,
             Code::N004
             | Code::N007
             | Code::C001
             | Code::C002
             | Code::C003
             | Code::C004
-            | Code::C007 => Severity::Warning,
+            | Code::C007
+            | Code::A004 => Severity::Warning,
         }
     }
 
@@ -187,6 +207,10 @@ impl Code {
             Code::T002 => "duplicate instance sequence number in a circuit trace",
             Code::T003 => "instance outcome label outside the Figure-1 set",
             Code::T004 => "campaign gauges disagree with the instance lines",
+            Code::A001 => "activation literal occurs positively in a clause",
+            Code::A002 => "clause guarded by more than one activation literal",
+            Code::A003 => "activation variable overlaps the base range or repeats",
+            Code::A004 => "unguarded clause references a non-base variable",
         }
     }
 }

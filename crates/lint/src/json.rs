@@ -66,13 +66,15 @@ pub fn lint_trace(text: &str) -> Report {
     }
     for (lineno, m) in &campaigns {
         let count = seen.get(m.circuit.as_str()).map_or(0, BTreeMap::len) as u64;
-        if m.committed_sat != count {
+        let committed = m.committed_sat + m.committed_unsat;
+        if committed != count {
             report.add(
                 Code::T004,
                 Location::Line { line: *lineno },
                 format!(
-                    "circuit `{}` claims {} committed SAT instances but the trace has {count}",
-                    m.circuit, m.committed_sat
+                    "circuit `{}` claims {committed} committed instances \
+                     (SAT {} + UNSAT {}) but the trace has {count}",
+                    m.circuit, m.committed_sat, m.committed_unsat
                 ),
             );
         }
@@ -101,12 +103,13 @@ mod tests {
         .to_jsonl()
     }
 
-    fn campaign(circuit: &str, committed_sat: u64) -> String {
+    fn campaign(circuit: &str, committed_sat: u64, committed_unsat: u64) -> String {
         CampaignMeta {
             circuit: circuit.into(),
             threads: 1,
-            queue_depth: committed_sat,
+            queue_depth: committed_sat + committed_unsat,
             committed_sat,
+            committed_unsat,
             dropped: 0,
             wasted_solves: 0,
             cutwidth_estimate: None,
@@ -120,7 +123,7 @@ mod tests {
             "{}\n{}\n\n{}\n",
             instance("c17", 0, "SAT"),
             instance("c17", 1, "UNSAT"),
-            campaign("c17", 2)
+            campaign("c17", 1, 1)
         );
         let r = lint_trace(&doc);
         assert!(r.is_empty(), "{}", r.render_human());
@@ -155,7 +158,7 @@ mod tests {
 
     #[test]
     fn gauge_mismatch_is_t004() {
-        let doc = format!("{}\n{}\n", instance("c17", 0, "SAT"), campaign("c17", 5));
+        let doc = format!("{}\n{}\n", instance("c17", 0, "SAT"), campaign("c17", 5, 0));
         let r = lint_trace(&doc);
         assert!(r.has_code(Code::T004));
         assert!(r.has_errors());

@@ -16,6 +16,7 @@
 //! | [`cnf`] | `C001`–`C007` | CNF formulas and Tseitin encodings |
 //! | [`cert`] | `O001`–`O004` | cut-width and miter certificates |
 //! | [`json`] | `T001`–`T004` | JSONL solver-telemetry traces |
+//! | [`activation`] | `A001`–`A004` | activation-literal hygiene in incremental encodings |
 //!
 //! Every diagnostic carries a stable [`Code`], a [`Severity`], a
 //! [`Location`], and a human-readable message; a [`Report`] renders as
@@ -31,6 +32,7 @@
 
 #![warn(clippy::unwrap_used)]
 
+pub mod activation;
 pub mod cert;
 pub mod cnf;
 pub mod diag;

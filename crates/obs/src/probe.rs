@@ -102,6 +102,22 @@ pub trait Probe {
         let _ = len;
     }
 
+    /// An incremental solve started under `n` assumption literals
+    /// (incremental CDCL only; fresh solves never emit this).
+    #[inline]
+    fn assumptions(&mut self, n: usize) {
+        let _ = n;
+    }
+
+    /// An incremental solve started with `n` learnt clauses retained from
+    /// earlier solves on the same instance (incremental CDCL only). A
+    /// fresh solver always starts at 0 and never emits this, so the event
+    /// distinguishes warm conflicts from cold ones in traces.
+    #[inline]
+    fn learnt_reused(&mut self, n: usize) {
+        let _ = n;
+    }
+
     /// CDCL restarted.
     #[inline]
     fn restart(&mut self) {}
@@ -161,6 +177,11 @@ pub struct Counters {
     pub learned: u64,
     /// Total literals across learned clauses (CDCL only).
     pub learned_lits: u64,
+    /// Assumption literals set at solve start (incremental CDCL only).
+    pub assumptions: u64,
+    /// Learnt clauses retained from earlier solves and available at solve
+    /// start (incremental CDCL only).
+    pub learnt_reused: u64,
     /// Restarts (CDCL only).
     pub restarts: u64,
     /// Wall-clock deadline polls.
@@ -181,6 +202,8 @@ impl Counters {
         self.cache_inserts += other.cache_inserts;
         self.learned += other.learned;
         self.learned_lits += other.learned_lits;
+        self.assumptions += other.assumptions;
+        self.learnt_reused += other.learnt_reused;
         self.restarts += other.restarts;
         self.deadline_checks += other.deadline_checks;
         self.max_depth = self.max_depth.max(other.max_depth);
@@ -258,6 +281,14 @@ impl Probe for CountingProbe {
         self.counters.learned_lits += len as u64;
     }
 
+    fn assumptions(&mut self, n: usize) {
+        self.counters.assumptions += n as u64;
+    }
+
+    fn learnt_reused(&mut self, n: usize) {
+        self.counters.learnt_reused += n as u64;
+    }
+
     fn restart(&mut self) {
         self.counters.restarts += 1;
     }
@@ -298,6 +329,10 @@ pub enum Event {
     CacheInsert,
     /// `learned(len)`.
     Learned(usize),
+    /// `assumptions(n)`.
+    Assumptions(usize),
+    /// `learnt_reused(n)`.
+    LearntReused(usize),
     /// `restart()`.
     Restart,
     /// `deadline_check()`.
@@ -390,6 +425,14 @@ impl Probe for RecordingProbe {
         self.push(Event::Learned(len));
     }
 
+    fn assumptions(&mut self, n: usize) {
+        self.push(Event::Assumptions(n));
+    }
+
+    fn learnt_reused(&mut self, n: usize) {
+        self.push(Event::LearntReused(n));
+    }
+
     fn restart(&mut self) {
         self.push(Event::Restart);
     }
@@ -458,6 +501,16 @@ impl<A: Probe, B: Probe> Probe for Tee<A, B> {
         self.1.learned(len);
     }
 
+    fn assumptions(&mut self, n: usize) {
+        self.0.assumptions(n);
+        self.1.assumptions(n);
+    }
+
+    fn learnt_reused(&mut self, n: usize) {
+        self.0.learnt_reused(n);
+        self.1.learnt_reused(n);
+    }
+
     fn restart(&mut self) {
         self.0.restart();
         self.1.restart();
@@ -480,6 +533,8 @@ mod tests {
 
     fn drive<P: Probe + ?Sized>(p: &mut P) {
         p.instance_begin(4, 9);
+        p.assumptions(2);
+        p.learnt_reused(5);
         p.decision(1);
         p.propagation();
         p.decision(2);
@@ -512,6 +567,8 @@ mod tests {
         assert_eq!(c.cache_inserts, 1);
         assert_eq!(c.learned, 1);
         assert_eq!(c.learned_lits, 3);
+        assert_eq!(c.assumptions, 2);
+        assert_eq!(c.learnt_reused, 5);
         assert_eq!(c.restarts, 1);
         assert_eq!(c.deadline_checks, 1);
         assert_eq!(c.max_depth, 2);
@@ -539,9 +596,9 @@ mod tests {
                 clauses: 9
             }
         );
-        assert_eq!(p.events[1], Event::Decision(1));
-        assert_eq!(p.events[2], Event::Propagation);
-        assert_eq!(p.dropped, 10);
+        assert_eq!(p.events[1], Event::Assumptions(2));
+        assert_eq!(p.events[2], Event::LearntReused(5));
+        assert_eq!(p.dropped, 12);
     }
 
     #[test]
@@ -550,7 +607,7 @@ mod tests {
         let dynp: &mut dyn Probe = &mut tee;
         drive(dynp);
         assert_eq!(tee.0.counters.decisions, 2);
-        assert_eq!(tee.1.events.len(), 13);
+        assert_eq!(tee.1.events.len(), 15);
         assert!(tee.enabled());
     }
 

@@ -142,6 +142,8 @@ pub struct TraceSummary {
     pub campaigns: u64,
     /// Sum of `committed_sat` across campaign records.
     pub committed_sat: u64,
+    /// Sum of `committed_unsat` across campaign records.
+    pub committed_unsat: u64,
     /// Sum of `wasted_solves` across campaign records.
     pub wasted_solves: u64,
     /// Wall-time distribution in nanoseconds.
@@ -182,10 +184,11 @@ impl TraceSummary {
         );
         let _ = writeln!(
             s,
-            "{:.1}% solved within {:?}; committed SAT {}; wasted solves {}",
+            "{:.1}% solved within {:?}; committed SAT {} / UNSAT {}; wasted solves {}",
             100.0 * self.fast_fraction(fast_threshold),
             fast_threshold,
             self.committed_sat,
+            self.committed_unsat,
             self.wasted_solves
         );
         s
@@ -214,6 +217,7 @@ impl TraceSink for SummarySink {
         let s = &mut self.summary;
         s.campaigns += 1;
         s.committed_sat += m.committed_sat;
+        s.committed_unsat += m.committed_unsat;
         s.wasted_solves += m.wasted_solves;
         Ok(())
     }
@@ -251,7 +255,8 @@ mod tests {
             threads: 2,
             queue_depth: 22,
             committed_sat: 2,
-            dropped: 20,
+            committed_unsat: 1,
+            dropped: 19,
             wasted_solves: 1,
             cutwidth_estimate: Some(4),
         }
@@ -308,6 +313,7 @@ mod tests {
         assert_eq!(s.by_circuit.len(), 2);
         assert_eq!(s.campaigns, 1);
         assert_eq!(s.committed_sat, 2);
+        assert_eq!(s.committed_unsat, 1);
         let fast = s.fast_fraction(Duration::from_millis(10));
         assert!((fast - 0.9).abs() < 1e-9, "{fast}");
         let report = s.render(Duration::from_millis(10));

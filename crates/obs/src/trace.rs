@@ -62,6 +62,8 @@ impl InstanceTrace {
         push_num(&mut s, "cache_inserts", c.cache_inserts);
         push_num(&mut s, "learned", c.learned);
         push_num(&mut s, "learned_lits", c.learned_lits);
+        push_num(&mut s, "assumptions", c.assumptions);
+        push_num(&mut s, "learnt_reused", c.learnt_reused);
         push_num(&mut s, "restarts", c.restarts);
         push_num(&mut s, "deadline_checks", c.deadline_checks);
         push_num(&mut s, "max_depth", c.max_depth);
@@ -89,11 +91,14 @@ pub struct CampaignMeta {
     pub threads: u64,
     /// Fault-queue depth (targeted faults).
     pub queue_depth: u64,
-    /// SAT instances committed.
+    /// Committed solver calls that detected their fault (SAT).
     pub committed_sat: u64,
-    /// Faults retired without a committed SAT call.
+    /// Committed solver calls that proved their fault untestable or hit a
+    /// budget (UNSAT/abort) — useful work, distinct from wasted solves.
+    pub committed_unsat: u64,
+    /// Faults retired without a committed solver call.
     pub dropped: u64,
-    /// Speculative solves discarded at commit time.
+    /// Speculative solves superseded by fault dropping at commit time.
     pub wasted_solves: u64,
     /// Estimated cut-width of the circuit, when computed.
     pub cutwidth_estimate: Option<u64>,
@@ -107,6 +112,7 @@ impl CampaignMeta {
         push_num(&mut s, "threads", self.threads);
         push_num(&mut s, "queue_depth", self.queue_depth);
         push_num(&mut s, "committed_sat", self.committed_sat);
+        push_num(&mut s, "committed_unsat", self.committed_unsat);
         push_num(&mut s, "dropped", self.dropped);
         push_num(&mut s, "wasted_solves", self.wasted_solves);
         if let Some(w) = self.cutwidth_estimate {
@@ -326,6 +332,10 @@ pub fn parse_jsonl_line(line: &str) -> Result<TraceLine, String> {
                 cache_inserts: f.num("cache_inserts")?,
                 learned: f.num("learned")?,
                 learned_lits: f.num("learned_lits")?,
+                // Incremental-solver counters postdate the original
+                // schema; absent in old traces means zero.
+                assumptions: f.num_opt("assumptions")?.unwrap_or(0),
+                learnt_reused: f.num_opt("learnt_reused")?.unwrap_or(0),
                 restarts: f.num("restarts")?,
                 deadline_checks: f.num("deadline_checks")?,
                 max_depth: f.num("max_depth")?,
@@ -336,6 +346,9 @@ pub fn parse_jsonl_line(line: &str) -> Result<TraceLine, String> {
             threads: f.num("threads")?,
             queue_depth: f.num("queue_depth")?,
             committed_sat: f.num("committed_sat")?,
+            // Postdates the original schema: old traces folded UNSAT
+            // commits into committed_sat, so absent means zero.
+            committed_unsat: f.num_opt("committed_unsat")?.unwrap_or(0),
             dropped: f.num("dropped")?,
             wasted_solves: f.num("wasted_solves")?,
             cutwidth_estimate: f.num_opt("cutwidth_estimate")?,
@@ -401,7 +414,8 @@ mod tests {
                 circuit: "b9".into(),
                 threads: 8,
                 queue_depth: 310,
-                committed_sat: 120,
+                committed_sat: 110,
+                committed_unsat: 10,
                 dropped: 190,
                 wasted_solves: 14,
                 cutwidth_estimate: width,
@@ -442,7 +456,8 @@ mod tests {
                 circuit: "c17".into(),
                 threads: 1,
                 queue_depth: 22,
-                committed_sat: 22,
+                committed_sat: 20,
+                committed_unsat: 2,
                 dropped: 0,
                 wasted_solves: 0,
                 cutwidth_estimate: None,

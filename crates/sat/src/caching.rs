@@ -10,7 +10,7 @@
 //! Theorem 4.1: on a CIRCUIT-SAT formula `f(C)` this solver expands
 //! `O(n · 2^(2·k_fo·W(C,h)))` nodes under ordering `h`.
 
-use std::collections::HashSet;
+use std::collections::HashMap;
 use std::time::Instant;
 
 use atpg_easy_cnf::{CnfFormula, Var};
@@ -72,9 +72,10 @@ pub fn render_trace(events: &[TraceEvent]) -> String {
 /// Caching-based backtracking (the paper's Algorithm 1).
 ///
 /// The cache is "perfect" in the sense of the paper's analysis: lookups and
-/// insertions are hash-table operations on a 128-bit fingerprint of the
-/// residual clause set, so each access is O(active clauses) — constant per
-/// node for bounded-width formulas.
+/// insertions hash a 128-bit fingerprint of the residual clause set and
+/// then compare the canonical residual key exactly, so each access is
+/// O(active clauses) — constant per node for bounded-width formulas — and
+/// a fingerprint collision can never smuggle in a wrong UNSAT verdict.
 #[derive(Debug, Clone, Default)]
 pub struct CachingBacktracking {
     order: Option<Vec<Var>>,
@@ -127,11 +128,51 @@ enum Verdict {
     Aborted,
 }
 
+/// The UNSAT sub-formula cache: fingerprint-indexed buckets of canonical
+/// residual keys.
+///
+/// A bare `HashSet<u128>` of fingerprints — the previous implementation —
+/// silently returns a wrong UNSAT verdict when two distinct residual
+/// clause sets collide on the 128-bit hash. Here the fingerprint only
+/// selects a bucket; a hit additionally requires an exact match on the
+/// canonical key ([`Residual::canonical_key`]), so collisions cost one
+/// extra slice comparison instead of soundness.
+#[derive(Debug, Clone, Default)]
+struct UnsatCache {
+    buckets: HashMap<u128, Vec<Box<[u32]>>>,
+    entries: usize,
+}
+
+impl UnsatCache {
+    /// Whether `key` was previously inserted (under `fingerprint`).
+    fn contains(&self, fingerprint: u128, key: &[u32]) -> bool {
+        self.buckets
+            .get(&fingerprint)
+            .is_some_and(|keys| keys.iter().any(|k| **k == *key))
+    }
+
+    /// Inserts `key` under `fingerprint`; `false` if it was already present.
+    fn insert(&mut self, fingerprint: u128, key: Box<[u32]>) -> bool {
+        let bucket = self.buckets.entry(fingerprint).or_default();
+        if bucket.iter().any(|k| **k == *key) {
+            return false;
+        }
+        bucket.push(key);
+        self.entries += 1;
+        true
+    }
+
+    /// Number of cached UNSAT sub-formulas (exact keys, not buckets).
+    fn len(&self) -> usize {
+        self.entries
+    }
+}
+
 /// Everything one backtracking search carries besides the residual: the
 /// ordering, cache, budgets and observers.
 struct Search<'a, P: Probe + ?Sized> {
     order: Vec<Var>,
-    cache: HashSet<u128>,
+    cache: UnsatCache,
     stats: &'a mut SolverStats,
     limits: Limits,
     deadline: Deadline,
@@ -158,6 +199,12 @@ impl<P: Probe + ?Sized> Search<'_, P> {
         let v = self.order[depth];
         let mut aborted = false;
         for value in [false, true] {
+            // Deadline first, before the node is counted: an already-
+            // expired deadline must abort with zero decisions on the books.
+            self.probe.deadline_check();
+            if self.deadline.expired() {
+                return Verdict::Aborted;
+            }
             self.stats.nodes += 1;
             self.stats.decisions += 1;
             self.probe.decision(depth);
@@ -165,10 +212,6 @@ impl<P: Probe + ?Sized> Search<'_, P> {
                 if self.stats.nodes > max {
                     return Verdict::Aborted;
                 }
-            }
-            self.probe.deadline_check();
-            if self.deadline.expired() {
-                return Verdict::Aborted;
             }
             res.assign(v, value);
             if res.has_conflict() {
@@ -179,8 +222,9 @@ impl<P: Probe + ?Sized> Search<'_, P> {
                 self.record(depth, v, value, TraceOutcome::Satisfied);
                 return Verdict::Sat;
             } else {
-                let key = res.state_fingerprint();
-                if self.cache.contains(&key) {
+                let fingerprint = res.state_fingerprint();
+                let key = res.canonical_key();
+                if self.cache.contains(fingerprint, &key) {
                     self.stats.cache_hits += 1;
                     self.probe.cache_hit();
                     self.record(depth, v, value, TraceOutcome::CacheHit);
@@ -189,7 +233,7 @@ impl<P: Probe + ?Sized> Search<'_, P> {
                     self.record(depth, v, value, TraceOutcome::Expanded);
                     match self.cache_sat(res, depth + 1) {
                         Verdict::Unsat => {
-                            if self.cache.insert(key) {
+                            if self.cache.insert(fingerprint, key) {
                                 self.probe.cache_insert();
                             }
                         }
@@ -233,7 +277,7 @@ impl CachingBacktracking {
         } else {
             let mut search = Search {
                 order,
-                cache: HashSet::new(),
+                cache: UnsatCache::default(),
                 stats: &mut self.stats,
                 limits: self.limits,
                 deadline: Deadline::start(&self.limits),
@@ -404,6 +448,38 @@ mod tests {
         let rendered = crate::render_trace(trace);
         assert!(rendered.contains("SAT"), "{rendered}");
         assert!(rendered.lines().count() == trace.len());
+    }
+
+    #[test]
+    fn forced_fingerprint_collision_is_not_a_hit() {
+        // Two different residual clause sets filed under the SAME forced
+        // fingerprint — the exact situation where the old HashSet<u128>
+        // cache answered a wrong UNSAT. The canonical keys must keep the
+        // entries apart.
+        let mut f = CnfFormula::new(2);
+        f.add_clause(vec![lit(0, true), lit(1, true)]);
+        let key_a = Residual::new(&f).canonical_key();
+        let mut g = CnfFormula::new(2);
+        g.add_clause(vec![lit(0, false), lit(1, false)]);
+        let key_b = Residual::new(&g).canonical_key();
+        assert_ne!(key_a, key_b, "test needs two distinct residuals");
+
+        let forced_fp: u128 = 0xDEAD_BEEF;
+        let mut cache = UnsatCache::default();
+        assert!(cache.insert(forced_fp, key_a.clone()));
+        assert!(cache.contains(forced_fp, &key_a));
+        assert!(
+            !cache.contains(forced_fp, &key_b),
+            "a fingerprint collision must not report a cache hit"
+        );
+        assert!(
+            cache.insert(forced_fp, key_b.clone()),
+            "colliding key coexists"
+        );
+        assert!(cache.contains(forced_fp, &key_b));
+        assert_eq!(cache.len(), 2, "both residuals cached under one bucket");
+        assert!(!cache.insert(forced_fp, key_a), "re-insert is idempotent");
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

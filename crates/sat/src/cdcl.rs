@@ -6,6 +6,13 @@
 //! the engineered SAT engine inside TEGUS in the Figure-1 reproduction:
 //! the paper's point is precisely that such solvers dispatch almost all
 //! ATPG-SAT instances instantly.
+//!
+//! Two front-ends share the engine: [`Cdcl`] solves one formula from a
+//! cold start, and [`IncrementalCdcl`] keeps the clause database, learnt
+//! clauses, activities and saved phases alive across
+//! [`IncrementalCdcl::solve_assuming`] calls — the MiniSat incremental
+//! interface that TEGUS-style ATPG uses to solve thousands of per-fault
+//! instances against one persistent solver.
 
 use std::collections::BinaryHeap;
 use std::time::Instant;
@@ -60,12 +67,18 @@ struct Engine {
     trail_lim: Vec<usize>,
     qhead: usize,
     activity: Vec<f64>,
+    /// Retired variables: every clause mentioning them is permanently
+    /// satisfied at level 0 (e.g. an activation-clamped fault cone), so
+    /// they are never decided and models complete them from the saved
+    /// phase. Only [`IncrementalCdcl::retire_vars`] sets this.
+    dead: Vec<bool>,
     var_inc: f64,
     cla_inc: f64,
     heap: BinaryHeap<(u64, u32)>,
     phase: Vec<bool>,
     stats: SolverStats,
     num_learnt: usize,
+    num_problem: usize,
     max_learnt: usize,
 }
 
@@ -85,10 +98,9 @@ fn luby(mut i: u64) -> u64 {
 }
 
 impl Engine {
-    fn new(f: &CnfFormula) -> Self {
-        let n = f.num_vars();
+    fn with_vars(n: usize) -> Self {
         Engine {
-            clauses: Vec::with_capacity(f.num_clauses()),
+            clauses: Vec::new(),
             watches: vec![Vec::new(); 2 * n],
             assign: vec![None; n],
             level: vec![0; n],
@@ -97,13 +109,40 @@ impl Engine {
             trail_lim: Vec::new(),
             qhead: 0,
             activity: vec![0.0; n],
+            dead: vec![false; n],
             var_inc: 1.0,
             cla_inc: 1.0,
             heap: (0..n as u32).map(|v| (0u64, v)).collect(),
             phase: vec![false; n],
             stats: SolverStats::default(),
             num_learnt: 0,
-            max_learnt: (f.num_clauses() / 3).max(2000),
+            num_problem: 0,
+            max_learnt: 2000,
+        }
+    }
+
+    fn new(f: &CnfFormula) -> Self {
+        let mut e = Engine::with_vars(f.num_vars());
+        e.clauses.reserve(f.num_clauses());
+        e.max_learnt = (f.num_clauses() / 3).max(2000);
+        e
+    }
+
+    /// Extends the engine to `n` variables; existing state is untouched.
+    fn grow_to(&mut self, n: usize) {
+        let old = self.assign.len();
+        if n <= old {
+            return;
+        }
+        self.watches.resize(2 * n, Vec::new());
+        self.assign.resize(n, None);
+        self.level.resize(n, 0);
+        self.reason.resize(n, None);
+        self.activity.resize(n, 0.0);
+        self.dead.resize(n, false);
+        self.phase.resize(n, false);
+        for v in old..n {
+            self.heap.push((0u64, v as u32));
         }
     }
 
@@ -313,6 +352,40 @@ impl Engine {
         ok
     }
 
+    /// Final-conflict analysis for a falsified assumption `p` (MiniSat's
+    /// `analyzeFinal`): walks reasons backwards over the above-level-0
+    /// trail, expanding implied literals through their reason clauses and
+    /// keeping decisions — which, during assumption establishment, are
+    /// exactly the previously-enqueued assumptions. Returns `p` together
+    /// with the subset of assumption literals whose conjunction already
+    /// contradicts `p`.
+    fn analyze_final(&self, p: Lit) -> Vec<Lit> {
+        let mut out = vec![p];
+        if self.decision_level() == 0 {
+            return out;
+        }
+        let mut seen = vec![false; self.assign.len()];
+        seen[p.var().index()] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let vi = l.var().index();
+            if !seen[vi] {
+                continue;
+            }
+            match self.reason[vi] {
+                None => out.push(l),
+                Some(ci) => {
+                    for &q in &self.clauses[ci].lits {
+                        if self.level[q.var().index()] > 0 {
+                            seen[q.var().index()] = true;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
     fn cancel_until(&mut self, level: u32) {
         while self.decision_level() > level {
             let lim = self.trail_lim.pop().expect("level > 0");
@@ -342,6 +415,8 @@ impl Engine {
         });
         if learnt {
             self.num_learnt += 1;
+        } else {
+            self.num_problem += 1;
         }
         ci
     }
@@ -387,37 +462,39 @@ impl Engine {
 
     fn decide(&mut self) -> Option<Var> {
         while let Some((_, v)) = self.heap.pop() {
-            if self.assign[v as usize].is_none() {
+            if self.assign[v as usize].is_none() && !self.dead[v as usize] {
                 return Some(Var::from_index(v as usize));
             }
         }
         // Fallback: linear scan (heap entries are lazy and may run out).
         self.assign
             .iter()
-            .position(Option::is_none)
+            .zip(&self.dead)
+            .position(|(a, &dead)| a.is_none() && !dead)
             .map(Var::from_index)
     }
 }
 
-/// The CDCL main loop, generic over the probe so `solve()` monomorphizes
-/// it away at [`NoProbe`].
-fn run<P: Probe + ?Sized>(formula: &CnfFormula, limits: &Limits, probe: &mut P) -> Solution {
-    let mut e = Engine::new(formula);
-    // Load the problem clauses.
+/// What one `search` call concluded.
+enum SearchResult {
+    Sat(Vec<bool>),
+    /// UNSAT independent of assumptions: a level-0 conflict.
+    Unsat,
+    /// The assumptions contradict the clause database; carries the
+    /// failing subset from [`Engine::analyze_final`].
+    AssumptionsFailed(Vec<Lit>),
+    Aborted,
+}
+
+/// Loads `formula`'s clauses into `e`. Returns false on an immediate
+/// level-0 contradiction (empty clause or conflicting units).
+fn load_formula(e: &mut Engine, formula: &CnfFormula) -> bool {
     for clause in formula.clauses() {
         match clause.len() {
-            0 => {
-                return Solution {
-                    outcome: Outcome::Unsat,
-                    stats: e.stats,
-                }
-            }
+            0 => return false,
             1 => {
                 if !e.enqueue(clause[0], None) {
-                    return Solution {
-                        outcome: Outcome::Unsat,
-                        stats: e.stats,
-                    };
+                    return false;
                 }
             }
             _ => {
@@ -425,7 +502,23 @@ fn run<P: Probe + ?Sized>(formula: &CnfFormula, limits: &Limits, probe: &mut P) 
             }
         }
     }
+    true
+}
 
+/// The CDCL main loop, generic over the probe so `solve()` monomorphizes
+/// it away at [`NoProbe`]. Assumptions are established one per decision
+/// level before any free decision (MiniSat style), so a restart replays
+/// them and conflict analysis can never resolve on them — they have no
+/// reason clause, which keeps every learnt clause a consequence of the
+/// clause database alone and therefore sound across future calls with
+/// different assumptions. Returns with the trail still extended; callers
+/// cancel back to level 0 themselves.
+fn search<P: Probe + ?Sized>(
+    e: &mut Engine,
+    assumptions: &[Lit],
+    limits: &Limits,
+    probe: &mut P,
+) -> SearchResult {
     let mut restart_count: u64 = 0;
     let mut conflicts_until_restart = RESTART_BASE * luby(0);
     let mut conflicts_this_restart: u64 = 0;
@@ -437,11 +530,7 @@ fn run<P: Probe + ?Sized>(formula: &CnfFormula, limits: &Limits, probe: &mut P) 
         // one decision, so the clock is consulted often enough.
         probe.deadline_check();
         if deadline.expired() {
-            e.stats.learnt_clauses = e.num_learnt as u64;
-            return Solution {
-                outcome: Outcome::Aborted,
-                stats: e.stats,
-            };
+            return SearchResult::Aborted;
         }
         if let Some(confl) = e.propagate(probe) {
             e.stats.conflicts += 1;
@@ -449,19 +538,11 @@ fn run<P: Probe + ?Sized>(formula: &CnfFormula, limits: &Limits, probe: &mut P) 
             conflicts_this_restart += 1;
             if let Some(max) = limits.max_conflicts {
                 if e.stats.conflicts > max {
-                    e.stats.learnt_clauses = e.num_learnt as u64;
-                    return Solution {
-                        outcome: Outcome::Aborted,
-                        stats: e.stats,
-                    };
+                    return SearchResult::Aborted;
                 }
             }
             if e.decision_level() == 0 {
-                e.stats.learnt_clauses = e.num_learnt as u64;
-                return Solution {
-                    outcome: Outcome::Unsat,
-                    stats: e.stats,
-                };
+                return SearchResult::Unsat;
             }
             let (learnt, bt_level) = e.analyze(confl);
             e.cancel_until(bt_level);
@@ -492,16 +573,43 @@ fn run<P: Probe + ?Sized>(formula: &CnfFormula, limits: &Limits, probe: &mut P) 
                 e.cancel_until(0);
                 continue;
             }
+            // Establish pending assumptions: assumption i lives at
+            // decision level i+1. An already-true assumption gets an
+            // empty dummy level so the index invariant survives
+            // backjumps; a false one means the database refutes the
+            // assumption set. Assumptions are not counted as decisions —
+            // they are inputs, not search effort.
+            let mut enqueued_assumption = false;
+            while (e.decision_level() as usize) < assumptions.len() {
+                let p = assumptions[e.decision_level() as usize];
+                match e.value(p) {
+                    Some(true) => e.trail_lim.push(e.trail.len()),
+                    Some(false) => {
+                        return SearchResult::AssumptionsFailed(e.analyze_final(p));
+                    }
+                    None => {
+                        e.trail_lim.push(e.trail.len());
+                        e.enqueue(p, None);
+                        enqueued_assumption = true;
+                        break;
+                    }
+                }
+            }
+            if enqueued_assumption {
+                continue;
+            }
             match e.decide() {
                 None => {
-                    // Complete assignment: SAT.
-                    let model: Vec<bool> = e.assign.iter().map(|v| v.expect("complete")).collect();
-                    debug_assert!(formula.eval_complete(&model));
-                    e.stats.learnt_clauses = e.num_learnt as u64;
-                    return Solution {
-                        outcome: Outcome::Sat(model),
-                        stats: e.stats,
-                    };
+                    // Complete assignment: SAT. Retired variables stay
+                    // unassigned (their clauses are all level-0
+                    // satisfied) and take their saved phase.
+                    let model: Vec<bool> = e
+                        .assign
+                        .iter()
+                        .zip(&e.phase)
+                        .map(|(v, &ph)| v.unwrap_or(ph))
+                        .collect();
+                    return SearchResult::Sat(model);
                 }
                 Some(v) => {
                     e.stats.decisions += 1;
@@ -509,11 +617,7 @@ fn run<P: Probe + ?Sized>(formula: &CnfFormula, limits: &Limits, probe: &mut P) 
                     probe.decision(e.decision_level() as usize);
                     if let Some(max) = limits.max_nodes {
                         if e.stats.nodes > max {
-                            e.stats.learnt_clauses = e.num_learnt as u64;
-                            return Solution {
-                                outcome: Outcome::Aborted,
-                                stats: e.stats,
-                            };
+                            return SearchResult::Aborted;
                         }
                     }
                     let phase = e.phase[v.index()];
@@ -522,6 +626,32 @@ fn run<P: Probe + ?Sized>(formula: &CnfFormula, limits: &Limits, probe: &mut P) 
                 }
             }
         }
+    }
+}
+
+/// One-shot front-end: fresh engine, no assumptions.
+fn run<P: Probe + ?Sized>(formula: &CnfFormula, limits: &Limits, probe: &mut P) -> Solution {
+    let mut e = Engine::new(formula);
+    if !load_formula(&mut e, formula) {
+        return Solution {
+            outcome: Outcome::Unsat,
+            stats: e.stats,
+        };
+    }
+    let result = search(&mut e, &[], limits, probe);
+    e.stats.learnt_clauses = e.num_learnt as u64;
+    let outcome = match result {
+        SearchResult::Sat(model) => {
+            debug_assert!(formula.eval_complete(&model));
+            Outcome::Sat(model)
+        }
+        SearchResult::Unsat => Outcome::Unsat,
+        SearchResult::AssumptionsFailed(_) => unreachable!("no assumptions passed"),
+        SearchResult::Aborted => Outcome::Aborted,
+    };
+    Solution {
+        outcome,
+        stats: e.stats,
     }
 }
 
@@ -556,6 +686,277 @@ impl Solver for Cdcl {
 
     fn name(&self) -> &'static str {
         "cdcl"
+    }
+}
+
+/// Incremental CDCL with solving under assumptions.
+///
+/// The engine — clause database, learnt clauses, variable activities,
+/// saved phases — persists across [`IncrementalCdcl::solve_assuming`]
+/// calls. Clauses may be added between solves with
+/// [`IncrementalCdcl::add_clause`]; variables grow on demand. Learnt
+/// clauses are consequences of the clause database alone (assumptions
+/// are never resolution pivots, see [`search`]), so everything learnt
+/// while solving one fault's assumptions remains valid for the next
+/// fault's disjoint assumption set — the warm-start effect the
+/// incremental fault campaign measures.
+pub struct IncrementalCdcl {
+    engine: Engine,
+    limits: Limits,
+    stats: SolverStats,
+    failed: Vec<Lit>,
+    /// Latched false once the clause database itself is UNSAT (a level-0
+    /// conflict or an empty clause); every later solve is UNSAT.
+    ok: bool,
+}
+
+impl IncrementalCdcl {
+    /// An empty incremental solver over `num_vars` variables (more may
+    /// be added later with [`IncrementalCdcl::new_var`] or implicitly by
+    /// [`IncrementalCdcl::add_clause`]).
+    pub fn new(num_vars: usize) -> Self {
+        IncrementalCdcl {
+            engine: Engine::with_vars(num_vars),
+            limits: Limits::default(),
+            stats: SolverStats::default(),
+            failed: Vec::new(),
+            ok: true,
+        }
+    }
+
+    /// Sets a per-solve resource budget.
+    pub fn with_limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Number of variables the solver currently knows about.
+    pub fn num_vars(&self) -> usize {
+        self.engine.assign.len()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let n = self.engine.assign.len();
+        self.engine.grow_to(n + 1);
+        Var::from_index(n)
+    }
+
+    /// Ensures the solver knows about at least `n` variables.
+    pub fn grow_to(&mut self, n: usize) {
+        self.engine.grow_to(n);
+    }
+
+    /// Adds a clause to the persistent database. Returns false when the
+    /// database became unsatisfiable (the clause simplified to empty
+    /// under the level-0 assignment); the solver stays usable but every
+    /// later solve reports UNSAT.
+    ///
+    /// The clause is normalized the way [`CnfFormula::add_clause`]
+    /// normalizes: sorted, deduplicated, tautologies dropped. Literals
+    /// already false at level 0 are removed; a clause with a literal
+    /// already true at level 0 is dropped as satisfied.
+    pub fn add_clause(&mut self, mut lits: Vec<Lit>) -> bool {
+        if !self.ok {
+            return false;
+        }
+        debug_assert_eq!(self.engine.decision_level(), 0);
+        if let Some(max_var) = lits.iter().map(|l| l.var().index()).max() {
+            self.engine.grow_to(max_var + 1);
+        }
+        lits.sort_unstable_by_key(|l| l.code());
+        lits.dedup();
+        // Tautology: after sorting, opposite literals of a variable are
+        // adjacent.
+        if lits.windows(2).any(|w| w[0].var() == w[1].var()) {
+            return true;
+        }
+        lits.retain(|&l| self.engine.value(l) != Some(false));
+        if lits.iter().any(|&l| self.engine.value(l) == Some(true)) {
+            return true;
+        }
+        match lits.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                // Unit at level 0; propagation happens at the start of
+                // the next solve.
+                if !self.engine.enqueue(lits[0], None) {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.engine.attach(lits, false);
+                true
+            }
+        }
+    }
+
+    /// Adds every clause of `formula`, growing to its variable count
+    /// first so variable indices line up. Returns false when the
+    /// database became unsatisfiable.
+    pub fn add_formula(&mut self, formula: &CnfFormula) -> bool {
+        self.engine.grow_to(formula.num_vars());
+        let mut ok = true;
+        for clause in formula.clauses() {
+            ok &= self.add_clause(clause.clone());
+        }
+        ok
+    }
+
+    /// Solves the accumulated database under `assumptions`. `Unsat`
+    /// means the database together with the assumptions is
+    /// unsatisfiable; [`IncrementalCdcl::failed_assumptions`]
+    /// distinguishes an assumption-dependent refutation (non-empty
+    /// subset) from a globally UNSAT database (empty).
+    pub fn solve_assuming(&mut self, assumptions: &[Lit]) -> Solution {
+        self.solve_assuming_with(assumptions, &mut NoProbe)
+    }
+
+    /// [`IncrementalCdcl::solve_assuming`] with a dyn probe attached.
+    pub fn solve_assuming_probed(
+        &mut self,
+        assumptions: &[Lit],
+        probe: &mut dyn Probe,
+    ) -> Solution {
+        self.solve_assuming_with(assumptions, probe)
+    }
+
+    fn solve_assuming_with<P: Probe + ?Sized>(
+        &mut self,
+        assumptions: &[Lit],
+        probe: &mut P,
+    ) -> Solution {
+        // Per-solve stats: the persistent engine's counters restart at
+        // zero so each call reports only its own effort.
+        self.engine.stats = SolverStats::default();
+        self.failed.clear();
+        let start = probe.enabled().then(Instant::now);
+        probe.instance_begin(self.engine.assign.len(), self.engine.num_problem);
+        probe.assumptions(assumptions.len());
+        probe.learnt_reused(self.engine.num_learnt);
+        if !self.ok {
+            self.engine.stats.learnt_clauses = self.engine.num_learnt as u64;
+            self.stats = self.engine.stats;
+            probe.instance_end(
+                probe_outcome(&Outcome::Unsat),
+                start.map(|s| s.elapsed()).unwrap_or_default(),
+            );
+            return Solution {
+                outcome: Outcome::Unsat,
+                stats: self.stats,
+            };
+        }
+        if let Some(max_var) = assumptions.iter().map(|l| l.var().index()).max() {
+            self.engine.grow_to(max_var + 1);
+        }
+        // Keep the learnt-clause budget proportional to the (growing)
+        // problem size, as a cold start would.
+        self.engine.max_learnt = self
+            .engine
+            .max_learnt
+            .max((self.engine.num_problem / 3).max(2000));
+        let result = search(&mut self.engine, assumptions, &self.limits, probe);
+        self.engine.stats.learnt_clauses = self.engine.num_learnt as u64;
+        let outcome = match result {
+            SearchResult::Sat(model) => Outcome::Sat(model),
+            SearchResult::Unsat => {
+                self.ok = false;
+                Outcome::Unsat
+            }
+            SearchResult::AssumptionsFailed(failing) => {
+                self.failed = failing;
+                Outcome::Unsat
+            }
+            SearchResult::Aborted => Outcome::Aborted,
+        };
+        self.engine.cancel_until(0);
+        self.stats = self.engine.stats;
+        probe.instance_end(
+            probe_outcome(&outcome),
+            start.map(|s| s.elapsed()).unwrap_or_default(),
+        );
+        Solution {
+            outcome,
+            stats: self.stats,
+        }
+    }
+
+    /// After an UNSAT solve: the subset of the assumption literals whose
+    /// conjunction the database refutes (MiniSat's final conflict
+    /// clause, unnegated). Empty when the database is UNSAT independent
+    /// of assumptions.
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.failed
+    }
+
+    /// Retires `vars`: the solver will never branch on them again, and
+    /// SAT models complete them from the saved phase instead of a real
+    /// assignment.
+    ///
+    /// Soundness contract (the caller asserts it): every clause that
+    /// mentions a retired variable is permanently satisfied at decision
+    /// level 0 — e.g. an activation-literal-guarded fault cone after its
+    /// `(¬a_ψ)` clamp. Since such clauses can never propagate or
+    /// conflict, any completion of the retired variables extends any
+    /// model. Retiring a variable that still occurs in a live clause
+    /// makes the solver unsound.
+    pub fn retire_vars(&mut self, vars: impl IntoIterator<Item = Var>) {
+        for v in vars {
+            if v.index() < self.engine.dead.len() {
+                self.engine.dead[v.index()] = true;
+            }
+        }
+    }
+
+    /// Live learnt clauses currently retained in the database.
+    pub fn num_learnt(&self) -> usize {
+        self.engine.num_learnt
+    }
+
+    /// Snapshots the live *problem* (non-learnt) clauses with two or more
+    /// literals, as added via [`IncrementalCdcl::add_clause`]. Unit
+    /// clauses live on the level-0 trail instead and are not included.
+    /// Intended for encoding-hygiene audits (see the lint crate's
+    /// activation pass), not for the solving hot path.
+    pub fn problem_clauses(&self) -> Vec<Vec<Lit>> {
+        self.engine
+            .clauses
+            .iter()
+            .filter(|c| !c.learnt && !c.deleted)
+            .map(|c| c.lits.clone())
+            .collect()
+    }
+
+    /// Literals fixed at decision level 0 — root-level units, including
+    /// activation-literal clamps added between solves.
+    pub fn root_units(&self) -> Vec<Lit> {
+        let end = self
+            .engine
+            .trail_lim
+            .first()
+            .copied()
+            .unwrap_or(self.engine.trail.len());
+        self.engine.trail[..end].to_vec()
+    }
+
+    /// Stats from the most recent solve.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+}
+
+impl std::fmt::Debug for IncrementalCdcl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IncrementalCdcl")
+            .field("vars", &self.engine.assign.len())
+            .field("problem_clauses", &self.engine.num_problem)
+            .field("learnt_clauses", &self.engine.num_learnt)
+            .field("ok", &self.ok)
+            .finish()
     }
 }
 
@@ -667,5 +1068,178 @@ mod tests {
         f.add_clause(vec![lit(0, true)]);
         let sol = Cdcl::new().solve(&f);
         assert_eq!(sol.outcome.model(), Some(&[true][..]));
+    }
+
+    #[test]
+    fn incremental_sat_and_unsat_under_assumptions() {
+        // (x0 ∨ x1) ∧ (¬x1 ∨ x2)
+        let mut s = IncrementalCdcl::new(3);
+        assert!(s.add_clause(vec![lit(0, true), lit(1, true)]));
+        assert!(s.add_clause(vec![lit(1, false), lit(2, true)]));
+        let sol = s.solve_assuming(&[lit(0, false)]);
+        let model = sol.outcome.model().expect("SAT under ¬x0");
+        assert!(!model[0] && model[1] && model[2]);
+        // Same instance, contradictory assumptions: UNSAT, but only
+        // because of the assumptions.
+        let sol = s.solve_assuming(&[lit(0, false), lit(1, false)]);
+        assert!(sol.outcome.is_unsat());
+        assert!(!s.failed_assumptions().is_empty());
+        // And satisfiable again without them: the UNSAT above was not
+        // latched.
+        assert!(s.solve_assuming(&[]).outcome.is_sat());
+    }
+
+    #[test]
+    fn failed_assumptions_are_a_refuting_subset() {
+        // x0 → x1, assume [x2, x0, ¬x1]: the failing subset must
+        // mention ¬x1 and x0 but never needs x2.
+        let mut s = IncrementalCdcl::new(3);
+        assert!(s.add_clause(vec![lit(0, false), lit(1, true)]));
+        let sol = s.solve_assuming(&[lit(2, true), lit(0, true), lit(1, false)]);
+        assert!(sol.outcome.is_unsat());
+        let failed = s.failed_assumptions();
+        assert!(!failed.is_empty());
+        assert!(failed.iter().all(|l| l.var().index() != 2), "{failed:?}");
+        for &l in failed {
+            assert!(
+                [lit(0, true), lit(1, false)].contains(&l),
+                "unexpected failed assumption {l:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn contradictory_assumption_pair_fails() {
+        let mut s = IncrementalCdcl::new(2);
+        assert!(s.add_clause(vec![lit(0, true), lit(1, true)]));
+        let sol = s.solve_assuming(&[lit(0, true), lit(0, false)]);
+        assert!(sol.outcome.is_unsat());
+        assert!(!s.failed_assumptions().is_empty());
+    }
+
+    #[test]
+    fn add_clause_between_solves_with_activation_clamping() {
+        // Activation-literal idiom: clause (¬a ∨ x0) only bites while
+        // assuming a; afterwards the permanent unit ¬a retires it.
+        let mut s = IncrementalCdcl::new(2);
+        let a = Var::from_index(1);
+        assert!(s.add_clause(vec![Lit::negative(a), lit(0, true)]));
+        let sol = s.solve_assuming(&[Lit::positive(a)]);
+        let model = sol.outcome.model().expect("SAT");
+        assert!(model[0], "activated clause forces x0");
+        // Clamp the activation variable off; the guarded clause is now
+        // vacuous, so ¬x0 becomes satisfiable.
+        assert!(s.add_clause(vec![Lit::negative(a)]));
+        let sol = s.solve_assuming(&[lit(0, false)]);
+        assert!(sol.outcome.is_sat());
+        // Re-activating is now contradictory through the permanent unit.
+        let sol = s.solve_assuming(&[Lit::positive(a)]);
+        assert!(sol.outcome.is_unsat());
+    }
+
+    #[test]
+    fn empty_clause_latches_global_unsat() {
+        let mut s = IncrementalCdcl::new(1);
+        assert!(s.add_clause(vec![lit(0, true)]));
+        assert!(!s.add_clause(vec![lit(0, false)]));
+        let sol = s.solve_assuming(&[]);
+        assert!(sol.outcome.is_unsat());
+        assert!(s.failed_assumptions().is_empty(), "not assumption-caused");
+        // Latched: adding more clauses or retrying stays UNSAT.
+        assert!(!s.add_clause(vec![lit(0, true)]));
+        assert!(s.solve_assuming(&[lit(0, true)]).outcome.is_unsat());
+    }
+
+    #[test]
+    fn learnt_clauses_persist_across_disjoint_assumption_sets() {
+        // PHP(5,4) under vacuous assumptions on extra variables: the
+        // second solve reuses clauses learnt by the first and must
+        // refute strictly-or-equally cheaper while staying UNSAT.
+        let n_p = 5;
+        let n_h = 4;
+        let v = |i: usize, j: usize, pos: bool| lit(i * n_h + j, pos);
+        let mut s = IncrementalCdcl::new(n_p * n_h + 2);
+        for i in 0..n_p {
+            assert!(s.add_clause((0..n_h).map(|j| v(i, j, true)).collect()));
+        }
+        for j in 0..n_h {
+            for i1 in 0..n_p {
+                for i2 in i1 + 1..n_p {
+                    assert!(s.add_clause(vec![v(i1, j, false), v(i2, j, false)]));
+                }
+            }
+        }
+        let free = n_p * n_h;
+        let first = s.solve_assuming(&[lit(free, true)]);
+        assert!(first.outcome.is_unsat());
+        assert!(
+            s.failed_assumptions().is_empty(),
+            "PHP core does not involve the assumption"
+        );
+        // Global UNSAT is latched — but it was latched soundly, by a
+        // level-0 conflict from learnt consequences of the DB alone.
+        let second = s.solve_assuming(&[lit(free + 1, true)]);
+        assert!(second.outcome.is_unsat());
+        assert!(second.stats.conflicts <= first.stats.conflicts);
+    }
+
+    #[test]
+    fn warm_solver_agrees_with_cold_solver_on_a_query_family() {
+        // A SAT family sharing a hard core: warm solves must agree with
+        // cold ones on every query. (The effort advantage of the warm
+        // solver is a campaign-level claim, measured by the incremental
+        // A/B bench, not asserted per-instance here.)
+        let n_p = 5;
+        let n_h = 5; // PHP(5,5) is SAT but conflict-rich under bad phases
+        let v = |i: usize, j: usize, pos: bool| lit(i * n_h + j, pos);
+        let mut base = CnfFormula::new(n_p * n_h);
+        for i in 0..n_p {
+            base.add_clause((0..n_h).map(|j| v(i, j, true)).collect());
+        }
+        for j in 0..n_h {
+            for i1 in 0..n_p {
+                for i2 in i1 + 1..n_p {
+                    base.add_clause(vec![v(i1, j, false), v(i2, j, false)]);
+                }
+            }
+        }
+        let mut warm = IncrementalCdcl::new(base.num_vars());
+        assert!(warm.add_formula(&base));
+        for i in 0..n_p {
+            // Assume pigeon i sits in hole 0.
+            let assumption = v(i, 0, true);
+            let ws = warm.solve_assuming(&[assumption]);
+            let mut with_unit = base.clone();
+            with_unit.add_clause(vec![assumption]);
+            let cs = Cdcl::new().solve(&with_unit);
+            assert_eq!(ws.outcome.is_sat(), cs.outcome.is_sat(), "pigeon {i}");
+            if let Some(model) = ws.outcome.model() {
+                assert!(base.eval_complete(model));
+                assert!(model[assumption.var().index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_tautology_and_duplicate_handling() {
+        let mut s = IncrementalCdcl::new(2);
+        assert!(s.add_clause(vec![lit(0, true), lit(0, false)])); // dropped
+        assert!(s.add_clause(vec![lit(1, true), lit(1, true)])); // unit x1
+        let sol = s.solve_assuming(&[]);
+        let model = sol.outcome.model().expect("SAT");
+        assert!(model[1]);
+    }
+
+    #[test]
+    fn new_var_and_grow_between_solves() {
+        let mut s = IncrementalCdcl::new(1);
+        assert!(s.add_clause(vec![lit(0, true)]));
+        assert!(s.solve_assuming(&[]).outcome.is_sat());
+        let v = s.new_var();
+        assert_eq!(v.index(), 1);
+        assert!(s.add_clause(vec![lit(0, false), Lit::positive(v)]));
+        let sol = s.solve_assuming(&[Lit::negative(v)]);
+        assert!(sol.outcome.is_unsat());
+        assert_eq!(s.failed_assumptions(), &[Lit::negative(v)]);
     }
 }

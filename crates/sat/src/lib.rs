@@ -42,7 +42,7 @@ mod result;
 mod simple;
 
 pub use caching::{render_trace, CachingBacktracking, TraceEvent, TraceOutcome};
-pub use cdcl::Cdcl;
+pub use cdcl::{Cdcl, IncrementalCdcl};
 pub use dpll::Dpll;
 pub use result::{Deadline, Limits, Outcome, Solution, SolverStats};
 pub use simple::SimpleBacktracking;
@@ -161,9 +161,9 @@ mod cross_tests {
 
     #[test]
     fn wall_deadline_aborts_all_solvers() {
-        // PHP(10,9): hard enough that no solver here finishes within the
-        // ~512 deadline ticks a zero deadline allows before the first
-        // clock read.
+        // PHP(10,9): hard enough that no solver could finish before its
+        // first deadline tick — and the first tick always reads the
+        // clock, so a zero deadline aborts before any decision.
         let n_p = 10;
         let n_h = 9;
         let v = |i: usize, j: usize, pos: bool| Lit::with_value(Var::from_index(i * n_h + j), pos);
@@ -191,6 +191,15 @@ mod cross_tests {
                 sol.outcome,
                 Outcome::Aborted,
                 "{} must abort on an already-expired deadline",
+                s.name()
+            );
+            // The first deadline tick reads the clock, so an
+            // already-expired deadline grants zero free decisions — no
+            // amortization window before the first check.
+            assert_eq!(
+                sol.stats.decisions,
+                0,
+                "{} made decisions past an expired deadline",
                 s.name()
             );
         }
@@ -295,6 +304,87 @@ mod cross_tests {
                 // event count only bounds it.
                 assert!(c.learned >= probed.stats.learnt_clauses, "{}", s.name());
                 assert_eq!(c.restarts, probed.stats.restarts, "{}", s.name());
+            }
+        }
+    }
+
+    /// Differential check for the incremental front-end: one warm
+    /// [`IncrementalCdcl`] instance, reused across many random formulas
+    /// layered as activation-guarded clause groups, must agree with a
+    /// from-scratch [`Cdcl`] and a [`Dpll`] oracle on every query —
+    /// including queries under disjoint assumption sets, which exercise
+    /// the soundness of learnt clauses retained from earlier solves.
+    #[test]
+    fn incremental_agrees_with_fresh_cdcl_and_dpll_oracle() {
+        let mut rng = StdRng::seed_from_u64(0x1C4E);
+        let vars = 8;
+        let base = random_formula(&mut rng, vars, 12, 3);
+        let mut warm = IncrementalCdcl::new(vars);
+        assert!(warm.add_formula(&base));
+        let sat = |model: &[bool], clause: &[Lit]| {
+            clause
+                .iter()
+                .any(|l| model[l.var().index()] == l.asserted_value())
+        };
+        for round in 0..30 {
+            // A fresh activation-guarded clause group per round; earlier
+            // groups stay in the database but deactivate because their
+            // activation variables are free under this round's
+            // assumptions — exactly the per-fault encoding discipline.
+            let act = warm.new_var();
+            let group = random_formula(&mut rng, vars, 4 + round % 5, 3);
+            for clause in group.clauses() {
+                let mut guarded = vec![Lit::negative(act)];
+                guarded.extend_from_slice(clause);
+                assert!(warm.add_clause(guarded));
+            }
+            // Oracle formula: base ∧ group, unguarded.
+            let mut oracle_f = base.clone();
+            for clause in group.clauses() {
+                oracle_f.add_clause(clause.clone());
+            }
+            let extra = Lit::with_value(
+                Var::from_index(rng.random_range(0..vars)),
+                rng.random_bool(0.5),
+            );
+            for assumptions in [vec![Lit::positive(act)], vec![Lit::positive(act), extra]] {
+                let mut query_f = oracle_f.clone();
+                if assumptions.len() == 2 {
+                    query_f.add_clause(vec![extra]);
+                }
+                let warm_sol = warm.solve_assuming(&assumptions);
+                let fresh = Cdcl::new().solve(&query_f);
+                let oracle = Dpll::new().solve(&query_f);
+                assert_eq!(
+                    fresh.outcome.is_sat(),
+                    oracle.outcome.is_sat(),
+                    "fresh CDCL vs DPLL oracle disagree (round {round})"
+                );
+                match &warm_sol.outcome {
+                    Outcome::Sat(model) => {
+                        assert!(
+                            oracle.outcome.is_sat(),
+                            "warm claimed SAT on UNSAT (round {round})"
+                        );
+                        for clause in base.clauses().iter().chain(group.clauses()) {
+                            assert!(sat(model, clause), "warm model violates a clause");
+                        }
+                        for a in &assumptions {
+                            assert!(
+                                model[a.var().index()] == a.asserted_value(),
+                                "warm model violates an assumption (round {round})"
+                            );
+                        }
+                    }
+                    Outcome::Unsat => {
+                        assert!(
+                            !oracle.outcome.is_sat(),
+                            "warm claimed UNSAT on SAT (round {round}); retained learnt \
+                             clauses are unsound"
+                        );
+                    }
+                    Outcome::Aborted => panic!("no limits were set (round {round})"),
+                }
             }
         }
     }

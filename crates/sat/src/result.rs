@@ -138,8 +138,11 @@ const DEADLINE_CHECK_INTERVAL: u32 = 512;
 /// Solvers tick this once per backtracking node (and CDCL additionally
 /// once per propagation pass); the tick only reads the clock every
 /// [`DEADLINE_CHECK_INTERVAL`] calls, so enforcement costs a decrement on
-/// the hot path. With no `max_wall` configured every call is a single
-/// branch on `None`.
+/// the hot path. The very first tick always reads the clock, so an
+/// already-expired deadline (e.g. `Duration::ZERO`, or a campaign budget
+/// spent before this solve started) aborts before any work is done; only
+/// subsequent checks are amortized. With no `max_wall` configured every
+/// call is a single branch on `None`.
 #[derive(Debug, Clone)]
 pub struct Deadline {
     deadline: Option<Instant>,
@@ -152,7 +155,9 @@ impl Deadline {
     pub fn start(limits: &Limits) -> Self {
         Deadline {
             deadline: limits.max_wall.map(|d| Instant::now() + d),
-            countdown: DEADLINE_CHECK_INTERVAL,
+            // Force a clock read on the first tick: an already-expired
+            // deadline must not get DEADLINE_CHECK_INTERVAL free nodes.
+            countdown: 1,
             hit: false,
         }
     }
@@ -220,18 +225,23 @@ mod tests {
     #[test]
     fn deadline_expires_and_stays_expired() {
         let mut d = Deadline::start(&Limits::wall(Duration::ZERO));
-        // The first DEADLINE_CHECK_INTERVAL - 1 ticks are amortized away;
-        // within one interval the zero deadline must register.
-        let mut fired = false;
-        for _ in 0..2 * DEADLINE_CHECK_INTERVAL {
-            if d.expired() {
-                fired = true;
-                break;
-            }
-        }
-        assert!(fired, "zero deadline must expire within one interval");
+        assert!(
+            d.expired(),
+            "an already-expired deadline must fire on the first tick"
+        );
         assert!(d.expired(), "expiry is sticky");
         assert!(d.expired());
+    }
+
+    #[test]
+    fn deadline_first_check_is_not_amortized() {
+        // A generous deadline: the first tick reads the clock and sees it
+        // has not passed; the following ticks are amortized (no clock
+        // read) and must also report not-expired.
+        let mut d = Deadline::start(&Limits::wall(Duration::from_secs(3600)));
+        for _ in 0..DEADLINE_CHECK_INTERVAL {
+            assert!(!d.expired());
+        }
     }
 
     #[test]

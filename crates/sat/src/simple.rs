@@ -154,6 +154,35 @@ impl Residual {
     pub(crate) fn model(&self) -> Vec<bool> {
         self.assign.iter().map(|v| v.unwrap_or(false)).collect()
     }
+
+    /// The canonical residual clause set behind [`Residual::state_fingerprint`]:
+    /// every active clause (no true literal) as its sorted remaining-literal
+    /// codes, the clause list itself sorted and deduplicated, flattened with
+    /// `u32::MAX` separators. Two residuals are the same sub-formula (under
+    /// the paper's footnote-2 identity) iff their canonical keys are equal —
+    /// unlike the fingerprint, which can collide.
+    pub(crate) fn canonical_key(&self) -> Box<[u32]> {
+        let mut active: Vec<Vec<u32>> = (0..self.clauses.len())
+            .filter(|&ci| self.true_count[ci] == 0)
+            .map(|ci| {
+                let mut lits: Vec<u32> = self.clauses[ci]
+                    .iter()
+                    .filter(|l| self.assign[l.var().index()].is_none())
+                    .map(|l| l.code() as u32)
+                    .collect();
+                lits.sort_unstable();
+                lits
+            })
+            .collect();
+        active.sort_unstable();
+        active.dedup();
+        let mut flat = Vec::with_capacity(active.iter().map(|c| c.len() + 1).sum());
+        for clause in active {
+            flat.extend_from_slice(&clause);
+            flat.push(u32::MAX);
+        }
+        flat.into_boxed_slice()
+    }
 }
 
 /// Fixed-order chronological backtracking without caching — the
@@ -223,6 +252,12 @@ fn rec<P: Probe + ?Sized>(
     }
     let v = order[depth];
     for value in [false, true] {
+        // Deadline first, before the node is counted: an already-expired
+        // deadline must abort with zero decisions on the books.
+        probe.deadline_check();
+        if deadline.expired() {
+            return Verdict::Aborted;
+        }
         stats.nodes += 1;
         stats.decisions += 1;
         probe.decision(depth);
@@ -230,10 +265,6 @@ fn rec<P: Probe + ?Sized>(
             if stats.nodes > max {
                 return Verdict::Aborted;
             }
-        }
-        probe.deadline_check();
-        if deadline.expired() {
-            return Verdict::Aborted;
         }
         res.assign(v, value);
         if res.has_conflict() {
@@ -419,6 +450,33 @@ mod tests {
         r2.assign(Var::from_index(0), false);
         r2.assign(Var::from_index(1), false);
         assert_eq!(fp, r2.state_fingerprint());
+    }
+
+    #[test]
+    fn canonical_key_matches_fingerprint_identity() {
+        // Same reduction as the fingerprint test: two clauses collapsing
+        // to (x2) must produce the same canonical key as the one-clause
+        // formula, and a different formula must produce a different key.
+        let mut f = CnfFormula::new(3);
+        f.add_clause(vec![lit(0, true), lit(2, true)]);
+        f.add_clause(vec![lit(1, true), lit(2, true)]);
+        let mut r = Residual::new(&f);
+        r.assign(Var::from_index(0), false);
+        r.assign(Var::from_index(1), false);
+
+        let mut g = CnfFormula::new(3);
+        g.add_clause(vec![lit(2, true)]);
+        let mut r2 = Residual::new(&g);
+        r2.assign(Var::from_index(0), false);
+        r2.assign(Var::from_index(1), false);
+        assert_eq!(r.canonical_key(), r2.canonical_key());
+
+        let mut h = CnfFormula::new(3);
+        h.add_clause(vec![lit(2, false)]);
+        let mut r3 = Residual::new(&h);
+        r3.assign(Var::from_index(0), false);
+        r3.assign(Var::from_index(1), false);
+        assert_ne!(r.canonical_key(), r3.canonical_key());
     }
 
     #[test]

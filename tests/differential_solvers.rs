@@ -9,11 +9,14 @@
 //! instances the campaign engine emits, with plenty of Tseitin structure
 //! the uniform-random CNF strategy never produces.
 
-use atpg_easy::atpg::{fault, miter};
+use atpg_easy::atpg::campaign::FaultOutcome;
+use atpg_easy::atpg::{fault, miter, AtpgConfig, IncrementalAtpg};
 use atpg_easy::circuits::random::{self, RandomCircuitConfig};
 use atpg_easy::cnf::{circuit, CnfFormula, Lit, Var};
 use atpg_easy::netlist::decompose;
-use atpg_easy::sat::{CachingBacktracking, Cdcl, Dpll, Outcome, SimpleBacktracking, Solver};
+use atpg_easy::sat::{
+    CachingBacktracking, Cdcl, Dpll, IncrementalCdcl, Outcome, SimpleBacktracking, Solver,
+};
 use proptest::prelude::*;
 
 fn all_solvers() -> Vec<Box<dyn Solver>> {
@@ -108,5 +111,103 @@ proptest! {
         let m = miter::build(&nl, f);
         let enc = circuit::encode(&m.circuit).expect("miter encodes");
         differential_verdict(&enc.formula);
+    }
+
+    /// One warm `IncrementalCdcl` is fed a random base formula and a
+    /// sequence of clause groups, each guarded by its own activation
+    /// literal and solved under that single (disjoint) assumption. Every
+    /// verdict must match a fresh CDCL *and* the DPLL oracle on the
+    /// equivalent unguarded formula — if a clause learnt for one group
+    /// leaks unsoundly into a later one, the warm solver over-reports
+    /// UNSAT and this test catches it.
+    #[test]
+    fn warm_solve_assuming_matches_fresh_cdcl_and_dpll(
+        base in formula_strategy(),
+        groups in prop::collection::vec(
+            prop::collection::vec(clause_strategy(8, 3), 1..6), 1..6),
+    ) {
+        let mut warm = IncrementalCdcl::new(base.num_vars());
+        warm.add_formula(&base);
+        // Group clauses draw from vars 0..8; reserve that range so the
+        // activation variables below never collide with problem vars.
+        warm.grow_to(8);
+        for group in &groups {
+            let act = warm.new_var();
+            for clause in group {
+                let mut guarded = vec![Lit::negative(act)];
+                guarded.extend_from_slice(clause);
+                warm.add_clause(guarded);
+            }
+            let warm_sat = match warm.solve_assuming(&[Lit::positive(act)]).outcome {
+                Outcome::Sat(model) => {
+                    prop_assert!(base.eval_complete(&model[..base.num_vars()]),
+                        "warm model violates the base formula");
+                    for clause in group {
+                        prop_assert!(
+                            clause.iter().any(|l| model[l.var().index()] == l.asserted_value()),
+                            "warm model violates a group clause"
+                        );
+                    }
+                    true
+                }
+                Outcome::Unsat => false,
+                Outcome::Aborted => panic!("no limits set"),
+            };
+            // Oracle: base + this group's clauses, unguarded.
+            let vars = warm.num_vars();
+            let mut oracle = CnfFormula::new(vars);
+            for clause in base.clauses() {
+                oracle.add_clause(clause.to_vec());
+            }
+            for clause in group {
+                oracle.add_clause(clause.clone());
+            }
+            let fresh_sat = Cdcl::new().solve(&oracle).outcome.is_sat();
+            let dpll_sat = Dpll::new().solve(&oracle).outcome.is_sat();
+            prop_assert_eq!(fresh_sat, dpll_sat, "fresh CDCL disagrees with DPLL");
+            prop_assert_eq!(warm_sat, fresh_sat,
+                "warm solve_assuming disagrees with from-scratch solvers \
+                 (retained learnt clauses are unsound)");
+            // Retire the group before the next disjoint assumption set.
+            warm.add_clause(vec![Lit::negative(act)]);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The warm incremental ATPG engine, solving every collapsed fault of
+    /// a random circuit in sequence (maximum learnt-clause carry-over),
+    /// must reach the verdict of the from-scratch miter path — checked
+    /// against fresh CDCL and the DPLL oracle per fault.
+    #[test]
+    fn warm_incremental_atpg_matches_miter_verdicts(
+        gates in 8usize..32,
+        inputs in 3usize..8,
+        seed in 0u64..1024,
+    ) {
+        let nl = random::generate(&RandomCircuitConfig {
+            gates,
+            inputs,
+            seed,
+            ..Default::default()
+        })
+        .expect("random config is valid");
+        let nl = decompose::decompose(&nl, 3).expect("decomposes");
+        let config = AtpgConfig::default();
+        let mut warm = IncrementalAtpg::new(&nl, &config);
+        for f in fault::collapse(&nl) {
+            let record = warm.solve_fault(f, &config, None);
+            let warm_sat = matches!(record.outcome, FaultOutcome::Detected(_));
+            let m = miter::build(&nl, f);
+            let enc = circuit::encode(&m.circuit).expect("miter encodes");
+            let fresh_sat = Cdcl::new().solve(&enc.formula).outcome.is_sat();
+            let dpll_sat = Dpll::new().solve(&enc.formula).outcome.is_sat();
+            prop_assert_eq!(fresh_sat, dpll_sat, "fresh CDCL disagrees with DPLL");
+            prop_assert_eq!(warm_sat, fresh_sat,
+                "warm ATPG verdict diverges from the miter path on {}",
+                f.describe(&nl));
+        }
     }
 }

@@ -30,7 +30,7 @@ fn jsonl_round_trip_reproduces_campaign_counts_exactly() {
         .with_tracing(true)
         .run(&nl);
     assert!(!run.traces.is_empty(), "campaign produced no SAT instances");
-    assert_eq!(run.traces.len(), run.report.committed_sat);
+    assert_eq!(run.traces.len(), run.report.committed_solves());
     let meta = run.report.campaign_meta(nl.name(), None);
 
     // Serialize: instance lines plus the campaign gauge line.
@@ -71,7 +71,7 @@ fn jsonl_round_trip_reproduces_campaign_counts_exactly() {
     assert_eq!(s.campaigns, 1);
     assert_eq!(
         s.by_circuit.get(nl.name()).copied(),
-        Some(meta.committed_sat)
+        Some(meta.committed_sat + meta.committed_unsat)
     );
     let outcome_total: u64 = s.by_outcome.values().sum();
     assert_eq!(outcome_total, s.instances);
