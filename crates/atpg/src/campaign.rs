@@ -9,13 +9,14 @@ use std::time::{Duration, Instant};
 
 use atpg_easy_cnf::circuit;
 use atpg_easy_netlist::Netlist;
-use atpg_easy_obs::{Counters, CountingProbe, InstanceTrace};
+use atpg_easy_obs::{Counters, CountingProbe, InstanceTrace, NoProbe};
 use atpg_easy_sat::{
     CachingBacktracking, Cdcl, Dpll, Limits, Outcome, SimpleBacktracking, Solver, SolverStats,
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+use crate::certify::{CertifiedRun, StreamSink};
 use crate::faultsim::FaultSimulator;
 use crate::{fault, miter, verify, Fault};
 
@@ -274,7 +275,7 @@ impl CampaignResult {
 /// campaign first trips over it. Also panics on XOR/XNOR gates wider
 /// than two inputs (decompose first).
 pub fn run(nl: &Netlist, config: &AtpgConfig) -> CampaignResult {
-    run_inner(nl, config, false).0
+    run_inner(nl, config, false, None).0
 }
 
 /// Runs a full campaign like [`run`], additionally emitting one
@@ -290,13 +291,54 @@ pub fn run(nl: &Netlist, config: &AtpgConfig) -> CampaignResult {
 ///
 /// Same conditions as [`run`].
 pub fn run_traced(nl: &Netlist, config: &AtpgConfig) -> (CampaignResult, Vec<InstanceTrace>) {
-    run_inner(nl, config, true)
+    run_inner(nl, config, true, None)
+}
+
+/// Runs a full campaign like [`run_traced`], additionally logging a
+/// proof stream that certifies every solver verdict: each SAT instance's
+/// formula is recorded as axioms, each verdict is bracketed by
+/// `SolveBegin`/`SolveEnd`, and the solver emits every derivation through
+/// its [`ProofSink`](atpg_easy_sat::ProofSink). The returned
+/// [`CertifiedRun::events`] replays through
+/// [`audit_stream`](atpg_easy_proof::audit_stream) (or the lint `P*`
+/// pass).
+///
+/// With the caching solver, proof logging disables cache-hit pruning so
+/// every UNSAT verdict carries a full derivation: verdicts are
+/// unchanged, node counts differ. Traces report the per-instance proof
+/// size in `proof_bytes`.
+///
+/// # Panics
+///
+/// Same conditions as [`run`]; additionally, with `config.preflight` set
+/// the proof stream is audited after the run (the campaign *postflight*)
+/// and a stream that fails certification panics with the rendered `P*`
+/// diagnostics.
+pub fn run_certified(nl: &Netlist, config: &AtpgConfig) -> CertifiedRun {
+    let mut sink = StreamSink::new();
+    let (result, traces) = run_inner(nl, config, true, Some(&mut sink));
+    let events = sink.into_events();
+    if config.preflight {
+        let (report, _) = atpg_easy_lint::proof::lint_proof_stream(&events);
+        assert!(
+            !report.has_errors(),
+            "campaign on `{}` failed proof postflight:\n{}",
+            nl.name(),
+            report.render_human()
+        );
+    }
+    CertifiedRun {
+        result,
+        traces,
+        events,
+    }
 }
 
 fn run_inner(
     nl: &Netlist,
     config: &AtpgConfig,
     tracing: bool,
+    mut sink: Option<&mut StreamSink>,
 ) -> (CampaignResult, Vec<InstanceTrace>) {
     check_preflight(nl, config);
     let faults = target_faults(nl, config);
@@ -316,24 +358,34 @@ fn run_inner(
     let mut inc = config
         .incremental
         .then(|| crate::incremental::IncrementalAtpg::new(nl, config));
+    if let (Some(s), Some(warm)) = (sink.as_deref_mut(), inc.as_ref()) {
+        warm.record_base_axioms(s);
+    }
     for (i, &f) in faults.iter().enumerate() {
         if detected[i] {
             result.records.push(simulated_record(f));
             continue;
         }
-        let (record, counters) = match inc.as_mut() {
-            Some(warm) if tracing => warm.solve_fault_counted(f, config),
-            Some(warm) => (warm.solve_fault(f, config, None), Counters::default()),
-            None if tracing => solve_one_counted(nl, f, config),
-            None => (solve_one(nl, f, config), Counters::default()),
+        let index = result.records.len();
+        let (record, counters) = match (inc.as_mut(), sink.as_deref_mut()) {
+            (Some(warm), Some(s)) => warm.solve_fault_certified(f, config, index, s),
+            (Some(warm), None) if tracing => warm.solve_fault_counted(f, config),
+            (Some(warm), None) => (warm.solve_fault(f, config, None), Counters::default()),
+            (None, Some(s)) => solve_one_certified(nl, f, config, index, s),
+            (None, None) if tracing => solve_one_counted(nl, f, config),
+            (None, None) => (solve_one(nl, f, config), Counters::default()),
         };
+        let proof_bytes = sink
+            .as_deref_mut()
+            .map_or(0, StreamSink::take_instance_bytes);
         if tracing {
             traces.push(fault_trace(
                 nl,
-                result.records.len() as u64,
+                index as u64,
                 &record,
                 counters,
                 0,
+                proof_bytes,
             ));
         }
         if let FaultOutcome::Detected(vector) = &record.outcome {
@@ -440,7 +492,7 @@ pub(crate) fn simulated_record(f: Fault) -> FaultRecord {
 /// identical record. Both the sequential and the parallel campaign engines
 /// funnel through this.
 pub fn solve_one(nl: &Netlist, f: Fault, config: &AtpgConfig) -> FaultRecord {
-    solve_instance(nl, f, config, None)
+    solve_instance(nl, f, config, None, None)
 }
 
 /// Like [`solve_one`], but observes the solve through a [`CountingProbe`]
@@ -452,7 +504,24 @@ pub(crate) fn solve_one_counted(
     config: &AtpgConfig,
 ) -> (FaultRecord, Counters) {
     let mut probe = CountingProbe::default();
-    let record = solve_instance(nl, f, config, Some(&mut probe));
+    let record = solve_instance(nl, f, config, Some(&mut probe), None);
+    (record, probe.counters)
+}
+
+/// Like [`solve_one_counted`], but additionally logs the instance into
+/// `sink` as a from-scratch certified solve: a
+/// [`Reset`](atpg_easy_proof::Event::Reset), the instance's formula as
+/// axioms, and a `SolveBegin(index)`/`SolveEnd` bracket around the
+/// solver's derivations.
+pub(crate) fn solve_one_certified(
+    nl: &Netlist,
+    f: Fault,
+    config: &AtpgConfig,
+    index: usize,
+    sink: &mut StreamSink,
+) -> (FaultRecord, Counters) {
+    let mut probe = CountingProbe::default();
+    let record = solve_instance(nl, f, config, Some(&mut probe), Some((index, sink)));
     (record, probe.counters)
 }
 
@@ -476,6 +545,7 @@ pub(crate) fn fault_trace(
     record: &FaultRecord,
     counters: Counters,
     worker: u64,
+    proof_bytes: u64,
 ) -> InstanceTrace {
     InstanceTrace {
         seq,
@@ -487,6 +557,7 @@ pub(crate) fn fault_trace(
         outcome: outcome_label(&record.outcome).to_string(),
         wall_ns: record.solve_time.as_nanos() as u64,
         worker,
+        proof_bytes,
         counters,
     }
 }
@@ -496,6 +567,7 @@ fn solve_instance(
     f: Fault,
     config: &AtpgConfig,
     probe: Option<&mut CountingProbe>,
+    cert: Option<(usize, &mut StreamSink)>,
 ) -> FaultRecord {
     let m = miter::build(nl, f);
     let mut enc = circuit::encode(&m.circuit).expect("miter circuits encode cleanly");
@@ -506,9 +578,22 @@ fn solve_instance(
     }
     let mut solver = config.solver.make(config.limits);
     let started = Instant::now();
-    let sol = match probe {
-        None => solver.solve(&enc.formula),
-        Some(p) => solver.solve_probed(&enc.formula, p),
+    let sol = match (probe, cert) {
+        (None, None) => solver.solve(&enc.formula),
+        (Some(p), None) => solver.solve_probed(&enc.formula, p),
+        (probe, Some((index, sink))) => {
+            sink.reset();
+            for clause in enc.formula.clauses() {
+                sink.axiom(clause);
+            }
+            sink.begin_solve(index, &[]);
+            let sol = match probe {
+                Some(p) => solver.solve_certified(&enc.formula, p, sink),
+                None => solver.solve_certified(&enc.formula, &mut NoProbe, sink),
+            };
+            sink.end_solve(&sol.outcome);
+            sol
+        }
     };
     let solve_time = started.elapsed();
     let outcome = match sol.outcome {
@@ -718,6 +803,103 @@ mod tests {
             assert_eq!(t.counters.propagations, r.stats.propagations);
             assert_eq!(t.counters.conflicts, r.stats.conflicts);
         }
+    }
+
+    #[test]
+    fn certified_run_audits_clean_for_every_solver() {
+        let nl = c17();
+        for solver in [
+            SolverChoice::Cdcl,
+            SolverChoice::Dpll,
+            SolverChoice::Caching,
+            SolverChoice::Simple,
+        ] {
+            let config = AtpgConfig {
+                solver,
+                fault_dropping: false,
+                ..AtpgConfig::default()
+            };
+            let certified = run_certified(&nl, &config);
+            let audit = atpg_easy_proof::audit_stream(&certified.events);
+            assert!(audit.ok(), "{solver:?}: {:?}", audit.stray_errors);
+            assert_eq!(audit.failed(), 0, "{solver:?}");
+            assert_eq!(audit.uncertified(), 0, "{solver:?}: no shortcuts on c17");
+            assert_eq!(
+                audit.certified(),
+                certified.result.sat_records().count(),
+                "{solver:?}: every SAT instance is certified"
+            );
+            assert_eq!(
+                certified.result.detection_report(),
+                run(&nl, &config).detection_report(),
+                "{solver:?}: proof logging must not change verdicts"
+            );
+            assert_eq!(
+                certified.traces.len(),
+                certified.result.sat_records().count()
+            );
+        }
+    }
+
+    #[test]
+    fn certified_run_re_derives_unsat_verdicts() {
+        // y = OR(a, NOT a): redundant faults give real UNSAT verdicts,
+        // which must come with checkable refutations — from scratch and
+        // (failing-subset form) incrementally.
+        let mut nl = Netlist::new("red");
+        let a = nl.add_input("a");
+        let na = nl
+            .add_gate_named(atpg_easy_netlist::GateKind::Not, vec![a], "na")
+            .unwrap();
+        let y = nl
+            .add_gate_named(atpg_easy_netlist::GateKind::Or, vec![a, na], "y")
+            .unwrap();
+        nl.add_output(y);
+        for incremental in [false, true] {
+            let config = AtpgConfig {
+                collapse: false,
+                fault_dropping: false,
+                incremental,
+                ..AtpgConfig::default()
+            };
+            let certified = run_certified(&nl, &config);
+            assert!(certified.result.untestable() > 0);
+            let audit = atpg_easy_proof::audit_stream(&certified.events);
+            assert!(audit.ok(), "incremental={incremental}: {audit:?}");
+            assert_eq!(audit.uncertified(), 0, "incremental={incremental}");
+            assert_eq!(
+                audit.certified(),
+                certified.result.sat_records().count(),
+                "incremental={incremental}"
+            );
+        }
+    }
+
+    #[test]
+    fn certified_incremental_matches_detection_report() {
+        let nl = c17();
+        let config = AtpgConfig {
+            incremental: true,
+            random_patterns: 16,
+            seed: 3,
+            ..AtpgConfig::default()
+        };
+        let certified = run_certified(&nl, &config);
+        let audit = atpg_easy_proof::audit_stream(&certified.events);
+        assert!(audit.ok(), "{:?}", audit.stray_errors);
+        assert_eq!(audit.uncertified(), 0);
+        assert_eq!(audit.certified(), certified.result.sat_records().count());
+        assert_eq!(
+            certified.result.detection_report(),
+            run(&nl, &config).detection_report()
+        );
+        // Instances that learnt clauses report their proof sizes.
+        let logged: u64 = certified.traces.iter().map(|t| t.proof_bytes).sum();
+        let derived = certified
+            .events
+            .iter()
+            .any(|e| matches!(e, atpg_easy_proof::Event::Derive(_)));
+        assert_eq!(derived, logged > 0, "proof_bytes mirrors derivations");
     }
 
     #[test]

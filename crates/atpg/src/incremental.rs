@@ -37,10 +37,11 @@ use std::time::Instant;
 
 use atpg_easy_cnf::{circuit, CnfFormula, Lit, Var};
 use atpg_easy_netlist::{topo, GateId, Netlist};
-use atpg_easy_obs::CountingProbe;
+use atpg_easy_obs::{CountingProbe, NoProbe};
 use atpg_easy_sat::{IncrementalCdcl, Outcome};
 
 use crate::campaign::{AtpgConfig, FaultOutcome, FaultRecord};
+use crate::certify::StreamSink;
 use crate::{verify, Fault};
 
 /// A persistent per-campaign (or per-worker) incremental ATPG solver.
@@ -52,6 +53,9 @@ pub struct IncrementalAtpg<'a> {
     order: Vec<GateId>,
     base_vars: usize,
     base_clauses: usize,
+    /// The fault-free consistency encoding as built — kept so certified
+    /// runs can record it as proof-stream axioms.
+    base_formula: CnfFormula,
     solver: IncrementalCdcl,
     activation_vars: Vec<Var>,
 }
@@ -73,8 +77,20 @@ impl<'a> IncrementalAtpg<'a> {
             order: topo::topo_order(nl).expect("validated netlist"),
             base_vars: enc.formula.num_vars(),
             base_clauses: enc.formula.num_clauses(),
+            base_formula: enc.formula,
             solver,
             activation_vars: Vec::new(),
+        }
+    }
+
+    /// Records the fault-free base encoding as proof-stream axioms (after
+    /// a reset). Certified campaigns call this once per warm solver,
+    /// before the first fault; every later derivation checks against
+    /// these clauses plus the per-fault guarded groups.
+    pub fn record_base_axioms(&self, sink: &mut StreamSink) {
+        sink.reset();
+        for clause in self.base_formula.clauses() {
+            sink.axiom(clause);
         }
     }
 
@@ -103,6 +119,23 @@ impl<'a> IncrementalAtpg<'a> {
         f: Fault,
         config: &AtpgConfig,
         probe: Option<&mut CountingProbe>,
+    ) -> FaultRecord {
+        self.solve_fault_with(f, config, probe, None)
+    }
+
+    /// [`IncrementalAtpg::solve_fault`] with optional certification: with
+    /// `cert` present, every guarded clause (and the retiring clamp) is
+    /// recorded as a proof-stream axiom, the solve runs under a
+    /// `SolveBegin(index)`/`SolveEnd` bracket with the activation literal
+    /// as its assumption, and the solver streams its derivations into the
+    /// sink — including the failing-subset clause that certifies an
+    /// assumption-level UNSAT.
+    fn solve_fault_with(
+        &mut self,
+        f: Fault,
+        config: &AtpgConfig,
+        probe: Option<&mut CountingProbe>,
+        mut cert: Option<(usize, &mut StreamSink)>,
     ) -> FaultRecord {
         let x = f.net;
         let fo = topo::transitive_fanout(self.nl, x);
@@ -189,14 +222,29 @@ impl<'a> IncrementalAtpg<'a> {
             let mut guarded = Vec::with_capacity(clause.len() + 1);
             guarded.push(Lit::negative(act));
             guarded.extend_from_slice(clause);
+            if let Some((_, sink)) = cert.as_mut() {
+                sink.axiom(&guarded);
+            }
             let ok = self.solver.add_clause(guarded);
             debug_assert!(ok, "guarded clauses cannot refute the database");
         }
 
+        let assumptions = [Lit::positive(act)];
         let started = Instant::now();
-        let sol = match probe {
-            Some(p) => self.solver.solve_assuming_probed(&[Lit::positive(act)], p),
-            None => self.solver.solve_assuming(&[Lit::positive(act)]),
+        let sol = match (probe, cert.as_mut()) {
+            (Some(p), None) => self.solver.solve_assuming_probed(&assumptions, p),
+            (None, None) => self.solver.solve_assuming(&assumptions),
+            (probe, Some((index, sink))) => {
+                sink.begin_solve(*index, &assumptions);
+                let sol = match probe {
+                    Some(p) => self.solver.solve_assuming_certified(&assumptions, p, *sink),
+                    None => self
+                        .solver
+                        .solve_assuming_certified(&assumptions, &mut NoProbe, *sink),
+                };
+                sink.end_solve(&sol.outcome);
+                sol
+            }
         };
         let solve_time = started.elapsed();
 
@@ -226,6 +274,9 @@ impl<'a> IncrementalAtpg<'a> {
         // difference variables dead — retire them so later solves never
         // branch on them (every clause mentioning them carries ¬a_ψ,
         // including clauses learnt during this solve).
+        if let Some((_, sink)) = cert.as_mut() {
+            sink.axiom(&[Lit::negative(act)]);
+        }
         let ok = self.solver.add_clause(vec![Lit::negative(act)]);
         debug_assert!(ok, "clamping an activation literal is always consistent");
         let cone_vars = (first_cone_var..self.solver.num_vars()).map(Var::from_index);
@@ -253,6 +304,23 @@ impl<'a> IncrementalAtpg<'a> {
     ) -> (FaultRecord, atpg_easy_obs::Counters) {
         let mut probe = CountingProbe::default();
         let record = self.solve_fault(f, config, Some(&mut probe));
+        (record, probe.counters)
+    }
+
+    /// [`IncrementalAtpg::solve_fault_counted`] with certification: the
+    /// fault's guarded clauses, solve bracket and solver derivations are
+    /// appended to `sink`'s proof stream under instance number `index`.
+    /// [`IncrementalAtpg::record_base_axioms`] must have been called on
+    /// the same sink first.
+    pub fn solve_fault_certified(
+        &mut self,
+        f: Fault,
+        config: &AtpgConfig,
+        index: usize,
+        sink: &mut StreamSink,
+    ) -> (FaultRecord, atpg_easy_obs::Counters) {
+        let mut probe = CountingProbe::default();
+        let record = self.solve_fault_with(f, config, Some(&mut probe), Some((index, sink)));
         (record, probe.counters)
     }
 }

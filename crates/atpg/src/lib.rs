@@ -24,7 +24,11 @@
 //! - [`parallel`]: the fault-parallel campaign engine — a sharded work
 //!   queue of collapsed faults served by worker threads, with fault
 //!   dropping coordinated through a drop-bitmap and committed in fault
-//!   order so the output is byte-identical at any thread count.
+//!   order so the output is byte-identical at any thread count;
+//! - [`certify`]: DRAT proof logging for every verdict — campaigns
+//!   record axioms and solve brackets while the solvers stream their
+//!   derivations, producing proof streams the independent
+//!   `atpg-easy-proof` checker (and the lint `P*` pass) re-derives.
 //!
 //! # Example: test a stuck-at fault
 //!
@@ -50,6 +54,7 @@
 //! ```
 
 pub mod campaign;
+pub mod certify;
 pub mod fault;
 pub mod faultsim;
 pub mod incremental;
@@ -59,6 +64,7 @@ pub mod podem;
 pub mod verify;
 
 pub use campaign::{AtpgConfig, CampaignResult, FaultOutcome, FaultRecord, SolverChoice};
+pub use certify::{CertifiedRun, StreamSink};
 pub use fault::Fault;
 pub use incremental::IncrementalAtpg;
 pub use miter::AtpgMiter;

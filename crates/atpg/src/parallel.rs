@@ -52,7 +52,10 @@ use std::time::{Duration, Instant};
 use atpg_easy_netlist::Netlist;
 use atpg_easy_obs::{CampaignMeta, Collector, Counters, InstanceTrace, LocalBuf};
 
+use atpg_easy_proof::Event;
+
 use crate::campaign::{self, AtpgConfig, CampaignResult, FaultOutcome, FaultRecord};
+use crate::certify::StreamSink;
 use crate::faultsim::FaultSimulator;
 use crate::Fault;
 
@@ -62,6 +65,7 @@ pub struct AtpgCampaign {
     config: AtpgConfig,
     threads: usize,
     tracing: bool,
+    certified: bool,
 }
 
 impl AtpgCampaign {
@@ -71,6 +75,7 @@ impl AtpgCampaign {
             config,
             threads: 1,
             tracing: false,
+            certified: false,
         }
     }
 
@@ -90,6 +95,20 @@ impl AtpgCampaign {
     /// monomorphized counting probe).
     pub fn with_tracing(mut self, tracing: bool) -> Self {
         self.tracing = tracing;
+        self
+    }
+
+    /// Enables proof logging: each worker keeps its own [`StreamSink`]
+    /// and [`ParallelRun::streams`] carries one proof stream per worker,
+    /// each independently auditable with
+    /// [`audit_stream`](atpg_easy_proof::audit_stream). A worker's stream
+    /// certifies every solve that worker performed — including
+    /// speculative solves later discarded at commit time, whose verdicts
+    /// are still true statements about their instances. `SolveBegin`
+    /// indices are fault indices, matching trace `seq` numbers. Off by
+    /// default.
+    pub fn with_certification(mut self, certified: bool) -> Self {
+        self.certified = certified;
         self
     }
 
@@ -126,7 +145,7 @@ impl AtpgCampaign {
         }
 
         let trace_sink = self.tracing.then(Collector::<InstanceTrace>::new);
-        let (workers, committed) = std::thread::scope(|scope| {
+        let (workers, streams, committed) = std::thread::scope(|scope| {
             let (tx, rx) = mpsc::channel::<Solved>();
             let mut handles = Vec::with_capacity(self.threads);
             for worker_id in 0..self.threads {
@@ -137,19 +156,21 @@ impl AtpgCampaign {
                 let fs = fs.clone();
                 let config = self.config;
                 let trace_sink = trace_sink.as_ref();
+                let certified = self.certified;
                 handles.push(scope.spawn(move || {
                     run_worker(
-                        worker_id, nl, faults, &config, &fs, queue, drop_bits, trace_sink, tx,
+                        worker_id, nl, faults, &config, &fs, queue, drop_bits, trace_sink,
+                        certified, tx,
                     )
                 }));
             }
             drop(tx);
             let committed = commit_loop(rx, &faults, &mut detected, &drop_bits, &mut result);
-            let workers: Vec<WorkerReport> = handles
+            let (workers, streams): (Vec<WorkerReport>, Vec<Vec<Event>>) = handles
                 .into_iter()
                 .map(|h| h.join().expect("worker threads do not panic"))
-                .collect();
-            (workers, committed)
+                .unzip();
+            (workers, streams, committed)
         });
 
         // Keep only traces whose solve was actually committed (a wasted
@@ -176,6 +197,7 @@ impl AtpgCampaign {
             result,
             report,
             traces,
+            streams: if self.certified { streams } else { Vec::new() },
         }
     }
 }
@@ -194,6 +216,11 @@ pub struct ParallelRun {
     /// (`traces.len() == report.committed_solves()`), with `seq` equal
     /// to the record index in `result.records`.
     pub traces: Vec<InstanceTrace>,
+    /// One proof stream per worker when certification was enabled with
+    /// [`AtpgCampaign::with_certification`]; empty otherwise. Each stream
+    /// independently certifies every solve its worker performed
+    /// (committed or speculative).
+    pub streams: Vec<Vec<Event>>,
 }
 
 /// Observability counters for one parallel campaign.
@@ -370,18 +397,26 @@ fn run_worker(
     queue: &ShardedQueue,
     drop_bits: &DropBitmap,
     trace_sink: Option<&Collector<InstanceTrace>>,
+    certified: bool,
     tx: mpsc::Sender<Solved>,
-) -> WorkerReport {
+) -> (WorkerReport, Vec<Event>) {
     let mut report = WorkerReport {
         id,
         ..WorkerReport::default()
     };
     let mut traces = trace_sink.map(LocalBuf::new);
+    // Certification: one proof stream per worker, independently
+    // auditable — axioms and derivations interleave in this worker's
+    // solve order.
+    let mut sink = certified.then(StreamSink::new);
     // Incremental mode: one persistent warm solver per worker thread,
     // seeded with the fault-free encoding before the first pop.
     let mut warm = config
         .incremental
         .then(|| crate::incremental::IncrementalAtpg::new(nl, config));
+    if let (Some(s), Some(inc)) = (sink.as_mut(), warm.as_ref()) {
+        inc.record_base_axioms(s);
+    }
     while let Some((index, stolen)) = queue.pop(id) {
         report.popped += 1;
         if stolen {
@@ -391,10 +426,13 @@ fn run_worker(
             report.skipped += 1;
             continue;
         }
-        let (record, counters) = match warm.as_mut() {
-            Some(inc) => inc.solve_fault_counted(faults[index], config),
-            None => campaign::solve_one_counted(nl, faults[index], config),
+        let (record, counters) = match (warm.as_mut(), sink.as_mut()) {
+            (Some(inc), Some(s)) => inc.solve_fault_certified(faults[index], config, index, s),
+            (Some(inc), None) => inc.solve_fault_counted(faults[index], config),
+            (None, Some(s)) => campaign::solve_one_certified(nl, faults[index], config, index, s),
+            (None, None) => campaign::solve_one_counted(nl, faults[index], config),
         };
+        let proof_bytes = sink.as_mut().map_or(0, StreamSink::take_instance_bytes);
         report.solved += 1;
         report.solve_time += record.solve_time;
         report.counters.add(&counters);
@@ -407,6 +445,7 @@ fn run_worker(
                 &record,
                 counters,
                 id as u64,
+                proof_bytes,
             ));
         }
         let hits = match &record.outcome {
@@ -423,7 +462,7 @@ fn run_worker(
             hits,
         });
     }
-    report
+    (report, sink.map_or_else(Vec::new, StreamSink::into_events))
 }
 
 /// Commit-loop tallies: committed SAT verdicts, committed UNSAT/abort
@@ -713,6 +752,48 @@ mod tests {
             let r = &run.report;
             assert_eq!(r.committed_solves() + r.dropped, r.queue_depth);
         }
+    }
+
+    #[test]
+    fn certified_parallel_streams_audit_clean_per_worker() {
+        let nl = c17();
+        for incremental in [false, true] {
+            let config = AtpgConfig {
+                incremental,
+                ..AtpgConfig::default()
+            };
+            let run = AtpgCampaign::new(config)
+                .with_threads(3)
+                .with_certification(true)
+                .run(&nl);
+            assert_eq!(run.streams.len(), 3, "one stream per worker");
+            let mut certified = 0;
+            for (w, stream) in run.streams.iter().enumerate() {
+                let audit = atpg_easy_proof::audit_stream(stream);
+                assert!(
+                    audit.ok(),
+                    "incremental={incremental} worker {w}: {:?}",
+                    audit.stray_errors
+                );
+                assert_eq!(audit.uncertified(), 0, "incremental={incremental}");
+                certified += audit.certified();
+            }
+            let solved: usize = run.report.workers.iter().map(|r| r.solved).sum();
+            assert_eq!(
+                certified, solved,
+                "incremental={incremental}: every solve — committed or \
+                 speculative — is certified"
+            );
+        }
+    }
+
+    #[test]
+    fn uncertified_runs_carry_no_streams() {
+        let nl = c17();
+        let run = AtpgCampaign::new(AtpgConfig::default())
+            .with_threads(2)
+            .run(&nl);
+        assert!(run.streams.is_empty());
     }
 
     #[test]

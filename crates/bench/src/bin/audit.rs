@@ -1,0 +1,140 @@
+//! Certified-campaign audit: replay fault campaigns with DRAT proof
+//! logging and re-derive every solver verdict through the independent
+//! `atpg-easy-proof` checker.
+//!
+//! ```text
+//! cargo run -p atpg-easy-bench --release --bin audit -- [mcnc|iscas|all|mult]
+//!     [--patterns P] [--seed S] [--out FILE]
+//! ```
+//!
+//! For every circuit the harness runs the sequential campaign twice with
+//! proof logging enabled — once from scratch (a fresh CDCL per fault)
+//! and once through the warm incremental engine — and feeds each proof
+//! stream to [`audit_stream`]: every UNSAT verdict must carry a DRAT
+//! derivation that RUP-checks to the empty clause (or, incrementally, to
+//! a clause covered by the negated assumptions), and every SAT verdict's
+//! model must satisfy the recorded axioms. The checker shares no code
+//! with the solvers — `atpg-easy-proof` depends on nothing in this
+//! workspace.
+//!
+//! Totals are printed as a table and written as JSON (default
+//! `results/audit.json`). The acceptance bar is *fully certified*: zero
+//! failed checks, zero stream errors, and zero silently-uncertified
+//! instances. Exits 1 when the bar is missed, 2 on usage errors.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use atpg_easy_atpg::campaign::{self, AtpgConfig};
+use atpg_easy_atpg::CertifiedRun;
+use atpg_easy_bench::{flag, parse_args, resolve_suite};
+use atpg_easy_netlist::decompose;
+use atpg_easy_proof::{audit_stream, Audit, CircuitAudit};
+
+/// Audits one certified campaign into a per-circuit report row.
+fn audit_run(name: &str, engine: &str, run: &CertifiedRun) -> CircuitAudit {
+    let mut circuit = CircuitAudit::new(name, engine);
+    circuit.absorb(&audit_stream(&run.events));
+    circuit
+}
+
+fn main() -> ExitCode {
+    let (pos, flags) = parse_args(std::env::args().skip(1));
+    let suite_name = pos.first().map(String::as_str).unwrap_or("all");
+    let Some(circuits) = resolve_suite(suite_name) else {
+        eprintln!("usage: audit [mcnc|iscas|all|mult] [--patterns P] [--seed S] [--out FILE]");
+        return ExitCode::from(2);
+    };
+    let patterns: usize = flag(&flags, "patterns").unwrap_or(32);
+    let seed: u64 = flag(&flags, "seed").unwrap_or(1);
+    let out: String = flag(&flags, "out").unwrap_or_else(|| "results/audit.json".into());
+
+    let fresh_config = AtpgConfig {
+        random_patterns: patterns,
+        seed,
+        ..AtpgConfig::default()
+    };
+    let warm_config = AtpgConfig {
+        incremental: true,
+        ..fresh_config
+    };
+
+    println!("== certified-campaign audit ({suite_name}) ==");
+    println!(
+        "{:<12} {:<13} {:>6} {:>6} {:>8} {:>9}  status",
+        "circuit", "engine", "solves", "cert", "steps", "proof(B)"
+    );
+
+    let mut audit = Audit::default();
+    for c in &circuits {
+        let nl = decompose::decompose(&c.netlist, 3).expect("suite circuits decompose");
+        for (engine, config) in [
+            ("from-scratch", &fresh_config),
+            ("incremental", &warm_config),
+        ] {
+            let run = campaign::run_certified(&nl, config);
+            let row = audit_run(&c.name, engine, &run);
+            let proof_bytes: u64 = run.traces.iter().map(|t| t.proof_bytes).sum();
+            println!(
+                "{:<12} {:<13} {:>6} {:>6} {:>8} {:>9}  {}",
+                c.name,
+                engine,
+                row.instances(),
+                row.certified,
+                row.steps_checked,
+                proof_bytes,
+                if row.fully_certified() {
+                    "fully certified"
+                } else {
+                    "NOT CERTIFIED"
+                }
+            );
+            audit.circuits.push(row);
+        }
+    }
+
+    let (certified, uncertified, failed) = audit.totals();
+    println!(
+        "totals: {certified} certified | {uncertified} uncertified | {failed} failed | \
+         fully certified: {}",
+        audit.fully_certified()
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"suite\": \"{suite_name}\",");
+    let _ = writeln!(json, "  \"patterns\": {patterns},");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = write!(json, "  \"audit\": ");
+    json.push_str(&indent_tail(audit.render_json().trim_end()));
+    let _ = writeln!(json, "\n}}");
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("results dir creatable");
+        }
+    }
+    std::fs::write(&out, json).expect("out path writable");
+    println!("(written to {out})");
+
+    if !audit.ok() {
+        eprintln!("error: a proof or model check failed — see the report");
+        return ExitCode::from(1);
+    }
+    if !audit.fully_certified() {
+        eprintln!("error: some verdicts went silently uncertified — see the report");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Re-indents every line after the first by two spaces, so a nested
+/// pretty-printed object lines up under its key.
+fn indent_tail(s: &str) -> String {
+    let mut lines = s.lines();
+    let mut out = String::from(lines.next().unwrap_or(""));
+    for line in lines {
+        out.push_str("\n  ");
+        out.push_str(line);
+    }
+    out
+}

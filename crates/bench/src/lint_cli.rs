@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! cargo run --release --bin lint -- [FILES...] [--all-circuits]
-//!     [--trace FILE]... [--json] [--strict] [--max-fanout K] [--no-certs]
+//!     [--trace FILE]... [--dimacs FILE --drat FILE] [--json] [--strict]
+//!     [--max-fanout K] [--no-certs]
 //! ```
 //!
 //! `FILES` are parsed by extension (`.bench` ISCAS / `.blif` BLIF).
@@ -11,6 +12,10 @@
 //! `--trace FILE` runs the `T*` JSONL-telemetry passes on a solver trace
 //! (as written by the `trace` harness) instead of the netlist passes; it
 //! can repeat and combines freely with circuit targets.
+//! `--dimacs FILE --drat FILE` (must appear together) runs the `P*`
+//! certified-verdict passes on a standalone DIMACS formula and DRAT
+//! refutation: every proof step is re-checked by the independent
+//! `atpg-easy-proof` checker and the proof must end in the empty clause.
 //! For each target the driver runs the `N*` netlist passes, encodes the
 //! (XOR-decomposed) circuit with the Tseitin consistency encoder and runs
 //! the `C*` passes against it, and — unless `--no-certs` — computes an
@@ -40,12 +45,15 @@ use atpg_easy_lint::{
 };
 use atpg_easy_netlist::{decompose, parser, Netlist};
 
-const USAGE: &str = "usage: lint [FILES...] [--all-circuits] [--trace FILE]... [--json] \
-                     [--strict] [--max-fanout K] [--no-certs]";
+const USAGE: &str = "usage: lint [FILES...] [--all-circuits] [--trace FILE]... \
+                     [--dimacs FILE --drat FILE] [--json] [--strict] [--max-fanout K] \
+                     [--no-certs]";
 
 struct Options {
     files: Vec<String>,
     traces: Vec<String>,
+    dimacs: Option<String>,
+    drat: Option<String>,
     all_circuits: bool,
     json: bool,
     strict: bool,
@@ -57,6 +65,8 @@ fn parse_options(args: impl Iterator<Item = String>) -> Result<Options, String> 
     let mut opts = Options {
         files: Vec::new(),
         traces: Vec::new(),
+        dimacs: None,
+        drat: None,
         all_circuits: false,
         json: false,
         strict: false,
@@ -77,13 +87,28 @@ fn parse_options(args: impl Iterator<Item = String>) -> Result<Options, String> 
             "--trace" => {
                 opts.traces.push(it.next().ok_or("--trace needs a file")?);
             }
+            "--dimacs" => {
+                opts.dimacs = Some(it.next().ok_or("--dimacs needs a file")?);
+            }
+            "--drat" => {
+                opts.drat = Some(it.next().ok_or("--drat needs a file")?);
+            }
             "--help" | "-h" => return Err(String::new()),
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             _ => opts.files.push(a),
         }
     }
-    if opts.files.is_empty() && opts.traces.is_empty() && !opts.all_circuits {
-        return Err("no input: pass FILES, --trace FILE or --all-circuits".to_string());
+    if opts.dimacs.is_some() != opts.drat.is_some() {
+        return Err("--dimacs and --drat must be given together".to_string());
+    }
+    if opts.files.is_empty()
+        && opts.traces.is_empty()
+        && opts.dimacs.is_none()
+        && !opts.all_circuits
+    {
+        return Err(
+            "no input: pass FILES, --trace FILE, --dimacs/--drat or --all-circuits".to_string(),
+        );
     }
     Ok(opts)
 }
@@ -225,6 +250,21 @@ pub fn run() -> ExitCode {
             Ok(text) => reports.push((path.clone(), atpg_easy_lint::json::lint_trace(&text))),
             Err(e) => {
                 eprintln!("error: cannot read `{path}`: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let (Some(dimacs_path), Some(drat_path)) = (&opts.dimacs, &opts.drat) {
+        let read = |path: &str| {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+        };
+        match (read(dimacs_path), read(drat_path)) {
+            (Ok(dimacs), Ok(drat)) => reports.push((
+                format!("{dimacs_path} + {drat_path}"),
+                atpg_easy_lint::proof::lint_standalone_drat(&dimacs, &drat),
+            )),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("error: {e}");
                 return ExitCode::from(2);
             }
         }

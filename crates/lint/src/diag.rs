@@ -84,12 +84,20 @@ pub enum Code {
     A003,
     /// Unguarded clause references a variable outside the base range.
     A004,
+    /// Proof stream is malformed (stray errors outside any solve bracket).
+    P001,
+    /// An UNSAT verdict whose derivation chain fails the RUP check.
+    P002,
+    /// A SAT verdict whose claimed model falsifies an axiom or assumption.
+    P003,
+    /// A verdict reported without any certificate (abort, cache shortcut).
+    P004,
 }
 
 impl Code {
     /// Every code, in family order. Tools iterate this to document or test
     /// the full set.
-    pub const ALL: [Code; 26] = [
+    pub const ALL: [Code; 30] = [
         Code::N001,
         Code::N002,
         Code::N003,
@@ -116,6 +124,10 @@ impl Code {
         Code::A002,
         Code::A003,
         Code::A004,
+        Code::P001,
+        Code::P002,
+        Code::P003,
+        Code::P004,
     ];
 
     /// The stable textual form (`"N001"`, …).
@@ -147,6 +159,10 @@ impl Code {
             Code::A002 => "A002",
             Code::A003 => "A003",
             Code::A004 => "A004",
+            Code::P001 => "P001",
+            Code::P002 => "P002",
+            Code::P003 => "P003",
+            Code::P004 => "P004",
         }
     }
 
@@ -170,7 +186,10 @@ impl Code {
             | Code::T004
             | Code::A001
             | Code::A002
-            | Code::A003 => Severity::Error,
+            | Code::A003
+            | Code::P001
+            | Code::P002
+            | Code::P003 => Severity::Error,
             Code::N004
             | Code::N007
             | Code::C001
@@ -178,7 +197,8 @@ impl Code {
             | Code::C003
             | Code::C004
             | Code::C007
-            | Code::A004 => Severity::Warning,
+            | Code::A004
+            | Code::P004 => Severity::Warning,
         }
     }
 
@@ -211,6 +231,10 @@ impl Code {
             Code::A002 => "clause guarded by more than one activation literal",
             Code::A003 => "activation variable overlaps the base range or repeats",
             Code::A004 => "unguarded clause references a non-base variable",
+            Code::P001 => "malformed proof stream (errors outside solve brackets)",
+            Code::P002 => "UNSAT verdict fails the independent RUP check",
+            Code::P003 => "SAT verdict's model falsifies an axiom or assumption",
+            Code::P004 => "verdict reported without a certificate",
         }
     }
 }

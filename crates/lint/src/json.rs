@@ -98,6 +98,7 @@ mod tests {
             outcome: outcome.into(),
             wall_ns: 100,
             worker: 0,
+            proof_bytes: 0,
             counters: Counters::default(),
         }
         .to_jsonl()

@@ -17,6 +17,7 @@
 //! | [`cert`] | `O001`–`O004` | cut-width and miter certificates |
 //! | [`json`] | `T001`–`T004` | JSONL solver-telemetry traces |
 //! | [`activation`] | `A001`–`A004` | activation-literal hygiene in incremental encodings |
+//! | [`proof`] | `P001`–`P004` | certified verdicts: DRAT streams and claimed models |
 //!
 //! Every diagnostic carries a stable [`Code`], a [`Severity`], a
 //! [`Location`], and a human-readable message; a [`Report`] renders as
@@ -38,6 +39,7 @@ pub mod cnf;
 pub mod diag;
 pub mod json;
 pub mod netlist;
+pub mod proof;
 
 pub use diag::{Code, Diagnostic, Location, Report, Severity};
 pub use netlist::NetlistLintConfig;

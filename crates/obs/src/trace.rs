@@ -35,6 +35,9 @@ pub struct InstanceTrace {
     pub wall_ns: u64,
     /// Id of the worker that solved it (schedule-dependent).
     pub worker: u64,
+    /// Rendered DRAT byte count of the instance's proof (0 when the
+    /// campaign ran without proof logging).
+    pub proof_bytes: u64,
     /// Probe-derived event totals for the solve.
     pub counters: Counters,
 }
@@ -52,6 +55,7 @@ impl InstanceTrace {
         push_str(&mut s, "outcome", &self.outcome);
         push_num(&mut s, "wall_ns", self.wall_ns);
         push_num(&mut s, "worker", self.worker);
+        push_num(&mut s, "proof_bytes", self.proof_bytes);
         let c = &self.counters;
         push_num(&mut s, "decisions", c.decisions);
         push_num(&mut s, "propagations", c.propagations);
@@ -322,6 +326,9 @@ pub fn parse_jsonl_line(line: &str) -> Result<TraceLine, String> {
             outcome: f.str("outcome")?,
             wall_ns: f.num("wall_ns")?,
             worker: f.num("worker")?,
+            // Proof logging postdates the original schema; absent in old
+            // traces means the campaign did not log proofs.
+            proof_bytes: f.num_opt("proof_bytes")?.unwrap_or(0),
             counters: Counters {
                 decisions: f.num("decisions")?,
                 propagations: f.num("propagations")?,
@@ -385,6 +392,7 @@ mod tests {
             outcome: "SAT".into(),
             wall_ns: 120_500,
             worker: 3,
+            proof_bytes: 812,
             counters: Counters {
                 decisions: 5,
                 propagations: 17,

@@ -1,0 +1,430 @@
+//! A stateful DRAT checker: reverse unit propagation (RUP) with deletion
+//! handling.
+//!
+//! The checker maintains a clause database over DIMACS literals. Axioms
+//! (the original formula) enter unchecked; every derived clause must be
+//! RUP — asserting the negation of its literals and unit-propagating
+//! over the active database must yield a conflict — before it joins the
+//! database. Deletions must name a currently-active clause (as a literal
+//! set), so a proof can never "delete first, add later" its way past the
+//! check.
+//!
+//! Propagation is occurrence-list based: per check, the negated
+//! candidate literals and the active unit clauses seed a trail, and each
+//! falsified literal visits only the clauses that contain it. The trail
+//! is undone after every check, so checks are independent.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Largest variable index the checker accepts. Real campaign instances
+/// stay far below this; the cap keeps corrupt input (a literal of
+/// `±10^18`) from driving occurrence-list allocation.
+pub const MAX_VAR: i64 = 1 << 23;
+
+/// Why a proof step was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// A clause contained the literal `0` (reserved as terminator).
+    ZeroLiteral,
+    /// A literal's variable exceeds [`MAX_VAR`].
+    LiteralOutOfRange {
+        /// The offending literal.
+        lit: i64,
+    },
+    /// A derived clause is not RUP over the active database.
+    NotRup {
+        /// The rejected clause (normalized).
+        clause: Vec<i64>,
+    },
+    /// A deletion named a clause that is not active in the database.
+    UnknownDeletion {
+        /// The unmatched clause (normalized).
+        clause: Vec<i64>,
+    },
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::ZeroLiteral => write!(f, "clause contains the literal 0"),
+            CheckError::LiteralOutOfRange { lit } => {
+                write!(f, "literal {lit} exceeds the variable cap")
+            }
+            CheckError::NotRup { clause } => {
+                write!(f, "clause {clause:?} is not RUP over the database")
+            }
+            CheckError::UnknownDeletion { clause } => {
+                write!(f, "deletion of {clause:?}, which is not active")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+struct Slot {
+    lits: Vec<i64>,
+    active: bool,
+}
+
+/// The stateful proof checker. See the module docs.
+#[derive(Default)]
+pub struct Checker {
+    slots: Vec<Slot>,
+    /// Normalized literal set → active slot ids carrying exactly it.
+    index: HashMap<Vec<i64>, Vec<usize>>,
+    /// Literal code (`2·(var−1) + sign`) → slots containing the literal.
+    /// Entries go stale on deletion; `Slot::active` filters at use.
+    occ: Vec<Vec<usize>>,
+    /// Variable truth values during a check: 0 free, 1 true, −1 false.
+    assign: Vec<i8>,
+    /// Slots that were ever single-literal (filtered for liveness at use).
+    unit_slots: Vec<usize>,
+    /// Number of currently-active empty clauses.
+    empty_active: usize,
+    /// Latched once any empty clause (axiom or derived) entered the
+    /// database: unsatisfiability, once established, is permanent.
+    empty_ever: bool,
+    num_active: usize,
+}
+
+fn code(l: i64) -> usize {
+    let var = l.unsigned_abs() as usize - 1;
+    2 * var + usize::from(l < 0)
+}
+
+impl Checker {
+    /// An empty checker with no clauses.
+    pub fn new() -> Self {
+        Checker::default()
+    }
+
+    /// Number of active clauses.
+    pub fn num_active(&self) -> usize {
+        self.num_active
+    }
+
+    /// Whether an empty clause ever entered the database — i.e. whether
+    /// unconditional unsatisfiability has been established.
+    pub fn has_empty(&self) -> bool {
+        self.empty_ever
+    }
+
+    /// Validates, sorts and deduplicates a clause.
+    fn normalize(&self, lits: &[i64]) -> Result<Vec<i64>, CheckError> {
+        let mut out = Vec::with_capacity(lits.len());
+        for &l in lits {
+            if l == 0 {
+                return Err(CheckError::ZeroLiteral);
+            }
+            if l.abs() > MAX_VAR {
+                return Err(CheckError::LiteralOutOfRange { lit: l });
+            }
+            out.push(l);
+        }
+        out.sort_unstable();
+        out.dedup();
+        Ok(out)
+    }
+
+    fn grow_for(&mut self, lits: &[i64]) {
+        let max_var = lits.iter().map(|l| l.unsigned_abs() as usize).max();
+        if let Some(v) = max_var {
+            if self.assign.len() < v {
+                self.assign.resize(v, 0);
+                self.occ.resize(2 * v, Vec::new());
+            }
+        }
+    }
+
+    fn insert(&mut self, lits: Vec<i64>) {
+        self.grow_for(&lits);
+        let si = self.slots.len();
+        if lits.is_empty() {
+            self.empty_active += 1;
+            self.empty_ever = true;
+        }
+        if lits.len() == 1 {
+            self.unit_slots.push(si);
+        }
+        for &l in &lits {
+            self.occ[code(l)].push(si);
+        }
+        self.index.entry(lits.clone()).or_default().push(si);
+        self.slots.push(Slot { lits, active: true });
+        self.num_active += 1;
+    }
+
+    /// Adds an original-formula clause without any check.
+    pub fn add_axiom(&mut self, lits: &[i64]) -> Result<(), CheckError> {
+        let lits = self.normalize(lits)?;
+        self.insert(lits);
+        Ok(())
+    }
+
+    /// Checks that `lits` is RUP over the active database, then adds it.
+    pub fn check_and_add(&mut self, lits: &[i64]) -> Result<(), CheckError> {
+        let lits = self.normalize(lits)?;
+        self.grow_for(&lits);
+        if !self.is_rup(&lits) {
+            return Err(CheckError::NotRup { clause: lits });
+        }
+        self.insert(lits);
+        Ok(())
+    }
+
+    /// Deletes one active clause equal (as a literal set) to `lits`.
+    pub fn check_delete(&mut self, lits: &[i64]) -> Result<(), CheckError> {
+        let lits = self.normalize(lits)?;
+        let Some(bucket) = self.index.get_mut(&lits) else {
+            return Err(CheckError::UnknownDeletion { clause: lits });
+        };
+        let Some(si) = bucket.pop() else {
+            return Err(CheckError::UnknownDeletion { clause: lits });
+        };
+        if bucket.is_empty() {
+            self.index.remove(&lits);
+        }
+        self.slots[si].active = false;
+        self.num_active -= 1;
+        if lits.is_empty() {
+            self.empty_active -= 1;
+        }
+        Ok(())
+    }
+
+    /// Asserts literal `l` as true. Returns `false` on contradiction
+    /// with the current assignment (which means: conflict found).
+    fn assume(&mut self, l: i64, trail: &mut Vec<i64>) -> bool {
+        let v = l.unsigned_abs() as usize - 1;
+        let want: i8 = if l > 0 { 1 } else { -1 };
+        match self.assign[v] {
+            0 => {
+                self.assign[v] = want;
+                trail.push(l);
+                true
+            }
+            a => a == want,
+        }
+    }
+
+    fn lit_value(&self, l: i64) -> i8 {
+        let v = l.unsigned_abs() as usize - 1;
+        let a = self.assign[v];
+        if l > 0 {
+            a
+        } else {
+            -a
+        }
+    }
+
+    /// Whether asserting the negation of `lits` and unit-propagating
+    /// over the active database yields a conflict.
+    fn is_rup(&mut self, lits: &[i64]) -> bool {
+        let mut trail: Vec<i64> = Vec::new();
+        let mut conflict = self.empty_active > 0;
+        if !conflict {
+            for &l in lits {
+                if !self.assume(-l, &mut trail) {
+                    conflict = true;
+                    break;
+                }
+            }
+        }
+        // Seed with active unit clauses.
+        if !conflict {
+            for k in 0..self.unit_slots.len() {
+                let si = self.unit_slots[k];
+                if !self.slots[si].active {
+                    continue;
+                }
+                let u = self.slots[si].lits[0];
+                if !self.assume(u, &mut trail) {
+                    conflict = true;
+                    break;
+                }
+            }
+        }
+        // Propagate to fixpoint.
+        let mut qhead = 0;
+        'prop: while !conflict && qhead < trail.len() {
+            let t = trail[qhead];
+            qhead += 1;
+            // Clauses containing ¬t may have become unit or empty.
+            let c = code(-t);
+            let mut k = 0;
+            while k < self.occ[c].len() {
+                let si = self.occ[c][k];
+                k += 1;
+                if !self.slots[si].active {
+                    continue;
+                }
+                let mut unassigned: Option<i64> = None;
+                let mut open = 0usize;
+                let mut satisfied = false;
+                for &q in &self.slots[si].lits {
+                    match self.lit_value(q) {
+                        1 => {
+                            satisfied = true;
+                            break;
+                        }
+                        0 => {
+                            open += 1;
+                            unassigned = Some(q);
+                            if open > 1 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if satisfied || open > 1 {
+                    continue;
+                }
+                match unassigned {
+                    None => {
+                        conflict = true;
+                        break 'prop;
+                    }
+                    Some(u) => {
+                        let v = u.unsigned_abs() as usize - 1;
+                        self.assign[v] = if u > 0 { 1 } else { -1 };
+                        trail.push(u);
+                    }
+                }
+            }
+        }
+        for l in trail {
+            self.assign[l.unsigned_abs() as usize - 1] = 0;
+        }
+        conflict
+    }
+}
+
+impl fmt::Debug for Checker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Checker")
+            .field("active", &self.num_active)
+            .field("total", &self.slots.len())
+            .field("empty_ever", &self.empty_ever)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learnt_unit_is_rup() {
+        // (x1 ∨ x2)(x1 ∨ ¬x2) ⊢ (x1) by RUP.
+        let mut c = Checker::new();
+        c.add_axiom(&[1, 2]).expect("axiom");
+        c.add_axiom(&[1, -2]).expect("axiom");
+        c.check_and_add(&[1]).expect("x1 is RUP");
+        assert!(!c.has_empty());
+    }
+
+    #[test]
+    fn non_consequence_rejected() {
+        let mut c = Checker::new();
+        c.add_axiom(&[1, 2]).expect("axiom");
+        assert!(matches!(
+            c.check_and_add(&[1]),
+            Err(CheckError::NotRup { .. })
+        ));
+    }
+
+    #[test]
+    fn refutation_reaches_empty_clause() {
+        // x1, x1→x2, ¬x2: refutable. The RUP derivation of the empty
+        // clause propagates the units to a conflict.
+        let mut c = Checker::new();
+        c.add_axiom(&[1]).expect("axiom");
+        c.add_axiom(&[-1, 2]).expect("axiom");
+        c.add_axiom(&[-2]).expect("axiom");
+        c.check_and_add(&[]).expect("empty clause is RUP");
+        assert!(c.has_empty());
+    }
+
+    #[test]
+    fn deletion_then_dependent_check_fails() {
+        let mut c = Checker::new();
+        c.add_axiom(&[1, 2]).expect("axiom");
+        c.add_axiom(&[1, -2]).expect("axiom");
+        c.check_delete(&[2, 1]).expect("set-match deletion");
+        assert!(
+            matches!(c.check_and_add(&[1]), Err(CheckError::NotRup { .. })),
+            "deleting a premise must break the derivation"
+        );
+    }
+
+    #[test]
+    fn unknown_deletion_rejected() {
+        let mut c = Checker::new();
+        c.add_axiom(&[1, 2]).expect("axiom");
+        assert!(matches!(
+            c.check_delete(&[1, 3]),
+            Err(CheckError::UnknownDeletion { .. })
+        ));
+        // Deleting the same clause twice: second must fail.
+        c.check_delete(&[1, 2]).expect("first deletion");
+        assert!(matches!(
+            c.check_delete(&[1, 2]),
+            Err(CheckError::UnknownDeletion { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_clauses_delete_independently() {
+        let mut c = Checker::new();
+        c.add_axiom(&[1, 2]).expect("axiom");
+        c.add_axiom(&[2, 1]).expect("axiom (same set)");
+        c.check_delete(&[1, 2]).expect("one copy");
+        c.check_delete(&[1, 2]).expect("other copy");
+        assert_eq!(c.num_active(), 0);
+    }
+
+    #[test]
+    fn tautological_candidate_accepted() {
+        let mut c = Checker::new();
+        c.add_axiom(&[1]).expect("axiom");
+        c.check_and_add(&[2, -2]).expect("tautologies are valid");
+    }
+
+    #[test]
+    fn zero_and_out_of_range_literals_rejected() {
+        let mut c = Checker::new();
+        assert!(matches!(c.add_axiom(&[1, 0]), Err(CheckError::ZeroLiteral)));
+        assert!(matches!(
+            c.add_axiom(&[MAX_VAR + 1]),
+            Err(CheckError::LiteralOutOfRange { .. })
+        ));
+        assert!(matches!(
+            c.check_and_add(&[i64::MIN + 1]),
+            Err(CheckError::LiteralOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn checks_are_independent() {
+        // A failed check must leave no assignment residue behind.
+        let mut c = Checker::new();
+        c.add_axiom(&[1, 2]).expect("axiom");
+        c.add_axiom(&[-1, 2]).expect("axiom");
+        assert!(c.check_and_add(&[3]).is_err());
+        c.check_and_add(&[2]).expect("x2 is RUP");
+    }
+
+    #[test]
+    fn assumption_failure_clause_is_plain_rup() {
+        // DB: ¬a ∨ x, ¬x ∨ ¬b. Assuming a and b fails; the solver emits
+        // the clause (¬a ∨ ¬b), which must check as ordinary RUP.
+        let mut c = Checker::new();
+        c.add_axiom(&[-1, 2]).expect("axiom");
+        c.add_axiom(&[-2, -3]).expect("axiom");
+        c.check_and_add(&[-1, -3])
+            .expect("failing-subset clause is RUP");
+    }
+}

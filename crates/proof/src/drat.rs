@@ -1,0 +1,172 @@
+//! The textual DRAT proof format.
+//!
+//! One step per line: a clause addition is the clause's DIMACS literals
+//! terminated by `0`; a deletion is the same prefixed with `d`. Comment
+//! lines starting with `c` are skipped. This is the format standard
+//! checkers (`drat-trim` and friends) consume, which keeps the proofs
+//! this workspace emits externally re-checkable.
+
+use std::fmt;
+
+/// One DRAT step: add or delete one clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// `true` for a `d`-prefixed deletion step.
+    pub delete: bool,
+    /// The clause's DIMACS literals (non-zero, sign = polarity).
+    pub lits: Vec<i64>,
+}
+
+/// Why a DRAT text failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DratParseError {
+    /// A token was neither an integer, `d`, nor a comment.
+    BadToken {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// A step did not end with the `0` terminator.
+    UnterminatedStep {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A `d` appeared in the middle of a step.
+    MisplacedDelete {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for DratParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DratParseError::BadToken { line, token } => {
+                write!(f, "line {line}: bad token `{token}`")
+            }
+            DratParseError::UnterminatedStep { line } => {
+                write!(f, "line {line}: step missing its 0 terminator")
+            }
+            DratParseError::MisplacedDelete { line } => {
+                write!(f, "line {line}: `d` must start a step")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DratParseError {}
+
+/// Parses a DRAT proof text into steps.
+pub fn parse_drat(text: &str) -> Result<Vec<Step>, DratParseError> {
+    let mut steps = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('c') {
+            continue;
+        }
+        let mut delete = false;
+        let mut lits = Vec::new();
+        let mut terminated = false;
+        for (k, tok) in trimmed.split_whitespace().enumerate() {
+            if terminated {
+                return Err(DratParseError::BadToken {
+                    line,
+                    token: tok.to_string(),
+                });
+            }
+            if tok == "d" {
+                if k != 0 {
+                    return Err(DratParseError::MisplacedDelete { line });
+                }
+                delete = true;
+                continue;
+            }
+            match tok.parse::<i64>() {
+                Ok(0) => terminated = true,
+                Ok(l) => lits.push(l),
+                Err(_) => {
+                    return Err(DratParseError::BadToken {
+                        line,
+                        token: tok.to_string(),
+                    })
+                }
+            }
+        }
+        if !terminated {
+            return Err(DratParseError::UnterminatedStep { line });
+        }
+        steps.push(Step { delete, lits });
+    }
+    Ok(steps)
+}
+
+/// Renders steps back into DRAT text (one step per line).
+pub fn render_drat(steps: &[Step]) -> String {
+    use fmt::Write as _;
+    let mut out = String::new();
+    for s in steps {
+        if s.delete {
+            out.push_str("d ");
+        }
+        for l in &s.lits {
+            let _ = write!(out, "{l} ");
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let steps = vec![
+            Step {
+                delete: false,
+                lits: vec![1, -2, 3],
+            },
+            Step {
+                delete: true,
+                lits: vec![-1, 2],
+            },
+            Step {
+                delete: false,
+                lits: vec![],
+            },
+        ];
+        let text = render_drat(&steps);
+        assert_eq!(parse_drat(&text).expect("round trip"), steps);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let steps = parse_drat("c hello\n\n1 2 0\nc bye\nd 1 0\n").expect("parses");
+        assert_eq!(steps.len(), 2);
+        assert!(!steps[0].delete);
+        assert!(steps[1].delete);
+    }
+
+    #[test]
+    fn errors_are_typed() {
+        assert!(matches!(
+            parse_drat("1 2"),
+            Err(DratParseError::UnterminatedStep { line: 1 })
+        ));
+        assert!(matches!(
+            parse_drat("1 x 0"),
+            Err(DratParseError::BadToken { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_drat("1 d 2 0"),
+            Err(DratParseError::MisplacedDelete { line: 1 })
+        ));
+        assert!(matches!(
+            parse_drat("1 0 2"),
+            Err(DratParseError::BadToken { line: 1, .. })
+        ));
+    }
+}

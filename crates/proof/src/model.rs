@@ -1,0 +1,132 @@
+//! SAT-model evaluation over the original clauses.
+//!
+//! A claimed model is only trusted against the clauses the *caller*
+//! recorded (the axioms of the instance), never against anything the
+//! solver derived — derived clauses are consequences only if the
+//! derivation was sound, which is exactly what is in question.
+
+use std::fmt;
+
+/// Why a claimed model failed evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A clause had no true literal under the model.
+    UnsatisfiedClause {
+        /// Index of the clause in the caller's list.
+        index: usize,
+        /// The clause itself.
+        clause: Vec<i64>,
+    },
+    /// An assumption literal is false under the model.
+    UnsatisfiedAssumption {
+        /// The violated assumption.
+        lit: i64,
+    },
+    /// A literal references a variable beyond the model's length.
+    ModelTooShort {
+        /// The out-of-range literal.
+        lit: i64,
+    },
+    /// A clause or assumption contained the literal `0`.
+    ZeroLiteral,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnsatisfiedClause { index, clause } => {
+                write!(f, "model falsifies clause #{index} {clause:?}")
+            }
+            ModelError::UnsatisfiedAssumption { lit } => {
+                write!(f, "model falsifies assumption {lit}")
+            }
+            ModelError::ModelTooShort { lit } => {
+                write!(f, "literal {lit} is beyond the model's variables")
+            }
+            ModelError::ZeroLiteral => write!(f, "clause contains the literal 0"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Truth of literal `l` under `model` (`model[v-1]` is variable `v`).
+fn lit_true(l: i64, model: &[bool]) -> Result<bool, ModelError> {
+    if l == 0 {
+        return Err(ModelError::ZeroLiteral);
+    }
+    let v = l.unsigned_abs() as usize;
+    if v > model.len() {
+        return Err(ModelError::ModelTooShort { lit: l });
+    }
+    Ok((l > 0) == model[v - 1])
+}
+
+/// Checks that `model` satisfies every clause and every assumption.
+pub fn model_satisfies(
+    clauses: &[Vec<i64>],
+    assumptions: &[i64],
+    model: &[bool],
+) -> Result<(), ModelError> {
+    for &a in assumptions {
+        if !lit_true(a, model)? {
+            return Err(ModelError::UnsatisfiedAssumption { lit: a });
+        }
+    }
+    for (index, clause) in clauses.iter().enumerate() {
+        let mut sat = false;
+        for &l in clause {
+            if lit_true(l, model)? {
+                sat = true;
+                break;
+            }
+        }
+        if !sat {
+            return Err(ModelError::UnsatisfiedClause {
+                index,
+                clause: clause.clone(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_model() {
+        let clauses = vec![vec![1, 2], vec![-1, 3]];
+        model_satisfies(&clauses, &[3], &[true, false, true]).expect("model holds");
+    }
+
+    #[test]
+    fn rejects_violated_clause() {
+        let clauses = vec![vec![1, 2]];
+        assert!(matches!(
+            model_satisfies(&clauses, &[], &[false, false]),
+            Err(ModelError::UnsatisfiedClause { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_violated_assumption() {
+        assert!(matches!(
+            model_satisfies(&[], &[-1], &[true]),
+            Err(ModelError::UnsatisfiedAssumption { lit: -1 })
+        ));
+    }
+
+    #[test]
+    fn rejects_short_model_and_zero() {
+        assert!(matches!(
+            model_satisfies(&[vec![2]], &[], &[true]),
+            Err(ModelError::ModelTooShort { lit: 2 })
+        ));
+        assert!(matches!(
+            model_satisfies(&[vec![0]], &[], &[true]),
+            Err(ModelError::ZeroLiteral)
+        ));
+    }
+}

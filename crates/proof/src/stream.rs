@@ -1,0 +1,503 @@
+//! Campaign proof streams: one linear event sequence certifying many
+//! solver verdicts.
+//!
+//! A fault campaign is not one SAT instance but thousands, and the
+//! incremental engine threads one clause database through all of them —
+//! clauses learnt for fault 17 stay valid for fault 3018. A per-instance
+//! DRAT file cannot express that; a *stream* can: axioms and derivations
+//! interleave in solver order, and `SolveBegin`/`SolveEnd` brackets mark
+//! which verdict each stretch certifies.
+//!
+//! The from-scratch engine uses the same format with a [`Event::Reset`]
+//! before each fault (fresh formula, fresh database), so one auditor
+//! serves both paths.
+//!
+//! # Certification rules
+//!
+//! - Every [`Event::Derive`] must be RUP over the live database; every
+//!   [`Event::Delete`] must name an active clause.
+//! - An `Unsat` verdict is certified when the empty clause has been
+//!   derived, or the last derivation of the instance is a subset of the
+//!   negated assumptions (the failing-subset clause of an assumption
+//!   solve).
+//! - A `Sat` verdict is certified when the claimed model satisfies every
+//!   axiom recorded so far plus the instance's assumptions.
+//! - An `Aborted` verdict, or an explicit [`Event::Uncertified`] marker
+//!   (e.g. a cache-served verdict), yields `Uncertified` — reported, not
+//!   silently passed.
+
+use std::fmt;
+
+use crate::checker::Checker;
+use crate::model::model_satisfies;
+
+/// A solver's claimed answer for one instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Satisfiable, with a model in the `SolveEnd` event.
+    Sat,
+    /// Unsatisfiable (under the instance's assumptions, if any).
+    Unsat,
+    /// Resource budget exhausted; no claim made.
+    Aborted,
+}
+
+impl Verdict {
+    /// Stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Sat => "sat",
+            Verdict::Unsat => "unsat",
+            Verdict::Aborted => "aborted",
+        }
+    }
+}
+
+/// One event of a campaign proof stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// Clears the database: the next instance starts from a fresh
+    /// formula (from-scratch engines emit one per fault).
+    Reset,
+    /// An original-formula clause, recorded by the encoder **before**
+    /// any solver-side normalization.
+    Axiom(Vec<i64>),
+    /// A clause the solver claims to have derived (must be RUP).
+    Derive(Vec<i64>),
+    /// A clause the solver discarded (must be active).
+    Delete(Vec<i64>),
+    /// Start of one instance's solve.
+    SolveBegin {
+        /// Caller-chosen instance number (fault sequence index).
+        index: usize,
+        /// The assumptions of this solve, as DIMACS literals.
+        assumptions: Vec<i64>,
+    },
+    /// End of one instance's solve with the claimed verdict.
+    SolveEnd {
+        /// The solver's claim.
+        verdict: Verdict,
+        /// The claimed model when `verdict` is `Sat` (`model[v-1]` is
+        /// variable `v`).
+        model: Option<Vec<bool>>,
+    },
+    /// The solver took a shortcut this auditor cannot re-derive (e.g. a
+    /// cache-served UNSAT verdict); the instance is reported as
+    /// uncertified with this reason instead of silently passing.
+    Uncertified {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+/// How one instance fared under the audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceStatus {
+    /// Verdict independently re-derived.
+    Certified,
+    /// No claim checked, with an explicit reason (abort, cache shortcut).
+    Uncertified {
+        /// Why no certificate exists.
+        reason: String,
+    },
+    /// A check failed: the proof or model is wrong.
+    Failed {
+        /// The first error encountered.
+        error: String,
+    },
+}
+
+impl fmt::Display for InstanceStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstanceStatus::Certified => write!(f, "certified"),
+            InstanceStatus::Uncertified { reason } => write!(f, "uncertified: {reason}"),
+            InstanceStatus::Failed { error } => write!(f, "failed: {error}"),
+        }
+    }
+}
+
+/// One instance's audit outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstanceAudit {
+    /// The `SolveBegin` index (fault sequence number).
+    pub index: usize,
+    /// The solver's claimed verdict.
+    pub verdict: Verdict,
+    /// The audit's classification.
+    pub status: InstanceStatus,
+}
+
+/// The audit of one whole proof stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamAudit {
+    /// Per-instance outcomes, in stream order.
+    pub instances: Vec<InstanceAudit>,
+    /// Derivation steps RUP-checked.
+    pub steps_checked: usize,
+    /// Axiom clauses recorded.
+    pub axioms: usize,
+    /// Deletion steps applied.
+    pub deletions: usize,
+    /// Errors outside any instance bracket (malformed stream).
+    pub stray_errors: Vec<String>,
+}
+
+impl StreamAudit {
+    /// Instances whose verdict was independently re-derived.
+    pub fn certified(&self) -> usize {
+        self.instances
+            .iter()
+            .filter(|i| i.status == InstanceStatus::Certified)
+            .count()
+    }
+
+    /// Instances explicitly reported without a certificate.
+    pub fn uncertified(&self) -> usize {
+        self.instances
+            .iter()
+            .filter(|i| matches!(i.status, InstanceStatus::Uncertified { .. }))
+            .count()
+    }
+
+    /// Instances where a proof or model check failed.
+    pub fn failed(&self) -> usize {
+        self.instances
+            .iter()
+            .filter(|i| matches!(i.status, InstanceStatus::Failed { .. }))
+            .count()
+    }
+
+    /// Whether the stream certifies cleanly: no failed instance and no
+    /// stray errors. (Uncertified instances are allowed — they are
+    /// explicitly reported, and the caller decides whether to accept.)
+    pub fn ok(&self) -> bool {
+        self.failed() == 0 && self.stray_errors.is_empty()
+    }
+}
+
+/// Replays `events` through a fresh [`Checker`] and classifies every
+/// instance. See the module docs for the certification rules.
+pub fn audit_stream(events: &[Event]) -> StreamAudit {
+    let mut audit = StreamAudit::default();
+    let mut checker = Checker::new();
+    let mut axioms: Vec<Vec<i64>> = Vec::new();
+    // Per-instance state between SolveBegin and SolveEnd.
+    let mut open: Option<(usize, Vec<i64>)> = None;
+    let mut last_derive: Option<Vec<i64>> = None;
+    let mut instance_error: Option<String> = None;
+    let mut uncertified_reason: Option<String> = None;
+
+    let note_error = |err: String,
+                      open: &Option<(usize, Vec<i64>)>,
+                      instance_error: &mut Option<String>,
+                      audit: &mut StreamAudit| {
+        if open.is_some() {
+            instance_error.get_or_insert(err);
+        } else {
+            audit.stray_errors.push(err);
+        }
+    };
+
+    for event in events {
+        match event {
+            Event::Reset => {
+                if open.is_some() {
+                    note_error(
+                        "reset inside an instance bracket".to_string(),
+                        &open,
+                        &mut instance_error,
+                        &mut audit,
+                    );
+                }
+                checker = Checker::new();
+                axioms.clear();
+            }
+            Event::Axiom(lits) => match checker.add_axiom(lits) {
+                Ok(()) => {
+                    audit.axioms += 1;
+                    axioms.push(lits.clone());
+                }
+                Err(e) => note_error(
+                    format!("axiom {lits:?}: {e}"),
+                    &open,
+                    &mut instance_error,
+                    &mut audit,
+                ),
+            },
+            Event::Derive(lits) => {
+                audit.steps_checked += 1;
+                match checker.check_and_add(lits) {
+                    Ok(()) => last_derive = Some(lits.clone()),
+                    Err(e) => note_error(e.to_string(), &open, &mut instance_error, &mut audit),
+                }
+            }
+            Event::Delete(lits) => {
+                audit.deletions += 1;
+                if let Err(e) = checker.check_delete(lits) {
+                    note_error(e.to_string(), &open, &mut instance_error, &mut audit);
+                }
+            }
+            Event::SolveBegin { index, assumptions } => {
+                if open.is_some() {
+                    audit
+                        .stray_errors
+                        .push(format!("instance {index} opened inside another bracket"));
+                }
+                open = Some((*index, assumptions.clone()));
+                last_derive = None;
+                instance_error = None;
+                uncertified_reason = None;
+            }
+            Event::Uncertified { reason } => {
+                if open.is_some() {
+                    uncertified_reason.get_or_insert(reason.clone());
+                } else {
+                    audit
+                        .stray_errors
+                        .push(format!("uncertified marker outside a bracket: {reason}"));
+                }
+            }
+            Event::SolveEnd { verdict, model } => {
+                let Some((index, assumptions)) = open.take() else {
+                    audit
+                        .stray_errors
+                        .push("solve end without a matching begin".to_string());
+                    continue;
+                };
+                let status = classify(
+                    *verdict,
+                    model.as_deref(),
+                    &assumptions,
+                    &axioms,
+                    &checker,
+                    last_derive.as_deref(),
+                    instance_error.take(),
+                    uncertified_reason.take(),
+                );
+                audit.instances.push(InstanceAudit {
+                    index,
+                    verdict: *verdict,
+                    status,
+                });
+            }
+        }
+    }
+    if open.is_some() {
+        audit
+            .stray_errors
+            .push("stream ended inside an instance bracket".to_string());
+    }
+    audit
+}
+
+/// Applies the certification rules to one closed instance.
+#[allow(clippy::too_many_arguments)]
+fn classify(
+    verdict: Verdict,
+    model: Option<&[bool]>,
+    assumptions: &[i64],
+    axioms: &[Vec<i64>],
+    checker: &Checker,
+    last_derive: Option<&[i64]>,
+    instance_error: Option<String>,
+    uncertified_reason: Option<String>,
+) -> InstanceStatus {
+    if let Some(error) = instance_error {
+        return InstanceStatus::Failed { error };
+    }
+    if let Some(reason) = uncertified_reason {
+        return InstanceStatus::Uncertified { reason };
+    }
+    match verdict {
+        Verdict::Aborted => InstanceStatus::Uncertified {
+            reason: "aborted: resource budget exhausted".to_string(),
+        },
+        Verdict::Sat => match model {
+            None => InstanceStatus::Failed {
+                error: "sat verdict without a model".to_string(),
+            },
+            Some(m) => match model_satisfies(axioms, assumptions, m) {
+                Ok(()) => InstanceStatus::Certified,
+                Err(e) => InstanceStatus::Failed {
+                    error: e.to_string(),
+                },
+            },
+        },
+        Verdict::Unsat => {
+            if checker.has_empty() {
+                return InstanceStatus::Certified;
+            }
+            let Some(last) = last_derive else {
+                return InstanceStatus::Failed {
+                    error: "unsat verdict without a culminating derivation".to_string(),
+                };
+            };
+            let covered = last.iter().all(|l| assumptions.contains(&-l));
+            if covered {
+                InstanceStatus::Certified
+            } else {
+                InstanceStatus::Failed {
+                    error: format!(
+                        "final derivation {last:?} is not a subset of the negated assumptions"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(index: usize, assumptions: Vec<i64>) -> Event {
+        Event::SolveBegin { index, assumptions }
+    }
+
+    fn end(verdict: Verdict, model: Option<Vec<bool>>) -> Event {
+        Event::SolveEnd { verdict, model }
+    }
+
+    #[test]
+    fn certified_unsat_via_empty_clause() {
+        let events = vec![
+            Event::Axiom(vec![1]),
+            Event::Axiom(vec![-1, 2]),
+            Event::Axiom(vec![-2]),
+            solve(0, vec![]),
+            Event::Derive(vec![]),
+            end(Verdict::Unsat, None),
+        ];
+        let audit = audit_stream(&events);
+        assert!(audit.ok(), "{audit:?}");
+        assert_eq!(audit.certified(), 1);
+    }
+
+    #[test]
+    fn certified_unsat_under_assumptions() {
+        let events = vec![
+            Event::Axiom(vec![-1, 2]),
+            Event::Axiom(vec![-2, -3]),
+            solve(7, vec![1, 3]),
+            Event::Derive(vec![-1, -3]),
+            end(Verdict::Unsat, None),
+        ];
+        let audit = audit_stream(&events);
+        assert!(audit.ok(), "{audit:?}");
+        assert_eq!(audit.instances[0].index, 7);
+        assert_eq!(audit.instances[0].status, InstanceStatus::Certified);
+    }
+
+    #[test]
+    fn certified_sat_with_model() {
+        let events = vec![
+            Event::Axiom(vec![1, 2]),
+            solve(0, vec![-1]),
+            end(Verdict::Sat, Some(vec![false, true])),
+        ];
+        let audit = audit_stream(&events);
+        assert_eq!(audit.certified(), 1, "{audit:?}");
+    }
+
+    #[test]
+    fn bad_model_fails() {
+        let events = vec![
+            Event::Axiom(vec![1, 2]),
+            solve(0, vec![]),
+            end(Verdict::Sat, Some(vec![false, false])),
+        ];
+        let audit = audit_stream(&events);
+        assert_eq!(audit.failed(), 1);
+        assert!(!audit.ok());
+    }
+
+    #[test]
+    fn bogus_derivation_fails() {
+        let events = vec![
+            Event::Axiom(vec![1, 2]),
+            solve(0, vec![]),
+            Event::Derive(vec![1]),
+            end(Verdict::Unsat, None),
+        ];
+        let audit = audit_stream(&events);
+        assert_eq!(audit.failed(), 1);
+    }
+
+    #[test]
+    fn unsat_without_derivation_fails() {
+        let events = vec![
+            Event::Axiom(vec![1, 2]),
+            solve(0, vec![]),
+            end(Verdict::Unsat, None),
+        ];
+        let audit = audit_stream(&events);
+        assert_eq!(audit.failed(), 1);
+    }
+
+    #[test]
+    fn uncertified_marker_and_abort_are_reported_not_failed() {
+        let events = vec![
+            Event::Axiom(vec![1]),
+            solve(0, vec![]),
+            Event::Uncertified {
+                reason: "cache-served verdict".to_string(),
+            },
+            end(Verdict::Unsat, None),
+            solve(1, vec![]),
+            end(Verdict::Aborted, None),
+        ];
+        let audit = audit_stream(&events);
+        assert_eq!(audit.uncertified(), 2);
+        assert_eq!(audit.failed(), 0);
+        assert!(audit.ok(), "uncertified is reported, not a failure");
+    }
+
+    #[test]
+    fn reset_isolates_instances() {
+        // Fault A's axioms must not leak into fault B after a reset.
+        let events = vec![
+            Event::Reset,
+            Event::Axiom(vec![1]),
+            Event::Axiom(vec![-1]),
+            solve(0, vec![]),
+            Event::Derive(vec![]),
+            end(Verdict::Unsat, None),
+            Event::Reset,
+            Event::Axiom(vec![1]),
+            solve(1, vec![]),
+            end(Verdict::Sat, Some(vec![true])),
+        ];
+        let audit = audit_stream(&events);
+        assert!(audit.ok(), "{audit:?}");
+        assert_eq!(audit.certified(), 2);
+    }
+
+    #[test]
+    fn incremental_derivations_persist_across_instances() {
+        // The unit derived in instance 0 remains usable by instance 1's
+        // refutation — the warm-solver scenario.
+        let events = vec![
+            Event::Axiom(vec![1, 2]),
+            Event::Axiom(vec![1, -2]),
+            solve(0, vec![]),
+            Event::Derive(vec![1]),
+            end(Verdict::Sat, Some(vec![true, true])),
+            Event::Axiom(vec![-1, 3]),
+            solve(1, vec![-3]),
+            Event::Derive(vec![3]),
+            end(Verdict::Unsat, None),
+        ];
+        let audit = audit_stream(&events);
+        assert!(audit.ok(), "{audit:?}");
+        assert_eq!(audit.certified(), 2);
+    }
+
+    #[test]
+    fn malformed_brackets_are_stray_errors() {
+        let audit = audit_stream(&[end(Verdict::Unsat, None)]);
+        assert!(!audit.ok());
+        let audit = audit_stream(&[solve(0, vec![])]);
+        assert!(!audit.ok());
+    }
+}

@@ -13,11 +13,12 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
-use atpg_easy_cnf::{CnfFormula, Var};
+use atpg_easy_cnf::{CnfFormula, Lit, Var};
 
-use crate::simple::{check_order, Residual};
+use crate::simple::{check_order, emit_refutation, Residual};
 use crate::{
-    probe_outcome, Deadline, Limits, NoProbe, Outcome, Probe, Solution, Solver, SolverStats,
+    probe_outcome, Deadline, Limits, NoProbe, NoProof, Outcome, Probe, ProofSink, Solution, Solver,
+    SolverStats,
 };
 
 /// What happened at one backtracking-tree node (see [`TraceEvent`]).
@@ -170,7 +171,7 @@ impl UnsatCache {
 
 /// Everything one backtracking search carries besides the residual: the
 /// ordering, cache, budgets and observers.
-struct Search<'a, P: Probe + ?Sized> {
+struct Search<'a, P: Probe + ?Sized, S: ProofSink + ?Sized> {
     order: Vec<Var>,
     cache: UnsatCache,
     stats: &'a mut SolverStats,
@@ -178,9 +179,13 @@ struct Search<'a, P: Probe + ?Sized> {
     deadline: Deadline,
     trace: Option<&'a mut Vec<TraceEvent>>,
     probe: &'a mut P,
+    sink: &'a mut S,
+    /// Decision literals on the current branch (maintained only when the
+    /// sink is enabled), for the decision-tree-to-resolution lowering.
+    prefix: Vec<Lit>,
 }
 
-impl<P: Probe + ?Sized> Search<'_, P> {
+impl<P: Probe + ?Sized, S: ProofSink + ?Sized> Search<'_, P, S> {
     fn record(&mut self, depth: usize, v: Var, value: bool, outcome: TraceOutcome) {
         if let Some(events) = &mut self.trace {
             events.push(TraceEvent {
@@ -213,25 +218,41 @@ impl<P: Probe + ?Sized> Search<'_, P> {
                     return Verdict::Aborted;
                 }
             }
+            let decision = Lit::with_value(v, value);
             res.assign(v, value);
             if res.has_conflict() {
                 self.stats.conflicts += 1;
                 self.probe.conflict();
                 self.record(depth, v, value, TraceOutcome::Conflict);
+                if self.sink.enabled() {
+                    emit_refutation(self.sink, &self.prefix, Some(decision));
+                }
             } else if res.all_satisfied() {
                 self.record(depth, v, value, TraceOutcome::Satisfied);
                 return Verdict::Sat;
             } else {
                 let fingerprint = res.state_fingerprint();
                 let key = res.canonical_key();
-                if self.cache.contains(fingerprint, &key) {
+                // A cache hit serves an UNSAT verdict without a derivation,
+                // so under an enabled proof sink the hit-prune branch is
+                // skipped: the sub-formula is re-expanded and its refutation
+                // re-derived (and emitted). Verdicts are unchanged; only
+                // the node counts differ.
+                if !self.sink.enabled() && self.cache.contains(fingerprint, &key) {
                     self.stats.cache_hits += 1;
                     self.probe.cache_hit();
                     self.record(depth, v, value, TraceOutcome::CacheHit);
                 } else {
                     self.probe.cache_miss();
                     self.record(depth, v, value, TraceOutcome::Expanded);
-                    match self.cache_sat(res, depth + 1) {
+                    if self.sink.enabled() {
+                        self.prefix.push(decision);
+                    }
+                    let verdict = self.cache_sat(res, depth + 1);
+                    if self.sink.enabled() {
+                        self.prefix.pop();
+                    }
+                    match verdict {
                         Verdict::Unsat => {
                             if self.cache.insert(fingerprint, key) {
                                 self.probe.cache_insert();
@@ -252,13 +273,21 @@ impl<P: Probe + ?Sized> Search<'_, P> {
         if aborted {
             Verdict::Aborted
         } else {
+            if self.sink.enabled() {
+                emit_refutation(self.sink, &self.prefix, None);
+            }
             Verdict::Unsat
         }
     }
 }
 
 impl CachingBacktracking {
-    fn solve_with<P: Probe + ?Sized>(&mut self, formula: &CnfFormula, probe: &mut P) -> Solution {
+    fn solve_with<P: Probe + ?Sized, S: ProofSink + ?Sized>(
+        &mut self,
+        formula: &CnfFormula,
+        probe: &mut P,
+        sink: &mut S,
+    ) -> Solution {
         // Reset the persistent counters so a reused solver starts clean.
         self.stats = SolverStats::default();
         let start = probe.enabled().then(Instant::now);
@@ -273,6 +302,8 @@ impl CachingBacktracking {
         let mut res = Residual::new(formula);
         self.trace.clear();
         let outcome = if res.has_conflict() {
+            // An empty clause is already an axiom; re-deriving it is RUP.
+            sink.add_clause(&[]);
             Outcome::Unsat
         } else {
             let mut search = Search {
@@ -283,11 +314,17 @@ impl CachingBacktracking {
                 deadline: Deadline::start(&self.limits),
                 trace: self.tracing.then_some(&mut self.trace),
                 probe: &mut *probe,
+                sink: &mut *sink,
+                prefix: Vec::new(),
             };
             let verdict = search.cache_sat(&mut res, 0);
             search.stats.cache_entries = search.cache.len() as u64;
             match verdict {
-                Verdict::Sat => Outcome::Sat(res.model()),
+                Verdict::Sat => {
+                    let model = res.model();
+                    sink.model(&model);
+                    Outcome::Sat(model)
+                }
                 Verdict::Unsat => Outcome::Unsat,
                 Verdict::Aborted => Outcome::Aborted,
             }
@@ -305,11 +342,28 @@ impl CachingBacktracking {
 
 impl Solver for CachingBacktracking {
     fn solve(&mut self, formula: &CnfFormula) -> Solution {
-        self.solve_with(formula, &mut NoProbe)
+        self.solve_with(formula, &mut NoProbe, &mut NoProof)
     }
 
     fn solve_probed(&mut self, formula: &CnfFormula, probe: &mut dyn Probe) -> Solution {
-        self.solve_with(formula, probe)
+        self.solve_with(formula, probe, &mut NoProof)
+    }
+
+    fn solve_certified(
+        &mut self,
+        formula: &CnfFormula,
+        probe: &mut dyn Probe,
+        sink: &mut dyn ProofSink,
+    ) -> Solution {
+        // Dispatch on the sink once: the disabled case re-monomorphizes
+        // at the `NoProof` ZST so proof hooks compile away exactly as in
+        // `solve_probed`, instead of paying a vtable `enabled()` check
+        // per emission site.
+        if sink.enabled() {
+            self.solve_with(formula, probe, sink)
+        } else {
+            self.solve_probed(formula, probe)
+        }
     }
 
     fn stats(&self) -> SolverStats {

@@ -20,7 +20,8 @@ use std::time::Instant;
 use atpg_easy_cnf::{CnfFormula, Lit, Var};
 
 use crate::{
-    probe_outcome, Deadline, Limits, NoProbe, Outcome, Probe, Solution, Solver, SolverStats,
+    probe_outcome, Deadline, Limits, NoProbe, NoProof, Outcome, Probe, ProofSink, Solution, Solver,
+    SolverStats,
 };
 
 const VAR_DECAY: f64 = 0.95;
@@ -421,8 +422,9 @@ impl Engine {
         ci
     }
 
-    /// Deletes low-activity learnt clauses that are not currently reasons.
-    fn reduce_db(&mut self) {
+    /// Deletes low-activity learnt clauses that are not currently
+    /// reasons, emitting one DRAT deletion per clause dropped.
+    fn reduce_db<S: ProofSink + ?Sized>(&mut self, sink: &mut S) {
         let mut learnt: Vec<usize> = (0..self.clauses.len())
             .filter(|&ci| {
                 let c = &self.clauses[ci];
@@ -456,6 +458,9 @@ impl Engine {
             self.clauses[ci].deleted = true;
             self.num_learnt -= 1;
             removed += 1;
+            if sink.enabled() {
+                sink.delete_clause(&self.clauses[ci].lits);
+            }
         }
         // Deleted clauses are purged from watch lists lazily in propagate().
     }
@@ -513,11 +518,12 @@ fn load_formula(e: &mut Engine, formula: &CnfFormula) -> bool {
 /// clause database alone and therefore sound across future calls with
 /// different assumptions. Returns with the trail still extended; callers
 /// cancel back to level 0 themselves.
-fn search<P: Probe + ?Sized>(
+fn search<P: Probe + ?Sized, S: ProofSink + ?Sized>(
     e: &mut Engine,
     assumptions: &[Lit],
     limits: &Limits,
     probe: &mut P,
+    sink: &mut S,
 ) -> SearchResult {
     let mut restart_count: u64 = 0;
     let mut conflicts_until_restart = RESTART_BASE * luby(0);
@@ -542,12 +548,18 @@ fn search<P: Probe + ?Sized>(
                 }
             }
             if e.decision_level() == 0 {
+                // Conflict from level-0 propagation alone: the empty
+                // clause is RUP over the database.
+                sink.add_clause(&[]);
                 return SearchResult::Unsat;
             }
             let (learnt, bt_level) = e.analyze(confl);
             e.cancel_until(bt_level);
             probe.backtrack(bt_level as usize);
             probe.learned(learnt.len());
+            // 1UIP clauses (with self-subsumption minimization) are RUP
+            // in emission order — the standard CDCL proof-logging fact.
+            sink.add_clause(&learnt);
             let asserting = learnt[0];
             if learnt.len() == 1 {
                 e.enqueue(asserting, None);
@@ -559,7 +571,7 @@ fn search<P: Probe + ?Sized>(
             e.var_inc /= VAR_DECAY;
             e.cla_inc /= CLA_DECAY;
             if e.num_learnt > e.max_learnt {
-                e.reduce_db();
+                e.reduce_db(sink);
                 e.max_learnt += e.max_learnt / 10;
             }
         } else {
@@ -585,7 +597,16 @@ fn search<P: Probe + ?Sized>(
                 match e.value(p) {
                     Some(true) => e.trail_lim.push(e.trail.len()),
                     Some(false) => {
-                        return SearchResult::AssumptionsFailed(e.analyze_final(p));
+                        let failing = e.analyze_final(p);
+                        if sink.enabled() {
+                            // The failing-subset clause {¬l : l ∈ failing}
+                            // is RUP: asserting the subset propagates the
+                            // reason chains analyze_final walked back to
+                            // the contradiction on `p`.
+                            let clause: Vec<Lit> = failing.iter().map(|&l| !l).collect();
+                            sink.add_clause(&clause);
+                        }
+                        return SearchResult::AssumptionsFailed(failing);
                     }
                     None => {
                         e.trail_lim.push(e.trail.len());
@@ -609,6 +630,7 @@ fn search<P: Probe + ?Sized>(
                         .zip(&e.phase)
                         .map(|(v, &ph)| v.unwrap_or(ph))
                         .collect();
+                    sink.model(&model);
                     return SearchResult::Sat(model);
                 }
                 Some(v) => {
@@ -630,15 +652,23 @@ fn search<P: Probe + ?Sized>(
 }
 
 /// One-shot front-end: fresh engine, no assumptions.
-fn run<P: Probe + ?Sized>(formula: &CnfFormula, limits: &Limits, probe: &mut P) -> Solution {
+fn run<P: Probe + ?Sized, S: ProofSink + ?Sized>(
+    formula: &CnfFormula,
+    limits: &Limits,
+    probe: &mut P,
+    sink: &mut S,
+) -> Solution {
     let mut e = Engine::new(formula);
     if !load_formula(&mut e, formula) {
+        // An empty clause or contradictory units in the formula itself:
+        // the empty clause is RUP over the axioms by unit propagation.
+        sink.add_clause(&[]);
         return Solution {
             outcome: Outcome::Unsat,
             stats: e.stats,
         };
     }
-    let result = search(&mut e, &[], limits, probe);
+    let result = search(&mut e, &[], limits, probe, sink);
     e.stats.learnt_clauses = e.num_learnt as u64;
     let outcome = match result {
         SearchResult::Sat(model) => {
@@ -656,12 +686,17 @@ fn run<P: Probe + ?Sized>(formula: &CnfFormula, limits: &Limits, probe: &mut P) 
 }
 
 impl Cdcl {
-    fn solve_with<P: Probe + ?Sized>(&mut self, formula: &CnfFormula, probe: &mut P) -> Solution {
+    fn solve_with<P: Probe + ?Sized, S: ProofSink + ?Sized>(
+        &mut self,
+        formula: &CnfFormula,
+        probe: &mut P,
+        sink: &mut S,
+    ) -> Solution {
         // Reset the persistent counters so a reused solver starts clean.
         self.stats = SolverStats::default();
         let start = probe.enabled().then(Instant::now);
         probe.instance_begin(formula.num_vars(), formula.num_clauses());
-        let solution = run(formula, &self.limits, probe);
+        let solution = run(formula, &self.limits, probe, sink);
         self.stats = solution.stats;
         probe.instance_end(
             probe_outcome(&solution.outcome),
@@ -673,11 +708,28 @@ impl Cdcl {
 
 impl Solver for Cdcl {
     fn solve(&mut self, formula: &CnfFormula) -> Solution {
-        self.solve_with(formula, &mut NoProbe)
+        self.solve_with(formula, &mut NoProbe, &mut NoProof)
     }
 
     fn solve_probed(&mut self, formula: &CnfFormula, probe: &mut dyn Probe) -> Solution {
-        self.solve_with(formula, probe)
+        self.solve_with(formula, probe, &mut NoProof)
+    }
+
+    fn solve_certified(
+        &mut self,
+        formula: &CnfFormula,
+        probe: &mut dyn Probe,
+        sink: &mut dyn ProofSink,
+    ) -> Solution {
+        // Dispatch on the sink once: the disabled case re-monomorphizes
+        // at the `NoProof` ZST so proof hooks compile away exactly as in
+        // `solve_probed`, instead of paying a vtable `enabled()` check
+        // per emission site.
+        if sink.enabled() {
+            self.solve_with(formula, probe, sink)
+        } else {
+            self.solve_probed(formula, probe)
+        }
     }
 
     fn stats(&self) -> SolverStats {
@@ -813,7 +865,7 @@ impl IncrementalCdcl {
     /// distinguishes an assumption-dependent refutation (non-empty
     /// subset) from a globally UNSAT database (empty).
     pub fn solve_assuming(&mut self, assumptions: &[Lit]) -> Solution {
-        self.solve_assuming_with(assumptions, &mut NoProbe)
+        self.solve_assuming_with(assumptions, &mut NoProbe, &mut NoProof)
     }
 
     /// [`IncrementalCdcl::solve_assuming`] with a dyn probe attached.
@@ -822,13 +874,33 @@ impl IncrementalCdcl {
         assumptions: &[Lit],
         probe: &mut dyn Probe,
     ) -> Solution {
-        self.solve_assuming_with(assumptions, probe)
+        self.solve_assuming_with(assumptions, probe, &mut NoProof)
     }
 
-    fn solve_assuming_with<P: Probe + ?Sized>(
+    /// [`IncrementalCdcl::solve_assuming`] with both a probe and a
+    /// proof sink: learnt clauses, deletions and — on an
+    /// assumption-caused UNSAT — the failing-subset clause
+    /// `{¬l : l ∈ failed_assumptions}` stream into `sink`.
+    pub fn solve_assuming_certified(
+        &mut self,
+        assumptions: &[Lit],
+        probe: &mut dyn Probe,
+        sink: &mut dyn ProofSink,
+    ) -> Solution {
+        // Same single dispatch as `Solver::solve_certified`: a disabled
+        // sink re-monomorphizes at `NoProof` so the hooks compile away.
+        if sink.enabled() {
+            self.solve_assuming_with(assumptions, probe, sink)
+        } else {
+            self.solve_assuming_with(assumptions, probe, &mut NoProof)
+        }
+    }
+
+    fn solve_assuming_with<P: Probe + ?Sized, S: ProofSink + ?Sized>(
         &mut self,
         assumptions: &[Lit],
         probe: &mut P,
+        sink: &mut S,
     ) -> Solution {
         // Per-solve stats: the persistent engine's counters restart at
         // zero so each call reports only its own effort.
@@ -839,6 +911,11 @@ impl IncrementalCdcl {
         probe.assumptions(assumptions.len());
         probe.learnt_reused(self.engine.num_learnt);
         if !self.ok {
+            // The database was already refuted: either a previous solve
+            // derived (and emitted) the empty clause, or `add_clause`
+            // latched on a clause that level-0 propagation empties. In
+            // both cases the empty clause is RUP here.
+            sink.add_clause(&[]);
             self.engine.stats.learnt_clauses = self.engine.num_learnt as u64;
             self.stats = self.engine.stats;
             probe.instance_end(
@@ -859,7 +936,7 @@ impl IncrementalCdcl {
             .engine
             .max_learnt
             .max((self.engine.num_problem / 3).max(2000));
-        let result = search(&mut self.engine, assumptions, &self.limits, probe);
+        let result = search(&mut self.engine, assumptions, &self.limits, probe, sink);
         self.engine.stats.learnt_clauses = self.engine.num_learnt as u64;
         let outcome = match result {
             SearchResult::Sat(model) => Outcome::Sat(model),

@@ -9,7 +9,8 @@ use std::time::Instant;
 use atpg_easy_cnf::{CnfFormula, Lit, Var};
 
 use crate::{
-    probe_outcome, Deadline, Limits, NoProbe, Outcome, Probe, Solution, Solver, SolverStats,
+    probe_outcome, Deadline, Limits, NoProbe, NoProof, Outcome, Probe, ProofSink, Solution, Solver,
+    SolverStats,
 };
 
 /// DPLL with unit propagation and static branching order.
@@ -163,8 +164,10 @@ impl State {
     }
 }
 
+use crate::simple::emit_refutation;
+
 #[allow(clippy::too_many_arguments)]
-fn rec<P: Probe + ?Sized>(
+fn rec<P: Probe + ?Sized, S: ProofSink + ?Sized>(
     st: &mut State,
     order: &[Var],
     depth: usize,
@@ -172,12 +175,17 @@ fn rec<P: Probe + ?Sized>(
     limits: &Limits,
     deadline: &mut Deadline,
     probe: &mut P,
+    sink: &mut S,
+    prefix: &mut Vec<Lit>,
 ) -> Verdict {
     let mark = st.trail.len();
     if !st.propagate(stats, deadline, probe) {
         stats.conflicts += 1;
         probe.conflict();
         st.undo_to(mark);
+        if sink.enabled() {
+            emit_refutation(sink, prefix, None);
+        }
         return Verdict::Unsat;
     }
     probe.deadline_check();
@@ -203,25 +211,56 @@ fn rec<P: Probe + ?Sized>(
             }
         }
         let decision_mark = st.trail.len();
+        let decision = Lit::with_value(v, value);
         let ok = st.assign(v, value);
         if ok {
-            match rec(st, order, depth + 1, stats, limits, deadline, probe) {
+            if sink.enabled() {
+                prefix.push(decision);
+            }
+            let verdict = rec(
+                st,
+                order,
+                depth + 1,
+                stats,
+                limits,
+                deadline,
+                probe,
+                sink,
+                prefix,
+            );
+            if sink.enabled() {
+                prefix.pop();
+            }
+            match verdict {
                 Verdict::Unsat => {}
                 other => return other,
             }
         } else {
             stats.conflicts += 1;
             probe.conflict();
+            if sink.enabled() {
+                emit_refutation(sink, prefix, Some(decision));
+            }
         }
         st.undo_to(decision_mark);
         probe.backtrack(depth);
     }
     st.undo_to(mark);
+    // Both branches refuted: their two emitted clauses become units under
+    // the prefix, so `¬prefix` is RUP (empty at the root).
+    if sink.enabled() {
+        emit_refutation(sink, prefix, None);
+    }
     Verdict::Unsat
 }
 
 impl Dpll {
-    fn solve_with<P: Probe + ?Sized>(&mut self, formula: &CnfFormula, probe: &mut P) -> Solution {
+    fn solve_with<P: Probe + ?Sized, S: ProofSink + ?Sized>(
+        &mut self,
+        formula: &CnfFormula,
+        probe: &mut P,
+        sink: &mut S,
+    ) -> Solution {
         // Reset the persistent counters so a reused solver starts clean.
         self.stats = SolverStats::default();
         let start = probe.enabled().then(Instant::now);
@@ -235,9 +274,12 @@ impl Dpll {
         };
         let mut st = State::new(formula);
         let outcome = if formula.has_empty_clause() {
+            // The empty clause is an axiom; re-deriving it is trivially RUP.
+            sink.add_clause(&[]);
             Outcome::Unsat
         } else {
             let mut deadline = Deadline::start(&self.limits);
+            let mut prefix: Vec<Lit> = Vec::new();
             let verdict = rec(
                 &mut st,
                 &order,
@@ -246,10 +288,14 @@ impl Dpll {
                 &self.limits,
                 &mut deadline,
                 probe,
+                sink,
+                &mut prefix,
             );
             match verdict {
                 Verdict::Sat => {
-                    Outcome::Sat(st.assign.iter().map(|v| v.unwrap_or(false)).collect())
+                    let model: Vec<bool> = st.assign.iter().map(|v| v.unwrap_or(false)).collect();
+                    sink.model(&model);
+                    Outcome::Sat(model)
                 }
                 Verdict::Unsat => Outcome::Unsat,
                 Verdict::Aborted => Outcome::Aborted,
@@ -268,11 +314,28 @@ impl Dpll {
 
 impl Solver for Dpll {
     fn solve(&mut self, formula: &CnfFormula) -> Solution {
-        self.solve_with(formula, &mut NoProbe)
+        self.solve_with(formula, &mut NoProbe, &mut NoProof)
     }
 
     fn solve_probed(&mut self, formula: &CnfFormula, probe: &mut dyn Probe) -> Solution {
-        self.solve_with(formula, probe)
+        self.solve_with(formula, probe, &mut NoProof)
+    }
+
+    fn solve_certified(
+        &mut self,
+        formula: &CnfFormula,
+        probe: &mut dyn Probe,
+        sink: &mut dyn ProofSink,
+    ) -> Solution {
+        // Dispatch on the sink once: the disabled case re-monomorphizes
+        // at the `NoProof` ZST so proof hooks compile away exactly as in
+        // `solve_probed`, instead of paying a vtable `enabled()` check
+        // per emission site.
+        if sink.enabled() {
+            self.solve_with(formula, probe, sink)
+        } else {
+            self.solve_probed(formula, probe)
+        }
     }
 
     fn stats(&self) -> SolverStats {

@@ -38,12 +38,14 @@
 mod caching;
 mod cdcl;
 mod dpll;
+mod proof;
 mod result;
 mod simple;
 
 pub use caching::{render_trace, CachingBacktracking, TraceEvent, TraceOutcome};
 pub use cdcl::{Cdcl, IncrementalCdcl};
 pub use dpll::Dpll;
+pub use proof::{DratProof, NoProof, ProofSink, ProofStep};
 pub use result::{Deadline, Limits, Outcome, Solution, SolverStats};
 pub use simple::SimpleBacktracking;
 
@@ -73,6 +75,18 @@ pub trait Solver: Send {
     /// (decisions, conflicts, cache traffic, instance begin/end) into
     /// `probe`.
     fn solve_probed(&mut self, formula: &CnfFormula, probe: &mut dyn Probe) -> Solution;
+
+    /// Decides satisfiability of `formula` with both a probe and a
+    /// proof sink attached: derived clauses, deletions and the SAT
+    /// model stream into `sink` so an independent checker (the `proof`
+    /// crate) can re-derive the verdict. Pass [`NoProbe`]/[`NoProof`]
+    /// to disable either half.
+    fn solve_certified(
+        &mut self,
+        formula: &CnfFormula,
+        probe: &mut dyn Probe,
+        sink: &mut dyn ProofSink,
+    ) -> Solution;
 
     /// Work counters of the most recent `solve`/`solve_probed` call on
     /// this instance. Counters are reset at the start of every solve, so

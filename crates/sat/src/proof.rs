@@ -1,0 +1,206 @@
+//! Proof sinks: zero-cost-when-disabled DRAT emission from the solvers.
+//!
+//! Every solver body is generic over a [`ProofSink`] exactly the way it
+//! is generic over `Probe`: [`NoProof`] is a zero-sized type whose
+//! methods are empty and whose [`ProofSink::enabled`] is `false`, so the
+//! plain `solve()` path monomorphizes every emission call away — the
+//! `probe` criterion bench guards that the certified machinery costs
+//! nothing when nobody is listening.
+//!
+//! What the solvers emit:
+//!
+//! - **CDCL** emits every learnt clause (1UIP with self-subsumption
+//!   minimization — RUP by construction, in emission order), every
+//!   `reduce_db` deletion, the empty clause on a level-0 conflict, and —
+//!   for assumption solves — the failing-subset clause
+//!   `{¬l : l ∈ failed_assumptions}`, which is an ordinary RUP
+//!   consequence of the clause database.
+//! - **DPLL and the backtracking solvers** lower their decision tree to
+//!   resolution: each refuted subtree under decision prefix `D` emits
+//!   the clause `¬D` in post-order. A leaf conflict is RUP directly; an
+//!   interior `¬D` is RUP because the two child clauses
+//!   `¬(D ∪ {v})`/`¬(D ∪ {¬v})` become units under `D`; the root emits
+//!   the empty clause.
+//! - All solvers report the model on SAT.
+//!
+//! The sink records clauses; interpretation (DRAT text, campaign event
+//! streams) belongs to the sink implementation. [`DratProof`] renders
+//! standard DRAT so proofs stay checkable by external tools.
+
+use atpg_easy_cnf::Lit;
+
+/// Receives proof steps from a solver. Mirrors `Probe`'s design: object-
+/// safe, with a [`ProofSink::enabled`] switch that lets generic solver
+/// bodies skip bookkeeping (like decision-prefix maintenance) entirely
+/// when the sink is [`NoProof`].
+pub trait ProofSink {
+    /// Whether emission is live. `false` lets monomorphized solver
+    /// bodies eliminate proof bookkeeping as dead code.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// A clause the solver derived (a RUP consequence of the database).
+    fn add_clause(&mut self, lits: &[Lit]);
+
+    /// A clause the solver discarded.
+    fn delete_clause(&mut self, lits: &[Lit]);
+
+    /// The model of a SAT verdict (indexed by variable).
+    fn model(&mut self, model: &[bool]);
+}
+
+/// The disabled sink: a zero-sized type whose calls vanish under
+/// monomorphization.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoProof;
+
+// The whole point: attaching NoProof must add zero bytes and zero work.
+const _: () = assert!(std::mem::size_of::<NoProof>() == 0);
+
+impl ProofSink for NoProof {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn add_clause(&mut self, _lits: &[Lit]) {}
+
+    fn delete_clause(&mut self, _lits: &[Lit]) {}
+
+    fn model(&mut self, _model: &[bool]) {}
+}
+
+/// One recorded proof step over DIMACS literals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProofStep {
+    /// `true` for a deletion step.
+    pub delete: bool,
+    /// DIMACS literals (sign = polarity, variable index + 1).
+    pub lits: Vec<i64>,
+}
+
+/// A sink that accumulates DRAT steps (and the SAT model, if any) in
+/// memory, tracking the rendered byte size as it goes so telemetry can
+/// report proof weight without re-rendering.
+#[derive(Debug, Clone, Default)]
+pub struct DratProof {
+    steps: Vec<ProofStep>,
+    model: Option<Vec<bool>>,
+    bytes: u64,
+}
+
+fn dimacs(l: Lit) -> i64 {
+    let v = l.var().index() as i64 + 1;
+    if l.asserted_value() {
+        v
+    } else {
+        -v
+    }
+}
+
+/// Rendered length of one decimal integer plus its trailing space.
+fn digits(mut x: i64) -> u64 {
+    let mut n = if x < 0 { 2 } else { 1 }; // sign + trailing space
+    x = x.abs();
+    loop {
+        n += 1;
+        x /= 10;
+        if x == 0 {
+            return n;
+        }
+    }
+}
+
+impl DratProof {
+    /// An empty proof.
+    pub fn new() -> Self {
+        DratProof::default()
+    }
+
+    /// The recorded steps, in emission order.
+    pub fn steps(&self) -> &[ProofStep] {
+        &self.steps
+    }
+
+    /// The recorded SAT model, if the solve ended SAT.
+    pub fn recorded_model(&self) -> Option<&[bool]> {
+        self.model.as_deref()
+    }
+
+    /// Size of [`DratProof::render`]'s output, maintained incrementally.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Renders the steps as standard DRAT text (models are not part of
+    /// the DRAT format and are not rendered).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for s in &self.steps {
+            if s.delete {
+                out.push_str("d ");
+            }
+            for l in &s.lits {
+                let _ = write!(out, "{l} ");
+            }
+            out.push_str("0\n");
+        }
+        out
+    }
+
+    fn record(&mut self, delete: bool, lits: &[Lit]) {
+        let lits: Vec<i64> = lits.iter().map(|&l| dimacs(l)).collect();
+        self.bytes += lits.iter().map(|&l| digits(l)).sum::<u64>()
+            + 2 // "0\n"
+            + if delete { 2 } else { 0 }; // "d "
+        self.steps.push(ProofStep { delete, lits });
+    }
+}
+
+impl ProofSink for DratProof {
+    fn add_clause(&mut self, lits: &[Lit]) {
+        self.record(false, lits);
+    }
+
+    fn delete_clause(&mut self, lits: &[Lit]) {
+        self.record(true, lits);
+    }
+
+    fn model(&mut self, model: &[bool]) {
+        self.model = Some(model.to_vec());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atpg_easy_cnf::Var;
+
+    fn lit(i: usize, pos: bool) -> Lit {
+        Lit::with_value(Var::from_index(i), pos)
+    }
+
+    #[test]
+    fn drat_rendering_and_byte_count() {
+        let mut p = DratProof::new();
+        p.add_clause(&[lit(0, true), lit(11, false)]);
+        p.delete_clause(&[lit(0, true)]);
+        p.add_clause(&[]);
+        p.model(&[true, false]);
+        let text = p.render();
+        assert_eq!(text, "1 -12 0\nd 1 0\n0\n");
+        assert_eq!(p.bytes(), text.len() as u64);
+        assert_eq!(p.steps().len(), 3);
+        assert_eq!(p.recorded_model(), Some(&[true, false][..]));
+    }
+
+    #[test]
+    fn noproof_is_disabled_and_inert() {
+        let mut n = NoProof;
+        assert!(!n.enabled());
+        n.add_clause(&[lit(3, true)]);
+        n.delete_clause(&[]);
+        n.model(&[true]);
+    }
+}

@@ -6,8 +6,26 @@ use std::time::Instant;
 use atpg_easy_cnf::{CnfFormula, Lit, Var};
 
 use crate::{
-    probe_outcome, Deadline, Limits, NoProbe, Outcome, Probe, Solution, Solver, SolverStats,
+    probe_outcome, Deadline, Limits, NoProbe, NoProof, Outcome, Probe, ProofSink, Solution, Solver,
+    SolverStats,
 };
+
+/// Emits the resolution lowering of a refuted decision prefix: the
+/// clause `¬prefix` (plus `extra`, if any). A leaf conflict clause is
+/// RUP because the falsified original clause empties under the asserted
+/// prefix; an interior `¬prefix` is RUP because the two child clauses
+/// become contradictory units under the prefix.
+pub(crate) fn emit_refutation<S: ProofSink + ?Sized>(
+    sink: &mut S,
+    prefix: &[Lit],
+    extra: Option<Lit>,
+) {
+    let mut clause: Vec<Lit> = prefix.iter().map(|&l| !l).collect();
+    if let Some(l) = extra {
+        clause.push(!l);
+    }
+    sink.add_clause(&clause);
+}
 
 /// Incremental view of a formula under a partial assignment.
 ///
@@ -236,7 +254,8 @@ enum Verdict {
     Aborted,
 }
 
-fn rec<P: Probe + ?Sized>(
+#[allow(clippy::too_many_arguments)]
+fn rec<P: Probe + ?Sized, S: ProofSink + ?Sized>(
     res: &mut Residual,
     order: &[Var],
     depth: usize,
@@ -244,6 +263,8 @@ fn rec<P: Probe + ?Sized>(
     limits: &Limits,
     deadline: &mut Deadline,
     probe: &mut P,
+    sink: &mut S,
+    prefix: &mut Vec<Lit>,
 ) -> Verdict {
     if res.all_satisfied() || depth == order.len() {
         // All variables assigned with no null clause means every
@@ -266,12 +287,33 @@ fn rec<P: Probe + ?Sized>(
                 return Verdict::Aborted;
             }
         }
+        let decision = Lit::with_value(v, value);
         res.assign(v, value);
         if res.has_conflict() {
             stats.conflicts += 1;
             probe.conflict();
+            if sink.enabled() {
+                emit_refutation(sink, prefix, Some(decision));
+            }
         } else {
-            match rec(res, order, depth + 1, stats, limits, deadline, probe) {
+            if sink.enabled() {
+                prefix.push(decision);
+            }
+            let verdict = rec(
+                res,
+                order,
+                depth + 1,
+                stats,
+                limits,
+                deadline,
+                probe,
+                sink,
+                prefix,
+            );
+            if sink.enabled() {
+                prefix.pop();
+            }
+            match verdict {
                 Verdict::Unsat => {}
                 other => return other,
             }
@@ -279,11 +321,19 @@ fn rec<P: Probe + ?Sized>(
         res.unassign(v);
         probe.backtrack(depth);
     }
+    if sink.enabled() {
+        emit_refutation(sink, prefix, None);
+    }
     Verdict::Unsat
 }
 
 impl SimpleBacktracking {
-    fn solve_with<P: Probe + ?Sized>(&mut self, formula: &CnfFormula, probe: &mut P) -> Solution {
+    fn solve_with<P: Probe + ?Sized, S: ProofSink + ?Sized>(
+        &mut self,
+        formula: &CnfFormula,
+        probe: &mut P,
+        sink: &mut S,
+    ) -> Solution {
         // The stats field outlives this call on a reused solver; reset it
         // before counting so the previous solve's effort never leaks in.
         self.stats = SolverStats::default();
@@ -298,9 +348,12 @@ impl SimpleBacktracking {
         };
         let mut res = Residual::new(formula);
         let outcome = if res.has_conflict() {
+            // An empty clause is already an axiom; re-deriving it is RUP.
+            sink.add_clause(&[]);
             Outcome::Unsat
         } else {
             let mut deadline = Deadline::start(&self.limits);
+            let mut prefix: Vec<Lit> = Vec::new();
             let verdict = rec(
                 &mut res,
                 &order,
@@ -309,9 +362,15 @@ impl SimpleBacktracking {
                 &self.limits,
                 &mut deadline,
                 probe,
+                sink,
+                &mut prefix,
             );
             match verdict {
-                Verdict::Sat => Outcome::Sat(res.model()),
+                Verdict::Sat => {
+                    let model = res.model();
+                    sink.model(&model);
+                    Outcome::Sat(model)
+                }
                 Verdict::Unsat => Outcome::Unsat,
                 Verdict::Aborted => Outcome::Aborted,
             }
@@ -329,11 +388,28 @@ impl SimpleBacktracking {
 
 impl Solver for SimpleBacktracking {
     fn solve(&mut self, formula: &CnfFormula) -> Solution {
-        self.solve_with(formula, &mut NoProbe)
+        self.solve_with(formula, &mut NoProbe, &mut NoProof)
     }
 
     fn solve_probed(&mut self, formula: &CnfFormula, probe: &mut dyn Probe) -> Solution {
-        self.solve_with(formula, probe)
+        self.solve_with(formula, probe, &mut NoProof)
+    }
+
+    fn solve_certified(
+        &mut self,
+        formula: &CnfFormula,
+        probe: &mut dyn Probe,
+        sink: &mut dyn ProofSink,
+    ) -> Solution {
+        // Dispatch on the sink once: the disabled case re-monomorphizes
+        // at the `NoProof` ZST so proof hooks compile away exactly as in
+        // `solve_probed`, instead of paying a vtable `enabled()` check
+        // per emission site.
+        if sink.enabled() {
+            self.solve_with(formula, probe, sink)
+        } else {
+            self.solve_probed(formula, probe)
+        }
     }
 
     fn stats(&self) -> SolverStats {

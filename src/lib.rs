@@ -24,6 +24,7 @@
 //! | [`analysis`] | `atpg-easy-core` | the paper's bounds, checkers and experiments |
 //! | [`lint`] | `atpg-easy-lint` | structural diagnostics for netlists, CNF, certificates |
 //! | [`obs`] | `atpg-easy-obs` | solver telemetry: probes, trace records, sinks |
+//! | [`proof`] | `atpg-easy-proof` | independent DRAT/model checker and campaign auditor |
 //!
 //! # Quickstart
 //!
@@ -51,4 +52,5 @@ pub use atpg_easy_fit as fit;
 pub use atpg_easy_lint as lint;
 pub use atpg_easy_netlist as netlist;
 pub use atpg_easy_obs as obs;
+pub use atpg_easy_proof as proof;
 pub use atpg_easy_sat as sat;

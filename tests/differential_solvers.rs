@@ -1,6 +1,9 @@
 //! Differential testing across the whole solver stack: on the same
 //! instance, all four solvers must return the same SAT/UNSAT verdict, and
-//! every SAT model must actually satisfy the formula.
+//! every verdict must carry a certificate that the independent
+//! `atpg-easy-proof` checker accepts — SAT models are re-evaluated
+//! against the DIMACS clauses, UNSAT runs must stream a DRAT refutation
+//! that survives step-by-step RUP checking and ends in the empty clause.
 //!
 //! Two instance sources, matching the two ways the workspace reaches the
 //! solvers: raw random CNF (checked against a brute-force oracle, so a
@@ -14,8 +17,10 @@ use atpg_easy::atpg::{fault, miter, AtpgConfig, IncrementalAtpg};
 use atpg_easy::circuits::random::{self, RandomCircuitConfig};
 use atpg_easy::cnf::{circuit, CnfFormula, Lit, Var};
 use atpg_easy::netlist::decompose;
+use atpg_easy::proof::{model_satisfies, Checker};
 use atpg_easy::sat::{
-    CachingBacktracking, Cdcl, Dpll, IncrementalCdcl, Outcome, SimpleBacktracking, Solver,
+    CachingBacktracking, Cdcl, Dpll, DratProof, IncrementalCdcl, NoProbe, Outcome,
+    SimpleBacktracking, Solver,
 };
 use proptest::prelude::*;
 
@@ -28,21 +33,65 @@ fn all_solvers() -> Vec<Box<dyn Solver>> {
     ]
 }
 
-/// Solves `f` with every solver; asserts agreement and model validity;
+/// The formula's clauses in DIMACS literal convention, as the
+/// solver-independent proof crate consumes them.
+fn dimacs_clauses(f: &CnfFormula) -> Vec<Vec<i64>> {
+    f.clauses()
+        .iter()
+        .map(|c| c.iter().map(|l| l.to_dimacs()).collect())
+        .collect()
+}
+
+/// Replays a streamed DRAT refutation of `f` through the independent
+/// checker: every addition must be RUP over the active database, every
+/// deletion must name an active clause, and the empty clause must appear.
+fn check_refutation(f: &CnfFormula, proof: &DratProof, solver: &str) {
+    let mut checker = Checker::new();
+    for clause in &dimacs_clauses(f) {
+        checker
+            .add_axiom(clause)
+            .unwrap_or_else(|e| panic!("{solver}: bad axiom: {e}"));
+    }
+    for step in proof.steps() {
+        if step.delete {
+            checker
+                .check_delete(&step.lits)
+                .unwrap_or_else(|e| panic!("{solver}: proof deletion rejected: {e}"));
+        } else {
+            checker
+                .check_and_add(&step.lits)
+                .unwrap_or_else(|e| panic!("{solver}: proof step rejected: {e}"));
+        }
+    }
+    assert!(
+        checker.has_empty(),
+        "{solver}: UNSAT verdict without an empty-clause derivation"
+    );
+}
+
+/// Solves `f` with every solver under proof logging; asserts agreement
+/// and that every verdict certifies (SAT: the model satisfies the DIMACS
+/// clauses; UNSAT: the DRAT stream RUP-checks to the empty clause);
 /// returns the unanimous verdict.
 fn differential_verdict(f: &CnfFormula) -> bool {
     let mut verdicts = Vec::new();
     for mut s in all_solvers() {
-        match s.solve(f).outcome {
+        let mut proof = DratProof::new();
+        match s.solve_certified(f, &mut NoProbe, &mut proof).outcome {
             Outcome::Sat(model) => {
                 assert!(
                     f.eval_complete(&model),
                     "{} returned a non-satisfying model",
                     s.name()
                 );
+                model_satisfies(&dimacs_clauses(f), &[], &model)
+                    .unwrap_or_else(|e| panic!("{}: model fails the auditor: {e}", s.name()));
                 verdicts.push((s.name(), true));
             }
-            Outcome::Unsat => verdicts.push((s.name(), false)),
+            Outcome::Unsat => {
+                check_refutation(f, &proof, s.name());
+                verdicts.push((s.name(), false));
+            }
             Outcome::Aborted => panic!("{} aborted without limits", s.name()),
         }
     }
