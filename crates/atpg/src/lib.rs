@@ -68,4 +68,6 @@ pub use certify::{CertifiedRun, StreamSink};
 pub use fault::Fault;
 pub use incremental::IncrementalAtpg;
 pub use miter::AtpgMiter;
-pub use parallel::{AtpgCampaign, ParallelReport, ParallelRun, WorkerReport};
+pub use parallel::{
+    AtpgCampaign, DropBitmap, ParallelReport, ParallelRun, ShardedQueue, WorkerReport,
+};

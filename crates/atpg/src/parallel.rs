@@ -45,9 +45,10 @@
 //! phase 2 is entirely deterministic given the committed test order.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
+
+use atpg_easy_syncx::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use atpg_easy_netlist::Netlist;
 use atpg_easy_obs::{CampaignMeta, Collector, Counters, InstanceTrace, LocalBuf};
@@ -308,14 +309,19 @@ pub struct WorkerReport {
 /// an atomic cursor. A worker drains its own shard first, then steals from
 /// the next non-empty shard (round-robin), so low indices — the ones the
 /// commit frontier needs first — are served early.
-struct ShardedQueue {
+///
+/// Public so the `loom_parallel` model tests can exhaustively explore the
+/// steal protocol on the production type; not part of the stable API
+/// beyond that.
+pub struct ShardedQueue {
     /// `bounds[s]..bounds[s + 1]` is shard `s`.
     bounds: Vec<usize>,
     cursors: Vec<AtomicUsize>,
 }
 
 impl ShardedQueue {
-    fn new(items: usize, shards: usize) -> Self {
+    /// A queue over `0..items`, split into `shards` contiguous shards.
+    pub fn new(items: usize, shards: usize) -> Self {
         let shards = shards.max(1);
         let mut bounds = Vec::with_capacity(shards + 1);
         for s in 0..=shards {
@@ -325,20 +331,31 @@ impl ShardedQueue {
         ShardedQueue { bounds, cursors }
     }
 
-    fn num_shards(&self) -> usize {
+    /// Number of shards (equals the worker count it was built for).
+    pub fn num_shards(&self) -> usize {
         self.cursors.len()
     }
 
     /// Pops the next index for `worker`, stealing if its shard is empty.
     /// Returns the index and whether it was stolen. Each index is handed
     /// out exactly once across all workers.
-    fn pop(&self, worker: usize) -> Option<(usize, bool)> {
+    pub fn pop(&self, worker: usize) -> Option<(usize, bool)> {
         let shards = self.num_shards();
         for probe in 0..shards {
             let s = (worker + probe) % shards;
             let end = self.bounds[s + 1];
+            // ORDERING: Relaxed — the load only seeds the CAS operand; a
+            // stale value costs one CAS retry, never a wrong index.
             let mut at = self.cursors[s].load(Ordering::Relaxed);
             while at < end {
+                // ORDERING: Relaxed on both edges is sound here. A cursor
+                // is a single atomic with a total modification order, so
+                // CAS success hands index `at` to exactly one worker even
+                // under the weakest ordering (uniqueness is the
+                // `queue_steal` loom scenario). The popped index guards no
+                // associated data: workers read `faults`/`nl` which are
+                // frozen before `thread::scope` spawns them, and the spawn
+                // itself is the happens-before edge for that state.
                 match self.cursors[s].compare_exchange_weak(
                     at,
                     at + 1,
@@ -355,26 +372,45 @@ impl ShardedQueue {
 }
 
 /// Shared fault-drop bitmap. Bits are monotone (set-only) and written by
-/// the committer alone, so a set bit always reflects committed state.
-/// Relaxed ordering suffices: correctness never depends on a worker
-/// *seeing* a bit — a missed bit only costs a wasted speculative solve.
-struct DropBitmap {
+/// the committer alone during phase 2, so a set bit always reflects
+/// committed state. Correctness never depends on a worker *seeing* a bit
+/// — a missed bit only costs a wasted speculative solve — but `set` uses
+/// Release and `get` Acquire so that a worker which *does* observe a bit
+/// also observes everything the committer published before setting it.
+/// That pairing is cheap (free on x86, a lightweight barrier on ARM) and
+/// it is the happens-before edge the `bitmap_publish` loom scenario and
+/// any future cross-worker clause-migration work rely on.
+///
+/// Public so the `loom_parallel` model tests can exhaustively explore
+/// publish/read interleavings on the production type.
+pub struct DropBitmap {
     words: Vec<AtomicU64>,
 }
 
 impl DropBitmap {
-    fn new(bits: usize) -> Self {
+    /// An all-clear bitmap over `bits` fault indices.
+    pub fn new(bits: usize) -> Self {
         DropBitmap {
             words: (0..bits.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
-    fn set(&self, i: usize) {
-        self.words[i / 64].fetch_or(1 << (i % 64), Ordering::Relaxed);
+    /// Sets bit `i` (monotone; only the committer calls this in phase 2).
+    pub fn set(&self, i: usize) {
+        // ORDERING: Release — pairs with the Acquire load in `get`, making
+        // the committer's writes before the publish visible to any worker
+        // that observes the bit. `fetch_or` (not `store`) keeps sibling
+        // bits in the word intact, which is what makes bits monotone.
+        self.words[i / 64].fetch_or(1 << (i % 64), Ordering::Release);
     }
 
-    fn get(&self, i: usize) -> bool {
-        self.words[i / 64].load(Ordering::Relaxed) >> (i % 64) & 1 != 0
+    /// Whether bit `i` is set. A `false` may be stale (costing a wasted
+    /// speculative solve); a `true` is definitive — bits are monotone.
+    pub fn get(&self, i: usize) -> bool {
+        // ORDERING: Acquire — pairs with the Release `fetch_or` in `set`;
+        // see the type-level docs for why Relaxed would also be *sound*
+        // today and why the stronger edge is kept anyway.
+        self.words[i / 64].load(Ordering::Acquire) >> (i % 64) & 1 != 0
     }
 }
 

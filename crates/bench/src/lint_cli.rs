@@ -3,8 +3,8 @@
 //!
 //! ```text
 //! cargo run --release --bin lint -- [FILES...] [--all-circuits]
-//!     [--trace FILE]... [--dimacs FILE --drat FILE] [--json] [--strict]
-//!     [--max-fanout K] [--no-certs]
+//!     [--trace FILE]... [--dimacs FILE --drat FILE] [--source ROOT]
+//!     [--json] [--strict] [--max-fanout K] [--no-certs]
 //! ```
 //!
 //! `FILES` are parsed by extension (`.bench` ISCAS / `.blif` BLIF).
@@ -12,6 +12,9 @@
 //! `--trace FILE` runs the `T*` JSONL-telemetry passes on a solver trace
 //! (as written by the `trace` harness) instead of the netlist passes; it
 //! can repeat and combines freely with circuit targets.
+//! `--source ROOT` runs the `S*` source passes over the workspace's own
+//! Rust code (`ROOT/crates/*/src/**/*.rs`): unsafe-comment, atomic-facade
+//! and ordering-justification hygiene for the lock-free core.
 //! `--dimacs FILE --drat FILE` (must appear together) runs the `P*`
 //! certified-verdict passes on a standalone DIMACS formula and DRAT
 //! refutation: every proof step is re-checked by the independent
@@ -46,14 +49,15 @@ use atpg_easy_lint::{
 use atpg_easy_netlist::{decompose, parser, Netlist};
 
 const USAGE: &str = "usage: lint [FILES...] [--all-circuits] [--trace FILE]... \
-                     [--dimacs FILE --drat FILE] [--json] [--strict] [--max-fanout K] \
-                     [--no-certs]";
+                     [--dimacs FILE --drat FILE] [--source ROOT] [--json] [--strict] \
+                     [--max-fanout K] [--no-certs]";
 
 struct Options {
     files: Vec<String>,
     traces: Vec<String>,
     dimacs: Option<String>,
     drat: Option<String>,
+    source: Option<String>,
     all_circuits: bool,
     json: bool,
     strict: bool,
@@ -67,6 +71,7 @@ fn parse_options(args: impl Iterator<Item = String>) -> Result<Options, String> 
         traces: Vec::new(),
         dimacs: None,
         drat: None,
+        source: None,
         all_circuits: false,
         json: false,
         strict: false,
@@ -93,6 +98,9 @@ fn parse_options(args: impl Iterator<Item = String>) -> Result<Options, String> 
             "--drat" => {
                 opts.drat = Some(it.next().ok_or("--drat needs a file")?);
             }
+            "--source" => {
+                opts.source = Some(it.next().ok_or("--source needs a workspace root")?);
+            }
             "--help" | "-h" => return Err(String::new()),
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             _ => opts.files.push(a),
@@ -104,10 +112,13 @@ fn parse_options(args: impl Iterator<Item = String>) -> Result<Options, String> 
     if opts.files.is_empty()
         && opts.traces.is_empty()
         && opts.dimacs.is_none()
+        && opts.source.is_none()
         && !opts.all_circuits
     {
         return Err(
-            "no input: pass FILES, --trace FILE, --dimacs/--drat or --all-circuits".to_string(),
+            "no input: pass FILES, --trace FILE, --dimacs/--drat, --source ROOT \
+             or --all-circuits"
+                .to_string(),
         );
     }
     Ok(opts)
@@ -250,6 +261,18 @@ pub fn run() -> ExitCode {
             Ok(text) => reports.push((path.clone(), atpg_easy_lint::json::lint_trace(&text))),
             Err(e) => {
                 eprintln!("error: cannot read `{path}`: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(root) = &opts.source {
+        match atpg_easy_lint::source::lint_tree(
+            std::path::Path::new(root),
+            &atpg_easy_lint::SourceLintConfig::default(),
+        ) {
+            Ok(report) => reports.push((format!("source:{root}"), report)),
+            Err(e) => {
+                eprintln!("error: cannot scan `{root}`: {e}");
                 return ExitCode::from(2);
             }
         }

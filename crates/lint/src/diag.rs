@@ -92,12 +92,20 @@ pub enum Code {
     P003,
     /// A verdict reported without any certificate (abort, cache shortcut).
     P004,
+    /// `unsafe` block or impl without a `// SAFETY:` justification.
+    S001,
+    /// Raw `std::sync::atomic` use outside the `syncx` facade.
+    S002,
+    /// Mixed-ordering atomics module lacks `// ORDERING:` justifications.
+    S003,
+    /// `std::thread::spawn` outside the parallel engine.
+    S004,
 }
 
 impl Code {
     /// Every code, in family order. Tools iterate this to document or test
     /// the full set.
-    pub const ALL: [Code; 30] = [
+    pub const ALL: [Code; 34] = [
         Code::N001,
         Code::N002,
         Code::N003,
@@ -128,6 +136,10 @@ impl Code {
         Code::P002,
         Code::P003,
         Code::P004,
+        Code::S001,
+        Code::S002,
+        Code::S003,
+        Code::S004,
     ];
 
     /// The stable textual form (`"N001"`, …).
@@ -163,6 +175,10 @@ impl Code {
             Code::P002 => "P002",
             Code::P003 => "P003",
             Code::P004 => "P004",
+            Code::S001 => "S001",
+            Code::S002 => "S002",
+            Code::S003 => "S003",
+            Code::S004 => "S004",
         }
     }
 
@@ -189,7 +205,11 @@ impl Code {
             | Code::A003
             | Code::P001
             | Code::P002
-            | Code::P003 => Severity::Error,
+            | Code::P003
+            | Code::S001
+            | Code::S002
+            | Code::S003
+            | Code::S004 => Severity::Error,
             Code::N004
             | Code::N007
             | Code::C001
@@ -235,6 +255,10 @@ impl Code {
             Code::P002 => "UNSAT verdict fails the independent RUP check",
             Code::P003 => "SAT verdict's model falsifies an axiom or assumption",
             Code::P004 => "verdict reported without a certificate",
+            Code::S001 => "unsafe block or impl without a SAFETY comment",
+            Code::S002 => "raw std::sync::atomic use outside the syncx facade",
+            Code::S003 => "mixed-ordering atomics without an ORDERING comment",
+            Code::S004 => "std::thread::spawn outside the parallel engine",
         }
     }
 }
@@ -277,6 +301,13 @@ pub enum Location {
         /// Line number, starting at 1.
         line: usize,
     },
+    /// A line of a source file (1-based), for source-analysis passes.
+    Source {
+        /// Path of the file, relative to the linted root.
+        file: String,
+        /// Line number, starting at 1.
+        line: usize,
+    },
 }
 
 impl fmt::Display for Location {
@@ -288,6 +319,7 @@ impl fmt::Display for Location {
             Location::Clause { index } => write!(f, " [clause #{index}]"),
             Location::Position { index } => write!(f, " [position #{index}]"),
             Location::Line { line } => write!(f, " [line {line}]"),
+            Location::Source { file, line } => write!(f, " [{file}:{line}]"),
         }
     }
 }
@@ -452,6 +484,9 @@ impl Report {
                 }
                 Location::Line { line } => {
                     let _ = write!(out, ",\"line\":{line}");
+                }
+                Location::Source { file, line } => {
+                    let _ = write!(out, ",\"file\":\"{}\",\"line\":{line}", json_escape(file));
                 }
             }
             out.push('}');

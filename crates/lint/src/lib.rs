@@ -18,6 +18,7 @@
 //! | [`json`] | `T001`–`T004` | JSONL solver-telemetry traces |
 //! | [`activation`] | `A001`–`A004` | activation-literal hygiene in incremental encodings |
 //! | [`proof`] | `P001`–`P004` | certified verdicts: DRAT streams and claimed models |
+//! | [`source`] | `S001`–`S004` | the workspace's own Rust source: unsafe/atomic hygiene |
 //!
 //! Every diagnostic carries a stable [`Code`], a [`Severity`], a
 //! [`Location`], and a human-readable message; a [`Report`] renders as
@@ -40,9 +41,11 @@ pub mod diag;
 pub mod json;
 pub mod netlist;
 pub mod proof;
+pub mod source;
 
 pub use diag::{Code, Diagnostic, Location, Report, Severity};
 pub use netlist::NetlistLintConfig;
+pub use source::SourceLintConfig;
 
 /// Runs the netlist pass family with default configuration — the
 /// standard gate before ATPG campaigns and encodings.

@@ -9,7 +9,8 @@
 //! event.
 
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, Ordering};
+
+use atpg_easy_syncx::atomic::{AtomicPtr, Ordering};
 
 struct Node<T> {
     batch: Vec<T>,
@@ -20,15 +21,25 @@ struct Node<T> {
 ///
 /// Producers call [`Collector::push_batch`]; the owner drains with
 /// [`Collector::drain`] after all producers are done (typically after a
-/// `thread::scope` joins its workers).
+/// `thread::scope` joins its workers). [`Collector::drain`] is also safe
+/// *concurrently* with in-flight pushes — the atomic swap detaches a
+/// consistent prefix of the stack — which the `loom_collector` model
+/// tests and the drain-under-push proptest both exercise.
 pub struct Collector<T> {
     head: AtomicPtr<Node<T>>,
 }
 
-// SAFETY: the stack hands complete ownership of each batch from producer
-// to consumer; nodes are only read after being unlinked by a successful
-// swap, and T itself crosses threads, hence the T: Send bound.
+// SAFETY: sending a `Collector<T>` moves ownership of every linked
+// `Node<T>` (heap allocations reachable only through `head`) to the
+// receiving thread; the batches inside cross threads with it, hence the
+// `T: Send` bound. No thread-affine state is involved.
 unsafe impl<T: Send> Send for Collector<T> {}
+// SAFETY: shared access is a lock-free hand-off protocol: producers only
+// link fully-initialized nodes with a release CAS, and the consumer only
+// dereferences nodes after an acquire swap has unlinked the whole chain,
+// giving it exclusive ownership. Each node is therefore touched by at
+// most one thread at a time, and batch payloads (`T: Send`) move across
+// exactly once.
 unsafe impl<T: Send> Sync for Collector<T> {}
 
 impl<T> Default for Collector<T> {
@@ -55,10 +66,20 @@ impl<T> Collector<T> {
             batch,
             next: ptr::null_mut(),
         }));
+        // ORDERING: Relaxed suffices for the initial read — the value only
+        // seeds the CAS `current` operand and the speculative `next` link,
+        // both of which the CAS itself re-validates; no memory is
+        // dereferenced based on this load.
         let mut head = self.head.load(Ordering::Relaxed);
         loop {
-            // SAFETY: `node` was just boxed above and is not yet shared.
+            // SAFETY: `node` was just boxed above and, until the CAS below
+            // succeeds, is exclusively owned by this thread — writing its
+            // `next` field cannot race.
             unsafe { (*node).next = head };
+            // ORDERING: Release on success publishes the node's `batch`
+            // and `next` writes to whichever thread later acquires the
+            // head (the draining swap); Relaxed on failure is fine because
+            // a failed CAS publishes nothing and the retry re-reads.
             match self
                 .head
                 .compare_exchange_weak(head, node, Ordering::Release, Ordering::Relaxed)
@@ -73,10 +94,16 @@ impl<T> Collector<T> {
     /// in reverse push order (stack order); callers that need a global
     /// order sort by a field of `T`.
     pub fn drain(&self) -> Vec<T> {
+        // ORDERING: Acquire pairs with the Release CAS in `push_batch`:
+        // it makes every unlinked node's `batch`/`next` writes visible
+        // before they are dereferenced below.
         let mut node = self.head.swap(ptr::null_mut(), Ordering::Acquire);
         let mut out = Vec::new();
         while !node.is_null() {
-            // SAFETY: the swap above made this chain exclusively ours.
+            // SAFETY: the swap above unlinked the whole chain atomically,
+            // so no other thread can reach these nodes; each is consumed
+            // exactly once (`node` advances past it), so the Box round-trip
+            // neither double-frees nor leaks.
             let boxed = unsafe { Box::from_raw(node) };
             out.extend(boxed.batch);
             node = boxed.next;

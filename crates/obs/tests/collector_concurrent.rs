@@ -1,0 +1,86 @@
+//! Property test: draining a `Collector` *while* producers are still
+//! pushing loses nothing and duplicates nothing — whatever the batch
+//! sizes, flush cadence, and drain timing. Complements the
+//! `loom_collector` model tests (which explore a tiny scenario
+//! exhaustively) with randomized large scenarios on real threads.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread;
+
+use atpg_easy_obs::{Collector, LocalBuf};
+use proptest::prelude::*;
+
+/// One producer's plan: how many records it pushes and after how many
+/// pushes it flushes (0 means drop-flush only).
+#[derive(Debug, Clone)]
+struct Plan {
+    records: usize,
+    flush_every: usize,
+}
+
+fn plans() -> impl Strategy<Value = Vec<Plan>> {
+    proptest::collection::vec(
+        (1usize..400, 0usize..20).prop_map(|(records, flush_every)| Plan {
+            records,
+            flush_every,
+        }),
+        1..6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn drain_under_concurrent_push_is_lossless(plans in plans(), drains in 1usize..8) {
+        let collector = Collector::new();
+        let stop = AtomicBool::new(false);
+        let mut harvested: Vec<u64> = Vec::new();
+        thread::scope(|s| {
+            for (w, plan) in plans.iter().enumerate() {
+                let collector = &collector;
+                s.spawn(move || {
+                    let mut buf = LocalBuf::new(collector);
+                    for i in 0..plan.records {
+                        // Records are globally unique: worker index in the
+                        // high bits, sequence number in the low bits.
+                        buf.push(((w as u64) << 32) | i as u64);
+                        if plan.flush_every > 0 && (i + 1) % plan.flush_every == 0 {
+                            buf.flush();
+                        }
+                    }
+                    // Drop-flush hands off the tail batch.
+                });
+            }
+            // The owner drains concurrently with the pushes above —
+            // `drains` times, spread over the producers' lifetime.
+            let collector = &collector;
+            let stop = &stop;
+            let drainer = s.spawn(move || {
+                let mut got = Vec::new();
+                let mut rounds = 0usize;
+                while !stop.load(Ordering::Acquire) || rounds < drains {
+                    got.extend(collector.drain());
+                    rounds += 1;
+                    thread::yield_now();
+                }
+                got
+            });
+            // Scope joins the producers when this closure returns; signal
+            // the drainer only after spawning everyone so it overlaps.
+            stop.store(true, Ordering::Release);
+            harvested = drainer.join().expect("drainer");
+        });
+        // Producers are joined; whatever the drainer missed is still queued.
+        harvested.extend(collector.drain());
+
+        let mut expected: Vec<u64> = plans
+            .iter()
+            .enumerate()
+            .flat_map(|(w, p)| (0..p.records).map(move |i| ((w as u64) << 32) | i as u64))
+            .collect();
+        expected.sort_unstable();
+        harvested.sort_unstable();
+        prop_assert_eq!(harvested, expected);
+    }
+}

@@ -1,0 +1,74 @@
+//! Self-lint: the `S*` source passes must hold over this workspace's own
+//! crate sources. This is the enforcement point for the concurrency
+//! conventions — every `unsafe` justified, every atomic behind the
+//! `syncx` facade, every mixed-file `Relaxed` argued, every spawn inside
+//! the parallel engine — so a regression fails `cargo test`, not just CI.
+
+use std::path::Path;
+
+use atpg_easy_lint::source::lint_tree;
+use atpg_easy_lint::{Code, SourceLintConfig};
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn workspace_sources_pass_the_s_family() {
+    let report = lint_tree(workspace_root(), &SourceLintConfig::default()).expect("scan workspace");
+    assert!(
+        report.is_empty(),
+        "S-pass findings in the workspace source:\n{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn the_scan_actually_covers_the_lock_free_core() {
+    // Guard against the pass silently scanning nothing: the files whose
+    // conventions the S-passes exist for must be in scope and carry the
+    // expected markers.
+    for file in [
+        "crates/atpg/src/parallel.rs",
+        "crates/obs/src/buffer.rs",
+        "crates/syncx/src/lib.rs",
+    ] {
+        let path = workspace_root().join(file);
+        assert!(path.is_file(), "{file} missing — did the layout change?");
+    }
+    let parallel = std::fs::read_to_string(workspace_root().join("crates/atpg/src/parallel.rs"))
+        .expect("read parallel.rs");
+    assert!(
+        parallel.contains("ORDERING:"),
+        "parallel.rs lost its ordering audit trail"
+    );
+    let buffer = std::fs::read_to_string(workspace_root().join("crates/obs/src/buffer.rs"))
+        .expect("read buffer.rs");
+    assert!(
+        buffer.contains("SAFETY:") && buffer.contains("ORDERING:"),
+        "buffer.rs lost its safety/ordering comments"
+    );
+}
+
+#[test]
+fn stripping_a_safety_comment_is_caught() {
+    // End-to-end negative check on real code: the S001 pass must flag
+    // buffer.rs if its SAFETY comments were deleted.
+    let buffer = std::fs::read_to_string(workspace_root().join("crates/obs/src/buffer.rs"))
+        .expect("read buffer.rs");
+    let stripped: String = buffer
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("// SAFETY:"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let report = atpg_easy_lint::source::lint_file(
+        "crates/obs/src/buffer.rs",
+        &stripped,
+        &SourceLintConfig::default(),
+    );
+    assert!(
+        report.has_code(Code::S001),
+        "deleting SAFETY comments went unnoticed:\n{}",
+        report.render_human()
+    );
+}

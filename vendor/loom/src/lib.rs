@@ -1,0 +1,49 @@
+//! Offline stand-in for the `loom` permutation-testing crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of loom's API it uses: [`model`] / [`model::Builder`],
+//! [`thread::spawn`] / [`thread::yield_now`], `sync::Arc`, `sync::Mutex`,
+//! and the `sync::atomic` integer/pointer types. Code written against this
+//! crate compiles unchanged against the real loom.
+//!
+//! # What it actually checks
+//!
+//! [`model`] runs a closure many times, once per *schedule*: a sequence of
+//! scheduling decisions made at every synchronization point (every atomic
+//! operation, mutex acquire/release, spawn, join, or explicit yield).
+//! Real OS threads execute the closure, but a cooperative scheduler lets
+//! exactly one of them run between consecutive synchronization points, so
+//! each execution is fully serialized and deterministic given its
+//! schedule. A depth-first search over the decision tree then drives the
+//! closure through *every* schedule — subject to the preemption bound
+//! below — and any assertion failure, deadlock, or panic is reported
+//! together with the schedule that produced it, which replays
+//! deterministically.
+//!
+//! Differences from real loom, deliberately accepted:
+//!
+//! - **Sequentially consistent exploration.** Atomic operations are
+//!   explored under sequential consistency regardless of the `Ordering`
+//!   argument; the C11 weak-memory reorderings that real loom models are
+//!   not simulated. This still exhaustively covers *interleaving* bugs
+//!   (lost updates, use-after-free, double-drop, broken protocols), which
+//!   is what the workspace's lock-free structures need checked; per-atomic
+//!   ordering choices are justified separately by the `S003` source lint's
+//!   `// ORDERING:` audit trail.
+//! - **Preemption bounding instead of DPOR.** Exploration is exhaustive up
+//!   to a bound on *preemptive* context switches (switching away from a
+//!   thread that could have continued), in the style of CHESS
+//!   (Musuvathi & Qadeer). The default bound of 2 is known empirically to
+//!   expose the overwhelming majority of interleaving bugs; set
+//!   `LOOM_MAX_PREEMPTIONS` (or [`model::Builder::preemption_bound`]) to
+//!   raise it, or to `unbounded` for a full search.
+//! - **No leak checking.** Real loom's `loom::sync::Arc` tracks leaks;
+//!   here `Arc` is std's. Tests that care about reclamation count drops
+//!   explicitly.
+
+pub mod model;
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use model::model;

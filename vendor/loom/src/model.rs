@@ -1,0 +1,119 @@
+//! The exploration driver: runs a closure once per schedule, depth-first
+//! over the scheduling decision tree.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+
+use crate::rt;
+
+/// Exploration configuration, mirroring loom's `model::Builder`.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Maximum number of *preemptive* context switches per schedule
+    /// (CHESS-style bounding); `None` explores every interleaving.
+    /// Defaults to 2, overridable with `LOOM_MAX_PREEMPTIONS` (a number,
+    /// or `unbounded`).
+    pub preemption_bound: Option<usize>,
+    /// Hard cap on explored schedules; exceeding it panics loudly rather
+    /// than silently truncating coverage. Defaults to 500 000,
+    /// overridable with `LOOM_MAX_ITERATIONS`.
+    pub max_iterations: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        let preemption_bound = match std::env::var("LOOM_MAX_PREEMPTIONS") {
+            Ok(v) if v == "unbounded" || v == "none" => None,
+            Ok(v) => Some(v.parse().unwrap_or(2)),
+            Err(_) => Some(2),
+        };
+        let max_iterations = std::env::var("LOOM_MAX_ITERATIONS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(500_000);
+        Builder {
+            preemption_bound,
+            max_iterations,
+        }
+    }
+}
+
+impl Builder {
+    /// A builder with the default (env-derived) configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Explores every schedule of `f` (up to the preemption bound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any schedule panics (assertion failure in the model),
+    /// deadlocks, or the iteration cap is exceeded.
+    pub fn check<F>(&self, f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let mut path: Vec<rt::Branch> = Vec::new();
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+            assert!(
+                iterations <= self.max_iterations,
+                "loom: exceeded {} schedules; shrink the model or raise \
+                 LOOM_MAX_ITERATIONS",
+                self.max_iterations
+            );
+            let exec = Arc::new(rt::Execution::new(self.preemption_bound, path));
+            let f0 = Arc::clone(&f);
+            let exec0 = Arc::clone(&exec);
+            let main = std::thread::Builder::new()
+                .name("loom-0".into())
+                .spawn(move || {
+                    rt::set_ctx(Arc::clone(&exec0), 0);
+                    if exec0.wait_first_turn(0) {
+                        let r = std::panic::catch_unwind(AssertUnwindSafe(|| f0()));
+                        if let Err(p) = r {
+                            if !p.is::<rt::Aborted>() {
+                                exec0.poison(rt::payload_msg(&*p));
+                            }
+                        }
+                        exec0.finish(0);
+                    }
+                    rt::clear_ctx();
+                })
+                .expect("loom: cannot spawn model thread");
+            let (children, final_path, panic_msg) = exec.wait_done();
+            let _ = main.join();
+            for h in children {
+                let _ = h.join();
+            }
+            if let Some(msg) = panic_msg {
+                panic!("loom: model failed on schedule {iterations}: {msg}");
+            }
+            path = final_path;
+            // DFS: advance the deepest branch with unexplored choices,
+            // dropping every spent branch below it.
+            loop {
+                match path.last_mut() {
+                    None => return,
+                    Some(b) => {
+                        if b.advance() {
+                            break;
+                        }
+                        path.pop();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Explores every schedule of `f` with the default [`Builder`].
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().check(f)
+}

@@ -1,0 +1,410 @@
+//! The execution runtime: a cooperative scheduler that serializes real OS
+//! threads and drives a depth-first search over scheduling decisions.
+//!
+//! One [`Execution`] is one run of the model closure under one schedule.
+//! Every synchronization point calls [`Execution::schedule`], which
+//! consults the recorded decision path (replay) or extends it (frontier),
+//! hands the single execution token to the chosen thread, and blocks the
+//! caller until the token comes back. Between two synchronization points
+//! exactly one model thread runs, so every execution is deterministic
+//! given its path.
+
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Sentinel panic payload used to unwind model threads once an execution
+/// is poisoned (another thread panicked or a deadlock was detected).
+pub(crate) struct Aborted;
+
+/// Scheduling state of one model thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Run {
+    Runnable,
+    Blocked,
+    Finished,
+}
+
+/// One decision point: the threads that were runnable (in exploration
+/// order) and which alternative the current DFS iteration takes.
+#[derive(Debug, Clone)]
+pub(crate) struct Branch {
+    choices: Vec<usize>,
+    next: usize,
+}
+
+impl Branch {
+    /// Advances to the next unexplored alternative; `false` when spent.
+    pub(crate) fn advance(&mut self) -> bool {
+        self.next += 1;
+        self.next < self.choices.len()
+    }
+}
+
+/// State of one registered mutex.
+#[derive(Debug, Default)]
+struct LockSt {
+    held: bool,
+    waiters: Vec<usize>,
+}
+
+struct State {
+    threads: Vec<Run>,
+    /// Threads that called `yield_now` and have not run since: excluded
+    /// from scheduling until every other runnable thread has had a
+    /// chance, which makes spin-wait loops explorable (bounded by the
+    /// other threads' progress) instead of divergent.
+    yielded: Vec<bool>,
+    /// The thread currently holding the execution token.
+    active: usize,
+    /// The schedule: replayed up to `depth`, extended beyond it.
+    path: Vec<Branch>,
+    depth: usize,
+    /// Preemptive context switches taken so far on this path.
+    preemptions: usize,
+    locks: Vec<LockSt>,
+    /// Threads blocked in `join` on each thread.
+    join_waiters: Vec<Vec<usize>>,
+    poisoned: bool,
+    panic_msg: Option<String>,
+    /// OS handles of threads spawned *inside* the model (not thread 0).
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct Execution {
+    state: Mutex<State>,
+    cond: Condvar,
+    preemption_bound: Option<usize>,
+}
+
+/// Synchronization points allowed in a single execution before the
+/// checker declares a livelock. Model closures are tiny (tens of sync
+/// points); only an unbounded loop — e.g. a spin-wait whose condition no
+/// other thread can ever satisfy — reaches this.
+const MAX_SYNC_POINTS: usize = 100_000;
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// A model thread's handle to its execution, stored thread-locally.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) exec: Arc<Execution>,
+    pub(crate) tid: usize,
+}
+
+/// The calling thread's model context.
+///
+/// # Panics
+///
+/// Panics when called outside `loom::model` — loom primitives have no
+/// meaning without a scheduler.
+pub(crate) fn ctx() -> Ctx {
+    CTX.with(|c| c.borrow().clone())
+        .expect("loom primitives may only be used inside loom::model")
+}
+
+pub(crate) fn set_ctx(exec: Arc<Execution>, tid: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some(Ctx { exec, tid }));
+}
+
+pub(crate) fn clear_ctx() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+impl Execution {
+    pub(crate) fn new(preemption_bound: Option<usize>, path: Vec<Branch>) -> Self {
+        Execution {
+            state: Mutex::new(State {
+                threads: vec![Run::Runnable],
+                yielded: vec![false],
+                active: 0,
+                path,
+                depth: 0,
+                preemptions: 0,
+                locks: Vec::new(),
+                join_waiters: vec![Vec::new()],
+                poisoned: false,
+                panic_msg: None,
+                os_handles: Vec::new(),
+            }),
+            cond: Condvar::new(),
+            preemption_bound,
+        }
+    }
+
+    fn panic_if_poisoned(st: &MutexGuard<'_, State>) {
+        if st.poisoned {
+            std::panic::panic_any(Aborted);
+        }
+    }
+
+    /// Picks the next active thread at a decision point and wakes it. The
+    /// caller is `me`; `me_available` says whether `me` may keep running
+    /// (false when finishing or blocking). Does not wait. On deadlock the
+    /// execution is poisoned and the method returns; callers observe the
+    /// poison on their next wait or poison check.
+    fn reschedule(&self, st: &mut MutexGuard<'_, State>, me: usize, me_available: bool) {
+        if st.depth >= MAX_SYNC_POINTS {
+            st.poisoned = true;
+            st.panic_msg = Some(format!(
+                "livelock: execution exceeded {MAX_SYNC_POINTS} synchronization \
+                 points without completing (unbounded loop in the model?)"
+            ));
+            self.cond.notify_all();
+            return;
+        }
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|&(_, &r)| r == Run::Runnable)
+            .map(|(t, _)| t)
+            .collect();
+        if runnable.is_empty() {
+            if !st.threads.iter().all(|&r| r == Run::Finished) {
+                // Every live thread is blocked: a deadlock in the model.
+                st.poisoned = true;
+                st.panic_msg = Some(format!(
+                    "deadlock: all live threads blocked (schedule depth {})",
+                    st.depth
+                ));
+            }
+            self.cond.notify_all();
+            return;
+        }
+        // Yielded threads are only eligible when nothing else can run
+        // (that fallback keeps a lone yielder alive, e.g. a child
+        // yielding while its parent is blocked in join; a *hopeless*
+        // spin is caught by the MAX_SYNC_POINTS bound above).
+        let candidates: Vec<usize> = {
+            let fresh: Vec<usize> = runnable
+                .iter()
+                .copied()
+                .filter(|&t| !st.yielded[t])
+                .collect();
+            if fresh.is_empty() {
+                runnable.clone()
+            } else {
+                fresh
+            }
+        };
+        // A thread that just yielded volunteered to switch away: not a
+        // preemption, and not the first choice at this branch.
+        let me_runnable = me_available && candidates.contains(&me) && !st.yielded[me];
+        let choice = if st.depth < st.path.len() {
+            let b = &st.path[st.depth];
+            let c = b.choices[b.next];
+            assert!(
+                runnable.contains(&c),
+                "loom: non-deterministic model (replayed choice {c} not runnable)"
+            );
+            c
+        } else {
+            // Frontier: record a new branch. The non-preempting choice (the
+            // current thread, when it may continue) is explored first; the
+            // alternatives are preemptions and are admitted only while the
+            // preemption budget lasts.
+            let choices = if me_runnable {
+                if self.preemption_bound.is_some_and(|b| st.preemptions >= b) {
+                    vec![me]
+                } else {
+                    let mut c = vec![me];
+                    c.extend(candidates.iter().copied().filter(|&t| t != me));
+                    c
+                }
+            } else {
+                candidates
+            };
+            let c = choices[0];
+            st.path.push(Branch { choices, next: 0 });
+            c
+        };
+        if me_runnable && choice != me {
+            st.preemptions += 1;
+        }
+        st.yielded[choice] = false;
+        st.depth += 1;
+        st.active = choice;
+        self.cond.notify_all();
+    }
+
+    /// `thread::yield_now`: deschedules `me` until every other runnable
+    /// thread has had a chance to run.
+    pub(crate) fn yield_now(&self, me: usize) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        Self::panic_if_poisoned(&st);
+        st.yielded[me] = true;
+        self.reschedule(&mut st, me, true);
+        let _st = self.wait_for_token(st, me);
+    }
+
+    /// Blocks until `me` holds the execution token (or the execution is
+    /// poisoned, in which case the thread unwinds).
+    fn wait_for_token<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, State>,
+        me: usize,
+    ) -> MutexGuard<'a, State> {
+        while st.active != me && !st.poisoned {
+            st = self.cond.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        Self::panic_if_poisoned(&st);
+        st
+    }
+
+    /// One synchronization point: offer a context switch, then continue
+    /// once this thread is scheduled again.
+    pub(crate) fn schedule(&self, me: usize) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        Self::panic_if_poisoned(&st);
+        debug_assert_eq!(st.active, me, "schedule() by a non-active thread");
+        self.reschedule(&mut st, me, true);
+        let _st = self.wait_for_token(st, me);
+    }
+
+    /// Allocates a tid for a new model thread. The thread is runnable
+    /// immediately (as with a real spawn) but runs only once scheduled.
+    pub(crate) fn alloc_thread(&self) -> usize {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        st.threads.push(Run::Runnable);
+        st.yielded.push(false);
+        st.join_waiters.push(Vec::new());
+        st.threads.len() - 1
+    }
+
+    /// Records the OS handle of a spawned model thread for the driver to
+    /// join at the end of the execution.
+    pub(crate) fn store_handle(&self, os: std::thread::JoinHandle<()>) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        st.os_handles.push(os);
+    }
+
+    /// First wait of a freshly spawned model thread: parks until the
+    /// scheduler hands it the token for the first time. Returns `false`
+    /// when the execution was poisoned before the thread ever ran (the
+    /// thread must then exit without running its closure).
+    pub(crate) fn wait_first_turn(&self, me: usize) -> bool {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        while st.active != me && !st.poisoned {
+            st = self.cond.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        if st.poisoned {
+            st.threads[me] = Run::Finished;
+            self.cond.notify_all();
+            return false;
+        }
+        true
+    }
+
+    /// Marks `me` finished, wakes joiners, and hands the token onward.
+    pub(crate) fn finish(&self, me: usize) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        st.threads[me] = Run::Finished;
+        let joiners = std::mem::take(&mut st.join_waiters[me]);
+        for j in joiners {
+            st.threads[j] = Run::Runnable;
+        }
+        if st.poisoned || st.threads.iter().all(|&r| r == Run::Finished) {
+            self.cond.notify_all();
+            return;
+        }
+        self.reschedule(&mut st, me, false);
+    }
+
+    /// Poisons the execution after a model-thread panic, recording the
+    /// message for the driver to re-raise.
+    pub(crate) fn poison(&self, msg: String) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if !st.poisoned {
+            st.poisoned = true;
+            st.panic_msg = Some(msg);
+        }
+        self.cond.notify_all();
+    }
+
+    /// Blocks `me` until thread `target` finishes.
+    pub(crate) fn join(&self, me: usize, target: usize) {
+        self.schedule(me);
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        // Invariant: `me` holds the token at the top of each iteration.
+        while st.threads[target] != Run::Finished {
+            st.join_waiters[target].push(me);
+            st.threads[me] = Run::Blocked;
+            self.reschedule(&mut st, me, false);
+            st = self.wait_for_token(st, me);
+        }
+    }
+
+    /// Registers a mutex; returns its id.
+    pub(crate) fn register_lock(&self) -> usize {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        st.locks.push(LockSt::default());
+        st.locks.len() - 1
+    }
+
+    /// Acquires mutex `id` for `me`, blocking through the scheduler.
+    pub(crate) fn acquire_lock(&self, me: usize, id: usize) {
+        self.schedule(me);
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        // Invariant: `me` holds the token at the top of each iteration.
+        // Being woken only makes `me` runnable again; the lock may have
+        // been re-taken by then, hence the retry loop.
+        while st.locks[id].held {
+            st.locks[id].waiters.push(me);
+            st.threads[me] = Run::Blocked;
+            self.reschedule(&mut st, me, false);
+            st = self.wait_for_token(st, me);
+        }
+        st.locks[id].held = true;
+    }
+
+    /// Releases mutex `id`, waking its waiters. The releaser keeps the
+    /// token; waiters compete at the next decision point.
+    pub(crate) fn release_lock(&self, _me: usize, id: usize) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        st.locks[id].held = false;
+        let waiters = std::mem::take(&mut st.locks[id].waiters);
+        for w in waiters {
+            st.threads[w] = Run::Runnable;
+        }
+    }
+
+    /// Driver side: waits for every model thread to finish, then returns
+    /// (children's OS handles, final path, panic message if poisoned).
+    pub(crate) fn wait_done(
+        &self,
+    ) -> (
+        Vec<std::thread::JoinHandle<()>>,
+        Vec<Branch>,
+        Option<String>,
+    ) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        while !st.threads.iter().all(|&r| r == Run::Finished) {
+            st = self.cond.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        let handles = std::mem::take(&mut st.os_handles);
+        let path = std::mem::take(&mut st.path);
+        let msg = if st.poisoned {
+            Some(
+                st.panic_msg
+                    .clone()
+                    .unwrap_or_else(|| "model thread panicked".to_string()),
+            )
+        } else {
+            None
+        };
+        (handles, path, msg)
+    }
+}
+
+/// Renders a panic payload for the driver's report.
+pub(crate) fn payload_msg(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked".to_string()
+    }
+}

@@ -1,0 +1,92 @@
+//! Model-checked replacements for `std::sync`.
+
+pub mod atomic;
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::sync::OnceLock;
+
+pub use std::sync::{Arc, LockResult};
+
+use crate::rt;
+
+/// A mutex whose blocking goes through the model scheduler, so lock
+/// acquisition order is explored like every other interleaving. Never
+/// poisoned (a panicking model thread aborts the whole execution).
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    data: UnsafeCell<T>,
+    id: OnceLock<usize>,
+}
+
+// SAFETY: access to `data` only happens through `MutexGuard`, whose
+// existence implies the scheduler granted this thread exclusive ownership
+// of the lock; `T: Send` because the protected value moves between model
+// threads.
+unsafe impl<T: Send> Send for Mutex<T> {}
+// SAFETY: same exclusivity argument as `Send`; `&Mutex` only exposes the
+// data via the scheduler-serialized lock protocol.
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// A new unlocked mutex. Must be created (or at least first locked)
+    /// inside `loom::model`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            data: UnsafeCell::new(value),
+            id: OnceLock::new(),
+        }
+    }
+
+    fn id(&self) -> usize {
+        *self.id.get_or_init(|| rt::ctx().exec.register_lock())
+    }
+
+    /// Acquires the lock, blocking through the model scheduler. Always
+    /// `Ok` (no poisoning in the model).
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let ctx = rt::ctx();
+        ctx.exec.acquire_lock(ctx.tid, self.id());
+        Ok(MutexGuard {
+            lock: self,
+            _not_send: PhantomData,
+        })
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.data.into_inner())
+    }
+}
+
+/// RAII guard; releases the model lock on drop.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    /// Guards must not migrate to another thread (matches std).
+    _not_send: PhantomData<*mut ()>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the guard exists, so the scheduler granted this thread
+        // the lock; no other thread can observe `data` until drop.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `Deref`, the lock is held exclusively.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let ctx = rt::ctx();
+        ctx.exec.release_lock(ctx.tid, self.lock.id());
+    }
+}

@@ -1,0 +1,280 @@
+//! Model-checked atomics: every operation is a synchronization point the
+//! scheduler may preempt at. Operations execute sequentially consistent
+//! regardless of the requested `Ordering` (the model serializes all
+//! memory actions); the `Ordering` arguments are accepted so code
+//! compiles unchanged against std or loom.
+
+use std::sync::atomic as std_atomic;
+
+pub use std::sync::atomic::Ordering;
+
+use crate::rt;
+
+fn sync_point() {
+    let ctx = rt::ctx();
+    ctx.exec.schedule(ctx.tid);
+}
+
+/// A memory fence: a pure synchronization point in the model.
+pub fn fence(_order: Ordering) {
+    sync_point();
+}
+
+macro_rules! atomic_int {
+    ($(#[$doc:meta])* $name:ident, $std:ident, $t:ty) => {
+        $(#[$doc])*
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: std_atomic::$std,
+        }
+
+        impl $name {
+            /// A new atomic holding `value`.
+            pub fn new(value: $t) -> Self {
+                $name {
+                    inner: std_atomic::$std::new(value),
+                }
+            }
+
+            /// Model-checked load.
+            pub fn load(&self, _order: Ordering) -> $t {
+                sync_point();
+                self.inner.load(Ordering::SeqCst)
+            }
+
+            /// Model-checked store.
+            pub fn store(&self, value: $t, _order: Ordering) {
+                sync_point();
+                self.inner.store(value, Ordering::SeqCst)
+            }
+
+            /// Model-checked swap.
+            pub fn swap(&self, value: $t, _order: Ordering) -> $t {
+                sync_point();
+                self.inner.swap(value, Ordering::SeqCst)
+            }
+
+            /// Model-checked compare-and-exchange.
+            pub fn compare_exchange(
+                &self,
+                current: $t,
+                new: $t,
+                _success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$t, $t> {
+                sync_point();
+                self.inner
+                    .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+            }
+
+            /// As [`Self::compare_exchange`]; the model never fails
+            /// spuriously, which is a legal implementation of `weak`.
+            pub fn compare_exchange_weak(
+                &self,
+                current: $t,
+                new: $t,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$t, $t> {
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            /// Model-checked fetch-add (wrapping).
+            pub fn fetch_add(&self, value: $t, _order: Ordering) -> $t {
+                sync_point();
+                self.inner.fetch_add(value, Ordering::SeqCst)
+            }
+
+            /// Model-checked fetch-sub (wrapping).
+            pub fn fetch_sub(&self, value: $t, _order: Ordering) -> $t {
+                sync_point();
+                self.inner.fetch_sub(value, Ordering::SeqCst)
+            }
+
+            /// Model-checked fetch-or.
+            pub fn fetch_or(&self, value: $t, _order: Ordering) -> $t {
+                sync_point();
+                self.inner.fetch_or(value, Ordering::SeqCst)
+            }
+
+            /// Model-checked fetch-and.
+            pub fn fetch_and(&self, value: $t, _order: Ordering) -> $t {
+                sync_point();
+                self.inner.fetch_and(value, Ordering::SeqCst)
+            }
+
+            /// Model-checked fetch-xor.
+            pub fn fetch_xor(&self, value: $t, _order: Ordering) -> $t {
+                sync_point();
+                self.inner.fetch_xor(value, Ordering::SeqCst)
+            }
+
+            /// Consumes the atomic, returning the value (no sync point —
+            /// ownership is exclusive).
+            pub fn into_inner(self) -> $t {
+                self.inner.into_inner()
+            }
+        }
+    };
+}
+
+atomic_int!(
+    /// Model-checked `AtomicUsize`.
+    AtomicUsize,
+    AtomicUsize,
+    usize
+);
+atomic_int!(
+    /// Model-checked `AtomicU64`.
+    AtomicU64,
+    AtomicU64,
+    u64
+);
+atomic_int!(
+    /// Model-checked `AtomicU32`.
+    AtomicU32,
+    AtomicU32,
+    u32
+);
+
+/// Model-checked `AtomicBool`.
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    inner: std_atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// A new atomic holding `value`.
+    pub fn new(value: bool) -> Self {
+        AtomicBool {
+            inner: std_atomic::AtomicBool::new(value),
+        }
+    }
+
+    /// Model-checked load.
+    pub fn load(&self, _order: Ordering) -> bool {
+        sync_point();
+        self.inner.load(Ordering::SeqCst)
+    }
+
+    /// Model-checked store.
+    pub fn store(&self, value: bool, _order: Ordering) {
+        sync_point();
+        self.inner.store(value, Ordering::SeqCst)
+    }
+
+    /// Model-checked swap.
+    pub fn swap(&self, value: bool, _order: Ordering) -> bool {
+        sync_point();
+        self.inner.swap(value, Ordering::SeqCst)
+    }
+
+    /// Model-checked compare-and-exchange.
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<bool, bool> {
+        sync_point();
+        self.inner
+            .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+    }
+
+    /// As [`Self::compare_exchange`] (never spurious).
+    pub fn compare_exchange_weak(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.compare_exchange(current, new, success, failure)
+    }
+
+    /// Model-checked fetch-or.
+    pub fn fetch_or(&self, value: bool, _order: Ordering) -> bool {
+        sync_point();
+        self.inner.fetch_or(value, Ordering::SeqCst)
+    }
+
+    /// Model-checked fetch-and.
+    pub fn fetch_and(&self, value: bool, _order: Ordering) -> bool {
+        sync_point();
+        self.inner.fetch_and(value, Ordering::SeqCst)
+    }
+
+    /// Consumes the atomic, returning the value.
+    pub fn into_inner(self) -> bool {
+        self.inner.into_inner()
+    }
+}
+
+/// Model-checked `AtomicPtr`.
+#[derive(Debug)]
+pub struct AtomicPtr<T> {
+    inner: std_atomic::AtomicPtr<T>,
+}
+
+impl<T> Default for AtomicPtr<T> {
+    fn default() -> Self {
+        AtomicPtr::new(std::ptr::null_mut())
+    }
+}
+
+impl<T> AtomicPtr<T> {
+    /// A new atomic holding `ptr`.
+    pub fn new(ptr: *mut T) -> Self {
+        AtomicPtr {
+            inner: std_atomic::AtomicPtr::new(ptr),
+        }
+    }
+
+    /// Model-checked load.
+    pub fn load(&self, _order: Ordering) -> *mut T {
+        sync_point();
+        self.inner.load(Ordering::SeqCst)
+    }
+
+    /// Model-checked store.
+    pub fn store(&self, ptr: *mut T, _order: Ordering) {
+        sync_point();
+        self.inner.store(ptr, Ordering::SeqCst)
+    }
+
+    /// Model-checked swap.
+    pub fn swap(&self, ptr: *mut T, _order: Ordering) -> *mut T {
+        sync_point();
+        self.inner.swap(ptr, Ordering::SeqCst)
+    }
+
+    /// Model-checked compare-and-exchange.
+    pub fn compare_exchange(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        sync_point();
+        self.inner
+            .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+    }
+
+    /// As [`Self::compare_exchange`] (never spurious).
+    pub fn compare_exchange_weak(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        self.compare_exchange(current, new, success, failure)
+    }
+
+    /// Consumes the atomic, returning the pointer.
+    pub fn into_inner(self) -> *mut T {
+        self.inner.into_inner()
+    }
+}

@@ -1,0 +1,73 @@
+//! Model-checked replacements for `std::thread`.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Mutex};
+
+use crate::rt;
+
+/// A handle to a spawned model thread, as `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    tid: usize,
+    slot: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks (through the model scheduler) until the thread finishes.
+    pub fn join(self) -> std::thread::Result<T> {
+        let ctx = rt::ctx();
+        ctx.exec.join(ctx.tid, self.tid);
+        match self.slot.lock().expect("join slot").take() {
+            Some(v) => Ok(v),
+            // Unreachable in practice: a panicking model thread poisons
+            // the whole execution before its joiner resumes.
+            None => Err(Box::new("loom: joined thread panicked".to_string())),
+        }
+    }
+}
+
+/// Spawns a model thread. Must be called inside `loom::model`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let ctx = rt::ctx();
+    let tid = ctx.exec.alloc_thread();
+    let slot = Arc::new(Mutex::new(None::<T>));
+    let exec = Arc::clone(&ctx.exec);
+    let slot2 = Arc::clone(&slot);
+    let os = std::thread::Builder::new()
+        .name(format!("loom-{tid}"))
+        .spawn(move || {
+            rt::set_ctx(Arc::clone(&exec), tid);
+            if exec.wait_first_turn(tid) {
+                match std::panic::catch_unwind(AssertUnwindSafe(f)) {
+                    Ok(v) => *slot2.lock().expect("join slot") = Some(v),
+                    Err(p) => {
+                        if !p.is::<rt::Aborted>() {
+                            exec.poison(rt::payload_msg(&*p));
+                        }
+                    }
+                }
+                exec.finish(tid);
+            }
+            rt::clear_ctx();
+        })
+        .expect("loom: cannot spawn model thread");
+    ctx.exec.store_handle(os);
+    // The child races with the parent from this point on: make the spawn
+    // itself a scheduling decision.
+    ctx.exec.schedule(ctx.tid);
+    JoinHandle { tid, slot }
+}
+
+/// A synchronization point with no side effect on memory, but with a
+/// scheduling hint: the calling thread is descheduled until every other
+/// runnable thread has had a chance to run. Spin-wait loops MUST call
+/// this — the hint is what keeps their exploration finite (bounded by
+/// the other threads' progress) and is how the checker distinguishes a
+/// livelock (all runnable threads yielding) from useful spinning.
+pub fn yield_now() {
+    let ctx = rt::ctx();
+    ctx.exec.yield_now(ctx.tid);
+}

@@ -1,0 +1,166 @@
+//! Sanity checks for the vendored model checker itself: it must explore
+//! distinct interleavings, catch a classic lost-update race, and pass
+//! correct synchronization. These run under plain `cargo test` (the loom
+//! crate needs no special cfg itself).
+
+use std::collections::HashSet;
+use std::sync::Mutex as StdMutex;
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::{Arc, Mutex};
+
+#[test]
+fn explores_both_orders_of_two_racing_stores() {
+    let outcomes: Arc<StdMutex<HashSet<usize>>> = Arc::new(StdMutex::new(HashSet::new()));
+    let outcomes2 = Arc::clone(&outcomes);
+    loom::model(move || {
+        let cell = Arc::new(AtomicUsize::new(0));
+        let c1 = Arc::clone(&cell);
+        let t = loom::thread::spawn(move || c1.store(1, Ordering::SeqCst));
+        cell.store(2, Ordering::SeqCst);
+        t.join().expect("model thread");
+        outcomes2
+            .lock()
+            .expect("outcome set")
+            .insert(cell.load(Ordering::SeqCst));
+    });
+    let seen = outcomes.lock().expect("outcome set");
+    assert!(
+        seen.contains(&1) && seen.contains(&2),
+        "both store orders must be explored, saw {seen:?}"
+    );
+}
+
+#[test]
+fn catches_load_store_lost_update() {
+    let result = std::panic::catch_unwind(|| {
+        loom::model(|| {
+            let v = Arc::new(AtomicUsize::new(0));
+            let v1 = Arc::clone(&v);
+            let t = loom::thread::spawn(move || {
+                let cur = v1.load(Ordering::SeqCst);
+                v1.store(cur + 1, Ordering::SeqCst);
+            });
+            let cur = v.load(Ordering::SeqCst);
+            v.store(cur + 1, Ordering::SeqCst);
+            t.join().expect("model thread");
+            assert_eq!(v.load(Ordering::SeqCst), 2, "lost update");
+        });
+    });
+    assert!(
+        result.is_err(),
+        "the unsynchronized read-modify-write race must be caught"
+    );
+}
+
+#[test]
+fn fetch_add_has_no_lost_update() {
+    loom::model(|| {
+        let v = Arc::new(AtomicUsize::new(0));
+        let v1 = Arc::clone(&v);
+        let t = loom::thread::spawn(move || {
+            v1.fetch_add(1, Ordering::SeqCst);
+        });
+        v.fetch_add(1, Ordering::SeqCst);
+        t.join().expect("model thread");
+        assert_eq!(v.load(Ordering::SeqCst), 2);
+    });
+}
+
+#[test]
+fn mutex_serializes_critical_sections() {
+    loom::model(|| {
+        let v = Arc::new(Mutex::new(0usize));
+        let v1 = Arc::clone(&v);
+        let t = loom::thread::spawn(move || {
+            let mut g = v1.lock().expect("model mutex");
+            *g += 1;
+        });
+        {
+            let mut g = v.lock().expect("model mutex");
+            *g += 1;
+        }
+        t.join().expect("model thread");
+        let g = v.lock().expect("model mutex");
+        assert_eq!(*g, 2);
+    });
+}
+
+#[test]
+fn join_returns_the_thread_value() {
+    loom::model(|| {
+        let t = loom::thread::spawn(|| {
+            loom::thread::yield_now();
+            41 + 1
+        });
+        assert_eq!(t.join().expect("model thread"), 42);
+    });
+}
+
+#[test]
+fn spin_wait_with_yield_terminates() {
+    loom::model(|| {
+        let flag = Arc::new(AtomicUsize::new(0));
+        let f1 = Arc::clone(&flag);
+        let t = loom::thread::spawn(move || f1.store(1, Ordering::SeqCst));
+        while flag.load(Ordering::SeqCst) == 0 {
+            loom::thread::yield_now();
+        }
+        t.join().expect("model thread");
+    });
+}
+
+#[test]
+fn lone_spinner_is_reported_as_livelock() {
+    let result = std::panic::catch_unwind(|| {
+        loom::model(|| {
+            let flag = AtomicUsize::new(0);
+            // Nothing will ever set the flag: the only runnable thread
+            // yields forever, which the checker must flag, not explore.
+            while flag.load(Ordering::SeqCst) == 0 {
+                loom::thread::yield_now();
+            }
+        });
+    });
+    assert!(result.is_err(), "a hopeless spin loop must be reported");
+    let msg = match result {
+        Err(p) => p
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "<non-string panic>".into()),
+        Ok(()) => unreachable!(),
+    };
+    assert!(msg.contains("livelock"), "got: {msg}");
+}
+
+#[test]
+fn compare_exchange_contention_hands_out_each_slot_once() {
+    loom::model(|| {
+        let cursor = Arc::new(AtomicUsize::new(0));
+        let worker = |c: Arc<AtomicUsize>| {
+            let mut got = Vec::new();
+            loop {
+                let mut at = c.load(Ordering::SeqCst);
+                let claimed = loop {
+                    if at >= 2 {
+                        break None;
+                    }
+                    match c.compare_exchange_weak(at, at + 1, Ordering::SeqCst, Ordering::SeqCst) {
+                        Ok(_) => break Some(at),
+                        Err(cur) => at = cur,
+                    }
+                };
+                match claimed {
+                    Some(i) => got.push(i),
+                    None => return got,
+                }
+            }
+        };
+        let c1 = Arc::clone(&cursor);
+        let t = loom::thread::spawn(move || worker(c1));
+        let mut all = worker(cursor);
+        all.extend(t.join().expect("model thread"));
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1], "every slot claimed exactly once");
+    });
+}
