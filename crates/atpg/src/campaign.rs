@@ -17,7 +17,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::certify::{CertifiedRun, StreamSink};
-use crate::faultsim::FaultSimulator;
+use crate::faultsim::{FaultSimulator, SimBuffers, WIDE_PATTERNS};
 use crate::{fault, miter, verify, Fault};
 
 /// Which solver backs the campaign.
@@ -361,6 +361,7 @@ fn run_inner(
     if let (Some(s), Some(warm)) = (sink.as_deref_mut(), inc.as_ref()) {
         warm.record_base_axioms(s);
     }
+    let mut drop_bufs = SimBuffers::default();
     for (i, &f) in faults.iter().enumerate() {
         if detected[i] {
             result.records.push(simulated_record(f));
@@ -391,7 +392,8 @@ fn run_inner(
         if let FaultOutcome::Detected(vector) = &record.outcome {
             detected[i] = true;
             if config.fault_dropping {
-                let hits = fs.detect_batch(nl, std::slice::from_ref(vector), &faults);
+                let hits =
+                    fs.detect_batch_with(nl, std::slice::from_ref(vector), &faults, &mut drop_bufs);
                 for (j, hit) in hits.into_iter().enumerate() {
                     if hit {
                         detected[j] = true;
@@ -438,6 +440,11 @@ pub(crate) fn target_faults(nl: &Netlist, config: &AtpgConfig) -> Vec<Fault> {
 /// retired at least one new fault. Deterministic in `config.seed`; the
 /// parallel engine runs this identically (single-threaded) before fanning
 /// out, which is what makes its output thread-count independent.
+///
+/// Batches are [`WIDE_PATTERNS`] (256) patterns wide: one block-parallel
+/// pass per batch retires four word-widths of patterns at the cost of a
+/// single cone resimulation per fault, with every per-net buffer reused
+/// across batches.
 pub(crate) fn random_phase(
     nl: &Netlist,
     config: &AtpgConfig,
@@ -450,14 +457,15 @@ pub(crate) fn random_phase(
         return tests;
     }
     let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut bufs = SimBuffers::default();
     let mut remaining = config.random_patterns;
     while remaining > 0 {
-        let batch = remaining.min(64);
+        let batch = remaining.min(WIDE_PATTERNS);
         remaining -= batch;
         let vectors: Vec<Vec<bool>> = (0..batch)
             .map(|_| (0..nl.num_inputs()).map(|_| rng.random_bool(0.5)).collect())
             .collect();
-        let hits = fs.detect_batch(nl, &vectors, faults);
+        let hits = fs.detect_batch_wide(nl, &vectors, faults, &mut bufs);
         let mut useful = false;
         for (i, hit) in hits.into_iter().enumerate() {
             if hit && !detected[i] {
@@ -928,11 +936,12 @@ pub fn compact_tests(nl: &Netlist, tests: &[Vec<bool>], faults: &[Fault]) -> Vec
     let fs = FaultSimulator::with_cones(nl);
     let mut undetected: Vec<Fault> = faults.to_vec();
     let mut kept: Vec<Vec<bool>> = Vec::new();
+    let mut bufs = SimBuffers::default();
     for vector in tests.iter().rev() {
         if undetected.is_empty() {
             break;
         }
-        let hits = fs.detect_batch(nl, std::slice::from_ref(vector), &undetected);
+        let hits = fs.detect_batch_with(nl, std::slice::from_ref(vector), &undetected, &mut bufs);
         let before = undetected.len();
         let mut keep_faults = Vec::with_capacity(before);
         for (f, hit) in undetected.into_iter().zip(&hits) {

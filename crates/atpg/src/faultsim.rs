@@ -5,10 +5,40 @@
 //! lanes detect the fault. ATPG tools use this for *fault dropping*: every
 //! generated test is simulated against all remaining faults so each SAT
 //! call typically retires many faults (TEGUS does exactly this).
+//!
+//! Two widths are available: the classic 64-pattern word path
+//! ([`FaultSimulator::detect_batch`]) and the 256-pattern block path
+//! ([`FaultSimulator::detect_batch_wide`]), which packs [`LANES`] lanes
+//! of 64 patterns per net so random-pattern fault dropping costs one
+//! cone resimulation per 256 patterns. Both have `_with` variants that
+//! reuse caller-owned [`SimBuffers`], eliminating per-call allocation on
+//! the campaign hot path.
 
-use atpg_easy_netlist::{sim::Simulator, NetId, Netlist};
+use atpg_easy_netlist::{
+    sim::{splat_block, PatternBlock, Simulator, LANES},
+    NetId, Netlist,
+};
 
 use crate::Fault;
+
+/// Patterns per wide batch: [`LANES`] lanes of 64.
+pub const WIDE_PATTERNS: usize = 64 * LANES;
+
+/// Reusable scratch state for repeated detect calls. One instance per
+/// campaign (or per parallel worker) amortizes every per-net buffer the
+/// simulator needs — packed input words/blocks, good values, and the
+/// faulty-resimulation scratch — across all (test batch, fault list)
+/// pairs. A fresh default instance is equivalent but allocates on first
+/// use.
+#[derive(Debug, Clone, Default)]
+pub struct SimBuffers {
+    words: Vec<u64>,
+    good: Vec<u64>,
+    scratch: Vec<u64>,
+    blocks: Vec<PatternBlock>,
+    good_blocks: Vec<PatternBlock>,
+    scratch_blocks: Vec<PatternBlock>,
+}
 
 /// Per-net fan-out cones, flattened into one arena.
 ///
@@ -207,14 +237,118 @@ impl FaultSimulator {
     /// Panics if more than 64 vectors are supplied or a vector has the
     /// wrong width.
     pub fn detect_batch(&self, nl: &Netlist, vectors: &[Vec<bool>], faults: &[Fault]) -> Vec<bool> {
+        self.detect_batch_with(nl, vectors, faults, &mut SimBuffers::default())
+    }
+
+    /// [`Self::detect_batch`] with caller-owned scratch: every per-net
+    /// buffer comes from `bufs`, so a loop that reuses one [`SimBuffers`]
+    /// across batches performs no per-call allocation. Results are
+    /// identical to [`Self::detect_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::detect_batch`].
+    pub fn detect_batch_with(
+        &self,
+        nl: &Netlist,
+        vectors: &[Vec<bool>],
+        faults: &[Fault],
+        bufs: &mut SimBuffers,
+    ) -> Vec<bool> {
         assert!(vectors.len() <= 64, "at most 64 vectors per batch");
-        let words = pack_vectors(nl, vectors);
-        let good = self.good_values(nl, &words);
-        let mut scratch = good.clone();
+        pack_vectors_into(nl, vectors, &mut bufs.words);
+        self.sim.run_into(nl, &bufs.words, &mut bufs.good);
+        bufs.scratch.clear();
+        bufs.scratch.extend_from_slice(&bufs.good);
+        let (words, good, scratch) = (&bufs.words, &bufs.good, &mut bufs.scratch);
         faults
             .iter()
-            .map(|&f| self.detect_mask(nl, &words, &good, &mut scratch, f) != 0)
+            .map(|&f| self.detect_mask(nl, words, good, scratch, f) != 0)
             .collect()
+    }
+
+    /// Simulates one batch of up to [`WIDE_PATTERNS`] (256) vectors
+    /// against a fault list in a **single** block-parallel pass,
+    /// returning (per fault) whether any pattern detects it. With
+    /// precomputed cones ([`Self::with_cones`]) each fault costs one
+    /// cone resimulation for all 256 patterns; without cones the batch
+    /// falls back to 64-wide whole-circuit sweeps (the reference path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`WIDE_PATTERNS`] vectors are supplied or a
+    /// vector has the wrong width.
+    pub fn detect_batch_wide(
+        &self,
+        nl: &Netlist,
+        vectors: &[Vec<bool>],
+        faults: &[Fault],
+        bufs: &mut SimBuffers,
+    ) -> Vec<bool> {
+        assert!(
+            vectors.len() <= WIDE_PATTERNS,
+            "at most {WIDE_PATTERNS} vectors per wide batch"
+        );
+        if self.cones.is_none() {
+            // Reference path: no cones to amortize, chunk by word width.
+            let mut out = vec![false; faults.len()];
+            for chunk in vectors.chunks(64) {
+                for (i, d) in self
+                    .detect_batch_with(nl, chunk, faults, bufs)
+                    .into_iter()
+                    .enumerate()
+                {
+                    out[i] |= d;
+                }
+            }
+            return out;
+        }
+        pack_blocks_into(nl, vectors, &mut bufs.blocks);
+        self.sim
+            .run_block_into(nl, &bufs.blocks, &mut bufs.good_blocks);
+        bufs.scratch_blocks.clear();
+        bufs.scratch_blocks.extend_from_slice(&bufs.good_blocks);
+        let (good, scratch) = (&bufs.good_blocks, &mut bufs.scratch_blocks);
+        faults
+            .iter()
+            .map(|&f| self.detect_block_cone(nl, good, scratch, f) != [0; LANES])
+            .collect()
+    }
+
+    /// Cone-limited 256-wide detection block for one fault: lane `l` bit
+    /// `p` is set iff pattern `64 * l + p` detects the fault. `good` /
+    /// `scratch` hold one [`PatternBlock`] per net with `scratch` equal
+    /// to `good` on entry (restored on return).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulator was not built with [`Self::with_cones`].
+    pub fn detect_block_cone(
+        &self,
+        nl: &Netlist,
+        good: &[PatternBlock],
+        scratch: &mut [PatternBlock],
+        fault: Fault,
+    ) -> PatternBlock {
+        let cones = self
+            .cones
+            .as_ref()
+            .expect("detect_block_cone requires FaultSimulator::with_cones");
+        let stuck_word = if fault.stuck { !0u64 } else { 0 };
+        // Excitation pre-check, lane-wise: patterns where the good value
+        // already equals the stuck value can never detect.
+        let g = &good[fault.net.index()];
+        if g.iter().all(|&w| w ^ stuck_word == 0) {
+            return [0; LANES];
+        }
+        self.sim.resim_cone_forced_block(
+            nl,
+            good,
+            scratch,
+            fault.net,
+            splat_block(stuck_word),
+            cones.cone(fault.net),
+        )
     }
 
     /// Like [`Self::detect_batch`] but returning the full 64-bit detection
@@ -241,9 +375,22 @@ impl FaultSimulator {
 /// Panics if a vector's width differs from the input count or more than 64
 /// vectors are given.
 pub fn pack_vectors(nl: &Netlist, vectors: &[Vec<bool>]) -> Vec<u64> {
+    let mut words = Vec::new();
+    pack_vectors_into(nl, vectors, &mut words);
+    words
+}
+
+/// [`pack_vectors`] into a caller-owned buffer (resized as needed,
+/// previous contents overwritten).
+///
+/// # Panics
+///
+/// Same conditions as [`pack_vectors`].
+pub fn pack_vectors_into(nl: &Netlist, vectors: &[Vec<bool>], words: &mut Vec<u64>) {
     assert!(vectors.len() <= 64, "at most 64 vectors per batch");
     let n = nl.num_inputs();
-    let mut words = vec![0u64; n];
+    words.clear();
+    words.resize(n, 0);
     for (p, v) in vectors.iter().enumerate() {
         assert_eq!(v.len(), n, "vector width mismatch");
         for (i, &bit) in v.iter().enumerate() {
@@ -252,7 +399,44 @@ pub fn pack_vectors(nl: &Netlist, vectors: &[Vec<bool>]) -> Vec<u64> {
             }
         }
     }
-    words
+}
+
+/// Packs up to [`WIDE_PATTERNS`] input vectors into one [`PatternBlock`]
+/// per primary input: pattern `q` occupies lane `q / 64`, bit `q % 64`.
+///
+/// # Panics
+///
+/// Panics if a vector's width differs from the input count or more than
+/// [`WIDE_PATTERNS`] vectors are given.
+pub fn pack_blocks(nl: &Netlist, vectors: &[Vec<bool>]) -> Vec<PatternBlock> {
+    let mut blocks = Vec::new();
+    pack_blocks_into(nl, vectors, &mut blocks);
+    blocks
+}
+
+/// [`pack_blocks`] into a caller-owned buffer (resized as needed,
+/// previous contents overwritten).
+///
+/// # Panics
+///
+/// Same conditions as [`pack_blocks`].
+pub fn pack_blocks_into(nl: &Netlist, vectors: &[Vec<bool>], blocks: &mut Vec<PatternBlock>) {
+    assert!(
+        vectors.len() <= WIDE_PATTERNS,
+        "at most {WIDE_PATTERNS} vectors per wide batch"
+    );
+    let n = nl.num_inputs();
+    blocks.clear();
+    blocks.resize(n, [0; LANES]);
+    for (q, v) in vectors.iter().enumerate() {
+        assert_eq!(v.len(), n, "vector width mismatch");
+        let (lane, bit) = (q / 64, q % 64);
+        for (i, &b) in v.iter().enumerate() {
+            if b {
+                blocks[i][lane] |= 1 << bit;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -373,5 +557,74 @@ mod tests {
         let fs = FaultSimulator::new(&nl);
         let vectors = vec![vec![false; 3]; 65];
         fs.detect_batch(&nl, &vectors, &[]);
+    }
+
+    #[test]
+    fn wide_batch_agrees_with_four_word_batches() {
+        // 3 inputs → 8 minterms; replicate with alternating inversions to
+        // fill a >64-pattern batch that still exercises every cone.
+        let nl = xor_chain();
+        let fs = FaultSimulator::with_cones(&nl);
+        let faults = all_faults(&nl);
+        let vectors: Vec<Vec<bool>> = (0..200u32)
+            .map(|q| (0..3).map(|i| (q >> (i % 8)) & 1 != 0).collect())
+            .collect();
+        let mut bufs = SimBuffers::default();
+        let wide = fs.detect_batch_wide(&nl, &vectors, &faults, &mut bufs);
+        let mut narrow = vec![false; faults.len()];
+        for chunk in vectors.chunks(64) {
+            for (i, d) in fs
+                .detect_batch_with(&nl, chunk, &faults, &mut bufs)
+                .into_iter()
+                .enumerate()
+            {
+                narrow[i] |= d;
+            }
+        }
+        assert_eq!(wide, narrow, "256-wide and 4x64-wide dropping agree");
+        // The no-cone reference path agrees too.
+        let slow = FaultSimulator::new(&nl);
+        let fallback = slow.detect_batch_wide(&nl, &vectors, &faults, &mut bufs);
+        assert_eq!(wide, fallback);
+    }
+
+    #[test]
+    fn detect_batch_with_reuses_buffers() {
+        let nl = xor_chain();
+        let fs = FaultSimulator::with_cones(&nl);
+        let faults = all_faults(&nl);
+        let vectors: Vec<Vec<bool>> = (0..8u32)
+            .map(|m| (0..3).map(|i| m >> i & 1 != 0).collect())
+            .collect();
+        let mut bufs = SimBuffers::default();
+        let first = fs.detect_batch_with(&nl, &vectors, &faults, &mut bufs);
+        let good_ptr = bufs.good.as_ptr();
+        let second = fs.detect_batch_with(&nl, &vectors, &faults, &mut bufs);
+        assert_eq!(first, second);
+        assert_eq!(first, fs.detect_batch(&nl, &vectors, &faults));
+        assert_eq!(good_ptr, bufs.good.as_ptr(), "good buffer is reused");
+    }
+
+    #[test]
+    fn pack_blocks_places_pattern_q_in_lane_q_div_64() {
+        let nl = xor_chain();
+        let mut vectors = vec![vec![false; 3]; 130];
+        vectors[0][1] = true; // pattern 0 → lane 0, bit 0
+        vectors[70][2] = true; // pattern 70 → lane 1, bit 6
+        vectors[129][0] = true; // pattern 129 → lane 2, bit 1
+        let blocks = pack_blocks(&nl, &vectors);
+        assert_eq!(blocks[1][0], 1);
+        assert_eq!(blocks[2][1], 1 << 6);
+        assert_eq!(blocks[0][2], 1 << 1);
+        assert_eq!(blocks[0][3], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 256")]
+    fn too_many_wide_vectors_panics() {
+        let nl = xor_chain();
+        let fs = FaultSimulator::with_cones(&nl);
+        let vectors = vec![vec![false; 3]; WIDE_PATTERNS + 1];
+        fs.detect_batch_wide(&nl, &vectors, &[], &mut SimBuffers::default());
     }
 }

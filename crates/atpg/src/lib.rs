@@ -66,6 +66,7 @@ pub mod verify;
 pub use campaign::{AtpgConfig, CampaignResult, FaultOutcome, FaultRecord, SolverChoice};
 pub use certify::{CertifiedRun, StreamSink};
 pub use fault::Fault;
+pub use faultsim::{FaultSimulator, SimBuffers, WIDE_PATTERNS};
 pub use incremental::IncrementalAtpg;
 pub use miter::AtpgMiter;
 pub use parallel::{

@@ -19,18 +19,28 @@
 //! interleaving-dependent results. This engine keeps the sequential
 //! semantics with *speculative solve + in-order commit*:
 //!
-//! - Workers pop fault indices from a sharded queue (one contiguous shard
-//!   per worker, work stealing when a shard drains) and speculatively
-//!   solve each popped fault, unless its bit in a shared drop-bitmap is
-//!   already set. Every solved instance is shipped to the committer along
-//!   with the drop hits of its test vector against the whole fault list —
-//!   a pure function of the vector, so it parallelizes safely.
-//! - The committing thread commits faults strictly in index order. Only
-//!   the committer writes the drop-bitmap, and only from committed tests,
-//!   so the bitmap content — and therefore every outcome — is independent
-//!   of worker interleaving. A speculative solve for a fault that an
-//!   earlier committed test already covers is simply discarded (counted
-//!   as `wasted_solves`).
+//! - Workers pop contiguous *chunks* of fault indices from a sharded
+//!   queue (one shard per worker; a pop takes a quarter of the shard's
+//!   remainder, a steal takes half of the victim's — shrinking toward
+//!   single indices as the queue drains) and speculatively solve each
+//!   index, re-checking its bit in a shared drop-bitmap immediately
+//!   before each solve. Every solved instance is shipped to the committer
+//!   along with the drop hits of its test vector against the whole fault
+//!   list — a pure function of the vector, so it parallelizes safely.
+//! - The committing thread applies verdicts to the drop state and emits
+//!   records strictly in fault-index order. Only the committer writes the
+//!   drop-bitmap, and only from committed tests, so the bitmap content —
+//!   and therefore every outcome — is independent of worker interleaving.
+//!   A speculative solve for a fault that an earlier committed test
+//!   already covers is simply discarded (counted as `wasted_solves`).
+//! - [`AtpgCampaign::with_commit_window`] relaxes *when* tests are
+//!   applied: with width `W`, an arrived solve for any fault within `W`
+//!   of the frontier commits immediately (its test starts dropping
+//!   faults), while its record is still emitted in index order. `W = 1`
+//!   (the default) is the strict mode described above, byte-identical to
+//!   the sequential engine; wider windows keep per-fault verdicts
+//!   ([`CampaignResult::detection_report`]) identical but let test order
+//!   and drop attribution vary with the schedule.
 //!
 //! Workers reading a *set* bit is always sound (bits are monotone and
 //! only reflect committed state); workers missing a set bit merely wastes
@@ -57,14 +67,22 @@ use atpg_easy_proof::Event;
 
 use crate::campaign::{self, AtpgConfig, CampaignResult, FaultOutcome, FaultRecord};
 use crate::certify::StreamSink;
-use crate::faultsim::FaultSimulator;
+use crate::faultsim::{FaultSimulator, SimBuffers};
 use crate::Fault;
+
+/// Upper bound on the indices a single queue pop may claim. Bounds how
+/// long a worker sits on low indices the commit frontier wants, and how
+/// stale its per-index drop-bit re-checks can get; the adaptive
+/// quarter/half policy in [`ShardedQueue::pop_chunk`] shrinks chunks well
+/// below this as shards drain.
+const CHUNK_CAP: usize = 64;
 
 /// A parallel ATPG campaign: configuration plus a thread count.
 #[derive(Debug, Clone)]
 pub struct AtpgCampaign {
     config: AtpgConfig,
     threads: usize,
+    window: usize,
     tracing: bool,
     certified: bool,
 }
@@ -75,6 +93,7 @@ impl AtpgCampaign {
         AtpgCampaign {
             config,
             threads: 1,
+            window: 1,
             tracing: false,
             certified: false,
         }
@@ -84,6 +103,23 @@ impl AtpgCampaign {
     /// byte-identical for every value; only wall-clock time changes.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the commit-window width (clamped to at least 1; default 1).
+    ///
+    /// With width 1 the committer applies test vectors strictly in fault
+    /// order — the legacy mode, whose canonical report is byte-identical
+    /// to the sequential engine at any thread count. A wider window lets
+    /// an arrived solve for any fault in `[frontier, frontier + window)`
+    /// commit (apply its test to the drop state) before the frontier
+    /// reaches it, trading the byte-level test-order guarantee for less
+    /// head-of-line blocking. Records are still *emitted* strictly in
+    /// fault order, so per-fault verdicts
+    /// ([`CampaignResult::detection_report`]) stay identical across every
+    /// thread count and window width.
+    pub fn with_commit_window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
         self
     }
 
@@ -116,6 +152,11 @@ impl AtpgCampaign {
     /// The configured thread count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The configured commit-window width.
+    pub fn commit_window(&self) -> usize {
+        self.window
     }
 
     /// Runs the campaign. See the module docs for the execution model.
@@ -166,7 +207,14 @@ impl AtpgCampaign {
                 }));
             }
             drop(tx);
-            let committed = commit_loop(rx, &faults, &mut detected, &drop_bits, &mut result);
+            let committed = commit_loop(
+                rx,
+                &faults,
+                &mut detected,
+                &drop_bits,
+                self.window,
+                &mut result,
+            );
             let (workers, streams): (Vec<WorkerReport>, Vec<Vec<Event>>) = handles
                 .into_iter()
                 .map(|h| h.join().expect("worker threads do not panic"))
@@ -186,6 +234,7 @@ impl AtpgCampaign {
         let solved: usize = workers.iter().map(|w| w.solved).sum();
         let report = ParallelReport {
             threads: self.threads,
+            commit_window: self.window,
             wall: started.elapsed(),
             queue_depth: faults.len(),
             workers,
@@ -229,6 +278,8 @@ pub struct ParallelRun {
 pub struct ParallelReport {
     /// Worker threads used.
     pub threads: usize,
+    /// Commit-window width used (1 = strict in-order committing).
+    pub commit_window: usize,
     /// Wall-clock time for the whole campaign (both phases).
     pub wall: Duration,
     /// Initial work-queue depth (targeted faults).
@@ -274,6 +325,7 @@ impl ParallelReport {
         CampaignMeta {
             circuit: circuit.to_string(),
             threads: self.threads as u64,
+            commit_window: self.commit_window as u64,
             queue_depth: self.queue_depth as u64,
             committed_sat: self.committed_sat as u64,
             committed_unsat: self.committed_unsat as u64,
@@ -291,7 +343,10 @@ pub struct WorkerReport {
     pub id: usize,
     /// Fault indices popped from the queue.
     pub popped: usize,
-    /// Pops taken from another worker's shard.
+    /// Chunks popped from the queue (each covers ≥ 1 fault index; the
+    /// popped-to-chunks ratio is the realized steal granularity).
+    pub chunks: usize,
+    /// Fault indices taken from another worker's shard.
     pub stolen: usize,
     /// SAT instances actually solved (the rest were drop-bit skips).
     pub solved: usize,
@@ -340,6 +395,23 @@ impl ShardedQueue {
     /// Returns the index and whether it was stolen. Each index is handed
     /// out exactly once across all workers.
     pub fn pop(&self, worker: usize) -> Option<(usize, bool)> {
+        self.pop_chunk(worker, 1)
+            .map(|(range, stolen)| (range.start, stolen))
+    }
+
+    /// Pops a contiguous chunk of up to `max` indices for `worker`,
+    /// stealing if its shard is empty. Returns the index range and
+    /// whether it was stolen. Each index is handed out exactly once
+    /// across all workers, in exactly one chunk.
+    ///
+    /// Granularity adapts to the remaining work: a pop from the worker's
+    /// own shard takes a quarter of what remains there, a steal takes
+    /// half of the victim's remainder (the classic steal-half policy),
+    /// both clamped to `1..=max`. Early pops move big chunks — one CAS
+    /// amortized over many faults — while late pops shrink toward single
+    /// indices so the tail still balances across workers.
+    pub fn pop_chunk(&self, worker: usize, max: usize) -> Option<(std::ops::Range<usize>, bool)> {
+        let max = max.max(1);
         let shards = self.num_shards();
         for probe in 0..shards {
             let s = (worker + probe) % shards;
@@ -348,21 +420,29 @@ impl ShardedQueue {
             // stale value costs one CAS retry, never a wrong index.
             let mut at = self.cursors[s].load(Ordering::Relaxed);
             while at < end {
+                let remaining = end - at;
+                let take = if probe == 0 {
+                    remaining.div_ceil(4)
+                } else {
+                    remaining.div_ceil(2)
+                }
+                .clamp(1, max);
                 // ORDERING: Relaxed on both edges is sound here. A cursor
                 // is a single atomic with a total modification order, so
-                // CAS success hands index `at` to exactly one worker even
-                // under the weakest ordering (uniqueness is the
-                // `queue_steal` loom scenario). The popped index guards no
-                // associated data: workers read `faults`/`nl` which are
-                // frozen before `thread::scope` spawns them, and the spawn
-                // itself is the happens-before edge for that state.
+                // CAS success hands `at..at + take` to exactly one worker
+                // even under the weakest ordering (uniqueness is the
+                // `queue_steal` / `queue_steal_chunked` loom scenarios).
+                // The popped range guards no associated data: workers read
+                // `faults`/`nl` which are frozen before `thread::scope`
+                // spawns them, and the spawn itself is the happens-before
+                // edge for that state.
                 match self.cursors[s].compare_exchange_weak(
                     at,
-                    at + 1,
+                    at + take,
                     Ordering::Relaxed,
                     Ordering::Relaxed,
                 ) {
-                    Ok(_) => return Some((at, probe != 0)),
+                    Ok(_) => return Some((at..at + take, probe != 0)),
                     Err(current) => at = current,
                 }
             }
@@ -453,50 +533,63 @@ fn run_worker(
     if let (Some(s), Some(inc)) = (sink.as_mut(), warm.as_ref()) {
         inc.record_base_axioms(s);
     }
-    while let Some((index, stolen)) = queue.pop(id) {
-        report.popped += 1;
+    // Scratch simulation buffers, reused across every drop-hit
+    // computation this worker performs.
+    let mut bufs = SimBuffers::default();
+    while let Some((range, stolen)) = queue.pop_chunk(id, CHUNK_CAP) {
+        report.chunks += 1;
+        report.popped += range.len();
         if stolen {
-            report.stolen += 1;
+            report.stolen += range.len();
         }
-        if drop_bits.get(index) {
-            report.skipped += 1;
-            continue;
+        for index in range {
+            // Re-check the drop bitmap immediately before dispatching the
+            // solve: the committer may have covered this fault while the
+            // earlier indices of the chunk were being solved, and a
+            // pop-time-only check would turn that whole tail into wasted
+            // speculative solves.
+            if drop_bits.get(index) {
+                report.skipped += 1;
+                continue;
+            }
+            let (record, counters) = match (warm.as_mut(), sink.as_mut()) {
+                (Some(inc), Some(s)) => inc.solve_fault_certified(faults[index], config, index, s),
+                (Some(inc), None) => inc.solve_fault_counted(faults[index], config),
+                (None, Some(s)) => {
+                    campaign::solve_one_certified(nl, faults[index], config, index, s)
+                }
+                (None, None) => campaign::solve_one_counted(nl, faults[index], config),
+            };
+            let proof_bytes = sink.as_mut().map_or(0, StreamSink::take_instance_bytes);
+            report.solved += 1;
+            report.solve_time += record.solve_time;
+            report.counters.add(&counters);
+            if let Some(buf) = traces.as_mut() {
+                // Phase 2 commits exactly one record per fault, in fault
+                // order, so the eventual record index equals the fault index.
+                buf.push(campaign::fault_trace(
+                    nl,
+                    index as u64,
+                    &record,
+                    counters,
+                    id as u64,
+                    proof_bytes,
+                ));
+            }
+            let hits = match &record.outcome {
+                FaultOutcome::Detected(vector) if config.fault_dropping => Some(pack_hits(
+                    &fs.detect_batch_with(nl, std::slice::from_ref(vector), faults, &mut bufs),
+                )),
+                _ => None,
+            };
+            // The committer may already have passed this fault and hung
+            // up; a closed channel just means the solve was wasted.
+            let _ = tx.send(Solved {
+                index,
+                record,
+                hits,
+            });
         }
-        let (record, counters) = match (warm.as_mut(), sink.as_mut()) {
-            (Some(inc), Some(s)) => inc.solve_fault_certified(faults[index], config, index, s),
-            (Some(inc), None) => inc.solve_fault_counted(faults[index], config),
-            (None, Some(s)) => campaign::solve_one_certified(nl, faults[index], config, index, s),
-            (None, None) => campaign::solve_one_counted(nl, faults[index], config),
-        };
-        let proof_bytes = sink.as_mut().map_or(0, StreamSink::take_instance_bytes);
-        report.solved += 1;
-        report.solve_time += record.solve_time;
-        report.counters.add(&counters);
-        if let Some(buf) = traces.as_mut() {
-            // Phase 2 commits exactly one record per fault, in fault
-            // order, so the eventual record index equals the fault index.
-            buf.push(campaign::fault_trace(
-                nl,
-                index as u64,
-                &record,
-                counters,
-                id as u64,
-                proof_bytes,
-            ));
-        }
-        let hits = match &record.outcome {
-            FaultOutcome::Detected(vector) if config.fault_dropping => Some(pack_hits(
-                &fs.detect_batch(nl, std::slice::from_ref(vector), faults),
-            )),
-            _ => None,
-        };
-        // The committer may already have passed this fault and hung up;
-        // a closed channel just means the solve was wasted.
-        let _ = tx.send(Solved {
-            index,
-            record,
-            hits,
-        });
     }
     (report, sink.map_or_else(Vec::new, StreamSink::into_events))
 }
@@ -509,14 +602,60 @@ struct Committed {
     dropped: usize,
 }
 
-/// Consumes worker messages and commits faults strictly in index order,
-/// appending records and tests to `result`. This is the only writer of
-/// `detected` and `drop_bits` during phase 2.
+/// Applies a solved instance to the committed state: marks the fault (and
+/// everything its test drops) detected, publishes the drop bits, appends
+/// the test vector, and tallies the verdict. Returns the record for the
+/// caller to emit (immediately at the frontier, or held for in-order
+/// emission when the commit was speculative).
+fn apply_commit(
+    solved: Solved,
+    detected: &mut [bool],
+    drop_bits: &DropBitmap,
+    result: &mut CampaignResult,
+    committed: &mut Committed,
+) -> FaultRecord {
+    if let FaultOutcome::Detected(vector) = &solved.record.outcome {
+        detected[solved.index] = true;
+        drop_bits.set(solved.index);
+        if let Some(hits) = &solved.hits {
+            for (j, d) in detected.iter_mut().enumerate() {
+                if hits[j / 64] >> (j % 64) & 1 != 0 && !*d {
+                    *d = true;
+                    drop_bits.set(j);
+                }
+            }
+        }
+        result.tests.push(vector.clone());
+        committed.sat += 1;
+    } else {
+        // Untestable or aborted: the solver call is committed — and was
+        // necessary — even though no test came out of it.
+        committed.unsat += 1;
+    }
+    solved.record
+}
+
+/// Consumes worker messages and commits faults, appending records and
+/// tests to `result`. This is the only writer of `detected` and
+/// `drop_bits` during phase 2.
+///
+/// Committing a fault means applying its verdict to the shared drop
+/// state; emitting it means appending its record to `result.records`.
+/// Emission is *always* strict index order — that is the reconciliation
+/// that keeps per-fault verdicts schedule-independent. With `window == 1`
+/// commit and emission coincide (the legacy strict in-order mode, byte-
+/// identical to the sequential engine). With a wider window, an arrived
+/// solve for any fault in `[frontier, frontier + window)` commits as soon
+/// as it is eligible — its test starts dropping faults without waiting
+/// for the frontier — and its record is held until the frontier reaches
+/// it. Within one drain pass, eligible window entries commit in ascending
+/// index order.
 fn commit_loop(
     rx: mpsc::Receiver<Solved>,
     faults: &[Fault],
     detected: &mut [bool],
     drop_bits: &DropBitmap,
+    window: usize,
     result: &mut CampaignResult,
 ) -> Committed {
     let mut committed = Committed {
@@ -524,43 +663,63 @@ fn commit_loop(
         unsat: 0,
         dropped: 0,
     };
+    // Arrived solves not yet committed, keyed by fault index.
     let mut pending: HashMap<usize, Solved> = HashMap::new();
+    // Records committed ahead of the frontier (window > 1): their effects
+    // are already applied, the record waits for in-order emission.
+    let mut held: HashMap<usize, FaultRecord> = HashMap::new();
+    // Lowest fault index not yet emitted.
     let mut frontier = 0usize;
     loop {
-        // Advance the frontier as far as the committed state allows.
-        while frontier < faults.len() {
-            if detected[frontier] {
-                pending.remove(&frontier); // speculative solve, superseded
-                result
-                    .records
-                    .push(campaign::simulated_record(faults[frontier]));
-                committed.dropped += 1;
-                frontier += 1;
-                continue;
-            }
-            let Some(solved) = pending.remove(&frontier) else {
-                break;
-            };
-            if let FaultOutcome::Detected(vector) = &solved.record.outcome {
-                detected[frontier] = true;
-                drop_bits.set(frontier);
-                if let Some(hits) = &solved.hits {
-                    for (j, d) in detected.iter_mut().enumerate() {
-                        if hits[j / 64] >> (j % 64) & 1 != 0 && !*d {
-                            *d = true;
-                            drop_bits.set(j);
-                        }
-                    }
+        // Drain to a fixpoint: emitting at the frontier widens the window,
+        // and a speculative commit can drop the fault the frontier waits
+        // on, so the two passes feed each other.
+        loop {
+            let before = (frontier, held.len(), pending.len());
+            // Emit in strict index order as far as the state allows.
+            while frontier < faults.len() {
+                if let Some(record) = held.remove(&frontier) {
+                    result.records.push(record);
+                    frontier += 1;
+                } else if detected[frontier] {
+                    pending.remove(&frontier); // speculative solve, superseded
+                    result
+                        .records
+                        .push(campaign::simulated_record(faults[frontier]));
+                    committed.dropped += 1;
+                    frontier += 1;
+                } else if let Some(solved) = pending.remove(&frontier) {
+                    let record = apply_commit(solved, detected, drop_bits, result, &mut committed);
+                    result.records.push(record);
+                    frontier += 1;
+                } else {
+                    break;
                 }
-                result.tests.push(vector.clone());
-                committed.sat += 1;
-            } else {
-                // Untestable or aborted: the solver call is committed —
-                // and was necessary — even though no test came out of it.
-                committed.unsat += 1;
             }
-            result.records.push(solved.record);
-            frontier += 1;
+            // Speculative commits inside the window, ascending so the
+            // committed state is a deterministic function of the arrival
+            // set, not the arrival order.
+            if window > 1 {
+                let mut eligible: Vec<usize> = pending
+                    .keys()
+                    .copied()
+                    .filter(|&i| i < frontier + window)
+                    .collect();
+                eligible.sort_unstable();
+                for i in eligible {
+                    if detected[i] {
+                        // Superseded by a commit earlier in this pass; the
+                        // frontier will emit a simulated record for it.
+                        continue;
+                    }
+                    let solved = pending.remove(&i).expect("eligible keys are pending");
+                    let record = apply_commit(solved, detected, drop_bits, result, &mut committed);
+                    held.insert(i, record);
+                }
+            }
+            if (frontier, held.len(), pending.len()) == before {
+                break;
+            }
         }
         if frontier >= faults.len() {
             break;
@@ -621,6 +780,45 @@ mod tests {
     }
 
     #[test]
+    fn pop_chunk_covers_every_index_once() {
+        let q = ShardedQueue::new(100, 4);
+        let mut seen = vec![false; 100];
+        // Worker 3 drains everything: own shard first, then steals.
+        while let Some((range, _)) = q.pop_chunk(3, 64) {
+            for i in range {
+                assert!(!seen[i], "index {i} popped twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        for w in 0..4 {
+            assert!(q.pop_chunk(w, 64).is_none());
+        }
+    }
+
+    #[test]
+    fn pop_chunk_takes_quarter_own_half_stolen_and_respects_cap() {
+        let q = ShardedQueue::new(64, 2); // shards 0..32 and 32..64
+        let (r, stolen) = q.pop_chunk(0, 64).unwrap();
+        assert!(!stolen);
+        assert_eq!(r, 0..8, "own pop takes a quarter of the remainder");
+        // Drain the rest of shard 0, then the first steal takes half of
+        // the victim's untouched 32.
+        loop {
+            let (r, stolen) = q.pop_chunk(0, 64).unwrap();
+            if stolen {
+                assert_eq!(r, 32..48, "steal takes half of the remainder");
+                break;
+            }
+            assert!(r.end <= 32);
+        }
+        // The cap clamps the take (16 remain, quarter = 4, cap = 3).
+        let (r, stolen) = q.pop_chunk(1, 3).unwrap();
+        assert!(!stolen);
+        assert_eq!(r, 48..51);
+    }
+
+    #[test]
     fn empty_queue() {
         let q = ShardedQueue::new(0, 4);
         for w in 0..4 {
@@ -670,6 +868,42 @@ mod tests {
             assert_eq!(run.report.workers.len(), threads);
             let popped: usize = run.report.workers.iter().map(|w| w.popped).sum();
             assert_eq!(popped, run.report.queue_depth, "every fault popped once");
+        }
+    }
+
+    #[test]
+    fn commit_window_preserves_detection_report_at_any_width() {
+        let nl = c17();
+        let config = AtpgConfig {
+            random_patterns: 32,
+            seed: 7,
+            ..AtpgConfig::default()
+        };
+        let sequential = campaign::run(&nl, &config);
+        let want = sequential.detection_report();
+        let canon = sequential.canonical_report();
+        for window in [1, 4, 16] {
+            for threads in [1, 2, 4] {
+                let run = AtpgCampaign::new(config)
+                    .with_threads(threads)
+                    .with_commit_window(window)
+                    .run(&nl);
+                assert_eq!(
+                    run.result.detection_report(),
+                    want,
+                    "threads={threads} window={window}: detection must match sequential"
+                );
+                assert_eq!(run.report.commit_window, window);
+                let r = &run.report;
+                assert_eq!(r.committed_solves() + r.dropped, r.queue_depth);
+                if window == 1 {
+                    assert_eq!(
+                        run.result.canonical_report(),
+                        canon,
+                        "threads={threads}: window 1 keeps byte identity"
+                    );
+                }
+            }
         }
     }
 

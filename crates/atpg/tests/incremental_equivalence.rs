@@ -53,6 +53,31 @@ fn detection_reports_match_across_engines_and_thread_counts() {
     }
 }
 
+/// Warm per-worker solvers combined with out-of-order commit windows —
+/// the full fast path of the scaling bench — still land on the
+/// from-scratch detection verdicts at every thread count and width.
+#[test]
+fn warm_solvers_with_commit_windows_match_detection_report() {
+    let (scratch, incremental) = configs();
+    for (name, nl) in [("c17", suite::c17()), ("pri4", suite::priority_encoder(4))] {
+        let want = campaign::run(&nl, &scratch).detection_report();
+        for window in [1, 4, 16] {
+            for threads in [1, 2, 8] {
+                let run = AtpgCampaign::new(incremental)
+                    .with_threads(threads)
+                    .with_commit_window(window)
+                    .run(&nl);
+                assert_eq!(
+                    run.result.detection_report(),
+                    want,
+                    "{name}: incremental threads={threads} window={window} \
+                     diverges from from-scratch"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn incremental_vectors_verify_and_coverage_matches() {
     let (scratch, incremental) = configs();

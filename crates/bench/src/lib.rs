@@ -28,14 +28,19 @@ pub fn resolve_suite(name: &str) -> Option<Vec<NamedCircuit>> {
 }
 
 /// Minimal `--key value` flag parser over `std::env::args`-style input.
-/// Returns `(positional, flags)`.
+/// Returns `(positional, flags)`. A `--flag` followed by another `--flag`
+/// (or by nothing) is a presence flag with an empty value — check it with
+/// [`has_flag`].
 pub fn parse_args(args: impl Iterator<Item = String>) -> (Vec<String>, Vec<(String, String)>) {
     let mut positional = Vec::new();
     let mut flags = Vec::new();
     let mut it = args.peekable();
     while let Some(a) = it.next() {
         if let Some(key) = a.strip_prefix("--") {
-            let value = it.next().unwrap_or_default();
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().unwrap_or_default(),
+                _ => String::new(),
+            };
             flags.push((key.to_string(), value));
         } else {
             positional.push(a);
@@ -50,6 +55,11 @@ pub fn flag<T: std::str::FromStr>(flags: &[(String, String)], key: &str) -> Opti
         .iter()
         .find(|(k, _)| k == key)
         .and_then(|(_, v)| v.parse().ok())
+}
+
+/// Whether a flag was passed at all (with or without a value).
+pub fn has_flag(flags: &[(String, String)], key: &str) -> bool {
+    flags.iter().any(|(k, _)| k == key)
 }
 
 #[cfg(test)]
@@ -74,5 +84,19 @@ mod tests {
         assert_eq!(pos, vec!["iscas"]);
         assert_eq!(flag::<usize>(&flags, "cap"), Some(50));
         assert_eq!(flag::<usize>(&flags, "missing"), None);
+        assert!(has_flag(&flags, "fast"));
+        assert!(!has_flag(&flags, "missing"));
+    }
+
+    #[test]
+    fn presence_flag_does_not_swallow_the_next_flag() {
+        let (pos, flags) = parse_args(
+            ["--incremental", "--window", "4", "mcnc"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(pos, vec!["mcnc"]);
+        assert!(has_flag(&flags, "incremental"));
+        assert_eq!(flag::<usize>(&flags, "window"), Some(4));
     }
 }

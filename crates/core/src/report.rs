@@ -288,44 +288,83 @@ pub struct ScalingRun {
     pub per_worker_solved: Vec<usize>,
 }
 
-/// Renders the scaling measurements as JSON (`results/scaling.json`
-/// schema). Speedup is relative to the first run (the 1-thread baseline
-/// by convention). No serde in this workspace — the schema is flat enough
-/// to hand-roll.
+/// A whole scaling experiment: the suite it ran, the host it ran on, the
+/// engine configuration, and one [`ScalingRun`] per thread count.
+#[derive(Debug, Clone)]
+pub struct ScalingReport {
+    /// Benchmark suite name.
+    pub suite: String,
+    /// `std::thread::available_parallelism()` on the measuring host —
+    /// the honest context for every speedup number in the file.
+    pub host_cpus: usize,
+    /// Commit-window width the campaigns ran with (1 = strict in-order).
+    pub commit_window: usize,
+    /// Whether workers kept warm incremental solvers across faults.
+    pub incremental: bool,
+    /// One measurement per thread count; the first is the speedup
+    /// baseline (1 thread by convention).
+    pub runs: Vec<ScalingRun>,
+}
+
+impl ScalingReport {
+    /// Renders as JSON (`results/scaling.json` schema). Speedup is
+    /// relative to the first run. Runs with more threads than
+    /// `host_cpus` are annotated `"oversubscribed": true` — their
+    /// speedups measure scheduler contention, not scaling. No serde in
+    /// this workspace — the schema is flat enough to hand-roll.
+    pub fn to_json(&self) -> String {
+        fn escape(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let base = self.runs.first().map(|r| r.wall.as_secs_f64());
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"suite\": \"{}\",", escape(&self.suite));
+        let _ = writeln!(s, "  \"host_cpus\": {},", self.host_cpus);
+        let _ = writeln!(s, "  \"commit_window\": {},", self.commit_window);
+        let _ = writeln!(s, "  \"incremental\": {},", self.incremental);
+        let _ = writeln!(s, "  \"runs\": [");
+        for (i, r) in self.runs.iter().enumerate() {
+            let wall = r.wall.as_secs_f64();
+            let speedup = match base {
+                Some(b) if wall > 0.0 => b / wall,
+                _ => 1.0,
+            };
+            let workers: Vec<String> = r.per_worker_solved.iter().map(|n| n.to_string()).collect();
+            let _ = write!(
+                s,
+                "    {{\"threads\": {}, \"oversubscribed\": {}, \"wall_s\": {:.6}, \
+                 \"speedup\": {:.3}, \"drop_rate\": {:.4}, \"committed_sat\": {}, \
+                 \"committed_unsat\": {}, \"wasted_solves\": {}, \
+                 \"per_worker_solved\": [{}]}}",
+                r.threads,
+                r.threads > self.host_cpus,
+                wall,
+                speedup,
+                r.drop_rate,
+                r.committed_sat,
+                r.committed_unsat,
+                r.wasted_solves,
+                workers.join(", ")
+            );
+            let _ = writeln!(s, "{}", if i + 1 < self.runs.len() { "," } else { "" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Renders scaling measurements taken with the default engine
+/// configuration (strict in-order committing, from-scratch solving) as
+/// JSON. See [`ScalingReport::to_json`].
 pub fn scaling_json(suite: &str, host_cpus: usize, runs: &[ScalingRun]) -> String {
-    fn escape(s: &str) -> String {
-        s.replace('\\', "\\\\").replace('"', "\\\"")
+    ScalingReport {
+        suite: suite.to_string(),
+        host_cpus,
+        commit_window: 1,
+        incremental: false,
+        runs: runs.to_vec(),
     }
-    let base = runs.first().map(|r| r.wall.as_secs_f64());
-    let mut s = String::from("{\n");
-    let _ = writeln!(s, "  \"suite\": \"{}\",", escape(suite));
-    let _ = writeln!(s, "  \"host_cpus\": {host_cpus},");
-    let _ = writeln!(s, "  \"runs\": [");
-    for (i, r) in runs.iter().enumerate() {
-        let wall = r.wall.as_secs_f64();
-        let speedup = match base {
-            Some(b) if wall > 0.0 => b / wall,
-            _ => 1.0,
-        };
-        let workers: Vec<String> = r.per_worker_solved.iter().map(|n| n.to_string()).collect();
-        let _ = write!(
-            s,
-            "    {{\"threads\": {}, \"wall_s\": {:.6}, \"speedup\": {:.3}, \
-             \"drop_rate\": {:.4}, \"committed_sat\": {}, \"committed_unsat\": {}, \
-             \"wasted_solves\": {}, \"per_worker_solved\": [{}]}}",
-            r.threads,
-            wall,
-            speedup,
-            r.drop_rate,
-            r.committed_sat,
-            r.committed_unsat,
-            r.wasted_solves,
-            workers.join(", ")
-        );
-        let _ = writeln!(s, "{}", if i + 1 < runs.len() { "," } else { "" });
-    }
-    s.push_str("  ]\n}\n");
-    s
+    .to_json()
 }
 
 #[cfg(test)]
@@ -371,11 +410,41 @@ mod parallel_report_tests {
         let j = scaling_json("mcnc", 4, &runs);
         assert!(j.contains("\"suite\": \"mcnc\""), "{j}");
         assert!(j.contains("\"host_cpus\": 4"), "{j}");
+        assert!(j.contains("\"commit_window\": 1"), "{j}");
+        assert!(j.contains("\"incremental\": false"), "{j}");
         assert!(j.contains("\"speedup\": 2.000"), "{j}");
         assert!(j.contains("\"per_worker_solved\": [7, 5]"), "{j}");
+        assert!(!j.contains("\"oversubscribed\": true"), "{j}");
         // Balanced braces/brackets — cheap well-formedness check.
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn scaling_report_annotates_oversubscription_and_config() {
+        let run = |threads: usize| ScalingRun {
+            threads,
+            wall: Duration::from_millis(100),
+            drop_rate: 0.5,
+            committed_sat: 10,
+            committed_unsat: 0,
+            wasted_solves: 0,
+            per_worker_solved: vec![10],
+        };
+        let j = ScalingReport {
+            suite: "mcnc".into(),
+            host_cpus: 2,
+            commit_window: 16,
+            incremental: true,
+            runs: vec![run(1), run(2), run(4)],
+        }
+        .to_json();
+        assert!(j.contains("\"commit_window\": 16"), "{j}");
+        assert!(j.contains("\"incremental\": true"), "{j}");
+        // 1 and 2 threads fit the 2-cpu host; 4 does not.
+        assert_eq!(j.matches("\"oversubscribed\": false").count(), 2, "{j}");
+        assert_eq!(j.matches("\"oversubscribed\": true").count(), 1, "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 }
 

@@ -108,6 +108,7 @@ mod tests {
         CampaignMeta {
             circuit: circuit.into(),
             threads: 1,
+            commit_window: 1,
             queue_depth: committed_sat + committed_unsat,
             committed_sat,
             committed_unsat,

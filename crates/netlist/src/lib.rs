@@ -52,7 +52,7 @@ pub mod sweep;
 pub mod topo;
 
 pub use error::NetlistError;
-pub use gate::{Gate, GateKind};
+pub use gate::{splat_block, Gate, GateKind, PatternBlock, LANES, ZERO_BLOCK};
 pub use id::{GateId, NetId};
 pub use netlist::{Net, Netlist};
 pub use stats::CircuitStats;

@@ -4,7 +4,16 @@
 //! simulation pattern `p`, so one pass evaluates 64 input vectors at once.
 //! This is the classic parallel-pattern technique ATPG tools (including
 //! TEGUS) use for fault dropping.
+//!
+//! The block-wide entry points ([`Simulator::run_block_into`],
+//! [`Simulator::resim_cone_forced_block`]) widen each net to a
+//! [`PatternBlock`] of [`LANES`] lanes — 256 patterns per pass — in a
+//! SIMD-friendly layout: lanes never interact, so every gate evaluates
+//! as straight-line lane-wise bit logic the compiler vectorizes. The
+//! `_into` variants additionally reuse caller-owned buffers, so a
+//! campaign's fault-dropping hot loop performs no per-call allocation.
 
+pub use crate::gate::{splat_block, PatternBlock, LANES, ZERO_BLOCK};
 use crate::{topo, NetId, Netlist};
 
 /// A reusable simulator for one netlist.
@@ -41,9 +50,25 @@ impl Simulator {
     /// Panics if `input_words.len() != nl.num_inputs()` or the netlist does
     /// not match the one the simulator was built for.
     pub fn run(&self, nl: &Netlist, input_words: &[u64]) -> Vec<u64> {
+        let mut values = Vec::new();
+        self.run_into(nl, input_words, &mut values);
+        values
+    }
+
+    /// Like [`Self::run`], but writing into a caller-owned buffer instead
+    /// of allocating the result — the fault-dropping hot path calls this
+    /// once per test batch, so reusing `values` across calls removes the
+    /// per-call allocation entirely. The buffer is resized as needed; any
+    /// previous contents are overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::run`].
+    pub fn run_into(&self, nl: &Netlist, input_words: &[u64], values: &mut Vec<u64>) {
         assert_eq!(input_words.len(), nl.num_inputs(), "one word per input");
         assert_eq!(nl.num_nets(), self.num_nets, "netlist/simulator mismatch");
-        let mut values = vec![0u64; self.num_nets];
+        values.clear();
+        values.resize(self.num_nets, 0);
         for (i, &net) in nl.inputs().iter().enumerate() {
             values[net.index()] = input_words[i];
         }
@@ -54,7 +79,52 @@ impl Simulator {
             in_buf.extend(gate.inputs.iter().map(|&n| values[n.index()]));
             values[gate.output.index()] = gate.kind.eval_words(&in_buf);
         }
+    }
+
+    /// Evaluates all nets for 256 parallel patterns (one [`PatternBlock`]
+    /// per net). `input_blocks[i]` supplies the block for
+    /// `nl.inputs()[i]`; lane `l` bit `p` of every block belongs to
+    /// pattern `64 * l + p`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::run`].
+    pub fn run_block(&self, nl: &Netlist, input_blocks: &[PatternBlock]) -> Vec<PatternBlock> {
+        let mut values = Vec::new();
+        self.run_block_into(nl, input_blocks, &mut values);
         values
+    }
+
+    /// [`Self::run_block`] into a caller-owned buffer (resized as needed,
+    /// previous contents overwritten) — the 256-wide analogue of
+    /// [`Self::run_into`]. One pass here costs one topological sweep for
+    /// four times the patterns of a 64-wide pass; the per-gate dispatch
+    /// and operand gather are paid once per block instead of once per
+    /// word, and the lane-wise evaluation vectorizes.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::run`].
+    pub fn run_block_into(
+        &self,
+        nl: &Netlist,
+        input_blocks: &[PatternBlock],
+        values: &mut Vec<PatternBlock>,
+    ) {
+        assert_eq!(input_blocks.len(), nl.num_inputs(), "one block per input");
+        assert_eq!(nl.num_nets(), self.num_nets, "netlist/simulator mismatch");
+        values.clear();
+        values.resize(self.num_nets, ZERO_BLOCK);
+        for (i, &net) in nl.inputs().iter().enumerate() {
+            values[net.index()] = input_blocks[i];
+        }
+        let mut in_buf: Vec<PatternBlock> = Vec::with_capacity(8);
+        for &gid in &self.order {
+            let gate = nl.gate(gid);
+            in_buf.clear();
+            in_buf.extend(gate.inputs.iter().map(|&n| values[n.index()]));
+            values[gate.output.index()] = gate.kind.eval_blocks(&in_buf);
+        }
     }
 
     /// The topological gate order this simulator evaluates in.
@@ -132,6 +202,50 @@ impl Simulator {
         let mut detect = 0u64;
         for &o in nl.outputs() {
             detect |= scratch[o.index()] ^ good[o.index()];
+        }
+        scratch[forced.index()] = good[forced.index()];
+        for &gid in cone {
+            let out = nl.gate(gid).output;
+            scratch[out.index()] = good[out.index()];
+        }
+        detect
+    }
+
+    /// [`Self::resim_cone_forced`] over [`PatternBlock`]s: event-driven
+    /// faulty resimulation of 256 patterns in one cone sweep. `good` and
+    /// `scratch` hold one block per net (from [`Self::run_block_into`]),
+    /// `scratch` must equal `good` on entry and is restored before
+    /// returning. Returns the detection block: lane `l` bit `p` is set
+    /// iff pattern `64 * l + p` observes a difference on some primary
+    /// output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `good` / `scratch` are not sized for this netlist.
+    pub fn resim_cone_forced_block(
+        &self,
+        nl: &Netlist,
+        good: &[PatternBlock],
+        scratch: &mut [PatternBlock],
+        forced: NetId,
+        forced_value: PatternBlock,
+        cone: &[crate::GateId],
+    ) -> PatternBlock {
+        assert_eq!(good.len(), self.num_nets, "good values cover every net");
+        assert_eq!(scratch.len(), self.num_nets, "scratch covers every net");
+        scratch[forced.index()] = forced_value;
+        let mut in_buf: Vec<PatternBlock> = Vec::with_capacity(8);
+        for &gid in cone {
+            let gate = nl.gate(gid);
+            in_buf.clear();
+            in_buf.extend(gate.inputs.iter().map(|&n| scratch[n.index()]));
+            scratch[gate.output.index()] = gate.kind.eval_blocks(&in_buf);
+        }
+        let mut detect = ZERO_BLOCK;
+        for &o in nl.outputs() {
+            for l in 0..LANES {
+                detect[l] |= scratch[o.index()][l] ^ good[o.index()][l];
+            }
         }
         scratch[forced.index()] = good[forced.index()];
         for &gid in cone {
@@ -260,5 +374,71 @@ mod tests {
         // Sanity: the fault on y0 has a two-gate circuit but a one-gate cone.
         assert!(crate::topo::fanout_cone_gates(&nl, sim.order(), y0).is_empty());
         assert_eq!(crate::topo::fanout_cone_gates(&nl, sim.order(), b).len(), 2);
+    }
+
+    #[test]
+    fn run_into_reuses_buffer_and_matches_run() {
+        let nl = xor2();
+        let sim = Simulator::new(&nl);
+        let mut buf = vec![0xDEADu64; 1]; // wrong size and stale contents
+        sim.run_into(&nl, &[0b1010, 0b1100], &mut buf);
+        assert_eq!(buf, sim.run(&nl, &[0b1010, 0b1100]));
+        let ptr = buf.as_ptr();
+        sim.run_into(&nl, &[0b0011, 0b0101], &mut buf);
+        assert_eq!(ptr, buf.as_ptr(), "right-sized buffer is not reallocated");
+        assert_eq!(buf, sim.run(&nl, &[0b0011, 0b0101]));
+    }
+
+    #[test]
+    fn block_run_matches_four_lane_wise_word_runs() {
+        let nl = xor2();
+        let sim = Simulator::new(&nl);
+        let a: PatternBlock = [0xF0F0, 0xAAAA, 0x1234, !0];
+        let b: PatternBlock = [0xCCCC, 0x5555, 0x4321, 0];
+        let blocks = sim.run_block(&nl, &[a, b]);
+        for l in 0..LANES {
+            let words = sim.run(&nl, &[a[l], b[l]]);
+            for (net, &w) in words.iter().enumerate() {
+                assert_eq!(blocks[net][l], w, "net {net} lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_cone_resim_matches_word_cone_resim_per_lane() {
+        let mut nl = Netlist::new("two_cones");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let y0 = nl.add_gate_named(GateKind::And, vec![a, b], "y0").unwrap();
+        let y1 = nl.add_gate_named(GateKind::Or, vec![b, c], "y1").unwrap();
+        nl.add_output(y0);
+        nl.add_output(y1);
+        let sim = Simulator::new(&nl);
+        let ins: Vec<PatternBlock> = (0..3u64)
+            .map(|i| core::array::from_fn(|l| (i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15 << l)))
+            .collect();
+        let good = sim.run_block(&nl, &ins);
+        let mut scratch = good.clone();
+        for (net, stuck) in [(y0, false), (b, true), (a, false), (c, true)] {
+            let cone = crate::topo::fanout_cone_gates(&nl, sim.order(), net);
+            let forced = splat_block(if stuck { !0 } else { 0 });
+            let det = sim.resim_cone_forced_block(&nl, &good, &mut scratch, net, forced, &cone);
+            assert_eq!(scratch, good, "scratch restored");
+            for l in 0..LANES {
+                let lane_ins: Vec<u64> = ins.iter().map(|b| b[l]).collect();
+                let lane_good = sim.run(&nl, &lane_ins);
+                let mut lane_scratch = lane_good.clone();
+                let want = sim.resim_cone_forced(
+                    &nl,
+                    &lane_good,
+                    &mut lane_scratch,
+                    net,
+                    if stuck { !0 } else { 0 },
+                    &cone,
+                );
+                assert_eq!(det[l], want, "net {net:?} lane {l}");
+            }
+        }
     }
 }

@@ -240,6 +240,7 @@ mod tests {
             outcome: outcome.into(),
             wall_ns,
             worker: 0,
+            proof_bytes: 0,
             counters: Counters {
                 decisions: 3 + seq,
                 propagations: 9,
@@ -253,6 +254,7 @@ mod tests {
         CampaignMeta {
             circuit: "c17".into(),
             threads: 2,
+            commit_window: 1,
             queue_depth: 22,
             committed_sat: 2,
             committed_unsat: 1,

@@ -93,6 +93,8 @@ pub struct CampaignMeta {
     pub circuit: String,
     /// Worker threads used.
     pub threads: u64,
+    /// Commit-window width (1 = strict in-order committing).
+    pub commit_window: u64,
     /// Fault-queue depth (targeted faults).
     pub queue_depth: u64,
     /// Committed solver calls that detected their fault (SAT).
@@ -114,6 +116,7 @@ impl CampaignMeta {
         let mut s = String::from("{\"type\":\"campaign\"");
         push_str(&mut s, "circuit", &self.circuit);
         push_num(&mut s, "threads", self.threads);
+        push_num(&mut s, "commit_window", self.commit_window);
         push_num(&mut s, "queue_depth", self.queue_depth);
         push_num(&mut s, "committed_sat", self.committed_sat);
         push_num(&mut s, "committed_unsat", self.committed_unsat);
@@ -351,6 +354,9 @@ pub fn parse_jsonl_line(line: &str) -> Result<TraceLine, String> {
         "campaign" => Ok(TraceLine::Campaign(CampaignMeta {
             circuit: f.str("circuit")?,
             threads: f.num("threads")?,
+            // Postdates the original schema: strict in-order committing
+            // (width 1) was the only mode before windows existed.
+            commit_window: f.num_opt("commit_window")?.unwrap_or(1),
             queue_depth: f.num("queue_depth")?,
             committed_sat: f.num("committed_sat")?,
             // Postdates the original schema: old traces folded UNSAT
@@ -421,6 +427,7 @@ mod tests {
             let m = CampaignMeta {
                 circuit: "b9".into(),
                 threads: 8,
+                commit_window: 16,
                 queue_depth: 310,
                 committed_sat: 110,
                 committed_unsat: 10,
@@ -432,6 +439,18 @@ mod tests {
                 Ok(TraceLine::Campaign(back)) => assert_eq!(back, m),
                 other => panic!("{other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn campaign_without_commit_window_parses_as_strict_in_order() {
+        // A pre-window trace line: commit_window must default to 1.
+        let line = "{\"type\":\"campaign\",\"circuit\":\"c17\",\"threads\":2,\
+                    \"queue_depth\":22,\"committed_sat\":20,\"dropped\":2,\
+                    \"wasted_solves\":0}";
+        match parse_jsonl_line(line) {
+            Ok(TraceLine::Campaign(m)) => assert_eq!(m.commit_window, 1),
+            other => panic!("{other:?}"),
         }
     }
 
@@ -463,6 +482,7 @@ mod tests {
             CampaignMeta {
                 circuit: "c17".into(),
                 threads: 1,
+                commit_window: 1,
                 queue_depth: 22,
                 committed_sat: 20,
                 committed_unsat: 2,

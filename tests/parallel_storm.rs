@@ -51,6 +51,58 @@ fn eight_thread_storm_matches_single_thread_byte_for_byte() {
     }
 }
 
+/// The commit-window sweep: at every thread count × window width the
+/// per-fault detection report must be byte-identical to the 1-thread
+/// strict baseline, and window 1 must additionally preserve the full
+/// canonical bytes (the legacy contract). This is the reconciliation
+/// guarantee under real OS-thread contention.
+#[test]
+fn window_sweep_keeps_detection_identical_across_threads() {
+    let nl = generate(&RandomCircuitConfig {
+        gates: 160,
+        inputs: 24,
+        locality: 0.6,
+        seed: 21,
+        ..RandomCircuitConfig::default()
+    })
+    .expect("valid random circuit");
+    let config = AtpgConfig {
+        random_patterns: 32,
+        seed: 21,
+        ..AtpgConfig::default()
+    };
+    let baseline = AtpgCampaign::new(config).with_threads(1).run(&nl);
+    let detection = baseline.result.detection_report();
+    let canonical = baseline.result.canonical_report();
+    for window in [1usize, 4, 16] {
+        for threads in [1usize, 2, 4, 8] {
+            let run = AtpgCampaign::new(config)
+                .with_threads(threads)
+                .with_commit_window(window)
+                .run(&nl);
+            assert_eq!(
+                run.result.detection_report(),
+                detection,
+                "threads={threads} window={window}: detection report diverged"
+            );
+            if window == 1 {
+                assert_eq!(
+                    run.result.canonical_report(),
+                    canonical,
+                    "threads={threads}: window 1 must stay byte-identical"
+                );
+            }
+            let popped: usize = run.report.workers.iter().map(|w| w.popped).sum();
+            assert_eq!(popped, run.report.queue_depth, "every fault popped once");
+            let chunks: usize = run.report.workers.iter().map(|w| w.chunks).sum();
+            assert!(
+                chunks <= popped,
+                "chunked pops must batch indices, not duplicate them"
+            );
+        }
+    }
+}
+
 #[test]
 fn storm_without_dropping_is_also_deterministic() {
     // With dropping off there is no bitmap coordination at all — commit

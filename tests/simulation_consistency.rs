@@ -123,4 +123,34 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn wide_simulation_matches_four_word_runs(nl in small_circuit(), seed in any::<u64>()) {
+        // One 256-pattern block run must agree bit-for-bit with four
+        // independent 64-pattern word runs over the same patterns.
+        let s = sim::Simulator::new(&nl);
+        let n = nl.num_inputs();
+        let mut state = seed;
+        let mut next = move || {
+            // splitmix64 — cheap deterministic fill for the pattern bits.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let blocks: Vec<sim::PatternBlock> =
+            (0..n).map(|_| [next(), next(), next(), next()]).collect();
+        let wide = s.run_block(&nl, &blocks);
+        for lane in 0..sim::LANES {
+            let words: Vec<u64> = blocks.iter().map(|b| b[lane]).collect();
+            let narrow = s.run(&nl, &words);
+            for (net, &word) in narrow.iter().enumerate() {
+                prop_assert_eq!(
+                    wide[net][lane], word,
+                    "net {} lane {} diverges between wide and word runs", net, lane
+                );
+            }
+        }
+    }
 }

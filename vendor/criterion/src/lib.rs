@@ -14,6 +14,18 @@ use std::time::{Duration, Instant};
 /// `criterion::black_box`.
 pub use std::hint::black_box;
 
+/// Per-iteration workload size, for rate reporting (criterion's
+/// `Throughput` — only the variants the workspace benches use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration;
+    /// reports land in elements/sec.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration; reports
+    /// land in bytes/sec.
+    Bytes(u64),
+}
+
 /// The timing loop handed to each benchmark closure.
 #[derive(Debug, Default)]
 pub struct Bencher {
@@ -43,7 +55,7 @@ impl Bencher {
         }
     }
 
-    fn report(&self, name: &str) {
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
         if self.samples.is_empty() || self.iters_per_sample == 0 {
             println!("{name:40} (no samples)");
             return;
@@ -56,7 +68,14 @@ impl Bencher {
         per_iter.sort_unstable();
         let median = per_iter[per_iter.len() / 2];
         let min = per_iter[0];
-        println!("{name:40} median {median:>12.3?}   min {min:>12.3?}");
+        let rate = throughput.map_or(String::new(), |t| {
+            let secs = median.as_secs_f64().max(1e-12);
+            match t {
+                Throughput::Elements(n) => format!("   {:>12.3e} elem/s", n as f64 / secs),
+                Throughput::Bytes(n) => format!("   {:>12.3e} B/s", n as f64 / secs),
+            }
+        });
+        println!("{name:40} median {median:>12.3?}   min {min:>12.3?}{rate}");
     }
 }
 
@@ -65,6 +84,7 @@ pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
     sample_size: usize,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -74,13 +94,21 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Sets the per-iteration workload for every following
+    /// `bench_function` in this group, so reports carry a rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
     /// Runs one benchmark in the group.
     pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let label = format!("{}/{}", self.name, id.as_ref());
-        self.criterion.run_one(&label, self.sample_size, f);
+        self.criterion
+            .run_one(&label, self.sample_size, self.throughput, f);
         self
     }
 
@@ -97,13 +125,19 @@ pub struct Criterion {
 }
 
 impl Criterion {
-    fn run_one<F: FnMut(&mut Bencher)>(&mut self, label: &str, samples: usize, mut f: F) {
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        label: &str,
+        samples: usize,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
         let mut b = Bencher {
             samples: Vec::with_capacity(samples),
             iters_per_sample: 0,
         };
         f(&mut b);
-        b.report(label);
+        b.report(label, throughput);
     }
 
     /// Runs one standalone benchmark.
@@ -111,7 +145,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        self.run_one(id.as_ref(), 10, f);
+        self.run_one(id.as_ref(), 10, None, f);
         self
     }
 
@@ -122,6 +156,7 @@ impl Criterion {
             criterion: self,
             name: name.as_ref().to_string(),
             sample_size: 10,
+            throughput: None,
         }
     }
 }
@@ -155,6 +190,7 @@ mod tests {
         c.bench_function("add", |b| b.iter(|| black_box(1u64 + 1)));
         let mut g = c.benchmark_group("group");
         g.sample_size(3);
+        g.throughput(Throughput::Elements(64));
         g.bench_function("mul", |b| b.iter(|| black_box(3u64 * 7)));
         g.finish();
     }
