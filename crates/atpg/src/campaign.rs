@@ -17,6 +17,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::certify::{CertifiedRun, StreamSink};
+use crate::driver::{CampaignDriver, DriverError};
 use crate::faultsim::{FaultSimulator, SimBuffers, WIDE_PATTERNS};
 use crate::{fault, miter, verify, Fault};
 
@@ -275,7 +276,9 @@ impl CampaignResult {
 /// campaign first trips over it. Also panics on XOR/XNOR gates wider
 /// than two inputs (decompose first).
 pub fn run(nl: &Netlist, config: &AtpgConfig) -> CampaignResult {
-    run_inner(nl, config, false, None).0
+    let mut driver = build_driver(nl, config, false, false);
+    while driver.step().is_some() {}
+    driver.into_result()
 }
 
 /// Runs a full campaign like [`run`], additionally emitting one
@@ -291,7 +294,10 @@ pub fn run(nl: &Netlist, config: &AtpgConfig) -> CampaignResult {
 ///
 /// Same conditions as [`run`].
 pub fn run_traced(nl: &Netlist, config: &AtpgConfig) -> (CampaignResult, Vec<InstanceTrace>) {
-    run_inner(nl, config, true, None)
+    let mut driver = build_driver(nl, config, true, false);
+    while driver.step().is_some() {}
+    let (result, traces, _) = driver.into_parts();
+    (result, traces)
 }
 
 /// Runs a full campaign like [`run_traced`], additionally logging a
@@ -315,9 +321,12 @@ pub fn run_traced(nl: &Netlist, config: &AtpgConfig) -> (CampaignResult, Vec<Ins
 /// and a stream that fails certification panics with the rendered `P*`
 /// diagnostics.
 pub fn run_certified(nl: &Netlist, config: &AtpgConfig) -> CertifiedRun {
-    let mut sink = StreamSink::new();
-    let (result, traces) = run_inner(nl, config, true, Some(&mut sink));
-    let events = sink.into_events();
+    let mut driver = build_driver(nl, config, true, true);
+    while driver.step().is_some() {}
+    let (result, traces, sink) = driver.into_parts();
+    let events = sink
+        .expect("certified drivers always carry a sink")
+        .into_events();
     if config.preflight {
         let (report, _) = atpg_easy_lint::proof::lint_proof_stream(&events);
         assert!(
@@ -334,77 +343,19 @@ pub fn run_certified(nl: &Netlist, config: &AtpgConfig) -> CertifiedRun {
     }
 }
 
-fn run_inner(
+/// Builds a [`CampaignDriver`] with the library entry points' panic
+/// behavior: a preflight failure dies with the rendered report rather
+/// than returning the typed error the serving layer consumes.
+fn build_driver(
     nl: &Netlist,
     config: &AtpgConfig,
     tracing: bool,
-    mut sink: Option<&mut StreamSink>,
-) -> (CampaignResult, Vec<InstanceTrace>) {
-    check_preflight(nl, config);
-    let faults = target_faults(nl, config);
-    let fs = FaultSimulator::with_cones(nl);
-    let mut detected = vec![false; faults.len()];
-
-    // Phase 1: random-pattern fault dropping.
-    let tests = random_phase(nl, config, &fs, &faults, &mut detected);
-    let mut result = CampaignResult {
-        records: Vec::with_capacity(faults.len()),
-        tests,
-    };
-    let mut traces = Vec::new();
-
-    // Phase 2: one ATPG-SAT instance per remaining fault. In incremental
-    // mode all instances share one warm solver instead of starting cold.
-    let mut inc = config
-        .incremental
-        .then(|| crate::incremental::IncrementalAtpg::new(nl, config));
-    if let (Some(s), Some(warm)) = (sink.as_deref_mut(), inc.as_ref()) {
-        warm.record_base_axioms(s);
+    certified: bool,
+) -> CampaignDriver {
+    match CampaignDriver::try_new(nl.clone(), config, tracing, certified) {
+        Ok(driver) => driver,
+        Err(DriverError::Preflight(msg)) => panic!("{msg}"),
     }
-    let mut drop_bufs = SimBuffers::default();
-    for (i, &f) in faults.iter().enumerate() {
-        if detected[i] {
-            result.records.push(simulated_record(f));
-            continue;
-        }
-        let index = result.records.len();
-        let (record, counters) = match (inc.as_mut(), sink.as_deref_mut()) {
-            (Some(warm), Some(s)) => warm.solve_fault_certified(f, config, index, s),
-            (Some(warm), None) if tracing => warm.solve_fault_counted(f, config),
-            (Some(warm), None) => (warm.solve_fault(f, config, None), Counters::default()),
-            (None, Some(s)) => solve_one_certified(nl, f, config, index, s),
-            (None, None) if tracing => solve_one_counted(nl, f, config),
-            (None, None) => (solve_one(nl, f, config), Counters::default()),
-        };
-        let proof_bytes = sink
-            .as_deref_mut()
-            .map_or(0, StreamSink::take_instance_bytes);
-        if tracing {
-            traces.push(fault_trace(
-                nl,
-                index as u64,
-                &record,
-                counters,
-                0,
-                proof_bytes,
-            ));
-        }
-        if let FaultOutcome::Detected(vector) = &record.outcome {
-            detected[i] = true;
-            if config.fault_dropping {
-                let hits =
-                    fs.detect_batch_with(nl, std::slice::from_ref(vector), &faults, &mut drop_bufs);
-                for (j, hit) in hits.into_iter().enumerate() {
-                    if hit {
-                        detected[j] = true;
-                    }
-                }
-            }
-            result.tests.push(vector.clone());
-        }
-        result.records.push(record);
-    }
-    (result, traces)
 }
 
 /// Runs the preflight lint if the config asks for it.

@@ -1,0 +1,380 @@
+//! A resumable, owning campaign handle: the sequential TEGUS loop of
+//! [`campaign::run`] unrolled into a state machine that is driven one
+//! fault at a time.
+//!
+//! [`CampaignDriver`] is the primitive the serving layer schedules:
+//! construction performs the preflight, fault enumeration and the
+//! random-pattern phase; every [`CampaignDriver::step`] then solves (or
+//! sim-retires) exactly one fault and returns its record. Between steps a
+//! scheduler can park the driver, tighten its wall budget against an
+//! approaching deadline ([`CampaignDriver::clamp_wall`]), or abandon the
+//! remaining faults ([`CampaignDriver::abandon`]).
+//!
+//! The library entry points [`campaign::run`], [`campaign::run_traced`]
+//! and [`campaign::run_certified`] are thin loops over this driver, so
+//! stepping a driver to completion is *by construction* byte-identical to
+//! the library path — the contract the serve e2e golden test pins.
+
+use std::time::Duration;
+
+use atpg_easy_netlist::Netlist;
+use atpg_easy_obs::{Counters, InstanceTrace};
+
+use crate::campaign::{self, AtpgConfig, CampaignResult, FaultOutcome, FaultRecord};
+use crate::certify::StreamSink;
+use crate::faultsim::{FaultSimulator, SimBuffers};
+use crate::incremental::IncrementalAtpg;
+use crate::Fault;
+
+/// Why a [`CampaignDriver`] could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriverError {
+    /// The netlist failed the lint preflight; the payload is the full
+    /// rendered diagnostic report (the same text [`campaign::run`] panics
+    /// with).
+    Preflight(String),
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverError::Preflight(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+/// A campaign paused between faults.
+///
+/// Owns everything the loop needs — netlist, fault list, simulator,
+/// optional warm incremental solver, optional proof sink — so the handle
+/// is `'static`: it can be queued, moved across worker threads and
+/// resumed later.
+pub struct CampaignDriver {
+    nl: Netlist,
+    config: AtpgConfig,
+    faults: Vec<Fault>,
+    detected: Vec<bool>,
+    fs: FaultSimulator,
+    inc: Option<IncrementalAtpg>,
+    sink: Option<StreamSink>,
+    tracing: bool,
+    bufs: SimBuffers,
+    next: usize,
+    result: CampaignResult,
+    traces: Vec<InstanceTrace>,
+    last_proof_bytes: u64,
+}
+
+impl CampaignDriver {
+    /// Builds a driver over `nl`, running the preflight, fault collapse
+    /// and the random-pattern phase. With `tracing`, each solved instance
+    /// also yields an [`InstanceTrace`]; with `certified`, every solve is
+    /// logged into an internal [`StreamSink`] proof stream (retrieve it
+    /// via [`CampaignDriver::into_parts`]).
+    ///
+    /// # Errors
+    ///
+    /// With `config.preflight` set, a netlist that fails the lint
+    /// preflight returns [`DriverError::Preflight`] instead of panicking
+    /// — the serving layer turns this into a typed error response.
+    pub fn try_new(
+        nl: Netlist,
+        config: &AtpgConfig,
+        tracing: bool,
+        certified: bool,
+    ) -> Result<Self, DriverError> {
+        if config.preflight {
+            let report = atpg_easy_lint::preflight(&nl);
+            if report.has_errors() {
+                return Err(DriverError::Preflight(format!(
+                    "netlist `{}` failed ATPG preflight:\n{}",
+                    nl.name(),
+                    report.render_human()
+                )));
+            }
+        }
+        let faults = campaign::target_faults(&nl, config);
+        let fs = FaultSimulator::with_cones(&nl);
+        let mut detected = vec![false; faults.len()];
+        let tests = campaign::random_phase(&nl, config, &fs, &faults, &mut detected);
+        let result = CampaignResult {
+            records: Vec::with_capacity(faults.len()),
+            tests,
+        };
+        let mut sink = certified.then(StreamSink::new);
+        let inc = config
+            .incremental
+            .then(|| IncrementalAtpg::new(&nl, config));
+        if let (Some(s), Some(warm)) = (sink.as_mut(), inc.as_ref()) {
+            warm.record_base_axioms(s);
+        }
+        Ok(CampaignDriver {
+            nl,
+            config: *config,
+            faults,
+            detected,
+            fs,
+            inc,
+            sink,
+            tracing,
+            bufs: SimBuffers::default(),
+            next: 0,
+            result,
+            traces: Vec::new(),
+            last_proof_bytes: 0,
+        })
+    }
+
+    /// The circuit this campaign targets.
+    pub fn netlist(&self) -> &Netlist {
+        &self.nl
+    }
+
+    /// The (possibly tightened) configuration driving the loop.
+    pub fn config(&self) -> &AtpgConfig {
+        &self.config
+    }
+
+    /// Total faults targeted (collapsed list length).
+    pub fn total_faults(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Index of the next fault to step; equals the number of records
+    /// emitted so far.
+    pub fn position(&self) -> usize {
+        self.next
+    }
+
+    /// Faults not yet stepped (or abandoned).
+    pub fn pending(&self) -> &[Fault] {
+        &self.faults[self.next..]
+    }
+
+    /// Faults currently marked detected by simulation or dropping. Read
+    /// before the first [`CampaignDriver::step`] this is exactly the
+    /// random-phase retirement count the serving layer reports in its
+    /// `start` line.
+    pub fn sim_detected(&self) -> usize {
+        self.detected.iter().filter(|&&d| d).count()
+    }
+
+    /// Whether every fault has been stepped or abandoned.
+    pub fn is_done(&self) -> bool {
+        self.next >= self.faults.len()
+    }
+
+    /// The result accumulated so far.
+    pub fn result(&self) -> &CampaignResult {
+        &self.result
+    }
+
+    /// Instance traces accumulated so far (empty unless built tracing).
+    pub fn traces(&self) -> &[InstanceTrace] {
+        &self.traces
+    }
+
+    /// Proof bytes logged by the most recent [`CampaignDriver::step`]
+    /// (0 for sim-retired faults or non-certified drivers).
+    pub fn last_proof_bytes(&self) -> u64 {
+        self.last_proof_bytes
+    }
+
+    /// Tightens the per-solve wall budget to at most `budget` for every
+    /// later step — both the config copy used for cold solves and the
+    /// warm incremental solver, if any. Budgets only ever shrink
+    /// ([`atpg_easy_sat::Limits::clamp_wall`]), so repeated calls with a
+    /// shrinking deadline remainder are safe.
+    pub fn clamp_wall(&mut self, budget: Duration) {
+        self.config.limits = self.config.limits.clamp_wall(budget);
+        if let Some(warm) = self.inc.as_mut() {
+            warm.set_limits(self.config.limits);
+        }
+    }
+
+    /// Gives up on every pending fault: no more records are emitted and
+    /// [`CampaignDriver::is_done`] becomes true. The records and tests
+    /// already produced stay valid — the serving layer flushes `deadline`
+    /// verdicts for [`CampaignDriver::pending`] before calling this.
+    pub fn abandon(&mut self) {
+        self.next = self.faults.len();
+    }
+
+    /// Resolves the next fault: sim-retired faults get their
+    /// [`FaultOutcome::DetectedBySimulation`] record; everything else is
+    /// solved exactly as [`campaign::run`] would (same solver dispatch,
+    /// same drop-batch application, same trace/proof bookkeeping).
+    /// Returns the record just emitted, or `None` when the campaign is
+    /// complete.
+    pub fn step(&mut self) -> Option<&FaultRecord> {
+        let i = self.next;
+        if i >= self.faults.len() {
+            return None;
+        }
+        self.next = i + 1;
+        let f = self.faults[i];
+        if self.detected[i] {
+            self.last_proof_bytes = 0;
+            self.result.records.push(campaign::simulated_record(f));
+            return self.result.records.last();
+        }
+        let index = self.result.records.len();
+        let tracing = self.tracing;
+        let (record, counters) = match (self.inc.as_mut(), self.sink.as_mut()) {
+            (Some(warm), Some(s)) => warm.solve_fault_certified(f, &self.config, index, s),
+            (Some(warm), None) if tracing => warm.solve_fault_counted(f, &self.config),
+            (Some(warm), None) => (warm.solve_fault(f, &self.config, None), Counters::default()),
+            (None, Some(s)) => campaign::solve_one_certified(&self.nl, f, &self.config, index, s),
+            (None, None) if tracing => campaign::solve_one_counted(&self.nl, f, &self.config),
+            (None, None) => (
+                campaign::solve_one(&self.nl, f, &self.config),
+                Counters::default(),
+            ),
+        };
+        let proof_bytes = self
+            .sink
+            .as_mut()
+            .map_or(0, StreamSink::take_instance_bytes);
+        self.last_proof_bytes = proof_bytes;
+        if tracing {
+            self.traces.push(campaign::fault_trace(
+                &self.nl,
+                index as u64,
+                &record,
+                counters,
+                0,
+                proof_bytes,
+            ));
+        }
+        if let FaultOutcome::Detected(vector) = &record.outcome {
+            self.detected[i] = true;
+            if self.config.fault_dropping {
+                let hits = self.fs.detect_batch_with(
+                    &self.nl,
+                    std::slice::from_ref(vector),
+                    &self.faults,
+                    &mut self.bufs,
+                );
+                for (j, hit) in hits.into_iter().enumerate() {
+                    if hit {
+                        self.detected[j] = true;
+                    }
+                }
+            }
+            self.result.tests.push(vector.clone());
+        }
+        self.result.records.push(record);
+        self.result.records.last()
+    }
+
+    /// Consumes the driver, returning the accumulated result.
+    pub fn into_result(self) -> CampaignResult {
+        self.result
+    }
+
+    /// Consumes the driver, returning the result, the traces (empty
+    /// unless built tracing) and the proof sink (present iff built
+    /// certified).
+    pub fn into_parts(self) -> (CampaignResult, Vec<InstanceTrace>, Option<StreamSink>) {
+        (self.result, self.traces, self.sink)
+    }
+}
+
+impl std::fmt::Debug for CampaignDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CampaignDriver")
+            .field("circuit", &self.nl.name())
+            .field("faults", &self.faults.len())
+            .field("position", &self.next)
+            .field("tracing", &self.tracing)
+            .field("certified", &self.sink.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atpg_easy_netlist::parser::bench;
+
+    fn c17() -> Netlist {
+        bench::parse(
+            "INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
+             10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n19 = NAND(11, 7)\n\
+             22 = NAND(10, 16)\n23 = NAND(16, 19)\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn stepping_to_completion_matches_run() {
+        for incremental in [false, true] {
+            let nl = c17();
+            let config = AtpgConfig {
+                random_patterns: 16,
+                seed: 3,
+                incremental,
+                ..AtpgConfig::default()
+            };
+            let want = campaign::run(&nl, &config);
+            let mut d = CampaignDriver::try_new(nl.clone(), &config, false, false).unwrap();
+            assert_eq!(d.total_faults(), want.records.len());
+            let mut steps = 0;
+            while d.step().is_some() {
+                steps += 1;
+            }
+            assert_eq!(steps, d.total_faults());
+            assert!(d.is_done());
+            let got = d.into_result();
+            assert_eq!(got.canonical_report(), want.canonical_report());
+        }
+    }
+
+    #[test]
+    fn preflight_failure_is_a_typed_error() {
+        let mut nl = Netlist::new("ghost");
+        let a = nl.add_input("a");
+        let ghost = nl.add_net("ghost").unwrap();
+        let y = nl
+            .add_gate_named(atpg_easy_netlist::GateKind::And, vec![a, ghost], "y")
+            .unwrap();
+        nl.add_output(y);
+        let err = CampaignDriver::try_new(nl, &AtpgConfig::default(), false, false).unwrap_err();
+        let DriverError::Preflight(msg) = err;
+        assert!(msg.contains("failed ATPG preflight"), "{msg}");
+    }
+
+    #[test]
+    fn abandon_freezes_the_result() {
+        let nl = c17();
+        let mut d = CampaignDriver::try_new(nl, &AtpgConfig::default(), false, false).unwrap();
+        d.step().unwrap();
+        d.step().unwrap();
+        let pending = d.pending().len();
+        assert!(pending > 0);
+        d.abandon();
+        assert!(d.is_done());
+        assert!(d.step().is_none());
+        assert_eq!(d.into_result().records.len(), 2);
+    }
+
+    #[test]
+    fn clamp_wall_only_tightens() {
+        let nl = c17();
+        let config = AtpgConfig {
+            limits: atpg_easy_sat::Limits::wall(Duration::from_millis(5)),
+            ..AtpgConfig::default()
+        };
+        let mut d = CampaignDriver::try_new(nl, &config, false, false).unwrap();
+        d.clamp_wall(Duration::from_secs(10));
+        assert_eq!(
+            d.config().limits.max_wall,
+            Some(Duration::from_millis(5)),
+            "a looser deadline must not loosen the configured budget"
+        );
+        d.clamp_wall(Duration::from_millis(1));
+        assert_eq!(d.config().limits.max_wall, Some(Duration::from_millis(1)));
+    }
+}

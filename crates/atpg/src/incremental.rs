@@ -38,7 +38,7 @@ use std::time::Instant;
 use atpg_easy_cnf::{circuit, CnfFormula, Lit, Var};
 use atpg_easy_netlist::{topo, GateId, Netlist};
 use atpg_easy_obs::{CountingProbe, NoProbe};
-use atpg_easy_sat::{IncrementalCdcl, Outcome};
+use atpg_easy_sat::{IncrementalCdcl, Limits, Outcome};
 
 use crate::campaign::{AtpgConfig, FaultOutcome, FaultRecord};
 use crate::certify::StreamSink;
@@ -47,9 +47,11 @@ use crate::{verify, Fault};
 /// A persistent per-campaign (or per-worker) incremental ATPG solver.
 ///
 /// Construction encodes the fault-free circuit; [`IncrementalAtpg::solve_fault`]
-/// then answers one fault at a time against the shared, warm solver.
-pub struct IncrementalAtpg<'a> {
-    nl: &'a Netlist,
+/// then answers one fault at a time against the shared, warm solver. The
+/// netlist is cloned in, so the handle is `'static` and can be parked in
+/// long-lived structures (the serving layer's resumable campaign drivers).
+pub struct IncrementalAtpg {
+    nl: Netlist,
     order: Vec<GateId>,
     base_vars: usize,
     base_clauses: usize,
@@ -60,20 +62,20 @@ pub struct IncrementalAtpg<'a> {
     activation_vars: Vec<Var>,
 }
 
-impl<'a> IncrementalAtpg<'a> {
+impl IncrementalAtpg {
     /// Encodes the fault-free `nl` once and readies a persistent solver.
     ///
     /// # Panics
     ///
     /// Panics if the netlist does not encode (wide XORs) or is cyclic;
     /// the campaign preflight rejects both earlier.
-    pub fn new(nl: &'a Netlist, config: &AtpgConfig) -> Self {
+    pub fn new(nl: &Netlist, config: &AtpgConfig) -> Self {
         let enc = circuit::encode_consistency(nl).expect("campaign circuits encode cleanly");
         let mut solver = IncrementalCdcl::new(enc.formula.num_vars()).with_limits(config.limits);
         let ok = solver.add_formula(&enc.formula);
         debug_assert!(ok, "consistency clauses are always satisfiable");
         IncrementalAtpg {
-            nl,
+            nl: nl.clone(),
             order: topo::topo_order(nl).expect("validated netlist"),
             base_vars: enc.formula.num_vars(),
             base_clauses: enc.formula.num_clauses(),
@@ -110,6 +112,16 @@ impl<'a> IncrementalAtpg<'a> {
         &self.solver
     }
 
+    /// Replaces the per-solve budget of the warm solver without
+    /// discarding its clause database. The serving layer maps what
+    /// remains of a request deadline onto [`Limits`] before each
+    /// scheduling quantum; campaign configs keep their own copy, so
+    /// callers should tighten both (see
+    /// [`CampaignDriver::clamp_wall`](crate::CampaignDriver::clamp_wall)).
+    pub fn set_limits(&mut self, limits: Limits) {
+        self.solver.set_limits(limits);
+    }
+
     /// Solves one fault against the warm solver, returning a record
     /// shaped exactly like the from-scratch path's. `sat_vars`/
     /// `sat_clauses` report the live database size at solve time (the
@@ -138,8 +150,8 @@ impl<'a> IncrementalAtpg<'a> {
         mut cert: Option<(usize, &mut StreamSink)>,
     ) -> FaultRecord {
         let x = f.net;
-        let fo = topo::transitive_fanout(self.nl, x);
-        let (sub, affected) = topo::fault_subcircuit_nets(self.nl, x);
+        let fo = topo::transitive_fanout(&self.nl, x);
+        let (sub, affected) = topo::fault_subcircuit_nets(&self.nl, x);
         let sub_size = sub.iter().filter(|&&b| b).count();
 
         let act = self.solver.new_var();
@@ -256,7 +268,10 @@ impl<'a> IncrementalAtpg<'a> {
                     .iter()
                     .map(|pi| model[pi.index()])
                     .collect();
-                debug_assert!(verify::detects(self.nl, f, &vector), "model must be a test");
+                debug_assert!(
+                    verify::detects(&self.nl, f, &vector),
+                    "model must be a test"
+                );
                 FaultOutcome::Detected(vector)
             }
             Outcome::Unsat => {
@@ -325,7 +340,7 @@ impl<'a> IncrementalAtpg<'a> {
     }
 }
 
-impl std::fmt::Debug for IncrementalAtpg<'_> {
+impl std::fmt::Debug for IncrementalAtpg {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("IncrementalAtpg")
             .field("circuit", &self.nl.name())

@@ -55,6 +55,7 @@
 
 pub mod campaign;
 pub mod certify;
+pub mod driver;
 pub mod fault;
 pub mod faultsim;
 pub mod incremental;
@@ -65,6 +66,7 @@ pub mod verify;
 
 pub use campaign::{AtpgConfig, CampaignResult, FaultOutcome, FaultRecord, SolverChoice};
 pub use certify::{CertifiedRun, StreamSink};
+pub use driver::{CampaignDriver, DriverError};
 pub use fault::Fault;
 pub use faultsim::{FaultSimulator, SimBuffers, WIDE_PATTERNS};
 pub use incremental::IncrementalAtpg;

@@ -760,7 +760,7 @@ mod tests {
     #[test]
     fn sharded_queue_covers_every_index_once() {
         let q = ShardedQueue::new(10, 3);
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         for w in 0..3 {
             while let Some((i, _)) = q.pop(w) {
                 assert!(!seen[i], "index {i} popped twice");
@@ -782,7 +782,7 @@ mod tests {
     #[test]
     fn pop_chunk_covers_every_index_once() {
         let q = ShardedQueue::new(100, 4);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         // Worker 3 drains everything: own shard first, then steals.
         while let Some((range, _)) = q.pop_chunk(3, 64) {
             for i in range {

@@ -482,7 +482,7 @@ mod tests {
             }
             PodemResult::Aborted => assert!(stats.backtracks >= 1),
             PodemResult::Untestable => {
-                assert!(detectable_exhaustive(&nl, Fault::stuck_at_1(y)) == false);
+                assert!(!detectable_exhaustive(&nl, Fault::stuck_at_1(y)));
             }
         }
     }

@@ -353,6 +353,89 @@ impl ScalingReport {
     }
 }
 
+/// One side of the serve-throughput comparison: a workload measured
+/// either through the library path or over the daemon's wire protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeBenchSide {
+    /// Total wall-clock for the whole workload.
+    pub wall: Duration,
+    /// Fault verdicts produced across the workload.
+    pub faults: u64,
+}
+
+impl ServeBenchSide {
+    /// Verdicts per second of wall-clock.
+    pub fn faults_per_sec(&self) -> f64 {
+        self.faults as f64 / self.wall.as_secs_f64().max(1e-12)
+    }
+}
+
+/// The serve-throughput benchmark: the same campaign workload timed
+/// through `campaign::run` (sequential, in-process) and through the
+/// daemon (N workers, M concurrent wire clients), plus the headline
+/// served/library throughput ratio (`results/serve.json` schema).
+#[derive(Debug, Clone)]
+pub struct ServeBenchReport {
+    /// Benchmark suite name.
+    pub suite: String,
+    /// Daemon worker threads.
+    pub workers: usize,
+    /// Concurrent wire clients.
+    pub clients: usize,
+    /// Campaigns per client (each client runs the whole suite this many
+    /// times, so the served workload is `clients ×` the library one —
+    /// rates are per-fault and stay comparable).
+    pub repeats: usize,
+    /// Measurement passes per side; the recorded side is the fastest
+    /// pass (capability, not host-scheduler noise).
+    pub passes: usize,
+    /// `std::thread::available_parallelism()` on the measuring host.
+    pub host_cpus: usize,
+    /// The sequential library-path measurement.
+    pub library: ServeBenchSide,
+    /// The concurrent wire measurement.
+    pub served: ServeBenchSide,
+}
+
+impl ServeBenchReport {
+    /// Served faults/sec over library faults/sec — the number the
+    /// acceptance gate reads.
+    pub fn ratio(&self) -> f64 {
+        self.served.faults_per_sec() / self.library.faults_per_sec().max(1e-12)
+    }
+
+    /// Renders as JSON (`results/serve.json` schema). No serde in this
+    /// workspace — the schema is flat enough to hand-roll.
+    pub fn to_json(&self) -> String {
+        fn escape(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        fn side(s: &mut String, name: &str, b: &ServeBenchSide, comma: bool) {
+            let _ = writeln!(
+                s,
+                "  \"{name}\": {{\"wall_s\": {:.6}, \"faults\": {}, \
+                 \"faults_per_sec\": {:.3}}}{}",
+                b.wall.as_secs_f64(),
+                b.faults,
+                b.faults_per_sec(),
+                if comma { "," } else { "" }
+            );
+        }
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"suite\": \"{}\",", escape(&self.suite));
+        let _ = writeln!(s, "  \"workers\": {},", self.workers);
+        let _ = writeln!(s, "  \"clients\": {},", self.clients);
+        let _ = writeln!(s, "  \"repeats\": {},", self.repeats);
+        let _ = writeln!(s, "  \"passes\": {},", self.passes);
+        let _ = writeln!(s, "  \"host_cpus\": {},", self.host_cpus);
+        side(&mut s, "library", &self.library, true);
+        side(&mut s, "served", &self.served, true);
+        let _ = writeln!(s, "  \"ratio\": {:.3}", self.ratio());
+        s.push_str("}\n");
+        s
+    }
+}
+
 /// Renders scaling measurements taken with the default engine
 /// configuration (strict in-order committing, from-scratch solving) as
 /// JSON. See [`ScalingReport::to_json`].
@@ -416,6 +499,37 @@ mod parallel_report_tests {
         assert!(j.contains("\"per_worker_solved\": [7, 5]"), "{j}");
         assert!(!j.contains("\"oversubscribed\": true"), "{j}");
         // Balanced braces/brackets — cheap well-formedness check.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn serve_bench_json_shape() {
+        let report = ServeBenchReport {
+            suite: "iscas".into(),
+            workers: 4,
+            clients: 4,
+            repeats: 1,
+            passes: 2,
+            host_cpus: 8,
+            library: ServeBenchSide {
+                wall: Duration::from_secs(2),
+                faults: 1000,
+            },
+            served: ServeBenchSide {
+                wall: Duration::from_secs(4),
+                faults: 4000,
+            },
+        };
+        // 4000/4s served vs 1000/2s library → 1000 vs 500 faults/sec.
+        assert!((report.ratio() - 2.0).abs() < 1e-9);
+        let j = report.to_json();
+        assert!(j.contains("\"suite\": \"iscas\""), "{j}");
+        assert!(j.contains("\"workers\": 4"), "{j}");
+        assert!(j.contains("\"clients\": 4"), "{j}");
+        assert!(j.contains("\"faults_per_sec\": 500.000"), "{j}");
+        assert!(j.contains("\"faults_per_sec\": 1000.000"), "{j}");
+        assert!(j.contains("\"ratio\": 2.000"), "{j}");
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
     }

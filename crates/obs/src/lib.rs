@@ -41,5 +41,5 @@ pub use hist::LogHistogram;
 pub use probe::{
     Counters, CountingProbe, Event, NoProbe, Probe, ProbeOutcome, RecordingProbe, Tee,
 };
-pub use sink::{CsvSink, JsonlSink, SummarySink, TraceSink, TraceSummary};
+pub use sink::{CsvSink, JsonlSink, SharedSink, SummarySink, TraceSink, TraceSummary};
 pub use trace::{parse_jsonl, parse_jsonl_line, CampaignMeta, InstanceTrace, TraceLine};

@@ -6,6 +6,8 @@ use std::fmt::Write as _;
 use std::io;
 use std::time::Duration;
 
+use atpg_easy_syncx::{Arc, Mutex};
+
 use crate::hist::LogHistogram;
 use crate::trace::{CampaignMeta, InstanceTrace};
 
@@ -116,6 +118,52 @@ impl<W: io::Write> TraceSink for CsvSink<W> {
 
     fn finish(&mut self) -> io::Result<()> {
         self.writer.flush()
+    }
+}
+
+/// A cloneable, thread-safe handle over any sink: every clone appends to
+/// the same underlying sink, record-atomically (one mutex acquisition
+/// per record, so JSONL lines from concurrent producers interleave but
+/// never tear). The serving layer hands one clone to each request so
+/// per-request telemetry from many connections lands in one artifact.
+pub struct SharedSink {
+    inner: Arc<Mutex<dyn TraceSink + Send>>,
+}
+
+impl SharedSink {
+    /// Wraps `sink` for shared multi-producer use.
+    pub fn new(sink: impl TraceSink + Send + 'static) -> Self {
+        SharedSink {
+            inner: Arc::new(Mutex::new(sink)),
+        }
+    }
+}
+
+impl Clone for SharedSink {
+    fn clone(&self) -> Self {
+        SharedSink {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl std::fmt::Debug for SharedSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedSink").finish_non_exhaustive()
+    }
+}
+
+impl TraceSink for SharedSink {
+    fn instance(&mut self, t: &InstanceTrace) -> io::Result<()> {
+        self.inner.lock().expect("sink mutex").instance(t)
+    }
+
+    fn campaign(&mut self, m: &CampaignMeta) -> io::Result<()> {
+        self.inner.lock().expect("sink mutex").campaign(m)
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.inner.lock().expect("sink mutex").finish()
     }
 }
 

@@ -782,6 +782,14 @@ impl IncrementalCdcl {
         self
     }
 
+    /// Replaces the per-solve resource budget on a live solver. Unlike
+    /// [`IncrementalCdcl::with_limits`] this keeps the warm clause
+    /// database: serving layers tighten `max_wall` between solves as a
+    /// request deadline approaches.
+    pub fn set_limits(&mut self, limits: Limits) {
+        self.limits = limits;
+    }
+
     /// Number of variables the solver currently knows about.
     pub fn num_vars(&self) -> usize {
         self.engine.assign.len()

@@ -128,6 +128,19 @@ impl Limits {
         self.max_wall = Some(max);
         self
     }
+
+    /// The tighter of `self` and a wall budget of `max`: keeps any
+    /// existing `max_wall` that is already stricter. Serving layers use
+    /// this to map the remainder of a per-request deadline onto each
+    /// solve call without loosening a budget the request asked for.
+    #[must_use]
+    pub fn clamp_wall(mut self, max: Duration) -> Self {
+        self.max_wall = Some(match self.max_wall {
+            Some(w) => w.min(max),
+            None => max,
+        });
+        self
+    }
 }
 
 /// How many [`Deadline::expired`] ticks elapse between actual clock reads.

@@ -1,0 +1,104 @@
+//! `serve` — the ATPG campaign daemon.
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--workers N] [--capacity N] [--quantum N]
+//!       [--trace-out FILE]
+//! ```
+//!
+//! Binds a TCP listener and serves the JSONL campaign protocol (see the
+//! README's "Serving" section) until killed. With `--trace-out`, every
+//! request's `CampaignMeta` gauge — and, for `trace:true` requests, its
+//! per-instance rows — append to one shared JSONL artifact.
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+use atpg_easy_obs::{JsonlSink, SharedSink};
+use atpg_easy_serve::{ServeConfig, Server, SystemClock};
+use atpg_easy_syncx::Arc;
+
+struct Args {
+    addr: String,
+    config: ServeConfig,
+    trace_out: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve [--addr HOST:PORT] [--workers N] [--capacity N] [--quantum N] [--trace-out FILE]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:7117".into(),
+        config: ServeConfig::default(),
+        trace_out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--workers" => args.config.workers = parse_num(&value("--workers"), "--workers"),
+            "--capacity" => args.config.capacity = parse_num(&value("--capacity"), "--capacity"),
+            "--quantum" => args.config.quantum = parse_num(&value("--quantum"), "--quantum"),
+            "--trace-out" => args.trace_out = Some(value("--trace-out")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn parse_num(s: &str, name: &str) -> usize {
+    match s.parse::<usize>() {
+        Ok(n) if n > 0 => n,
+        _ => {
+            eprintln!("error: {name} wants a positive integer, got {s:?}");
+            usage()
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let sink = match &args.trace_out {
+        None => None,
+        Some(path) => match std::fs::File::create(path) {
+            Ok(f) => Some(SharedSink::new(JsonlSink::new(std::io::BufWriter::new(f)))),
+            Err(e) => {
+                eprintln!("error: cannot open {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let listener = match TcpListener::bind(&args.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "serve: listening on {} ({} workers, capacity {}, quantum {})",
+        args.addr, args.config.workers, args.config.capacity, args.config.quantum
+    );
+    let server = Server::with_clock_and_sink(args.config, Arc::new(SystemClock::new()), sink);
+    match server.serve(&listener) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: accept failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Time for the scheduler: a trait so deadline logic is deterministic
+//! under test.
+//!
+//! Production uses [`SystemClock`] (monotonic, `Instant`-backed); the
+//! deadline tests use [`FakeClock`], which only moves when the test
+//! advances it — an expired deadline is then a fact of arithmetic, not a
+//! race against a fast worker.
+
+use std::time::Instant;
+
+use atpg_easy_syncx::atomic::{AtomicU64, Ordering};
+
+/// A monotonic millisecond clock.
+pub trait Clock: Send + Sync {
+    /// Milliseconds since an arbitrary fixed origin.
+    fn now_ms(&self) -> u64;
+}
+
+/// The real monotonic clock, origin at construction.
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// A clock starting at 0 now.
+    pub fn new() -> Self {
+        SystemClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_ms(&self) -> u64 {
+        self.origin.elapsed().as_millis() as u64
+    }
+}
+
+/// A manually-advanced clock for deterministic deadline tests.
+#[derive(Debug, Default)]
+pub struct FakeClock {
+    // ORDERING: Relaxed is enough — the clock is a monotone counter with
+    // no other state published alongside it; tests advance it from one
+    // thread and workers only need to eventually observe a fresh value.
+    ms: AtomicU64,
+}
+
+impl FakeClock {
+    /// A clock frozen at 0.
+    pub fn new() -> Self {
+        FakeClock::default()
+    }
+
+    /// A clock frozen at `ms`.
+    pub fn at(ms: u64) -> Self {
+        let c = FakeClock::default();
+        c.ms.store(ms, Ordering::Relaxed);
+        c
+    }
+
+    /// Moves time forward by `ms` milliseconds.
+    pub fn advance(&self, ms: u64) {
+        self.ms.fetch_add(ms, Ordering::Relaxed);
+    }
+}
+
+impl Clock for FakeClock {
+    fn now_ms(&self) -> u64 {
+        self.ms.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fake_clock_moves_only_when_advanced() {
+        let c = FakeClock::at(5);
+        assert_eq!(c.now_ms(), 5);
+        c.advance(10);
+        assert_eq!(c.now_ms(), 15);
+    }
+
+    #[test]
+    fn system_clock_is_monotone() {
+        let c = SystemClock::new();
+        let a = c.now_ms();
+        let b = c.now_ms();
+        assert!(b >= a);
+    }
+}

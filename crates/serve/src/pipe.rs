@@ -1,0 +1,193 @@
+//! An in-memory byte pipe: the transport behind the in-process client.
+//!
+//! `pipe()` returns a writer/reader pair sharing a buffer guarded by a
+//! mutex + condvar. Dropping either end closes the pipe: the reader then
+//! drains what is buffered and sees EOF; the writer sees
+//! `BrokenPipe` — exactly the `TcpStream` failure modes the server's
+//! connection threads are written against, which is what lets the test
+//! harness exercise disconnect-cancellation without real sockets.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use atpg_easy_syncx::Arc;
+
+#[derive(Debug, Default)]
+struct State {
+    data: VecDeque<u8>,
+    /// Set when either end is dropped (or `close` is called).
+    closed: bool,
+}
+
+#[derive(Debug, Default)]
+struct Shared {
+    state: Mutex<State>,
+    readable: Condvar,
+}
+
+/// The write half of an in-memory pipe. Dropping it closes the pipe.
+#[derive(Debug)]
+pub struct PipeWriter {
+    shared: Arc<Shared>,
+}
+
+/// The read half of an in-memory pipe. Dropping it closes the pipe.
+#[derive(Debug)]
+pub struct PipeReader {
+    shared: Arc<Shared>,
+    /// With a timeout set, reads that would block longer return
+    /// `ErrorKind::TimedOut` instead of hanging — the fuzz harness sets
+    /// this so a protocol hang fails the test instead of wedging it.
+    timeout: Option<Duration>,
+}
+
+/// A connected in-memory byte stream: bytes written to the
+/// [`PipeWriter`] come out of the [`PipeReader`], FIFO, unbounded.
+pub fn pipe() -> (PipeWriter, PipeReader) {
+    let shared = Arc::new(Shared::default());
+    (
+        PipeWriter {
+            shared: Arc::clone(&shared),
+        },
+        PipeReader {
+            shared,
+            timeout: None,
+        },
+    )
+}
+
+impl PipeWriter {
+    /// Explicitly closes the pipe (same as dropping the writer).
+    pub fn close(&self) {
+        let mut st = self.shared.state.lock().expect("pipe mutex");
+        st.closed = true;
+        self.shared.readable.notify_all();
+    }
+}
+
+impl Write for PipeWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut st = self.shared.state.lock().expect("pipe mutex");
+        if st.closed {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "pipe closed"));
+        }
+        st.data.extend(buf);
+        self.shared.readable.notify_all();
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for PipeWriter {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+impl PipeReader {
+    /// Makes blocking reads give up with `TimedOut` after `timeout`.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) {
+        self.timeout = timeout;
+    }
+}
+
+impl Read for PipeReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let mut st = self.shared.state.lock().expect("pipe mutex");
+        loop {
+            if !st.data.is_empty() {
+                let n = buf.len().min(st.data.len());
+                for slot in buf.iter_mut().take(n) {
+                    *slot = st.data.pop_front().expect("n bytes are buffered");
+                }
+                return Ok(n);
+            }
+            if st.closed {
+                return Ok(0); // EOF
+            }
+            st = match self.timeout {
+                None => self.shared.readable.wait(st).expect("pipe mutex"),
+                Some(t) => {
+                    let (guard, timed_out) = self
+                        .shared
+                        .readable
+                        .wait_timeout(st, t)
+                        .expect("pipe mutex");
+                    if timed_out.timed_out() && guard.data.is_empty() && !guard.closed {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "pipe read timed out",
+                        ));
+                    }
+                    guard
+                }
+            };
+        }
+    }
+}
+
+impl Drop for PipeReader {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().expect("pipe mutex");
+        st.closed = true;
+        self.shared.readable.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    #[test]
+    fn bytes_round_trip_in_order() {
+        let (mut w, r) = pipe();
+        w.write_all(b"hello\nworld\n").unwrap();
+        drop(w);
+        let mut lines = BufReader::new(r).lines();
+        assert_eq!(lines.next().unwrap().unwrap(), "hello");
+        assert_eq!(lines.next().unwrap().unwrap(), "world");
+        assert!(lines.next().is_none(), "EOF after writer drop");
+    }
+
+    #[test]
+    fn dropping_the_reader_breaks_the_writer() {
+        let (mut w, r) = pipe();
+        drop(r);
+        assert_eq!(w.write(b"x").unwrap_err().kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn read_timeout_fires_instead_of_hanging() {
+        let (_w, mut r) = pipe();
+        r.set_read_timeout(Some(Duration::from_millis(10)));
+        let mut buf = [0u8; 1];
+        assert_eq!(
+            r.read(&mut buf).unwrap_err().kind(),
+            io::ErrorKind::TimedOut
+        );
+    }
+
+    #[test]
+    fn cross_thread_handoff() {
+        let (mut w, mut r) = pipe();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..100u8 {
+                    w.write_all(&[i]).unwrap();
+                }
+            });
+            let mut buf = Vec::new();
+            r.read_to_end(&mut buf).unwrap();
+            assert_eq!(buf, (0..100u8).collect::<Vec<_>>());
+        });
+    }
+}

@@ -1,0 +1,1207 @@
+//! The wire protocol: line-delimited JSON requests and responses.
+//!
+//! One JSON object per line, flat (no nesting), with string, unsigned
+//! integer and boolean values only — the same hand-rolled no-serde
+//! discipline as `obs::trace`, extended with booleans for the campaign
+//! option flags. The parser is total: every malformed input maps to a
+//! typed [`ProtoError`] with a stable machine-readable code, never a
+//! panic — the protocol robustness proptests pin this.
+//!
+//! Requests (client → server):
+//!
+//! | `type`     | fields                                                  |
+//! |------------|---------------------------------------------------------|
+//! | `campaign` | `id`, `netlist` (ISCAS-89 bench text), option fields    |
+//! | `cancel`   | `id`                                                    |
+//! | `ping`     | —                                                       |
+//! | `stats`    | —                                                       |
+//!
+//! Responses (server → client) are described on [`Response`].
+
+use atpg_easy_atpg::{AtpgConfig, SolverChoice};
+use atpg_easy_sat::Limits;
+
+/// Default cap on one request line (netlists ride inside a line).
+pub const DEFAULT_MAX_LINE_BYTES: usize = 4 << 20;
+
+/// Default cap on the `netlist` field of a campaign request.
+pub const DEFAULT_MAX_NETLIST_BYTES: usize = 1 << 20;
+
+/// Stable machine-readable error codes carried by `error` responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The line is not a flat JSON object of strings/integers/booleans.
+    Json,
+    /// The line is not valid UTF-8.
+    Utf8,
+    /// The line exceeds the server's line cap.
+    LineTooLong,
+    /// The `type` field is missing or names no known request.
+    UnknownType,
+    /// A required field is absent.
+    MissingField,
+    /// A field is present but has the wrong type or an invalid value.
+    BadField,
+    /// The netlist exceeds the server's netlist cap.
+    Oversize,
+    /// The netlist failed the ATPG preflight lint.
+    Preflight,
+    /// A cancel names a request id this connection never submitted (or
+    /// one that already finished).
+    UnknownId,
+    /// A campaign reuses an id that is still in flight on this
+    /// connection.
+    DuplicateId,
+    /// The campaign died inside the engine (a bug shield: workers never
+    /// crash on one request's behalf).
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Json => "json",
+            ErrorCode::Utf8 => "utf8",
+            ErrorCode::LineTooLong => "line_too_long",
+            ErrorCode::UnknownType => "unknown_type",
+            ErrorCode::MissingField => "missing_field",
+            ErrorCode::BadField => "bad_field",
+            ErrorCode::Oversize => "oversize",
+            ErrorCode::Preflight => "preflight",
+            ErrorCode::UnknownId => "unknown_id",
+            ErrorCode::DuplicateId => "duplicate_id",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses the wire spelling back (client side).
+    pub fn from_wire(s: &str) -> Option<Self> {
+        Some(match s {
+            "json" => ErrorCode::Json,
+            "utf8" => ErrorCode::Utf8,
+            "line_too_long" => ErrorCode::LineTooLong,
+            "unknown_type" => ErrorCode::UnknownType,
+            "missing_field" => ErrorCode::MissingField,
+            "bad_field" => ErrorCode::BadField,
+            "oversize" => ErrorCode::Oversize,
+            "preflight" => ErrorCode::Preflight,
+            "unknown_id" => ErrorCode::UnknownId,
+            "duplicate_id" => ErrorCode::DuplicateId,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A typed protocol failure: code plus human-readable detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// Stable machine-readable code.
+    pub code: ErrorCode,
+    /// Human-readable detail (free text, may change).
+    pub msg: String,
+}
+
+impl ProtoError {
+    /// A new error.
+    pub fn new(code: ErrorCode, msg: impl Into<String>) -> Self {
+        ProtoError {
+            code,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code.as_str(), self.msg)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// One value of a flat JSON object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// A JSON string.
+    Str(String),
+    /// A non-negative integer.
+    Num(u64),
+    /// A boolean.
+    Bool(bool),
+}
+
+/// Parses one line as a flat JSON object (`{"k":"v","n":3,"b":true}`).
+/// Nested objects/arrays, floats, negative numbers and `null` are
+/// rejected with [`ErrorCode::Json`]; duplicate keys keep the last
+/// occurrence.
+pub fn parse_flat_object(line: &str) -> Result<Vec<(String, Value)>, ProtoError> {
+    // Byte-oriented scanner: verdict streams parse one of these per
+    // fault on the client, so strings without escapes (all of them, in
+    // practice) must bulk-copy instead of pushing char by char. Slicing
+    // on the matched bytes is UTF-8-safe — every delimiter tested is
+    // ASCII, and multi-byte sequences contain no bytes < 0x80.
+    let bad = |msg: &str| ProtoError::new(ErrorCode::Json, msg.to_string());
+    let b = line.as_bytes();
+    let mut i = 0usize;
+    let mut fields: Vec<(String, Value)> = Vec::new();
+
+    fn skip_ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && b[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    }
+
+    fn parse_string(line: &str, i: &mut usize) -> Result<String, ProtoError> {
+        let bad = |msg: &str| ProtoError::new(ErrorCode::Json, msg.to_string());
+        let b = line.as_bytes();
+        if b.get(*i) != Some(&b'"') {
+            return Err(bad("expected string"));
+        }
+        *i += 1;
+        let start = *i;
+        let mut j = *i;
+        while j < b.len() {
+            match b[j] {
+                b'"' => {
+                    // Fast path: no escapes — one bulk copy.
+                    let s = line[start..j].to_string();
+                    *i = j + 1;
+                    return Ok(s);
+                }
+                b'\\' => break,
+                c if c < 0x20 => return Err(bad("raw control character")),
+                _ => j += 1,
+            }
+        }
+        if j >= b.len() {
+            return Err(bad("unterminated string"));
+        }
+        // Escape path: seed with the clean prefix, then decode.
+        let mut s = String::with_capacity(j - start + 16);
+        s.push_str(&line[start..j]);
+        *i = j;
+        loop {
+            match b.get(*i) {
+                None => return Err(bad("unterminated string")),
+                Some(b'"') => {
+                    *i += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    *i += 1;
+                    match b.get(*i) {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b'u') => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                *i += 1;
+                                let d = b
+                                    .get(*i)
+                                    .and_then(|&c| (c as char).to_digit(16))
+                                    .ok_or_else(|| bad("bad \\u escape"))?;
+                                code = code * 16 + d;
+                            }
+                            s.push(char::from_u32(code).ok_or_else(|| bad("bad \\u code point"))?);
+                        }
+                        _ => return Err(bad("unknown escape")),
+                    }
+                    *i += 1;
+                }
+                Some(&c) if c < 0x20 => return Err(bad("raw control character")),
+                Some(_) => {
+                    let run = *i;
+                    let mut j = *i;
+                    while j < b.len() && b[j] != b'"' && b[j] != b'\\' && b[j] >= 0x20 {
+                        j += 1;
+                    }
+                    s.push_str(&line[run..j]);
+                    *i = j;
+                }
+            }
+        }
+    }
+
+    skip_ws(b, &mut i);
+    if b.get(i) != Some(&b'{') {
+        return Err(bad("expected '{'"));
+    }
+    i += 1;
+    skip_ws(b, &mut i);
+    if b.get(i) == Some(&b'}') {
+        i += 1;
+    } else {
+        loop {
+            skip_ws(b, &mut i);
+            let key = parse_string(line, &mut i)?;
+            skip_ws(b, &mut i);
+            if b.get(i) != Some(&b':') {
+                return Err(bad("expected ':'"));
+            }
+            i += 1;
+            skip_ws(b, &mut i);
+            let value = match b.get(i) {
+                Some(b'"') => Value::Str(parse_string(line, &mut i)?),
+                Some(b't') => {
+                    if b.get(i..i + 4) != Some(b"true") {
+                        return Err(bad("expected 'true'"));
+                    }
+                    i += 4;
+                    Value::Bool(true)
+                }
+                Some(b'f') => {
+                    if b.get(i..i + 5) != Some(b"false") {
+                        return Err(bad("expected 'false'"));
+                    }
+                    i += 5;
+                    Value::Bool(false)
+                }
+                Some(c) if c.is_ascii_digit() => {
+                    let mut n: u64 = 0;
+                    while let Some(c) = b.get(i) {
+                        let Some(d) = (*c as char).to_digit(10) else {
+                            break;
+                        };
+                        n = n
+                            .checked_mul(10)
+                            .and_then(|n| n.checked_add(u64::from(d)))
+                            .ok_or_else(|| bad("integer overflow"))?;
+                        i += 1;
+                    }
+                    if matches!(b.get(i), Some(b'.' | b'e' | b'E')) {
+                        return Err(bad("floats are not part of this protocol"));
+                    }
+                    Value::Num(n)
+                }
+                _ => return Err(bad("expected string, integer or boolean value")),
+            };
+            fields.retain(|(k, _)| k != &key);
+            fields.push((key, value));
+            skip_ws(b, &mut i);
+            match b.get(i) {
+                Some(b',') => {
+                    i += 1;
+                    continue;
+                }
+                Some(b'}') => {
+                    i += 1;
+                    break;
+                }
+                _ => return Err(bad("expected ',' or '}'")),
+            }
+        }
+    }
+    skip_ws(b, &mut i);
+    if let Some(c) = line[i..].chars().next() {
+        return Err(bad(&format!("trailing input after object: {c:?}")));
+    }
+    Ok(fields)
+}
+
+/// Appends `"key":"escaped-value"` (with leading comma) to `out`.
+pub(crate) fn push_str(out: &mut String, key: &str, value: &str) {
+    out.push(',');
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `"key":n` (with leading comma) to `out`.
+pub(crate) fn push_num(out: &mut String, key: &str, value: u64) {
+    out.push(',');
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&value.to_string());
+}
+
+/// Appends `"key":true/false` (with leading comma) to `out`.
+pub(crate) fn push_bool(out: &mut String, key: &str, value: bool) {
+    out.push(',');
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(if value { "true" } else { "false" });
+}
+
+/// Campaign options carried by a `campaign` request; every field has a
+/// wire default so minimal requests stay minimal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignOptions {
+    /// Random patterns before the SAT phase (`patterns`, default 0).
+    pub patterns: u64,
+    /// Random-phase seed (`seed`, default 1).
+    pub seed: u64,
+    /// Solver backend (`solver`: `cdcl`/`dpll`/`caching`/`simple`).
+    pub solver: SolverChoice,
+    /// Warm incremental solving (`incremental`, default false).
+    pub incremental: bool,
+    /// DRAT certification events + postflight audit (`certify`).
+    pub certify: bool,
+    /// Request-scoped `obs` instance traces (`trace`).
+    pub trace: bool,
+    /// Fault dropping (`dropping`, default true).
+    pub dropping: bool,
+    /// Structural fault collapsing (`collapse`, default true).
+    pub collapse: bool,
+    /// Dominance collapsing (`dominance`, default false).
+    pub dominance: bool,
+    /// Per-request wall deadline in milliseconds (`deadline_ms`).
+    pub deadline_ms: Option<u64>,
+    /// Per-instance node budget (`max_nodes`).
+    pub max_nodes: Option<u64>,
+    /// Per-instance conflict budget (`max_conflicts`).
+    pub max_conflicts: Option<u64>,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            patterns: 0,
+            seed: 1,
+            solver: SolverChoice::Cdcl,
+            incremental: false,
+            certify: false,
+            trace: false,
+            dropping: true,
+            collapse: true,
+            dominance: false,
+            deadline_ms: None,
+            max_nodes: None,
+            max_conflicts: None,
+        }
+    }
+}
+
+impl CampaignOptions {
+    /// The [`AtpgConfig`] these options denote. Preflight is always on —
+    /// a shared daemon must reject malformed netlists with a typed
+    /// error, never panic a worker. The wall component of the request
+    /// deadline is clamped in later, per scheduling quantum.
+    pub fn to_config(&self) -> AtpgConfig {
+        AtpgConfig {
+            solver: self.solver,
+            limits: Limits {
+                max_nodes: self.max_nodes,
+                max_conflicts: self.max_conflicts,
+                max_wall: None,
+            },
+            fault_dropping: self.dropping,
+            collapse: self.collapse,
+            dominance: self.dominance,
+            random_patterns: self.patterns as usize,
+            seed: self.seed,
+            preflight: true,
+            incremental: self.incremental,
+            ..AtpgConfig::default()
+        }
+    }
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Submit a campaign: run ATPG on `netlist` under `options`,
+    /// streaming per-fault verdicts tagged with `id`.
+    Campaign {
+        /// Client-chosen id echoed on every response for this campaign.
+        id: String,
+        /// ISCAS-89 `.bench` netlist text.
+        netlist: String,
+        /// Campaign options.
+        options: CampaignOptions,
+    },
+    /// Cancel an in-flight campaign by id.
+    Cancel {
+        /// The id of the campaign to cancel.
+        id: String,
+    },
+    /// Liveness probe; answered with `pong`.
+    Ping,
+    /// Worker-pool counters; answered with a `stats` response.
+    Stats,
+}
+
+fn get_str(fields: &[(String, Value)], key: &str) -> Result<Option<String>, ProtoError> {
+    match fields.iter().find(|(k, _)| k == key) {
+        None => Ok(None),
+        Some((_, Value::Str(s))) => Ok(Some(s.clone())),
+        Some((_, v)) => Err(ProtoError::new(
+            ErrorCode::BadField,
+            format!("field `{key}` must be a string, got {v:?}"),
+        )),
+    }
+}
+
+fn get_num(fields: &[(String, Value)], key: &str) -> Result<Option<u64>, ProtoError> {
+    match fields.iter().find(|(k, _)| k == key) {
+        None => Ok(None),
+        Some((_, Value::Num(n))) => Ok(Some(*n)),
+        Some((_, v)) => Err(ProtoError::new(
+            ErrorCode::BadField,
+            format!("field `{key}` must be an integer, got {v:?}"),
+        )),
+    }
+}
+
+fn get_bool(fields: &[(String, Value)], key: &str) -> Result<Option<bool>, ProtoError> {
+    match fields.iter().find(|(k, _)| k == key) {
+        None => Ok(None),
+        Some((_, Value::Bool(b))) => Ok(Some(*b)),
+        Some((_, v)) => Err(ProtoError::new(
+            ErrorCode::BadField,
+            format!("field `{key}` must be a boolean, got {v:?}"),
+        )),
+    }
+}
+
+fn require_str(fields: &[(String, Value)], key: &str) -> Result<String, ProtoError> {
+    get_str(fields, key)?
+        .ok_or_else(|| ProtoError::new(ErrorCode::MissingField, format!("field `{key}` required")))
+}
+
+impl Request {
+    /// Parses one request line.
+    pub fn parse(line: &str) -> Result<Request, ProtoError> {
+        let fields = parse_flat_object(line)?;
+        let ty = require_str(&fields, "type")
+            .map_err(|e| ProtoError::new(ErrorCode::UnknownType, e.msg))?;
+        match ty.as_str() {
+            "campaign" => {
+                let id = require_str(&fields, "id")?;
+                let netlist = require_str(&fields, "netlist")?;
+                let mut options = CampaignOptions::default();
+                if let Some(n) = get_num(&fields, "patterns")? {
+                    options.patterns = n;
+                }
+                if let Some(n) = get_num(&fields, "seed")? {
+                    options.seed = n;
+                }
+                if let Some(s) = get_str(&fields, "solver")? {
+                    options.solver = match s.as_str() {
+                        "cdcl" => SolverChoice::Cdcl,
+                        "dpll" => SolverChoice::Dpll,
+                        "caching" => SolverChoice::Caching,
+                        "simple" => SolverChoice::Simple,
+                        other => {
+                            return Err(ProtoError::new(
+                                ErrorCode::BadField,
+                                format!("unknown solver `{other}`"),
+                            ))
+                        }
+                    };
+                }
+                if let Some(b) = get_bool(&fields, "incremental")? {
+                    options.incremental = b;
+                }
+                if let Some(b) = get_bool(&fields, "certify")? {
+                    options.certify = b;
+                }
+                if let Some(b) = get_bool(&fields, "trace")? {
+                    options.trace = b;
+                }
+                if let Some(b) = get_bool(&fields, "dropping")? {
+                    options.dropping = b;
+                }
+                if let Some(b) = get_bool(&fields, "collapse")? {
+                    options.collapse = b;
+                }
+                if let Some(b) = get_bool(&fields, "dominance")? {
+                    options.dominance = b;
+                }
+                options.deadline_ms = get_num(&fields, "deadline_ms")?;
+                options.max_nodes = get_num(&fields, "max_nodes")?;
+                options.max_conflicts = get_num(&fields, "max_conflicts")?;
+                Ok(Request::Campaign {
+                    id,
+                    netlist,
+                    options,
+                })
+            }
+            "cancel" => Ok(Request::Cancel {
+                id: require_str(&fields, "id")?,
+            }),
+            "ping" => Ok(Request::Ping),
+            "stats" => Ok(Request::Stats),
+            other => Err(ProtoError::new(
+                ErrorCode::UnknownType,
+                format!("unknown request type `{other}`"),
+            )),
+        }
+    }
+
+    /// Renders as one wire line (no trailing newline).
+    pub fn render(&self) -> String {
+        match self {
+            Request::Campaign {
+                id,
+                netlist,
+                options,
+            } => {
+                let mut s = String::from("{\"type\":\"campaign\"");
+                push_str(&mut s, "id", id);
+                push_str(&mut s, "netlist", netlist);
+                let d = CampaignOptions::default();
+                if options.patterns != d.patterns {
+                    push_num(&mut s, "patterns", options.patterns);
+                }
+                if options.seed != d.seed {
+                    push_num(&mut s, "seed", options.seed);
+                }
+                if options.solver != d.solver {
+                    let name = match options.solver {
+                        SolverChoice::Cdcl => "cdcl",
+                        SolverChoice::Dpll => "dpll",
+                        SolverChoice::Caching => "caching",
+                        SolverChoice::Simple => "simple",
+                    };
+                    push_str(&mut s, "solver", name);
+                }
+                if options.incremental != d.incremental {
+                    push_bool(&mut s, "incremental", options.incremental);
+                }
+                if options.certify != d.certify {
+                    push_bool(&mut s, "certify", options.certify);
+                }
+                if options.trace != d.trace {
+                    push_bool(&mut s, "trace", options.trace);
+                }
+                if options.dropping != d.dropping {
+                    push_bool(&mut s, "dropping", options.dropping);
+                }
+                if options.collapse != d.collapse {
+                    push_bool(&mut s, "collapse", options.collapse);
+                }
+                if options.dominance != d.dominance {
+                    push_bool(&mut s, "dominance", options.dominance);
+                }
+                if let Some(n) = options.deadline_ms {
+                    push_num(&mut s, "deadline_ms", n);
+                }
+                if let Some(n) = options.max_nodes {
+                    push_num(&mut s, "max_nodes", n);
+                }
+                if let Some(n) = options.max_conflicts {
+                    push_num(&mut s, "max_conflicts", n);
+                }
+                s.push('}');
+                s
+            }
+            Request::Cancel { id } => {
+                let mut s = String::from("{\"type\":\"cancel\"");
+                push_str(&mut s, "id", id);
+                s.push('}');
+                s
+            }
+            Request::Ping => "{\"type\":\"ping\"}".to_string(),
+            Request::Stats => "{\"type\":\"stats\"}".to_string(),
+        }
+    }
+}
+
+/// Terminal status of a campaign, carried by `done`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DoneStatus {
+    /// Every fault got a solver/simulation verdict.
+    Ok,
+    /// The request deadline expired; remaining faults were flushed as
+    /// `deadline` verdicts (or, when it expired before the campaign
+    /// started, no verdicts were emitted at all).
+    Deadline,
+    /// Cancelled by request or client disconnect.
+    Cancelled,
+    /// The campaign failed (preflight or internal error).
+    Failed,
+}
+
+impl DoneStatus {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DoneStatus::Ok => "ok",
+            DoneStatus::Deadline => "deadline",
+            DoneStatus::Cancelled => "cancelled",
+            DoneStatus::Failed => "failed",
+        }
+    }
+
+    fn from_wire(s: &str) -> Option<Self> {
+        Some(match s {
+            "ok" => DoneStatus::Ok,
+            "deadline" => DoneStatus::Deadline,
+            "cancelled" => DoneStatus::Cancelled,
+            "failed" => DoneStatus::Failed,
+            _ => return None,
+        })
+    }
+}
+
+/// Worker-pool counters, as carried by a `stats` response.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Campaigns admitted into the in-flight window.
+    pub admitted: u64,
+    /// Campaigns refused with a `shed` response.
+    pub shed: u64,
+    /// Campaigns that ran to `done status=ok`.
+    pub completed: u64,
+    /// Campaigns cancelled (request or disconnect).
+    pub cancelled: u64,
+    /// Campaigns that failed (preflight/internal).
+    pub failed: u64,
+    /// Campaigns terminated by their deadline.
+    pub deadline_expired: u64,
+    /// SAT instances solved across all campaigns.
+    pub solves: u64,
+    /// Driver steps executed (solved + sim-retired faults).
+    pub steps: u64,
+    /// Campaigns currently in flight (admitted, not yet finalized).
+    pub active: u64,
+    /// The configured in-flight capacity.
+    pub capacity: u64,
+}
+
+/// A parsed server response. Fault verdicts stream one line per fault in
+/// record order, so a client can rebuild
+/// [`detection_report`](atpg_easy_atpg::CampaignResult::detection_report)
+/// byte-for-byte from `verdict` lines alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The campaign entered the in-flight window.
+    Accepted {
+        /// Campaign id.
+        id: String,
+    },
+    /// Backpressure: the in-flight window is full; retry later.
+    Shed {
+        /// Campaign id.
+        id: String,
+        /// Campaigns currently in flight.
+        in_flight: u64,
+        /// The configured window size.
+        capacity: u64,
+    },
+    /// The campaign was built: preflight passed, faults enumerated and
+    /// the random phase done. Streaming of verdicts begins.
+    Start {
+        /// Campaign id.
+        id: String,
+        /// Targeted (collapsed) faults — exactly this many `verdict`
+        /// lines follow on an `ok` campaign.
+        faults: u64,
+        /// Faults already retired by the random-pattern phase.
+        sim_detected: u64,
+        /// Random vectors kept as tests by the random phase.
+        random_tests: u64,
+    },
+    /// One fault's verdict.
+    Verdict {
+        /// Campaign id.
+        id: String,
+        /// Record index (fault order); dense from 0 on `ok` campaigns.
+        seq: u64,
+        /// Net index of the fault site.
+        net: u64,
+        /// Stuck-at value (0 or 1).
+        stuck: u64,
+        /// `detected` / `untestable` / `aborted` / `deadline`.
+        verdict: String,
+        /// The SAT-generated test vector (`'0'`/`'1'` per primary
+        /// input), present only for SAT-detected faults.
+        vector: Option<String>,
+    },
+    /// Proof bookkeeping for the preceding certified solve.
+    Cert {
+        /// Campaign id.
+        id: String,
+        /// Record index of the solve this certifies.
+        seq: u64,
+        /// Rendered DRAT bytes logged for the instance.
+        proof_bytes: u64,
+    },
+    /// Postflight audit verdict of a certified campaign.
+    Audit {
+        /// Campaign id.
+        id: String,
+        /// Instances whose proof/model checked out.
+        certified: u64,
+        /// Instances whose certification failed.
+        failed: u64,
+        /// Instances that carried no certificate.
+        uncertified: u64,
+        /// Overall audit verdict.
+        ok: bool,
+    },
+    /// Terminal line of a campaign; exactly one per accepted campaign.
+    Done {
+        /// Campaign id.
+        id: String,
+        /// Terminal status.
+        status: DoneStatus,
+        /// Faults detected (SAT + simulation).
+        detected: u64,
+        /// Faults proved untestable.
+        untestable: u64,
+        /// Faults aborted on per-instance budget.
+        aborted: u64,
+        /// Faults flushed as `deadline` verdicts.
+        deadlined: u64,
+        /// SAT instances solved for this campaign.
+        solves: u64,
+        /// Wall time from admission to finalization, in milliseconds.
+        wall_ms: u64,
+    },
+    /// A typed protocol or campaign error. `id` is present when the
+    /// error is scoped to one campaign.
+    Error {
+        /// Campaign id, when scoped.
+        id: Option<String>,
+        /// Stable machine-readable code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        msg: String,
+    },
+    /// Liveness answer.
+    Pong,
+    /// Worker-pool counters.
+    Stats(StatsSnapshot),
+}
+
+impl Response {
+    /// Renders as one wire line (no trailing newline).
+    pub fn render(&self) -> String {
+        match self {
+            Response::Accepted { id } => {
+                let mut s = String::from("{\"type\":\"accepted\"");
+                push_str(&mut s, "id", id);
+                s.push('}');
+                s
+            }
+            Response::Shed {
+                id,
+                in_flight,
+                capacity,
+            } => {
+                let mut s = String::from("{\"type\":\"shed\"");
+                push_str(&mut s, "id", id);
+                push_num(&mut s, "in_flight", *in_flight);
+                push_num(&mut s, "capacity", *capacity);
+                s.push('}');
+                s
+            }
+            Response::Start {
+                id,
+                faults,
+                sim_detected,
+                random_tests,
+            } => {
+                let mut s = String::from("{\"type\":\"start\"");
+                push_str(&mut s, "id", id);
+                push_num(&mut s, "faults", *faults);
+                push_num(&mut s, "sim_detected", *sim_detected);
+                push_num(&mut s, "random_tests", *random_tests);
+                s.push('}');
+                s
+            }
+            Response::Verdict {
+                id,
+                seq,
+                net,
+                stuck,
+                verdict,
+                vector,
+            } => {
+                let mut s = String::from("{\"type\":\"verdict\"");
+                push_str(&mut s, "id", id);
+                push_num(&mut s, "seq", *seq);
+                push_num(&mut s, "net", *net);
+                push_num(&mut s, "stuck", *stuck);
+                push_str(&mut s, "verdict", verdict);
+                if let Some(v) = vector {
+                    push_str(&mut s, "vector", v);
+                }
+                s.push('}');
+                s
+            }
+            Response::Cert {
+                id,
+                seq,
+                proof_bytes,
+            } => {
+                let mut s = String::from("{\"type\":\"cert\"");
+                push_str(&mut s, "id", id);
+                push_num(&mut s, "seq", *seq);
+                push_num(&mut s, "proof_bytes", *proof_bytes);
+                s.push('}');
+                s
+            }
+            Response::Audit {
+                id,
+                certified,
+                failed,
+                uncertified,
+                ok,
+            } => {
+                let mut s = String::from("{\"type\":\"audit\"");
+                push_str(&mut s, "id", id);
+                push_num(&mut s, "certified", *certified);
+                push_num(&mut s, "failed", *failed);
+                push_num(&mut s, "uncertified", *uncertified);
+                push_bool(&mut s, "ok", *ok);
+                s.push('}');
+                s
+            }
+            Response::Done {
+                id,
+                status,
+                detected,
+                untestable,
+                aborted,
+                deadlined,
+                solves,
+                wall_ms,
+            } => {
+                let mut s = String::from("{\"type\":\"done\"");
+                push_str(&mut s, "id", id);
+                push_str(&mut s, "status", status.as_str());
+                push_num(&mut s, "detected", *detected);
+                push_num(&mut s, "untestable", *untestable);
+                push_num(&mut s, "aborted", *aborted);
+                push_num(&mut s, "deadlined", *deadlined);
+                push_num(&mut s, "solves", *solves);
+                push_num(&mut s, "wall_ms", *wall_ms);
+                s.push('}');
+                s
+            }
+            Response::Error { id, code, msg } => {
+                let mut s = String::from("{\"type\":\"error\"");
+                if let Some(id) = id {
+                    push_str(&mut s, "id", id);
+                }
+                push_str(&mut s, "code", code.as_str());
+                push_str(&mut s, "msg", msg);
+                s.push('}');
+                s
+            }
+            Response::Pong => "{\"type\":\"pong\"}".to_string(),
+            Response::Stats(t) => {
+                let mut s = String::from("{\"type\":\"stats\"");
+                push_num(&mut s, "admitted", t.admitted);
+                push_num(&mut s, "shed", t.shed);
+                push_num(&mut s, "completed", t.completed);
+                push_num(&mut s, "cancelled", t.cancelled);
+                push_num(&mut s, "failed", t.failed);
+                push_num(&mut s, "deadline_expired", t.deadline_expired);
+                push_num(&mut s, "solves", t.solves);
+                push_num(&mut s, "steps", t.steps);
+                push_num(&mut s, "active", t.active);
+                push_num(&mut s, "capacity", t.capacity);
+                s.push('}');
+                s
+            }
+        }
+    }
+
+    /// Parses one response line (client side).
+    pub fn parse(line: &str) -> Result<Response, ProtoError> {
+        let fields = parse_flat_object(line)?;
+        let ty = require_str(&fields, "type")
+            .map_err(|e| ProtoError::new(ErrorCode::UnknownType, e.msg))?;
+        let num = |key: &str| -> Result<u64, ProtoError> {
+            get_num(&fields, key)?.ok_or_else(|| {
+                ProtoError::new(ErrorCode::MissingField, format!("field `{key}` required"))
+            })
+        };
+        match ty.as_str() {
+            "accepted" => Ok(Response::Accepted {
+                id: require_str(&fields, "id")?,
+            }),
+            "shed" => Ok(Response::Shed {
+                id: require_str(&fields, "id")?,
+                in_flight: num("in_flight")?,
+                capacity: num("capacity")?,
+            }),
+            "start" => Ok(Response::Start {
+                id: require_str(&fields, "id")?,
+                faults: num("faults")?,
+                sim_detected: num("sim_detected")?,
+                random_tests: num("random_tests")?,
+            }),
+            "verdict" => Ok(Response::Verdict {
+                id: require_str(&fields, "id")?,
+                seq: num("seq")?,
+                net: num("net")?,
+                stuck: num("stuck")?,
+                verdict: require_str(&fields, "verdict")?,
+                vector: get_str(&fields, "vector")?,
+            }),
+            "cert" => Ok(Response::Cert {
+                id: require_str(&fields, "id")?,
+                seq: num("seq")?,
+                proof_bytes: num("proof_bytes")?,
+            }),
+            "audit" => Ok(Response::Audit {
+                id: require_str(&fields, "id")?,
+                certified: num("certified")?,
+                failed: num("failed")?,
+                uncertified: num("uncertified")?,
+                ok: get_bool(&fields, "ok")?.ok_or_else(|| {
+                    ProtoError::new(ErrorCode::MissingField, "field `ok` required")
+                })?,
+            }),
+            "done" => {
+                let status = require_str(&fields, "status")?;
+                Ok(Response::Done {
+                    id: require_str(&fields, "id")?,
+                    status: DoneStatus::from_wire(&status).ok_or_else(|| {
+                        ProtoError::new(ErrorCode::BadField, format!("unknown status `{status}`"))
+                    })?,
+                    detected: num("detected")?,
+                    untestable: num("untestable")?,
+                    aborted: num("aborted")?,
+                    deadlined: num("deadlined")?,
+                    solves: num("solves")?,
+                    wall_ms: num("wall_ms")?,
+                })
+            }
+            "error" => {
+                let code = require_str(&fields, "code")?;
+                Ok(Response::Error {
+                    id: get_str(&fields, "id")?,
+                    code: ErrorCode::from_wire(&code).ok_or_else(|| {
+                        ProtoError::new(ErrorCode::BadField, format!("unknown code `{code}`"))
+                    })?,
+                    msg: require_str(&fields, "msg")?,
+                })
+            }
+            "pong" => Ok(Response::Pong),
+            "stats" => Ok(Response::Stats(StatsSnapshot {
+                admitted: num("admitted")?,
+                shed: num("shed")?,
+                completed: num("completed")?,
+                cancelled: num("cancelled")?,
+                failed: num("failed")?,
+                deadline_expired: num("deadline_expired")?,
+                solves: num("solves")?,
+                steps: num("steps")?,
+                active: num("active")?,
+                capacity: num("capacity")?,
+            })),
+            other => Err(ProtoError::new(
+                ErrorCode::UnknownType,
+                format!("unknown response type `{other}`"),
+            )),
+        }
+    }
+
+    /// The error response for a [`ProtoError`], scoped to `id` when the
+    /// failing request named one.
+    pub fn from_proto_error(id: Option<String>, err: &ProtoError) -> Response {
+        Response::Error {
+            id,
+            code: err.code,
+            msg: err.msg.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_campaign_request_round_trips() {
+        let req = Request::Campaign {
+            id: "j1".into(),
+            netlist: "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n".into(),
+            options: CampaignOptions::default(),
+        };
+        let line = req.render();
+        assert_eq!(Request::parse(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn full_campaign_request_round_trips() {
+        let req = Request::Campaign {
+            id: "j\"2\\weird\nid".into(),
+            netlist: "INPUT(1)\nOUTPUT(2)\n2 = NOT(1)\n".into(),
+            options: CampaignOptions {
+                patterns: 64,
+                seed: 9,
+                solver: SolverChoice::Dpll,
+                incremental: true,
+                certify: true,
+                trace: true,
+                dropping: false,
+                collapse: false,
+                dominance: true,
+                deadline_ms: Some(1500),
+                max_nodes: Some(10_000),
+                max_conflicts: Some(100),
+            },
+        };
+        let line = req.render();
+        assert_eq!(Request::parse(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn every_response_round_trips() {
+        let all = vec![
+            Response::Accepted { id: "a".into() },
+            Response::Shed {
+                id: "a".into(),
+                in_flight: 1,
+                capacity: 1,
+            },
+            Response::Start {
+                id: "a".into(),
+                faults: 22,
+                sim_detected: 3,
+                random_tests: 2,
+            },
+            Response::Verdict {
+                id: "a".into(),
+                seq: 0,
+                net: 7,
+                stuck: 1,
+                verdict: "detected".into(),
+                vector: Some("0101".into()),
+            },
+            Response::Verdict {
+                id: "a".into(),
+                seq: 1,
+                net: 8,
+                stuck: 0,
+                verdict: "untestable".into(),
+                vector: None,
+            },
+            Response::Cert {
+                id: "a".into(),
+                seq: 1,
+                proof_bytes: 99,
+            },
+            Response::Audit {
+                id: "a".into(),
+                certified: 5,
+                failed: 0,
+                uncertified: 0,
+                ok: true,
+            },
+            Response::Done {
+                id: "a".into(),
+                status: DoneStatus::Deadline,
+                detected: 4,
+                untestable: 1,
+                aborted: 0,
+                deadlined: 17,
+                solves: 5,
+                wall_ms: 12,
+            },
+            Response::Error {
+                id: None,
+                code: ErrorCode::Json,
+                msg: "expected '{'".into(),
+            },
+            Response::Error {
+                id: Some("a".into()),
+                code: ErrorCode::Preflight,
+                msg: "N002".into(),
+            },
+            Response::Pong,
+            Response::Stats(StatsSnapshot {
+                admitted: 3,
+                shed: 1,
+                completed: 2,
+                cancelled: 1,
+                failed: 0,
+                deadline_expired: 0,
+                solves: 40,
+                steps: 66,
+                active: 0,
+                capacity: 4,
+            }),
+        ];
+        for r in all {
+            let line = r.render();
+            assert_eq!(Response::parse(&line).unwrap(), r, "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_lines_give_typed_errors() {
+        for (line, code) in [
+            ("", ErrorCode::Json),
+            ("not json", ErrorCode::Json),
+            ("{\"type\":\"campaign\"", ErrorCode::Json),
+            ("{\"type\":3}", ErrorCode::UnknownType),
+            ("{}", ErrorCode::UnknownType),
+            ("{\"type\":\"warp\"}", ErrorCode::UnknownType),
+            (
+                "{\"type\":\"campaign\",\"id\":\"x\"}",
+                ErrorCode::MissingField,
+            ),
+            (
+                "{\"type\":\"campaign\",\"id\":7,\"netlist\":\"\"}",
+                ErrorCode::BadField,
+            ),
+            (
+                "{\"type\":\"campaign\",\"id\":\"x\",\"netlist\":\"\",\"solver\":\"brick\"}",
+                ErrorCode::BadField,
+            ),
+            (
+                "{\"type\":\"campaign\",\"id\":\"x\",\"netlist\":\"\",\"seed\":true}",
+                ErrorCode::BadField,
+            ),
+            ("{\"type\":\"ping\",\"n\":1.5}", ErrorCode::Json),
+            ("{\"type\":\"ping\",\"n\":-1}", ErrorCode::Json),
+            ("{\"type\":\"ping\",\"n\":null}", ErrorCode::Json),
+            ("{\"type\":\"ping\",\"n\":[1]}", ErrorCode::Json),
+            ("{\"type\":\"ping\"} trailing", ErrorCode::Json),
+            (
+                "{\"type\":\"ping\",\"n\":99999999999999999999999}",
+                ErrorCode::Json,
+            ),
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert_eq!(err.code, code, "line: {line} -> {err}");
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_keep_the_last() {
+        let fields = parse_flat_object("{\"a\":1,\"a\":2}").unwrap();
+        assert_eq!(fields, vec![("a".to_string(), Value::Num(2))]);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let mut s = String::from("{\"type\":\"x\"");
+        push_str(&mut s, "k", "a\"b\\c\nd\te\rf\u{1}g");
+        s.push('}');
+        let fields = parse_flat_object(&s).unwrap();
+        assert_eq!(
+            fields[1],
+            ("k".to_string(), Value::Str("a\"b\\c\nd\te\rf\u{1}g".into()))
+        );
+    }
+}

@@ -54,3 +54,4 @@ pub use atpg_easy_netlist as netlist;
 pub use atpg_easy_obs as obs;
 pub use atpg_easy_proof as proof;
 pub use atpg_easy_sat as sat;
+pub use atpg_easy_serve as serve;

@@ -1,0 +1,253 @@
+//! Deadline and cancellation semantics of the serve daemon, pinned
+//! deterministically with an injected [`FakeClock`]: expiry is a fact of
+//! arithmetic on a clock only the test advances, not a race against
+//! worker speed.
+//!
+//! - an **already-expired** deadline finalizes `done status=deadline`
+//!   without building, solving, or streaming a single verdict;
+//! - a deadline expiring **mid-campaign** flushes every pending fault as
+//!   a `deadline` verdict (dense seq continuation, no solver time) and
+//!   the counts reconcile;
+//! - a **client disconnect** mid-stream cancels the tenant's campaigns
+//!   and frees the workers — asserted through the pool counters and by
+//!   running a fresh campaign on the same (single-worker) pool;
+//! - an explicit **cancel** request terminates with
+//!   `done status=cancelled`.
+
+use std::time::Duration;
+
+use atpg_easy::circuits::{alu, suite};
+use atpg_easy::netlist::parser::bench;
+use atpg_easy::serve::{
+    CampaignOptions, DoneStatus, ErrorCode, FakeClock, PipeClient, Request, Response, ServeConfig,
+    Server, StatsSnapshot, Submission,
+};
+use std::sync::Arc;
+
+const RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+fn c17_text() -> String {
+    bench::write(&suite::c17()).expect("c17 renders")
+}
+
+/// A campaign with enough solver-bound faults that it cannot finish
+/// between two adjacent client actions: every fault goes through SAT
+/// (no random phase, no dropping).
+fn big_text() -> String {
+    bench::write(&alu::alu(16)).expect("alu renders")
+}
+
+fn slow_options() -> CampaignOptions {
+    CampaignOptions {
+        patterns: 0,
+        dropping: false,
+        ..CampaignOptions::default()
+    }
+}
+
+fn server_with_clock(workers: usize, clock: Arc<FakeClock>) -> Server {
+    Server::with_clock(
+        ServeConfig {
+            workers,
+            quantum: 1,
+            ..ServeConfig::default()
+        },
+        clock,
+    )
+}
+
+fn client(server: &Server) -> PipeClient {
+    let mut c = PipeClient::connect(server);
+    c.set_recv_timeout(Some(RECV_TIMEOUT));
+    c
+}
+
+/// Polls the pool counters until `pred` holds (the asynchronous side of
+/// cancellation: flags flip immediately, workers notice between faults).
+fn wait_for(server: &Server, pred: impl Fn(&StatsSnapshot) -> bool) -> StatsSnapshot {
+    for _ in 0..2000 {
+        let s = server.stats();
+        if pred(&s) {
+            return s;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("pool counters never converged: {:?}", server.stats());
+}
+
+#[test]
+fn expired_deadline_never_solves() {
+    let clock = Arc::new(FakeClock::new());
+    let server = server_with_clock(2, Arc::clone(&clock));
+    let mut c = client(&server);
+    // deadline_ms=0 is expired at admission time by arithmetic — no
+    // clock advance, no race: the worker must refuse to even build.
+    let sub = c
+        .run_campaign(
+            "expired",
+            &c17_text(),
+            CampaignOptions {
+                deadline_ms: Some(0),
+                ..CampaignOptions::default()
+            },
+        )
+        .expect("stream");
+    let Submission::Completed(outcome) = sub else {
+        panic!("expected completion, got {sub:?}");
+    };
+    assert_eq!(outcome.done.status, DoneStatus::Deadline);
+    assert!(outcome.verdicts.is_empty(), "no verdicts without solving");
+    assert_eq!(outcome.faults, 0, "no start line: netlist never built");
+    assert_eq!(outcome.done.solves, 0);
+    let stats = server.stats();
+    assert_eq!(stats.solves, 0, "the pool spent zero solver calls");
+    assert_eq!(stats.steps, 0, "the pool stepped zero faults");
+    assert_eq!(stats.deadline_expired, 1);
+    // The pool is alive and well: a fresh campaign completes.
+    let sub = c
+        .run_campaign("after", &c17_text(), CampaignOptions::default())
+        .expect("stream");
+    assert!(matches!(sub, Submission::Completed(o) if o.done.status == DoneStatus::Ok));
+}
+
+#[test]
+fn midstream_expiry_flushes_deadline_verdicts() {
+    let clock = Arc::new(FakeClock::new());
+    let server = server_with_clock(1, Arc::clone(&clock));
+    let mut c = client(&server);
+    c.send(&Request::Campaign {
+        id: "mid".into(),
+        netlist: big_text(),
+        options: CampaignOptions {
+            deadline_ms: Some(1000),
+            ..slow_options()
+        },
+    })
+    .expect("submit");
+    // Wait for the stream to be demonstrably mid-campaign (start plus a
+    // few real verdicts), then expire the deadline. The campaign has
+    // hundreds of solver-bound faults ahead of it, so it is still
+    // running when the advance lands.
+    let mut prefix = Vec::new();
+    let mut real_verdicts = 0;
+    while real_verdicts < 3 {
+        let r = c.recv().expect("response");
+        if let Response::Verdict { .. } = &r {
+            real_verdicts += 1;
+        }
+        prefix.push(r);
+    }
+    clock.advance(2000);
+    let sub = c.collect("mid").expect("stream");
+    let Submission::Completed(outcome) = sub else {
+        panic!("expected completion, got {sub:?}");
+    };
+    // Stitch the pre-advance prefix back in front of the collected rest.
+    let mut verdicts: Vec<_> = prefix
+        .into_iter()
+        .filter_map(|r| match r {
+            Response::Verdict {
+                seq, verdict, net, ..
+            } => Some((seq, net, verdict)),
+            _ => None,
+        })
+        .collect();
+    verdicts.extend(
+        outcome
+            .verdicts
+            .iter()
+            .map(|v| (v.seq, v.net, v.verdict.clone())),
+    );
+    assert_eq!(outcome.done.status, DoneStatus::Deadline);
+    let deadline_tail: Vec<_> = verdicts
+        .iter()
+        .skip_while(|(_, _, v)| v != "deadline")
+        .collect();
+    assert!(
+        !deadline_tail.is_empty(),
+        "expiry mid-campaign flushes pending faults"
+    );
+    assert!(
+        deadline_tail.iter().all(|(_, _, v)| v == "deadline"),
+        "deadline verdicts are exactly the tail"
+    );
+    assert_eq!(outcome.done.deadlined, deadline_tail.len() as u64);
+    // Every targeted fault got exactly one verdict, densely numbered.
+    for (k, (seq, _, _)) in verdicts.iter().enumerate() {
+        assert_eq!(*seq, k as u64, "dense seq across the deadline flush");
+    }
+    let solved = verdicts.len() - deadline_tail.len();
+    assert!(solved >= 3, "the campaign demonstrably ran before expiry");
+    assert_eq!(
+        outcome.done.detected + outcome.done.untestable + outcome.done.aborted,
+        solved as u64,
+        "solved-fault counts reconcile with the non-deadline verdicts"
+    );
+}
+
+#[test]
+fn disconnect_cancels_and_frees_the_pool() {
+    let clock = Arc::new(FakeClock::new());
+    let server = server_with_clock(1, Arc::clone(&clock));
+    let mut doomed = client(&server);
+    doomed
+        .send(&Request::Campaign {
+            id: "doomed".into(),
+            netlist: big_text(),
+            options: slow_options(),
+        })
+        .expect("submit");
+    // Ensure the campaign is occupying the (only) worker before the
+    // disconnect: wait for its start line.
+    loop {
+        if let Response::Start { .. } = doomed.recv().expect("response") {
+            break;
+        }
+    }
+    drop(doomed); // client vanishes mid-stream
+    let stats = wait_for(&server, |s| s.cancelled == 1 && s.active == 0);
+    assert_eq!(stats.admitted, 1);
+    assert_eq!(stats.completed, 0, "the doomed campaign never completed");
+    // The single worker is free again: a fresh tenant's campaign runs to
+    // completion — the disconnect did not leak the pool.
+    let mut fresh = client(&server);
+    let sub = fresh
+        .run_campaign("fresh", &c17_text(), CampaignOptions::default())
+        .expect("stream");
+    assert!(matches!(sub, Submission::Completed(o) if o.done.status == DoneStatus::Ok));
+    let stats = server.stats();
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.active, 0);
+}
+
+#[test]
+fn cancel_request_terminates_the_stream() {
+    let clock = Arc::new(FakeClock::new());
+    let server = server_with_clock(1, Arc::clone(&clock));
+    let mut c = client(&server);
+    c.send(&Request::Campaign {
+        id: "victim".into(),
+        netlist: big_text(),
+        options: slow_options(),
+    })
+    .expect("submit");
+    loop {
+        if let Response::Start { .. } = c.recv().expect("response") {
+            break;
+        }
+    }
+    c.cancel("victim").expect("cancel");
+    let sub = c.collect("victim").expect("stream");
+    let Submission::Completed(outcome) = sub else {
+        panic!("expected completion, got {sub:?}");
+    };
+    assert_eq!(outcome.done.status, DoneStatus::Cancelled);
+    let stats = wait_for(&server, |s| s.active == 0);
+    assert_eq!(stats.cancelled, 1);
+    // Cancelling something unknown is a typed error, not a hang.
+    c.cancel("never-submitted").expect("cancel");
+    match c.recv().expect("response") {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownId),
+        other => panic!("expected unknown_id, got {other:?}"),
+    }
+}
