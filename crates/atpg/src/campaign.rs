@@ -80,6 +80,13 @@ pub struct AtpgConfig {
     /// (compare [`CampaignResult::detection_report`]); models, effort
     /// counters and instance sizes differ.
     pub incremental: bool,
+    /// Run the static implication pre-pass (`atpg_easy_implic`) before
+    /// the campaign and retire statically-proved-redundant faults as
+    /// [`FaultOutcome::StaticallyRedundant`] without building a SAT
+    /// instance. Sound by construction: a pruned fault is untestable,
+    /// so [`CampaignResult::detection_report`] is byte-identical with
+    /// the pass on or off (only per-record solver annotations differ).
+    pub static_prune: bool,
 }
 
 impl Default for AtpgConfig {
@@ -95,6 +102,7 @@ impl Default for AtpgConfig {
             seed: 1,
             preflight: true,
             incremental: false,
+            static_prune: false,
         }
     }
 }
@@ -108,6 +116,10 @@ pub enum FaultOutcome {
     DetectedBySimulation,
     /// ATPG-SAT proved the fault untestable (redundant).
     Untestable,
+    /// The static implication pre-pass proved the fault untestable
+    /// before any SAT instance was built (see `atpg_easy_implic`).
+    /// Semantically equivalent to [`FaultOutcome::Untestable`].
+    StaticallyRedundant,
     /// The solver hit its budget.
     Aborted,
 }
@@ -154,11 +166,24 @@ impl CampaignResult {
             .count()
     }
 
-    /// Faults proved untestable.
+    /// Faults proved untestable (by the solver or the static pre-pass).
     pub fn untestable(&self) -> usize {
         self.records
             .iter()
-            .filter(|r| r.outcome == FaultOutcome::Untestable)
+            .filter(|r| {
+                matches!(
+                    r.outcome,
+                    FaultOutcome::Untestable | FaultOutcome::StaticallyRedundant
+                )
+            })
+            .count()
+    }
+
+    /// Faults retired by the static implication pre-pass.
+    pub fn statically_pruned(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.outcome == FaultOutcome::StaticallyRedundant)
             .count()
     }
 
@@ -202,6 +227,7 @@ impl CampaignResult {
                 FaultOutcome::Detected(v) => format!("detected:{}", bits(v)),
                 FaultOutcome::DetectedBySimulation => "sim".to_string(),
                 FaultOutcome::Untestable => "untestable".to_string(),
+                FaultOutcome::StaticallyRedundant => "untestable-static".to_string(),
                 FaultOutcome::Aborted => "aborted".to_string(),
             };
             let s = &r.stats;
@@ -250,7 +276,7 @@ impl CampaignResult {
         for r in &self.records {
             let verdict = match &r.outcome {
                 FaultOutcome::Detected(_) | FaultOutcome::DetectedBySimulation => "detected",
-                FaultOutcome::Untestable => "untestable",
+                FaultOutcome::Untestable | FaultOutcome::StaticallyRedundant => "untestable",
                 FaultOutcome::Aborted => "aborted",
             };
             writeln!(
@@ -444,6 +470,31 @@ pub(crate) fn simulated_record(f: Fault) -> FaultRecord {
     }
 }
 
+/// The record for a fault retired by the static implication pre-pass
+/// (no SAT instance built).
+pub(crate) fn static_redundant_record(f: Fault) -> FaultRecord {
+    FaultRecord {
+        fault: f,
+        outcome: FaultOutcome::StaticallyRedundant,
+        sat_vars: 0,
+        sat_clauses: 0,
+        sub_size: 0,
+        solve_time: Duration::ZERO,
+        stats: SolverStats::default(),
+    }
+}
+
+/// The faults of `faults` proved redundant by the static implication
+/// pre-pass, as a parallel `bool` mask. Shared by the sequential driver
+/// and the parallel engine so both prune the identical set.
+pub(crate) fn static_prune_mask(nl: &Netlist, faults: &[Fault]) -> Vec<bool> {
+    let analysis = atpg_easy_implic::analyze(nl);
+    faults
+        .iter()
+        .map(|f| analysis.is_redundant(f.net, f.stuck))
+        .collect()
+}
+
 /// Builds, encodes and solves the ATPG-SAT instance for one fault.
 ///
 /// Deterministic apart from the wall-clock `solve_time` field (and any
@@ -485,12 +536,14 @@ pub(crate) fn solve_one_certified(
 }
 
 /// The Figure-1 outcome label of a fault record: `"SAT"`, `"UNSAT"`,
-/// `"ABORT"`, or `"SIM"` for faults retired by simulation.
+/// `"ABORT"`, `"SIM"` for faults retired by simulation, or
+/// `"REDUNDANT"` for faults retired by the static pre-pass.
 pub fn outcome_label(outcome: &FaultOutcome) -> &'static str {
     match outcome {
         FaultOutcome::Detected(_) => "SAT",
         FaultOutcome::DetectedBySimulation => "SIM",
         FaultOutcome::Untestable => "UNSAT",
+        FaultOutcome::StaticallyRedundant => "REDUNDANT",
         FaultOutcome::Aborted => "ABORT",
     }
 }

@@ -56,6 +56,7 @@ pub struct CampaignDriver {
     config: AtpgConfig,
     faults: Vec<Fault>,
     detected: Vec<bool>,
+    pruned: Vec<bool>,
     fs: FaultSimulator,
     inc: Option<IncrementalAtpg>,
     sink: Option<StreamSink>,
@@ -96,6 +97,11 @@ impl CampaignDriver {
             }
         }
         let faults = campaign::target_faults(&nl, config);
+        let pruned = if config.static_prune {
+            campaign::static_prune_mask(&nl, &faults)
+        } else {
+            vec![false; faults.len()]
+        };
         let fs = FaultSimulator::with_cones(&nl);
         let mut detected = vec![false; faults.len()];
         let tests = campaign::random_phase(&nl, config, &fs, &faults, &mut detected);
@@ -115,6 +121,7 @@ impl CampaignDriver {
             config: *config,
             faults,
             detected,
+            pruned,
             fs,
             inc,
             sink,
@@ -159,6 +166,12 @@ impl CampaignDriver {
     /// `start` line.
     pub fn sim_detected(&self) -> usize {
         self.detected.iter().filter(|&&d| d).count()
+    }
+
+    /// Faults the static implication pre-pass proved redundant (0 unless
+    /// `config.static_prune`); these are retired without a SAT instance.
+    pub fn static_pruned(&self) -> usize {
+        self.pruned.iter().filter(|&&p| p).count()
     }
 
     /// Whether every fault has been stepped or abandoned.
@@ -215,6 +228,13 @@ impl CampaignDriver {
         }
         self.next = i + 1;
         let f = self.faults[i];
+        if self.pruned[i] {
+            self.last_proof_bytes = 0;
+            self.result
+                .records
+                .push(campaign::static_redundant_record(f));
+            return self.result.records.last();
+        }
         if self.detected[i] {
             self.last_proof_bytes = 0;
             self.result.records.push(campaign::simulated_record(f));

@@ -168,6 +168,13 @@ impl AtpgCampaign {
         let started = Instant::now();
         campaign::check_preflight(nl, &self.config);
         let faults = campaign::target_faults(nl, &self.config);
+        // Static pre-pass: the same mask the sequential driver computes,
+        // so both engines prune (and record) the identical fault set.
+        let pruned = if self.config.static_prune {
+            campaign::static_prune_mask(nl, &faults)
+        } else {
+            vec![false; faults.len()]
+        };
         let fs = FaultSimulator::with_cones(nl);
         let mut detected = vec![false; faults.len()];
 
@@ -181,7 +188,7 @@ impl AtpgCampaign {
         let queue = ShardedQueue::new(faults.len(), self.threads);
         let drop_bits = DropBitmap::new(faults.len());
         for (i, &d) in detected.iter().enumerate() {
-            if d {
+            if d || pruned[i] {
                 drop_bits.set(i);
             }
         }
@@ -210,6 +217,7 @@ impl AtpgCampaign {
             let committed = commit_loop(
                 rx,
                 &faults,
+                &pruned,
                 &mut detected,
                 &drop_bits,
                 self.window,
@@ -241,6 +249,7 @@ impl AtpgCampaign {
             committed_sat: committed.sat,
             committed_unsat: committed.unsat,
             dropped: committed.dropped,
+            static_pruned: committed.pruned,
             wasted_solves: solved - (committed.sat + committed.unsat),
         };
         ParallelRun {
@@ -296,6 +305,9 @@ pub struct ParallelReport {
     /// Faults retired without a committed solver call (random patterns or
     /// fault dropping).
     pub dropped: usize,
+    /// Faults retired by the static implication pre-pass (0 unless
+    /// `static_prune` was configured); disjoint from `dropped`.
+    pub static_pruned: usize,
     /// Speculative solves discarded at commit time because an earlier
     /// committed test already covered the fault — the price of keeping
     /// dropping deterministic under parallelism. Exactly
@@ -331,6 +343,7 @@ impl ParallelReport {
             committed_unsat: self.committed_unsat as u64,
             dropped: self.dropped as u64,
             wasted_solves: self.wasted_solves as u64,
+            static_pruned: self.static_pruned as u64,
             cutwidth_estimate,
         }
     }
@@ -595,11 +608,13 @@ fn run_worker(
 }
 
 /// Commit-loop tallies: committed SAT verdicts, committed UNSAT/abort
-/// verdicts, and faults retired without a committed solver call.
+/// verdicts, faults retired without a committed solver call, and faults
+/// retired by the static pre-pass.
 struct Committed {
     sat: usize,
     unsat: usize,
     dropped: usize,
+    pruned: usize,
 }
 
 /// Applies a solved instance to the committed state: marks the fault (and
@@ -653,6 +668,7 @@ fn apply_commit(
 fn commit_loop(
     rx: mpsc::Receiver<Solved>,
     faults: &[Fault],
+    pruned: &[bool],
     detected: &mut [bool],
     drop_bits: &DropBitmap,
     window: usize,
@@ -662,6 +678,7 @@ fn commit_loop(
         sat: 0,
         unsat: 0,
         dropped: 0,
+        pruned: 0,
     };
     // Arrived solves not yet committed, keyed by fault index.
     let mut pending: HashMap<usize, Solved> = HashMap::new();
@@ -678,7 +695,16 @@ fn commit_loop(
             let before = (frontier, held.len(), pending.len());
             // Emit in strict index order as far as the state allows.
             while frontier < faults.len() {
-                if let Some(record) = held.remove(&frontier) {
+                if pruned[frontier] {
+                    // Statically pruned: never queued to workers (its
+                    // drop bit was pre-set), emitted straight from the
+                    // pre-pass verdict — mirrors the sequential driver.
+                    result
+                        .records
+                        .push(campaign::static_redundant_record(faults[frontier]));
+                    committed.pruned += 1;
+                    frontier += 1;
+                } else if let Some(record) = held.remove(&frontier) {
                     result.records.push(record);
                     frontier += 1;
                 } else if detected[frontier] {

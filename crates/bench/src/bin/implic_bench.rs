@@ -1,0 +1,181 @@
+//! A/B harness: campaigns with and without the static-implication
+//! redundancy pre-pass.
+//!
+//! ```text
+//! cargo run -p atpg-easy-bench --release --bin implic_bench -- [mcnc|iscas|all|mult]
+//!     [--patterns P] [--seed S] [--out FILE]
+//! ```
+//!
+//! For every circuit the harness runs the sequential campaign twice —
+//! once plain and once with `static_prune` on — and checks the
+//! soundness contract of the pre-pass:
+//!
+//! 1. the per-fault detection reports are byte-identical (a statically
+//!    pruned fault renders exactly like a solver-proved untestable one,
+//!    so any vector detecting a pruned fault would break equality), and
+//! 2. every fault the pre-pass pruned was independently proved
+//!    untestable (UNSAT) by the baseline run — zero static/SAT verdict
+//!    disagreements.
+//!
+//! Per-circuit rows record the pruned-fault count, the static-analysis
+//! wall time, and the end-to-end speedup; totals and the soundness
+//! verdict are written as JSON (default `results/implic.json`). Exits 1
+//! on any disagreement, report mismatch, or if the pre-pass pruned
+//! nothing across the whole suite; 2 on usage errors.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use atpg_easy_atpg::campaign::{self, AtpgConfig, FaultOutcome};
+use atpg_easy_bench::{flag, parse_args, resolve_suite};
+use atpg_easy_implic::RedundancyReason;
+use atpg_easy_netlist::decompose;
+
+fn main() -> ExitCode {
+    let (pos, flags) = parse_args(std::env::args().skip(1));
+    let suite_name = pos.first().map(String::as_str).unwrap_or("all");
+    let Some(circuits) = resolve_suite(suite_name) else {
+        eprintln!(
+            "usage: implic_bench [mcnc|iscas|all|mult] [--patterns P] [--seed S] [--out FILE]"
+        );
+        return ExitCode::from(2);
+    };
+    let patterns: usize = flag(&flags, "patterns").unwrap_or(32);
+    let seed: u64 = flag(&flags, "seed").unwrap_or(1);
+    let out: String = flag(&flags, "out").unwrap_or_else(|| "results/implic.json".into());
+
+    let base_config = AtpgConfig {
+        random_patterns: patterns,
+        seed,
+        ..AtpgConfig::default()
+    };
+    let prune_config = AtpgConfig {
+        static_prune: true,
+        ..base_config
+    };
+
+    println!("== static-implication pre-pass A/B ({suite_name}) ==");
+    println!(
+        "{:<12} {:>7} {:>7} {:>10} {:>10} {:>8}  report",
+        "circuit", "faults", "pruned", "static_ms", "speedup", "disagree"
+    );
+
+    let mut rows = String::new();
+    let mut total_pruned = 0usize;
+    let mut total_disagreements = 0usize;
+    let mut reports_match = true;
+    for (i, c) in circuits.iter().enumerate() {
+        let nl = decompose::decompose(&c.netlist, 3).expect("suite circuits decompose");
+
+        // Static analysis timed on its own: this is the cost a campaign
+        // pays before the first solver call.
+        let t0 = Instant::now();
+        let analysis = atpg_easy_implic::analyze(&nl);
+        let static_time = t0.elapsed();
+        let mut by_reason = [0usize; 3];
+        for r in &analysis.redundant {
+            by_reason[match r.reason {
+                RedundancyReason::Unobservable => 0,
+                RedundancyReason::ActivationInfeasible => 1,
+                RedundancyReason::StaticConflict => 2,
+            }] += 1;
+        }
+
+        let t0 = Instant::now();
+        let base = campaign::run(&nl, &base_config);
+        let base_time = t0.elapsed();
+        let t0 = Instant::now();
+        let pruned_run = campaign::run(&nl, &prune_config);
+        let pruned_time = t0.elapsed();
+
+        let same = base.detection_report() == pruned_run.detection_report();
+        reports_match &= same;
+        let pruned = pruned_run.statically_pruned();
+        total_pruned += pruned;
+
+        // The two runs target the identical fault list in identical
+        // order, so record `i` of one run is record `i` of the other:
+        // every statically pruned fault must have come back UNSAT from
+        // the baseline's solver.
+        let disagreements = base
+            .records
+            .iter()
+            .zip(&pruned_run.records)
+            .filter(|(b, p)| {
+                matches!(p.outcome, FaultOutcome::StaticallyRedundant)
+                    && !matches!(b.outcome, FaultOutcome::Untestable)
+            })
+            .count();
+        total_disagreements += disagreements;
+
+        // The pruned run pays for its own internal static analysis, so
+        // its wall time is already end-to-end.
+        let speedup = base_time.as_secs_f64() / pruned_time.as_secs_f64();
+        println!(
+            "{:<12} {:>7} {:>7} {:>10.3} {:>10.2} {:>8}  {}",
+            c.name,
+            base.records.len(),
+            pruned,
+            static_time.as_secs_f64() * 1e3,
+            speedup,
+            disagreements,
+            if same { "identical" } else { "MISMATCH" }
+        );
+        let _ = write!(
+            rows,
+            "    {{\"circuit\": \"{}\", \"faults\": {}, \"pruned\": {}, \
+             \"static_redundant\": {}, \"unobservable\": {}, \"activation_infeasible\": {}, \
+             \"static_conflict\": {}, \"disagreements\": {}, \"report_match\": {}, \
+             \"static_ms\": {:.3}, \"baseline_ms\": {:.3}, \"pruned_ms\": {:.3}, \
+             \"speedup\": {:.4}}}{}",
+            c.name,
+            base.records.len(),
+            pruned,
+            analysis.redundant.len(),
+            by_reason[0],
+            by_reason[1],
+            by_reason[2],
+            disagreements,
+            same,
+            static_time.as_secs_f64() * 1e3,
+            base_time.as_secs_f64() * 1e3,
+            pruned_time.as_secs_f64() * 1e3,
+            speedup,
+            if i + 1 < circuits.len() { ",\n" } else { "\n" }
+        );
+    }
+
+    let sound = reports_match && total_disagreements == 0;
+    println!(
+        "totals: pruned {total_pruned} | disagreements {total_disagreements} | reports {}",
+        if reports_match {
+            "identical"
+        } else {
+            "MISMATCH"
+        }
+    );
+
+    let json = format!(
+        "{{\n  \"suite\": \"{suite_name}\",\n  \"patterns\": {patterns},\n  \"seed\": {seed},\n  \
+         \"sound\": {sound},\n  \"total_pruned\": {total_pruned},\n  \
+         \"total_disagreements\": {total_disagreements},\n  \"circuits\": [\n{rows}  ]\n}}\n"
+    );
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("results dir creatable");
+        }
+    }
+    std::fs::write(&out, json).expect("out path writable");
+    println!("(written to {out})");
+
+    if !sound {
+        eprintln!("error: static pre-pass disagreed with the certified solver verdicts");
+        return ExitCode::from(1);
+    }
+    if total_pruned == 0 {
+        eprintln!("error: static pre-pass pruned no fault on any suite circuit");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

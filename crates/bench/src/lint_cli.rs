@@ -9,6 +9,10 @@
 //!
 //! `FILES` are parsed by extension (`.bench` ISCAS / `.blif` BLIF).
 //! `--all-circuits` lints every generator in the built-in suite instead.
+//! `--implic` additionally runs the `R*` static-implication passes on
+//! every netlist target (unreachable/constant nets, statically redundant
+//! faults, implication-graph consistency, SCOAP testability outliers)
+//! and prints a per-target implication/testability summary.
 //! `--trace FILE` runs the `T*` JSONL-telemetry passes on a solver trace
 //! (as written by the `trace` harness) instead of the netlist passes; it
 //! can repeat and combines freely with circuit targets.
@@ -42,13 +46,14 @@ use atpg_easy_cnf::circuit;
 use atpg_easy_core::lemma42;
 use atpg_easy_cutwidth::mla::{self, MlaConfig};
 use atpg_easy_cutwidth::Hypergraph;
+use atpg_easy_implic::StaticAnalysis;
 use atpg_easy_lint::{
     activation as activation_lint, cert, cnf as cnf_lint, netlist as netlist_lint,
-    NetlistLintConfig, Report,
+    redundancy as redundancy_lint, NetlistLintConfig, Report,
 };
 use atpg_easy_netlist::{decompose, parser, Netlist};
 
-const USAGE: &str = "usage: lint [FILES...] [--all-circuits] [--trace FILE]... \
+const USAGE: &str = "usage: lint [FILES...] [--all-circuits] [--implic] [--trace FILE]... \
                      [--dimacs FILE --drat FILE] [--source ROOT] [--json] [--strict] \
                      [--max-fanout K] [--no-certs]";
 
@@ -59,6 +64,7 @@ struct Options {
     drat: Option<String>,
     source: Option<String>,
     all_circuits: bool,
+    implic: bool,
     json: bool,
     strict: bool,
     max_fanout: Option<usize>,
@@ -73,6 +79,7 @@ fn parse_options(args: impl Iterator<Item = String>) -> Result<Options, String> 
         drat: None,
         source: None,
         all_circuits: false,
+        implic: false,
         json: false,
         strict: false,
         max_fanout: None,
@@ -82,6 +89,7 @@ fn parse_options(args: impl Iterator<Item = String>) -> Result<Options, String> 
     while let Some(a) = it.next() {
         match a.as_str() {
             "--all-circuits" => opts.all_circuits = true,
+            "--implic" => opts.implic = true,
             "--json" => opts.json = true,
             "--strict" => opts.strict = true,
             "--no-certs" => opts.certs = false,
@@ -206,6 +214,31 @@ fn lint_netlist(nl: &Netlist, opts: &Options) -> Report {
     report
 }
 
+/// One-line implication/testability summary printed by `--implic`.
+fn implic_summary(nl: &Netlist, analysis: &StaticAnalysis) -> String {
+    let s = analysis.engine.stats();
+    let effort = nl
+        .net_ids()
+        .map(|n| analysis.scoap.fault_effort(n))
+        .filter(|&e| e < atpg_easy_implic::SCOAP_INFINITY)
+        .max()
+        .unwrap_or(0);
+    format!(
+        "implic: {} nets, {} direct + {} extended edges, {} pairs, \
+         {} round(s){}; {} constant net(s), {} redundant fault(s), \
+         max SCOAP effort {}",
+        s.nets,
+        s.direct_edges,
+        s.extended_edges,
+        s.implication_pairs,
+        s.rounds,
+        if s.fixpoint { "" } else { " (round cap hit)" },
+        analysis.constants.len(),
+        analysis.redundant.len(),
+        effort
+    )
+}
+
 fn load_file(path: &str) -> Result<Netlist, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let nl = if path.ends_with(".blif") {
@@ -251,11 +284,20 @@ pub fn run() -> ExitCode {
         targets.extend(suite.into_iter().map(|c| (c.name, c.netlist)));
     }
 
-    // (name, report) per target: netlist passes, then T* trace passes.
-    let mut reports: Vec<(String, Report)> = targets
-        .iter()
-        .map(|(name, nl)| (name.clone(), lint_netlist(nl, &opts)))
-        .collect();
+    // (name, report) per target: netlist passes (plus, with `--implic`,
+    // the R* static-implication passes), then T* trace passes.
+    let mut reports: Vec<(String, Report)> = Vec::new();
+    for (name, nl) in &targets {
+        let mut report = lint_netlist(nl, &opts);
+        if opts.implic {
+            let analysis = atpg_easy_implic::analyze(nl);
+            if !opts.json {
+                println!("{name}: {}", implic_summary(nl, &analysis));
+            }
+            report.merge(redundancy_lint::report_from(nl, &analysis));
+        }
+        reports.push((name.clone(), report));
+    }
     for path in &opts.traces {
         match std::fs::read_to_string(path) {
             Ok(text) => reports.push((path.clone(), atpg_easy_lint::json::lint_trace(&text))),

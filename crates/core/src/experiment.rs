@@ -94,6 +94,7 @@ pub fn figure1(circuits: &[NamedCircuit], config: &Figure1Config) -> Vec<Fig1Poi
             seed: 1,
             preflight: true,
             incremental: false,
+            static_prune: false,
         };
         let result = campaign::run(&nl, &cfg);
         let mut records: Vec<&campaign::FaultRecord> = result.sat_records().collect();

@@ -197,7 +197,8 @@ pub fn figure1_csv(points: &[Fig1Point]) -> String {
 /// # Panics
 ///
 /// Panics if a trace carries an outcome label outside the Figure-1 set
-/// (`SAT`, `UNSAT`, `ABORT`, `SIM`) — campaign-produced traces never do.
+/// (`SAT`, `UNSAT`, `ABORT`, `SIM`, `REDUNDANT`) — campaign-produced
+/// traces never do.
 pub fn fig1_points_from_traces(traces: &[InstanceTrace]) -> Vec<Fig1Point> {
     traces
         .iter()
@@ -215,6 +216,7 @@ pub fn fig1_points_from_traces(traces: &[InstanceTrace]) -> Vec<Fig1Point> {
                 "UNSAT" => "UNSAT",
                 "ABORT" => "ABORT",
                 "SIM" => "SIM",
+                "REDUNDANT" => "REDUNDANT",
                 other => panic!("unknown Figure-1 outcome label '{other}'"),
             },
         })

@@ -1,0 +1,593 @@
+//! The implication graph and its closure.
+//!
+//! Literals are indexed densely: literal `2 * net + value`. The closure
+//! is a bit-matrix: row `a` holds every literal implied by `a`
+//! (including `a` itself). Rows for the two polarities of one net sit in
+//! adjacent bit positions, so "does this row contain a complementary
+//! pair?" is a single mask-and-shift per word.
+
+use atpg_easy_netlist::{GateKind, NetId, Netlist};
+
+/// A literal: a net together with an asserted logic value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit {
+    /// The net the assertion is about.
+    pub net: NetId,
+    /// The asserted logic value.
+    pub value: bool,
+}
+
+impl Lit {
+    /// Creates a literal asserting `net = value`.
+    pub fn new(net: NetId, value: bool) -> Self {
+        Lit { net, value }
+    }
+
+    /// The opposite assertion on the same net.
+    pub fn negate(self) -> Self {
+        Lit {
+            net: self.net,
+            value: !self.value,
+        }
+    }
+
+    fn index(self) -> usize {
+        self.net.index() * 2 + usize::from(self.value)
+    }
+
+    fn from_index(i: usize) -> Self {
+        Lit {
+            net: NetId::from_index(i / 2),
+            value: i % 2 == 1,
+        }
+    }
+}
+
+impl std::fmt::Display for Lit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}={}", self.net.index(), u8::from(self.value))
+    }
+}
+
+/// Mask selecting the `value = 0` bit of every literal pair in a word.
+const EVEN: u64 = 0x5555_5555_5555_5555;
+
+/// Build statistics, exposed for lint summaries and the bench harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImplicationStats {
+    /// Number of nets analyzed.
+    pub nets: usize,
+    /// Implication edges read directly off gate semantics.
+    pub direct_edges: usize,
+    /// Edges added by extended-backward (justification-intersection)
+    /// rounds.
+    pub extended_edges: usize,
+    /// Total implied pairs in the final closure, excluding the trivial
+    /// `a ⇒ a` diagonal.
+    pub implication_pairs: usize,
+    /// Extended-backward rounds executed.
+    pub rounds: usize,
+    /// Whether the extended-backward iteration reached a fixpoint
+    /// (`false` only if the round cap was hit; the closure is still
+    /// transitively and contrapositively consistent either way).
+    pub fixpoint: bool,
+}
+
+/// Static implication engine: for every literal, the set of literals it
+/// implies under every input assignment consistent with the premise.
+#[derive(Debug, Clone)]
+pub struct ImplicationEngine {
+    /// Words per closure row.
+    stride: usize,
+    /// Number of literals (2 × nets).
+    lits: usize,
+    /// Row-major closure bit-matrix, `lits * stride` words.
+    closure: Vec<u64>,
+    /// Adjacency lists of explicit edges (direct + contrapositive +
+    /// extended); transitive consequences live only in `closure`.
+    adj: Vec<Vec<u32>>,
+    stats: ImplicationStats,
+}
+
+/// Extended-backward rounds are capped so pathological graphs cannot
+/// stall the pre-pass; the closure stays sound (just less complete) if
+/// the cap is hit. Suite circuits converge in 1–3 rounds.
+const MAX_EXTENDED_ROUNDS: usize = 8;
+
+impl ImplicationEngine {
+    /// Builds the engine for a netlist: seeds direct implications from
+    /// gate semantics, then iterates transitive + contrapositive closure
+    /// and extended-backward learning to a fixpoint (or the round cap).
+    pub fn build(nl: &Netlist) -> Self {
+        let lits = nl.num_nets() * 2;
+        let stride = lits.div_ceil(64);
+        let mut eng = ImplicationEngine {
+            stride,
+            lits,
+            closure: vec![0; lits * stride],
+            adj: vec![Vec::new(); lits],
+            stats: ImplicationStats {
+                nets: nl.num_nets(),
+                direct_edges: 0,
+                extended_edges: 0,
+                implication_pairs: 0,
+                rounds: 0,
+                fixpoint: false,
+            },
+        };
+        for i in 0..lits {
+            eng.set_bit(i, i);
+        }
+        eng.seed_direct(nl);
+        let mut fixpoint = false;
+        for round in 0..MAX_EXTENDED_ROUNDS {
+            eng.close_and_contrapose();
+            let added = eng.extended_backward(nl);
+            eng.stats.extended_edges += added;
+            eng.stats.rounds = round + 1;
+            if added == 0 {
+                fixpoint = true;
+                break;
+            }
+        }
+        eng.close_and_contrapose();
+        eng.stats.fixpoint = fixpoint;
+        eng.stats.implication_pairs = eng.count_pairs();
+        eng
+    }
+
+    /// Whether asserting `a` forces `b` under every consistent input
+    /// assignment the engine could prove.
+    pub fn implies(&self, a: Lit, b: Lit) -> bool {
+        self.get_bit(a.index(), b.index())
+    }
+
+    /// Every literal implied by `a`, excluding `a` itself.
+    pub fn implied(&self, a: Lit) -> Vec<Lit> {
+        let ai = a.index();
+        self.iter_row(ai)
+            .filter(|&b| b != ai)
+            .map(Lit::from_index)
+            .collect()
+    }
+
+    /// Whether `a` can hold under no input assignment the engine could
+    /// prove consistent: its closure contains a complementary pair.
+    pub fn infeasible(&self, a: Lit) -> bool {
+        self.row(a.index())
+            .iter()
+            .any(|&w| w & (w >> 1) & EVEN != 0)
+    }
+
+    /// If the net is provably constant, returns the constant value:
+    /// exactly one polarity is infeasible.
+    pub fn constant(&self, net: NetId) -> Option<bool> {
+        let lo = self.infeasible(Lit::new(net, false));
+        let hi = self.infeasible(Lit::new(net, true));
+        match (lo, hi) {
+            (true, false) => Some(true),
+            (false, true) => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Whether *both* polarities of the net are infeasible — a genuine
+    /// contradiction in the netlist (conflicting constant feedback);
+    /// impossible for well-formed combinational circuits.
+    pub fn contradictory(&self, net: NetId) -> bool {
+        self.infeasible(Lit::new(net, false)) && self.infeasible(Lit::new(net, true))
+    }
+
+    /// Whether asserting all of `lits` simultaneously is statically
+    /// contradictory: the union of their closures contains a
+    /// complementary pair.
+    pub fn conflicts(&self, lits: &[Lit]) -> bool {
+        let mut acc = vec![0u64; self.stride];
+        for l in lits {
+            for (a, w) in acc.iter_mut().zip(self.row(l.index())) {
+                *a |= w;
+            }
+        }
+        acc.iter().any(|&w| w & (w >> 1) & EVEN != 0)
+    }
+
+    /// Build statistics.
+    pub fn stats(&self) -> &ImplicationStats {
+        &self.stats
+    }
+
+    /// Internal consistency audit backing the R004 lint pass. Returns a
+    /// list of violated invariants (empty on a healthy engine):
+    /// closure rows must be transitively closed, contrapositively
+    /// consistent, and reflexive.
+    pub fn self_check(&self) -> Vec<String> {
+        let mut issues = Vec::new();
+        for a in 0..self.lits {
+            if !self.get_bit(a, a) {
+                issues.push(format!("row {a} lost its reflexive bit"));
+            }
+            for b in self.iter_row(a) {
+                if !self.get_bit(b ^ 1, a ^ 1) {
+                    issues.push(format!(
+                        "contrapositive missing: {} => {} but not {} => {}",
+                        Lit::from_index(a),
+                        Lit::from_index(b),
+                        Lit::from_index(b ^ 1),
+                        Lit::from_index(a ^ 1),
+                    ));
+                }
+                for c in self.iter_row(b) {
+                    if !self.get_bit(a, c) {
+                        issues.push(format!(
+                            "transitivity missing: {} => {} => {}",
+                            Lit::from_index(a),
+                            Lit::from_index(b),
+                            Lit::from_index(c),
+                        ));
+                    }
+                }
+            }
+            if issues.len() > 16 {
+                break; // enough evidence; keep the report bounded
+            }
+        }
+        issues
+    }
+
+    fn row(&self, a: usize) -> &[u64] {
+        &self.closure[a * self.stride..(a + 1) * self.stride]
+    }
+
+    fn set_bit(&mut self, a: usize, b: usize) {
+        self.closure[a * self.stride + b / 64] |= 1u64 << (b % 64);
+    }
+
+    fn get_bit(&self, a: usize, b: usize) -> bool {
+        self.closure[a * self.stride + b / 64] >> (b % 64) & 1 != 0
+    }
+
+    fn iter_row(&self, a: usize) -> impl Iterator<Item = usize> + '_ {
+        self.row(a).iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + bit)
+            })
+        })
+    }
+
+    /// Adds an explicit edge `a ⇒ b` unless the closure already has it.
+    fn add_edge(&mut self, a: usize, b: usize) -> bool {
+        if self.get_bit(a, b) {
+            return false;
+        }
+        self.set_bit(a, b);
+        self.adj[a].push(b as u32);
+        true
+    }
+
+    fn seed_direct(&mut self, nl: &Netlist) {
+        let mut count = 0usize;
+        let mut edge = |eng: &mut Self, a: Lit, b: Lit| {
+            if eng.add_edge(a.index(), b.index()) {
+                count += 1;
+            }
+        };
+        for (_, g) in nl.gates() {
+            let o = g.output;
+            // Fan-in-1 AND/OR/XOR degenerate to BUF, their inverting
+            // duals to NOT; normalize so both directions are direct.
+            let kind = match (g.kind, g.fanin()) {
+                (GateKind::And | GateKind::Or | GateKind::Xor, 1) => GateKind::Buf,
+                (GateKind::Nand | GateKind::Nor | GateKind::Xnor, 1) => GateKind::Not,
+                (k, _) => k,
+            };
+            match kind {
+                GateKind::Buf | GateKind::Not => {
+                    let inv = kind == GateKind::Not;
+                    let i = g.inputs[0];
+                    for v in [false, true] {
+                        edge(self, Lit::new(i, v), Lit::new(o, v ^ inv));
+                        edge(self, Lit::new(o, v ^ inv), Lit::new(i, v));
+                    }
+                }
+                GateKind::Const0 | GateKind::Const1 => {
+                    // Encode "o is constant c" as: the opposite literal
+                    // implies its own negation, making it infeasible.
+                    let c = kind == GateKind::Const1;
+                    edge(self, Lit::new(o, !c), Lit::new(o, c));
+                }
+                GateKind::And | GateKind::Or | GateKind::Nand | GateKind::Nor => {
+                    // A controlling input forces the output; the output
+                    // away from its controlled value forces every input
+                    // to the non-controlling value.
+                    let inverting = matches!(kind, GateKind::Nand | GateKind::Nor);
+                    let ctrl = matches!(kind, GateKind::Or | GateKind::Nor);
+                    let out_at_ctrl = ctrl ^ inverting;
+                    for &i in &g.inputs {
+                        edge(self, Lit::new(i, ctrl), Lit::new(o, out_at_ctrl));
+                        edge(self, Lit::new(o, !out_at_ctrl), Lit::new(i, !ctrl));
+                    }
+                }
+                GateKind::Xor | GateKind::Xnor => {
+                    // Parity gates have no controlling value: no
+                    // single-premise direct implications at fan-in ≥ 2.
+                }
+            }
+        }
+        self.stats.direct_edges = count;
+    }
+
+    /// Iterates transitive closure over the explicit edges and the
+    /// contrapositive completion until neither adds a bit. Terminates:
+    /// both passes only ever set bits, and the matrix has `lits²` of
+    /// them.
+    fn close_and_contrapose(&mut self) {
+        loop {
+            self.sweep_transitive();
+            if !self.contrapose() {
+                break;
+            }
+        }
+    }
+
+    /// Repeated sweeps of `row(a) |= row(b)` for every explicit edge
+    /// `a ⇒ b` until stable.
+    fn sweep_transitive(&mut self) {
+        loop {
+            let mut changed = false;
+            for a in 0..self.lits {
+                for bi in 0..self.adj[a].len() {
+                    let b = self.adj[a][bi] as usize;
+                    if a != b {
+                        changed |= self.or_row_into(a, b);
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// `row(a) |= row(b)`; rows are disjoint slices of the flat matrix,
+    /// split at whichever row starts later.
+    fn or_row_into(&mut self, a: usize, b: usize) -> bool {
+        let s = self.stride;
+        let (dst_start, src_start) = (a * s, b * s);
+        let (dst, src) = if dst_start < src_start {
+            let (head, tail) = self.closure.split_at_mut(src_start);
+            (&mut head[dst_start..dst_start + s], &tail[..s])
+        } else {
+            let (head, tail) = self.closure.split_at_mut(dst_start);
+            (&mut tail[..s], &head[src_start..src_start + s])
+        };
+        let mut changed = false;
+        for (x, y) in dst.iter_mut().zip(src) {
+            let next = *x | *y;
+            changed |= next != *x;
+            *x = next;
+        }
+        changed
+    }
+
+    /// For every closure pair `a ⇒ b`, ensure `¬b ⇒ ¬a`.
+    fn contrapose(&mut self) -> bool {
+        let mut changed = false;
+        for a in 0..self.lits {
+            let implied: Vec<usize> = self.iter_row(a).collect();
+            for b in implied {
+                if b != a && self.add_edge(b ^ 1, a ^ 1) {
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+
+    /// Extended backward implications: for an unjustified gate
+    /// assignment (e.g. AND output at 0) every justification (some
+    /// input at 0) is possible, so anything implied by *all*
+    /// justifications is implied by the assignment itself. Returns the
+    /// number of edges added.
+    fn extended_backward(&mut self, nl: &Netlist) -> usize {
+        let mut added = 0usize;
+        let mut common = vec![0u64; self.stride];
+        for (_, g) in nl.gates() {
+            if g.fanin() < 2 {
+                continue;
+            }
+            // (unjustified output literal, justification value on inputs)
+            let (out_val, just_val) = match g.kind {
+                GateKind::And => (false, false),
+                GateKind::Or => (true, true),
+                GateKind::Nand => (true, false),
+                GateKind::Nor => (false, true),
+                // Parity justifications assign several inputs at once;
+                // out of scope for single-literal intersection.
+                _ => continue,
+            };
+            let u = Lit::new(g.output, out_val).index();
+            // Intersect over *feasible* justifications only: an
+            // infeasible one can never be the reason the assignment
+            // holds. If none is feasible the assignment itself is
+            // infeasible.
+            common.fill(!0);
+            let mut feasible = 0usize;
+            for &i in &g.inputs {
+                let j = Lit::new(i, just_val);
+                if self.infeasible(j) {
+                    continue;
+                }
+                feasible += 1;
+                let row = j.index() * self.stride;
+                for (c, wi) in common.iter_mut().enumerate() {
+                    *wi &= self.closure[row + c];
+                }
+            }
+            if feasible == 0 {
+                if self.add_edge(u, u ^ 1) {
+                    added += 1;
+                }
+                continue;
+            }
+            let lits: Vec<usize> = common
+                .iter()
+                .enumerate()
+                .flat_map(|(wi, &w)| {
+                    let mut w = w;
+                    std::iter::from_fn(move || {
+                        if w == 0 {
+                            return None;
+                        }
+                        let bit = w.trailing_zeros() as usize;
+                        w &= w - 1;
+                        Some(wi * 64 + bit)
+                    })
+                })
+                .collect();
+            for b in lits {
+                if b != u && self.add_edge(u, b) {
+                    added += 1;
+                }
+            }
+        }
+        added
+    }
+
+    fn count_pairs(&self) -> usize {
+        let total: u32 = self.closure.iter().map(|w| w.count_ones()).sum();
+        total as usize - self.lits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atpg_easy_netlist::Netlist;
+
+    fn and2() -> (Netlist, NetId, NetId, NetId) {
+        let mut nl = Netlist::new("and2");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let o = nl.add_gate_named(GateKind::And, vec![a, b], "o").unwrap();
+        nl.add_output(o);
+        (nl, a, b, o)
+    }
+
+    #[test]
+    fn direct_and_implications() {
+        let (nl, a, b, o) = and2();
+        let eng = ImplicationEngine::build(&nl);
+        assert!(eng.implies(Lit::new(a, false), Lit::new(o, false)));
+        assert!(eng.implies(Lit::new(o, true), Lit::new(a, true)));
+        assert!(eng.implies(Lit::new(o, true), Lit::new(b, true)));
+        // Contrapositive of a=0 => o=0.
+        assert!(eng.implies(Lit::new(o, true), Lit::new(a, true)));
+        // No implication invents facts: a=1 alone decides nothing.
+        assert!(!eng.implies(Lit::new(a, true), Lit::new(o, true)));
+        assert!(!eng.infeasible(Lit::new(o, false)));
+    }
+
+    #[test]
+    fn inverter_chain_is_bidirectional() {
+        let mut nl = Netlist::new("chain");
+        let a = nl.add_input("a");
+        let x = nl.add_gate_named(GateKind::Not, vec![a], "x").unwrap();
+        let y = nl.add_gate_named(GateKind::Not, vec![x], "y").unwrap();
+        nl.add_output(y);
+        let eng = ImplicationEngine::build(&nl);
+        assert!(eng.implies(Lit::new(a, true), Lit::new(y, true)));
+        assert!(eng.implies(Lit::new(y, false), Lit::new(a, false)));
+        assert!(eng.implies(Lit::new(x, true), Lit::new(y, false)));
+    }
+
+    #[test]
+    fn constant_propagates() {
+        let mut nl = Netlist::new("konst");
+        let a = nl.add_input("a");
+        let z = nl.add_gate_named(GateKind::Const0, vec![], "z").unwrap();
+        let o = nl.add_gate_named(GateKind::Or, vec![a, z], "o").unwrap();
+        let p = nl.add_gate_named(GateKind::And, vec![a, z], "p").unwrap();
+        nl.add_output(o);
+        nl.add_output(p);
+        let eng = ImplicationEngine::build(&nl);
+        assert_eq!(eng.constant(z), Some(false));
+        // AND with a constant-0 leg is itself constant 0.
+        assert_eq!(eng.constant(p), Some(false));
+        // OR with a constant-0 leg tracks the live leg both ways
+        // (extended backward: o=1 has a single feasible justification).
+        assert!(eng.implies(Lit::new(o, true), Lit::new(a, true)));
+        assert_eq!(eng.constant(o), None);
+        assert!(!eng.contradictory(o));
+    }
+
+    #[test]
+    fn extended_backward_learns_convergent_fact() {
+        // x = AND(a, b); y = OR(x1, x2) where x1 = BUF(x), x2 = BUF(x):
+        // both justifications of y=1 imply x=1, hence a=1 and b=1.
+        let mut nl = Netlist::new("ext");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.add_gate_named(GateKind::And, vec![a, b], "x").unwrap();
+        let x1 = nl.add_gate_named(GateKind::Buf, vec![x], "x1").unwrap();
+        let x2 = nl.add_gate_named(GateKind::Buf, vec![x], "x2").unwrap();
+        let y = nl.add_gate_named(GateKind::Or, vec![x1, x2], "y").unwrap();
+        nl.add_output(y);
+        let eng = ImplicationEngine::build(&nl);
+        assert!(eng.implies(Lit::new(y, true), Lit::new(a, true)));
+        assert!(eng.implies(Lit::new(y, true), Lit::new(b, true)));
+        assert!(eng.stats().fixpoint);
+    }
+
+    #[test]
+    fn tautology_net_is_constant_one() {
+        // y = OR(a, NOT a) is constant 1 — the canonical statically
+        // redundant structure used across the atpg test-suite.
+        let mut nl = Netlist::new("taut");
+        let a = nl.add_input("a");
+        let na = nl.add_gate_named(GateKind::Not, vec![a], "na").unwrap();
+        let y = nl.add_gate_named(GateKind::Or, vec![a, na], "y").unwrap();
+        nl.add_output(y);
+        let eng = ImplicationEngine::build(&nl);
+        assert_eq!(eng.constant(y), Some(true));
+        assert!(eng.infeasible(Lit::new(y, false)));
+    }
+
+    #[test]
+    fn conflict_union_detects_incompatible_assignment() {
+        let (nl, a, _, o) = and2();
+        let eng = ImplicationEngine::build(&nl);
+        assert!(eng.conflicts(&[Lit::new(o, true), Lit::new(a, false)]));
+        assert!(!eng.conflicts(&[Lit::new(o, true), Lit::new(a, true)]));
+    }
+
+    #[test]
+    fn self_check_is_clean_on_suite_style_circuit() {
+        let mut nl = Netlist::new("mix");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let x = nl.add_gate_named(GateKind::Nand, vec![a, b], "x").unwrap();
+        let y = nl.add_gate_named(GateKind::Nor, vec![x, c], "y").unwrap();
+        let z = nl.add_gate_named(GateKind::Xor, vec![x, y], "z").unwrap();
+        nl.add_output(z);
+        let eng = ImplicationEngine::build(&nl);
+        assert!(eng.self_check().is_empty());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (nl, ..) = and2();
+        let eng = ImplicationEngine::build(&nl);
+        let s = eng.stats();
+        assert_eq!(s.nets, 3);
+        assert!(s.direct_edges >= 4);
+        assert!(s.implication_pairs >= s.direct_edges);
+        assert!(s.fixpoint);
+    }
+}

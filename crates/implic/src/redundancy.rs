@@ -1,0 +1,270 @@
+//! FIRE-style static redundancy identification.
+//!
+//! A stuck-at fault is *redundant* (untestable) when no input vector
+//! both activates it and propagates its effect to a primary output.
+//! Three static proofs are attempted, cheapest first:
+//!
+//! 1. **Unobservable site** — the fault net has no structural path to
+//!    any primary output, so no effect can ever be observed.
+//! 2. **Infeasible activation** — the net is provably constant at the
+//!    stuck value, so the good and faulty circuits never differ.
+//! 3. **Static conflict** — the conjunction of the fault's *necessary*
+//!    detection conditions (activation value at the site, plus
+//!    non-controlling side inputs along the single-fanout dominator
+//!    chain) is contradictory under the implication closure.
+//!
+//! Each proof only ever uses necessary conditions and sound
+//! implications, so a statically redundant verdict is a genuine
+//! untestability certificate: the SAT path must answer UNSAT for the
+//! same fault (and the test-suite checks that it does).
+
+use atpg_easy_netlist::topo::topo_order;
+use atpg_easy_netlist::{GateKind, NetId, Netlist};
+
+use crate::{ImplicationEngine, Lit, Scoap};
+
+/// Why a fault was proved untestable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RedundancyReason {
+    /// The fault net has no structural path to a primary output.
+    Unobservable,
+    /// The net is provably constant at the stuck value; the fault can
+    /// never be activated.
+    ActivationInfeasible,
+    /// The necessary activation/propagation conditions imply a static
+    /// conflict.
+    StaticConflict,
+}
+
+impl RedundancyReason {
+    /// Stable lowercase label used in reports and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            RedundancyReason::Unobservable => "unobservable",
+            RedundancyReason::ActivationInfeasible => "activation-infeasible",
+            RedundancyReason::StaticConflict => "static-conflict",
+        }
+    }
+}
+
+/// A statically proved untestable stuck-at fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RedundantFault {
+    /// The fault site.
+    pub net: NetId,
+    /// The stuck value (`true` = s-a-1).
+    pub stuck: bool,
+    /// The proof that applied (cheapest applicable is reported).
+    pub reason: RedundancyReason,
+}
+
+/// The full result of the static pre-pass over one netlist.
+#[derive(Debug, Clone)]
+pub struct StaticAnalysis {
+    /// The implication engine (kept for downstream queries).
+    pub engine: ImplicationEngine,
+    /// SCOAP testability scores.
+    pub scoap: Scoap,
+    /// Nets with no structural path to any primary output.
+    pub unobservable: Vec<NetId>,
+    /// Nets proved constant, with their constant value.
+    pub constants: Vec<(NetId, bool)>,
+    /// Nets whose *both* polarities are infeasible — a contradiction
+    /// that indicates a malformed netlist (empty on well-formed input).
+    pub contradictory: Vec<NetId>,
+    /// Statically proved redundant faults, in (net, s-a-0, s-a-1) order.
+    pub redundant: Vec<RedundantFault>,
+}
+
+impl StaticAnalysis {
+    /// Whether the given fault was statically proved redundant.
+    pub fn is_redundant(&self, net: NetId, stuck: bool) -> bool {
+        self.redundant
+            .iter()
+            .any(|r| r.net == net && r.stuck == stuck)
+    }
+}
+
+/// Runs the full static pre-pass: implication closure, SCOAP scores,
+/// observability reachability, and the per-fault redundancy proofs.
+pub fn analyze(nl: &Netlist) -> StaticAnalysis {
+    let engine = ImplicationEngine::build(nl);
+    let scoap = Scoap::build(nl);
+    let reach = output_reachability(nl);
+
+    let mut unobservable = Vec::new();
+    let mut constants = Vec::new();
+    let mut contradictory = Vec::new();
+    for net in nl.net_ids() {
+        if !reach[net.index()] {
+            unobservable.push(net);
+        }
+        if engine.contradictory(net) {
+            contradictory.push(net);
+        } else if let Some(v) = engine.constant(net) {
+            constants.push((net, v));
+        }
+    }
+
+    let fanouts = nl.fanouts();
+    let mut redundant = Vec::new();
+    for net in nl.net_ids() {
+        for stuck in [false, true] {
+            let reason = if !reach[net.index()] {
+                Some(RedundancyReason::Unobservable)
+            } else if engine.infeasible(Lit::new(net, !stuck)) {
+                Some(RedundancyReason::ActivationInfeasible)
+            } else if engine.conflicts(&necessary_conditions(nl, &fanouts, net, stuck)) {
+                Some(RedundancyReason::StaticConflict)
+            } else {
+                None
+            };
+            if let Some(reason) = reason {
+                redundant.push(RedundantFault { net, stuck, reason });
+            }
+        }
+    }
+
+    StaticAnalysis {
+        engine,
+        scoap,
+        unobservable,
+        constants,
+        contradictory,
+        redundant,
+    }
+}
+
+/// Necessary conditions for detecting `net` stuck-at `stuck`:
+/// activation (`net = ¬stuck` in the good circuit) plus, along the
+/// chain of single-fanout dominator gates, every side input at its
+/// non-controlling value. The walk stops at the first primary output,
+/// fanout stem, or parity gate side-path.
+fn necessary_conditions(
+    nl: &Netlist,
+    fanouts: &[Vec<atpg_easy_netlist::GateId>],
+    net: NetId,
+    stuck: bool,
+) -> Vec<Lit> {
+    let mut lits = vec![Lit::new(net, !stuck)];
+    let mut m = net;
+    loop {
+        if nl.is_output(m) {
+            break;
+        }
+        let users = &fanouts[m.index()];
+        if users.len() != 1 {
+            break; // stem: the effect may take any branch
+        }
+        let g = nl.gate(users[0]);
+        let noncontrolling = match g.kind {
+            GateKind::And | GateKind::Nand => Some(true),
+            GateKind::Or | GateKind::Nor => Some(false),
+            // Parity gates and single-input gates propagate any value.
+            _ => None,
+        };
+        if let Some(v) = noncontrolling {
+            for &j in &g.inputs {
+                if j != m {
+                    lits.push(Lit::new(j, v));
+                }
+            }
+        }
+        m = g.output;
+    }
+    lits
+}
+
+/// `reach[n]` — whether net `n` has a structural path to some primary
+/// output (including being one).
+fn output_reachability(nl: &Netlist) -> Vec<bool> {
+    let mut reach = vec![false; nl.num_nets()];
+    for &o in nl.outputs() {
+        reach[o.index()] = true;
+    }
+    let order = topo_order(nl).unwrap_or_else(|_| nl.gate_ids().collect());
+    for &gid in order.iter().rev() {
+        let g = nl.gate(gid);
+        if reach[g.output.index()] {
+            for &i in &g.inputs {
+                reach[i.index()] = true;
+            }
+        }
+    }
+    reach
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atpg_easy_circuits::suite;
+    use atpg_easy_netlist::Netlist;
+
+    #[test]
+    fn dangling_net_faults_are_unobservable() {
+        let mut nl = Netlist::new("dangle");
+        let a = nl.add_input("a");
+        let d = nl.add_gate_named(GateKind::Not, vec![a], "d").unwrap();
+        let o = nl.add_gate_named(GateKind::Buf, vec![a], "o").unwrap();
+        nl.add_output(o);
+        let res = analyze(&nl);
+        assert_eq!(res.unobservable, vec![d]);
+        assert!(res.is_redundant(d, false));
+        assert!(res.is_redundant(d, true));
+        assert!(!res.is_redundant(o, false));
+        assert_eq!(res.redundant[0].reason, RedundancyReason::Unobservable);
+    }
+
+    #[test]
+    fn tautology_fault_is_activation_infeasible() {
+        // y = OR(a, NOT a) is constant 1; y s-a-1 cannot be activated.
+        let mut nl = Netlist::new("taut");
+        let a = nl.add_input("a");
+        let na = nl.add_gate_named(GateKind::Not, vec![a], "na").unwrap();
+        let y = nl.add_gate_named(GateKind::Or, vec![a, na], "y").unwrap();
+        nl.add_output(y);
+        let res = analyze(&nl);
+        assert!(res.constants.contains(&(y, true)));
+        assert!(res.is_redundant(y, true));
+        assert!(!res.is_redundant(y, false));
+    }
+
+    #[test]
+    fn conflicting_propagation_is_statically_redundant() {
+        // z = AND(a, x) with x = NOT a: activating x s-a-0 needs x=1
+        // (hence a=0), but propagating through the AND needs a=1.
+        let mut nl = Netlist::new("conf");
+        let a = nl.add_input("a");
+        let x = nl.add_gate_named(GateKind::Not, vec![a], "x").unwrap();
+        let z = nl.add_gate_named(GateKind::And, vec![a, x], "z").unwrap();
+        nl.add_output(z);
+        let res = analyze(&nl);
+        let f = res
+            .redundant
+            .iter()
+            .find(|r| r.net == x && !r.stuck)
+            .expect("x s-a-0 proved redundant");
+        assert_eq!(f.reason, RedundancyReason::StaticConflict);
+    }
+
+    #[test]
+    fn clean_circuit_has_no_redundancy() {
+        let res = analyze(&suite::c17());
+        assert!(res.redundant.is_empty());
+        assert!(res.unobservable.is_empty());
+        assert!(res.constants.is_empty());
+        assert!(res.contradictory.is_empty());
+    }
+
+    #[test]
+    fn priority_encoder_dangling_inverter_is_caught() {
+        // priority_encoder builds nr0 = NOT r0 that no grant term reads:
+        // the suite's known pair of untestable faults.
+        let nl = suite::priority_encoder(12);
+        let res = analyze(&nl);
+        let nr0 = nl.find_net("nr0").unwrap();
+        assert!(res.is_redundant(nr0, false));
+        assert!(res.is_redundant(nr0, true));
+        assert_eq!(res.redundant.len(), 2);
+    }
+}

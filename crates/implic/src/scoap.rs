@@ -1,0 +1,219 @@
+//! SCOAP-style testability measures.
+//!
+//! Controllability `CC0`/`CC1` (effort to set a net to 0/1, computed
+//! forward in topological order; primary inputs cost 1) and
+//! observability `CO` (effort to propagate a net's value to a primary
+//! output, computed backward; outputs cost 0). All arithmetic saturates
+//! at [`SCOAP_INFINITY`], which also marks structurally impossible
+//! goals: the unreachable polarity of a constant net, or a net with no
+//! path to any output.
+
+use atpg_easy_netlist::topo::topo_order;
+use atpg_easy_netlist::{GateKind, NetId, Netlist};
+
+/// Saturation bound for SCOAP scores; a score at this value means the
+/// goal is structurally impossible (or beyond any realistic budget).
+pub const SCOAP_INFINITY: u32 = u32::MAX / 4;
+
+fn sat_add(a: u32, b: u32) -> u32 {
+    a.saturating_add(b).min(SCOAP_INFINITY)
+}
+
+/// SCOAP controllability/observability scores for every net.
+#[derive(Debug, Clone)]
+pub struct Scoap {
+    cc0: Vec<u32>,
+    cc1: Vec<u32>,
+    co: Vec<u32>,
+}
+
+impl Scoap {
+    /// Computes scores for a validated netlist. Gates are visited in
+    /// topological order (creation order as a fallback on cyclic input,
+    /// where the scores for cycle nets stay saturated).
+    pub fn build(nl: &Netlist) -> Self {
+        let order = topo_order(nl).unwrap_or_else(|_| nl.gate_ids().collect());
+        let n = nl.num_nets();
+        let mut cc0 = vec![SCOAP_INFINITY; n];
+        let mut cc1 = vec![SCOAP_INFINITY; n];
+        for &i in nl.inputs() {
+            cc0[i.index()] = 1;
+            cc1[i.index()] = 1;
+        }
+        for &gid in &order {
+            let g = nl.gate(gid);
+            let (c0, c1) = gate_controllability(g.kind, &g.inputs, &cc0, &cc1);
+            cc0[g.output.index()] = c0;
+            cc1[g.output.index()] = c1;
+        }
+
+        let mut co = vec![SCOAP_INFINITY; n];
+        for &o in nl.outputs() {
+            co[o.index()] = 0;
+        }
+        for &gid in order.iter().rev() {
+            let g = nl.gate(gid);
+            let out_co = co[g.output.index()];
+            if out_co >= SCOAP_INFINITY {
+                continue;
+            }
+            for (pos, &i) in g.inputs.iter().enumerate() {
+                let side: u32 = g
+                    .inputs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(q, _)| q != pos)
+                    .map(|(_, &j)| match g.kind {
+                        GateKind::And | GateKind::Nand => cc1[j.index()],
+                        GateKind::Or | GateKind::Nor => cc0[j.index()],
+                        GateKind::Xor | GateKind::Xnor => cc0[j.index()].min(cc1[j.index()]),
+                        GateKind::Not | GateKind::Buf | GateKind::Const0 | GateKind::Const1 => 0,
+                    })
+                    .fold(0u32, sat_add);
+                let through = sat_add(sat_add(out_co, side), 1);
+                let slot = &mut co[i.index()];
+                *slot = (*slot).min(through);
+            }
+        }
+        Scoap { cc0, cc1, co }
+    }
+
+    /// Effort to set `net` to 0.
+    pub fn cc0(&self, net: NetId) -> u32 {
+        self.cc0[net.index()]
+    }
+
+    /// Effort to set `net` to 1.
+    pub fn cc1(&self, net: NetId) -> u32 {
+        self.cc1[net.index()]
+    }
+
+    /// Effort to propagate `net` to a primary output.
+    pub fn co(&self, net: NetId) -> u32 {
+        self.co[net.index()]
+    }
+
+    /// Combined testability of the harder stuck-at fault on `net`:
+    /// detecting s-a-v needs the net driven to ¬v *and* observed.
+    pub fn fault_effort(&self, net: NetId) -> u32 {
+        sat_add(
+            self.cc0[net.index()].max(self.cc1[net.index()]),
+            self.co[net.index()],
+        )
+    }
+}
+
+fn gate_controllability(kind: GateKind, inputs: &[NetId], cc0: &[u32], cc1: &[u32]) -> (u32, u32) {
+    let c0 = |n: NetId| cc0[n.index()];
+    let c1 = |n: NetId| cc1[n.index()];
+    match kind {
+        GateKind::And => (
+            inputs
+                .iter()
+                .map(|&i| c0(i))
+                .min()
+                .map_or(0, |m| sat_add(m, 1)),
+            sat_add(inputs.iter().map(|&i| c1(i)).fold(0, sat_add), 1),
+        ),
+        GateKind::Or => (
+            sat_add(inputs.iter().map(|&i| c0(i)).fold(0, sat_add), 1),
+            inputs
+                .iter()
+                .map(|&i| c1(i))
+                .min()
+                .map_or(0, |m| sat_add(m, 1)),
+        ),
+        GateKind::Nand => (
+            sat_add(inputs.iter().map(|&i| c1(i)).fold(0, sat_add), 1),
+            inputs
+                .iter()
+                .map(|&i| c0(i))
+                .min()
+                .map_or(0, |m| sat_add(m, 1)),
+        ),
+        GateKind::Nor => (
+            inputs
+                .iter()
+                .map(|&i| c1(i))
+                .min()
+                .map_or(0, |m| sat_add(m, 1)),
+            sat_add(inputs.iter().map(|&i| c0(i)).fold(0, sat_add), 1),
+        ),
+        GateKind::Xor | GateKind::Xnor => {
+            // Cheapest even- and odd-parity assignments over the fan-in.
+            let (mut even, mut odd) = (0u32, SCOAP_INFINITY);
+            for &i in inputs {
+                let (e, o) = (even, odd);
+                even = sat_add(e, c0(i)).min(sat_add(o, c1(i)));
+                odd = sat_add(e, c1(i)).min(sat_add(o, c0(i)));
+            }
+            if kind == GateKind::Xor {
+                (sat_add(even, 1), sat_add(odd, 1))
+            } else {
+                (sat_add(odd, 1), sat_add(even, 1))
+            }
+        }
+        GateKind::Not => (sat_add(c1(inputs[0]), 1), sat_add(c0(inputs[0]), 1)),
+        GateKind::Buf => (sat_add(c0(inputs[0]), 1), sat_add(c1(inputs[0]), 1)),
+        GateKind::Const0 => (1, SCOAP_INFINITY),
+        GateKind::Const1 => (SCOAP_INFINITY, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atpg_easy_netlist::Netlist;
+
+    #[test]
+    fn and_gate_scores() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let o = nl.add_gate_named(GateKind::And, vec![a, b], "o").unwrap();
+        nl.add_output(o);
+        let s = Scoap::build(&nl);
+        assert_eq!(s.cc0(o), 2); // cheapest input at 0, +1
+        assert_eq!(s.cc1(o), 3); // both inputs at 1, +1
+        assert_eq!(s.co(o), 0);
+        assert_eq!(s.co(a), 2); // through the AND: side input at 1, +1
+    }
+
+    #[test]
+    fn unobservable_net_saturates() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let dangling = nl.add_gate_named(GateKind::Not, vec![a], "d").unwrap();
+        let o = nl.add_gate_named(GateKind::Buf, vec![a], "o").unwrap();
+        nl.add_output(o);
+        let s = Scoap::build(&nl);
+        assert_eq!(s.co(dangling), SCOAP_INFINITY);
+        assert!(s.co(a) < SCOAP_INFINITY);
+        assert_eq!(s.fault_effort(dangling), SCOAP_INFINITY);
+    }
+
+    #[test]
+    fn constants_have_one_sided_controllability() {
+        let mut nl = Netlist::new("t");
+        let k = nl.add_gate_named(GateKind::Const1, vec![], "k").unwrap();
+        let o = nl.add_gate_named(GateKind::Buf, vec![k], "o").unwrap();
+        nl.add_output(o);
+        let s = Scoap::build(&nl);
+        assert_eq!(s.cc1(k), 1);
+        assert_eq!(s.cc0(k), SCOAP_INFINITY);
+        assert_eq!(s.cc0(o), SCOAP_INFINITY);
+    }
+
+    #[test]
+    fn xor_parity_dp() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let o = nl.add_gate_named(GateKind::Xor, vec![a, b], "o").unwrap();
+        nl.add_output(o);
+        let s = Scoap::build(&nl);
+        assert_eq!(s.cc1(o), 3); // one input 1, the other 0, +1
+        assert_eq!(s.cc0(o), 3); // both equal, +1
+        assert_eq!(s.co(a), 2); // side input at its cheaper value, +1
+    }
+}

@@ -100,12 +100,25 @@ pub enum Code {
     S003,
     /// `std::thread::spawn` outside the parallel engine.
     S004,
+    /// Net with no structural path to any primary output (fault site
+    /// unobservable; both stuck-at faults untestable).
+    R001,
+    /// Net provably constant under the static implication closure.
+    R002,
+    /// Stuck-at fault statically proved redundant (FIRE-style).
+    R003,
+    /// Implication-graph consistency violation (closure not transitive,
+    /// contrapositive missing, or a net contradictory).
+    R004,
+    /// SCOAP testability outlier: fault effort far above the circuit
+    /// median.
+    R005,
 }
 
 impl Code {
     /// Every code, in family order. Tools iterate this to document or test
     /// the full set.
-    pub const ALL: [Code; 34] = [
+    pub const ALL: [Code; 39] = [
         Code::N001,
         Code::N002,
         Code::N003,
@@ -140,6 +153,11 @@ impl Code {
         Code::S002,
         Code::S003,
         Code::S004,
+        Code::R001,
+        Code::R002,
+        Code::R003,
+        Code::R004,
+        Code::R005,
     ];
 
     /// The stable textual form (`"N001"`, …).
@@ -179,6 +197,11 @@ impl Code {
             Code::S002 => "S002",
             Code::S003 => "S003",
             Code::S004 => "S004",
+            Code::R001 => "R001",
+            Code::R002 => "R002",
+            Code::R003 => "R003",
+            Code::R004 => "R004",
+            Code::R005 => "R005",
         }
     }
 
@@ -209,7 +232,8 @@ impl Code {
             | Code::S001
             | Code::S002
             | Code::S003
-            | Code::S004 => Severity::Error,
+            | Code::S004
+            | Code::R004 => Severity::Error,
             Code::N004
             | Code::N007
             | Code::C001
@@ -218,7 +242,11 @@ impl Code {
             | Code::C004
             | Code::C007
             | Code::A004
-            | Code::P004 => Severity::Warning,
+            | Code::P004
+            | Code::R001
+            | Code::R002
+            | Code::R003
+            | Code::R005 => Severity::Warning,
         }
     }
 
@@ -259,6 +287,11 @@ impl Code {
             Code::S002 => "raw std::sync::atomic use outside the syncx facade",
             Code::S003 => "mixed-ordering atomics without an ORDERING comment",
             Code::S004 => "std::thread::spawn outside the parallel engine",
+            Code::R001 => "net cannot reach any primary output (faults unobservable)",
+            Code::R002 => "net provably constant under static implications",
+            Code::R003 => "stuck-at fault statically proved redundant",
+            Code::R004 => "implication-graph consistency violation",
+            Code::R005 => "SCOAP testability outlier",
         }
     }
 }

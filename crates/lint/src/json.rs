@@ -19,7 +19,7 @@ use atpg_easy_obs::{parse_jsonl_line, CampaignMeta, InstanceTrace, TraceLine};
 use crate::diag::{Code, Location, Report};
 
 /// The outcome labels the Figure-1 pipeline understands.
-const OUTCOMES: [&str; 4] = ["SAT", "UNSAT", "ABORT", "SIM"];
+const OUTCOMES: [&str; 5] = ["SAT", "UNSAT", "ABORT", "SIM", "REDUNDANT"];
 
 /// Lints a whole JSONL trace document. Blank lines are skipped, matching
 /// `atpg_easy_obs::parse_jsonl`.
@@ -46,7 +46,10 @@ pub fn lint_trace(text: &str) -> Report {
             report.add(
                 Code::T003,
                 Location::Line { line: *lineno },
-                format!("outcome `{}` is not one of SAT/UNSAT/ABORT/SIM", t.outcome),
+                format!(
+                    "outcome `{}` is not one of SAT/UNSAT/ABORT/SIM/REDUNDANT",
+                    t.outcome
+                ),
             );
         }
         if let Some(first) = seen
@@ -114,6 +117,7 @@ mod tests {
             committed_unsat,
             dropped: 0,
             wasted_solves: 0,
+            static_pruned: 0,
             cutwidth_estimate: None,
         }
         .to_jsonl()

@@ -19,6 +19,7 @@
 //! | [`activation`] | `A001`–`A004` | activation-literal hygiene in incremental encodings |
 //! | [`proof`] | `P001`–`P004` | certified verdicts: DRAT streams and claimed models |
 //! | [`source`] | `S001`–`S004` | the workspace's own Rust source: unsafe/atomic hygiene |
+//! | [`redundancy`] | `R001`–`R005` | static implications, testability, redundant faults |
 //!
 //! Every diagnostic carries a stable [`Code`], a [`Severity`], a
 //! [`Location`], and a human-readable message; a [`Report`] renders as
@@ -41,6 +42,7 @@ pub mod diag;
 pub mod json;
 pub mod netlist;
 pub mod proof;
+pub mod redundancy;
 pub mod source;
 
 pub use diag::{Code, Diagnostic, Location, Report, Severity};

@@ -308,6 +308,7 @@ mod tests {
             committed_unsat: 1,
             dropped: 19,
             wasted_solves: 1,
+            static_pruned: 0,
             cutwidth_estimate: Some(4),
         }
     }

@@ -106,6 +106,10 @@ pub struct CampaignMeta {
     pub dropped: u64,
     /// Speculative solves superseded by fault dropping at commit time.
     pub wasted_solves: u64,
+    /// Faults retired by the static implication pre-pass before any
+    /// solver ran (0 when the pre-pass is disabled; absent in traces
+    /// written before the pass existed).
+    pub static_pruned: u64,
     /// Estimated cut-width of the circuit, when computed.
     pub cutwidth_estimate: Option<u64>,
 }
@@ -122,6 +126,9 @@ impl CampaignMeta {
         push_num(&mut s, "committed_unsat", self.committed_unsat);
         push_num(&mut s, "dropped", self.dropped);
         push_num(&mut s, "wasted_solves", self.wasted_solves);
+        if self.static_pruned > 0 {
+            push_num(&mut s, "static_pruned", self.static_pruned);
+        }
         if let Some(w) = self.cutwidth_estimate {
             push_num(&mut s, "cutwidth_estimate", w);
         }
@@ -364,6 +371,7 @@ pub fn parse_jsonl_line(line: &str) -> Result<TraceLine, String> {
             committed_unsat: f.num_opt("committed_unsat")?.unwrap_or(0),
             dropped: f.num("dropped")?,
             wasted_solves: f.num("wasted_solves")?,
+            static_pruned: f.num_opt("static_pruned")?.unwrap_or(0),
             cutwidth_estimate: f.num_opt("cutwidth_estimate")?,
         })),
         other => Err(format!("unknown trace line type '{other}'")),
@@ -433,6 +441,7 @@ mod tests {
                 committed_unsat: 10,
                 dropped: 190,
                 wasted_solves: 14,
+                static_pruned: 3,
                 cutwidth_estimate: width,
             };
             match parse_jsonl_line(&m.to_jsonl()) {
@@ -488,6 +497,7 @@ mod tests {
                 committed_unsat: 2,
                 dropped: 0,
                 wasted_solves: 0,
+                static_pruned: 0,
                 cutwidth_estimate: None,
             }
             .to_jsonl(),

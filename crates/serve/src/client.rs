@@ -25,7 +25,7 @@ pub struct VerdictLine {
     pub net: u64,
     /// Stuck-at value (0 or 1).
     pub stuck: u64,
-    /// `detected` / `untestable` / `aborted` / `deadline`.
+    /// `detected` / `untestable` / `redundant` / `aborted` / `deadline`.
     pub verdict: String,
     /// SAT test vector, for SAT-detected faults.
     pub vector: Option<String>,
@@ -87,7 +87,10 @@ pub struct CampaignOutcome {
 impl CampaignOutcome {
     /// Reconstructs [`CampaignResult::detection_report`]
     /// (`fault net=N saB verdict` per line) from the streamed verdicts —
-    /// the byte-identity hook of the serve e2e golden test. `deadline`
+    /// the byte-identity hook of the serve e2e golden test. `redundant`
+    /// verdicts (statically pruned faults) render as `untestable` —
+    /// exactly how the library report renders them, so a pruned wire
+    /// campaign stays byte-identical to an unpruned one. `deadline`
     /// verdicts render with that label; they have no library counterpart
     /// (the library loop has no deadlines) and only appear on
     /// non-`ok` campaigns.
@@ -98,7 +101,12 @@ impl CampaignOutcome {
         use std::fmt::Write as _;
         let mut out = String::new();
         for v in &self.verdicts {
-            writeln!(out, "fault net={} sa{} {}", v.net, v.stuck, v.verdict)
+            let label = if v.verdict == "redundant" {
+                "untestable"
+            } else {
+                &v.verdict
+            };
+            writeln!(out, "fault net={} sa{} {}", v.net, v.stuck, label)
                 .expect("writing to a String cannot fail");
         }
         out

@@ -356,6 +356,8 @@ pub struct CampaignOptions {
     pub solver: SolverChoice,
     /// Warm incremental solving (`incremental`, default false).
     pub incremental: bool,
+    /// Static-implication redundancy pre-pass (`static_prune`).
+    pub static_prune: bool,
     /// DRAT certification events + postflight audit (`certify`).
     pub certify: bool,
     /// Request-scoped `obs` instance traces (`trace`).
@@ -381,6 +383,7 @@ impl Default for CampaignOptions {
             seed: 1,
             solver: SolverChoice::Cdcl,
             incremental: false,
+            static_prune: false,
             certify: false,
             trace: false,
             dropping: true,
@@ -413,6 +416,7 @@ impl CampaignOptions {
             seed: self.seed,
             preflight: true,
             incremental: self.incremental,
+            static_prune: self.static_prune,
             ..AtpgConfig::default()
         }
     }
@@ -514,6 +518,9 @@ impl Request {
                 if let Some(b) = get_bool(&fields, "incremental")? {
                     options.incremental = b;
                 }
+                if let Some(b) = get_bool(&fields, "static_prune")? {
+                    options.static_prune = b;
+                }
                 if let Some(b) = get_bool(&fields, "certify")? {
                     options.certify = b;
                 }
@@ -579,6 +586,9 @@ impl Request {
                 }
                 if options.incremental != d.incremental {
                     push_bool(&mut s, "incremental", options.incremental);
+                }
+                if options.static_prune != d.static_prune {
+                    push_bool(&mut s, "static_prune", options.static_prune);
                 }
                 if options.certify != d.certify {
                     push_bool(&mut s, "certify", options.certify);
@@ -1050,6 +1060,7 @@ mod tests {
                 seed: 9,
                 solver: SolverChoice::Dpll,
                 incremental: true,
+                static_prune: true,
                 certify: true,
                 trace: true,
                 dropping: false,

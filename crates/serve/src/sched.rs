@@ -558,6 +558,7 @@ impl Scheduler {
                     FaultOutcome::DetectedBySimulation => ("detected", None),
                     FaultOutcome::Untestable => ("untestable", None),
                     FaultOutcome::Aborted => ("aborted", None),
+                    FaultOutcome::StaticallyRedundant => ("redundant", None),
                 };
                 (
                     record.sat_vars > 0,
@@ -692,6 +693,7 @@ impl Scheduler {
                     committed_unsat: untestable + aborted,
                     dropped: sim_detected,
                     wasted_solves: 0,
+                    static_pruned: result.statically_pruned() as u64,
                     cutwidth_estimate: None,
                 };
                 let _ = shared.campaign(&meta);

@@ -22,6 +22,7 @@
 //! | [`fit`] | `atpg-easy-fit` | least-squares model fitting and selection |
 //! | [`bdd`] | `atpg-easy-bdd` | ROBDD package for the Section-6 contrast |
 //! | [`analysis`] | `atpg-easy-core` | the paper's bounds, checkers and experiments |
+//! | [`implic`] | `atpg-easy-implic` | static implications, SCOAP scores, redundancy proofs |
 //! | [`lint`] | `atpg-easy-lint` | structural diagnostics for netlists, CNF, certificates |
 //! | [`obs`] | `atpg-easy-obs` | solver telemetry: probes, trace records, sinks |
 //! | [`proof`] | `atpg-easy-proof` | independent DRAT/model checker and campaign auditor |
@@ -49,6 +50,7 @@ pub use atpg_easy_cnf as cnf;
 pub use atpg_easy_core as analysis;
 pub use atpg_easy_cutwidth as cutwidth;
 pub use atpg_easy_fit as fit;
+pub use atpg_easy_implic as implic;
 pub use atpg_easy_lint as lint;
 pub use atpg_easy_netlist as netlist;
 pub use atpg_easy_obs as obs;

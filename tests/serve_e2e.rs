@@ -154,3 +154,71 @@ fn certified_wire_campaign_audits_clean() {
     // to solve conflict-free, and a conflict-free solve renders zero
     // DRAT derivations — the audit above already checked the stream.)
 }
+
+/// The static redundancy pre-pass over the wire: pruned faults stream
+/// `redundant` verdicts (skipping the solver entirely), while the
+/// reconstructed detection report stays byte-identical to both the
+/// unpruned wire campaign and the library path — a statically pruned
+/// fault renders exactly like a solver-proved untestable one.
+#[test]
+fn static_prune_streams_redundant_verdicts_and_preserves_the_report() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    // `nr0` is dangling: both of its stuck-at faults are unobservable,
+    // which the implication engine proves without a single SAT call.
+    let text = "INPUT(r0)\nINPUT(r1)\nOUTPUT(g)\n\
+                nr0 = NOT(r0)\nnr1 = NOT(r1)\ng = AND(r0, nr1)\n";
+    let parsed = bench::parse(text).expect("smoke netlist parses");
+
+    let run = |static_prune: bool| {
+        let mut client = PipeClient::connect(&server);
+        client.set_recv_timeout(Some(RECV_TIMEOUT));
+        let opts = CampaignOptions {
+            patterns: 8,
+            seed: 5,
+            static_prune,
+            ..CampaignOptions::default()
+        };
+        let sub = client
+            .run_campaign(if static_prune { "prune" } else { "plain" }, text, opts)
+            .expect("campaign stream");
+        let Submission::Completed(outcome) = sub else {
+            panic!("expected completion, got {sub:?}");
+        };
+        assert_eq!(outcome.done.status, DoneStatus::Ok);
+        outcome
+    };
+
+    let plain = run(false);
+    let pruned = run(true);
+
+    let redundant: Vec<_> = pruned
+        .verdicts
+        .iter()
+        .filter(|v| v.verdict == "redundant")
+        .collect();
+    assert!(
+        !redundant.is_empty(),
+        "the dangling NOT's faults must be statically pruned"
+    );
+    assert!(redundant.iter().all(|v| {
+        plain
+            .verdicts
+            .iter()
+            .any(|p| p.net == v.net && p.stuck == v.stuck && p.verdict == "untestable")
+    }));
+    assert!(plain.verdicts.iter().all(|v| v.verdict != "redundant"));
+
+    // Pruned faults never reach the solver, and the report is stable.
+    assert!(pruned.done.solves < plain.done.solves);
+    assert_eq!(pruned.detection_report(), plain.detection_report());
+    let opts = CampaignOptions {
+        patterns: 8,
+        seed: 5,
+        ..CampaignOptions::default()
+    };
+    let want = campaign::run(&parsed, &opts.to_config());
+    assert_eq!(pruned.detection_report(), want.detection_report());
+}

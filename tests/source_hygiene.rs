@@ -32,6 +32,8 @@ fn the_scan_actually_covers_the_lock_free_core() {
         "crates/atpg/src/parallel.rs",
         "crates/obs/src/buffer.rs",
         "crates/syncx/src/lib.rs",
+        "crates/implic/src/graph.rs",
+        "crates/implic/src/redundancy.rs",
     ] {
         let path = workspace_root().join(file);
         assert!(path.is_file(), "{file} missing — did the layout change?");
@@ -47,6 +49,14 @@ fn the_scan_actually_covers_the_lock_free_core() {
     assert!(
         buffer.contains("SAFETY:") && buffer.contains("ORDERING:"),
         "buffer.rs lost its safety/ordering comments"
+    );
+    // The implication engine is pure bit-matrix code; it must stay out
+    // of the unsafe/atomic business entirely.
+    let implic = std::fs::read_to_string(workspace_root().join("crates/implic/src/lib.rs"))
+        .expect("read implic lib.rs");
+    assert!(
+        implic.contains("#![forbid(unsafe_code)]"),
+        "implic lib.rs dropped its forbid(unsafe_code)"
     );
 }
 
